@@ -1,0 +1,240 @@
+//! Shared harness utilities: experiment scales, CSV output, table
+//! printing, and the sweep constants the paper's figures use.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The paper's Random Sparse Graph densities (Figs. 4, 5, 8).
+pub const DENSITIES: [f64; 5] = [0.05, 0.1, 0.3, 0.5, 0.7];
+
+/// Message-size sweep, 8 B … 4 MB (the paper's x-axis).
+pub const MSG_SIZES: [usize; 11] = [
+    8,
+    32,
+    128,
+    512,
+    2048,
+    8192,
+    32768,
+    131072,
+    524288,
+    2_097_152,
+    4_194_304,
+];
+
+/// Common Neighbor group sizes swept per configuration (the paper
+/// "launched the Common Neighbor algorithm with various values of K" and
+/// reports the best).
+pub const CN_KS: [usize; 4] = [2, 4, 8, 16];
+
+/// Experiment scale: `Full` reproduces the paper's rank counts; `Quick`
+/// shrinks everything for smoke tests and CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale (2160 ranks / 60 nodes etc.). Minutes per figure.
+    Full,
+    /// Small-scale smoke (≈ 216 ranks, fewer sizes). Seconds per figure.
+    Quick,
+}
+
+impl Scale {
+    /// RSG rank-count / node-count pairs (Fig. 5 runs 540, 1080, 2160
+    /// ranks on 15, 30, 60 nodes at 36 ranks per node).
+    pub fn rsg_scales(self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Full => vec![(540, 15), (1080, 30), (2160, 60)],
+            Scale::Quick => vec![(216, 6)],
+        }
+    }
+
+    /// The largest RSG scale (Figs. 4 and 8 use it).
+    pub fn rsg_largest(self) -> (usize, usize) {
+        *self.rsg_scales().last().expect("non-empty")
+    }
+
+    /// Message sizes swept.
+    pub fn msg_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Full => MSG_SIZES.to_vec(),
+            Scale::Quick => vec![32, 2048, 131072],
+        }
+    }
+
+    /// Densities swept.
+    pub fn densities(self) -> Vec<f64> {
+        match self {
+            Scale::Full => DENSITIES.to_vec(),
+            Scale::Quick => vec![0.05, 0.3],
+        }
+    }
+
+    /// Moore configuration: (ranks, nodes, ranks-per-node).
+    pub fn moore_scale(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Full => (2048, 64, 32),
+            Scale::Quick => (256, 8, 32),
+        }
+    }
+
+    /// SpMM process count and node count.
+    pub fn spmm_scale(self) -> (usize, usize) {
+        match self {
+            Scale::Full => (128, 4),
+            Scale::Quick => (32, 1),
+        }
+    }
+}
+
+/// A simple CSV + pretty-table writer for experiment results.
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with column names.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes `<out>/<name>.csv`.
+    pub fn write_csv(&self, out: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(out)?;
+        let path = out.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints an aligned ASCII table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("== {} ==", self.name);
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!();
+    }
+}
+
+/// Formats seconds with µs precision.
+pub fn fmt_secs(t: f64) -> String {
+    format!("{t:.9}")
+}
+
+/// Formats a speedup ratio.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Human-readable message size (8B, 4KB, 4MB).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 && b % (1 << 20) == 0 {
+        format!("{}MB", b >> 20)
+    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+        format!("{}KB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Geometric mean of positive values (the right average for speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.push(vec!["1".into(), "2".into()]);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        let dir = std::env::temp_dir().join("nhood_report_test");
+        let p = r.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn report_rejects_ragged_rows() {
+        Report::new("t", &["a"]).push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(8), "8B");
+        assert_eq!(fmt_bytes(4096), "4KB");
+        assert_eq!(fmt_bytes(4 << 20), "4MB");
+        assert_eq!(fmt_bytes(1000), "1000B");
+        assert_eq!(fmt_x(2.345), "2.35");
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn scales_are_consistent() {
+        for s in [Scale::Full, Scale::Quick] {
+            assert!(!s.rsg_scales().is_empty());
+            assert!(!s.msg_sizes().is_empty());
+            assert!(!s.densities().is_empty());
+            let (ranks, nodes) = s.rsg_largest();
+            assert_eq!(ranks % nodes, 0);
+            let (mr, mn, rpn) = s.moore_scale();
+            assert_eq!(mr, mn * rpn);
+        }
+    }
+}

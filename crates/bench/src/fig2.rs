@@ -1,0 +1,40 @@
+//! Fig. 2 — the §V performance model: predicted time of the Distance
+//! Halving vs naïve algorithms across message sizes and densities.
+
+use crate::common::{fmt_bytes, fmt_secs, fmt_x, Report, Scale};
+use nhood_core::model::fig2_sweep;
+use std::path::Path;
+
+/// Runs the model sweep and writes `fig2_model.csv`.
+pub fn run(scale: Scale, out: &Path) -> std::io::Result<Report> {
+    let n = scale.rsg_largest().0;
+    let deltas = scale.densities();
+    let sizes = scale.msg_sizes();
+    let mut report = Report::new(
+        "fig2_model",
+        &["delta", "msg_size", "model_naive_s", "model_dh_s", "model_speedup"],
+    );
+    for pt in fig2_sweep(n, &deltas, &sizes) {
+        report.push(vec![
+            format!("{}", pt.delta),
+            fmt_bytes(pt.m),
+            fmt_secs(pt.naive),
+            fmt_secs(pt.dh),
+            fmt_x(pt.naive / pt.dh),
+        ]);
+    }
+    report.write_csv(out)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_full_grid() {
+        let dir = std::env::temp_dir().join("nhood_fig2_test");
+        let r = run(Scale::Quick, &dir).unwrap();
+        assert_eq!(r.len(), 2 * 3); // densities × sizes
+    }
+}

@@ -1,0 +1,167 @@
+//! Figs. 4 and 5 — the Random Sparse Graph micro-benchmark.
+//!
+//! Fig. 4: absolute latency of Distance Halving vs the naïve (default
+//! Open MPI) algorithm at the largest scale, across densities and message
+//! sizes, next to the §V model predictions.
+//!
+//! Fig. 5: speedup of Distance Halving and of the best-K Common Neighbor
+//! algorithm over naïve, for 540/1080/2160 ranks (Full scale).
+
+use crate::common::{fmt_bytes, fmt_secs, fmt_x, geomean, Report, Scale, CN_KS};
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::sim_exec::simulate;
+use nhood_core::model::ModelParams;
+use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_topology::random::erdos_renyi;
+use std::path::Path;
+
+/// One measured sweep point.
+#[derive(Clone, Debug)]
+pub struct RsgPoint {
+    /// Rank count.
+    pub ranks: usize,
+    /// Density δ.
+    pub delta: f64,
+    /// Message size (bytes).
+    pub m: usize,
+    /// Naïve latency (s).
+    pub naive: f64,
+    /// Distance Halving latency (s).
+    pub dh: f64,
+    /// Best-K Common Neighbor latency (s).
+    pub cn: f64,
+    /// The winning K.
+    pub cn_k: usize,
+}
+
+/// Runs the RSG sweep for one (ranks, nodes) scale and one density.
+pub fn sweep_one(
+    ranks: usize,
+    nodes: usize,
+    delta: f64,
+    sizes: &[usize],
+    seed: u64,
+) -> Vec<RsgPoint> {
+    let layout = ClusterLayout::niagara(nodes, ranks / nodes);
+    let graph = erdos_renyi(ranks, delta, seed);
+    let comm = DistGraphComm::create_adjacent(graph, layout.clone()).expect("layout fits");
+    let cost = SimCost::niagara();
+
+    let naive_plan = comm.plan(Algorithm::Naive).expect("naive plan");
+    let dh_plan = comm.plan(Algorithm::DistanceHalving).expect("dh plan");
+    let cn_plans: Vec<(usize, nhood_core::CollectivePlan)> = CN_KS
+        .iter()
+        .map(|&k| (k, comm.plan(Algorithm::CommonNeighbor { k }).expect("cn plan")))
+        .collect();
+
+    sizes
+        .iter()
+        .map(|&m| {
+            let naive = simulate(&naive_plan, &layout, m, &cost).expect("sim").makespan;
+            let dh = simulate(&dh_plan, &layout, m, &cost).expect("sim").makespan;
+            let (cn_k, cn) = cn_plans
+                .iter()
+                .map(|(k, p)| (*k, simulate(p, &layout, m, &cost).expect("sim").makespan))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("CN_KS non-empty");
+            RsgPoint { ranks, delta, m, naive, dh, cn, cn_k }
+        })
+        .collect()
+}
+
+/// Fig. 4: latency table at the largest scale, with model columns.
+pub fn run_fig4(scale: Scale, out: &Path) -> std::io::Result<Report> {
+    let (ranks, nodes) = scale.rsg_largest();
+    let sizes = scale.msg_sizes();
+    let mut report = Report::new(
+        "fig4_rsg_latency",
+        &[
+            "ranks", "delta", "msg_size", "naive_s", "dh_s", "model_naive_s", "model_dh_s",
+        ],
+    );
+    for &delta in &scale.densities() {
+        let pts = sweep_one(ranks, nodes, delta, &sizes, 42);
+        let mp = ModelParams::niagara(ranks, delta);
+        for p in pts {
+            report.push(vec![
+                ranks.to_string(),
+                delta.to_string(),
+                fmt_bytes(p.m),
+                fmt_secs(p.naive),
+                fmt_secs(p.dh),
+                fmt_secs(mp.naive_time(p.m)),
+                fmt_secs(mp.dh_time(p.m)),
+            ]);
+        }
+    }
+    report.write_csv(out)?;
+    Ok(report)
+}
+
+/// Fig. 5: speedups over naïve for every scale × density × size.
+pub fn run_fig5(scale: Scale, out: &Path) -> std::io::Result<Report> {
+    let sizes = scale.msg_sizes();
+    let mut report = Report::new(
+        "fig5_rsg_speedup",
+        &["ranks", "delta", "msg_size", "dh_speedup", "cn_speedup", "cn_best_k"],
+    );
+    let mut summary = Report::new(
+        "fig5_rsg_speedup_avg",
+        &["ranks", "delta", "dh_avg_speedup", "cn_avg_speedup"],
+    );
+    for (ranks, nodes) in scale.rsg_scales() {
+        for &delta in &scale.densities() {
+            let pts = sweep_one(ranks, nodes, delta, &sizes, 42);
+            let mut dh_sp = Vec::new();
+            let mut cn_sp = Vec::new();
+            for p in &pts {
+                dh_sp.push(p.naive / p.dh);
+                cn_sp.push(p.naive / p.cn);
+                report.push(vec![
+                    ranks.to_string(),
+                    delta.to_string(),
+                    fmt_bytes(p.m),
+                    fmt_x(p.naive / p.dh),
+                    fmt_x(p.naive / p.cn),
+                    p.cn_k.to_string(),
+                ]);
+            }
+            summary.push(vec![
+                ranks.to_string(),
+                delta.to_string(),
+                fmt_x(geomean(&dh_sp)),
+                fmt_x(geomean(&cn_sp)),
+            ]);
+        }
+    }
+    report.write_csv(out)?;
+    summary.write_csv(out)?;
+    summary.print();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_sanity() {
+        let pts = sweep_one(72, 2, 0.3, &[64, 4096], 1);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.naive > 0.0 && p.dh > 0.0 && p.cn > 0.0);
+            assert!(CN_KS.contains(&p.cn_k));
+        }
+        // dense small messages: DH should win at this scale too
+        assert!(pts[0].dh < pts[0].naive, "DH {} vs naive {}", pts[0].dh, pts[0].naive);
+    }
+
+    #[test]
+    fn quick_reports_have_expected_shape() {
+        let dir = std::env::temp_dir().join("nhood_fig45_test");
+        let f4 = run_fig4(Scale::Quick, &dir).unwrap();
+        assert_eq!(f4.len(), 2 * 3); // densities × sizes
+        let f5 = run_fig5(Scale::Quick, &dir).unwrap();
+        assert_eq!(f5.len(), 1 * 2 * 3); // scales × densities × sizes
+    }
+}

@@ -1,0 +1,28 @@
+//! # nhood-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! Distance Halving paper (see `DESIGN.md` §4 for the experiment index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — §V model, DH vs naïve predictions |
+//! | [`fig45`] | Fig. 4 — RSG latency; Fig. 5 — RSG speedup scaling |
+//! | [`fig6`] | Fig. 6 — Moore-neighborhood speedups |
+//! | [`fig7`] | Table II + Fig. 7 — SpMM kernel |
+//! | [`fig8`] | Fig. 8 — pattern-creation overhead |
+//! | [`extras`] | §V worked example, §VII-A success rates, ablations |
+//!
+//! Run everything with `cargo run --release -p nhood-bench --bin repro --
+//! all`; Criterion micro-benchmarks of the library itself live under
+//! `benches/`.
+
+pub mod common;
+pub mod extras;
+pub mod figures;
+pub mod fig2;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod mirror;
+pub mod plot;

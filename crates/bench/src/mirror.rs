@@ -1,0 +1,36 @@
+//! The mirror-pairing (load-oblivious) Distance Halving variant, used by
+//! the selection ablation: identical halving structure, but agents are
+//! fixed reflections instead of negotiated shared-neighbor maxima.
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::builder::{build_pattern_with, BuildError, PairingStrategy};
+use nhood_core::lower::lower;
+use nhood_core::CollectivePlan;
+use nhood_topology::Topology;
+
+/// Builds an executable plan for mirror-paired distance halving.
+pub fn plan_mirror_halving(
+    graph: &Topology,
+    layout: &ClusterLayout,
+) -> Result<CollectivePlan, BuildError> {
+    let pattern = build_pattern_with(graph, layout, PairingStrategy::Mirror)?;
+    Ok(lower(&pattern, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn mirror_plan_validates_and_executes() {
+        let g = erdos_renyi(32, 0.4, 5);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let plan = plan_mirror_halving(&g, &layout).unwrap();
+        plan.validate(&g).unwrap();
+        let payloads = nhood_core::exec::virtual_exec::test_payloads(32, 8, 1);
+        let got = nhood_core::exec::virtual_exec::run_virtual(&plan, &g, &payloads).unwrap();
+        let want = nhood_core::exec::virtual_exec::reference_allgather(&g, &payloads);
+        assert_eq!(got, want);
+    }
+}

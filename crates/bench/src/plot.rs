@@ -1,0 +1,497 @@
+//! A small, dependency-free SVG chart renderer for the repro harness:
+//! log/linear line charts (Figs. 2, 4, 5) and grouped bar charts
+//! (Figs. 6, 7, 8). Output is deliberately simple, legible SVG — the
+//! shapes of the paper's figures, regenerable offline from the CSVs.
+
+/// Canvas size and margins (pixels).
+const W: f64 = 760.0;
+const H: f64 = 480.0;
+const ML: f64 = 78.0;
+const MR: f64 = 180.0; // room for the legend
+const MT: f64 = 48.0;
+const MB: f64 = 62.0;
+
+/// Categorical palette (colorblind-friendly-ish).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// One polyline of a line chart.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) samples; non-finite or non-positive-on-log points are
+    /// dropped at render time.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart with optional log axes.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Title, drawn above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Base-2 log x-axis (message sizes).
+    pub log_x: bool,
+    /// Base-10 log y-axis (latencies).
+    pub log_y: bool,
+    /// The data.
+    pub series: Vec<Series>,
+}
+
+/// Computes "nice" tick positions over `[lo, hi]` (linear).
+fn linear_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= 6.0)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut t = Vec::new();
+    let mut x = start;
+    while x <= hi + step * 1e-9 {
+        t.push(x);
+        x += step;
+    }
+    t
+}
+
+/// Decade ticks for a log axis over `[lo, hi]` (both > 0).
+fn log_ticks(lo: f64, hi: f64, base: f64) -> Vec<f64> {
+    let mut t = Vec::new();
+    let mut e = lo.log(base).floor();
+    while base.powf(e) <= hi * (1.0 + 1e-9) {
+        let v = base.powf(e);
+        if v >= lo * (1.0 - 1e-9) {
+            t.push(v);
+        }
+        e += 1.0;
+    }
+    if t.is_empty() {
+        t.push(lo);
+    }
+    t
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1_048_576.0 && (v / 1_048_576.0).fract().abs() < 1e-9 {
+        format!("{}M", (v / 1_048_576.0) as i64)
+    } else if a >= 1024.0 && (v / 1024.0).fract().abs() < 1e-9 {
+        format!("{}K", (v / 1024.0) as i64)
+    } else if a >= 1.0 && v.fract().abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else if a >= 0.01 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.0e}")
+    }
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let mut pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| {
+                x.is_finite()
+                    && y.is_finite()
+                    && (!self.log_x || x > 0.0)
+                    && (!self.log_y || y > 0.0)
+            })
+            .collect();
+        if pts.is_empty() {
+            pts.push((1.0, 1.0));
+        }
+        let (x0, mut x1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+        let (mut y0, mut y1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+        if x0 == x1 {
+            x1 = x0 + 1.0;
+        }
+        if y0 == y1 {
+            y1 = y0 * 1.5 + 1.0;
+        }
+        if !self.log_y {
+            y0 = y0.min(0.0);
+        }
+
+        let tx = |x: f64| -> f64 {
+            let f = if self.log_x {
+                (x.ln() - x0.ln()) / (x1.ln() - x0.ln())
+            } else {
+                (x - x0) / (x1 - x0)
+            };
+            ML + f * (W - ML - MR)
+        };
+        let ty = |y: f64| -> f64 {
+            let f = if self.log_y {
+                (y.ln() - y0.ln()) / (y1.ln() - y0.ln())
+            } else {
+                (y - y0) / (y1 - y0)
+            };
+            H - MB - f * (H - MT - MB)
+        };
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+        ));
+        svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        svg.push_str(&format!(
+            r#"<text x="{}" y="26" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            esc(&self.title)
+        ));
+
+        // axes frame
+        svg.push_str(&format!(
+            r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - ML - MR,
+            H - MT - MB
+        ));
+        // ticks
+        let xticks = if self.log_x { log_ticks(x0, x1, 2.0) } else { linear_ticks(x0, x1) };
+        // thin dense log-x ticks down to ~8 labels
+        let stride = xticks.len().div_ceil(8).max(1);
+        for (i, &v) in xticks.iter().enumerate() {
+            if i % stride != 0 {
+                continue;
+            }
+            let x = tx(v);
+            svg.push_str(&format!(
+                r##"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="#ccc"/>"##,
+                MT,
+                H - MB
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{x:.1}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+                H - MB + 18.0,
+                fmt_tick(v)
+            ));
+        }
+        let yticks = if self.log_y { log_ticks(y0, y1, 10.0) } else { linear_ticks(y0, y1) };
+        for &v in &yticks {
+            let y = ty(v);
+            svg.push_str(&format!(
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ccc"/>"##,
+                W - MR
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{:.1}" font-size="12" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                y + 4.0,
+                fmt_tick(v)
+            ));
+        }
+        // axis labels
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="14" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 16.0,
+            esc(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="20" y="{}" font-size="14" text-anchor="middle" transform="rotate(-90 20 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label)
+        ));
+
+        // series
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .filter(|&&(x, y)| {
+                    x.is_finite()
+                        && y.is_finite()
+                        && (!self.log_x || x > 0.0)
+                        && (!self.log_y || y > 0.0)
+                })
+                .map(|&(x, y)| format!("{:.1},{:.1}", tx(x), ty(y)))
+                .collect();
+            if path.len() >= 2 {
+                svg.push_str(&format!(
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    path.join(" ")
+                ));
+            }
+            for p in &path {
+                let (px, py) = p.split_once(',').expect("formatted above");
+                svg.push_str(&format!(r#"<circle cx="{px}" cy="{py}" r="2.6" fill="{color}"/>"#));
+            }
+            // legend entry
+            let ly = MT + 14.0 + i as f64 * 20.0;
+            let lx = W - MR + 12.0;
+            svg.push_str(&format!(
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                lx + 22.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                esc(&s.name)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+/// A grouped bar chart (categories × groups).
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    /// Title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category labels along the x-axis.
+    pub categories: Vec<String>,
+    /// Bar groups: (legend name, one value per category).
+    pub groups: Vec<(String, Vec<f64>)>,
+    /// Draw a reference line at y = 1 (speedup parity).
+    pub unit_line: bool,
+}
+
+impl BarChart {
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    /// Panics if a group's value count differs from the category count.
+    pub fn render(&self) -> String {
+        for (name, vals) in &self.groups {
+            assert_eq!(vals.len(), self.categories.len(), "group {name} ragged");
+        }
+        let y1 = self
+            .groups
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(1e-12f64, f64::max)
+            * 1.12;
+        let y0 = 0.0;
+        let ty = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
+
+        let ncat = self.categories.len().max(1);
+        let ngrp = self.groups.len().max(1);
+        let cat_w = (W - ML - MR) / ncat as f64;
+        let bar_w = (cat_w * 0.8) / ngrp as f64;
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+        ));
+        svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+        svg.push_str(&format!(
+            r#"<text x="{}" y="26" font-size="17" text-anchor="middle" font-weight="bold">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            esc(&self.title)
+        ));
+        svg.push_str(&format!(
+            r##"<rect x="{ML}" y="{MT}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            W - ML - MR,
+            H - MT - MB
+        ));
+        for &v in &linear_ticks(y0, y1) {
+            let y = ty(v);
+            svg.push_str(&format!(
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ccc"/>"##,
+                W - MR
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{:.1}" font-size="12" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                y + 4.0,
+                fmt_tick(v)
+            ));
+        }
+        if self.unit_line && y1 > 1.0 {
+            let y = ty(1.0);
+            svg.push_str(&format!(
+                r##"<line x1="{ML}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#888" stroke-dasharray="5,4"/>"##,
+                W - MR
+            ));
+        }
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let cx = ML + (ci as f64 + 0.5) * cat_w;
+            svg.push_str(&format!(
+                r#"<text x="{cx:.1}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+                H - MB + 18.0,
+                esc(cat)
+            ));
+            for (gi, (_, vals)) in self.groups.iter().enumerate() {
+                let v = vals[ci].max(0.0);
+                let x = cx - cat_w * 0.4 + gi as f64 * bar_w;
+                let y = ty(v);
+                svg.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                    bar_w * 0.92,
+                    (H - MB - y).max(0.0),
+                    COLORS[gi % COLORS.len()]
+                ));
+            }
+        }
+        for (gi, (name, _)) in self.groups.iter().enumerate() {
+            let ly = MT + 14.0 + gi as f64 * 20.0;
+            let lx = W - MR + 12.0;
+            svg.push_str(&format!(
+                r#"<rect x="{lx}" y="{}" width="14" height="12" fill="{}"/>"#,
+                ly - 8.0,
+                COLORS[gi % COLORS.len()]
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                lx + 20.0,
+                ly + 3.0,
+                esc(name)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "T & test".into(),
+            x_label: "message size".into(),
+            y_label: "latency (s)".into(),
+            log_x: true,
+            log_y: true,
+            series: vec![
+                Series { name: "naive".into(), points: vec![(8.0, 1e-4), (64.0, 2e-4), (512.0, 1e-3)] },
+                Series { name: "dh".into(), points: vec![(8.0, 5e-5), (64.0, 6e-5), (512.0, 4e-4)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn line_chart_renders_all_series() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("naive") && svg.contains("dh"));
+        assert!(svg.contains("T &amp; test"), "title must be escaped");
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut c = chart();
+        c.series[0].points.push((0.0, 1e-4)); // invalid on log-x
+        c.series[0].points.push((16.0, -1.0)); // invalid on log-y
+        let svg = c.render();
+        assert_eq!(svg.matches("<circle").count(), 6, "bad points dropped");
+    }
+
+    #[test]
+    fn single_point_series_has_marker_but_no_line() {
+        let c = LineChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: false,
+            log_y: false,
+            series: vec![Series { name: "one".into(), points: vec![(1.0, 2.0)] }],
+        };
+        let svg = c.render();
+        assert_eq!(svg.matches("<polyline").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn empty_chart_still_valid_svg() {
+        let c = LineChart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_x: true,
+            log_y: true,
+            series: vec![],
+        };
+        let svg = c.render();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn tick_helpers() {
+        let t = linear_ticks(0.0, 10.0);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        assert!(t.iter().all(|&v| (0.0..=10.0 + 1e-9).contains(&v)));
+        let lt = log_ticks(8.0, 4_194_304.0, 2.0);
+        assert_eq!(lt.first().copied(), Some(8.0));
+        assert!(lt.len() >= 15);
+        let d = log_ticks(1e-5, 1e-2, 10.0);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(4096.0), "4K");
+        assert_eq!(fmt_tick(4_194_304.0), "4M");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(1e-5), "1e-5");
+        assert_eq!(fmt_tick(30.0), "30");
+        assert_eq!(fmt_tick(0.0), "0");
+    }
+
+    #[test]
+    fn bar_chart_renders_groups() {
+        let b = BarChart {
+            title: "spmm".into(),
+            y_label: "speedup".into(),
+            categories: vec!["a".into(), "b".into(), "c".into()],
+            groups: vec![
+                ("dh".into(), vec![1.5, 3.0, 0.6]),
+                ("cn".into(), vec![1.1, 0.9, 0.8]),
+            ],
+            unit_line: true,
+        };
+        let svg = b.render();
+        // 6 bars + 2 legend swatches
+        assert_eq!(svg.matches("<rect").count(), 6 + 2 + 2, "bars + legend + frame + bg");
+        assert!(svg.contains("stroke-dasharray"), "unit line present");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn bar_chart_rejects_ragged_groups() {
+        BarChart {
+            title: "t".into(),
+            y_label: "y".into(),
+            categories: vec!["a".into()],
+            groups: vec![("g".into(), vec![1.0, 2.0])],
+            unit_line: false,
+        }
+        .render();
+    }
+}

@@ -1,0 +1,412 @@
+//! The `nhood` subcommands, written against `impl Write` so tests can
+//! capture their output.
+
+use crate::args::{parse_bytes, ArgError, Args};
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::sim_exec::simulate;
+use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_topology::io::{read_edge_list, write_edge_list};
+use nhood_topology::Topology;
+use std::io::Write;
+
+/// Subcommand failure: message plus a suggestion to run `--help`.
+pub fn fail(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+impl From<std::io::Error> for ArgError {
+    fn from(e: std::io::Error) -> Self {
+        ArgError(format!("I/O error: {e}"))
+    }
+}
+
+/// Parses the `--algo` flag.
+pub fn parse_algo(args: &Args) -> Result<Algorithm, ArgError> {
+    match args.get("algo").unwrap_or("dh") {
+        "naive" => Ok(Algorithm::Naive),
+        "dh" | "distance-halving" => Ok(Algorithm::DistanceHalving),
+        "cn" | "common-neighbor" => {
+            let k = args.get_parsed("k", 8usize)?;
+            Ok(Algorithm::CommonNeighbor { k })
+        }
+        "leader" | "hierarchical-leader" => {
+            let l = args.get_parsed("leaders", 2usize)?;
+            Ok(Algorithm::HierarchicalLeader { leaders_per_node: l })
+        }
+        other => Err(fail(format!("unknown --algo '{other}' (naive | dh | cn | leader)"))),
+    }
+}
+
+/// Parses the layout flags `--nodes`, `--sockets`, `--cores` (defaults
+/// sized to fit `n` ranks at 2×8 per node).
+pub fn parse_layout(args: &Args, n: usize) -> Result<ClusterLayout, ArgError> {
+    let sockets = args.get_parsed("sockets", 2usize)?;
+    let cores = args.get_parsed("cores", 8usize)?;
+    let per_node = sockets * cores;
+    let default_nodes = n.div_ceil(per_node).max(1);
+    let nodes = args.get_parsed("nodes", default_nodes)?;
+    if nodes * per_node < n {
+        return Err(fail(format!(
+            "layout {nodes}x{sockets}x{cores} holds {} ranks, need {n}",
+            nodes * per_node
+        )));
+    }
+    Ok(ClusterLayout::new(nodes, sockets, cores))
+}
+
+/// Loads a topology from an edge-list file.
+pub fn load_topology(path: &str) -> Result<Topology, ArgError> {
+    let f = std::fs::File::open(path).map_err(|e| fail(format!("cannot open {path}: {e}")))?;
+    read_edge_list(std::io::BufReader::new(f)).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// `nhood gen <er|moore|vonneumann> [flags] <out-file>`
+pub fn cmd_gen(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let kind = args.pos(1).ok_or_else(|| fail("gen: which generator? (er | moore | vonneumann)"))?;
+    let out_path = args.pos(2).ok_or_else(|| fail("gen: missing output file"))?;
+    let graph = match kind {
+        "er" => {
+            let n = args.require::<usize>("n")?;
+            let delta = args.require::<f64>("delta")?;
+            if !(0.0..=1.0).contains(&delta) {
+                return Err(fail("--delta must be in [0, 1]"));
+            }
+            let seed = args.get_parsed("seed", 42u64)?;
+            nhood_topology::random::erdos_renyi(n, delta, seed)
+        }
+        "moore" => {
+            let n = args.require::<usize>("n")?;
+            let r = args.get_parsed("r", 1usize)?;
+            let d = args.get_parsed("d", 2usize)?;
+            let spec = nhood_topology::MooreSpec { r, d };
+            if nhood_topology::moore::grid_dims(n, spec).is_none() {
+                return Err(fail(format!("n={n} has no {d}-D grid with sides > {}", 2 * r)));
+            }
+            nhood_topology::moore::moore(n, spec)
+        }
+        "vonneumann" => {
+            let n = args.require::<usize>("n")?;
+            let r = args.get_parsed("r", 1usize)?;
+            let d = args.get_parsed("d", 2usize)?;
+            let spec = nhood_topology::MooreSpec { r, d };
+            let dims = nhood_topology::moore::grid_dims(n, spec)
+                .ok_or_else(|| fail(format!("n={n} has no {d}-D grid with sides > {}", 2 * r)))?;
+            nhood_topology::stencil::von_neumann_on_grid(&dims, r)
+        }
+        other => return Err(fail(format!("unknown generator '{other}'"))),
+    };
+    let f = std::fs::File::create(out_path)?;
+    write_edge_list(&graph, std::io::BufWriter::new(f))?;
+    writeln!(
+        w,
+        "wrote {}: {} ranks, {} edges (density {:.4})",
+        out_path,
+        graph.n(),
+        graph.edge_count(),
+        graph.density()
+    )?;
+    Ok(())
+}
+
+/// `nhood plan <edge-list> [--algo ..] [--save plan.bin] [layout flags]`
+pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("plan: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let comm = DistGraphComm::create_adjacent(graph, layout)
+        .map_err(|e| fail(e.to_string()))?;
+    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+    if let Some(save) = args.get("save") {
+        nhood_core::plan_io::save_plan(&plan, std::path::Path::new(save))?;
+        writeln!(w, "plan saved to {save}")?;
+    }
+    writeln!(w, "algorithm:        {algo}")?;
+    writeln!(w, "ranks:            {}", plan.n())?;
+    writeln!(w, "phases:           {}", plan.phase_count())?;
+    writeln!(w, "messages:         {}", plan.message_count())?;
+    writeln!(w, "payload blocks:   {}", plan.total_blocks_sent())?;
+    writeln!(w, "largest message:  {} blocks", plan.max_message_blocks())?;
+    let loads = plan.sends_per_rank();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let mean = if loads.is_empty() {
+        0.0
+    } else {
+        loads.iter().sum::<usize>() as f64 / loads.len() as f64
+    };
+    writeln!(w, "sends per rank:   max {max}, mean {mean:.1}")?;
+    if let Some(s) = plan.selection {
+        writeln!(
+            w,
+            "selection:        {} signals, success rate {:.1}%",
+            s.total_signals(),
+            s.success_rate() * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+/// `nhood simulate <edge-list> [--algo ..] [--sizes 64,4K,1M] [layout flags]`
+pub fn cmd_simulate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("simulate: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let sizes: Vec<usize> = args
+        .get("sizes")
+        .unwrap_or("64,4K,256K")
+        .split(',')
+        .map(parse_bytes)
+        .collect::<Result<_, _>>()?;
+    let plan = if let Some(loaded) = args.get("load") {
+        let p = nhood_core::plan_io::load_plan(std::path::Path::new(loaded))
+            .map_err(|e| fail(e.to_string()))?;
+        p.validate(&graph).map_err(|e| fail(format!("loaded plan invalid for this topology: {e}")))?;
+        p
+    } else {
+        let comm = DistGraphComm::create_adjacent(graph, layout.clone())
+            .map_err(|e| fail(e.to_string()))?;
+        comm.plan(algo).map_err(|e| fail(e.to_string()))?
+    };
+    let cost = SimCost::niagara();
+    writeln!(w, "{:>12} {:>14} {:>12} {:>12}", "msg size", "latency", "internode", "intrasocket")?;
+    for m in sizes {
+        let rep = simulate(&plan, &layout, m, &cost).map_err(|e| fail(e.to_string()))?;
+        writeln!(
+            w,
+            "{:>12} {:>12.2}us {:>12} {:>12}",
+            m,
+            rep.makespan * 1e6,
+            rep.stats.internode_msgs(),
+            rep.stats.msgs[0]
+        )?;
+    }
+    Ok(())
+}
+
+/// `nhood compare <edge-list> [--sizes ..] [layout flags]` — all three
+/// algorithms side by side.
+pub fn cmd_compare(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("compare: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let sizes: Vec<usize> = args
+        .get("sizes")
+        .unwrap_or("64,4K,256K")
+        .split(',')
+        .map(parse_bytes)
+        .collect::<Result<_, _>>()?;
+    let k = args.get_parsed("k", 8usize)?;
+    let comm =
+        DistGraphComm::create_adjacent(graph, layout.clone()).map_err(|e| fail(e.to_string()))?;
+    let cost = SimCost::niagara();
+    let plans = [
+        ("naive", comm.plan(Algorithm::Naive).map_err(|e| fail(e.to_string()))?),
+        ("cn", comm.plan(Algorithm::CommonNeighbor { k }).map_err(|e| fail(e.to_string()))?),
+        ("dh", comm.plan(Algorithm::DistanceHalving).map_err(|e| fail(e.to_string()))?),
+    ];
+    writeln!(w, "{:>12} {:>14} {:>14} {:>14} {:>10}", "msg size", "naive", "cn", "dh", "dh gain")?;
+    for m in sizes {
+        let mut t = [0.0f64; 3];
+        for (i, (_, plan)) in plans.iter().enumerate() {
+            t[i] = simulate(plan, &layout, m, &cost).map_err(|e| fail(e.to_string()))?.makespan;
+        }
+        writeln!(
+            w,
+            "{:>12} {:>12.2}us {:>12.2}us {:>12.2}us {:>9.2}x",
+            m,
+            t[0] * 1e6,
+            t[1] * 1e6,
+            t[2] * 1e6,
+            t[0] / t[2]
+        )?;
+    }
+    Ok(())
+}
+
+/// `nhood validate <edge-list> [--algo ..] [layout flags]` — plan
+/// validation plus a real execution against the reference.
+pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("validate: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let comm = DistGraphComm::create_adjacent(graph.clone(), layout)
+        .map_err(|e| fail(e.to_string()))?;
+    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+    plan.validate(&graph).map_err(|e| fail(format!("plan validation failed: {e}")))?;
+    writeln!(w, "plan validation: ok (exactly-once delivery holds)")?;
+    let payloads = test_payloads(graph.n(), 32, 0xC0FFEE);
+    let got = run_virtual(&plan, &graph, &payloads).map_err(|e| fail(e.to_string()))?;
+    if got != reference_allgather(&graph, &payloads) {
+        return Err(fail("execution mismatch against the MPI-semantics reference"));
+    }
+    writeln!(w, "execution check: ok ({} ranks, 32-byte payloads)", graph.n())?;
+    Ok(())
+}
+
+/// `nhood recommend <edge-list> [--size 4K] [layout flags]` — suggest an
+/// algorithm for this topology/size and show the candidates' simulated
+/// latencies.
+pub fn cmd_recommend(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("recommend: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let m = parse_bytes(args.get("size").unwrap_or("4K"))?;
+    let rec = nhood_core::select_algo::recommend(&graph, &layout, m);
+    writeln!(w, "recommended: {rec} (for {m}-byte payloads)")?;
+    let comm =
+        DistGraphComm::create_adjacent(graph, layout.clone()).map_err(|e| fail(e.to_string()))?;
+    let cost = SimCost::niagara();
+    for algo in [
+        Algorithm::Naive,
+        Algorithm::CommonNeighbor { k: 8 },
+        Algorithm::HierarchicalLeader { leaders_per_node: 8 },
+        Algorithm::DistanceHalving,
+    ] {
+        let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+        let t = simulate(&plan, &layout, m, &cost).map_err(|e| fail(e.to_string()))?;
+        let marker = if algo == rec { "  <-- recommended" } else { "" };
+        writeln!(w, "{:>28}: {:>10.2} us{}", algo.to_string(), t.makespan * 1e6, marker)?;
+    }
+    Ok(())
+}
+
+/// `nhood trace <edge-list> [--algo ..] [--size 4K] [--out trace.csv]`
+/// — simulate one collective and dump the per-message timeline.
+pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    let path = args.pos(1).ok_or_else(|| fail("trace: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let m = parse_bytes(args.get("size").unwrap_or("4K"))?;
+    let comm =
+        DistGraphComm::create_adjacent(graph, layout.clone()).map_err(|e| fail(e.to_string()))?;
+    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+    let cost = SimCost::niagara();
+    let schedule = nhood_core::exec::sim_exec::to_schedule(&plan, m, &cost);
+    let (report, traces) = nhood_simnet::Engine::new(&layout, cost.net)
+        .run_traced(&schedule)
+        .map_err(|e| fail(e.to_string()))?;
+    let out_path = args.get("out").unwrap_or("trace.csv");
+    let f = std::fs::File::create(out_path)?;
+    nhood_simnet::write_trace_csv(&traces, std::io::BufWriter::new(f))?;
+    writeln!(
+        w,
+        "{} messages traced over {:.2} us; timeline written to {out_path}",
+        traces.len(),
+        report.makespan * 1e6
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Spec;
+
+    const SPEC: Spec = Spec {
+        valued: &[
+            "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
+            "sizes", "size", "out", "save", "load",
+        ],
+        switches: &[],
+    };
+
+    fn args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string()), &SPEC).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_plan_simulate_validate_pipeline() {
+        let path = tmp("nhood_cli_test.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "48", "--delta", "0.3"]), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("48 ranks"));
+
+        let mut out = Vec::new();
+        cmd_plan(&args(&["plan", &path, "--algo", "dh"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("distance-halving"), "{text}");
+        assert!(text.contains("selection:"), "{text}");
+
+        let mut out = Vec::new();
+        cmd_simulate(&args(&["simulate", &path, "--algo", "naive", "--sizes", "64,4K"]), &mut out)
+            .unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).lines().count(), 3);
+
+        let mut out = Vec::new();
+        cmd_compare(&args(&["compare", &path, "--sizes", "64"]), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("dh gain"));
+
+        let mut out = Vec::new();
+        cmd_validate(&args(&["validate", &path, "--algo", "cn", "--k", "4"]), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("execution check: ok"));
+
+        // plan persistence round trip
+        let plan_path = tmp("nhood_cli_plan.bin");
+        let mut out = Vec::new();
+        cmd_plan(&args(&["plan", &path, "--algo", "dh", "--save", &plan_path]), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("plan saved"));
+        let mut out = Vec::new();
+        cmd_simulate(
+            &args(&["simulate", &path, "--load", &plan_path, "--sizes", "64"]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).lines().count(), 2);
+
+        let mut out = Vec::new();
+        cmd_recommend(&args(&["recommend", &path, "--size", "64"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("recommended:"), "{text}");
+        assert!(text.contains("<-- recommended"), "{text}");
+
+        let trace_path = tmp("nhood_cli_trace.csv");
+        let mut out = Vec::new();
+        cmd_trace(
+            &args(&["trace", &path, "--algo", "dh", "--size", "1K", "--out", &trace_path]),
+            &mut out,
+        )
+        .unwrap();
+        let csv = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(csv.starts_with("src,dst,tag,bytes,level,posted,arrival"));
+        assert!(csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn gen_moore_and_vonneumann() {
+        for kind in ["moore", "vonneumann"] {
+            let path = tmp(&format!("nhood_cli_{kind}.el"));
+            let mut out = Vec::new();
+            cmd_gen(&args(&["gen", kind, &path, "--n", "64", "--r", "1", "--d", "2"]), &mut out)
+                .unwrap();
+            let g = load_topology(&path).unwrap();
+            assert_eq!(g.n(), 64);
+            assert!(g.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut out = Vec::new();
+        assert!(cmd_gen(&args(&["gen", "er", "/tmp/x.el", "--n", "8"]), &mut out).is_err()); // no delta
+        assert!(cmd_gen(&args(&["gen", "bogus", "/tmp/x.el"]), &mut out).is_err());
+        assert!(cmd_plan(&args(&["plan", "/nonexistent.el"]), &mut out).is_err());
+        // delta range check
+        assert!(cmd_gen(
+            &args(&["gen", "er", "/tmp/x.el", "--n", "8", "--delta", "1.5"]),
+            &mut out
+        )
+        .is_err());
+        // layout too small
+        let path = tmp("nhood_cli_small.el");
+        cmd_gen(&args(&["gen", "er", &path, "--n", "48", "--delta", "0.2"]), &mut out).unwrap();
+        assert!(cmd_plan(&args(&["plan", &path, "--nodes", "1", "--cores", "2"]), &mut out).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! `nhood` — generate topologies, plan neighborhood allgathers, simulate
+//! cluster latencies, and validate plans from the command line.
+//!
+//! ```text
+//! nhood gen er out.el --n 2160 --delta 0.3 [--seed 42]
+//! nhood gen moore out.el --n 2048 --r 2 --d 2
+//! nhood gen vonneumann out.el --n 1024 --r 1 --d 2
+//! nhood plan out.el --algo dh [--nodes 60 --sockets 2 --cores 18]
+//! nhood simulate out.el --algo cn --k 8 --sizes 64,4K,1M
+//! nhood compare out.el --sizes 64,4K
+//! nhood validate out.el --algo dh
+//! ```
+
+mod args;
+mod commands;
+
+use args::{Args, Spec};
+
+const SPEC: Spec = Spec {
+    valued: &[
+        "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
+        "sizes", "size", "out", "save", "load",
+    ],
+    switches: &["help"],
+};
+
+const USAGE: &str = "\
+nhood <command> [args]
+
+commands:
+  gen <er|moore|vonneumann> <out-file> --n N [--delta D | --r R --d DIM] [--seed S]
+  plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin] [layout flags]
+  simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M] [layout flags]
+  compare <edge-list> [--sizes ..] [--k K] [layout flags]
+  validate <edge-list> [--algo ..] [layout flags]
+  trace <edge-list> [--algo ..] [--size 4K] [--out trace.csv] [layout flags]
+  recommend <edge-list> [--size 4K] [layout flags]
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv, &SPEC) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if parsed.has("help") || parsed.pos_len() == 0 {
+        print!("{USAGE}");
+        return;
+    }
+    let mut out = std::io::stdout().lock();
+    let result = match parsed.pos(0).expect("checked above") {
+        "gen" => commands::cmd_gen(&parsed, &mut out),
+        "plan" => commands::cmd_plan(&parsed, &mut out),
+        "simulate" => commands::cmd_simulate(&parsed, &mut out),
+        "compare" => commands::cmd_compare(&parsed, &mut out),
+        "validate" => commands::cmd_validate(&parsed, &mut out),
+        "trace" => commands::cmd_trace(&parsed, &mut out),
+        "recommend" => commands::cmd_recommend(&parsed, &mut out),
+        other => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # nhood-cluster
+//!
+//! Cluster layout, rank placement and hierarchical Hockney network
+//! parameters for the Distance Halving neighborhood allgather study.
+//!
+//! [`ClusterLayout`] answers "where does rank *r* live, and how close are
+//! ranks *a* and *b*?"; [`HockneyParams`] answers "what does an *m*-byte
+//! message between them cost?". Together they stand in for the paper's
+//! Niagara testbed (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! ```
+//! use nhood_cluster::{ClusterLayout, HockneyParams, Locality};
+//!
+//! let cluster = ClusterLayout::niagara(60, 36); // 2160 ranks
+//! assert_eq!(cluster.ranks_per_socket(), 18);
+//! assert_eq!(cluster.locality(0, 17), Locality::SameSocket);
+//! assert_eq!(cluster.locality(0, 18), Locality::SameNode);
+//! let net = HockneyParams::niagara();
+//! assert!(net.time(cluster.locality(0, 17), 1024) < net.time(cluster.locality(0, 999), 1024));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hockney;
+pub mod layout;
+
+pub use hockney::{Hockney, HockneyParams, Seconds};
+pub use layout::{ClusterLayout, Locality, Location, Placement, Rank};

@@ -1,0 +1,618 @@
+//! The Distance Halving pattern builder (Algorithm 1 of the paper).
+//!
+//! Runs once per communicator (the `MPI_Dist_graph_create_adjacent`
+//! hook). Every rank recursively halves the communicator; in each step
+//! the two halves of every segment run the joint agent/origin selection
+//! of [`crate::selection`] (lower half proposes first, then the upper
+//! half — Algorithm 1 lines 14–24), responsibilities move from each rank
+//! to its agent (the descriptor `D`), and each rank's buffer grows by its
+//! origin's buffer. Halving stops for a segment once it fits on one
+//! socket (`≤ L` ranks).
+//!
+//! Two builders produce identical [`DhPattern`] structures:
+//!
+//! * this module's **sequential global emulation** (deterministic,
+//!   scales to thousands of ranks, counts every protocol message for the
+//!   Fig. 8 overhead analysis);
+//! * [`crate::distributed_builder`], which actually runs the negotiation
+//!   with one thread per rank over real channels — the closest analogue
+//!   of the paper's MPI-side code.
+//!
+//! Both share [`assemble_pattern`]: given each step's (agent, origin)
+//! decisions, the responsibility bookkeeping (descriptor `D`, `O_org`,
+//! buffer growth) is identical.
+//!
+//! # Interpretation notes (where the paper's pseudocode is ambiguous)
+//!
+//! * Candidate scoring uses the *static* outgoing-neighbor sets (the
+//!   paper's matrix `A` is computed once in `calculate_A`), so a rank may
+//!   select an agent even after all of its own h2 targets are already
+//!   offloaded — exactly as the published pseudocode behaves.
+//! * A failed agent search leaves the rank's remaining h2
+//!   responsibilities with the rank itself; they are delivered as direct
+//!   sends in the final phase ("directly after the halving phase",
+//!   Fig. 1's caption).
+//! * Self-targets are satisfied by the receive-buffer copy when a block
+//!   arrives (Algorithm 4 lines 15–17) and therefore never appear in the
+//!   responsibility map.
+
+use crate::pattern::{in_range, range_len, split_half, DhPattern, DhStep, RankPattern, SelectionStats};
+use crate::selection::run_round;
+use nhood_cluster::ClusterLayout;
+use nhood_topology::{Rank, Topology};
+use std::collections::BTreeMap;
+
+/// Errors from pattern building.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The layout holds fewer cores than the graph has ranks.
+    LayoutTooSmall {
+        /// Ranks in the topology.
+        ranks: usize,
+        /// Cores in the layout.
+        capacity: usize,
+    },
+    /// Distance Halving needs contiguous socket ranges, i.e. block
+    /// placement.
+    NonBlockPlacement,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::LayoutTooSmall { ranks, capacity } => {
+                write!(f, "{ranks} ranks exceed layout capacity {capacity}")
+            }
+            BuildError::NonBlockPlacement => {
+                write!(f, "Distance Halving requires block rank placement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// How agents are paired with origins in each halving step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PairingStrategy {
+    /// The paper's load-aware joint negotiation (Algorithms 2–3): agents
+    /// are chosen by maximum shared outgoing neighbors.
+    #[default]
+    LoadAware,
+    /// Topology-oblivious mirror pairing (Sack–Gropp-style): rank `i` of
+    /// one half always pairs with rank `i` of the other, regardless of
+    /// the communication graph. Used to ablate the "load-aware" part of
+    /// the contribution.
+    Mirror,
+}
+
+/// One rank's outcome in one halving step:
+/// `(rank, agent, origin, h1, h2)`.
+pub type Decision = (Rank, Option<Rank>, Option<Rank>, (Rank, Rank), (Rank, Rank));
+
+/// Checks the builder preconditions shared by every strategy.
+pub(crate) fn check_inputs(graph: &Topology, layout: &ClusterLayout) -> Result<(), BuildError> {
+    if graph.n() > layout.capacity() {
+        return Err(BuildError::LayoutTooSmall {
+            ranks: graph.n(),
+            capacity: layout.capacity(),
+        });
+    }
+    if layout.placement() != nhood_cluster::Placement::Block {
+        return Err(BuildError::NonBlockPlacement);
+    }
+    Ok(())
+}
+
+/// The segment list at each halving step: `segments_per_step(n, l)[t]` is
+/// the set of ranges still being halved at step `t` (ranges of length
+/// `≤ l` have stopped). Empty when `n ≤ l`.
+pub fn segments_per_step(n: usize, l: usize) -> Vec<Vec<(Rank, Rank)>> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let mut segments = vec![(0, n - 1)];
+    while segments.iter().any(|&s| range_len(s) > l) {
+        let active: Vec<(Rank, Rank)> =
+            segments.iter().copied().filter(|&s| range_len(s) > l).collect();
+        out.push(active.clone());
+        let mut next = Vec::with_capacity(segments.len() * 2);
+        for seg in segments {
+            if range_len(seg) <= l {
+                next.push(seg);
+            } else {
+                let (_, lo, hi) = split_half(seg.0, seg.1);
+                next.push(lo);
+                next.push(hi);
+            }
+        }
+        segments = next;
+    }
+    out
+}
+
+/// Builds the Distance Halving pattern with the paper's load-aware
+/// selection.
+pub fn build_pattern(graph: &Topology, layout: &ClusterLayout) -> Result<DhPattern, BuildError> {
+    build_pattern_with(graph, layout, PairingStrategy::LoadAware)
+}
+
+/// Builds a Distance Halving pattern with an explicit pairing strategy.
+pub fn build_pattern_with(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    strategy: PairingStrategy,
+) -> Result<DhPattern, BuildError> {
+    check_inputs(graph, layout)?;
+    let l = layout.ranks_per_socket();
+    let out_sets = graph.out_bitsets();
+    let mut stats = SelectionStats::default();
+    let mut steps: Vec<Vec<Decision>> = Vec::new();
+
+    for active in segments_per_step(graph.n(), l) {
+        let mut decisions: Vec<Decision> = Vec::new();
+        for seg in active {
+            let (_, lower, upper) = split_half(seg.0, seg.1);
+            let lower_ranks: Vec<Rank> = (lower.0..=lower.1).collect();
+            let upper_ranks: Vec<Rank> = (upper.0..=upper.1).collect();
+
+            let (round_a, round_b) = match strategy {
+                PairingStrategy::LoadAware => {
+                    // Round A: lower half proposes (find_agent), upper
+                    // accepts. Score = shared outgoing neighbors inside
+                    // the acceptor-side half (the proposer's h2).
+                    let a = run_round(&lower_ranks, &upper_ranks, |p, q| {
+                        out_sets[p].intersection_count_in_range(&out_sets[q], upper.0, upper.1)
+                    });
+                    // Round B: upper half proposes, lower accepts.
+                    let b = run_round(&upper_ranks, &lower_ranks, |p, q| {
+                        out_sets[p].intersection_count_in_range(&out_sets[q], lower.0, lower.1)
+                    });
+                    (a, b)
+                }
+                PairingStrategy::Mirror => {
+                    // i-th lower rank pairs with i-th upper rank, both
+                    // directions, no negotiation. The (possibly) unpaired
+                    // extra rank of the bigger half finds no agent.
+                    let pairs = lower_ranks.iter().copied().zip(upper_ranks.iter().copied());
+                    let mut a = crate::selection::RoundResult::default();
+                    let mut b = crate::selection::RoundResult::default();
+                    a.stats.agent_searches = lower_ranks.len();
+                    b.stats.agent_searches = upper_ranks.len();
+                    for (lo, hi) in pairs {
+                        a.matched.insert(lo, hi);
+                        b.matched.insert(hi, lo);
+                        a.stats.agents_found += 1;
+                        b.stats.agents_found += 1;
+                    }
+                    (a, b)
+                }
+            };
+            stats.merge(&round_a.stats);
+            stats.merge(&round_b.stats);
+
+            // acceptor → proposer inversions
+            let inv_a: std::collections::HashMap<Rank, Rank> =
+                round_a.matched.iter().map(|(&p, &a)| (a, p)).collect();
+            let inv_b: std::collections::HashMap<Rank, Rank> =
+                round_b.matched.iter().map(|(&p, &a)| (a, p)).collect();
+
+            for &p in &lower_ranks {
+                decisions.push((
+                    p,
+                    round_a.matched.get(&p).copied(),
+                    inv_b.get(&p).copied(),
+                    lower,
+                    upper,
+                ));
+            }
+            for &p in &upper_ranks {
+                decisions.push((
+                    p,
+                    round_b.matched.get(&p).copied(),
+                    inv_a.get(&p).copied(),
+                    upper,
+                    lower,
+                ));
+            }
+        }
+        steps.push(decisions);
+    }
+
+    Ok(assemble_pattern(graph, l, &steps, stats))
+}
+
+/// Applies per-step (agent, origin) decisions: records every rank's
+/// steps, moves responsibilities to agents (the descriptor `D` of
+/// Algorithm 1 lines 31–49), grows buffers, and tallies notification and
+/// descriptor messages. Shared by the sequential and the threaded
+/// (distributed) builders.
+///
+/// # Panics
+/// Panics if a decision references an origin that did not participate in
+/// the same step — both builders construct matchings per segment, which
+/// makes that unreachable.
+pub(crate) fn assemble_pattern(
+    graph: &Topology,
+    l: usize,
+    steps: &[Vec<Decision>],
+    mut stats: SelectionStats,
+) -> DhPattern {
+    let n = graph.n();
+    let mut ranks: Vec<RankPattern> = (0..n)
+        .map(|p| {
+            let mut resp = BTreeMap::new();
+            let targets: Vec<Rank> = graph.out_neighbors(p).to_vec();
+            if !targets.is_empty() {
+                resp.insert(p, targets);
+            }
+            RankPattern { steps: Vec::new(), responsibilities: resp, held_final: vec![p] }
+        })
+        .collect();
+    let mut held: Vec<Vec<Rank>> = (0..n).map(|p| vec![p]).collect();
+
+    for decisions in steps {
+        // Snapshot pre-step buffers (messages carry pre-step contents).
+        let held_before: Vec<Vec<Rank>> =
+            decisions.iter().map(|&(p, ..)| held[p].clone()).collect();
+        let mut decision_index: Vec<Option<usize>> = vec![None; n];
+        for (i, &(p, ..)) in decisions.iter().enumerate() {
+            decision_index[p] = Some(i);
+        }
+
+        // Record the step for every participating rank.
+        for (i, &(p, agent, origin, h1, h2)) in decisions.iter().enumerate() {
+            let arriving = origin.map(|o| held[o].clone()).unwrap_or_default();
+            ranks[p].steps.push(DhStep {
+                h1,
+                h2,
+                agent,
+                origin,
+                held_before: held_before[i].clone(),
+                arriving,
+            });
+            // Notifications: agent announcements to outgoing neighbors in
+            // h2 (Algorithm 1 line 30), sent whether or not one was found.
+            stats.notifications +=
+                graph.out_neighbors(p).iter().filter(|&&o| in_range(o, h2)).count();
+            if agent.is_some() {
+                stats.descriptors += 1;
+            }
+        }
+
+        // Apply responsibility transfers (descriptor D), all against the
+        // pre-step responsibility maps: p's outgoing D never contains
+        // targets that arrive at p in this same step.
+        let mut transfers: Vec<(Rank, Vec<(Rank, Vec<Rank>)>)> = Vec::new();
+        for &(p, agent, _, _, h2) in decisions {
+            let Some(a) = agent else { continue };
+            let mut d: Vec<(Rank, Vec<Rank>)> = Vec::new();
+            for (&block, targets) in &ranks[p].responsibilities {
+                let moved: Vec<Rank> =
+                    targets.iter().copied().filter(|&t| in_range(t, h2)).collect();
+                if !moved.is_empty() {
+                    d.push((block, moved));
+                }
+            }
+            transfers.push((a, d));
+            // drop the moved targets from the sender
+            let resp = &mut ranks[p].responsibilities;
+            resp.retain(|_, targets| {
+                targets.retain(|&t| !in_range(t, h2));
+                !targets.is_empty()
+            });
+        }
+        for (a, d) in transfers {
+            for (block, mut moved) in d {
+                // self-targets are satisfied by the rbuf copy on arrival
+                moved.retain(|&t| t != a);
+                if moved.is_empty() {
+                    continue;
+                }
+                let entry = ranks[a].responsibilities.entry(block).or_default();
+                entry.extend(moved);
+                entry.sort_unstable();
+                entry.dedup();
+            }
+        }
+
+        // Apply buffer growth: origin's pre-step buffer appends to ours.
+        let appends: Vec<(Rank, Vec<Rank>)> = decisions
+            .iter()
+            .filter_map(|&(p, _, origin, _, _)| {
+                origin.map(|o| {
+                    let idx = decision_index[o].expect("origin participated in this step");
+                    (p, held_before[idx].clone())
+                })
+            })
+            .collect();
+        for (p, blocks) in appends {
+            held[p].extend(blocks);
+        }
+    }
+
+    for p in 0..n {
+        ranks[p].held_final = held[p].clone();
+    }
+    DhPattern { ranks, stats, ranks_per_socket: l }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhood_topology::random::erdos_renyi;
+
+    fn full_graph(n: usize) -> Topology {
+        Topology::from_edges(
+            n,
+            (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j))),
+        )
+    }
+
+    /// Checks the central invariant: every edge (b → t) of the graph is
+    /// covered exactly once — either `t` receives `b`'s block during the
+    /// halving phase (it arrives at `t` and `b ∈ I(t)`), or exactly one
+    /// rank holds (b → t) in its final responsibilities.
+    pub(super) fn assert_exactly_once(graph: &Topology, pat: &DhPattern) {
+        use std::collections::HashMap;
+        let mut covered: HashMap<(Rank, Rank), usize> = HashMap::new();
+        for t in 0..graph.n() {
+            for step in &pat.ranks[t].steps {
+                for &b in &step.arriving {
+                    if graph.has_edge(b, t) {
+                        *covered.entry((b, t)).or_default() += 1;
+                    }
+                }
+            }
+        }
+        for q in 0..graph.n() {
+            for (&b, targets) in &pat.ranks[q].responsibilities {
+                assert!(
+                    pat.ranks[q].held_final.contains(&b),
+                    "rank {q} responsible for block {b} it does not hold"
+                );
+                for &t in targets {
+                    assert!(graph.has_edge(b, t), "spurious responsibility ({b} -> {t})");
+                    *covered.entry((b, t)).or_default() += 1;
+                }
+            }
+        }
+        for (s, d) in graph.edges() {
+            assert_eq!(
+                covered.get(&(s, d)).copied().unwrap_or(0),
+                1,
+                "edge ({s} -> {d}) covered wrong number of times"
+            );
+        }
+        let total: usize = covered.values().sum();
+        assert_eq!(total, graph.edge_count());
+    }
+
+    /// A rank that found an agent in a step must end with no remaining
+    /// responsibilities inside that step's h2 (later h2s are disjoint).
+    fn assert_no_stale_h2(pat: &DhPattern) {
+        for rp in &pat.ranks {
+            for step in &rp.steps {
+                if step.agent.is_none() {
+                    continue;
+                }
+                for targets in rp.responsibilities.values() {
+                    for &t in targets {
+                        assert!(
+                            !in_range(t, step.h2),
+                            "rank kept target {t} inside offloaded half {:?}",
+                            step.h2
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_per_step_shapes() {
+        // 32 ranks, L = 4: 32 → 16 → 8 → (4,4): three active steps
+        let s = segments_per_step(32, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], vec![(0, 31)]);
+        assert_eq!(s[1], vec![(0, 15), (16, 31)]);
+        assert_eq!(s[2].len(), 4);
+        // n ≤ L: no halving at all
+        assert!(segments_per_step(8, 8).is_empty());
+        assert!(segments_per_step(0, 4).is_empty());
+        // odd sizes: 17 with L=4: [0,16] → [0,8],[9,16] → 5,4,4,4 → 3,2
+        let s = segments_per_step(17, 4);
+        assert_eq!(s[0], vec![(0, 16)]);
+        assert_eq!(s[1], vec![(0, 8), (9, 16)]);
+        // step 2 only halves the length-5 segment
+        assert_eq!(s[2], vec![(0, 4)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_trivial_pattern() {
+        let g = Topology::from_edges(8, []);
+        let layout = ClusterLayout::new(2, 2, 2); // L = 2
+        let pat = build_pattern(&g, &layout).unwrap();
+        assert_eq!(pat.n(), 8);
+        assert_eq!(pat.stats.total_signals(), 0);
+        assert_eq!(pat.stats.agents_found, 0);
+        for rp in &pat.ranks {
+            assert!(rp.responsibilities.is_empty());
+            assert_eq!(rp.held_final.len(), 1);
+        }
+        assert_exactly_once(&g, &pat);
+    }
+
+    #[test]
+    fn single_socket_no_halving() {
+        let g = erdos_renyi(8, 0.5, 1);
+        let layout = ClusterLayout::new(1, 1, 8);
+        let pat = build_pattern(&g, &layout).unwrap();
+        assert_eq!(pat.max_steps(), 0);
+        assert_exactly_once(&g, &pat);
+    }
+
+    #[test]
+    fn two_socket_full_graph() {
+        let g = full_graph(8);
+        let layout = ClusterLayout::new(1, 2, 4); // L = 4, one halving step
+        let pat = build_pattern(&g, &layout).unwrap();
+        assert_eq!(pat.max_steps(), 1);
+        assert_eq!(pat.stats.agent_searches, 8);
+        assert_eq!(pat.stats.agents_found, 8);
+        assert_exactly_once(&g, &pat);
+        assert_no_stale_h2(&pat);
+        for rp in &pat.ranks {
+            assert_eq!(rp.held_final.len(), 2);
+        }
+    }
+
+    #[test]
+    fn correct_over_random_graphs_and_layouts() {
+        for (n, delta, nodes, sockets, cores) in [
+            (16, 0.3, 2, 2, 4),
+            (16, 0.05, 4, 2, 2),
+            (24, 0.5, 3, 2, 4),
+            (36, 0.2, 3, 2, 6),
+            (30, 0.7, 5, 2, 3),
+            (17, 0.4, 3, 2, 3),
+        ] {
+            let g = erdos_renyi(n, delta, 42);
+            let layout = ClusterLayout::new(nodes, sockets, cores);
+            let pat = build_pattern(&g, &layout)
+                .unwrap_or_else(|e| panic!("build failed for n={n}: {e}"));
+            assert_exactly_once(&g, &pat);
+            assert_no_stale_h2(&pat);
+        }
+    }
+
+    #[test]
+    fn agents_and_origins_are_mutual() {
+        let g = erdos_renyi(32, 0.4, 7);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let pat = build_pattern(&g, &layout).unwrap();
+        for (p, rp) in pat.ranks.iter().enumerate() {
+            for (t, step) in rp.steps.iter().enumerate() {
+                if let Some(a) = step.agent {
+                    assert!(in_range(a, step.h2), "agent outside h2");
+                    assert_eq!(
+                        pat.ranks[a].steps[t].origin,
+                        Some(p),
+                        "agent {a} of {p} does not list {p} as origin at step {t}"
+                    );
+                    assert_eq!(pat.ranks[a].steps[t].arriving, step.held_before);
+                }
+                if let Some(o) = step.origin {
+                    assert!(in_range(o, step.h2), "origin outside h2");
+                    assert_eq!(pat.ranks[o].steps[t].agent, Some(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_growth_matches_origins() {
+        let g = erdos_renyi(32, 0.5, 3);
+        let layout = ClusterLayout::new(4, 2, 4); // L = 4 → 3 halving steps
+        let pat = build_pattern(&g, &layout).unwrap();
+        for rp in &pat.ranks {
+            let mut expect = 1usize;
+            for step in &rp.steps {
+                assert_eq!(step.held_before.len(), expect);
+                expect += step.arriving.len();
+            }
+            assert_eq!(rp.held_final.len(), expect);
+            assert!(expect <= 1 << rp.steps.len());
+        }
+    }
+
+    #[test]
+    fn halving_step_count() {
+        let g = full_graph(32);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let pat = build_pattern(&g, &layout).unwrap();
+        assert_eq!(pat.max_steps(), 3);
+        for rp in &pat.ranks {
+            assert_eq!(rp.steps.len(), 3);
+        }
+    }
+
+    #[test]
+    fn dense_graph_offloads_everything_far() {
+        let g = full_graph(16);
+        let layout = ClusterLayout::new(2, 2, 4); // L = 4
+        let pat = build_pattern(&g, &layout).unwrap();
+        for (q, rp) in pat.ranks.iter().enumerate() {
+            let (lo, hi) = layout.socket_range(q);
+            for targets in rp.responsibilities.values() {
+                for &t in targets {
+                    assert!(
+                        t >= lo && t <= hi,
+                        "rank {q} still owes a delivery to off-socket {t}"
+                    );
+                }
+            }
+        }
+        assert_exactly_once(&g, &pat);
+    }
+
+    #[test]
+    fn rejects_oversized_graph_and_bad_placement() {
+        let g = full_graph(8);
+        let small = ClusterLayout::new(1, 1, 4);
+        assert_eq!(
+            build_pattern(&g, &small).err(),
+            Some(BuildError::LayoutTooSmall { ranks: 8, capacity: 4 })
+        );
+        let rr = ClusterLayout::new(2, 2, 2)
+            .with_placement(nhood_cluster::Placement::RoundRobinNodes);
+        assert_eq!(build_pattern(&g, &rr).err(), Some(BuildError::NonBlockPlacement));
+    }
+
+    #[test]
+    fn stats_notifications_counted() {
+        let g = full_graph(8);
+        let layout = ClusterLayout::new(1, 2, 4);
+        let pat = build_pattern(&g, &layout).unwrap();
+        assert_eq!(pat.stats.notifications, 8 * 4);
+        assert_eq!(pat.stats.descriptors, 8);
+    }
+
+    #[test]
+    fn mirror_strategy_is_correct_too() {
+        for (n, delta) in [(16usize, 0.3), (24, 0.5), (17, 0.4)] {
+            let g = erdos_renyi(n, delta, 42);
+            let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+            let pat = build_pattern_with(&g, &layout, PairingStrategy::Mirror).unwrap();
+            assert_exactly_once(&g, &pat);
+            assert_eq!(pat.stats.total_signals(), 0);
+            assert!(pat.stats.success_rate() > 0.9);
+        }
+    }
+
+    #[test]
+    fn mirror_agents_are_reflections() {
+        let g = full_graph(16);
+        let layout = ClusterLayout::new(2, 2, 4);
+        let pat = build_pattern_with(&g, &layout, PairingStrategy::Mirror).unwrap();
+        for p in 0..16usize {
+            let expect = if p < 8 { p + 8 } else { p - 8 };
+            assert_eq!(pat.ranks[p].steps[0].agent, Some(expect));
+            assert_eq!(pat.ranks[p].steps[0].origin, Some(expect));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi(40, 0.3, 11);
+        let layout = ClusterLayout::new(5, 2, 4);
+        let a = build_pattern(&g, &layout).unwrap();
+        let b = build_pattern(&g, &layout).unwrap();
+        assert_eq!(a.stats, b.stats);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x, y);
+        }
+    }
+}

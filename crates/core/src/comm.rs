@@ -1,0 +1,302 @@
+//! The public communicator API — the `MPI_Dist_graph_create_adjacent` /
+//! `MPI_Neighbor_allgather` surface of this library.
+//!
+//! ```
+//! use nhood_cluster::ClusterLayout;
+//! use nhood_core::comm::DistGraphComm;
+//! use nhood_core::plan::Algorithm;
+//! use nhood_topology::random::erdos_renyi;
+//!
+//! let graph = erdos_renyi(16, 0.3, 42);
+//! let layout = ClusterLayout::new(2, 2, 4);
+//! let comm = DistGraphComm::create_adjacent(graph, layout).unwrap();
+//! let payloads: Vec<Vec<u8>> = (0..16).map(|r| vec![r as u8; 8]).collect();
+//! let rbufs = comm.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+//! assert_eq!(rbufs.len(), 16);
+//! ```
+
+use crate::builder::{build_pattern, BuildError};
+use crate::common_neighbor::plan_common_neighbor;
+use crate::exec::sim_exec::{simulate, SimCost};
+use crate::exec::virtual_exec::run_virtual;
+use crate::exec::ExecError;
+use crate::lower::lower;
+use crate::naive::plan_naive;
+use crate::plan::{Algorithm, CollectivePlan};
+use nhood_cluster::ClusterLayout;
+use nhood_simnet::{SimError, SimReport};
+use nhood_topology::Topology;
+
+/// Errors from the communicator API.
+#[derive(Debug)]
+pub enum CommError {
+    /// Pattern construction failed.
+    Build(BuildError),
+    /// Plan execution failed.
+    Exec(ExecError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// A produced plan failed validation — an internal bug, surfaced
+    /// loudly rather than silently returning wrong data.
+    InvalidPlan(String),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Build(e) => write!(f, "pattern build failed: {e}"),
+            CommError::Exec(e) => write!(f, "execution failed: {e}"),
+            CommError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CommError::InvalidPlan(m) => write!(f, "internal plan invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<BuildError> for CommError {
+    fn from(e: BuildError) -> Self {
+        CommError::Build(e)
+    }
+}
+impl From<ExecError> for CommError {
+    fn from(e: ExecError) -> Self {
+        CommError::Exec(e)
+    }
+}
+impl From<SimError> for CommError {
+    fn from(e: SimError) -> Self {
+        CommError::Sim(e)
+    }
+}
+
+/// A communicator with an attached virtual topology and cluster layout.
+///
+/// Construction corresponds to `MPI_Dist_graph_create_adjacent`: it is
+/// the point where pattern-creation work happens (and where Distance
+/// Halving pays its one-time agent-selection overhead — see Fig. 8).
+#[derive(Clone, Debug)]
+pub struct DistGraphComm {
+    graph: Topology,
+    layout: ClusterLayout,
+}
+
+impl DistGraphComm {
+    /// Creates a communicator. Fails if the layout has fewer cores than
+    /// the topology has ranks.
+    pub fn create_adjacent(graph: Topology, layout: ClusterLayout) -> Result<Self, CommError> {
+        if graph.n() > layout.capacity() {
+            return Err(CommError::Build(BuildError::LayoutTooSmall {
+                ranks: graph.n(),
+                capacity: layout.capacity(),
+            }));
+        }
+        Ok(Self { graph, layout })
+    }
+
+    /// The virtual topology.
+    pub fn graph(&self) -> &Topology {
+        &self.graph
+    }
+
+    /// The cluster layout.
+    pub fn layout(&self) -> &ClusterLayout {
+        &self.layout
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Builds (and validates) the data-movement plan for an algorithm.
+    pub fn plan(&self, algo: Algorithm) -> Result<CollectivePlan, CommError> {
+        let plan = match algo {
+            Algorithm::Naive => plan_naive(&self.graph),
+            Algorithm::CommonNeighbor { k } => plan_common_neighbor(&self.graph, k),
+            Algorithm::DistanceHalving => {
+                let pattern = build_pattern(&self.graph, &self.layout)?;
+                lower(&pattern, &self.graph)
+            }
+            Algorithm::HierarchicalLeader { leaders_per_node } => {
+                crate::leader::plan_hierarchical_leader(&self.graph, &self.layout, leaders_per_node)
+            }
+        };
+        plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
+        Ok(plan)
+    }
+
+    /// One-call neighborhood allgather: plans `algo` and executes it with
+    /// the virtual executor. Returns each rank's receive buffer
+    /// (in-neighbor payloads concatenated in `in_neighbors` order).
+    pub fn neighbor_allgather(
+        &self,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        let plan = self.plan(algo)?;
+        Ok(run_virtual(&plan, &self.graph, payloads)?)
+    }
+
+    /// The `neighbor_allgatherv` variant of
+    /// [`neighbor_allgather`](Self::neighbor_allgather): per-rank
+    /// payloads may differ in length. The receive buffer of rank `r`
+    /// concatenates its in-neighbors' payloads, each at its own size.
+    pub fn neighbor_allgatherv(
+        &self,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        let plan = self.plan(algo)?;
+        Ok(crate::exec::virtual_exec::run_virtual_v(&plan, &self.graph, payloads)?)
+    }
+
+    /// Neighborhood **alltoall**: `sbufs[p]` holds one distinct `m`-byte
+    /// block per outgoing neighbor (in `O(p)` order); returns per-rank
+    /// receive buffers with one block per incoming neighbor (in `I(r)`
+    /// order). Supports [`Algorithm::Naive`] and
+    /// [`Algorithm::DistanceHalving`] (the paper's future-work variant,
+    /// see [`crate::alltoall`]).
+    pub fn neighbor_alltoall(
+        &self,
+        algo: Algorithm,
+        sbufs: &[Vec<u8>],
+        m: usize,
+    ) -> Result<Vec<Vec<u8>>, CommError> {
+        let plan = self.alltoall_plan(algo)?;
+        Ok(crate::alltoall::run_alltoall_virtual(&plan, &self.graph, sbufs, m)?)
+    }
+
+    /// Builds (and validates) an alltoall plan.
+    ///
+    /// # Panics
+    /// Panics for [`Algorithm::CommonNeighbor`], which is not defined for
+    /// alltoall.
+    pub fn alltoall_plan(
+        &self,
+        algo: Algorithm,
+    ) -> Result<crate::alltoall::AlltoallPlan, CommError> {
+        let plan = match algo {
+            Algorithm::Naive => crate::alltoall::plan_naive_alltoall(&self.graph),
+            Algorithm::DistanceHalving => {
+                let pattern = build_pattern(&self.graph, &self.layout)?;
+                crate::alltoall::plan_dh_alltoall(&pattern, &self.graph)
+            }
+            Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. } => {
+                panic!("alltoall supports only the naive and distance-halving algorithms")
+            }
+        };
+        plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
+        Ok(plan)
+    }
+
+    /// Simulated latency of `algo` at per-rank message size `m`.
+    pub fn latency(&self, algo: Algorithm, m: usize, cost: &SimCost) -> Result<SimReport, CommError> {
+        let plan = self.plan(algo)?;
+        Ok(simulate(&plan, &self.layout, m, cost)?)
+    }
+
+    /// Simulated latency with per-rank payload sizes (`allgatherv`).
+    pub fn latency_v(
+        &self,
+        algo: Algorithm,
+        sizes: &[usize],
+        cost: &SimCost,
+    ) -> Result<SimReport, CommError> {
+        let plan = self.plan(algo)?;
+        Ok(crate::exec::sim_exec::simulate_v(&plan, &self.layout, sizes, cost)?)
+    }
+
+    /// Sweeps Common Neighbor over `ks` and returns `(k, plan)` with the
+    /// lowest simulated latency at message size `m` — the paper launches
+    /// CN "with various values of K" and reports the best.
+    pub fn best_common_neighbor(
+        &self,
+        ks: &[usize],
+        m: usize,
+        cost: &SimCost,
+    ) -> Result<(usize, CollectivePlan), CommError> {
+        assert!(!ks.is_empty(), "need at least one K to sweep");
+        let mut best: Option<(f64, usize, CollectivePlan)> = None;
+        for &k in ks {
+            let plan = self.plan(Algorithm::CommonNeighbor { k })?;
+            let t = simulate(&plan, &self.layout, m, cost)?.makespan;
+            if best.as_ref().is_none_or(|(bt, ..)| t < *bt) {
+                best = Some((t, k, plan));
+            }
+        }
+        let (_, k, plan) = best.expect("ks is non-empty");
+        Ok((k, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use nhood_topology::random::erdos_renyi;
+
+    fn comm(n: usize, delta: f64) -> DistGraphComm {
+        let graph = erdos_renyi(n, delta, 21);
+        let layout = ClusterLayout::new(n / 8, 2, 4);
+        DistGraphComm::create_adjacent(graph, layout).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_reference() {
+        let c = comm(32, 0.3);
+        let payloads = test_payloads(32, 16, 5);
+        let want = reference_allgather(c.graph(), &payloads);
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::CommonNeighbor { k: 4 },
+            Algorithm::DistanceHalving,
+        ] {
+            let got = c.neighbor_allgather(algo, &payloads).unwrap();
+            assert_eq!(got, want, "{algo}");
+        }
+    }
+
+    #[test]
+    fn create_rejects_oversized_graph() {
+        let graph = erdos_renyi(100, 0.1, 1);
+        let layout = ClusterLayout::new(2, 2, 4);
+        assert!(matches!(
+            DistGraphComm::create_adjacent(graph, layout),
+            Err(CommError::Build(BuildError::LayoutTooSmall { ranks: 100, capacity: 16 }))
+        ));
+    }
+
+    #[test]
+    fn latency_positive_and_algorithm_dependent() {
+        let c = comm(64, 0.5);
+        let cost = SimCost::niagara();
+        let tn = c.latency(Algorithm::Naive, 64, &cost).unwrap().makespan;
+        let td = c.latency(Algorithm::DistanceHalving, 64, &cost).unwrap().makespan;
+        assert!(tn > 0.0 && td > 0.0);
+        assert_ne!(tn, td);
+    }
+
+    #[test]
+    fn best_k_sweep_picks_a_swept_value() {
+        let c = comm(32, 0.4);
+        let cost = SimCost::niagara();
+        let (k, plan) = c.best_common_neighbor(&[2, 4, 8], 256, &cost).unwrap();
+        assert!([2, 4, 8].contains(&k));
+        assert_eq!(plan.algorithm, Algorithm::CommonNeighbor { k });
+        // the chosen K is at least as good as the others
+        let t_best = simulate(&plan, c.layout(), 256, &cost).unwrap().makespan;
+        for other in [2usize, 4, 8] {
+            let p = c.plan(Algorithm::CommonNeighbor { k: other }).unwrap();
+            let t = simulate(&p, c.layout(), 256, &cost).unwrap().makespan;
+            assert!(t_best <= t + 1e-15, "k={other} beat the sweep winner");
+        }
+    }
+
+    #[test]
+    fn plan_exposes_selection_stats_only_for_dh() {
+        let c = comm(32, 0.3);
+        assert!(c.plan(Algorithm::Naive).unwrap().selection.is_none());
+        assert!(c.plan(Algorithm::DistanceHalving).unwrap().selection.is_some());
+    }
+}

@@ -1,0 +1,228 @@
+//! The Common Neighbor message-combining baseline
+//! (Ghazimirsaeed, Mirsadeghi & Afsahi, IPDPS 2019).
+//!
+//! Ranks are partitioned into groups of `K` consecutive ranks (which,
+//! under block placement, co-locates a group on one socket for `K ≤ L`).
+//! For every *common outgoing neighbor* of a group — a target that two or
+//! more group members send to — one member is designated the **leader**
+//! for that target and delivers a single combined message on everyone's
+//! behalf. Targets with a single source in the group keep their direct
+//! send.
+//!
+//! The plan has two communication phases plus a copy epilogue:
+//!
+//! 1. **intra-group distribution** — each member sends its block to every
+//!    group mate that leads at least one combined message containing it;
+//! 2. **delivery** — leaders send combined messages, everyone sends their
+//!    remaining direct messages;
+//! 3. epilogue — scatter of combined payloads into the receive buffer.
+//!
+//! Leaders are assigned round-robin over a target's sharers (by target
+//! index) so the relay load spreads across the group — the paper sweeps
+//! `K` and reports the best, which `crate::comm` mirrors.
+
+use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};
+use nhood_topology::{Rank, Topology};
+
+/// Builds a Common Neighbor plan with groups of `k`.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn plan_common_neighbor(graph: &Topology, k: usize) -> CollectivePlan {
+    assert!(k > 0, "group size must be positive");
+    let n = graph.n();
+    let group_of = |r: Rank| r / k;
+    let n_groups = n.div_ceil(k);
+
+    // For every (group, target): the sharers (group members with an edge
+    // to target).
+    // sharers[g] : target -> Vec<member>
+    let mut sharers: Vec<std::collections::BTreeMap<Rank, Vec<Rank>>> =
+        vec![std::collections::BTreeMap::new(); n_groups];
+    for r in 0..n {
+        let g = group_of(r);
+        for &t in graph.out_neighbors(r) {
+            sharers[g].entry(t).or_default().push(r);
+        }
+    }
+
+    // Phase-0 needs: member -> set of leaders that relay its block.
+    let mut needs: Vec<std::collections::BTreeSet<Rank>> = vec![Default::default(); n];
+    // Phase-1 messages: sender -> (target -> blocks)
+    let mut deliveries: Vec<std::collections::BTreeMap<Rank, Vec<Rank>>> =
+        vec![Default::default(); n];
+
+    // Pass 1: pick leaders for common neighbors and record which leaders
+    // need which members' blocks.
+    for g in 0..n_groups {
+        for (&target, members) in &sharers[g] {
+            if members.len() >= 2 && group_of(target) != g {
+                // common neighbor: combine under a round-robin leader
+                let leader = members[target % members.len()];
+                for &m in members {
+                    if m != leader {
+                        needs[m].insert(leader);
+                    }
+                }
+                deliveries[leader]
+                    .entry(target)
+                    .or_default()
+                    .extend(members.iter().copied());
+            }
+        }
+    }
+    // Pass 2: direct sends for everything not combined — unless the
+    // target is a leader that already receives the block in phase 0 (the
+    // intra-group copy doubles as the delivery).
+    for g in 0..n_groups {
+        for (&target, members) in &sharers[g] {
+            if members.len() >= 2 && group_of(target) != g {
+                continue; // combined above
+            }
+            for &m in members {
+                if needs[m].contains(&target) {
+                    continue; // delivered by the phase-0 distribution
+                }
+                deliveries[m].entry(target).or_default().push(m);
+            }
+        }
+    }
+
+    let mut per_rank: Vec<Vec<PlanPhase>> = vec![Vec::with_capacity(3); n];
+    // Phase 0: intra-group distribution (tag 0).
+    let mut phase0: Vec<PlanPhase> = vec![PlanPhase::default(); n];
+    for (m, leaders) in needs.iter().enumerate() {
+        for &l in leaders {
+            phase0[m].sends.push(PlannedMsg { peer: l, blocks: vec![m], tag: 0 });
+            phase0[l].recvs.push(PlannedMsg { peer: m, blocks: vec![m], tag: 0 });
+        }
+    }
+    for (r, ph) in phase0.into_iter().enumerate() {
+        per_rank[r].push(ph);
+    }
+
+    // Phase 1: delivery (tag 1) + pack copies for combined messages.
+    let mut phase1: Vec<PlanPhase> = vec![PlanPhase::default(); n];
+    let mut scatter: Vec<usize> = vec![0; n];
+    for (s, dels) in deliveries.iter().enumerate() {
+        for (&target, blocks) in dels {
+            let mut blocks = blocks.clone();
+            blocks.sort_unstable();
+            blocks.dedup();
+            if blocks.len() > 1 {
+                phase1[s].copy_blocks += blocks.len(); // pack into temp buffer
+                scatter[target] += blocks.len(); // unpack at the receiver
+            }
+            phase1[target].recvs.push(PlannedMsg { peer: s, blocks: blocks.clone(), tag: 1 });
+            phase1[s].sends.push(PlannedMsg { peer: target, blocks, tag: 1 });
+        }
+    }
+    for (r, mut ph) in phase1.into_iter().enumerate() {
+        ph.recvs.sort_by_key(|m| m.peer);
+        per_rank[r].push(ph);
+    }
+    // Epilogue: scatter combined payloads into rbuf.
+    for (r, &s) in scatter.iter().enumerate() {
+        per_rank[r].push(PlanPhase { copy_blocks: s, sends: vec![], recvs: vec![] });
+    }
+
+    CollectivePlan { algorithm: Algorithm::CommonNeighbor { k }, per_rank, selection: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn validates_on_random_graphs() {
+        for delta in [0.0, 0.05, 0.3, 0.7, 1.0] {
+            for k in [1usize, 2, 4, 8] {
+                let g = erdos_renyi(24, delta, 11);
+                let plan = plan_common_neighbor(&g, k);
+                plan.validate(&g)
+                    .unwrap_or_else(|e| panic!("delta={delta} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn k1_degenerates_to_naive_message_count() {
+        // groups of one: no common neighbors, all sends direct
+        let g = erdos_renyi(20, 0.4, 2);
+        let plan = plan_common_neighbor(&g, 1);
+        plan.validate(&g).unwrap();
+        assert_eq!(plan.message_count(), g.edge_count());
+        assert_eq!(plan.max_message_blocks(), 1.min(g.edge_count()));
+    }
+
+    #[test]
+    fn combining_reduces_messages_on_dense_graphs() {
+        let g = erdos_renyi(32, 0.8, 5);
+        let naive_msgs = g.edge_count();
+        let plan = plan_common_neighbor(&g, 8);
+        plan.validate(&g).unwrap();
+        assert!(
+            plan.message_count() < naive_msgs / 2,
+            "{} vs naive {naive_msgs}",
+            plan.message_count()
+        );
+        // but the same total payload still flows to targets, plus
+        // intra-group redistribution
+        assert!(plan.total_blocks_sent() >= naive_msgs);
+    }
+
+    #[test]
+    fn shared_target_handled_by_one_leader() {
+        // ranks 0..3 (one group, k=4) all send to rank 5
+        let g = Topology::from_edges(8, [(0, 5), (1, 5), (2, 5), (3, 5)]);
+        let plan = plan_common_neighbor(&g, 4);
+        plan.validate(&g).unwrap();
+        // rank 5 receives exactly one (combined) message
+        let recvs: usize = plan.per_rank[5].iter().map(|p| p.recvs.len()).sum();
+        assert_eq!(recvs, 1);
+        let msg = plan.per_rank[5]
+            .iter()
+            .flat_map(|p| p.recvs.iter())
+            .next()
+            .unwrap();
+        assert_eq!(msg.blocks, vec![0, 1, 2, 3]);
+        // leader is round-robin: target 5 % 4 sharers = index 1 → rank 1
+        assert_eq!(msg.peer, 1);
+    }
+
+    #[test]
+    fn targets_inside_group_stay_direct() {
+        // 0 and 1 both send to 2; all in one group of 4
+        let g = Topology::from_edges(4, [(0, 2), (1, 2)]);
+        let plan = plan_common_neighbor(&g, 4);
+        plan.validate(&g).unwrap();
+        // no phase-0 traffic: nothing to combine across groups
+        let phase0_msgs: usize = plan.per_rank.iter().map(|p| p[0].sends.len()).sum();
+        assert_eq!(phase0_msgs, 0);
+        assert_eq!(plan.message_count(), 2);
+    }
+
+    #[test]
+    fn leader_load_spreads_round_robin() {
+        // group {0,1}: both send to 10, 11, 12, 13 (distinct groups)
+        let edges: Vec<(Rank, Rank)> = (10..14).flat_map(|t| [(0, t), (1, t)]).collect();
+        let g = Topology::from_edges(14, edges);
+        let plan = plan_common_neighbor(&g, 2);
+        plan.validate(&g).unwrap();
+        let loads = plan.sends_per_rank();
+        // 4 combined deliveries split 2/2 between members (plus the
+        // intra-group block exchanges)
+        let deliveries0 = plan.per_rank[0][1].sends.len();
+        let deliveries1 = plan.per_rank[1][1].sends.len();
+        assert_eq!(deliveries0, 2);
+        assert_eq!(deliveries1, 2);
+        assert!(loads[0] > 0 && loads[1] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn k_zero_rejected() {
+        plan_common_neighbor(&Topology::from_edges(2, []), 0);
+    }
+}

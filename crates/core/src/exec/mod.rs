@@ -1,0 +1,111 @@
+//! Plan executors.
+//!
+//! Three backends run a [`crate::plan::CollectivePlan`]:
+//!
+//! * [`virtual_exec`] — deterministic sequential execution with real byte
+//!   buffers; scales to thousands of ranks and is the correctness oracle;
+//! * [`threaded`] — one OS thread per rank with real channels and real
+//!   copies, exercising the plan under true concurrency (bounded rank
+//!   counts);
+//! * [`sim_exec`] — lowers the plan onto the `nhood-simnet` discrete-event
+//!   engine to obtain cluster-scale latencies at any message size.
+//!
+//! All backends consume the same plan, so agreement between them is a
+//! meaningful cross-check (and is property-tested in the workspace
+//! integration suite).
+
+pub mod sim_exec;
+pub mod threaded;
+pub mod virtual_exec;
+
+use nhood_topology::Rank;
+
+/// Execution failure, shared by the virtual and threaded backends.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// `payloads.len()` does not match the plan's rank count.
+    PayloadCountMismatch {
+        /// Payload vectors supplied.
+        got: usize,
+        /// Ranks in the plan.
+        want: usize,
+    },
+    /// Payload blocks must all have the same byte length.
+    PayloadSizeMismatch {
+        /// Offending rank.
+        rank: Rank,
+        /// Its payload length.
+        got: usize,
+        /// Expected length (rank 0's).
+        want: usize,
+    },
+    /// A rank tried to send a block it never received.
+    MissingBlock {
+        /// Sending rank.
+        rank: Rank,
+        /// Missing block.
+        block: Rank,
+        /// Phase index.
+        phase: usize,
+    },
+    /// After the plan ran, a rank was missing an in-neighbor's block.
+    Undelivered {
+        /// Receiving rank.
+        rank: Rank,
+        /// The in-neighbor whose block never arrived.
+        block: Rank,
+    },
+    /// A threaded rank timed out waiting for a message (deadlocked or
+    /// lost message).
+    Timeout {
+        /// The stuck rank.
+        rank: Rank,
+        /// Phase it was stuck in.
+        phase: usize,
+    },
+    /// A rank thread panicked.
+    WorkerPanic {
+        /// The rank whose thread died.
+        rank: Rank,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PayloadCountMismatch { got, want } => {
+                write!(f, "got {got} payloads for {want} ranks")
+            }
+            ExecError::PayloadSizeMismatch { rank, got, want } => {
+                write!(f, "rank {rank} payload is {got} bytes, expected {want}")
+            }
+            ExecError::MissingBlock { rank, block, phase } => {
+                write!(f, "rank {rank} does not hold block {block} at phase {phase}")
+            }
+            ExecError::Undelivered { rank, block } => {
+                write!(f, "rank {rank} never received in-neighbor {block}'s block")
+            }
+            ExecError::Timeout { rank, phase } => {
+                write!(f, "rank {rank} timed out in phase {phase}")
+            }
+            ExecError::WorkerPanic { rank } => write!(f, "rank {rank} worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Validates the payload array shape shared by both real executors.
+/// Returns the uniform block size `m` (0 for an empty communicator).
+pub(crate) fn check_payloads(payloads: &[Vec<u8>], n: usize) -> Result<usize, ExecError> {
+    if payloads.len() != n {
+        return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: n });
+    }
+    let m = payloads.first().map_or(0, Vec::len);
+    for (rank, p) in payloads.iter().enumerate() {
+        if p.len() != m {
+            return Err(ExecError::PayloadSizeMismatch { rank, got: p.len(), want: m });
+        }
+    }
+    Ok(m)
+}

@@ -1,0 +1,233 @@
+//! The simulated-time executor: lowers a plan onto `nhood-simnet`.
+//!
+//! Turns every planned message into a simulator message of
+//! `blocks.len() × m` bytes and every `copy_blocks` tally into local
+//! pack/copy time at a configurable memcpy bandwidth, then runs the
+//! discrete-event engine to obtain the collective's latency on a modelled
+//! cluster — the stand-in for the paper's wall-clock measurements
+//! (Figs. 4–7).
+
+use crate::plan::CollectivePlan;
+use nhood_cluster::ClusterLayout;
+use nhood_simnet::{Engine, Msg, Phase, Schedule, SimConfig, SimError, SimReport};
+
+/// Cost knobs of the simulated execution.
+#[derive(Clone, Copy, Debug)]
+pub struct SimCost {
+    /// Network configuration (Hockney levels + NIC mode).
+    pub net: SimConfig,
+    /// Local memcpy bandwidth (bytes/s) charged for `copy_blocks`.
+    pub memcpy_bytes_per_sec: f64,
+}
+
+impl SimCost {
+    /// Niagara-like defaults: the paper's testbed network plus a
+    /// single-core ~5 GB/s packing bandwidth.
+    pub fn niagara() -> Self {
+        Self { net: SimConfig::niagara(), memcpy_bytes_per_sec: 5.0e9 }
+    }
+}
+
+/// Lowers `plan` to a simulator [`Schedule`] for per-rank payload size
+/// `m` bytes.
+pub fn to_schedule(plan: &CollectivePlan, m: usize, cost: &SimCost) -> Schedule {
+    let n = plan.n();
+    let mut s = Schedule::new(n);
+    for (r, prog) in plan.per_rank.iter().enumerate() {
+        for phase in prog {
+            let sends = phase
+                .sends
+                .iter()
+                .map(|msg| Msg { src: r, dst: msg.peer, bytes: msg.blocks.len() * m, tag: msg.tag })
+                .collect();
+            let recvs = phase
+                .recvs
+                .iter()
+                .map(|msg| Msg { src: msg.peer, dst: r, bytes: msg.blocks.len() * m, tag: msg.tag })
+                .collect();
+            s.push_phase(
+                r,
+                Phase {
+                    local_seconds: phase.copy_blocks as f64 * m as f64
+                        / cost.memcpy_bytes_per_sec,
+                    sends,
+                    recvs,
+                },
+            );
+        }
+    }
+    s
+}
+
+/// Simulates `plan` at message size `m` on `layout` and returns the
+/// engine's report (latency = `report.makespan`).
+pub fn simulate(
+    plan: &CollectivePlan,
+    layout: &ClusterLayout,
+    m: usize,
+    cost: &SimCost,
+) -> Result<SimReport, SimError> {
+    let schedule = to_schedule(plan, m, cost);
+    Engine::new(layout, cost.net).run(&schedule)
+}
+
+/// Lowers `plan` to a schedule with *per-rank* payload sizes — the
+/// `neighbor_allgatherv` variant. A message's bytes are the sum of its
+/// blocks' sizes; copy charges use the mean block size (the plan records
+/// copy *counts*, not which blocks — an approximation that matters only
+/// for highly skewed payloads).
+pub fn to_schedule_v(plan: &CollectivePlan, sizes: &[usize], cost: &SimCost) -> Schedule {
+    let n = plan.n();
+    assert_eq!(sizes.len(), n, "need one payload size per rank");
+    let mean = if n == 0 { 0.0 } else { sizes.iter().sum::<usize>() as f64 / n as f64 };
+    let mut s = Schedule::new(n);
+    for (r, prog) in plan.per_rank.iter().enumerate() {
+        for phase in prog {
+            let bytes_of = |blocks: &[nhood_topology::Rank]| -> usize {
+                blocks.iter().map(|&b| sizes[b]).sum()
+            };
+            let sends = phase
+                .sends
+                .iter()
+                .map(|msg| Msg { src: r, dst: msg.peer, bytes: bytes_of(&msg.blocks), tag: msg.tag })
+                .collect();
+            let recvs = phase
+                .recvs
+                .iter()
+                .map(|msg| Msg { src: msg.peer, dst: r, bytes: bytes_of(&msg.blocks), tag: msg.tag })
+                .collect();
+            s.push_phase(
+                r,
+                Phase {
+                    local_seconds: phase.copy_blocks as f64 * mean / cost.memcpy_bytes_per_sec,
+                    sends,
+                    recvs,
+                },
+            );
+        }
+    }
+    s
+}
+
+/// Simulates `plan` with per-rank payload sizes (`neighbor_allgatherv`).
+pub fn simulate_v(
+    plan: &CollectivePlan,
+    layout: &ClusterLayout,
+    sizes: &[usize],
+    cost: &SimCost,
+) -> Result<SimReport, SimError> {
+    let schedule = to_schedule_v(plan, sizes, cost);
+    Engine::new(layout, cost.net).run(&schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pattern;
+    use crate::common_neighbor::plan_common_neighbor;
+    use crate::lower::lower;
+    use crate::naive::plan_naive;
+    use nhood_cluster::HockneyParams;
+    use nhood_simnet::NicMode;
+    use nhood_topology::random::erdos_renyi;
+
+    fn flat_cost(alpha: f64, bw: f64) -> SimCost {
+        SimCost {
+            net: SimConfig::classic(HockneyParams::flat(alpha, bw), NicMode::Off),
+            memcpy_bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn schedule_mirrors_plan() {
+        let g = erdos_renyi(16, 0.4, 3);
+        let layout = ClusterLayout::new(2, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let s = to_schedule(&plan, 64, &SimCost::niagara());
+        s.validate().unwrap();
+        assert_eq!(s.message_count(), plan.message_count());
+        assert_eq!(s.total_bytes(), plan.total_blocks_sent() * 64);
+    }
+
+    #[test]
+    fn all_three_algorithms_simulate() {
+        let g = erdos_renyi(36, 0.3, 5);
+        let layout = ClusterLayout::new(3, 2, 6);
+        let cost = SimCost::niagara();
+        for plan in [
+            plan_naive(&g),
+            plan_common_neighbor(&g, 4),
+            lower(&build_pattern(&g, &layout).unwrap(), &g),
+        ] {
+            let rep = simulate(&plan, &layout, 1024, &cost).unwrap();
+            assert!(rep.makespan > 0.0);
+            assert_eq!(rep.per_rank_finish.len(), 36);
+        }
+    }
+
+    #[test]
+    fn naive_latency_tracks_closed_form_on_flat_network() {
+        // On a flat no-NIC network, naive latency for the busiest rank is
+        // ≈ (outdeg + indeg) (α + m/β); the makespan is the max over
+        // ranks up to scheduling interleave.
+        let g = erdos_renyi(24, 0.5, 7);
+        let layout = ClusterLayout::new(1, 1, 24);
+        let cost = flat_cost(1e-6, 1e9);
+        let m = 4096;
+        let rep = simulate(&plan_naive(&g), &layout, m, &cost).unwrap();
+        let t = 1e-6 + m as f64 / 1e9;
+        let busiest = (0..24)
+            .map(|r| g.outdegree(r) + g.indegree(r))
+            .max()
+            .unwrap() as f64;
+        assert!(rep.makespan >= busiest * t * 0.9, "{} vs {}", rep.makespan, busiest * t);
+        // all traffic is serialized somewhere, so it cannot beat the
+        // total-edge bound either
+        let total = 2.0 * g.edge_count() as f64 * t;
+        assert!(rep.makespan <= total, "{} vs bound {total}", rep.makespan);
+    }
+
+    #[test]
+    fn dh_beats_naive_on_dense_small_messages() {
+        // The paper's headline regime: dense graph, small messages,
+        // multi-node cluster → DH wins by cutting message count.
+        let g = erdos_renyi(64, 0.5, 11);
+        let layout = ClusterLayout::new(4, 2, 8); // L=8
+        let cost = SimCost::niagara();
+        let m = 64;
+        let naive = simulate(&plan_naive(&g), &layout, m, &cost).unwrap();
+        let dh_plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let dh = simulate(&dh_plan, &layout, m, &cost).unwrap();
+        assert!(
+            dh.makespan < naive.makespan,
+            "DH {} should beat naive {}",
+            dh.makespan,
+            naive.makespan
+        );
+        // and it does so with far fewer inter-node messages
+        assert!(dh.stats.internode_msgs() < naive.stats.internode_msgs() / 2);
+    }
+
+    #[test]
+    fn memcpy_cost_is_charged() {
+        let g = erdos_renyi(16, 0.5, 2);
+        let layout = ClusterLayout::new(2, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let fast = SimCost { memcpy_bytes_per_sec: f64::INFINITY, ..SimCost::niagara() };
+        let slow = SimCost { memcpy_bytes_per_sec: 1e8, ..SimCost::niagara() };
+        let m = 1 << 20;
+        let t_fast = simulate(&plan, &layout, m, &fast).unwrap().makespan;
+        let t_slow = simulate(&plan, &layout, m, &slow).unwrap().makespan;
+        assert!(t_slow > t_fast, "copies must cost time: {t_slow} vs {t_fast}");
+    }
+
+    #[test]
+    fn zero_size_messages_cost_only_latency() {
+        let g = erdos_renyi(8, 0.5, 1);
+        let layout = ClusterLayout::new(1, 1, 8);
+        let cost = flat_cost(1e-6, 1e9);
+        let rep = simulate(&plan_naive(&g), &layout, 0, &cost).unwrap();
+        assert!(rep.makespan > 0.0);
+        assert!(rep.makespan < 2.0 * g.edge_count() as f64 * 1.1e-6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Lowering a [`DhPattern`] to an executable [`CollectivePlan`]
+//! (the planning half of the paper's Algorithm 4).
+//!
+//! Phase layout (lock-step across ranks):
+//!
+//! * phases `0 .. max_steps` — the halving steps: in phase `t` a rank
+//!   ships its whole pre-step buffer to its step-`t` agent and receives
+//!   its origin's buffer;
+//! * phase `max_steps` — the final phase: one combined message per
+//!   remaining responsibility target (mostly intra-socket, plus the
+//!   direct-send fallbacks of failed agent searches);
+//! * phase `max_steps + 1` — a copy-only epilogue charging the scatter of
+//!   received final-phase messages into the receive buffer.
+//!
+//! Copy accounting (`copy_blocks`, in block units):
+//!
+//! * phase 0: 1 (`sbuf → main_buf`, Algorithm 4 line 3);
+//! * phase `t > 0`: the receive-buffer copies of step `t-1`'s arrivals
+//!   that were this rank's in-neighbors (Algorithm 4 lines 15–17);
+//! * final phase: step-`last` arrival copies plus the temp-buffer packing
+//!   of all outgoing final messages (lines 21–28);
+//! * epilogue: one copy per received final-phase block (line 33).
+
+use crate::pattern::DhPattern;
+use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};
+use nhood_topology::{Rank, Topology};
+
+/// Tag for final-phase messages (halving steps use their step index).
+pub const FINAL_TAG: u64 = 1 << 32;
+
+/// Lowers a built pattern into an executable plan.
+///
+/// # Panics
+/// Panics if `pattern` and `graph` disagree on the number of ranks (the
+/// public API in [`crate::comm`] makes this unreachable).
+pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
+    let n = graph.n();
+    assert_eq!(pattern.n(), n, "pattern/topology rank mismatch");
+    let steps = pattern.max_steps();
+    // phases: steps halving + 1 final + 1 epilogue
+    let mut per_rank: Vec<Vec<PlanPhase>> = vec![Vec::with_capacity(steps + 2); n];
+
+    // Halving phases.
+    for (p, prog) in per_rank.iter_mut().enumerate() {
+        let rp = &pattern.ranks[p];
+        for t in 0..steps {
+            let mut phase = PlanPhase::default();
+            if t == 0 {
+                phase.copy_blocks = 1;
+            } else if let Some(prev) = rp.steps.get(t - 1) {
+                phase.copy_blocks =
+                    prev.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
+            }
+            if let Some(step) = rp.steps.get(t) {
+                if let Some(agent) = step.agent {
+                    phase.sends.push(PlannedMsg {
+                        peer: agent,
+                        blocks: step.held_before.clone(),
+                        tag: t as u64,
+                    });
+                }
+                if let Some(origin) = step.origin {
+                    phase.recvs.push(PlannedMsg {
+                        peer: origin,
+                        blocks: step.arriving.clone(),
+                        tag: t as u64,
+                    });
+                }
+            }
+            prog.push(phase);
+        }
+    }
+
+    // Final phase: group responsibilities by target.
+    // final_msgs[q] = Vec<(target, blocks)>
+    let mut incoming: Vec<Vec<(Rank, Vec<Rank>)>> = vec![Vec::new(); n];
+    for (q, prog) in per_rank.iter_mut().enumerate() {
+        let rp = &pattern.ranks[q];
+        let mut phase = PlanPhase::default();
+        if steps == 0 {
+            // no halving at all: sbuf is sent directly, no main_buf copy
+        } else if let Some(last) = rp.steps.last() {
+            phase.copy_blocks +=
+                last.arriving.iter().filter(|&&b| graph.has_edge(b, q)).count();
+        }
+        // invert: target -> blocks
+        let mut by_target: std::collections::BTreeMap<Rank, Vec<Rank>> =
+            std::collections::BTreeMap::new();
+        for (&block, targets) in &rp.responsibilities {
+            for &t in targets {
+                by_target.entry(t).or_default().push(block);
+            }
+        }
+        for (target, mut blocks) in by_target {
+            blocks.sort_unstable();
+            phase.copy_blocks += blocks.len(); // temp-buffer packing
+            incoming[target].push((q, blocks.clone()));
+            phase.sends.push(PlannedMsg { peer: target, blocks, tag: FINAL_TAG });
+        }
+        prog.push(phase);
+    }
+    // mirror the receives + epilogue copies
+    for (r, prog) in per_rank.iter_mut().enumerate() {
+        let mut scatter = 0usize;
+        {
+            let final_phase = prog.last_mut().expect("final phase exists");
+            for (src, blocks) in incoming[r].drain(..) {
+                scatter += blocks.len();
+                final_phase.recvs.push(PlannedMsg { peer: src, blocks, tag: FINAL_TAG });
+            }
+            final_phase.recvs.sort_by_key(|m| m.peer);
+        }
+        prog.push(PlanPhase { copy_blocks: scatter, sends: vec![], recvs: vec![] });
+    }
+
+    CollectivePlan {
+        algorithm: Algorithm::DistanceHalving,
+        per_rank,
+        selection: Some(pattern.stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pattern;
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    fn build_and_lower(n: usize, delta: f64, seed: u64, layout: &ClusterLayout) -> (Topology, CollectivePlan) {
+        let g = erdos_renyi(n, delta, seed);
+        let pat = build_pattern(&g, layout).unwrap();
+        let plan = lower(&pat, &g);
+        (g, plan)
+    }
+
+    #[test]
+    fn lowered_plans_validate() {
+        for (n, delta, nodes, sockets, cores) in [
+            (16, 0.3, 2, 2, 4),
+            (16, 0.05, 4, 2, 2),
+            (24, 0.5, 3, 2, 4),
+            (36, 0.2, 3, 2, 6),
+            (30, 0.7, 5, 2, 3),
+            (17, 0.4, 3, 2, 3),
+            (8, 0.0, 2, 2, 2),
+            (12, 1.0, 3, 2, 2),
+        ] {
+            let layout = ClusterLayout::new(nodes, sockets, cores);
+            let (g, plan) = build_and_lower(n, delta, 42, &layout);
+            plan.validate(&g)
+                .unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
+        }
+    }
+
+    #[test]
+    fn phase_structure() {
+        let layout = ClusterLayout::new(4, 2, 4); // 32 cores, L=4
+        let (_, plan) = build_and_lower(32, 0.4, 1, &layout);
+        // 32 -> 16 -> 8 -> 4: 3 halving steps + final + epilogue
+        assert_eq!(plan.phase_count(), 5);
+        assert_eq!(plan.algorithm, Algorithm::DistanceHalving);
+        assert!(plan.selection.is_some());
+    }
+
+    #[test]
+    fn halving_sends_whole_buffer() {
+        let layout = ClusterLayout::new(2, 2, 4);
+        let g = erdos_renyi(16, 0.6, 9);
+        let pat = build_pattern(&g, &layout).unwrap();
+        let plan = lower(&pat, &g);
+        for (p, prog) in plan.per_rank.iter().enumerate() {
+            for (t, step) in pat.ranks[p].steps.iter().enumerate() {
+                let phase = &prog[t];
+                if step.agent.is_some() {
+                    assert_eq!(phase.sends.len(), 1);
+                    assert_eq!(phase.sends[0].blocks, step.held_before);
+                } else {
+                    assert!(phase.sends.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_phase_messages_cover_responsibilities() {
+        let layout = ClusterLayout::new(2, 2, 4);
+        let g = erdos_renyi(16, 0.3, 5);
+        let pat = build_pattern(&g, &layout).unwrap();
+        let plan = lower(&pat, &g);
+        let final_idx = plan.phase_count() - 2;
+        for (q, prog) in plan.per_rank.iter().enumerate() {
+            let sent: usize = prog[final_idx].sends.iter().map(|m| m.blocks.len()).sum();
+            let owed: usize = pat.ranks[q].responsibilities.values().map(Vec::len).sum();
+            assert_eq!(sent, owed, "rank {q} final messages mismatch responsibilities");
+        }
+    }
+
+    #[test]
+    fn copy_accounting() {
+        let layout = ClusterLayout::new(2, 2, 2); // 8 cores, L=2
+        let g = erdos_renyi(8, 0.5, 3);
+        let pat = build_pattern(&g, &layout).unwrap();
+        let plan = lower(&pat, &g);
+        // phase 0 always pays the sbuf copy
+        for prog in &plan.per_rank {
+            assert_eq!(prog[0].copy_blocks, 1);
+            // epilogue copies equal received final blocks
+            let final_idx = plan.phase_count() - 2;
+            let got: usize = prog[final_idx].recvs.iter().map(|m| m.blocks.len()).sum();
+            assert_eq!(prog[final_idx + 1].copy_blocks, got);
+        }
+    }
+
+    #[test]
+    fn single_socket_plan_is_direct_sends() {
+        let layout = ClusterLayout::new(1, 1, 8);
+        let (g, plan) = build_and_lower(8, 0.5, 7, &layout);
+        plan.validate(&g).unwrap();
+        // no halving: 0 steps, phases = final + epilogue
+        assert_eq!(plan.phase_count(), 2);
+        // every edge is one direct single-block message
+        assert_eq!(plan.message_count(), g.edge_count());
+        assert_eq!(plan.total_blocks_sent(), g.edge_count());
+    }
+}

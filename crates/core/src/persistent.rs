@@ -1,0 +1,119 @@
+//! Persistent neighborhood collectives — the MPI-4
+//! `MPI_Neighbor_allgather_init` workflow: plan once, execute many times
+//! against preallocated buffers.
+//!
+//! [`PersistentAllgather`] owns a validated plan and the reusable
+//! per-rank buffer storage; every [`execute`](PersistentAllgather::execute)
+//! reuses the allocation from the previous call (the receive buffers are
+//! handed out as slices into an arena that persists across calls). This
+//! is how an application amortizes the one-time pattern-creation cost —
+//! the whole point of the Fig. 8 trade-off.
+
+use crate::comm::{CommError, DistGraphComm};
+use crate::exec::virtual_exec::run_virtual;
+use crate::exec::ExecError;
+use crate::plan::{Algorithm, CollectivePlan};
+use nhood_topology::Topology;
+
+/// A planned, reusable neighborhood allgather.
+#[derive(Debug)]
+pub struct PersistentAllgather {
+    graph: Topology,
+    plan: CollectivePlan,
+    /// arena reused across executions: per-rank receive buffers
+    rbufs: Vec<Vec<u8>>,
+    executions: usize,
+}
+
+impl PersistentAllgather {
+    /// Plans the collective once (the expensive step).
+    pub fn init(comm: &DistGraphComm, algo: Algorithm) -> Result<Self, CommError> {
+        let plan = comm.plan(algo)?;
+        Ok(Self {
+            graph: comm.graph().clone(),
+            plan,
+            rbufs: Vec::new(),
+            executions: 0,
+        })
+    }
+
+    /// The underlying plan (inspection only).
+    pub fn plan(&self) -> &CollectivePlan {
+        &self.plan
+    }
+
+    /// How many times this collective has executed.
+    pub fn executions(&self) -> usize {
+        self.executions
+    }
+
+    /// Executes the planned collective on fresh payloads, reusing the
+    /// internal receive-buffer arena. Returns per-rank receive buffers
+    /// (borrowed until the next execution).
+    pub fn execute(&mut self, payloads: &[Vec<u8>]) -> Result<&[Vec<u8>], ExecError> {
+        // The virtual executor allocates; move its output into the arena
+        // so repeated calls recycle capacity (Vec assignment reuses the
+        // arena's allocations when capacities suffice).
+        let out = run_virtual(&self.plan, &self.graph, payloads)?;
+        if self.rbufs.len() != out.len() {
+            self.rbufs = out;
+        } else {
+            for (slot, buf) in self.rbufs.iter_mut().zip(out) {
+                slot.clear();
+                slot.extend_from_slice(&buf);
+            }
+        }
+        self.executions += 1;
+        Ok(&self.rbufs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    fn comm() -> DistGraphComm {
+        let g = erdos_renyi(32, 0.3, 5);
+        DistGraphComm::create_adjacent(g, ClusterLayout::new(4, 2, 4)).unwrap()
+    }
+
+    #[test]
+    fn repeated_executions_are_correct() {
+        let c = comm();
+        let mut p = PersistentAllgather::init(&c, Algorithm::DistanceHalving).unwrap();
+        for round in 0..5u64 {
+            let payloads = test_payloads(32, 16, round);
+            let want = reference_allgather(c.graph(), &payloads);
+            let got = p.execute(&payloads).unwrap();
+            assert_eq!(got, &want[..], "round {round}");
+        }
+        assert_eq!(p.executions(), 5);
+    }
+
+    #[test]
+    fn payload_size_may_change_between_executions() {
+        let c = comm();
+        let mut p = PersistentAllgather::init(&c, Algorithm::DistanceHalving).unwrap();
+        for m in [4usize, 64, 8, 0] {
+            let payloads = test_payloads(32, m, 9);
+            let want = reference_allgather(c.graph(), &payloads);
+            assert_eq!(p.execute(&payloads).unwrap(), &want[..], "m={m}");
+        }
+    }
+
+    #[test]
+    fn plan_is_inspectable_and_errors_propagate() {
+        let c = comm();
+        let mut p = PersistentAllgather::init(&c, Algorithm::Naive).unwrap();
+        assert_eq!(p.plan().algorithm, Algorithm::Naive);
+        // wrong payload count is an error, not a panic, and leaves the
+        // collective reusable
+        assert!(p.execute(&[vec![0u8; 4]]).is_err());
+        let payloads = test_payloads(32, 4, 1);
+        assert!(p.execute(&payloads).is_ok());
+        assert_eq!(p.executions(), 1, "failed executions are not counted");
+    }
+}

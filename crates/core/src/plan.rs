@@ -1,0 +1,414 @@
+//! Executable data-movement plans.
+//!
+//! A [`CollectivePlan`] is the common output of all three algorithms
+//! (naïve, Common Neighbor, Distance Halving): for every rank, an ordered
+//! list of [`PlanPhase`]s, each posting receives and sends and ending in
+//! an implicit wait-all — the exact structure of the paper's Algorithm 4.
+//! Message payloads are described as ordered lists of **blocks** (rank
+//! ids whose allgather contribution is concatenated into the message), so
+//! the same plan can be executed with real bytes (the virtual and
+//! threaded executors) or costed symbolically (the simulator, at any
+//! message size).
+//!
+//! # The exactly-once property
+//!
+//! [`CollectivePlan::validate`] checks, among structural sanity, the
+//! central correctness invariant: **every edge `(b → t)` of the virtual
+//! topology is delivered exactly once** — `t` receives a message
+//! containing block `b` at exactly one point of the plan. For Distance
+//! Halving this is a theorem (proved by two lemmas: (1) replication only
+//! happens across the current segment split, so at most one rank of any
+//! segment holds a given block; (2) the responsibility for `(b, t)`
+//! always travels in the same message as `b`'s data, so it can only sit
+//! with a data holder on `t`'s side of every successful split). A failed
+//! agent search strands both the data and the responsibility on the same
+//! rank, which later direct-sends — never duplicating a delivery.
+
+use crate::pattern::SelectionStats;
+use nhood_topology::{Rank, Topology};
+
+/// Which neighborhood-allgather algorithm produced a plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Direct point-to-point sends to every outgoing neighbor — the
+    /// default Open MPI behaviour the paper benchmarks against.
+    Naive,
+    /// The Common Neighbor message-combining algorithm (Ghazimirsaeed et
+    /// al., IPDPS'19) with groups of `k` ranks.
+    CommonNeighbor {
+        /// Group size.
+        k: usize,
+    },
+    /// The paper's topology- and load-aware Distance Halving algorithm.
+    DistanceHalving,
+    /// Hierarchical leader-based allgather (Ghazimirsaeed et al.,
+    /// SC'20 — the paper's reference [9]): node leaders aggregate,
+    /// exchange one combined message per node pair, then scatter.
+    HierarchicalLeader {
+        /// Leaders per node (blocks assigned round-robin).
+        leaders_per_node: usize,
+    },
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Naive => write!(f, "naive"),
+            Algorithm::CommonNeighbor { k } => write!(f, "common-neighbor(k={k})"),
+            Algorithm::DistanceHalving => write!(f, "distance-halving"),
+            Algorithm::HierarchicalLeader { leaders_per_node } => {
+                write!(f, "hierarchical-leader(l={leaders_per_node})")
+            }
+        }
+    }
+}
+
+/// One planned message: `blocks` (payload contributions of those ranks,
+/// concatenated in order) moving between this rank and `peer`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedMsg {
+    /// The other endpoint.
+    pub peer: Rank,
+    /// Whose payload blocks the message carries, in payload order.
+    pub blocks: Vec<Rank>,
+    /// Matching tag; unique per (src, dst) pair within the plan.
+    pub tag: u64,
+}
+
+/// One post-recvs/post-sends/wait-all block of a rank's program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanPhase {
+    /// Number of block-sized memcpys this rank performs at phase entry
+    /// (buffer packing / receive-buffer copies); the simulator charges
+    /// `copy_blocks · m / memcpy_bandwidth`.
+    pub copy_blocks: usize,
+    /// Messages sent in this phase.
+    pub sends: Vec<PlannedMsg>,
+    /// Messages received in this phase.
+    pub recvs: Vec<PlannedMsg>,
+}
+
+impl PlanPhase {
+    /// `true` if the phase neither communicates nor copies.
+    pub fn is_empty(&self) -> bool {
+        self.copy_blocks == 0 && self.sends.is_empty() && self.recvs.is_empty()
+    }
+}
+
+/// A complete, executable plan for one neighborhood allgather.
+#[derive(Clone, Debug)]
+pub struct CollectivePlan {
+    /// The algorithm that produced this plan.
+    pub algorithm: Algorithm,
+    /// `per_rank[r]` is rank `r`'s phase program. All programs have equal
+    /// length (padded with empty phases) so executors can run them in
+    /// lock-step.
+    pub per_rank: Vec<Vec<PlanPhase>>,
+    /// Selection statistics (Distance Halving only).
+    pub selection: Option<SelectionStats>,
+}
+
+impl CollectivePlan {
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Number of (lock-step) phases.
+    pub fn phase_count(&self) -> usize {
+        self.per_rank.first().map_or(0, Vec::len)
+    }
+
+    /// Total messages, counted on the send side.
+    pub fn message_count(&self) -> usize {
+        self.per_rank
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|ph| ph.sends.len())
+            .sum()
+    }
+
+    /// Total payload volume in block units (multiply by the per-rank
+    /// message size `m` for bytes).
+    pub fn total_blocks_sent(&self) -> usize {
+        self.per_rank
+            .iter()
+            .flat_map(|p| p.iter())
+            .flat_map(|ph| ph.sends.iter())
+            .map(|m| m.blocks.len())
+            .sum()
+    }
+
+    /// Largest single message, in blocks.
+    pub fn max_message_blocks(&self) -> usize {
+        self.per_rank
+            .iter()
+            .flat_map(|p| p.iter())
+            .flat_map(|ph| ph.sends.iter())
+            .map(|m| m.blocks.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-rank total messages sent — the load-balance view.
+    pub fn sends_per_rank(&self) -> Vec<usize> {
+        self.per_rank
+            .iter()
+            .map(|phases| phases.iter().map(|ph| ph.sends.len()).sum())
+            .collect()
+    }
+
+    /// Checks structural sanity and the exactly-once delivery property
+    /// against the virtual topology that produced the plan:
+    ///
+    /// 1. programs are lock-step (equal length);
+    /// 2. sends and recvs mirror each other exactly (peer, blocks, tag);
+    /// 3. a rank only sends blocks it holds (its own, or ones received in
+    ///    *earlier* phases);
+    /// 4. every topology edge `(b → t)` is delivered to `t` exactly once;
+    /// 5. nothing is delivered that the topology does not require —
+    ///    except transit data (blocks a rank relays but does not consume),
+    ///    which is allowed and is exactly what distinguishes DH traffic.
+    pub fn validate(&self, graph: &Topology) -> Result<(), String> {
+        use std::collections::HashMap;
+        let n = self.n();
+        if graph.n() != n {
+            return Err(format!("plan has {n} ranks, topology has {}", graph.n()));
+        }
+        let phases = self.phase_count();
+        for (r, prog) in self.per_rank.iter().enumerate() {
+            if prog.len() != phases {
+                return Err(format!(
+                    "rank {r} has {} phases, expected lock-step {phases}",
+                    prog.len()
+                ));
+            }
+        }
+
+        // 2: mirror check via keyed maps
+        let mut sends: HashMap<(Rank, Rank, u64), (usize, &[Rank])> = HashMap::new();
+        let mut recvs: HashMap<(Rank, Rank, u64), (usize, &[Rank])> = HashMap::new();
+        for (r, prog) in self.per_rank.iter().enumerate() {
+            for (k, ph) in prog.iter().enumerate() {
+                for m in &ph.sends {
+                    if m.peer >= n || m.peer == r {
+                        return Err(format!("rank {r} phase {k}: bad send peer {}", m.peer));
+                    }
+                    if m.blocks.is_empty() {
+                        return Err(format!("rank {r} phase {k}: empty send to {}", m.peer));
+                    }
+                    if sends.insert((r, m.peer, m.tag), (k, &m.blocks)).is_some() {
+                        return Err(format!("duplicate send key ({r},{},{})", m.peer, m.tag));
+                    }
+                }
+                for m in &ph.recvs {
+                    if m.peer >= n || m.peer == r {
+                        return Err(format!("rank {r} phase {k}: bad recv peer {}", m.peer));
+                    }
+                    if recvs.insert((m.peer, r, m.tag), (k, &m.blocks)).is_some() {
+                        return Err(format!("duplicate recv key ({},{r},{})", m.peer, m.tag));
+                    }
+                }
+            }
+        }
+        if sends.len() != recvs.len() {
+            return Err(format!("{} sends vs {} recvs", sends.len(), recvs.len()));
+        }
+        for (key, (sk, sblocks)) in &sends {
+            match recvs.get(key) {
+                None => return Err(format!("send {key:?} has no matching recv")),
+                Some((rk, rblocks)) => {
+                    if sk != rk {
+                        return Err(format!("send {key:?} in phase {sk} but recv in {rk}"));
+                    }
+                    if sblocks != rblocks {
+                        return Err(format!("send {key:?} blocks differ from recv"));
+                    }
+                }
+            }
+        }
+
+        // 3 + 4: lock-step possession/delivery simulation
+        let mut holds: Vec<std::collections::HashSet<Rank>> =
+            (0..n).map(|r| std::collections::HashSet::from([r])).collect();
+        let mut delivered: HashMap<(Rank, Rank), usize> = HashMap::new();
+        for k in 0..phases {
+            // sends read pre-phase possession
+            for (r, prog) in self.per_rank.iter().enumerate() {
+                for m in &prog[k].sends {
+                    for &b in &m.blocks {
+                        if !holds[r].contains(&b) {
+                            return Err(format!(
+                                "rank {r} phase {k} sends block {b} it does not hold"
+                            ));
+                        }
+                    }
+                }
+            }
+            for (r, prog) in self.per_rank.iter().enumerate() {
+                for m in &prog[k].recvs {
+                    for &b in &m.blocks {
+                        holds[r].insert(b);
+                        if graph.has_edge(b, r) {
+                            *delivered.entry((b, r)).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (s, d) in graph.edges() {
+            match delivered.get(&(s, d)).copied().unwrap_or(0) {
+                0 => return Err(format!("edge ({s} -> {d}) never delivered")),
+                1 => {}
+                c => return Err(format!("edge ({s} -> {d}) delivered {c} times")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(peer: Rank, blocks: Vec<Rank>, tag: u64) -> PlannedMsg {
+        PlannedMsg { peer, blocks, tag }
+    }
+
+    /// hand-built two-rank exchange plan
+    fn pair_plan() -> (Topology, CollectivePlan) {
+        let g = Topology::from_edges(2, [(0, 1), (1, 0)]);
+        let plan = CollectivePlan {
+            algorithm: Algorithm::Naive,
+            per_rank: vec![
+                vec![PlanPhase {
+                    copy_blocks: 0,
+                    sends: vec![msg(1, vec![0], 0)],
+                    recvs: vec![msg(1, vec![1], 0)],
+                }],
+                vec![PlanPhase {
+                    copy_blocks: 0,
+                    sends: vec![msg(0, vec![1], 0)],
+                    recvs: vec![msg(0, vec![0], 0)],
+                }],
+            ],
+            selection: None,
+        };
+        (g, plan)
+    }
+
+    #[test]
+    fn valid_pair_plan_passes() {
+        let (g, plan) = pair_plan();
+        plan.validate(&g).unwrap();
+        assert_eq!(plan.message_count(), 2);
+        assert_eq!(plan.total_blocks_sent(), 2);
+        assert_eq!(plan.max_message_blocks(), 1);
+        assert_eq!(plan.sends_per_rank(), vec![1, 1]);
+        assert_eq!(plan.phase_count(), 1);
+    }
+
+    #[test]
+    fn detects_missing_delivery() {
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[0][0].sends.clear();
+        plan.per_rank[1][0].recvs.clear();
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("never delivered"), "{e}");
+    }
+
+    #[test]
+    fn detects_double_delivery() {
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[0][0].sends.push(msg(1, vec![0], 9));
+        plan.per_rank[1][0].recvs.push(msg(0, vec![0], 9));
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("delivered 2 times"), "{e}");
+    }
+
+    #[test]
+    fn detects_unheld_block() {
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[0][0].sends[0].blocks = vec![0, 1]; // rank 0 never holds 1 pre-phase
+        plan.per_rank[1][0].recvs[0].blocks = vec![0, 1];
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("does not hold"), "{e}");
+    }
+
+    #[test]
+    fn detects_mirror_mismatch() {
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[1][0].recvs[0].tag = 7;
+        assert!(plan.validate(&g).is_err());
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[1][0].recvs[0].blocks = vec![1];
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("blocks differ"), "{e}");
+    }
+
+    #[test]
+    fn detects_phase_mismatch() {
+        let (g, mut plan) = pair_plan();
+        plan.per_rank[0].push(PlanPhase::default());
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("lock-step"), "{e}");
+    }
+
+    #[test]
+    fn detects_cross_phase_match() {
+        let g = Topology::from_edges(2, [(0, 1)]);
+        let plan = CollectivePlan {
+            algorithm: Algorithm::Naive,
+            per_rank: vec![
+                vec![
+                    PlanPhase {
+                        copy_blocks: 0,
+                        sends: vec![msg(1, vec![0], 0)],
+                        recvs: vec![],
+                    },
+                    PlanPhase::default(),
+                ],
+                vec![
+                    PlanPhase::default(),
+                    PlanPhase { copy_blocks: 0, sends: vec![], recvs: vec![msg(0, vec![0], 0)] },
+                ],
+            ],
+            selection: None,
+        };
+        let e = plan.validate(&g).unwrap_err();
+        assert!(e.contains("phase"), "{e}");
+    }
+
+    #[test]
+    fn transit_blocks_are_allowed() {
+        // 0 -> 1 -> 2 relay of block 0 where only edge (0,2) exists:
+        // rank 1 holds block 0 in transit without consuming it
+        let g = Topology::from_edges(3, [(0, 2)]);
+        let plan = CollectivePlan {
+            algorithm: Algorithm::DistanceHalving,
+            per_rank: vec![
+                vec![
+                    PlanPhase { copy_blocks: 1, sends: vec![msg(1, vec![0], 0)], recvs: vec![] },
+                    PlanPhase::default(),
+                ],
+                vec![
+                    PlanPhase { copy_blocks: 0, sends: vec![], recvs: vec![msg(0, vec![0], 0)] },
+                    PlanPhase { copy_blocks: 0, sends: vec![msg(2, vec![0], 1)], recvs: vec![] },
+                ],
+                vec![
+                    PlanPhase::default(),
+                    PlanPhase { copy_blocks: 0, sends: vec![], recvs: vec![msg(1, vec![0], 1)] },
+                ],
+            ],
+            selection: None,
+        };
+        plan.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn algorithm_display() {
+        assert_eq!(Algorithm::Naive.to_string(), "naive");
+        assert_eq!(Algorithm::CommonNeighbor { k: 4 }.to_string(), "common-neighbor(k=4)");
+        assert_eq!(Algorithm::DistanceHalving.to_string(), "distance-halving");
+    }
+}

@@ -1,0 +1,305 @@
+//! Plan persistence: save a built [`CollectivePlan`] to disk and load it
+//! back — the "persistent collective" workflow. Pattern creation is the
+//! expensive one-time step (Fig. 8); applications that run the same
+//! topology repeatedly can pay it once and reload the plan afterwards.
+//!
+//! The format is a small versioned little-endian binary (no external
+//! dependencies): magic `NHPLAN1\0`, algorithm id, rank count, then each
+//! rank's phases as length-prefixed send/recv lists.
+
+use crate::pattern::SelectionStats;
+use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NHPLAN1\0";
+
+/// Load failure.
+#[derive(Debug)]
+pub enum PlanIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a plan file, or an unsupported version.
+    BadMagic,
+    /// Structurally invalid content (truncated, absurd counts).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PlanIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanIoError::Io(e) => write!(f, "I/O error: {e}"),
+            PlanIoError::BadMagic => write!(f, "not an nhood plan file (bad magic)"),
+            PlanIoError::Corrupt(m) => write!(f, "corrupt plan file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanIoError {}
+
+impl From<io::Error> for PlanIoError {
+    fn from(e: io::Error) -> Self {
+        PlanIoError::Io(e)
+    }
+}
+
+fn w64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r64(r: &mut impl Read) -> Result<u64, PlanIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Guard against absurd counts from corrupt files before allocating.
+fn checked_len(v: u64, what: &str) -> Result<usize, PlanIoError> {
+    const LIMIT: u64 = 1 << 32;
+    if v > LIMIT {
+        return Err(PlanIoError::Corrupt(format!("{what} count {v} exceeds limit")));
+    }
+    Ok(v as usize)
+}
+
+fn write_msg(w: &mut impl Write, m: &PlannedMsg) -> io::Result<()> {
+    w64(w, m.peer as u64)?;
+    w64(w, m.tag)?;
+    w64(w, m.blocks.len() as u64)?;
+    for &b in &m.blocks {
+        w64(w, b as u64)?;
+    }
+    Ok(())
+}
+
+fn read_msg(r: &mut impl Read, n: usize) -> Result<PlannedMsg, PlanIoError> {
+    let peer = checked_len(r64(r)?, "peer")?;
+    if peer >= n {
+        return Err(PlanIoError::Corrupt(format!("peer {peer} out of {n} ranks")));
+    }
+    let tag = r64(r)?;
+    let len = checked_len(r64(r)?, "blocks")?;
+    let mut blocks = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        let b = checked_len(r64(r)?, "block")?;
+        if b >= n {
+            return Err(PlanIoError::Corrupt(format!("block {b} out of {n} ranks")));
+        }
+        blocks.push(b);
+    }
+    Ok(PlannedMsg { peer, blocks, tag })
+}
+
+fn algorithm_id(a: Algorithm) -> (u64, u64) {
+    match a {
+        Algorithm::Naive => (0, 0),
+        Algorithm::CommonNeighbor { k } => (1, k as u64),
+        Algorithm::DistanceHalving => (2, 0),
+        Algorithm::HierarchicalLeader { leaders_per_node } => (3, leaders_per_node as u64),
+    }
+}
+
+fn algorithm_from(id: u64, param: u64) -> Result<Algorithm, PlanIoError> {
+    Ok(match id {
+        0 => Algorithm::Naive,
+        1 => Algorithm::CommonNeighbor { k: param as usize },
+        2 => Algorithm::DistanceHalving,
+        3 => Algorithm::HierarchicalLeader { leaders_per_node: param as usize },
+        other => return Err(PlanIoError::Corrupt(format!("unknown algorithm id {other}"))),
+    })
+}
+
+/// Serializes a plan.
+pub fn write_plan(plan: &CollectivePlan, mut w: impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let (id, param) = algorithm_id(plan.algorithm);
+    w64(&mut w, id)?;
+    w64(&mut w, param)?;
+    match plan.selection {
+        None => w64(&mut w, 0)?,
+        Some(s) => {
+            w64(&mut w, 1)?;
+            for v in [
+                s.req,
+                s.accept,
+                s.drop,
+                s.exit,
+                s.notifications,
+                s.descriptors,
+                s.agent_searches,
+                s.agents_found,
+            ] {
+                w64(&mut w, v as u64)?;
+            }
+        }
+    }
+    w64(&mut w, plan.n() as u64)?;
+    for prog in &plan.per_rank {
+        w64(&mut w, prog.len() as u64)?;
+        for phase in prog {
+            w64(&mut w, phase.copy_blocks as u64)?;
+            w64(&mut w, phase.sends.len() as u64)?;
+            for m in &phase.sends {
+                write_msg(&mut w, m)?;
+            }
+            w64(&mut w, phase.recvs.len() as u64)?;
+            for m in &phase.recvs {
+                write_msg(&mut w, m)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a plan.
+pub fn read_plan(mut r: impl Read) -> Result<CollectivePlan, PlanIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PlanIoError::BadMagic);
+    }
+    let algorithm = algorithm_from(r64(&mut r)?, r64(&mut r)?)?;
+    let selection = match r64(&mut r)? {
+        0 => None,
+        1 => {
+            let mut v = [0usize; 8];
+            for slot in &mut v {
+                *slot = checked_len(r64(&mut r)?, "stat")?;
+            }
+            Some(SelectionStats {
+                req: v[0],
+                accept: v[1],
+                drop: v[2],
+                exit: v[3],
+                notifications: v[4],
+                descriptors: v[5],
+                agent_searches: v[6],
+                agents_found: v[7],
+            })
+        }
+        other => return Err(PlanIoError::Corrupt(format!("bad selection flag {other}"))),
+    };
+    let n = checked_len(r64(&mut r)?, "rank")?;
+    let mut per_rank = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let phases = checked_len(r64(&mut r)?, "phase")?;
+        let mut prog = Vec::with_capacity(phases.min(1 << 20));
+        for _ in 0..phases {
+            let copy_blocks = checked_len(r64(&mut r)?, "copy")?;
+            let ns = checked_len(r64(&mut r)?, "send")?;
+            let mut sends = Vec::with_capacity(ns.min(1 << 20));
+            for _ in 0..ns {
+                sends.push(read_msg(&mut r, n)?);
+            }
+            let nr = checked_len(r64(&mut r)?, "recv")?;
+            let mut recvs = Vec::with_capacity(nr.min(1 << 20));
+            for _ in 0..nr {
+                recvs.push(read_msg(&mut r, n)?);
+            }
+            prog.push(PlanPhase { copy_blocks, sends, recvs });
+        }
+        per_rank.push(prog);
+    }
+    Ok(CollectivePlan { algorithm, per_rank, selection })
+}
+
+/// Convenience: save to a path.
+pub fn save_plan(plan: &CollectivePlan, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_plan(plan, io::BufWriter::new(f))
+}
+
+/// Convenience: load from a path.
+pub fn load_plan(path: &std::path::Path) -> Result<CollectivePlan, PlanIoError> {
+    let f = std::fs::File::open(path)?;
+    read_plan(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pattern;
+    use crate::lower::lower;
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    fn round_trip(plan: &CollectivePlan) -> CollectivePlan {
+        let mut buf = Vec::new();
+        write_plan(plan, &mut buf).unwrap();
+        read_plan(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_round_trip() {
+        let g = erdos_renyi(24, 0.4, 5);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let comm = crate::DistGraphComm::create_adjacent(g.clone(), layout).unwrap();
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::CommonNeighbor { k: 4 },
+            Algorithm::DistanceHalving,
+            Algorithm::HierarchicalLeader { leaders_per_node: 2 },
+        ] {
+            let plan = comm.plan(algo).unwrap();
+            let back = round_trip(&plan);
+            assert_eq!(back.algorithm, plan.algorithm);
+            assert_eq!(back.per_rank, plan.per_rank, "{algo}");
+            assert_eq!(back.selection, plan.selection);
+            back.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn loaded_plan_executes_identically() {
+        use crate::exec::virtual_exec::{run_virtual, test_payloads};
+        let g = erdos_renyi(32, 0.3, 9);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let back = round_trip(&plan);
+        let payloads = test_payloads(32, 16, 3);
+        assert_eq!(
+            run_virtual(&plan, &g, &payloads).unwrap(),
+            run_virtual(&back, &g, &payloads).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(read_plan(&b"not a plan"[..]), Err(PlanIoError::BadMagic) | Err(PlanIoError::Io(_))));
+        // right magic, truncated body
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        assert!(read_plan(&buf[..]).is_err());
+        // absurd rank count
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes()); // naive
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // no selection
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // ranks
+        assert!(matches!(read_plan(&buf[..]), Err(PlanIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn out_of_range_peer_rejected() {
+        let g = erdos_renyi(8, 0.5, 1);
+        let plan = crate::naive::plan_naive(&g);
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        // plan for 8 ranks claims to be for 4: peers out of range
+        let mut hacked = buf.clone();
+        // ranks field sits after magic(8) + algo(16) + selection flag(8)
+        hacked[32..40].copy_from_slice(&4u64.to_le_bytes());
+        let err = read_plan(&hacked[..]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = erdos_renyi(16, 0.4, 2);
+        let plan = crate::naive::plan_naive(&g);
+        let path = std::env::temp_dir().join("nhood_plan_io_test.bin");
+        save_plan(&plan, &path).unwrap();
+        let back = load_plan(&path).unwrap();
+        assert_eq!(back.per_rank, plan.per_rank);
+    }
+}

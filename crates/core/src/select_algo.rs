@@ -1,0 +1,140 @@
+//! Automatic algorithm selection — the production feature the
+//! experiments point at: Distance Halving wins the latency-bound regime
+//! (small messages, non-trivial density), the hierarchical leader design
+//! wins the bandwidth-bound regime, and very sparse neighborhoods are
+//! best left to direct sends (see `EXPERIMENTS.md`, "ext-leader" and
+//! Fig. 5). [`recommend`] encodes those crossovers; callers who know
+//! better can always pick explicitly.
+
+use crate::plan::Algorithm;
+use nhood_cluster::ClusterLayout;
+use nhood_topology::Topology;
+
+/// Tunable crossover thresholds (defaults fitted to the full-scale
+/// sweeps in `EXPERIMENTS.md`).
+#[derive(Clone, Copy, Debug)]
+pub struct SelectionPolicy {
+    /// Below this mean out-degree fraction of `n`, direct sends win
+    /// (nothing to combine).
+    pub min_density: f64,
+    /// At or above this payload size (bytes), prefer the leader
+    /// hierarchy over Distance Halving.
+    pub large_message_bytes: usize,
+    /// Leaders per node when the leader hierarchy is chosen.
+    pub leaders_per_node: usize,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        Self { min_density: 0.02, large_message_bytes: 4096, leaders_per_node: 8 }
+    }
+}
+
+/// Recommends an allgather algorithm for a topology / layout / payload
+/// size, using the default [`SelectionPolicy`].
+pub fn recommend(graph: &Topology, layout: &ClusterLayout, m: usize) -> Algorithm {
+    recommend_with(graph, layout, m, &SelectionPolicy::default())
+}
+
+/// [`recommend`] with explicit thresholds.
+pub fn recommend_with(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    m: usize,
+    policy: &SelectionPolicy,
+) -> Algorithm {
+    let n = graph.n();
+    if n < 2 {
+        return Algorithm::Naive;
+    }
+    // single node: no inter-node traffic to save — relaying only adds
+    // copies, so stay direct
+    if layout.nodes() == 1 || n <= layout.ranks_per_node() {
+        return Algorithm::Naive;
+    }
+    let density = graph.density();
+    if density < policy.min_density {
+        return Algorithm::Naive;
+    }
+    if m >= policy.large_message_bytes {
+        return Algorithm::HierarchicalLeader { leaders_per_node: policy.leaders_per_node };
+    }
+    Algorithm::DistanceHalving
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::sim_exec::{simulate, SimCost};
+    use crate::DistGraphComm;
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn crossovers_match_the_documented_regimes() {
+        let layout = ClusterLayout::niagara(6, 36);
+        let dense = erdos_renyi(216, 0.3, 1);
+        assert_eq!(recommend(&dense, &layout, 64), Algorithm::DistanceHalving);
+        assert!(matches!(
+            recommend(&dense, &layout, 1 << 20),
+            Algorithm::HierarchicalLeader { .. }
+        ));
+        let sparse = erdos_renyi(216, 0.005, 1);
+        assert_eq!(recommend(&sparse, &layout, 64), Algorithm::Naive);
+    }
+
+    #[test]
+    fn single_node_is_always_direct() {
+        let layout = ClusterLayout::new(1, 2, 16);
+        let g = erdos_renyi(32, 0.5, 2);
+        assert_eq!(recommend(&g, &layout, 64), Algorithm::Naive);
+        assert_eq!(recommend(&g, &layout, 1 << 22), Algorithm::Naive);
+    }
+
+    #[test]
+    fn tiny_communicators_are_direct() {
+        let layout = ClusterLayout::new(2, 1, 1);
+        assert_eq!(recommend(&Topology::from_edges(1, []), &layout, 64), Algorithm::Naive);
+    }
+
+    #[test]
+    fn recommendation_is_never_far_from_the_best_choice() {
+        // the recommended algorithm must be within 2x of the best of the
+        // candidate set across a small grid of scenarios
+        let layout = ClusterLayout::niagara(6, 36);
+        let cost = SimCost::niagara();
+        for (delta, m) in [(0.3f64, 64usize), (0.3, 262_144), (0.5, 64), (0.1, 65_536)] {
+            let g = erdos_renyi(216, delta, 7);
+            let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
+            let rec = recommend(&g, &layout, m);
+            let t_rec = simulate(&comm.plan(rec).unwrap(), &layout, m, &cost).unwrap().makespan;
+            let best = [
+                Algorithm::Naive,
+                Algorithm::DistanceHalving,
+                Algorithm::HierarchicalLeader { leaders_per_node: 8 },
+            ]
+            .into_iter()
+            .map(|a| simulate(&comm.plan(a).unwrap(), &layout, m, &cost).unwrap().makespan)
+            .fold(f64::MAX, f64::min);
+            assert!(
+                t_rec <= 2.0 * best,
+                "delta={delta} m={m}: recommended {rec} is {t_rec:.2e}s vs best {best:.2e}s"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_thresholds_respected() {
+        let layout = ClusterLayout::niagara(4, 32);
+        let g = erdos_renyi(128, 0.2, 3);
+        let policy =
+            SelectionPolicy { min_density: 0.5, large_message_bytes: 8, leaders_per_node: 2 };
+        // density 0.2 < 0.5 → naive regardless of size
+        assert_eq!(recommend_with(&g, &layout, 4, &policy), Algorithm::Naive);
+        let policy2 = SelectionPolicy { min_density: 0.01, ..policy };
+        assert_eq!(
+            recommend_with(&g, &layout, 64, &policy2),
+            Algorithm::HierarchicalLeader { leaders_per_node: 2 }
+        );
+        assert_eq!(recommend_with(&g, &layout, 4, &policy2), Algorithm::DistanceHalving);
+    }
+}

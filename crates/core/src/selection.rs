@@ -1,0 +1,525 @@
+//! Event-driven emulation of the joint agent/origin selection protocol
+//! (Algorithms 2 and 3 of the paper).
+//!
+//! One **round** is half of one halving step: every rank of one half (the
+//! *proposers*) runs `find_agent` while every rank of the opposite half
+//! (the *acceptors*) runs `find_origin`. Ranks negotiate with
+//! REQ / ACCEPT / DROP / EXIT signals:
+//!
+//! * a proposer REQs its best-scoring candidate and waits;
+//! * an acceptor ACCEPTs the REQ of its best-scoring candidate (at most
+//!   one origin per acceptor per round) and proactively DROPs everyone
+//!   else;
+//! * a DROPped proposer advances to its next-best candidate;
+//! * an accepted proposer EXITs its remaining candidates so they stop
+//!   waiting for it.
+//!
+//! The emulation drives per-rank state machines from a FIFO signal queue
+//! — the same protocol the paper runs over MPI, with a deterministic
+//! arrival order (see DESIGN.md §2 for the substitution argument). Every
+//! signal is counted, which feeds the Fig. 8 overhead analysis.
+//!
+//! The *score* of a pair is the number of outgoing neighbors the two
+//! ranks share **inside the acceptor-side half** (the paper's matrix-A
+//! query); a pair is mutually a candidate iff its score is ≥ 1, which
+//! makes the candidate relation symmetric. Ties are broken toward the
+//! lower rank, mirroring a rank-ordered candidate scan.
+
+use crate::pattern::SelectionStats;
+use nhood_topology::Rank;
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of one selection round.
+#[derive(Clone, Debug, Default)]
+pub struct RoundResult {
+    /// proposer → acceptor matches.
+    pub matched: HashMap<Rank, Rank>,
+    /// Signal tallies for this round (`agent_searches` counts every
+    /// proposer, `agents_found` every matched proposer).
+    pub stats: SelectionStats,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sig {
+    Req,
+    Accept,
+    Drop,
+    Exit,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CandState {
+    Active,
+    Waiting,
+    Inactive,
+}
+
+fn push_signal(
+    queue: &mut VecDeque<(Rank, Rank, Sig)>,
+    log: &mut Option<&mut Vec<Event>>,
+    from: Rank,
+    to: Rank,
+    sig: Sig,
+) {
+    if let Some(l) = log.as_deref_mut() {
+        l.push(Event::Sent { from, to });
+    }
+    queue.push_back((from, to, sig));
+}
+
+struct Proposer {
+    rank: Rank,
+    /// candidates sorted best-first: (score desc, rank asc)
+    candidates: Vec<Rank>,
+    state: HashMap<Rank, CandState>,
+    /// index into `candidates` of the outstanding REQ target
+    cursor: usize,
+    selected: Option<Rank>,
+    failed: bool,
+}
+
+struct Acceptor {
+    rank: Rank,
+    candidates: Vec<Rank>,
+    state: HashMap<Rank, CandState>,
+    selected: Option<Rank>,
+}
+
+impl Acceptor {
+    /// Best-scoring non-INACTIVE candidate, if any. `candidates` is
+    /// sorted best-first so the first live entry wins.
+    fn best_live(&self) -> Option<Rank> {
+        self.candidates
+            .iter()
+            .copied()
+            .find(|c| self.state[c] != CandState::Inactive)
+    }
+}
+
+/// One observable protocol event, in global causal order: a signal is
+/// `Sent` when its sender emits it and `Received` when its receiver
+/// processes it. The per-rank subsequences of this log are exactly the
+/// blocking send/recv programs the ranks executed, which lets the
+/// `nhood-bench` Fig. 8 harness replay a negotiation through the network
+/// simulator and *measure* the pattern-creation time instead of
+/// estimating it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `from` emitted a signal addressed to `to`.
+    Sent {
+        /// Sender.
+        from: Rank,
+        /// Addressee.
+        to: Rank,
+    },
+    /// `by` processed the signal that `from` had sent it.
+    Received {
+        /// Processing rank.
+        by: Rank,
+        /// Original sender.
+        from: Rank,
+    },
+}
+
+/// Runs one selection round.
+///
+/// `score(p, a)` must return the shared-outgoing-neighbor count of
+/// proposer `p` and acceptor `a` within the acceptor-side half; pairs
+/// with score 0 are not candidates. The function is called once per
+/// (proposer, acceptor) pair.
+pub fn run_round(
+    proposers: &[Rank],
+    acceptors: &[Rank],
+    score: impl FnMut(Rank, Rank) -> usize,
+) -> RoundResult {
+    run_round_impl(proposers, acceptors, score, None)
+}
+
+/// [`run_round`] that additionally appends every signal's send and
+/// receive to `log`, in causal order.
+pub fn run_round_logged(
+    proposers: &[Rank],
+    acceptors: &[Rank],
+    score: impl FnMut(Rank, Rank) -> usize,
+    log: &mut Vec<Event>,
+) -> RoundResult {
+    run_round_impl(proposers, acceptors, score, Some(log))
+}
+
+fn run_round_impl(
+    proposers: &[Rank],
+    acceptors: &[Rank],
+    mut score: impl FnMut(Rank, Rank) -> usize,
+    mut log: Option<&mut Vec<Event>>,
+) -> RoundResult {
+    let mut stats = SelectionStats { agent_searches: proposers.len(), ..Default::default() };
+
+    // Build candidate lists, best-first.
+    let mut props: HashMap<Rank, Proposer> = HashMap::with_capacity(proposers.len());
+    let mut accs: HashMap<Rank, Acceptor> = HashMap::with_capacity(acceptors.len());
+    let mut acc_cands: HashMap<Rank, Vec<(usize, Rank)>> = acceptors
+        .iter()
+        .map(|&a| (a, Vec::new()))
+        .collect();
+    for &p in proposers {
+        let mut cands: Vec<(usize, Rank)> = Vec::new();
+        for &a in acceptors {
+            let s = score(p, a);
+            if s > 0 {
+                cands.push((s, a));
+                acc_cands.get_mut(&a).expect("acceptor exists").push((s, p));
+            }
+        }
+        cands.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        let candidates: Vec<Rank> = cands.iter().map(|&(_, r)| r).collect();
+        let state = candidates.iter().map(|&c| (c, CandState::Active)).collect();
+        props.insert(
+            p,
+            Proposer { rank: p, candidates, state, cursor: 0, selected: None, failed: false },
+        );
+    }
+    for &a in acceptors {
+        let mut cands = acc_cands.remove(&a).expect("populated above");
+        cands.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        let candidates: Vec<Rank> = cands.iter().map(|&(_, r)| r).collect();
+        let state = candidates.iter().map(|&c| (c, CandState::Active)).collect();
+        accs.insert(a, Acceptor { rank: a, candidates, state, selected: None });
+    }
+
+    let mut queue: VecDeque<(Rank, Rank, Sig)> = VecDeque::new();
+
+    // Bootstrap: every proposer with candidates REQs its best one.
+    for &p in proposers {
+        let pr = props.get_mut(&p).expect("proposer exists");
+        if let Some(&best) = pr.candidates.first() {
+            push_signal(&mut queue, &mut log, p, best, Sig::Req);
+            stats.req += 1;
+        } else {
+            pr.failed = true;
+        }
+    }
+
+    // Acceptor `a` selects proposer `p`: ACCEPT p, proactively DROP every
+    // other live candidate.
+    fn accept(
+        a: &mut Acceptor,
+        p: Rank,
+        queue: &mut VecDeque<(Rank, Rank, Sig)>,
+        log: &mut Option<&mut Vec<Event>>,
+        stats: &mut SelectionStats,
+    ) {
+        a.selected = Some(p);
+        push_signal(queue, log, a.rank, p, Sig::Accept);
+        stats.accept += 1;
+        for &c in &a.candidates {
+            if c != p && a.state[&c] != CandState::Inactive {
+                push_signal(queue, log, a.rank, c, Sig::Drop);
+                stats.drop += 1;
+                a.state.insert(c, CandState::Inactive);
+            }
+        }
+        a.state.insert(p, CandState::Inactive);
+    }
+
+    while let Some((from, to, sig)) = queue.pop_front() {
+        if let Some(l) = log.as_deref_mut() {
+            l.push(Event::Received { by: to, from });
+        }
+        match sig {
+            Sig::Req => {
+                let a = accs.get_mut(&to).expect("REQ goes to an acceptor");
+                if a.selected.is_some() {
+                    // straggler: already matched this round
+                    push_signal(&mut queue, &mut log, to, from, Sig::Drop);
+                    stats.drop += 1;
+                    a.state.insert(from, CandState::Inactive);
+                    continue;
+                }
+                debug_assert_eq!(a.state[&from], CandState::Active, "duplicate REQ");
+                a.state.insert(from, CandState::Waiting);
+                if a.best_live() == Some(from) {
+                    accept(a, from, &mut queue, &mut log, &mut stats);
+                }
+            }
+            Sig::Accept => {
+                let p = props.get_mut(&to).expect("ACCEPT goes to a proposer");
+                debug_assert!(p.selected.is_none(), "double accept");
+                p.selected = Some(from);
+                stats.agents_found += 1;
+                // EXIT all other candidates still considered live by us.
+                for i in 0..p.candidates.len() {
+                    let c = p.candidates[i];
+                    if c != from && p.state[&c] != CandState::Inactive {
+                        push_signal(&mut queue, &mut log, p.rank, c, Sig::Exit);
+                        stats.exit += 1;
+                        p.state.insert(c, CandState::Inactive);
+                    }
+                }
+                p.state.insert(from, CandState::Inactive);
+            }
+            Sig::Drop => {
+                let p = props.get_mut(&to).expect("DROP goes to a proposer");
+                if p.state.get(&from) == Some(&CandState::Inactive) && p.selected.is_some() {
+                    continue; // late chatter after we matched
+                }
+                let was_target = p
+                    .candidates
+                    .get(p.cursor)
+                    .is_some_and(|&c| c == from && p.selected.is_none() && !p.failed);
+                let already_inactive = p.state.get(&from) == Some(&CandState::Inactive);
+                p.state.insert(from, CandState::Inactive);
+                if p.selected.is_some() || p.failed || already_inactive {
+                    continue;
+                }
+                if was_target {
+                    // advance to the next live candidate
+                    p.cursor += 1;
+                    while p.cursor < p.candidates.len()
+                        && p.state[&p.candidates[p.cursor]] == CandState::Inactive
+                    {
+                        p.cursor += 1;
+                    }
+                    if p.cursor < p.candidates.len() {
+                        let next = p.candidates[p.cursor];
+                        push_signal(&mut queue, &mut log, p.rank, next, Sig::Req);
+                        stats.req += 1;
+                    } else {
+                        p.failed = true;
+                    }
+                } else {
+                    // unsolicited DROP from an acceptor we never REQ'd:
+                    // tell it to stop considering us (Alg. 2 line 34)
+                    push_signal(&mut queue, &mut log, p.rank, from, Sig::Exit);
+                    stats.exit += 1;
+                }
+            }
+            Sig::Exit => {
+                let a = accs.get_mut(&to).expect("EXIT goes to an acceptor");
+                let prev = a.state.insert(from, CandState::Inactive);
+                if a.selected.is_some() {
+                    // Alg. 3 lines 41-48: a matched acceptor answers a
+                    // still-ACTIVE candidate's EXIT with a final DROP.
+                    if prev == Some(CandState::Active) {
+                        push_signal(&mut queue, &mut log, a.rank, from, Sig::Drop);
+                        stats.drop += 1;
+                    }
+                    continue;
+                }
+                if let Some(best) = a.best_live() {
+                    if a.state[&best] == CandState::Waiting {
+                        accept(a, best, &mut queue, &mut log, &mut stats);
+                    }
+                }
+            }
+        }
+    }
+
+    let matched: HashMap<Rank, Rank> = props
+        .values()
+        .filter_map(|p| p.selected.map(|a| (p.rank, a)))
+        .collect();
+
+    // Protocol-liveness sanity: an unmatched acceptor must not have any
+    // proposer still waiting on it (it would have accepted its best
+    // waiter when the queue drained).
+    debug_assert!(accs.values().all(|a| {
+        a.selected.is_some()
+            || a.candidates.iter().all(|c| a.state[c] != CandState::Waiting)
+    }));
+
+    RoundResult { matched, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// score lookup from an explicit table
+    fn table_score(
+        t: &[(Rank, Rank, usize)],
+    ) -> impl FnMut(Rank, Rank) -> usize + '_ {
+        move |p, a| {
+            t.iter()
+                .find(|&&(tp, ta, _)| tp == p && ta == a)
+                .map_or(0, |&(_, _, s)| s)
+        }
+    }
+
+    #[test]
+    fn empty_round() {
+        let r = run_round(&[], &[], |_, _| 0);
+        assert!(r.matched.is_empty());
+        assert_eq!(r.stats.total_signals(), 0);
+        assert_eq!(r.stats.agent_searches, 0);
+    }
+
+    #[test]
+    fn no_candidates_means_no_signals() {
+        let r = run_round(&[0, 1], &[2, 3], |_, _| 0);
+        assert!(r.matched.is_empty());
+        assert_eq!(r.stats.total_signals(), 0);
+        assert_eq!(r.stats.agent_searches, 2);
+        assert_eq!(r.stats.agents_found, 0);
+        assert_eq!(r.stats.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_pair_matches_with_minimal_chatter() {
+        let t = [(0, 1, 3)];
+        let r = run_round(&[0], &[1], table_score(&t));
+        assert_eq!(r.matched[&0], 1);
+        assert_eq!(r.stats.req, 1);
+        assert_eq!(r.stats.accept, 1);
+        assert_eq!(r.stats.drop, 0);
+        assert_eq!(r.stats.exit, 0);
+        assert_eq!(r.stats.agents_found, 1);
+    }
+
+    #[test]
+    fn acceptor_takes_best_proposer() {
+        // both proposers want acceptor 9; proposer 1 scores higher
+        let t = [(0, 9, 1), (1, 9, 5)];
+        let r = run_round(&[0, 1], &[9], table_score(&t));
+        assert_eq!(r.matched.get(&1), Some(&9));
+        assert_eq!(r.matched.get(&0), None);
+        // 0's REQ either arrived first (waits, then dropped) or second
+        // (dropped immediately); either way exactly one match
+        assert_eq!(r.stats.agents_found, 1);
+        assert!(r.stats.drop >= 1);
+    }
+
+    #[test]
+    fn dropped_proposer_falls_back_to_second_choice() {
+        // 0 prefers 9 (score 5) over 8 (score 1); 1 only knows 9 with
+        // score 7 and wins it; 0 then settles for 8.
+        let t = [(0, 9, 5), (0, 8, 1), (1, 9, 7)];
+        let r = run_round(&[0, 1], &[8, 9], table_score(&t));
+        assert_eq!(r.matched[&1], 9);
+        assert_eq!(r.matched[&0], 8);
+        assert!(r.stats.req >= 3, "0 must re-REQ after the drop");
+    }
+
+    #[test]
+    fn acceptor_waits_for_its_best() {
+        // acceptor 9's best is proposer 1, but 1 prefers acceptor 8.
+        // 9 must not grab 0's early REQ; it waits until 1 EXITs (after
+        // being accepted by 8), then takes 0.
+        let t = [(0, 9, 2), (1, 9, 9), (1, 8, 9)];
+        // tie on 1's side between 8 and 9 (both score 9) → lower rank 8 wins
+        let r = run_round(&[0, 1], &[8, 9], table_score(&t));
+        assert_eq!(r.matched[&1], 8);
+        assert_eq!(r.matched[&0], 9);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_rank() {
+        let t = [(0, 5, 3), (0, 7, 3)];
+        let r = run_round(&[0], &[5, 7], table_score(&t));
+        assert_eq!(r.matched[&0], 5);
+    }
+
+    #[test]
+    fn one_acceptor_many_proposers() {
+        // only one acceptor: exactly one proposer can win
+        let t = [(0, 9, 1), (1, 9, 2), (2, 9, 3), (3, 9, 4)];
+        let r = run_round(&[0, 1, 2, 3], &[9], table_score(&t));
+        assert_eq!(r.matched.len(), 1);
+        assert_eq!(r.stats.agents_found, 1);
+        assert_eq!(r.stats.agent_searches, 4);
+        // everyone else exhausted their lists
+        assert!((r.stats.success_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_matching_when_preferences_align() {
+        // proposer i strongly prefers acceptor 10+i
+        let mut t = vec![];
+        for i in 0..4usize {
+            for j in 0..4usize {
+                t.push((i, 10 + j, if i == j { 10 } else { 1 }));
+            }
+        }
+        let r = run_round(&[0, 1, 2, 3], &[10, 11, 12, 13], table_score(&t));
+        assert_eq!(r.matched.len(), 4);
+        for i in 0..4usize {
+            assert_eq!(r.matched[&i], 10 + i);
+        }
+    }
+
+    #[test]
+    fn all_pairs_same_score_still_gives_maximal_matching() {
+        // uniform scores: greedy order decides, but matching must be
+        // maximal — every proposer matched (4 proposers, 4 acceptors,
+        // complete candidate graph)
+        let r = run_round(&[0, 1, 2, 3], &[4, 5, 6, 7], |_, _| 1);
+        assert_eq!(r.matched.len(), 4);
+        let mut acc: Vec<Rank> = r.matched.values().copied().collect();
+        acc.sort_unstable();
+        acc.dedup();
+        assert_eq!(acc.len(), 4, "no acceptor matched twice");
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        // random-ish asymmetric scores
+        let score = |p: Rank, a: Rank| ((p * 7 + a * 13) % 5) as usize;
+        let proposers: Vec<Rank> = (0..20).collect();
+        let acceptors: Vec<Rank> = (20..40).collect();
+        let r = run_round(&proposers, &acceptors, score);
+        let mut acc: Vec<Rank> = r.matched.values().copied().collect();
+        acc.sort_unstable();
+        let len = acc.len();
+        acc.dedup();
+        assert_eq!(acc.len(), len, "an acceptor accepted twice");
+        // matches only between candidate pairs
+        for (&p, &a) in &r.matched {
+            assert!(score(p, a) > 0, "matched a zero-score pair {p}->{a}");
+        }
+    }
+
+    #[test]
+    fn matching_is_maximal_on_candidate_graph() {
+        // After the round, no unmatched proposer shares a candidate edge
+        // with an unmatched acceptor (greedy maximality).
+        let score = |p: Rank, a: Rank| usize::from((p + a) % 3 == 0);
+        let proposers: Vec<Rank> = (0..15).collect();
+        let acceptors: Vec<Rank> = (15..30).collect();
+        let r = run_round(&proposers, &acceptors, score);
+        let matched_acceptors: std::collections::HashSet<Rank> =
+            r.matched.values().copied().collect();
+        for &p in &proposers {
+            if r.matched.contains_key(&p) {
+                continue;
+            }
+            for &a in &acceptors {
+                if score(p, a) > 0 && !matched_acceptors.contains(&a) {
+                    panic!("unmatched pair ({p},{a}) with positive score");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let score = |p: Rank, a: Rank| ((p * 31 + a * 17) % 7) as usize;
+        let proposers: Vec<Rank> = (0..30).collect();
+        let acceptors: Vec<Rank> = (30..60).collect();
+        let r1 = run_round(&proposers, &acceptors, score);
+        let r2 = run_round(&proposers, &acceptors, score);
+        assert_eq!(r1.matched, r2.matched);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn signal_counts_are_conservative() {
+        // every REQ is eventually answered by exactly one ACCEPT or DROP
+        // (modulo the DROP-broadcast and EXIT chatter, counts stay sane)
+        let score = |p: Rank, a: Rank| usize::from(p % 3 != a % 3);
+        let proposers: Vec<Rank> = (0..12).collect();
+        let acceptors: Vec<Rank> = (12..24).collect();
+        let r = run_round(&proposers, &acceptors, score);
+        assert!(r.stats.accept <= r.stats.req);
+        assert_eq!(r.stats.accept, r.stats.agents_found);
+        assert_eq!(r.stats.accept, r.matched.len());
+    }
+}

@@ -1,0 +1,3 @@
+//! Workspace integration-test host. The tests live in the repository's
+//! top-level `tests/` directory and the examples in `examples/`; this
+//! crate exists to give Cargo a package to attach them to.

@@ -1,0 +1,262 @@
+//! Communication schedules: what the simulator executes.
+//!
+//! A [`Schedule`] is the simulator-facing description of one collective
+//! operation: for every rank, an ordered list of [`Phase`]s. A phase
+//! mirrors one `irecv*/isend*/waitall` block of the paper's Algorithm 4 —
+//! the rank posts all the phase's receives and sends, waits for all of
+//! them, then moves to the next phase. Messages are matched across ranks
+//! by `(src, dst, tag)`, which must be unique per schedule (collective
+//! algorithms get this for free by tagging with the step number).
+
+use nhood_cluster::Rank;
+
+/// One directed message: `bytes` from `src` to `dst`, matched by `tag`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Payload size in bytes (zero-byte messages still pay α).
+    pub bytes: usize,
+    /// Matching tag; `(src, dst, tag)` must be schedule-unique.
+    pub tag: u64,
+}
+
+/// One post-and-wait block of a rank's program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Phase {
+    /// Local (CPU/memcpy) time charged before any communication of the
+    /// phase starts — used for the pack/copy overheads of Algorithm 4.
+    pub local_seconds: f64,
+    /// Messages this rank sends in this phase, issued in order.
+    pub sends: Vec<Msg>,
+    /// Messages this rank waits for in this phase (completion order is
+    /// arrival order, not posting order).
+    pub recvs: Vec<Msg>,
+}
+
+/// A complete communication schedule over `n` ranks.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    ranks: Vec<Vec<Phase>>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule for `n` ranks (each with zero phases).
+    pub fn new(n: usize) -> Self {
+        Self { ranks: vec![Vec::new(); n] }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Phases of rank `r`.
+    pub fn phases(&self, r: Rank) -> &[Phase] {
+        &self.ranks[r]
+    }
+
+    /// Appends a phase to rank `r`'s program and returns a mutable
+    /// reference to it.
+    ///
+    /// # Panics
+    /// Panics if any message in a previously added phase referenced an
+    /// out-of-range rank — full validation happens in [`validate`](Self::validate).
+    pub fn push_phase(&mut self, r: Rank, phase: Phase) {
+        self.ranks[r].push(phase);
+    }
+
+    /// Convenience: appends a phase built from send/recv lists.
+    pub fn push(&mut self, r: Rank, sends: Vec<Msg>, recvs: Vec<Msg>) {
+        self.push_phase(r, Phase { local_seconds: 0.0, sends, recvs });
+    }
+
+    /// Total number of messages (counting each once, on the send side).
+    pub fn message_count(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|ph| ph.iter())
+            .map(|p| p.sends.len())
+            .sum()
+    }
+
+    /// Iterates every send message in the schedule (rank by rank, phase
+    /// by phase).
+    pub fn all_sends(&self) -> impl Iterator<Item = &Msg> + '_ {
+        self.ranks
+            .iter()
+            .flat_map(|phases| phases.iter())
+            .flat_map(|p| p.sends.iter())
+    }
+
+    /// Total bytes sent.
+    pub fn total_bytes(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|ph| ph.iter())
+            .flat_map(|p| p.sends.iter())
+            .map(|m| m.bytes)
+            .sum()
+    }
+
+    /// Checks structural sanity:
+    ///
+    /// * every `Msg` in rank `r`'s sends has `src == r`; in its recvs,
+    ///   `dst == r`;
+    /// * ranks are in range;
+    /// * `(src, dst, tag)` keys are unique;
+    /// * every send has exactly one matching recv and vice versa.
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let n = self.n();
+        let mut sends: HashMap<(Rank, Rank, u64), usize> = HashMap::new();
+        let mut recvs: HashMap<(Rank, Rank, u64), usize> = HashMap::new();
+        for (r, phases) in self.ranks.iter().enumerate() {
+            for (k, phase) in phases.iter().enumerate() {
+                if phase.local_seconds < 0.0 || !phase.local_seconds.is_finite() {
+                    return Err(format!("rank {r} phase {k}: bad local_seconds"));
+                }
+                for m in &phase.sends {
+                    if m.src != r {
+                        return Err(format!("rank {r} phase {k}: send with src {}", m.src));
+                    }
+                    if m.dst >= n {
+                        return Err(format!("rank {r} phase {k}: send to out-of-range {}", m.dst));
+                    }
+                    if m.dst == r {
+                        return Err(format!("rank {r} phase {k}: send to self"));
+                    }
+                    if sends.insert((m.src, m.dst, m.tag), m.bytes).is_some() {
+                        return Err(format!(
+                            "duplicate send key (src {}, dst {}, tag {})",
+                            m.src, m.dst, m.tag
+                        ));
+                    }
+                }
+                for m in &phase.recvs {
+                    if m.dst != r {
+                        return Err(format!("rank {r} phase {k}: recv with dst {}", m.dst));
+                    }
+                    if m.src >= n {
+                        return Err(format!("rank {r} phase {k}: recv from out-of-range {}", m.src));
+                    }
+                    if recvs.insert((m.src, m.dst, m.tag), m.bytes).is_some() {
+                        return Err(format!(
+                            "duplicate recv key (src {}, dst {}, tag {})",
+                            m.src, m.dst, m.tag
+                        ));
+                    }
+                }
+            }
+        }
+        for (key, bytes) in &sends {
+            match recvs.get(key) {
+                None => {
+                    return Err(format!(
+                        "send (src {}, dst {}, tag {}) has no matching recv",
+                        key.0, key.1, key.2
+                    ))
+                }
+                Some(b) if b != bytes => {
+                    return Err(format!(
+                        "size mismatch on (src {}, dst {}, tag {}): send {bytes} vs recv {b}",
+                        key.0, key.1, key.2
+                    ))
+                }
+                _ => {}
+            }
+        }
+        if let Some(key) = recvs.keys().find(|k| !sends.contains_key(k)) {
+            return Err(format!(
+                "recv (src {}, dst {}, tag {}) has no matching send",
+                key.0, key.1, key.2
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: Rank, dst: Rank, bytes: usize, tag: u64) -> Msg {
+        Msg { src, dst, bytes, tag }
+    }
+
+    #[test]
+    fn build_and_count() {
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 1, 100, 0)], vec![]);
+        s.push(1, vec![], vec![msg(0, 1, 100, 0)]);
+        assert_eq!(s.message_count(), 1);
+        assert_eq!(s.total_bytes(), 100);
+        assert_eq!(s.phases(0).len(), 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_unmatched_send() {
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 1, 8, 0)], vec![]);
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("no matching recv"), "{e}");
+    }
+
+    #[test]
+    fn validate_catches_unmatched_recv() {
+        let mut s = Schedule::new(2);
+        s.push(1, vec![], vec![msg(0, 1, 8, 0)]);
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("no matching send"), "{e}");
+    }
+
+    #[test]
+    fn validate_catches_size_mismatch() {
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 1, 8, 0)], vec![]);
+        s.push(1, vec![], vec![msg(0, 1, 9, 0)]);
+        assert!(s.validate().unwrap_err().contains("size mismatch"));
+    }
+
+    #[test]
+    fn validate_catches_wrong_owner() {
+        let mut s = Schedule::new(3);
+        s.push(0, vec![msg(1, 2, 8, 0)], vec![]);
+        assert!(s.validate().unwrap_err().contains("send with src"));
+        let mut s = Schedule::new(3);
+        s.push(0, vec![], vec![msg(1, 2, 8, 0)]);
+        assert!(s.validate().unwrap_err().contains("recv with dst"));
+    }
+
+    #[test]
+    fn validate_catches_self_send_and_range() {
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 0, 8, 0)], vec![]);
+        assert!(s.validate().unwrap_err().contains("send to self"));
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 5, 8, 0)], vec![]);
+        assert!(s.validate().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_keys() {
+        let mut s = Schedule::new(3);
+        s.push(0, vec![msg(0, 1, 8, 7), msg(0, 1, 8, 7)], vec![]);
+        assert!(s.validate().unwrap_err().contains("duplicate send key"));
+    }
+
+    #[test]
+    fn validate_accepts_multi_phase_exchange() {
+        let mut s = Schedule::new(2);
+        // two-step ping-pong with distinct tags
+        s.push(0, vec![msg(0, 1, 64, 0)], vec![msg(1, 0, 64, 1)]);
+        s.push(1, vec![msg(1, 0, 64, 1)], vec![msg(0, 1, 64, 0)]);
+        s.validate().unwrap();
+        assert_eq!(s.message_count(), 2);
+    }
+}

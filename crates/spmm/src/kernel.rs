@@ -1,0 +1,313 @@
+//! The distributed SpMM kernel (`Z = X × Y`) built on neighborhood
+//! allgather — the paper's §VII-C application benchmark.
+//!
+//! `X` and `Y` are distributed over `P` processes in matching block-row
+//! stripes. Process `p` computes the `Z` rows of its stripe, for which it
+//! needs row `k` of `Y` whenever its `X` stripe has a nonzero in column
+//! `k`. Those inter-stripe dependencies define the virtual topology
+//! (built by [`nhood_topology::spmm_graph`]); a single
+//! `neighbor_allgather` then moves every needed `Y` stripe, and a local
+//! Gustavson multiply finishes the job.
+//!
+//! The kernel runs end-to-end on real bytes through whichever collective
+//! algorithm is requested, so "Distance Halving computes the same `Z` as
+//! the naïve algorithm and as a serial multiply" is a tested fact, not an
+//! assumption.
+
+use crate::stripe::{deserialize_stripe, payload_bytes, serialize_stripe, StripeError};
+use nhood_cluster::ClusterLayout;
+use nhood_core::{Algorithm, CommError, DistGraphComm};
+use nhood_topology::spmm_graph::spmm_topology_with;
+use nhood_topology::{BlockPartition, CsrMatrix, Topology};
+
+/// SpMM failure.
+#[derive(Debug)]
+pub enum SpmmError {
+    /// `X` and `Y` shapes are incompatible or not coverable by the
+    /// partition.
+    Shape(String),
+    /// The underlying collective failed.
+    Comm(CommError),
+    /// A received stripe payload was malformed.
+    Stripe(StripeError),
+}
+
+impl std::fmt::Display for SpmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmmError::Shape(m) => write!(f, "shape error: {m}"),
+            SpmmError::Comm(e) => write!(f, "collective failed: {e}"),
+            SpmmError::Stripe(e) => write!(f, "stripe decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmmError {}
+
+impl From<CommError> for SpmmError {
+    fn from(e: CommError) -> Self {
+        SpmmError::Comm(e)
+    }
+}
+impl From<StripeError> for SpmmError {
+    fn from(e: StripeError) -> Self {
+        SpmmError::Stripe(e)
+    }
+}
+
+/// Result of a distributed multiply.
+#[derive(Debug)]
+pub struct SpmmResult {
+    /// The product `Z = X × Y`, reassembled from all stripes.
+    pub z: CsrMatrix,
+    /// The derived virtual topology (who needed whose `Y` stripe).
+    pub topology: Topology,
+    /// The fixed allgather payload size in bytes — the `m` to use when
+    /// simulating this kernel's collective on a cluster.
+    pub payload_bytes: usize,
+}
+
+/// Payload packing mode for the `Y`-stripe exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Packing {
+    /// `MPI_Neighbor_allgather`: every stripe padded to the largest
+    /// stripe's size (the paper's configuration).
+    #[default]
+    Padded,
+    /// `MPI_Neighbor_allgatherv`: every stripe at its exact size — no
+    /// padding bytes on the wire.
+    Exact,
+}
+
+/// Runs the distributed SpMM kernel over `parts` processes using the
+/// given collective algorithm, on real bytes via the virtual executor,
+/// with padded (`allgather`) stripe payloads.
+///
+/// `layout` must hold at least `parts` ranks.
+pub fn distributed_spmm(
+    x: &CsrMatrix,
+    y: &CsrMatrix,
+    parts: usize,
+    layout: &ClusterLayout,
+    algo: Algorithm,
+) -> Result<SpmmResult, SpmmError> {
+    distributed_spmm_with(x, y, parts, layout, algo, Packing::Padded)
+}
+
+/// [`distributed_spmm`] with an explicit payload [`Packing`] mode.
+pub fn distributed_spmm_with(
+    x: &CsrMatrix,
+    y: &CsrMatrix,
+    parts: usize,
+    layout: &ClusterLayout,
+    algo: Algorithm,
+    packing: Packing,
+) -> Result<SpmmResult, SpmmError> {
+    if x.cols() != y.rows() {
+        return Err(SpmmError::Shape(format!(
+            "X is {}x{}, Y is {}x{}",
+            x.rows(),
+            x.cols(),
+            y.rows(),
+            y.cols()
+        )));
+    }
+    if x.rows() != y.rows() {
+        return Err(SpmmError::Shape(format!(
+            "matching block-row stripes need X.rows == Y.rows ({} vs {})",
+            x.rows(),
+            y.rows()
+        )));
+    }
+    if parts == 0 {
+        return Err(SpmmError::Shape("need at least one process".into()));
+    }
+    let part = BlockPartition::new(x.rows(), parts);
+    let topology = spmm_topology_with(x, &part);
+
+    // Pack Y stripes: uniform payloads for allgather, exact sizes for
+    // allgatherv.
+    let m = payload_bytes(y, &part);
+    let payloads: Vec<Vec<u8>> = (0..parts)
+        .map(|p| match packing {
+            Packing::Padded => serialize_stripe(y, &part, p, m),
+            Packing::Exact => {
+                let nnz: usize = part.range(p).map(|r| y.row_cols(r).len()).sum();
+                serialize_stripe(y, &part, p, crate::stripe::exact_bytes(nnz))
+            }
+        })
+        .collect();
+
+    // One neighborhood allgather(v) moves every needed stripe.
+    let comm = DistGraphComm::create_adjacent(topology.clone(), layout.clone())?;
+    let rbufs = match packing {
+        Packing::Padded => comm.neighbor_allgather(algo, &payloads)?,
+        Packing::Exact => comm.neighbor_allgatherv(algo, &payloads)?,
+    };
+
+    // Each process multiplies its X stripe against the Y rows it now has.
+    let mut z_entries: Vec<(usize, usize, f64)> = Vec::new();
+    for p in 0..parts {
+        // Y rows available at p: its own stripe plus every in-neighbor's.
+        let mut y_rows: std::collections::HashMap<usize, Vec<(usize, f64)>> =
+            std::collections::HashMap::new();
+        let mut add_stripe = |entries: Vec<(usize, usize, f64)>| {
+            for (r, c, v) in entries {
+                y_rows.entry(r).or_default().push((c, v));
+            }
+        };
+        add_stripe(
+            part.range(p)
+                .flat_map(|r| {
+                    y.row_cols(r)
+                        .iter()
+                        .zip(y.row_values(r))
+                        .map(move |(&c, &v)| (r, c, v))
+                })
+                .collect(),
+        );
+        let ins = topology.in_neighbors(p);
+        let mut offset = 0usize;
+        for &src in ins {
+            let len = match packing {
+                Packing::Padded => m,
+                Packing::Exact => {
+                    let nnz: usize = part.range(src).map(|r| y.row_cols(r).len()).sum();
+                    crate::stripe::exact_bytes(nnz)
+                }
+            };
+            let block = &rbufs[p][offset..offset + len];
+            offset += len;
+            add_stripe(deserialize_stripe(block)?);
+        }
+
+        // Gustavson over the local stripe.
+        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for row in part.range(p) {
+            acc.clear();
+            for (&k, &xv) in x.row_cols(row).iter().zip(x.row_values(row)) {
+                let yrow = y_rows.get(&k).ok_or_else(|| {
+                    SpmmError::Shape(format!(
+                        "process {p} is missing Y row {k} — topology derivation bug"
+                    ))
+                })?;
+                for &(c, yv) in yrow {
+                    *acc.entry(c).or_insert(0.0) += xv * yv;
+                }
+            }
+            z_entries.extend(acc.iter().map(|(&c, &v)| (row, c, v)));
+        }
+    }
+
+    Ok(SpmmResult {
+        z: CsrMatrix::from_coo(x.rows(), y.cols(), z_entries),
+        topology,
+        payload_bytes: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhood_topology::matrix::generators::{synth_symmetric, StructureClass};
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut e = vec![];
+        for i in 0..n {
+            e.push((i, i, 2.0));
+            if i > 0 {
+                e.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                e.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_coo(n, n, e)
+    }
+
+    fn layout_for(parts: usize) -> ClusterLayout {
+        ClusterLayout::new(parts.div_ceil(4), 2, 2)
+    }
+
+    #[test]
+    fn matches_serial_multiply_all_algorithms() {
+        let x = tridiag(24);
+        let y = synth_symmetric(24, 100, StructureClass::Uniform, 3);
+        let want = x.multiply(&y);
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::CommonNeighbor { k: 2 },
+            Algorithm::DistanceHalving,
+        ] {
+            let got = distributed_spmm(&x, &y, 8, &layout_for(8), algo).unwrap();
+            assert_eq!(
+                got.z.max_abs_diff(&want),
+                0.0,
+                "algorithm {algo} produced a different Z"
+            );
+        }
+    }
+
+    #[test]
+    fn x_squared_on_synthetic_matrix() {
+        let x = synth_symmetric(60, 500, StructureClass::Banded { half_bandwidth: 8 }, 7);
+        let want = x.multiply(&x);
+        let got = distributed_spmm(&x, &x, 6, &layout_for(6), Algorithm::DistanceHalving).unwrap();
+        assert!(got.z.max_abs_diff(&want) < 1e-12);
+        // banded matrix → sparse neighbor topology
+        assert!(got.topology.degree_stats().max <= 3);
+    }
+
+    #[test]
+    fn single_process_degenerate() {
+        let x = tridiag(10);
+        let got = distributed_spmm(&x, &x, 1, &layout_for(1), Algorithm::Naive).unwrap();
+        assert_eq!(got.z.max_abs_diff(&x.multiply(&x)), 0.0);
+        assert_eq!(got.topology.edge_count(), 0);
+    }
+
+    #[test]
+    fn more_parts_than_rows() {
+        let x = tridiag(5);
+        let got = distributed_spmm(&x, &x, 8, &layout_for(8), Algorithm::Naive).unwrap();
+        assert_eq!(got.z.max_abs_diff(&x.multiply(&x)), 0.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = CsrMatrix::from_coo(4, 3, vec![(0, 0, 1.0)]);
+        let b = CsrMatrix::from_coo(4, 4, vec![(0, 0, 1.0)]);
+        assert!(matches!(
+            distributed_spmm(&a, &b, 2, &layout_for(2), Algorithm::Naive),
+            Err(SpmmError::Shape(_))
+        ));
+        assert!(matches!(
+            distributed_spmm(&b, &b, 0, &layout_for(1), Algorithm::Naive),
+            Err(SpmmError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn exact_packing_matches_padded() {
+        let x = synth_symmetric(48, 500, StructureClass::BlockDense { block: 12 }, 5);
+        let want = x.multiply(&x);
+        for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
+            let padded =
+                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Padded)
+                    .unwrap();
+            let exact =
+                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Exact)
+                    .unwrap();
+            assert_eq!(padded.z.max_abs_diff(&want), 0.0);
+            assert_eq!(exact.z.max_abs_diff(&want), 0.0);
+        }
+    }
+
+    #[test]
+    fn payload_size_is_reported() {
+        let x = tridiag(16);
+        let got = distributed_spmm(&x, &x, 4, &layout_for(4), Algorithm::Naive).unwrap();
+        assert_eq!(got.payload_bytes, crate::stripe::payload_bytes(&x, &BlockPartition::new(16, 4)));
+        assert!(got.payload_bytes > 0);
+    }
+}

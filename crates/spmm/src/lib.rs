@@ -1,0 +1,29 @@
+//! # nhood-spmm
+//!
+//! A distributed sparse matrix–matrix multiplication kernel built on the
+//! neighborhood allgather of `nhood-core` — the application benchmark of
+//! the Distance Halving paper (§VII-C, Fig. 7, Table II).
+//!
+//! `Z = X × Y` with both operands distributed in matching block-row
+//! stripes; the sparsity structure of `X` determines which `Y` stripes
+//! each process needs, a single `neighbor_allgather` moves them, and a
+//! local Gustavson multiply produces each process's `Z` stripe.
+//!
+//! ```
+//! use nhood_cluster::ClusterLayout;
+//! use nhood_core::Algorithm;
+//! use nhood_spmm::distributed_spmm;
+//! use nhood_topology::matrix::generators::{synth_symmetric, StructureClass};
+//!
+//! let x = synth_symmetric(32, 200, StructureClass::Banded { half_bandwidth: 4 }, 1);
+//! let layout = ClusterLayout::new(2, 2, 2);
+//! let result = distributed_spmm(&x, &x, 8, &layout, Algorithm::DistanceHalving).unwrap();
+//! assert_eq!(result.z.max_abs_diff(&x.multiply(&x)), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod stripe;
+
+pub use kernel::{distributed_spmm, SpmmError, SpmmResult};

@@ -1,0 +1,186 @@
+//! Serialization of matrix stripes into fixed-size allgather payloads.
+//!
+//! `MPI_Neighbor_allgather` moves one fixed-size block per rank, so the
+//! variable-nnz row stripes of `Y` are packed into a common payload size
+//! (the maximum stripe size, zero-padded) — the standard trick when the
+//! non-`v` collective is used on irregular data, and the configuration
+//! the paper's SpMM kernel implies.
+//!
+//! Wire format (little-endian): `u64` entry count, then per entry
+//! `u32 row` (absolute), `u32 col`, `f64 value`.
+
+use nhood_topology::{BlockPartition, CsrMatrix};
+
+/// Bytes per serialized entry.
+pub const ENTRY_BYTES: usize = 16;
+/// Header bytes (entry count).
+pub const HEADER_BYTES: usize = 8;
+
+/// Exact serialized size of a stripe with `nnz` entries (no padding) —
+/// the per-rank payload size of the `allgatherv` packing.
+pub fn exact_bytes(nnz: usize) -> usize {
+    HEADER_BYTES + nnz * ENTRY_BYTES
+}
+
+/// Payload size (bytes) needed to fit every stripe of `y` under `part`:
+/// header plus the largest stripe's entries.
+pub fn payload_bytes(y: &CsrMatrix, part: &BlockPartition) -> usize {
+    let max_nnz = (0..part.parts())
+        .map(|p| part.range(p).map(|r| y.row_cols(r).len()).sum::<usize>())
+        .max()
+        .unwrap_or(0);
+    HEADER_BYTES + max_nnz * ENTRY_BYTES
+}
+
+/// Serializes rank `p`'s stripe of `y` into exactly `payload` bytes.
+///
+/// # Panics
+/// Panics if the stripe does not fit in `payload` bytes (use
+/// [`payload_bytes`] to size it).
+pub fn serialize_stripe(y: &CsrMatrix, part: &BlockPartition, p: usize, payload: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload);
+    let nnz: usize = part.range(p).map(|r| y.row_cols(r).len()).sum();
+    assert!(
+        HEADER_BYTES + nnz * ENTRY_BYTES <= payload,
+        "stripe of rank {p} ({nnz} entries) exceeds payload {payload}"
+    );
+    out.extend_from_slice(&(nnz as u64).to_le_bytes());
+    for r in part.range(p) {
+        for (&c, &v) in y.row_cols(r).iter().zip(y.row_values(r)) {
+            out.extend_from_slice(&(r as u32).to_le_bytes());
+            out.extend_from_slice(&(c as u32).to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out.resize(payload, 0);
+    out
+}
+
+/// Deserialization failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StripeError {
+    /// Payload shorter than its own header claims.
+    Truncated {
+        /// Claimed entries.
+        claimed: usize,
+        /// Bytes available for entries.
+        available: usize,
+    },
+    /// Payload shorter than the header itself.
+    NoHeader,
+}
+
+impl std::fmt::Display for StripeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StripeError::Truncated { claimed, available } => {
+                write!(f, "stripe claims {claimed} entries but only {available} bytes follow")
+            }
+            StripeError::NoHeader => write!(f, "stripe payload shorter than its header"),
+        }
+    }
+}
+
+impl std::error::Error for StripeError {}
+
+/// Deserializes a stripe payload into `(row, col, value)` triplets.
+pub fn deserialize_stripe(bytes: &[u8]) -> Result<Vec<(usize, usize, f64)>, StripeError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(StripeError::NoHeader);
+    }
+    let nnz = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    let body = &bytes[HEADER_BYTES..];
+    if body.len() < nnz * ENTRY_BYTES {
+        return Err(StripeError::Truncated { claimed: nnz, available: body.len() });
+    }
+    let mut out = Vec::with_capacity(nnz);
+    for i in 0..nnz {
+        let e = &body[i * ENTRY_BYTES..(i + 1) * ENTRY_BYTES];
+        let r = u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")) as usize;
+        let c = u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")) as usize;
+        let v = f64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+        out.push((r, c, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CsrMatrix, BlockPartition) {
+        let m = CsrMatrix::from_coo(
+            6,
+            6,
+            vec![(0, 0, 1.5), (0, 3, -2.0), (1, 1, 3.0), (3, 2, 4.0), (5, 5, 0.5)],
+        );
+        (m, BlockPartition::new(6, 3))
+    }
+
+    #[test]
+    fn round_trip_every_stripe() {
+        let (y, part) = sample();
+        let payload = payload_bytes(&y, &part);
+        for p in 0..3 {
+            let bytes = serialize_stripe(&y, &part, p, payload);
+            assert_eq!(bytes.len(), payload);
+            let entries = deserialize_stripe(&bytes).unwrap();
+            let want: Vec<(usize, usize, f64)> = part
+                .range(p)
+                .flat_map(|r| {
+                    y.row_cols(r)
+                        .iter()
+                        .zip(y.row_values(r))
+                        .map(move |(&c, &v)| (r, c, v))
+                })
+                .collect();
+            assert_eq!(entries, want, "stripe {p}");
+        }
+    }
+
+    #[test]
+    fn payload_sized_by_largest_stripe() {
+        let (y, part) = sample();
+        // stripe 0 holds rows 0-1 with 3 entries: the max
+        assert_eq!(payload_bytes(&y, &part), HEADER_BYTES + 3 * ENTRY_BYTES);
+    }
+
+    #[test]
+    fn empty_stripe_serializes() {
+        let y = CsrMatrix::from_coo(4, 4, vec![(0, 0, 1.0)]);
+        let part = BlockPartition::new(4, 4);
+        let payload = payload_bytes(&y, &part);
+        let bytes = serialize_stripe(&y, &part, 3, payload);
+        assert_eq!(deserialize_stripe(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds payload")]
+    fn undersized_payload_panics() {
+        let (y, part) = sample();
+        serialize_stripe(&y, &part, 0, HEADER_BYTES);
+    }
+
+    #[test]
+    fn corrupt_payloads_rejected() {
+        assert_eq!(deserialize_stripe(&[0u8; 4]).unwrap_err(), StripeError::NoHeader);
+        let mut lying = vec![0u8; HEADER_BYTES + ENTRY_BYTES];
+        lying[..8].copy_from_slice(&100u64.to_le_bytes());
+        assert_eq!(
+            deserialize_stripe(&lying).unwrap_err(),
+            StripeError::Truncated { claimed: 100, available: ENTRY_BYTES }
+        );
+    }
+
+    #[test]
+    fn padding_bytes_are_ignored() {
+        let (y, part) = sample();
+        let tight = payload_bytes(&y, &part);
+        let padded = serialize_stripe(&y, &part, 1, tight + 64);
+        let exact = serialize_stripe(&y, &part, 1, tight);
+        assert_eq!(
+            deserialize_stripe(&padded).unwrap(),
+            deserialize_stripe(&exact).unwrap()
+        );
+    }
+}

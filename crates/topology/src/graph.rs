@@ -1,0 +1,309 @@
+//! Directed virtual-topology graphs.
+//!
+//! A [`Topology`] mirrors what `MPI_Dist_graph_create_adjacent` gives an MPI
+//! library: for every rank, an ordered list of **incoming** neighbors
+//! (sources it receives from) and **outgoing** neighbors (destinations it
+//! sends to). Neighborhood allgather semantics are defined against these
+//! lists: rank `p` contributes one message that must reach every rank in
+//! `out(p)`, and `p`'s receive buffer holds one block per rank in `in(p)`,
+//! in the order of `in(p)`.
+
+use crate::bitset::Bitset;
+
+/// A rank identifier within a communicator, `0..n`.
+pub type Rank = usize;
+
+/// A directed communication-topology graph over ranks `0..n`.
+///
+/// Stored in CSR form for both directions so that in- and out-neighbor
+/// queries are O(degree) slices. Neighbor lists are sorted ascending and
+/// deduplicated; self-loops are rejected (a rank never "sends to itself"
+/// through the collective — MPI permits them, but none of the paper's
+/// workloads produce them, and forbidding them keeps executor bookkeeping
+/// honest).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<Rank>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<Rank>,
+}
+
+impl Topology {
+    /// Builds a topology from directed edges `(src, dst)`.
+    ///
+    /// Edges are deduplicated; neighbor lists come out sorted.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n` or if `src == dst` (self-loop).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (Rank, Rank)>) -> Self {
+        let mut out_adj: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        for (s, d) in edges {
+            assert!(s < n && d < n, "edge ({s},{d}) out of range for n={n}");
+            assert_ne!(s, d, "self-loop at rank {s} is not supported");
+            out_adj[s].push(d);
+        }
+        for l in &mut out_adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        Self::from_out_adjacency(out_adj)
+    }
+
+    /// Builds a topology from per-rank outgoing adjacency lists.
+    ///
+    /// # Panics
+    /// Panics on out-of-range targets or self-loops.
+    pub fn from_out_adjacency(mut out_adj: Vec<Vec<Rank>>) -> Self {
+        let n = out_adj.len();
+        let mut in_adj: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        for (s, l) in out_adj.iter_mut().enumerate() {
+            l.sort_unstable();
+            l.dedup();
+            for &d in l.iter() {
+                assert!(d < n, "target {d} out of range for n={n}");
+                assert_ne!(s, d, "self-loop at rank {s} is not supported");
+                in_adj[d].push(s);
+            }
+        }
+        let (out_offsets, out_targets) = csr(&out_adj);
+        let (in_offsets, in_sources) = csr(&in_adj);
+        Self {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Outgoing neighbors of `p` (the set `O` of the paper), sorted.
+    #[inline]
+    pub fn out_neighbors(&self, p: Rank) -> &[Rank] {
+        &self.out_targets[self.out_offsets[p]..self.out_offsets[p + 1]]
+    }
+
+    /// Incoming neighbors of `p` (the set `I` of the paper), sorted.
+    #[inline]
+    pub fn in_neighbors(&self, p: Rank) -> &[Rank] {
+        &self.in_sources[self.in_offsets[p]..self.in_offsets[p + 1]]
+    }
+
+    /// `outdegree` of `p`.
+    #[inline]
+    pub fn outdegree(&self, p: Rank) -> usize {
+        self.out_offsets[p + 1] - self.out_offsets[p]
+    }
+
+    /// `indegree` of `p`.
+    #[inline]
+    pub fn indegree(&self, p: Rank) -> usize {
+        self.in_offsets[p + 1] - self.in_offsets[p]
+    }
+
+    /// `true` if `src → dst` is an edge. O(log outdegree).
+    pub fn has_edge(&self, src: Rank, dst: Rank) -> bool {
+        self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Position of `src` within `in_neighbors(dst)`, i.e. the block index
+    /// at which `src`'s payload lands in `dst`'s receive buffer.
+    pub fn recv_slot(&self, dst: Rank, src: Rank) -> Option<usize> {
+        self.in_neighbors(dst).binary_search(&src).ok()
+    }
+
+    /// Outgoing-neighbor sets of all ranks as bitsets (one per rank).
+    ///
+    /// This is the representation the pattern builder uses for matrix-A
+    /// style shared-neighbor queries.
+    pub fn out_bitsets(&self) -> Vec<Bitset> {
+        (0..self.n)
+            .map(|p| Bitset::from_bits(self.n, self.out_neighbors(p).iter().copied()))
+            .collect()
+    }
+
+    /// Density of the graph: `edges / (n * (n - 1))`. Zero for `n < 2`.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.edge_count() as f64 / (self.n as f64 * (self.n as f64 - 1.0))
+    }
+
+    /// Summary statistics of the out-degree distribution.
+    pub fn degree_stats(&self) -> DegreeStats {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for p in 0..self.n {
+            let d = self.outdegree(p);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+        if self.n == 0 {
+            min = 0;
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: if self.n == 0 { 0.0 } else { sum as f64 / self.n as f64 },
+        }
+    }
+
+    /// Returns the transposed graph (every edge reversed).
+    pub fn transpose(&self) -> Topology {
+        let edges: Vec<(Rank, Rank)> = (0..self.n)
+            .flat_map(|p| self.out_neighbors(p).iter().map(move |&q| (q, p)))
+            .collect();
+        Topology::from_edges(self.n, edges)
+    }
+
+    /// Whether every edge has a reverse edge.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n).all(|p| {
+            self.out_neighbors(p)
+                .iter()
+                .all(|&q| self.has_edge(q, p))
+        })
+    }
+
+    /// Iterates over all directed edges `(src, dst)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Rank, Rank)> + '_ {
+        (0..self.n).flat_map(move |p| self.out_neighbors(p).iter().map(move |&q| (p, q)))
+    }
+}
+
+/// Out-degree distribution summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree over all ranks.
+    pub min: usize,
+    /// Maximum out-degree over all ranks.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+}
+
+fn csr(adj: &[Vec<Rank>]) -> (Vec<usize>, Vec<Rank>) {
+    let mut offsets = Vec::with_capacity(adj.len() + 1);
+    let mut flat = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+    offsets.push(0);
+    for l in adj {
+        flat.extend_from_slice(l);
+        offsets.push(flat.len());
+    }
+    (offsets, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Topology {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        Topology::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[0]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.outdegree(0), 2);
+        assert_eq!(g.indegree(3), 2);
+        assert_eq!(g.indegree(1), 1);
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let g = Topology::from_edges(3, [(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Topology::from_edges(2, [(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Topology::from_edges(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn has_edge_and_recv_slot() {
+        let g = diamond();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+        assert_eq!(g.recv_slot(3, 1), Some(0));
+        assert_eq!(g.recv_slot(3, 2), Some(1));
+        assert_eq!(g.recv_slot(3, 0), None);
+    }
+
+    #[test]
+    fn bitsets_match_adjacency() {
+        let g = diamond();
+        let bs = g.out_bitsets();
+        for p in 0..g.n() {
+            assert_eq!(bs[p].to_vec(), g.out_neighbors(p));
+        }
+    }
+
+    #[test]
+    fn transpose_inverts_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        for (s, d) in g.edges() {
+            assert!(t.has_edge(d, s));
+        }
+        assert_eq!(t.edge_count(), g.edge_count());
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(!diamond().is_symmetric());
+        let sym = Topology::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert!(sym.is_symmetric());
+    }
+
+    #[test]
+    fn density_and_stats() {
+        let g = diamond();
+        assert!((g.density() - 5.0 / 12.0).abs() < 1e-12);
+        let st = g.degree_stats();
+        assert_eq!(st.min, 1);
+        assert_eq!(st.max, 2);
+        assert!((st.mean - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Topology::from_edges(1, []);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_neighbors(0), &[] as &[usize]);
+        assert_eq!(g.density(), 0.0);
+    }
+}

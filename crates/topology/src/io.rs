@@ -1,0 +1,141 @@
+//! Plain-text edge-list I/O for virtual topologies.
+//!
+//! Format: one `src dst` pair per line (0-based ranks), `#` comments and
+//! blank lines ignored; an optional header line `n <ranks>` pins the
+//! communicator size (otherwise it is `max endpoint + 1`). This is the
+//! interchange format the `repro` harness and users' own tools can use to
+//! feed arbitrary application communication patterns into the library.
+
+use crate::graph::Topology;
+use std::io::{BufRead, Write};
+
+/// Edge-list parse failure.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line; the message carries the line number and content.
+    Parse(String),
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse(m) => write!(f, "edge-list parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads an edge list into a [`Topology`].
+pub fn read_edge_list(reader: impl BufRead) -> Result<Topology, EdgeListError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut n: Option<usize> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let first = it.next().expect("non-empty line has a token");
+        if first == "n" {
+            let v = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| EdgeListError::Parse(format!("line {}: bad size header", lineno + 1)))?;
+            n = Some(v);
+            continue;
+        }
+        let src: usize = first
+            .parse()
+            .map_err(|_| EdgeListError::Parse(format!("line {}: bad src '{first}'", lineno + 1)))?;
+        let dst: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| EdgeListError::Parse(format!("line {}: missing/bad dst", lineno + 1)))?;
+        if src == dst {
+            return Err(EdgeListError::Parse(format!(
+                "line {}: self-loop {src} -> {dst} is not supported",
+                lineno + 1
+            )));
+        }
+        edges.push((src, dst));
+    }
+    let implied = edges.iter().map(|&(s, d)| s.max(d) + 1).max().unwrap_or(0);
+    let n = match n {
+        Some(v) if v < implied => {
+            return Err(EdgeListError::Parse(format!(
+                "header says n={v} but edges reference rank {}",
+                implied - 1
+            )))
+        }
+        Some(v) => v,
+        None => implied,
+    };
+    Ok(Topology::from_edges(n, edges))
+}
+
+/// Writes a topology as an edge list (with a size header, so isolated
+/// trailing ranks survive a round trip).
+pub fn write_edge_list(g: &Topology, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "# nhood edge list: {} ranks, {} edges", g.n(), g.edge_count())?;
+    writeln!(w, "n {}", g.n())?;
+    for (s, d) in g.edges() {
+        writeln!(w, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::erdos_renyi;
+
+    #[test]
+    fn round_trip() {
+        let g = erdos_renyi(40, 0.2, 8);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_blanks_and_header() {
+        let text = "# hello\n\nn 5\n0 1\n 3 2 \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(3, 2));
+    }
+
+    #[test]
+    fn size_inferred_without_header() {
+        let g = read_edge_list("0 7\n".as_bytes()).unwrap();
+        assert_eq!(g.n(), 8);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list("1 1\n".as_bytes()).is_err());
+        assert!(read_edge_list("n 2\n0 5\n".as_bytes()).is_err());
+        assert!(read_edge_list("n x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_topology() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.n(), 0);
+    }
+}

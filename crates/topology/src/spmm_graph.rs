@@ -1,0 +1,220 @@
+//! Deriving a neighborhood topology from a distributed SpMM kernel.
+//!
+//! In the paper's SpMM kernel, `Z = X × Y` with `X` distributed block-row
+//! wise and `Y` block-column... more precisely, each process `p` owns a
+//! block-stripe of rows of `X` and the matching block-stripe of rows of
+//! `Y`. To compute its rows of `Z`, process `p` needs row `k` of `Y`
+//! whenever any of its `X` rows has a nonzero in column `k` — i.e. it
+//! needs the `Y` stripe of the process that owns row `k`. Those
+//! dependencies define the virtual topology over which
+//! `MPI_Neighbor_allgather` moves the `Y` stripes.
+
+use crate::graph::{Rank, Topology};
+use crate::matrix::CsrMatrix;
+
+/// A contiguous block-row (stripe) partition of `rows` items over `parts`
+/// owners: the first `rows % parts` owners get one extra row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    rows: usize,
+    parts: usize,
+    /// `starts[p]..starts[p+1]` is the range owned by `p`.
+    starts: Vec<usize>,
+}
+
+impl BlockPartition {
+    /// Creates the balanced contiguous partition.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn new(rows: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one part");
+        let base = rows / parts;
+        let extra = rows % parts;
+        let mut starts = Vec::with_capacity(parts + 1);
+        let mut s = 0;
+        starts.push(0);
+        for p in 0..parts {
+            s += base + usize::from(p < extra);
+            starts.push(s);
+        }
+        Self { rows, parts, starts }
+    }
+
+    /// Total number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of owners.
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Range of rows owned by `p`.
+    #[inline]
+    pub fn range(&self, p: Rank) -> std::ops::Range<usize> {
+        self.starts[p]..self.starts[p + 1]
+    }
+
+    /// Number of rows owned by `p`.
+    #[inline]
+    pub fn len(&self, p: Rank) -> usize {
+        self.starts[p + 1] - self.starts[p]
+    }
+
+    /// `true` if `p` owns no rows (more parts than rows).
+    #[inline]
+    pub fn is_empty(&self, p: Rank) -> bool {
+        self.len(p) == 0
+    }
+
+    /// Owner of row `row`. O(log parts).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows`.
+    pub fn owner(&self, row: usize) -> Rank {
+        assert!(row < self.rows, "row {row} out of {}", self.rows);
+        // partition_point gives the first start > row; owner is one before.
+        self.starts.partition_point(|&s| s <= row) - 1
+    }
+}
+
+/// Builds the SpMM neighborhood topology for matrix `x` distributed over
+/// `parts` processes by balanced block rows.
+///
+/// Edge `q → p` exists iff process `p` needs the `Y` stripe of `q`
+/// (`p ≠ q`), i.e. some row of `X` owned by `p` has a nonzero in a column
+/// owned by `q`. In other words `out(q)` = consumers of `q`'s stripe —
+/// exactly the out-neighbor sets handed to
+/// `MPI_Dist_graph_create_adjacent` in the paper's kernel.
+pub fn spmm_topology(x: &CsrMatrix, parts: usize) -> Topology {
+    let part = BlockPartition::new(x.rows(), parts);
+    spmm_topology_with(x, &part)
+}
+
+/// Same as [`spmm_topology`] but with an explicit partition (must cover
+/// `x.rows()` rows; `x` must be square enough that columns map to owners,
+/// i.e. `x.cols() <= partition.rows()`).
+pub fn spmm_topology_with(x: &CsrMatrix, part: &BlockPartition) -> Topology {
+    assert_eq!(part.rows(), x.rows(), "partition must cover all rows");
+    assert!(
+        x.cols() <= part.rows(),
+        "columns ({}) must map into the partition ({} rows)",
+        x.cols(),
+        part.rows()
+    );
+    let parts = part.parts();
+    let mut edges: Vec<(Rank, Rank)> = Vec::new();
+    for p in 0..parts {
+        let mut needs = vec![false; parts];
+        for row in part.range(p) {
+            for &c in x.row_cols(row) {
+                needs[part.owner(c)] = true;
+            }
+        }
+        for (q, &need) in needs.iter().enumerate() {
+            if need && q != p {
+                edges.push((q, p)); // q sends its stripe to p
+            }
+        }
+    }
+    Topology::from_edges(parts, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::generators::{synth_symmetric, StructureClass};
+
+    #[test]
+    fn partition_balanced() {
+        let p = BlockPartition::new(10, 3);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+        assert_eq!(p.len(0), 4);
+        for r in 0..10 {
+            let o = p.owner(r);
+            assert!(p.range(o).contains(&r));
+        }
+    }
+
+    #[test]
+    fn partition_more_parts_than_rows() {
+        let p = BlockPartition::new(2, 5);
+        assert_eq!(p.len(0), 1);
+        assert_eq!(p.len(1), 1);
+        assert!(p.is_empty(2) && p.is_empty(3) && p.is_empty(4));
+        assert_eq!(p.owner(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn owner_out_of_range() {
+        BlockPartition::new(4, 2).owner(4);
+    }
+
+    #[test]
+    fn tridiagonal_gives_ring_like_topology() {
+        // 8x8 tridiagonal over 4 processes of 2 rows each: each process
+        // needs its own stripe plus the stripes adjacent in the chain.
+        let mut e = vec![];
+        for i in 0..8usize {
+            e.push((i, i, 2.0));
+            if i > 0 {
+                e.push((i, i - 1, -1.0));
+            }
+            if i < 7 {
+                e.push((i, i + 1, -1.0));
+            }
+        }
+        let x = CsrMatrix::from_coo(8, 8, e);
+        let g = spmm_topology(&x, 4);
+        assert_eq!(g.n(), 4);
+        // p needs stripes p-1 and p+1 → edges (p-1 → p), (p+1 → p); chain, no wrap.
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0, 2]);
+        assert_eq!(g.out_neighbors(2), &[1, 3]);
+        assert_eq!(g.out_neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn dense_matrix_gives_complete_topology() {
+        let n = 12;
+        let entries = (0..n).flat_map(|r| (0..n).map(move |c| (r, c, 1.0))).collect();
+        let x = CsrMatrix::from_coo(n, n, entries);
+        let g = spmm_topology(&x, 4);
+        assert_eq!(g.edge_count(), 4 * 3);
+    }
+
+    #[test]
+    fn edge_direction_is_producer_to_consumer() {
+        // Only process 2's rows reference columns of process 0.
+        let x = CsrMatrix::from_coo(6, 6, vec![(4, 0, 1.0), (0, 0, 1.0), (2, 2, 1.0), (4, 4, 1.0)]);
+        let g = spmm_topology(&x, 3);
+        assert!(g.has_edge(0, 2), "0 must send its stripe to 2");
+        assert!(!g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn diagonal_only_matrix_has_no_edges() {
+        let x = CsrMatrix::from_coo(9, 9, (0..9).map(|i| (i, i, 1.0)).collect());
+        assert_eq!(spmm_topology(&x, 3).edge_count(), 0);
+    }
+
+    #[test]
+    fn symmetric_matrix_symmetric_topology() {
+        let x = synth_symmetric(120, 1400, StructureClass::Banded { half_bandwidth: 18 }, 11);
+        let g = spmm_topology(&x, 10);
+        assert!(g.is_symmetric(), "symmetric matrix must give symmetric needs");
+        // Banded structure: neighbors are nearby processes only.
+        for p in 0..10usize {
+            for &q in g.out_neighbors(p) {
+                assert!(p.abs_diff(q) <= 2, "band spilled: {p} -> {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end SpMM kernel tests across the Table II replica set: the
+//! distributed product must equal the serial product bit-for-bit for
+//! every algorithm and process count.
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::Algorithm;
+use nhood_spmm::distributed_spmm;
+use nhood_topology::matrix::generators::{synth_symmetric, table2_matrix, TABLE2};
+
+#[test]
+fn small_table2_matrices_all_algorithms() {
+    // the small matrices run quickly enough to test all algorithms
+    let layout = ClusterLayout::new(4, 2, 8);
+    for name in ["dwt_193", "Journals", "ash292"] {
+        let x = table2_matrix(name, 7).expect("known matrix");
+        let want = x.multiply(&x);
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::CommonNeighbor { k: 8 },
+            Algorithm::DistanceHalving,
+        ] {
+            let got = distributed_spmm(&x, &x, 64, &layout, algo)
+                .unwrap_or_else(|e| panic!("{name} {algo}: {e}"));
+            assert_eq!(got.z.max_abs_diff(&want), 0.0, "{name} {algo}");
+        }
+    }
+}
+
+#[test]
+fn medium_table2_matrices_dh() {
+    let layout = ClusterLayout::new(4, 2, 8);
+    for name in ["comsol", "bcsstk13"] {
+        let x = table2_matrix(name, 7).expect("known matrix");
+        let want = x.multiply(&x);
+        let got = distributed_spmm(&x, &x, 64, &layout, Algorithm::DistanceHalving)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got.z.max_abs_diff(&want), 0.0, "{name}");
+    }
+}
+
+#[test]
+fn rectangular_product() {
+    // Z = X (n×n) × Y (n×k as a sparse matrix with k < n columns)
+    let x = synth_symmetric(96, 900, nhood_topology::matrix::generators::StructureClass::Uniform, 1);
+    let y = nhood_topology::CsrMatrix::from_coo(
+        96,
+        16,
+        (0..96).map(|r| (r, r % 16, 1.0 + r as f64)).collect(),
+    );
+    let want = x.multiply(&y);
+    let layout = ClusterLayout::new(2, 2, 8);
+    let got = distributed_spmm(&x, &y, 24, &layout, Algorithm::DistanceHalving).unwrap();
+    assert_eq!(got.z.max_abs_diff(&want), 0.0);
+}
+
+#[test]
+fn process_count_sweep() {
+    let x = table2_matrix("dwt_193", 3).expect("known matrix");
+    let want = x.multiply(&x);
+    let layout = ClusterLayout::new(8, 2, 8);
+    for parts in [1usize, 2, 7, 16, 64, 128] {
+        let got = distributed_spmm(&x, &x, parts, &layout, Algorithm::DistanceHalving)
+            .unwrap_or_else(|e| panic!("parts={parts}: {e}"));
+        assert_eq!(got.z.max_abs_diff(&want), 0.0, "parts={parts}");
+    }
+}
+
+#[test]
+fn replica_structure_classes_are_distinct() {
+    // the banded replicas must produce sparser topologies than the
+    // uniform/dense ones at the same process count — the property Fig. 7
+    // leans on to explain which matrices benefit
+    let parts = 64;
+    let banded = table2_matrix("bcsstk13", 1).expect("known");
+    let dense = table2_matrix("Journals", 1).expect("known");
+    let t_banded = nhood_topology::spmm_graph::spmm_topology(&banded, parts);
+    let t_dense = nhood_topology::spmm_graph::spmm_topology(&dense, parts);
+    let d_banded = t_banded.density();
+    let d_dense = t_dense.density();
+    assert!(
+        d_dense > 2.0 * d_banded,
+        "Journals topology density {d_dense:.3} vs bcsstk13 {d_banded:.3}"
+    );
+}
+
+#[test]
+fn all_table2_names_resolve() {
+    for e in &TABLE2 {
+        assert!(table2_matrix(e.name, 1).is_some(), "{}", e.name);
+    }
+}
