@@ -1,14 +1,14 @@
-//! Criterion micro-benchmarks of the plan executors: sequential virtual
-//! execution vs one-thread-per-rank execution, across algorithms.
+//! Micro-benchmarks of the plan executors: sequential virtual execution
+//! vs one-thread-per-rank execution, across algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::threaded::run_threaded;
 use nhood_core::exec::virtual_exec::{run_virtual, test_payloads};
 use nhood_core::{Algorithm, DistGraphComm};
 use nhood_topology::random::erdos_renyi;
 
-fn bench_executors(c: &mut Criterion) {
+fn main() {
     let n = 64;
     let m = 1024;
     let graph = erdos_renyi(n, 0.3, 42);
@@ -16,21 +16,15 @@ fn bench_executors(c: &mut Criterion) {
     let comm = DistGraphComm::create_adjacent(graph.clone(), layout).unwrap();
     let payloads = test_payloads(n, m, 7);
 
-    let mut group = c.benchmark_group("executors");
-    group.sample_size(10);
-    for algo in [Algorithm::Naive, Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving]
-    {
+    let group = Bench::group("executors");
+    for algo in [Algorithm::Naive, Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving] {
         let plan = comm.plan(algo).unwrap();
-        group.throughput(Throughput::Bytes((plan.total_blocks_sent() * m) as u64));
-        group.bench_with_input(BenchmarkId::new("virtual", algo.to_string()), &plan, |b, p| {
-            b.iter(|| run_virtual(p, &graph, &payloads).unwrap())
+        let bytes = (plan.total_blocks_sent() * m) as u64;
+        group.case(&format!("virtual/{algo}"), 10, bytes, || {
+            run_virtual(&plan, &graph, &payloads).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("threaded", algo.to_string()), &plan, |b, p| {
-            b.iter(|| run_threaded(p, &graph, &payloads).unwrap())
+        group.case(&format!("threaded/{algo}"), 10, bytes, || {
+            run_threaded(&plan, &graph, &payloads).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_executors);
-criterion_main!(benches);

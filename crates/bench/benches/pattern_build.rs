@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of communication-pattern construction —
-//! the one-time cost that Fig. 8 discusses (here as wall-clock of our
+//! Micro-benchmarks of communication-pattern construction — the
+//! one-time cost that Fig. 8 discusses (here as wall-clock of our
 //! builders rather than simulated network time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
 use nhood_core::alltoall::plan_dh_alltoall;
 use nhood_core::builder::{build_pattern, build_pattern_with, PairingStrategy};
@@ -12,53 +12,31 @@ use nhood_core::leader::plan_hierarchical_leader;
 use nhood_core::naive::plan_naive;
 use nhood_topology::random::erdos_renyi;
 
-fn bench_builders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pattern_build");
-    group.sample_size(10);
+fn main() {
+    let group = Bench::group("pattern_build");
     for &(n, delta) in &[(128usize, 0.1f64), (128, 0.5), (512, 0.1), (512, 0.5)] {
         let graph = erdos_renyi(n, delta, 42);
         let layout = ClusterLayout::new(n / 16, 2, 8);
-        group.bench_with_input(
-            BenchmarkId::new("distance_halving", format!("n{n}_d{delta}")),
-            &(&graph, &layout),
-            |b, (g, l)| b.iter(|| build_pattern(g, l).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mirror_halving", format!("n{n}_d{delta}")),
-            &(&graph, &layout),
-            |b, (g, l)| b.iter(|| build_pattern_with(g, l, PairingStrategy::Mirror).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("common_neighbor_k8", format!("n{n}_d{delta}")),
-            &graph,
-            |b, g| b.iter(|| plan_common_neighbor(g, 8)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive", format!("n{n}_d{delta}")),
-            &graph,
-            |b, g| b.iter(|| plan_naive(g)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hierarchical_leader_l4", format!("n{n}_d{delta}")),
-            &(&graph, &layout),
-            |b, (g, l)| b.iter(|| plan_hierarchical_leader(g, l, 4)),
-        );
+        let id = format!("n{n}_d{delta}");
+        group.case(&format!("distance_halving/{id}"), 10, 0, || {
+            build_pattern(&graph, &layout).unwrap()
+        });
+        group.case(&format!("mirror_halving/{id}"), 10, 0, || {
+            build_pattern_with(&graph, &layout, PairingStrategy::Mirror).unwrap()
+        });
+        group.case(&format!("common_neighbor_k8/{id}"), 10, 0, || plan_common_neighbor(&graph, 8));
+        group.case(&format!("naive/{id}"), 10, 0, || plan_naive(&graph));
+        group.case(&format!("hierarchical_leader_l4/{id}"), 10, 0, || {
+            plan_hierarchical_leader(&graph, &layout, 4)
+        });
         let pattern = build_pattern(&graph, &layout).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("dh_alltoall_lowering", format!("n{n}_d{delta}")),
-            &(&pattern, &graph),
-            |b, (p, g)| b.iter(|| plan_dh_alltoall(p, g)),
-        );
+        group.case(&format!("dh_alltoall_lowering/{id}"), 10, 0, || {
+            plan_dh_alltoall(&pattern, &graph)
+        });
         if n <= 128 {
-            group.bench_with_input(
-                BenchmarkId::new("distributed_threads", format!("n{n}_d{delta}")),
-                &(&graph, &layout),
-                |b, (g, l)| b.iter(|| build_pattern_distributed(g, l).unwrap()),
-            );
+            group.case(&format!("distributed_threads/{id}"), 10, 0, || {
+                build_pattern_distributed(&graph, &layout).unwrap()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_builders);
-criterion_main!(benches);

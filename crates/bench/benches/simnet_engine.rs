@@ -1,37 +1,27 @@
-//! Criterion micro-benchmarks of the discrete-event engine itself:
-//! events per second on naive vs Distance Halving schedules.
+//! Micro-benchmarks of the discrete-event engine itself: events per
+//! second on naive vs Distance Halving schedules.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::sim_exec::to_schedule;
 use nhood_core::{Algorithm, DistGraphComm, SimCost};
 use nhood_simnet::Engine;
 use nhood_topology::random::erdos_renyi;
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let n = 512;
     let graph = erdos_renyi(n, 0.3, 42);
     let layout = ClusterLayout::niagara(16, 32);
     let comm = DistGraphComm::create_adjacent(graph, layout.clone()).unwrap();
     let cost = SimCost::niagara();
 
-    let mut group = c.benchmark_group("simnet_engine");
-    group.sample_size(10);
+    let group = Bench::group("simnet_engine");
     for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
         let plan = comm.plan(algo).unwrap();
         let schedule = to_schedule(&plan, 1024, &cost);
-        group.throughput(Throughput::Elements(schedule.message_count() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("run", algo.to_string()),
-            &schedule,
-            |b, s| {
-                let engine = Engine::new(&layout, cost.net);
-                b.iter(|| engine.run(s).unwrap())
-            },
-        );
+        let engine = Engine::new(&layout, cost.net);
+        group.case(&format!("run/{algo} ({} msgs)", schedule.message_count()), 10, 0, || {
+            engine.run(&schedule).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,29 +1,22 @@
-//! Criterion micro-benchmarks of the SpMM kernel: serial Gustavson
-//! multiply vs the distributed kernel (whose extra cost is the packed
-//! allgather plus stripe (de)serialization).
+//! Micro-benchmarks of the SpMM kernel: serial Gustavson multiply vs
+//! the distributed kernel (whose extra cost is the packed allgather
+//! plus stripe (de)serialization).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
 use nhood_core::Algorithm;
 use nhood_spmm::distributed_spmm;
 use nhood_topology::matrix::generators::{synth_symmetric, StructureClass};
 
-fn bench_spmm(c: &mut Criterion) {
+fn main() {
     let x = synth_symmetric(400, 6000, StructureClass::Banded { half_bandwidth: 30 }, 42);
     let layout = ClusterLayout::new(4, 2, 4);
 
-    let mut group = c.benchmark_group("spmm");
-    group.sample_size(10);
-    group.bench_function("serial_gustavson", |b| b.iter(|| x.multiply(&x)));
+    let group = Bench::group("spmm");
+    group.case("serial_gustavson", 10, 0, || x.multiply(&x));
     for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
-        group.bench_with_input(
-            BenchmarkId::new("distributed_32p", algo.to_string()),
-            &algo,
-            |b, &algo| b.iter(|| distributed_spmm(&x, &x, 32, &layout, algo).unwrap()),
-        );
+        group.case(&format!("distributed_32p/{algo}"), 10, 0, || {
+            distributed_spmm(&x, &x, 32, &layout, algo).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spmm);
-criterion_main!(benches);

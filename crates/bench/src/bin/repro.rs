@@ -107,7 +107,9 @@ fn main() {
     }
     if want_plots {
         match nhood_bench::figures::render_all(&out) {
-            Ok(written) => eprintln!(">> rendered {} SVG figures under {}", written.len(), out.display()),
+            Ok(written) => {
+                eprintln!(">> rendered {} SVG figures under {}", written.len(), out.display())
+            }
             Err(e) => eprintln!("!! plot rendering failed: {e}"),
         }
     }

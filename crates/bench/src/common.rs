@@ -8,19 +8,8 @@ use std::path::{Path, PathBuf};
 pub const DENSITIES: [f64; 5] = [0.05, 0.1, 0.3, 0.5, 0.7];
 
 /// Message-size sweep, 8 B … 4 MB (the paper's x-axis).
-pub const MSG_SIZES: [usize; 11] = [
-    8,
-    32,
-    128,
-    512,
-    2048,
-    8192,
-    32768,
-    131072,
-    524288,
-    2_097_152,
-    4_194_304,
-];
+pub const MSG_SIZES: [usize; 11] =
+    [8, 32, 128, 512, 2048, 8192, 32768, 131072, 524288, 2_097_152, 4_194_304];
 
 /// Common Neighbor group sizes swept per configuration (the paper
 /// "launched the Common Neighbor algorithm with various values of K" and
@@ -170,9 +159,9 @@ pub fn fmt_x(x: f64) -> String {
 
 /// Human-readable message size (8B, 4KB, 4MB).
 pub fn fmt_bytes(b: usize) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}MB", b >> 20)
-    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+    } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
         format!("{}KB", b >> 10)
     } else {
         format!("{b}B")

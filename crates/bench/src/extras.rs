@@ -18,10 +18,8 @@ use std::path::Path;
 /// The §V worked example: expected message counts at n = 2000, 50 nodes
 /// × 2 × 20, δ = 0.3 — model vs the counts our builder actually produces.
 pub fn run_model_example(out: &Path) -> std::io::Result<Report> {
-    let mut report = Report::new(
-        "model_worked_example",
-        &["quantity", "paper", "model_formula", "measured"],
-    );
+    let mut report =
+        Report::new("model_worked_example", &["quantity", "paper", "model_formula", "measured"]);
     let params = ModelParams { n: 2000, s: 2, l: 20, delta: 0.3, alpha: 1.3e-6, beta: 10.5e9 };
     // measured counts from a real build at the same configuration
     let graph = erdos_renyi(2000, 0.3, 42);
@@ -117,10 +115,8 @@ pub fn run_ablation_network(scale: Scale, out: &Path) -> std::io::Result<Report>
     dragonfly.net.global_links = Some(nhood_simnet::GlobalLinkConfig::niagara());
     variants.push(("dragonfly-global", dragonfly));
 
-    let mut report = Report::new(
-        "ablation_network",
-        &["variant", "msg_size", "naive_s", "dh_s", "dh_speedup"],
-    );
+    let mut report =
+        Report::new("ablation_network", &["variant", "msg_size", "naive_s", "dh_s", "dh_speedup"]);
     for (name, cost) in &variants {
         for &m in &[64usize, 65536] {
             let tn = simulate(&naive, &layout, m, cost).expect("sim").makespan;
@@ -265,8 +261,6 @@ pub fn run_packing(scale: Scale, out: &Path) -> std::io::Result<Report> {
 /// coefficient of variation per algorithm.
 pub fn run_variance(scale: Scale, out: &Path) -> std::io::Result<Report> {
     use nhood_topology::moore::{moore, MooreSpec};
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     let (ranks, nodes, rpn) = scale.moore_scale();
     let graph = moore(ranks, MooreSpec { r: 2, d: 2 });
     let trials = match scale {
@@ -278,10 +272,10 @@ pub fn run_variance(scale: Scale, out: &Path) -> std::io::Result<Report> {
     let m = 4096;
 
     let mut samples: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let mut rng = nhood_topology::rng::DetRng::seed_from_u64(2024);
     for _ in 0..trials {
         let mut perm: Vec<usize> = (0..nodes).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         let layout = ClusterLayout::niagara(nodes, rpn).with_node_permutation(perm);
         let comm = DistGraphComm::create_adjacent(graph.clone(), layout.clone()).expect("fits");
         for (name, algo) in [
@@ -301,10 +295,8 @@ pub fn run_variance(scale: Scale, out: &Path) -> std::io::Result<Report> {
         samples.entry("dh-reordered").or_default().push(t);
     }
 
-    let mut report = Report::new(
-        "variance_placement",
-        &["algorithm", "trials", "mean_s", "std_s", "cov_pct"],
-    );
+    let mut report =
+        Report::new("variance_placement", &["algorithm", "trials", "mean_s", "std_s", "cov_pct"]);
     for (name, xs) in samples {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
@@ -341,7 +333,9 @@ pub fn run_leader(scale: Scale, out: &Path) -> std::io::Result<Report> {
         // sweep leaders like the paper sweeps K
         let leader_plans: Vec<(usize, nhood_core::CollectivePlan)> = [1usize, 2, 4, 8]
             .into_iter()
-            .map(|l| (l, comm.plan(Algorithm::HierarchicalLeader { leaders_per_node: l }).expect("plan")))
+            .map(|l| {
+                (l, comm.plan(Algorithm::HierarchicalLeader { leaders_per_node: l }).expect("plan"))
+            })
             .collect();
         for &m in &[4096usize, 262_144, 4_194_304] {
             let tn = simulate(&naive, &layout, m, &cost).expect("sim").makespan;

@@ -75,9 +75,7 @@ pub fn run_fig4(scale: Scale, out: &Path) -> std::io::Result<Report> {
     let sizes = scale.msg_sizes();
     let mut report = Report::new(
         "fig4_rsg_latency",
-        &[
-            "ranks", "delta", "msg_size", "naive_s", "dh_s", "model_naive_s", "model_dh_s",
-        ],
+        &["ranks", "delta", "msg_size", "naive_s", "dh_s", "model_naive_s", "model_dh_s"],
     );
     for &delta in &scale.densities() {
         let pts = sweep_one(ranks, nodes, delta, &sizes, 42);
@@ -162,6 +160,6 @@ mod tests {
         let f4 = run_fig4(Scale::Quick, &dir).unwrap();
         assert_eq!(f4.len(), 2 * 3); // densities × sizes
         let f5 = run_fig5(Scale::Quick, &dir).unwrap();
-        assert_eq!(f5.len(), 1 * 2 * 3); // scales × densities × sizes
+        assert_eq!(f5.len(), 2 * 3); // scales(1) × densities × sizes
     }
 }

@@ -38,9 +38,7 @@ pub fn run(scale: Scale, out: &Path) -> std::io::Result<Report> {
     };
     let mut report = Report::new(
         "fig6_moore_speedup",
-        &[
-            "moore", "neighbors", "msg_size", "naive_s", "dh_speedup", "cn_speedup", "cn_best_k",
-        ],
+        &["moore", "neighbors", "msg_size", "naive_s", "dh_speedup", "cn_speedup", "cn_best_k"],
     );
     for spec in MOORE_SPECS {
         if grid_dims(ranks, spec).is_none() {

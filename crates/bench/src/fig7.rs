@@ -65,8 +65,9 @@ pub fn run(scale: Scale, out: &Path) -> std::io::Result<Report> {
         // (Heart1 is large; verify the serial product only at Quick sizes
         // or n ≤ 2003 to keep Full runs in minutes).
         let verified = if e.n <= 2003 {
-            let res = nhood_spmm::distributed_spmm(&x, &x, parts, &layout, Algorithm::DistanceHalving)
-                .expect("kernel");
+            let res =
+                nhood_spmm::distributed_spmm(&x, &x, parts, &layout, Algorithm::DistanceHalving)
+                    .expect("kernel");
             let want = x.multiply(&x);
             res.z.max_abs_diff(&want) < 1e-9
         } else {

@@ -69,8 +69,7 @@ pub fn estimate_setup(
     // Signals spread over ranks; the per-rank serialized share costs
     // per_signal each. Descriptor payloads add bulk bytes (one id per
     // responsibility moved — bounded by total edges over all steps).
-    let dh_extra = dh_signals / n * cost.per_signal
-        + edges * cost.id_bytes / cost.bytes_per_sec;
+    let dh_extra = dh_signals / n * cost.per_signal + edges * cost.id_bytes / cost.bytes_per_sec;
     // CN: each rank exchanges its list with its K-1 group mates and
     // agrees on leaders (one round).
     let mean_deg = if n == 0.0 { 0.0 } else { edges / n };
@@ -153,10 +152,7 @@ pub fn simulate_negotiation(
             }
         }
     }
-    Engine::new(layout, cost.net)
-        .run(&schedule)
-        .expect("negotiation schedule is causal")
-        .makespan
+    Engine::new(layout, cost.net).run(&schedule).expect("negotiation schedule is causal").makespan
 }
 
 /// Runs the Fig. 8 sweep and writes `fig8_setup_overhead.csv`.
@@ -166,14 +162,7 @@ pub fn run(scale: Scale, out: &Path) -> std::io::Result<Report> {
     let cost = SetupCost::default();
     let mut report = Report::new(
         "fig8_setup_overhead",
-        &[
-            "delta",
-            "dh_setup_s",
-            "cn_setup_s",
-            "dh_over_cn",
-            "signals",
-            "build_wallclock_s",
-        ],
+        &["delta", "dh_setup_s", "cn_setup_s", "dh_over_cn", "signals", "build_wallclock_s"],
     );
     for &delta in &scale.densities() {
         let graph = erdos_renyi(ranks, delta, 42);

@@ -14,12 +14,8 @@ use std::path::{Path, PathBuf};
 pub fn read_csv(path: &Path) -> io::Result<(Vec<String>, Vec<Vec<String>>)> {
     let text = std::fs::read_to_string(path)?;
     let mut lines = text.lines();
-    let header: Vec<String> = lines
-        .next()
-        .unwrap_or("")
-        .split(',')
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> =
+        lines.next().unwrap_or("").split(',').map(|s| s.to_string()).collect();
     let rows = lines
         .filter(|l| !l.trim().is_empty())
         .map(|l| l.split(',').map(|s| s.to_string()).collect())
@@ -87,7 +83,9 @@ pub fn render_all(dir: &Path) -> io::Result<Vec<PathBuf>> {
         ("fig4_rsg_latency.csv", "fig4_latency", "naive_s", "dh_s"),
     ] {
         let Some(t) = Table::load(&dir.join(file)) else { continue };
-        let mut by_delta: BTreeMap<String, (Vec<(f64, f64)>, Vec<(f64, f64)>)> = BTreeMap::new();
+        // per delta: (naive curve, dh curve) as (msg_size, seconds) points
+        type Curves = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+        let mut by_delta: BTreeMap<String, Curves> = BTreeMap::new();
         for row in &t.rows {
             let m = parse_size(t.get(row, "msg_size"));
             let e = by_delta.entry(t.get(row, "delta").to_string()).or_default();
@@ -151,7 +149,9 @@ pub fn render_all(dir: &Path) -> io::Result<Vec<PathBuf>> {
 
     // Fig. 6 — grouped bars per message size.
     if let Some(t) = Table::load(&dir.join("fig6_moore_speedup.csv")) {
-        let mut sizes: BTreeMap<String, (Vec<String>, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        // per message size: (bar labels, dh speedups, cn speedups)
+        type Bars = (Vec<String>, Vec<f64>, Vec<f64>);
+        let mut sizes: BTreeMap<String, Bars> = BTreeMap::new();
         for row in &t.rows {
             let e = sizes.entry(t.get(row, "msg_size").to_string()).or_default();
             e.0.push(format!("{} ({})", t.get(row, "moore"), t.get(row, "neighbors")));
@@ -187,16 +187,10 @@ pub fn render_all(dir: &Path) -> io::Result<Vec<PathBuf>> {
 
     // Fig. 8 — setup overhead lines over density.
     if let Some(t) = Table::load(&dir.join("fig8_setup_overhead.csv")) {
-        let dh: Vec<(f64, f64)> = t
-            .rows
-            .iter()
-            .map(|r| (t.getf(r, "delta"), t.getf(r, "dh_setup_s")))
-            .collect();
-        let cn: Vec<(f64, f64)> = t
-            .rows
-            .iter()
-            .map(|r| (t.getf(r, "delta"), t.getf(r, "cn_setup_s")))
-            .collect();
+        let dh: Vec<(f64, f64)> =
+            t.rows.iter().map(|r| (t.getf(r, "delta"), t.getf(r, "dh_setup_s"))).collect();
+        let cn: Vec<(f64, f64)> =
+            t.rows.iter().map(|r| (t.getf(r, "delta"), t.getf(r, "cn_setup_s"))).collect();
         let chart = LineChart {
             title: "fig8: pattern-creation overhead".into(),
             x_label: "graph density (delta)".into(),
@@ -261,15 +255,18 @@ mod tests {
         )
         .unwrap();
         // remove any leftovers from other figures
-        for f in ["fig2_model.csv", "fig4_rsg_latency.csv", "fig6_moore_speedup.csv",
-                  "fig8_setup_overhead.csv", "variance_placement.csv"] {
+        for f in [
+            "fig2_model.csv",
+            "fig4_rsg_latency.csv",
+            "fig6_moore_speedup.csv",
+            "fig8_setup_overhead.csv",
+            "variance_placement.csv",
+        ] {
             let _ = std::fs::remove_file(dir.join(f));
         }
         let written = render_all(&dir).unwrap();
-        let names: Vec<String> = written
-            .iter()
-            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
-            .collect();
+        let names: Vec<String> =
+            written.iter().map(|p| p.file_name().unwrap().to_string_lossy().into_owned()).collect();
         assert!(names.contains(&"fig5_dh_216ranks.svg".to_string()), "{names:?}");
         assert!(names.contains(&"fig5_cn_216ranks.svg".to_string()));
         assert!(names.contains(&"fig7_spmm.svg".to_string()));

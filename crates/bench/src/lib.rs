@@ -13,16 +13,17 @@
 //! | [`extras`] | §V worked example, §VII-A success rates, ablations |
 //!
 //! Run everything with `cargo run --release -p nhood-bench --bin repro --
-//! all`; Criterion micro-benchmarks of the library itself live under
-//! `benches/`.
+//! all`; wall-clock micro-benchmarks of the library itself live under
+//! `benches/` (driven by the in-repo [`harness`]).
 
 pub mod common;
 pub mod extras;
-pub mod figures;
 pub mod fig2;
 pub mod fig45;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod figures;
+pub mod harness;
 pub mod mirror;
 pub mod plot;

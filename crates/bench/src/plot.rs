@@ -12,9 +12,8 @@ const MT: f64 = 48.0;
 const MB: f64 = 62.0;
 
 /// Categorical palette (colorblind-friendly-ish).
-const COLORS: [&str; 8] = [
-    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
-];
+const COLORS: [&str; 8] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f"];
 
 fn esc(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
@@ -49,7 +48,7 @@ pub struct LineChart {
 
 /// Computes "nice" tick positions over `[lo, hi]` (linear).
 fn linear_ticks(lo: f64, hi: f64) -> Vec<f64> {
-    if !(hi > lo) {
+    if hi <= lo {
         return vec![lo];
     }
     let span = hi - lo;
@@ -122,12 +121,10 @@ impl LineChart {
         if pts.is_empty() {
             pts.push((1.0, 1.0));
         }
-        let (x0, mut x1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
-            (lo.min(x), hi.max(x))
-        });
-        let (mut y0, mut y1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
-            (lo.min(y), hi.max(y))
-        });
+        let (x0, mut x1) =
+            pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+        let (mut y0, mut y1) =
+            pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
         if x0 == x1 {
             x1 = x0 + 1.0;
         }
@@ -287,12 +284,8 @@ impl BarChart {
         for (name, vals) in &self.groups {
             assert_eq!(vals.len(), self.categories.len(), "group {name} ragged");
         }
-        let y1 = self
-            .groups
-            .iter()
-            .flat_map(|(_, v)| v.iter().copied())
-            .fold(1e-12f64, f64::max)
-            * 1.12;
+        let y1 =
+            self.groups.iter().flat_map(|(_, v)| v.iter().copied()).fold(1e-12f64, f64::max) * 1.12;
         let y0 = 0.0;
         let ty = |y: f64| H - MB - (y - y0) / (y1 - y0) * (H - MT - MB);
 
@@ -387,8 +380,14 @@ mod tests {
             log_x: true,
             log_y: true,
             series: vec![
-                Series { name: "naive".into(), points: vec![(8.0, 1e-4), (64.0, 2e-4), (512.0, 1e-3)] },
-                Series { name: "dh".into(), points: vec![(8.0, 5e-5), (64.0, 6e-5), (512.0, 4e-4)] },
+                Series {
+                    name: "naive".into(),
+                    points: vec![(8.0, 1e-4), (64.0, 2e-4), (512.0, 1e-3)],
+                },
+                Series {
+                    name: "dh".into(),
+                    points: vec![(8.0, 5e-5), (64.0, 6e-5), (512.0, 4e-4)],
+                },
             ],
         }
     }
@@ -470,10 +469,7 @@ mod tests {
             title: "spmm".into(),
             y_label: "speedup".into(),
             categories: vec!["a".into(), "b".into(), "c".into()],
-            groups: vec![
-                ("dh".into(), vec![1.5, 3.0, 0.6]),
-                ("cn".into(), vec![1.1, 0.9, 0.8]),
-            ],
+            groups: vec![("dh".into(), vec![1.5, 3.0, 0.6]), ("cn".into(), vec![1.1, 0.9, 0.8])],
             unit_line: true,
         };
         let svg = b.render();

@@ -41,9 +41,7 @@ impl Args {
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
                 if spec.valued.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    let v = it.next().ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
                     out.flags.insert(name.to_string(), v);
                 } else if spec.switches.contains(&name) {
                     out.switches.push(name.to_string());
@@ -76,9 +74,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{name}: cannot parse '{v}'"))),
         }
     }
 
@@ -106,9 +102,7 @@ pub fn parse_bytes(s: &str) -> Result<usize, ArgError> {
         Some('G') | Some('g') => (&s[..s.len() - 1], 1usize << 30),
         _ => (s, 1),
     };
-    num.parse::<usize>()
-        .map(|v| v * mult)
-        .map_err(|_| ArgError(format!("bad byte size '{s}'")))
+    num.parse::<usize>().map(|v| v * mult).map_err(|_| ArgError(format!("bad byte size '{s}'")))
 }
 
 #[cfg(test)]

@@ -63,7 +63,8 @@ pub fn load_topology(path: &str) -> Result<Topology, ArgError> {
 
 /// `nhood gen <er|moore|vonneumann> [flags] <out-file>`
 pub fn cmd_gen(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
-    let kind = args.pos(1).ok_or_else(|| fail("gen: which generator? (er | moore | vonneumann)"))?;
+    let kind =
+        args.pos(1).ok_or_else(|| fail("gen: which generator? (er | moore | vonneumann)"))?;
     let out_path = args.pos(2).ok_or_else(|| fail("gen: missing output file"))?;
     let graph = match kind {
         "er" => {
@@ -115,8 +116,7 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
-    let comm = DistGraphComm::create_adjacent(graph, layout)
-        .map_err(|e| fail(e.to_string()))?;
+    let comm = DistGraphComm::create_adjacent(graph, layout).map_err(|e| fail(e.to_string()))?;
     let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
     if let Some(save) = args.get("save") {
         nhood_core::plan_io::save_plan(&plan, std::path::Path::new(save))?;
@@ -162,7 +162,8 @@ pub fn cmd_simulate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let plan = if let Some(loaded) = args.get("load") {
         let p = nhood_core::plan_io::load_plan(std::path::Path::new(loaded))
             .map_err(|e| fail(e.to_string()))?;
-        p.validate(&graph).map_err(|e| fail(format!("loaded plan invalid for this topology: {e}")))?;
+        p.validate(&graph)
+            .map_err(|e| fail(format!("loaded plan invalid for this topology: {e}")))?;
         p
     } else {
         let comm = DistGraphComm::create_adjacent(graph, layout.clone())
@@ -232,8 +233,8 @@ pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
-    let comm = DistGraphComm::create_adjacent(graph.clone(), layout)
-        .map_err(|e| fail(e.to_string()))?;
+    let comm =
+        DistGraphComm::create_adjacent(graph.clone(), layout).map_err(|e| fail(e.to_string()))?;
     let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
     plan.validate(&graph).map_err(|e| fail(format!("plan validation failed: {e}")))?;
     writeln!(w, "plan validation: ok (exactly-once delivery holds)")?;
@@ -301,6 +302,99 @@ pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `nhood chaos <edge-list> [--algo ..] [--drops 0.01,0.05,0.1]
+/// [--runs R] [--seed S] [--size BYTES] [--timeout MS] [layout flags]`
+/// — sweep message-drop rates over seeded fault schedules on the
+/// threaded executor and report, per rate, how many runs completed
+/// cleanly, degraded to the naive fallback, or returned a typed error.
+/// Any run returning buffers that differ from the MPI-semantics
+/// reference is **corruption** and fails the command (nonzero exit).
+pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    use nhood_core::fault::FaultPlan;
+    use nhood_core::RobustPolicy;
+    use std::time::Duration;
+
+    let path = args.pos(1).ok_or_else(|| fail("chaos: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let drops: Vec<f64> = args
+        .get("drops")
+        .unwrap_or("0.01,0.05,0.1")
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().map_err(|e| fail(format!("bad drop rate '{s}': {e}"))))
+        .collect::<Result<_, _>>()?;
+    if let Some(bad) = drops.iter().find(|p| !(0.0..=1.0).contains(*p)) {
+        return Err(fail(format!("drop rate {bad} outside [0, 1]")));
+    }
+    let runs = args.get_parsed("runs", 5usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let m = parse_bytes(args.get("size").unwrap_or("32"))?;
+    let timeout = Duration::from_millis(args.get_parsed("timeout", 5000u64)?);
+
+    let comm = DistGraphComm::create_adjacent(graph.clone(), layout)
+        .map_err(|e| fail(e.to_string()))?
+        .with_policy(RobustPolicy {
+            recv_timeout: timeout,
+            negotiation_timeout: timeout,
+            ..RobustPolicy::default()
+        });
+    let shape = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+    let payloads = test_payloads(graph.n(), m, seed);
+    let want = reference_allgather(&graph, &payloads);
+    writeln!(
+        w,
+        "chaos: {algo}, {} ranks, {} phases, peak fan-out {}/phase, {runs} runs per rate",
+        shape.n(),
+        shape.phase_count(),
+        shape.max_sends_in_phase()
+    )?;
+    writeln!(
+        w,
+        "{:>8} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8}",
+        "drop", "ok", "fallback", "error", "corrupt", "injected", "retries"
+    )?;
+    let mut corrupt_total = 0usize;
+    for &p in &drops {
+        let (mut ok, mut fell, mut err, mut corrupt) = (0usize, 0usize, 0usize, 0usize);
+        let (mut injected, mut retries) = (0u64, 0u64);
+        for run in 0..runs {
+            let fp = FaultPlan::seeded(seed ^ (run as u64).wrapping_mul(0x9e37_79b9))
+                .with_message_drop(p)
+                .with_message_delay(p / 2.0, Duration::from_micros(200))
+                .with_message_reorder(p / 2.0);
+            let c = comm.clone().with_fault_plan(fp);
+            match c.neighbor_allgather_robust(algo, &payloads) {
+                Ok((bufs, report)) => {
+                    injected += report.faults.total_injected();
+                    retries += report.faults.retries;
+                    if bufs != want {
+                        corrupt += 1;
+                    } else if report.clean() {
+                        ok += 1;
+                    } else {
+                        fell += 1;
+                    }
+                }
+                Err(_) => err += 1,
+            }
+        }
+        corrupt_total += corrupt;
+        writeln!(
+            w,
+            "{:>8.3} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8}",
+            p, ok, fell, err, corrupt, injected, retries
+        )?;
+    }
+    if corrupt_total > 0 {
+        return Err(fail(format!(
+            "{corrupt_total} run(s) returned corrupted buffers — silent-corruption guarantee violated"
+        )));
+    }
+    writeln!(w, "no silent corruption: every run was exact or failed typed")?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +403,7 @@ mod tests {
     const SPEC: Spec = Spec {
         valued: &[
             "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-            "sizes", "size", "out", "save", "load",
+            "sizes", "size", "out", "save", "load", "drops", "runs", "timeout",
         ],
         switches: &[],
     };
@@ -354,11 +448,8 @@ mod tests {
         cmd_plan(&args(&["plan", &path, "--algo", "dh", "--save", &plan_path]), &mut out).unwrap();
         assert!(String::from_utf8_lossy(&out).contains("plan saved"));
         let mut out = Vec::new();
-        cmd_simulate(
-            &args(&["simulate", &path, "--load", &plan_path, "--sizes", "64"]),
-            &mut out,
-        )
-        .unwrap();
+        cmd_simulate(&args(&["simulate", &path, "--load", &plan_path, "--sizes", "64"]), &mut out)
+            .unwrap();
         assert_eq!(String::from_utf8_lossy(&out).lines().count(), 2);
 
         let mut out = Vec::new();
@@ -377,6 +468,40 @@ mod tests {
         let csv = std::fs::read_to_string(&trace_path).unwrap();
         assert!(csv.starts_with("src,dst,tag,bytes,level,posted,arrival"));
         assert!(csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn chaos_reports_per_rate_outcomes() {
+        let path = tmp("nhood_cli_chaos.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "24", "--delta", "0.4"]), &mut out).unwrap();
+        let mut out = Vec::new();
+        cmd_chaos(
+            &args(&[
+                "chaos",
+                &path,
+                "--algo",
+                "dh",
+                "--drops",
+                "0.0,0.05",
+                "--runs",
+                "2",
+                "--seed",
+                "7",
+                "--timeout",
+                "5000",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("no silent corruption"), "{text}");
+        // one header + one banner + two rates + one verdict
+        assert_eq!(text.lines().count(), 5, "{text}");
+        // the zero-rate row must be all-ok
+        let zero_row = text.lines().nth(2).unwrap();
+        assert!(zero_row.trim_start().starts_with("0.000"), "{zero_row}");
+        assert!(zero_row.contains(" 2 "), "{zero_row}");
     }
 
     #[test]
@@ -407,6 +532,8 @@ mod tests {
         // layout too small
         let path = tmp("nhood_cli_small.el");
         cmd_gen(&args(&["gen", "er", &path, "--n", "48", "--delta", "0.2"]), &mut out).unwrap();
-        assert!(cmd_plan(&args(&["plan", &path, "--nodes", "1", "--cores", "2"]), &mut out).is_err());
+        assert!(
+            cmd_plan(&args(&["plan", &path, "--nodes", "1", "--cores", "2"]), &mut out).is_err()
+        );
     }
 }

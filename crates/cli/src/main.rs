@@ -9,6 +9,7 @@
 //! nhood simulate out.el --algo cn --k 8 --sizes 64,4K,1M
 //! nhood compare out.el --sizes 64,4K
 //! nhood validate out.el --algo dh
+//! nhood chaos out.el --algo dh --drops 0.01,0.05,0.1 --runs 5
 //! ```
 
 mod args;
@@ -19,7 +20,7 @@ use args::{Args, Spec};
 const SPEC: Spec = Spec {
     valued: &[
         "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-        "sizes", "size", "out", "save", "load",
+        "sizes", "size", "out", "save", "load", "drops", "runs", "timeout",
     ],
     switches: &["help"],
 };
@@ -35,6 +36,8 @@ commands:
   validate <edge-list> [--algo ..] [layout flags]
   trace <edge-list> [--algo ..] [--size 4K] [--out trace.csv] [layout flags]
   recommend <edge-list> [--size 4K] [layout flags]
+  chaos <edge-list> [--algo ..] [--drops 0.01,0.05,0.1] [--runs 5] [--seed 42]
+        [--size 32] [--timeout 5000] [layout flags]
 ";
 
 fn main() {
@@ -59,6 +62,7 @@ fn main() {
         "validate" => commands::cmd_validate(&parsed, &mut out),
         "trace" => commands::cmd_trace(&parsed, &mut out),
         "recommend" => commands::cmd_recommend(&parsed, &mut out),
+        "chaos" => commands::cmd_chaos(&parsed, &mut out),
         other => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

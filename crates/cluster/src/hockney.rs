@@ -9,13 +9,12 @@
 //! magnitudes are (see `DESIGN.md` §2).
 
 use crate::layout::Locality;
-use serde::{Deserialize, Serialize};
 
 /// Seconds; all simulator times are `f64` seconds.
 pub type Seconds = f64;
 
 /// One α–β pair: `time(m) = alpha + m / bytes_per_sec`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Hockney {
     /// Per-message latency, seconds.
     pub alpha: Seconds,
@@ -32,7 +31,7 @@ impl Hockney {
 }
 
 /// A full parameter set: one [`Hockney`] per locality level.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HockneyParams {
     /// Intra-socket (shared memory, same L3).
     pub same_socket: Hockney,
@@ -129,12 +128,9 @@ mod tests {
     #[test]
     fn flat_preset_is_level_independent() {
         let p = HockneyParams::flat(2e-6, 5e9);
-        for l in [
-            Locality::SameSocket,
-            Locality::SameNode,
-            Locality::SameGroup,
-            Locality::RemoteGroup,
-        ] {
+        for l in
+            [Locality::SameSocket, Locality::SameNode, Locality::SameGroup, Locality::RemoteGroup]
+        {
             assert!((p.time(l, 1 << 20) - (2e-6 + (1 << 20) as f64 / 5e9)).abs() < 1e-15);
         }
         assert!(p.is_monotone());

@@ -7,13 +7,11 @@
 //! ranks fill a socket, then the next socket, then the next node) plus a
 //! round-robin alternative for placement ablations.
 
-use serde::{Deserialize, Serialize};
-
 /// A rank identifier, `0..n`.
 pub type Rank = usize;
 
 /// Physical position of a rank.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Node index.
     pub node: usize,
@@ -27,7 +25,7 @@ pub struct Location {
 ///
 /// Ordered from cheapest to most expensive; the simulator and the Hockney
 /// parameter set key off this.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Locality {
     /// Same node, same socket: shared-memory, shared L3.
     SameSocket,
@@ -40,7 +38,7 @@ pub enum Locality {
 }
 
 /// Rank-to-core placement policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Placement {
     /// Consecutive ranks fill a socket, then the node, then the next node
     /// (`--map-by core`, the paper's configuration).
@@ -51,7 +49,7 @@ pub enum Placement {
 }
 
 /// A homogeneous cluster: `nodes × sockets_per_node × cores_per_socket`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterLayout {
     nodes: usize,
     sockets_per_node: usize,
@@ -109,7 +107,7 @@ impl ClusterLayout {
     /// Panics if `ranks_per_node` is odd or zero.
     pub fn niagara(nodes: usize, ranks_per_node: usize) -> Self {
         assert!(
-            ranks_per_node > 0 && ranks_per_node % 2 == 0,
+            ranks_per_node > 0 && ranks_per_node.is_multiple_of(2),
             "ranks_per_node must be positive and even, got {ranks_per_node}"
         );
         Self::with_groups(nodes, 2, ranks_per_node / 2, 16)
@@ -180,11 +178,7 @@ impl ClusterLayout {
     /// # Panics
     /// Panics if `rank >= capacity()`.
     pub fn location(&self, rank: Rank) -> Location {
-        assert!(
-            rank < self.capacity(),
-            "rank {rank} exceeds capacity {}",
-            self.capacity()
-        );
+        assert!(rank < self.capacity(), "rank {rank} exceeds capacity {}", self.capacity());
         match self.placement {
             Placement::Block => {
                 let per_node = self.ranks_per_node();
@@ -350,15 +344,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "block placement")]
     fn socket_range_requires_block() {
-        ClusterLayout::new(2, 1, 2)
-            .with_placement(Placement::RoundRobinNodes)
-            .socket_range(0);
+        ClusterLayout::new(2, 1, 2).with_placement(Placement::RoundRobinNodes).socket_range(0);
     }
 
     #[test]
     fn node_permutation_changes_groups_only() {
         let base = ClusterLayout::with_groups(4, 1, 2, 2); // groups {0,1},{2,3}
-        // swap nodes 1 and 2 across the group boundary
+                                                           // swap nodes 1 and 2 across the group boundary
         let permuted = base.clone().with_node_permutation(vec![0, 2, 1, 3]);
         // same-node/socket locality is untouched
         assert_eq!(permuted.locality(0, 1), base.locality(0, 1));

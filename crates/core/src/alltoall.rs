@@ -101,9 +101,10 @@ impl AlltoallPlan {
                 return Err(format!("rank {r} has {} phases, want {phases}", prog.len()));
             }
         }
-        // mirror check
-        let mut sends: HashMap<(Rank, Rank, u64), (usize, &[(Rank, Rank)])> = HashMap::new();
-        let mut recvs: HashMap<(Rank, Rank, u64), (usize, &[(Rank, Rank)])> = HashMap::new();
+        // mirror check: (src, dst, tag) -> (phase, item list)
+        type MsgIndex<'a> = HashMap<(Rank, Rank, u64), (usize, &'a [(Rank, Rank)])>;
+        let mut sends: MsgIndex = HashMap::new();
+        let mut recvs: MsgIndex = HashMap::new();
         for (r, prog) in self.per_rank.iter().enumerate() {
             for (k, ph) in prog.iter().enumerate() {
                 for msg in &ph.sends {
@@ -134,9 +135,8 @@ impl AlltoallPlan {
             }
         }
         // possession + consumption
-        let mut holds: Vec<std::collections::HashSet<(Rank, Rank)>> = (0..n)
-            .map(|p| graph.out_neighbors(p).iter().map(|&d| (p, d)).collect())
-            .collect();
+        let mut holds: Vec<std::collections::HashSet<(Rank, Rank)>> =
+            (0..n).map(|p| graph.out_neighbors(p).iter().map(|&d| (p, d)).collect()).collect();
         let mut delivered: HashMap<(Rank, Rank), usize> = HashMap::new();
         for k in 0..phases {
             // sends leave against pre-phase possession, and *remove*
@@ -209,9 +209,8 @@ pub fn plan_dh_alltoall(pattern: &DhPattern, graph: &Topology) -> AlltoallPlan {
     assert_eq!(pattern.n(), n, "pattern/topology rank mismatch");
     let steps = pattern.max_steps();
     // pending items per rank (destination-addressed)
-    let mut pending: Vec<Vec<(Rank, Rank)>> = (0..n)
-        .map(|p| graph.out_neighbors(p).iter().map(|&d| (p, d)).collect())
-        .collect();
+    let mut pending: Vec<Vec<(Rank, Rank)>> =
+        (0..n).map(|p| graph.out_neighbors(p).iter().map(|&d| (p, d)).collect()).collect();
     let mut per_rank: Vec<Vec<A2aPhase>> = vec![Vec::with_capacity(steps + 1); n];
 
     for t in 0..steps {
@@ -250,11 +249,8 @@ pub fn plan_dh_alltoall(pattern: &DhPattern, graph: &Topology) -> AlltoallPlan {
         }
         // merge arrivals after all sends are fixed
         for p in 0..n {
-            let arrivals: Vec<(Rank, Rank)> = phases[p]
-                .recvs
-                .iter()
-                .flat_map(|msg| msg.items.iter().copied())
-                .collect();
+            let arrivals: Vec<(Rank, Rank)> =
+                phases[p].recvs.iter().flat_map(|msg| msg.items.iter().copied()).collect();
             for it in arrivals {
                 if it.1 != p {
                     pending[p].push(it);
@@ -278,7 +274,11 @@ pub fn plan_dh_alltoall(pattern: &DhPattern, graph: &Topology) -> AlltoallPlan {
         }
         for (dst, mut items) in by_dst {
             items.sort_unstable();
-            final_phases[p].sends.push(A2aMsg { peer: dst, items: items.clone(), tag: A2A_FINAL_TAG });
+            final_phases[p].sends.push(A2aMsg {
+                peer: dst,
+                items: items.clone(),
+                tag: A2A_FINAL_TAG,
+            });
             final_phases[dst].recvs.push(A2aMsg { peer: p, items, tag: A2A_FINAL_TAG });
         }
     }
@@ -319,7 +319,9 @@ pub fn run_alltoall_virtual(
     }
 
     for k in 0..plan.phase_count() {
-        let mut in_flight: Vec<(Rank, Vec<((Rank, Rank), Vec<u8>)>)> = Vec::new();
+        // (dst, packed items) pairs staged against pre-phase stores
+        type InFlight = Vec<(Rank, Vec<((Rank, Rank), Vec<u8>)>)>;
+        let mut in_flight: InFlight = Vec::new();
         for (r, prog) in plan.per_rank.iter().enumerate() {
             for msg in &prog[k].sends {
                 let mut packed = Vec::with_capacity(msg.items.len());
@@ -342,13 +344,11 @@ pub fn run_alltoall_virtual(
     }
 
     let mut out = Vec::with_capacity(n);
-    for r in 0..n {
+    for (r, held) in store.iter().enumerate() {
         let ins = graph.in_neighbors(r);
         let mut rbuf = Vec::with_capacity(ins.len() * m);
         for &s in ins {
-            let data = store[r]
-                .get(&(s, r))
-                .ok_or(ExecError::Undelivered { rank: r, block: s })?;
+            let data = held.get(&(s, r)).ok_or(ExecError::Undelivered { rank: r, block: s })?;
             rbuf.extend_from_slice(data);
         }
         out.push(rbuf);
@@ -362,10 +362,7 @@ pub fn reference_alltoall(graph: &Topology, sbufs: &[Vec<u8>], m: usize) -> Vec<
         .map(|r| {
             let mut rbuf = Vec::new();
             for &s in graph.in_neighbors(r) {
-                let slot = graph
-                    .out_neighbors(s)
-                    .binary_search(&r)
-                    .expect("in/out consistency");
+                let slot = graph.out_neighbors(s).binary_search(&r).expect("in/out consistency");
                 rbuf.extend_from_slice(&sbufs[s][slot * m..(slot + 1) * m]);
             }
             rbuf

@@ -36,7 +36,9 @@
 //!   arrives (Algorithm 4 lines 15–17) and therefore never appear in the
 //!   responsibility map.
 
-use crate::pattern::{in_range, range_len, split_half, DhPattern, DhStep, RankPattern, SelectionStats};
+use crate::pattern::{
+    in_range, range_len, split_half, DhPattern, DhStep, RankPattern, SelectionStats,
+};
 use crate::selection::run_round;
 use nhood_cluster::ClusterLayout;
 use nhood_topology::{Rank, Topology};
@@ -55,6 +57,17 @@ pub enum BuildError {
     /// Distance Halving needs contiguous socket ranges, i.e. block
     /// placement.
     NonBlockPlacement,
+    /// A rank of the distributed builder timed out mid-negotiation
+    /// (lost signals or a crashed peer) — see
+    /// [`crate::distributed_builder::build_pattern_distributed_faulty`].
+    NegotiationTimeout {
+        /// The rank that gave up waiting.
+        rank: Rank,
+        /// Halving step it was negotiating.
+        step: usize,
+        /// Protocol round within the step (0 or 1).
+        round: u8,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -65,6 +78,9 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::NonBlockPlacement => {
                 write!(f, "Distance Halving requires block rank placement")
+            }
+            BuildError::NegotiationTimeout { rank, step, round } => {
+                write!(f, "rank {rank} timed out negotiating step {step} round {round}")
             }
         }
     }
@@ -93,10 +109,7 @@ pub type Decision = (Rank, Option<Rank>, Option<Rank>, (Rank, Rank), (Rank, Rank
 /// Checks the builder preconditions shared by every strategy.
 pub(crate) fn check_inputs(graph: &Topology, layout: &ClusterLayout) -> Result<(), BuildError> {
     if graph.n() > layout.capacity() {
-        return Err(BuildError::LayoutTooSmall {
-            ranks: graph.n(),
-            capacity: layout.capacity(),
-        });
+        return Err(BuildError::LayoutTooSmall { ranks: graph.n(), capacity: layout.capacity() });
     }
     if layout.placement() != nhood_cluster::Placement::Block {
         return Err(BuildError::NonBlockPlacement);
@@ -284,7 +297,9 @@ pub(crate) fn assemble_pattern(
         // Apply responsibility transfers (descriptor D), all against the
         // pre-step responsibility maps: p's outgoing D never contains
         // targets that arrive at p in this same step.
-        let mut transfers: Vec<(Rank, Vec<(Rank, Vec<Rank>)>)> = Vec::new();
+        // (agent, [(block, targets)]) descriptor batches per step
+        type Transfers = Vec<(Rank, Vec<(Rank, Vec<Rank>)>)>;
+        let mut transfers: Transfers = Vec::new();
         for &(p, agent, _, _, h2) in decisions {
             let Some(a) = agent else { continue };
             let mut d: Vec<(Rank, Vec<Rank>)> = Vec::new();
@@ -548,10 +563,7 @@ mod tests {
             let (lo, hi) = layout.socket_range(q);
             for targets in rp.responsibilities.values() {
                 for &t in targets {
-                    assert!(
-                        t >= lo && t <= hi,
-                        "rank {q} still owes a delivery to off-socket {t}"
-                    );
+                    assert!(t >= lo && t <= hi, "rank {q} still owes a delivery to off-socket {t}");
                 }
             }
         }
@@ -566,8 +578,8 @@ mod tests {
             build_pattern(&g, &small).err(),
             Some(BuildError::LayoutTooSmall { ranks: 8, capacity: 4 })
         );
-        let rr = ClusterLayout::new(2, 2, 2)
-            .with_placement(nhood_cluster::Placement::RoundRobinNodes);
+        let rr =
+            ClusterLayout::new(2, 2, 2).with_placement(nhood_cluster::Placement::RoundRobinNodes);
         assert_eq!(build_pattern(&g, &rr).err(), Some(BuildError::NonBlockPlacement));
     }
 

@@ -17,15 +17,19 @@
 
 use crate::builder::{build_pattern, BuildError};
 use crate::common_neighbor::plan_common_neighbor;
+use crate::distributed_builder::build_pattern_distributed_faulty;
 use crate::exec::sim_exec::{simulate, SimCost};
+use crate::exec::threaded::{run_threaded_cfg, ThreadedConfig, DEFAULT_TIMEOUT};
 use crate::exec::virtual_exec::run_virtual;
 use crate::exec::ExecError;
+use crate::fault::{FaultCounts, FaultPlan};
 use crate::lower::lower;
 use crate::naive::plan_naive;
 use crate::plan::{Algorithm, CollectivePlan};
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
 use nhood_topology::Topology;
+use std::time::Duration;
 
 /// Errors from the communicator API.
 #[derive(Debug)]
@@ -39,6 +43,14 @@ pub enum CommError {
     /// A produced plan failed validation — an internal bug, surfaced
     /// loudly rather than silently returning wrong data.
     InvalidPlan(String),
+    /// The requested algorithm does not support the requested operation
+    /// (e.g. Common Neighbor has no alltoall formulation).
+    UnsupportedAlgorithm {
+        /// The algorithm that was requested.
+        algorithm: Algorithm,
+        /// The operation it cannot perform.
+        operation: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -48,6 +60,9 @@ impl std::fmt::Display for CommError {
             CommError::Exec(e) => write!(f, "execution failed: {e}"),
             CommError::Sim(e) => write!(f, "simulation failed: {e}"),
             CommError::InvalidPlan(m) => write!(f, "internal plan invariant violated: {m}"),
+            CommError::UnsupportedAlgorithm { algorithm, operation } => {
+                write!(f, "{algorithm} does not support {operation}")
+            }
         }
     }
 }
@@ -70,6 +85,89 @@ impl From<SimError> for CommError {
     }
 }
 
+/// Robustness knobs of a communicator: timeouts, the retry policy of the
+/// threaded transport, and whether failures degrade to the naive plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RobustPolicy {
+    /// Per-receive timeout of the threaded executor (previously the
+    /// hard-coded `DEFAULT_TIMEOUT`).
+    pub recv_timeout: Duration,
+    /// Optional wall-clock budget per plan phase; `None` leaves only the
+    /// per-receive timeout.
+    pub phase_deadline: Option<Duration>,
+    /// Per-receive timeout of the distributed pattern negotiation.
+    pub negotiation_timeout: Duration,
+    /// Retransmissions per message under fault injection.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Degrade to the naive plan when Distance Halving pattern
+    /// construction or execution fails, instead of returning the error.
+    pub fallback_to_naive: bool,
+}
+
+impl Default for RobustPolicy {
+    fn default() -> Self {
+        Self {
+            recv_timeout: DEFAULT_TIMEOUT,
+            phase_deadline: None,
+            negotiation_timeout: crate::distributed_builder::RECV_TIMEOUT,
+            max_retries: 4,
+            backoff_base: Duration::from_micros(200),
+            fallback_to_naive: true,
+        }
+    }
+}
+
+/// Why a robust allgather abandoned the requested algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Pattern construction (the distributed negotiation) failed.
+    BuildFailed(String),
+    /// The plan built, but executing it failed.
+    ExecFailed(String),
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::BuildFailed(e) => write!(f, "pattern build failed ({e})"),
+            FallbackReason::ExecFailed(e) => write!(f, "execution failed ({e})"),
+        }
+    }
+}
+
+/// Structured outcome of [`DistGraphComm::neighbor_allgather_robust`].
+#[derive(Clone, Debug)]
+pub struct ExecReport {
+    /// The algorithm the caller asked for.
+    pub requested: Algorithm,
+    /// The algorithm whose plan actually produced the buffers.
+    pub used: Algorithm,
+    /// `Some` iff the run degraded from `requested` to `used`.
+    pub fallback: Option<FallbackReason>,
+    /// Faults injected and retries spent (summed over a fallback re-run).
+    pub faults: FaultCounts,
+}
+
+impl ExecReport {
+    /// `true` if the requested algorithm completed without degradation.
+    pub fn clean(&self) -> bool {
+        self.fallback.is_none()
+    }
+}
+
+impl std::fmt::Display for ExecReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.fallback {
+            None => write!(f, "{} ok ({})", self.used, self.faults),
+            Some(r) => {
+                write!(f, "{} -> {} fallback: {r} ({})", self.requested, self.used, self.faults)
+            }
+        }
+    }
+}
+
 /// A communicator with an attached virtual topology and cluster layout.
 ///
 /// Construction corresponds to `MPI_Dist_graph_create_adjacent`: it is
@@ -79,6 +177,8 @@ impl From<SimError> for CommError {
 pub struct DistGraphComm {
     graph: Topology,
     layout: ClusterLayout,
+    policy: RobustPolicy,
+    fault: Option<FaultPlan>,
 }
 
 impl DistGraphComm {
@@ -91,7 +191,31 @@ impl DistGraphComm {
                 capacity: layout.capacity(),
             }));
         }
-        Ok(Self { graph, layout })
+        Ok(Self { graph, layout, policy: RobustPolicy::default(), fault: None })
+    }
+
+    /// Replaces the robustness policy (timeouts, retries, fallback).
+    pub fn with_policy(mut self, policy: RobustPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a fault plan: the threaded executor and the distributed
+    /// negotiation of [`Self::neighbor_allgather_robust`] consult it at
+    /// every send.
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The active robustness policy.
+    pub fn policy(&self) -> &RobustPolicy {
+        &self.policy
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The virtual topology.
@@ -169,9 +293,11 @@ impl DistGraphComm {
 
     /// Builds (and validates) an alltoall plan.
     ///
-    /// # Panics
-    /// Panics for [`Algorithm::CommonNeighbor`], which is not defined for
-    /// alltoall.
+    /// # Errors
+    /// Returns [`CommError::UnsupportedAlgorithm`] for
+    /// [`Algorithm::CommonNeighbor`] and
+    /// [`Algorithm::HierarchicalLeader`], which have no alltoall
+    /// formulation.
     pub fn alltoall_plan(
         &self,
         algo: Algorithm,
@@ -183,15 +309,109 @@ impl DistGraphComm {
                 crate::alltoall::plan_dh_alltoall(&pattern, &self.graph)
             }
             Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. } => {
-                panic!("alltoall supports only the naive and distance-halving algorithms")
+                return Err(CommError::UnsupportedAlgorithm {
+                    algorithm: algo,
+                    operation: "neighborhood alltoall",
+                })
             }
         };
         plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
         Ok(plan)
     }
 
+    /// Plans `algo` the way the robust path does: Distance Halving runs
+    /// the *distributed* negotiation (under the communicator's fault
+    /// plan and negotiation timeout), so pattern construction is itself
+    /// exposed to injected faults; every other algorithm plans as
+    /// [`Self::plan`].
+    pub fn robust_plan(&self, algo: Algorithm) -> Result<CollectivePlan, CommError> {
+        match algo {
+            Algorithm::DistanceHalving => {
+                let pattern = build_pattern_distributed_faulty(
+                    &self.graph,
+                    &self.layout,
+                    self.fault.as_ref(),
+                    self.policy.negotiation_timeout,
+                )?;
+                let plan = lower(&pattern, &self.graph);
+                plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
+                Ok(plan)
+            }
+            _ => self.plan(algo),
+        }
+    }
+
+    /// Fault-tolerant neighborhood allgather on the threaded executor.
+    ///
+    /// Plans `algo` (Distance Halving via the distributed negotiation,
+    /// so construction itself can fail under faults) and executes with
+    /// the policy's timeouts, retry budget and the attached fault plan.
+    /// If the policy allows it, a failed build or a liveness failure
+    /// during execution **degrades to the naive plan** instead of
+    /// erroring; the returned [`ExecReport`] records what was requested,
+    /// what ran, why it degraded, and the fault/retry tally. Buffers are
+    /// only ever returned when some plan ran to completion — a fault
+    /// schedule that defeats both the requested plan and the naive
+    /// fallback yields a typed error, never corrupt data or a hang.
+    pub fn neighbor_allgather_robust(
+        &self,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+    ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
+        let mut report = ExecReport {
+            requested: algo,
+            used: algo,
+            fallback: None,
+            faults: FaultCounts::default(),
+        };
+        let plan = match self.robust_plan(algo) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                if self.policy.fallback_to_naive && algo != Algorithm::Naive {
+                    report.fallback = Some(FallbackReason::BuildFailed(e.to_string()));
+                    report.used = Algorithm::Naive;
+                    None
+                } else {
+                    return Err(e);
+                }
+            }
+        };
+        let cfg = ThreadedConfig {
+            recv_timeout: self.policy.recv_timeout,
+            phase_deadline: self.policy.phase_deadline,
+            max_retries: self.policy.max_retries,
+            backoff_base: self.policy.backoff_base,
+            fault: self.fault.as_ref(),
+        };
+        if let Some(plan) = plan {
+            match run_threaded_cfg(&plan, &self.graph, payloads, &cfg) {
+                Ok(run) => {
+                    report.faults = run.faults;
+                    return Ok((run.rbufs, report));
+                }
+                Err(e) => {
+                    if !(self.policy.fallback_to_naive && report.used != Algorithm::Naive) {
+                        return Err(e.into());
+                    }
+                    report.fallback = Some(FallbackReason::ExecFailed(e.to_string()));
+                    report.used = Algorithm::Naive;
+                }
+            }
+        }
+        // degraded path: the naive plan under the same faults and policy
+        let naive = self.plan(Algorithm::Naive)?;
+        let run = run_threaded_cfg(&naive, &self.graph, payloads, &cfg)?;
+        report.faults = report.faults.merged(&run.faults);
+        Ok((run.rbufs, report))
+    }
+
     /// Simulated latency of `algo` at per-rank message size `m`.
-    pub fn latency(&self, algo: Algorithm, m: usize, cost: &SimCost) -> Result<SimReport, CommError> {
+    pub fn latency(
+        &self,
+        algo: Algorithm,
+        m: usize,
+        cost: &SimCost,
+    ) -> Result<SimReport, CommError> {
         let plan = self.plan(algo)?;
         Ok(simulate(&plan, &self.layout, m, cost)?)
     }
@@ -247,11 +467,9 @@ mod tests {
         let c = comm(32, 0.3);
         let payloads = test_payloads(32, 16, 5);
         let want = reference_allgather(c.graph(), &payloads);
-        for algo in [
-            Algorithm::Naive,
-            Algorithm::CommonNeighbor { k: 4 },
-            Algorithm::DistanceHalving,
-        ] {
+        for algo in
+            [Algorithm::Naive, Algorithm::CommonNeighbor { k: 4 }, Algorithm::DistanceHalving]
+        {
             let got = c.neighbor_allgather(algo, &payloads).unwrap();
             assert_eq!(got, want, "{algo}");
         }
@@ -298,5 +516,93 @@ mod tests {
         let c = comm(32, 0.3);
         assert!(c.plan(Algorithm::Naive).unwrap().selection.is_none());
         assert!(c.plan(Algorithm::DistanceHalving).unwrap().selection.is_some());
+    }
+
+    #[test]
+    fn alltoall_plan_rejects_unsupported_algorithms_typed() {
+        let c = comm(16, 0.4);
+        for algo in [
+            Algorithm::CommonNeighbor { k: 4 },
+            Algorithm::HierarchicalLeader { leaders_per_node: 2 },
+        ] {
+            match c.alltoall_plan(algo) {
+                Err(CommError::UnsupportedAlgorithm { algorithm, operation }) => {
+                    assert_eq!(algorithm, algo);
+                    assert!(operation.contains("alltoall"));
+                }
+                other => panic!("expected UnsupportedAlgorithm, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn robust_allgather_without_faults_is_clean() {
+        let c = comm(32, 0.3);
+        let payloads = test_payloads(32, 8, 7);
+        let (bufs, report) =
+            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
+        assert!(report.clean());
+        assert_eq!(report.used, Algorithm::DistanceHalving);
+        assert_eq!(report.faults.total_injected(), 0);
+    }
+
+    #[test]
+    fn robust_allgather_retries_through_moderate_drops() {
+        let c = comm(32, 0.3).with_fault_plan(
+            crate::fault::FaultPlan::seeded(11)
+                .with_message_drop(0.05)
+                .with_message_delay(0.05, Duration::from_micros(200)),
+        );
+        let payloads = test_payloads(32, 8, 2);
+        let (bufs, report) =
+            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(bufs, reference_allgather(c.graph(), &payloads), "{report}");
+        assert!(report.faults.drops + report.faults.delays > 0);
+    }
+
+    #[test]
+    fn starved_negotiation_degrades_to_naive() {
+        // rank 0 stalls 300 ms at every negotiation step while its peers
+        // give up after 60 ms: the DH build reliably times out. The
+        // fallback's naive plan tolerates the same straggler (it has no
+        // negotiation and a 10 s receive timeout), so the robust call
+        // still returns correct buffers — just on the degraded plan.
+        let graph = erdos_renyi(32, 0.3, 21);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let c = DistGraphComm::create_adjacent(graph, layout)
+            .unwrap()
+            .with_policy(RobustPolicy {
+                negotiation_timeout: Duration::from_millis(60),
+                ..RobustPolicy::default()
+            })
+            .with_fault_plan(
+                crate::fault::FaultPlan::seeded(3).with_slow_rank(0, Duration::from_millis(300)),
+            );
+        let payloads = test_payloads(32, 4, 1);
+        let (bufs, report) =
+            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
+        assert_eq!(report.used, Algorithm::Naive);
+        assert!(matches!(report.fallback, Some(FallbackReason::BuildFailed(_))), "{report}");
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_build_error() {
+        let graph = erdos_renyi(16, 0.4, 5);
+        let layout = ClusterLayout::new(2, 2, 4);
+        let c = DistGraphComm::create_adjacent(graph, layout)
+            .unwrap()
+            .with_policy(RobustPolicy {
+                negotiation_timeout: Duration::from_millis(50),
+                fallback_to_naive: false,
+                ..RobustPolicy::default()
+            })
+            .with_fault_plan(crate::fault::FaultPlan::seeded(9).with_message_drop(1.0));
+        let payloads = test_payloads(16, 4, 0);
+        match c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads) {
+            Err(CommError::Build(BuildError::NegotiationTimeout { .. })) => {}
+            other => panic!("expected NegotiationTimeout, got {other:?}"),
+        }
     }
 }

@@ -54,8 +54,8 @@ pub fn plan_common_neighbor(graph: &Topology, k: usize) -> CollectivePlan {
 
     // Pass 1: pick leaders for common neighbors and record which leaders
     // need which members' blocks.
-    for g in 0..n_groups {
-        for (&target, members) in &sharers[g] {
+    for (g, shared) in sharers.iter().enumerate() {
+        for (&target, members) in shared {
             if members.len() >= 2 && group_of(target) != g {
                 // common neighbor: combine under a round-robin leader
                 let leader = members[target % members.len()];
@@ -64,18 +64,15 @@ pub fn plan_common_neighbor(graph: &Topology, k: usize) -> CollectivePlan {
                         needs[m].insert(leader);
                     }
                 }
-                deliveries[leader]
-                    .entry(target)
-                    .or_default()
-                    .extend(members.iter().copied());
+                deliveries[leader].entry(target).or_default().extend(members.iter().copied());
             }
         }
     }
     // Pass 2: direct sends for everything not combined — unless the
     // target is a leader that already receives the block in phase 0 (the
     // intra-group copy doubles as the delivery).
-    for g in 0..n_groups {
-        for (&target, members) in &sharers[g] {
+    for (g, shared) in sharers.iter().enumerate() {
+        for (&target, members) in shared {
             if members.len() >= 2 && group_of(target) != g {
                 continue; // combined above
             }
@@ -140,8 +137,7 @@ mod tests {
             for k in [1usize, 2, 4, 8] {
                 let g = erdos_renyi(24, delta, 11);
                 let plan = plan_common_neighbor(&g, k);
-                plan.validate(&g)
-                    .unwrap_or_else(|e| panic!("delta={delta} k={k}: {e}"));
+                plan.validate(&g).unwrap_or_else(|e| panic!("delta={delta} k={k}: {e}"));
             }
         }
     }
@@ -181,11 +177,7 @@ mod tests {
         // rank 5 receives exactly one (combined) message
         let recvs: usize = plan.per_rank[5].iter().map(|p| p.recvs.len()).sum();
         assert_eq!(recvs, 1);
-        let msg = plan.per_rank[5]
-            .iter()
-            .flat_map(|p| p.recvs.iter())
-            .next()
-            .unwrap();
+        let msg = plan.per_rank[5].iter().flat_map(|p| p.recvs.iter()).next().unwrap();
         assert_eq!(msg.blocks, vec![0, 1, 2, 3]);
         // leader is round-robin: target 5 % 4 sharers = index 1 → rank 1
         assert_eq!(msg.peer, 1);

@@ -29,18 +29,38 @@
 //! later round. (The published pseudocode's `c_s + c_r = c_t` accounting
 //! aims at the same property; the acknowledgement rules here make it
 //! watertight under message crossings.)
+//!
+//! # Fault injection
+//!
+//! [`build_pattern_distributed_faulty`] runs the same protocol against a
+//! [`FaultPlan`]: control signals can be dropped (retried with bounded
+//! exponential backoff) or delayed, and slow ranks stall at every step
+//! entry. Duplication and reordering faults are **not** applied here —
+//! the two-message invariant assumes exactly-once signal delivery, so
+//! the transport emulation below provides it (as MPI would); a signal
+//! lost beyond the retry budget surfaces as
+//! [`BuildError::NegotiationTimeout`] on some waiting rank, never as a
+//! hang. This is what [`crate::comm::RobustPolicy`] degrades on: a
+//! timed-out negotiation falls back to the naive plan.
 
 use crate::builder::{assemble_pattern, check_inputs, segments_per_step, BuildError, Decision};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::pattern::{split_half, DhPattern, SelectionStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use nhood_cluster::ClusterLayout;
 use nhood_topology::{Bitset, Rank, Topology};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Per-receive timeout: converts protocol bugs into errors, not hangs.
-const RECV_TIMEOUT: Duration = Duration::from_secs(20);
+/// Default per-receive timeout: converts protocol bugs (or unsurvivable
+/// fault schedules) into errors, not hangs.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Retransmission budget per control signal under fault injection.
+const SIGNAL_MAX_RETRIES: u32 = 5;
+/// First retry backoff for control signals; doubles per attempt.
+const SIGNAL_BACKOFF: Duration = Duration::from_micros(100);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Kind {
@@ -85,6 +105,20 @@ pub fn build_pattern_distributed(
     graph: &Topology,
     layout: &ClusterLayout,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_distributed_faulty(graph, layout, None, RECV_TIMEOUT)
+}
+
+/// [`build_pattern_distributed`] under fault injection: control signals
+/// consult `fault` at every send (drops are retried with bounded
+/// backoff, delays sleep), slow ranks stall at step entry, and any rank
+/// left waiting longer than `recv_timeout` returns
+/// [`BuildError::NegotiationTimeout`] instead of panicking or hanging.
+pub fn build_pattern_distributed_faulty(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    fault: Option<&FaultPlan>,
+    recv_timeout: Duration,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let n = graph.n();
     let l = layout.ranks_per_socket();
@@ -99,10 +133,10 @@ pub fn build_pattern_distributed(
         }
         for &seg in active {
             let (_, lower, upper) = split_half(seg.0, seg.1);
-            for p in seg.0..=seg.1 {
+            for (p, role) in roles.iter_mut().enumerate().take(seg.1 + 1).skip(seg.0) {
                 let am_lower = p <= lower.1;
-                let t = roles[p].len() - 1;
-                roles[p][t] = Some(StepRole { lower, upper, am_lower });
+                let t = role.len() - 1;
+                role[t] = Some(StepRole { lower, upper, am_lower });
             }
         }
     }
@@ -110,37 +144,38 @@ pub fn build_pattern_distributed(
     let mut senders: Vec<Sender<Signal>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<Signal>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(Some(rx));
     }
     let senders = Arc::new(senders);
 
     type RankOutcome = (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats);
-    let results: Vec<RankOutcome> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for p in 0..n {
-            let rx = receivers[p].take().expect("taken once");
-            let senders = Arc::clone(&senders);
-            let out_sets = Arc::clone(&out_sets);
-            let my_roles = roles[p].clone();
-            handles.push(scope.spawn(move || rank_main(p, rx, senders, out_sets, my_roles)));
-        }
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
+    let results: Vec<Result<RankOutcome, BuildError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for p in 0..n {
+                let rx = receivers[p].take().expect("taken once");
+                let senders = Arc::clone(&senders);
+                let out_sets = Arc::clone(&out_sets);
+                let my_roles = roles[p].clone();
+                handles.push(scope.spawn(move || {
+                    rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        });
 
     // Convert per-rank outcomes into per-step decision lists.
     let mut stats = SelectionStats::default();
     let mut steps: Vec<Vec<Decision>> = vec![Vec::new(); step_segments.len()];
-    for (p, (outcomes, s)) in results.into_iter().enumerate() {
+    for (p, outcome) in results.into_iter().enumerate() {
+        let (outcomes, s) = outcome?;
         stats.merge(&s);
         for (t, (agent, origin)) in outcomes.into_iter().enumerate() {
             if let Some(role) = roles[p][t] {
-                let (h1, h2) = if role.am_lower {
-                    (role.lower, role.upper)
-                } else {
-                    (role.upper, role.lower)
-                };
+                let (h1, h2) =
+                    if role.am_lower { (role.lower, role.upper) } else { (role.upper, role.lower) };
                 steps[t].push((p, agent, origin, h1, h2));
             }
         }
@@ -148,6 +183,11 @@ pub fn build_pattern_distributed(
     // assemble_pattern adds notifications/descriptors itself.
     Ok(assemble_pattern(graph, l, &steps, stats))
 }
+
+/// What one negotiation thread produces: per step `(agent, origin)` —
+/// the agent this rank selected (if any) and the peer it agreed to act
+/// for (if any) — plus its share of the signal accounting.
+type RankOutcome = (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats);
 
 /// The per-rank thread: walks its halving steps, playing proposer and
 /// acceptor in the order of Algorithm 1 lines 14–24 (lower half proposes
@@ -158,7 +198,9 @@ fn rank_main(
     senders: Arc<Vec<Sender<Signal>>>,
     out_sets: Arc<Vec<Bitset>>,
     roles: Vec<Option<StepRole>>,
-) -> (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats) {
+    fault: Option<&FaultPlan>,
+    recv_timeout: Duration,
+) -> Result<RankOutcome, BuildError> {
     let mut stats = SelectionStats::default();
     let mut parked: HashMap<(u32, u8), Vec<Signal>> = HashMap::new();
     let mut outcomes = Vec::with_capacity(roles.len());
@@ -168,12 +210,15 @@ fn rank_main(
             outcomes.push((None, None));
             continue;
         };
+        if let Some(fp) = fault {
+            let stall = fp.stall(p);
+            if stall > Duration::ZERO {
+                std::thread::sleep(stall);
+            }
+        }
         let t = t as u32;
-        let (h2, my_half) = if role.am_lower {
-            (role.upper, role.lower)
-        } else {
-            (role.lower, role.upper)
-        };
+        let (h2, my_half) =
+            if role.am_lower { (role.upper, role.lower) } else { (role.lower, role.upper) };
         // Candidates: opposite-half ranks sharing ≥1 outgoing neighbor in
         // the acceptor-side half. The acceptor-side half differs per
         // round: when I propose, it's my h2; when I accept, it's my h1.
@@ -182,32 +227,68 @@ fn rank_main(
 
         let (agent, origin) = if role.am_lower {
             let agent = propose(
-                Round { p, step: t, round: 0, senders: &senders, parked: &mut parked, rx: &rx },
+                Round {
+                    p,
+                    step: t,
+                    round: 0,
+                    senders: &senders,
+                    parked: &mut parked,
+                    rx: &rx,
+                    fault,
+                    recv_timeout,
+                },
                 &proposer_cands,
                 &mut stats,
-            );
+            )?;
             let origin = accept(
-                Round { p, step: t, round: 1, senders: &senders, parked: &mut parked, rx: &rx },
+                Round {
+                    p,
+                    step: t,
+                    round: 1,
+                    senders: &senders,
+                    parked: &mut parked,
+                    rx: &rx,
+                    fault,
+                    recv_timeout,
+                },
                 &acceptor_cands,
                 &mut stats,
-            );
+            )?;
             (agent, origin)
         } else {
             let origin = accept(
-                Round { p, step: t, round: 0, senders: &senders, parked: &mut parked, rx: &rx },
+                Round {
+                    p,
+                    step: t,
+                    round: 0,
+                    senders: &senders,
+                    parked: &mut parked,
+                    rx: &rx,
+                    fault,
+                    recv_timeout,
+                },
                 &acceptor_cands,
                 &mut stats,
-            );
+            )?;
             let agent = propose(
-                Round { p, step: t, round: 1, senders: &senders, parked: &mut parked, rx: &rx },
+                Round {
+                    p,
+                    step: t,
+                    round: 1,
+                    senders: &senders,
+                    parked: &mut parked,
+                    rx: &rx,
+                    fault,
+                    recv_timeout,
+                },
                 &proposer_cands,
                 &mut stats,
-            );
+            )?;
             (agent, origin)
         };
         outcomes.push((agent, origin));
     }
-    (outcomes, stats)
+    Ok((outcomes, stats))
 }
 
 /// Candidate list of `p` against the opposite half, scored by shared
@@ -221,7 +302,8 @@ fn candidates(
 ) -> Vec<Rank> {
     let mut cands: Vec<(usize, Rank)> = (opposite.0..=opposite.1)
         .filter_map(|c| {
-            let s = out_sets[p].intersection_count_in_range(&out_sets[c], score_half.0, score_half.1);
+            let s =
+                out_sets[p].intersection_count_in_range(&out_sets[c], score_half.0, score_half.1);
             (s > 0).then_some((s, c))
         })
         .collect();
@@ -236,6 +318,8 @@ struct Round<'a> {
     senders: &'a Arc<Vec<Sender<Signal>>>,
     parked: &'a mut HashMap<(u32, u8), Vec<Signal>>,
     rx: &'a Receiver<Signal>,
+    fault: Option<&'a FaultPlan>,
+    recv_timeout: Duration,
 }
 
 impl<'a> Round<'a> {
@@ -246,31 +330,61 @@ impl<'a> Round<'a> {
             Kind::Drop => stats.drop += 1,
             Kind::Exit => stats.exit += 1,
         }
-        // a peer can only be gone if the whole build is tearing down on
-        // another rank's panic; the join surfaces that
-        let _ = self.senders[to].send(Signal {
-            step: self.step,
-            round: self.round,
-            from: self.p,
-            kind,
-        });
+        let sig = Signal { step: self.step, round: self.round, from: self.p, kind };
+        let Some(fp) = self.fault else {
+            // a peer can only be gone if the whole build is tearing down
+            // on another rank's error; the join surfaces that
+            let _ = self.senders[to].send(sig);
+            return;
+        };
+        // one message per direction per pair per round, so (step, round)
+        // identifies the signal on this (src, dst) pair
+        let tag = (self.step as u64) << 1 | self.round as u64;
+        let mut attempt: u32 = 0;
+        loop {
+            match fp.send_action(self.p, to, tag, attempt) {
+                FaultAction::Deliver | FaultAction::Duplicate => {
+                    // duplication is suppressed on the control plane: the
+                    // two-message invariant requires exactly-once signals
+                    let _ = self.senders[to].send(sig);
+                    return;
+                }
+                FaultAction::Delay(d) => {
+                    std::thread::sleep(d);
+                    let _ = self.senders[to].send(sig);
+                    return;
+                }
+                FaultAction::Drop => {
+                    if attempt >= SIGNAL_MAX_RETRIES {
+                        return; // lost for good; the peer's timeout reports it
+                    }
+                    std::thread::sleep(SIGNAL_BACKOFF.saturating_mul(1 << attempt.min(16)));
+                    attempt += 1;
+                }
+            }
+        }
     }
 
-    /// Receives the next signal for *this* round, parking strays.
-    fn recv(&mut self) -> Signal {
+    /// Receives the next signal for *this* round, parking strays. A wait
+    /// longer than the configured timeout is a typed error — lost
+    /// signals and dead peers must not hang the build.
+    fn recv(&mut self) -> Result<Signal, BuildError> {
         let key = (self.step, self.round);
         if let Some(q) = self.parked.get_mut(&key) {
             if let Some(s) = q.pop() {
-                return s;
+                return Ok(s);
             }
         }
         loop {
-            let s = self
-                .rx
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| panic!("rank {} stuck in step {} round {}", self.p, self.step, self.round));
+            let s = self.rx.recv_timeout(self.recv_timeout).map_err(|_| {
+                BuildError::NegotiationTimeout {
+                    rank: self.p,
+                    step: self.step as usize,
+                    round: self.round,
+                }
+            })?;
             if (s.step, s.round) == key {
-                return s;
+                return Ok(s);
             }
             self.parked.entry((s.step, s.round)).or_default().push(s);
         }
@@ -279,7 +393,11 @@ impl<'a> Round<'a> {
 
 /// `find_agent` (Algorithm 2): walk the candidate list best-first,
 /// keeping exactly one outstanding REQ, until accepted or exhausted.
-fn propose(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Option<Rank> {
+fn propose(
+    mut net: Round<'_>,
+    cands: &[Rank],
+    stats: &mut SelectionStats,
+) -> Result<Option<Rank>, BuildError> {
     stats.agent_searches += 1;
     let mut state: HashMap<Rank, PairState> =
         cands.iter().map(|&c| (c, PairState::default())).collect();
@@ -292,7 +410,7 @@ fn propose(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Op
         current = Some(first);
     }
     while state.values().any(|s| !s.sent || !s.received) {
-        let sig = net.recv();
+        let sig = net.recv()?;
         let st = state.get_mut(&sig.from).expect("signal from a candidate");
         st.received = true;
         match sig.kind {
@@ -300,11 +418,8 @@ fn propose(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Op
                 selected = Some(sig.from);
                 stats.agents_found += 1;
                 // dismiss everyone not yet contacted
-                let pending: Vec<Rank> = state
-                    .iter()
-                    .filter(|(_, s)| !s.sent)
-                    .map(|(&c, _)| c)
-                    .collect();
+                let pending: Vec<Rank> =
+                    state.iter().filter(|(_, s)| !s.sent).map(|(&c, _)| c).collect();
                 for c in pending {
                     net.send(c, Kind::Exit, stats);
                     state.get_mut(&c).expect("candidate").sent = true;
@@ -319,8 +434,7 @@ fn propose(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Op
                     state.get_mut(&from).expect("candidate").sent = true;
                 } else if selected.is_none() && current == Some(sig.from) {
                     // our outstanding REQ was rejected: try the next one
-                    if let Some(&next) =
-                        cands.iter().find(|c| !state[c].sent && !state[c].inactive)
+                    if let Some(&next) = cands.iter().find(|c| !state[c].sent && !state[c].inactive)
                     {
                         net.send(next, Kind::Req, stats);
                         state.get_mut(&next).expect("candidate").sent = true;
@@ -333,13 +447,17 @@ fn propose(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Op
             }
         }
     }
-    selected
+    Ok(selected)
 }
 
 /// `find_origin` (Algorithm 3): accept the best-scoring proposer that has
 /// REQ'd (re-evaluated after every event), broadcast DROP to the rest on
 /// match, acknowledge EXITs.
-fn accept(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Option<Rank> {
+fn accept(
+    mut net: Round<'_>,
+    cands: &[Rank],
+    stats: &mut SelectionStats,
+) -> Result<Option<Rank>, BuildError> {
     let mut state: HashMap<Rank, PairState> =
         cands.iter().map(|&c| (c, PairState::default())).collect();
     let mut selected: Option<Rank> = None;
@@ -367,7 +485,7 @@ fn accept(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Opt
         if !state.values().any(|s| !s.sent || !s.received) {
             break;
         }
-        let sig = net.recv();
+        let sig = net.recv()?;
         let st = state.get_mut(&sig.from).expect("signal from a candidate");
         st.received = true;
         match sig.kind {
@@ -395,7 +513,7 @@ fn accept(mut net: Round<'_>, cands: &[Rank], stats: &mut SelectionStats) -> Opt
             }
         }
     }
-    selected
+    Ok(selected)
 }
 
 #[cfg(test)]
@@ -477,5 +595,39 @@ mod tests {
         // proposer-side sends (REQ + EXIT) equal acceptor-side sends
         // (ACCEPT + DROP): one message each way per pair
         assert_eq!(s.req + s.exit, s.accept + s.drop);
+    }
+
+    #[test]
+    fn survivable_drop_rate_still_builds_valid_patterns() {
+        let g = erdos_renyi(24, 0.4, 6);
+        let layout = ClusterLayout::new(3, 2, 4);
+        // 5% drop with a 5-retry budget: loss odds per signal ≈ 1.6e-8
+        let fp = FaultPlan::seeded(31)
+            .with_message_drop(0.05)
+            .with_message_delay(0.1, Duration::from_micros(300));
+        let pat = build_pattern_distributed_faulty(&g, &layout, Some(&fp), Duration::from_secs(10))
+            .expect("survivable schedule must build");
+        let plan = lower(&pat, &g);
+        plan.validate(&g).expect("exactly-once delivery");
+        let payloads = test_payloads(24, 8, 3);
+        let got = run_virtual(&plan, &g, &payloads).expect("executes");
+        assert_eq!(got, reference_allgather(&g, &payloads));
+    }
+
+    #[test]
+    fn unsurvivable_drops_time_out_typed_not_hang() {
+        let g = erdos_renyi(16, 0.5, 8);
+        let layout = ClusterLayout::new(2, 2, 4);
+        // every signal is dropped every time: negotiation cannot proceed
+        let fp = FaultPlan::seeded(1).with_message_drop(1.0);
+        let t0 = std::time::Instant::now();
+        let err =
+            build_pattern_distributed_faulty(&g, &layout, Some(&fp), Duration::from_millis(100))
+                .expect_err("nothing can be negotiated");
+        assert!(
+            matches!(err, BuildError::NegotiationTimeout { .. }),
+            "expected NegotiationTimeout, got {err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(10), "must not hang");
     }
 }

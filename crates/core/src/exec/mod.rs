@@ -68,6 +68,39 @@ pub enum ExecError {
         /// The rank whose thread died.
         rank: Rank,
     },
+    /// A rank exceeded its per-phase wall-clock deadline (see
+    /// [`threaded::ThreadedConfig::phase_deadline`]).
+    PhaseDeadline {
+        /// The rank that blew its budget.
+        rank: Rank,
+        /// Phase it was in.
+        phase: usize,
+    },
+    /// The fault plan crashed this rank before the given phase (see
+    /// [`crate::fault::FaultPlan::with_crashed_rank`]).
+    RankCrashed {
+        /// The crashed rank.
+        rank: Rank,
+        /// The phase at whose entry it died.
+        phase: usize,
+    },
+}
+
+impl ExecError {
+    /// `true` for the liveness-failure family — errors that mean "a rank
+    /// stopped making progress" (timeout, blown deadline, injected
+    /// crash) rather than a malformed plan or payload. Chaos tests
+    /// accept any of these as the correct outcome of an unsurvivable
+    /// fault schedule; what they must never observe is a hang or a
+    /// silently-corrupted buffer.
+    pub fn is_timeout_class(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Timeout { .. }
+                | ExecError::PhaseDeadline { .. }
+                | ExecError::RankCrashed { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -89,6 +122,12 @@ impl std::fmt::Display for ExecError {
                 write!(f, "rank {rank} timed out in phase {phase}")
             }
             ExecError::WorkerPanic { rank } => write!(f, "rank {rank} worker panicked"),
+            ExecError::PhaseDeadline { rank, phase } => {
+                write!(f, "rank {rank} exceeded the phase deadline in phase {phase}")
+            }
+            ExecError::RankCrashed { rank, phase } => {
+                write!(f, "rank {rank} crashed at entry to phase {phase}")
+            }
         }
     }
 }

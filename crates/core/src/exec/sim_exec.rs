@@ -48,8 +48,7 @@ pub fn to_schedule(plan: &CollectivePlan, m: usize, cost: &SimCost) -> Schedule 
             s.push_phase(
                 r,
                 Phase {
-                    local_seconds: phase.copy_blocks as f64 * m as f64
-                        / cost.memcpy_bytes_per_sec,
+                    local_seconds: phase.copy_blocks as f64 * m as f64 / cost.memcpy_bytes_per_sec,
                     sends,
                     recvs,
                 },
@@ -89,12 +88,22 @@ pub fn to_schedule_v(plan: &CollectivePlan, sizes: &[usize], cost: &SimCost) -> 
             let sends = phase
                 .sends
                 .iter()
-                .map(|msg| Msg { src: r, dst: msg.peer, bytes: bytes_of(&msg.blocks), tag: msg.tag })
+                .map(|msg| Msg {
+                    src: r,
+                    dst: msg.peer,
+                    bytes: bytes_of(&msg.blocks),
+                    tag: msg.tag,
+                })
                 .collect();
             let recvs = phase
                 .recvs
                 .iter()
-                .map(|msg| Msg { src: msg.peer, dst: r, bytes: bytes_of(&msg.blocks), tag: msg.tag })
+                .map(|msg| Msg {
+                    src: msg.peer,
+                    dst: r,
+                    bytes: bytes_of(&msg.blocks),
+                    tag: msg.tag,
+                })
                 .collect();
             s.push_phase(
                 r,
@@ -176,10 +185,7 @@ mod tests {
         let m = 4096;
         let rep = simulate(&plan_naive(&g), &layout, m, &cost).unwrap();
         let t = 1e-6 + m as f64 / 1e9;
-        let busiest = (0..24)
-            .map(|r| g.outdegree(r) + g.indegree(r))
-            .max()
-            .unwrap() as f64;
+        let busiest = (0..24).map(|r| g.outdegree(r) + g.indegree(r)).max().unwrap() as f64;
         assert!(rep.makespan >= busiest * t * 0.9, "{} vs {}", rep.makespan, busiest * t);
         // all traffic is serialized somewhere, so it cannot beat the
         // total-edge bound either

@@ -2,23 +2,37 @@
 //! copies.
 //!
 //! Each rank runs its plan program concurrently: per phase it packs and
-//! sends its messages over crossbeam channels, then blocks until every
-//! expected message of the phase has arrived (out-of-order arrivals are
-//! parked, mirroring MPI's unexpected-message queue). This exercises the
-//! plan under genuine concurrency and shared-nothing message passing —
-//! the closest this library gets to running the collective "for real".
+//! sends its messages over `std::sync::mpsc` channels, then blocks until
+//! every expected message of the phase has arrived (out-of-order
+//! arrivals are parked, mirroring MPI's unexpected-message queue). This
+//! exercises the plan under genuine concurrency and shared-nothing
+//! message passing — the closest this library gets to running the
+//! collective "for real".
 //!
-//! A receive timeout converts lost-message/deadlock bugs into
-//! [`ExecError::Timeout`] instead of hanging the test suite; panicking
-//! workers surface as [`ExecError::WorkerPanic`].
+//! # Robustness
+//!
+//! The executor is the primary consumer of the fault-injection layer
+//! ([`crate::fault`]). [`ThreadedConfig`] carries a receive timeout, an
+//! optional per-phase deadline, a retry budget with bounded exponential
+//! backoff, and an optional [`FaultPlan`]. Sends traverse a small
+//! reliable-transport emulation: an attempt the fault plan drops is
+//! retried (with backoff) until the budget is exhausted, at which point
+//! the message is lost for good and the receiver's timeout converts the
+//! loss into [`ExecError::Timeout`] / [`ExecError::PhaseDeadline`]
+//! instead of a hang. Crashed ranks return
+//! [`ExecError::RankCrashed`]; duplicated and reordered deliveries are
+//! absorbed by the tag-matched, idempotent receive path. The guarantee
+//! chased by the chaos suite: **identical-to-reference buffers or a
+//! typed error — never silent corruption, never a hang.**
 
 use crate::exec::{check_payloads, ExecError};
+use crate::fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
 use crate::plan::CollectivePlan;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A packed wire message between rank threads.
 struct Wire {
@@ -28,8 +42,57 @@ struct Wire {
     blocks: Vec<(Rank, Arc<Vec<u8>>)>,
 }
 
+impl Wire {
+    /// Cheap structural copy (payloads are shared via `Arc`) for the
+    /// duplication fault.
+    fn duplicate(&self) -> Self {
+        Self { src: self.src, tag: self.tag, blocks: self.blocks.clone() }
+    }
+}
+
 /// Default per-receive timeout.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Execution parameters of the threaded backend. `Default` matches the
+/// historical behaviour: 10 s receive timeout, no phase deadline, no
+/// faults, no retries needed.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig<'a> {
+    /// How long one blocked receive may wait before erroring.
+    pub recv_timeout: Duration,
+    /// Wall-clock budget for one whole phase (sends + receives). `None`
+    /// disables the deadline and leaves only the per-receive timeout.
+    pub phase_deadline: Option<Duration>,
+    /// Retransmission attempts per message when the fault plan drops it.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt (bounded by the retry
+    /// budget, so the worst-case stall is `backoff_base * (2^retries - 1)`).
+    pub backoff_base: Duration,
+    /// Fault schedule to consult at every send; `None` injects nothing.
+    pub fault: Option<&'a FaultPlan>,
+}
+
+impl Default for ThreadedConfig<'_> {
+    fn default() -> Self {
+        Self {
+            recv_timeout: DEFAULT_TIMEOUT,
+            phase_deadline: None,
+            max_retries: 4,
+            backoff_base: Duration::from_micros(200),
+            fault: None,
+        }
+    }
+}
+
+/// Successful threaded run: receive buffers plus the fault/retry tally.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    /// Per-rank receive buffers (in-neighbor payloads concatenated in
+    /// `in_neighbors` order).
+    pub rbufs: Vec<Vec<u8>>,
+    /// Faults injected and retries spent during the run.
+    pub faults: FaultCounts,
+}
 
 /// Executes `plan` with one thread per rank and returns each rank's
 /// receive buffer (in-neighbor payloads concatenated in `in_neighbors`
@@ -53,7 +116,7 @@ pub fn run_threaded_v(
     if payloads.len() != plan.n() {
         return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
     }
-    run_inner(plan, graph, payloads, DEFAULT_TIMEOUT)
+    run_inner(plan, graph, payloads, &ThreadedConfig::default()).map(|r| r.rbufs)
 }
 
 /// [`run_threaded`] with an explicit receive timeout (tests use short
@@ -64,25 +127,103 @@ pub fn run_threaded_with_timeout(
     payloads: &[Vec<u8>],
     timeout: Duration,
 ) -> Result<Vec<Vec<u8>>, ExecError> {
+    let cfg = ThreadedConfig { recv_timeout: timeout, ..ThreadedConfig::default() };
+    run_threaded_cfg(plan, graph, payloads, &cfg).map(|r| r.rbufs)
+}
+
+/// The fully-configurable entry point: explicit timeouts, retry policy
+/// and optional fault injection. Uniform payload sizes are enforced (use
+/// [`run_threaded_cfg_v`] for ragged payloads).
+pub fn run_threaded_cfg(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    cfg: &ThreadedConfig<'_>,
+) -> Result<ThreadedReport, ExecError> {
     check_payloads(payloads, plan.n())?;
-    run_inner(plan, graph, payloads, timeout)
+    run_inner(plan, graph, payloads, cfg)
+}
+
+/// Ragged-payload variant of [`run_threaded_cfg`].
+pub fn run_threaded_cfg_v(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    cfg: &ThreadedConfig<'_>,
+) -> Result<ThreadedReport, ExecError> {
+    if payloads.len() != plan.n() {
+        return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
+    }
+    run_inner(plan, graph, payloads, cfg)
+}
+
+/// Sends `wire` to `dst`, consulting the fault plan per attempt. A
+/// dropped attempt is retried after bounded exponential backoff until
+/// the budget runs out; then the message is abandoned (the receiver's
+/// timeout surfaces the loss as a typed error).
+fn transport_send(
+    senders: &[Sender<Wire>],
+    dst: Rank,
+    wire: Wire,
+    cfg: &ThreadedConfig<'_>,
+    stats: &FaultStats,
+) {
+    let Some(fp) = cfg.fault else {
+        // a send can only fail if the peer already exited on error; the
+        // peer's error is the root cause
+        let _ = senders[dst].send(wire);
+        return;
+    };
+    let mut attempt: u32 = 0;
+    loop {
+        match fp.send_action(wire.src, dst, wire.tag, attempt) {
+            FaultAction::Deliver => {
+                let _ = senders[dst].send(wire);
+                return;
+            }
+            FaultAction::Duplicate => {
+                FaultStats::bump(&stats.duplicates);
+                let _ = senders[dst].send(wire.duplicate());
+                let _ = senders[dst].send(wire);
+                return;
+            }
+            FaultAction::Delay(d) => {
+                FaultStats::bump(&stats.delays);
+                std::thread::sleep(d);
+                let _ = senders[dst].send(wire);
+                return;
+            }
+            FaultAction::Drop => {
+                FaultStats::bump(&stats.drops);
+                if attempt >= cfg.max_retries {
+                    FaultStats::bump(&stats.lost);
+                    return;
+                }
+                FaultStats::bump(&stats.retries);
+                // bounded exponential backoff: base * 2^attempt
+                std::thread::sleep(cfg.backoff_base.saturating_mul(1 << attempt.min(16)));
+                attempt += 1;
+            }
+        }
+    }
 }
 
 fn run_inner(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
-    timeout: Duration,
-) -> Result<Vec<Vec<u8>>, ExecError> {
+    cfg: &ThreadedConfig<'_>,
+) -> Result<ThreadedReport, ExecError> {
     let n = plan.n();
+    let stats = FaultStats::default();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(ThreadedReport { rbufs: Vec::new(), faults: stats.snapshot() });
     }
 
     let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<Wire>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(Some(rx));
     }
@@ -95,60 +236,9 @@ fn run_inner(
             let senders = Arc::clone(&senders);
             let program = &plan.per_rank[r];
             let my_payload = &payloads[r];
+            let stats = &stats;
             handles.push(scope.spawn(move || -> Result<Vec<u8>, ExecError> {
-                let mut store: HashMap<Rank, Arc<Vec<u8>>> =
-                    HashMap::from([(r, Arc::new(my_payload.clone()))]);
-                // messages that arrived before their phase
-                let mut parked: HashMap<(Rank, u64), Wire> = HashMap::new();
-                for (k, phase) in program.iter().enumerate() {
-                    for msg in &phase.sends {
-                        let mut blocks = Vec::with_capacity(msg.blocks.len());
-                        for &b in &msg.blocks {
-                            let data = store
-                                .get(&b)
-                                .ok_or(ExecError::MissingBlock { rank: r, block: b, phase: k })?;
-                            blocks.push((b, Arc::clone(data)));
-                        }
-                        // a send can only fail if the peer already exited
-                        // on error; the peer's error is the root cause
-                        let _ = senders[msg.peer].send(Wire { src: r, tag: msg.tag, blocks });
-                    }
-                    let mut outstanding: std::collections::HashSet<(Rank, u64)> =
-                        phase.recvs.iter().map(|m| (m.peer, m.tag)).collect();
-                    // consume parked arrivals first
-                    outstanding.retain(|key| {
-                        if let Some(w) = parked.remove(key) {
-                            for (b, data) in w.blocks {
-                                store.entry(b).or_insert(data);
-                            }
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    while !outstanding.is_empty() {
-                        let w = rx
-                            .recv_timeout(timeout)
-                            .map_err(|_| ExecError::Timeout { rank: r, phase: k })?;
-                        let key = (w.src, w.tag);
-                        if outstanding.remove(&key) {
-                            for (b, data) in w.blocks {
-                                store.entry(b).or_insert(data);
-                            }
-                        } else {
-                            parked.insert(key, w);
-                        }
-                    }
-                }
-                // assemble the receive buffer
-                let ins = graph.in_neighbors(r);
-                let mut rbuf = Vec::with_capacity(ins.iter().map(|&b| payloads[b].len()).sum());
-                for &b in ins {
-                    let data =
-                        store.get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
-                    rbuf.extend_from_slice(data);
-                }
-                Ok(rbuf)
+                rank_main(r, program, my_payload, payloads, graph, &senders, rx, cfg, stats)
             }));
         }
         handles
@@ -158,7 +248,115 @@ fn run_inner(
             .collect()
     });
 
-    results.into_iter().collect()
+    let rbufs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(ThreadedReport { rbufs, faults: stats.snapshot() })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    r: Rank,
+    program: &[crate::plan::PlanPhase],
+    my_payload: &[u8],
+    payloads: &[Vec<u8>],
+    graph: &Topology,
+    senders: &[Sender<Wire>],
+    rx: Receiver<Wire>,
+    cfg: &ThreadedConfig<'_>,
+    stats: &FaultStats,
+) -> Result<Vec<u8>, ExecError> {
+    let mut store: HashMap<Rank, Arc<Vec<u8>>> =
+        HashMap::from([(r, Arc::new(my_payload.to_vec()))]);
+    // messages that arrived before their phase
+    let mut parked: HashMap<(Rank, u64), Wire> = HashMap::new();
+    for (k, phase) in program.iter().enumerate() {
+        if let Some(fp) = cfg.fault {
+            if fp.is_crashed(r, k) {
+                return Err(ExecError::RankCrashed { rank: r, phase: k });
+            }
+            let stall = fp.stall(r);
+            if stall > Duration::ZERO {
+                std::thread::sleep(stall);
+            }
+        }
+        let deadline = cfg.phase_deadline.map(|d| Instant::now() + d);
+
+        // at most one message is held back at a time; it is re-posted
+        // after its successor, so reordering stays within the phase
+        let mut held: Option<(Rank, Wire)> = None;
+        for msg in &phase.sends {
+            let mut blocks = Vec::with_capacity(msg.blocks.len());
+            for &b in &msg.blocks {
+                let data =
+                    store.get(&b).ok_or(ExecError::MissingBlock { rank: r, block: b, phase: k })?;
+                blocks.push((b, Arc::clone(data)));
+            }
+            let wire = Wire { src: r, tag: msg.tag, blocks };
+            let reorder =
+                cfg.fault.is_some_and(|fp| fp.reorders(r, msg.peer, msg.tag) && held.is_none());
+            if reorder {
+                FaultStats::bump(&stats.reorders);
+                held = Some((msg.peer, wire));
+                continue;
+            }
+            transport_send(senders, msg.peer, wire, cfg, stats);
+            if let Some((dst, w)) = held.take() {
+                transport_send(senders, dst, w, cfg, stats);
+            }
+        }
+        if let Some((dst, w)) = held.take() {
+            transport_send(senders, dst, w, cfg, stats);
+        }
+
+        let mut outstanding: std::collections::HashSet<(Rank, u64)> =
+            phase.recvs.iter().map(|m| (m.peer, m.tag)).collect();
+        // consume parked arrivals first
+        outstanding.retain(|key| {
+            if let Some(w) = parked.remove(key) {
+                for (b, data) in w.blocks {
+                    store.entry(b).or_insert(data);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        while !outstanding.is_empty() {
+            let mut wait = cfg.recv_timeout;
+            if let Some(dl) = deadline {
+                let now = Instant::now();
+                if now >= dl {
+                    return Err(ExecError::PhaseDeadline { rank: r, phase: k });
+                }
+                wait = wait.min(dl - now);
+            }
+            let w = rx.recv_timeout(wait).map_err(|_| {
+                if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                    ExecError::PhaseDeadline { rank: r, phase: k }
+                } else {
+                    ExecError::Timeout { rank: r, phase: k }
+                }
+            })?;
+            let key = (w.src, w.tag);
+            if outstanding.remove(&key) {
+                for (b, data) in w.blocks {
+                    store.entry(b).or_insert(data);
+                }
+            } else {
+                // stray: either early (parked for its phase) or a
+                // duplicate of something already consumed (idempotent —
+                // `or_insert` above never overwrites)
+                parked.insert(key, w);
+            }
+        }
+    }
+    // assemble the receive buffer
+    let ins = graph.in_neighbors(r);
+    let mut rbuf = Vec::with_capacity(ins.iter().map(|&b| payloads[b].len()).sum());
+    for &b in ins {
+        let data = store.get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
+        rbuf.extend_from_slice(data);
+    }
+    Ok(rbuf)
 }
 
 #[cfg(test)]
@@ -281,5 +479,87 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(run_threaded(&plan, &g, &payloads).unwrap(), want);
         }
+    }
+
+    #[test]
+    fn retries_recover_from_dropped_messages() {
+        let g = erdos_renyi(16, 0.4, 3);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(16, 8, 6);
+        let fp = FaultPlan::seeded(77).with_message_drop(0.2);
+        let cfg = ThreadedConfig {
+            recv_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_micros(50),
+            fault: Some(&fp),
+            ..ThreadedConfig::default()
+        };
+        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
+        assert!(rep.faults.drops > 0, "20% drop on a dense 16-rank naive plan must fire");
+        assert!(rep.faults.retries >= rep.faults.drops - rep.faults.lost);
+        assert_eq!(rep.faults.lost, 0, "retry budget should recover every drop here");
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_harmless() {
+        let g = erdos_renyi(20, 0.4, 5);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let payloads = test_payloads(20, 8, 11);
+        let fp = FaultPlan::seeded(5).with_message_duplication(0.3).with_message_reorder(0.3);
+        let cfg = ThreadedConfig { fault: Some(&fp), ..ThreadedConfig::default() };
+        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
+        assert!(rep.faults.duplicates + rep.faults.reorders > 0);
+    }
+
+    #[test]
+    fn crashed_rank_is_a_typed_error_not_a_hang() {
+        let g = erdos_renyi(12, 0.5, 9);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(12, 4, 2);
+        let fp = FaultPlan::seeded(0).with_crashed_rank(3, 0);
+        let cfg = ThreadedConfig {
+            recv_timeout: Duration::from_millis(100),
+            fault: Some(&fp),
+            ..ThreadedConfig::default()
+        };
+        let t0 = Instant::now();
+        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        assert!(err.is_timeout_class(), "{err:?}");
+        assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
+    }
+
+    #[test]
+    fn phase_deadline_fires_when_messages_are_lost_for_good() {
+        let g = Topology::from_edges(2, [(0, 1)]);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(2, 4, 0);
+        // p=1 drop: every attempt (and every retry) is discarded
+        let fp = FaultPlan::seeded(1).with_message_drop(1.0);
+        let cfg = ThreadedConfig {
+            recv_timeout: Duration::from_secs(30),
+            phase_deadline: Some(Duration::from_millis(80)),
+            max_retries: 2,
+            backoff_base: Duration::from_micros(10),
+            fault: Some(&fp),
+        };
+        let t0 = Instant::now();
+        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        assert_eq!(err, ExecError::PhaseDeadline { rank: 1, phase: 0 });
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn slow_rank_stalls_but_completes() {
+        let g = erdos_renyi(8, 0.5, 4);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(8, 4, 1);
+        let fp = FaultPlan::seeded(2).with_slow_rank(1, Duration::from_millis(20));
+        let cfg = ThreadedConfig { fault: Some(&fp), ..ThreadedConfig::default() };
+        let t0 = Instant::now();
+        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
+        assert!(t0.elapsed() >= Duration::from_millis(20), "straggler must stall the run");
     }
 }

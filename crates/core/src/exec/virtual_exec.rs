@@ -56,14 +56,18 @@ fn run_any(
 
     for k in 0..plan.phase_count() {
         // Assemble all sends against pre-phase stores.
-        let mut in_flight: Vec<(Rank, Vec<(Rank, Arc<Vec<u8>>)>)> = Vec::new();
+        // (dst, packed blocks) pairs staged against pre-phase stores
+        type InFlight = Vec<(Rank, Vec<(Rank, Arc<Vec<u8>>)>)>;
+        let mut in_flight: InFlight = Vec::new();
         for (r, prog) in plan.per_rank.iter().enumerate() {
             for msg in &prog[k].sends {
                 let mut packed = Vec::with_capacity(msg.blocks.len());
                 for &b in &msg.blocks {
-                    let data = store[r]
-                        .get(&b)
-                        .ok_or(ExecError::MissingBlock { rank: r, block: b, phase: k })?;
+                    let data = store[r].get(&b).ok_or(ExecError::MissingBlock {
+                        rank: r,
+                        block: b,
+                        phase: k,
+                    })?;
                     packed.push((b, Arc::clone(data)));
                 }
                 in_flight.push((msg.peer, packed));
@@ -79,11 +83,11 @@ fn run_any(
 
     // Build receive buffers.
     let mut out = Vec::with_capacity(n);
-    for r in 0..n {
+    for (r, held) in store.iter().enumerate() {
         let ins = graph.in_neighbors(r);
         let mut rbuf = Vec::with_capacity(ins.iter().map(|&b| payloads[b].len()).sum());
         for &b in ins {
-            let data = store[r].get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
+            let data = held.get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
             rbuf.extend_from_slice(data);
         }
         out.push(rbuf);
@@ -241,8 +245,7 @@ mod tests {
     fn allgatherv_ragged_payloads() {
         let g = erdos_renyi(20, 0.4, 6);
         let layout = ClusterLayout::new(3, 2, 4);
-        let payloads: Vec<Vec<u8>> =
-            (0..20).map(|r| vec![r as u8; r % 5]).collect(); // lengths 0..=4
+        let payloads: Vec<Vec<u8>> = (0..20).map(|r| vec![r as u8; r % 5]).collect(); // lengths 0..=4
         let want = reference_allgather(&g, &payloads);
         for plan in [
             plan_naive(&g),

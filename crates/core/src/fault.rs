@@ -1,0 +1,402 @@
+//! Deterministic fault injection for executors and the distributed
+//! pattern builder.
+//!
+//! A [`FaultPlan`] is a *seeded, stateless* description of adverse
+//! network and process behaviour: message drops, delays, duplication,
+//! reordering, per-rank stragglers and outright rank crashes. Every
+//! decision is a pure function of `(seed, src, dst, tag, attempt)`, so a
+//! fault schedule is exactly reproducible across runs and across threads
+//! regardless of scheduling — the property the chaos test-suite builds
+//! on: for any seed, a run must either produce buffers identical to the
+//! reference allgather or surface a *typed* error/fallback, never silent
+//! corruption and never a hang.
+//!
+//! Consumers:
+//!
+//! * [`crate::exec::threaded`] consults the plan at every send (and
+//!   retries dropped messages with bounded exponential backoff — the
+//!   "reliable transport over a lossy link" emulation);
+//! * [`crate::distributed_builder`] perturbs the REQ/ACCEPT/DROP/EXIT
+//!   negotiation signals of Algorithms 2–3;
+//! * `nhood_simnet` consumes the same plan as a
+//!   [`Perturbation`](nhood_simnet::Perturbation) so simulated latencies
+//!   reflect the stragglers the real executors would see.
+//!
+//! [`FaultStats`] aggregates what was actually injected during one run,
+//! using atomics so rank threads can tally without locking.
+
+use nhood_topology::rng::{hash_mix, unit_f64};
+use nhood_topology::Rank;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Domain-separation tags so the per-fault-kind hash streams are
+/// independent (a message dropped at attempt 0 is not automatically
+/// delayed at attempt 1).
+mod domain {
+    pub const DROP: u64 = 0x01;
+    pub const DELAY: u64 = 0x02;
+    pub const DUP: u64 = 0x03;
+    pub const REORDER: u64 = 0x04;
+    pub const JITTER: u64 = 0x05;
+}
+
+/// What the fault layer decides for one transmission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard this attempt (the transport may retry).
+    Drop,
+    /// Deliver after stalling the sender for the given duration.
+    Delay(Duration),
+    /// Deliver twice (the receive path must be duplicate-tolerant).
+    Duplicate,
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// Build one with [`FaultPlan::seeded`] and the `with_*` methods; all
+/// probabilities are independent per message and clamped to `[0, 1]`.
+/// The plan itself is immutable during a run — per-run tallies live in
+/// [`FaultStats`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    delay_p: f64,
+    max_delay: Duration,
+    dup_p: f64,
+    reorder_p: f64,
+    /// Per-phase stall injected at phase entry of a straggler rank.
+    slow: HashMap<Rank, Duration>,
+    /// Rank -> phase index at which the rank stops participating.
+    crashed: HashMap<Rank, usize>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed; compose with `with_*`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_p: 0.0,
+            delay_p: 0.0,
+            max_delay: Duration::ZERO,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            slow: HashMap::new(),
+            crashed: HashMap::new(),
+        }
+    }
+
+    /// Drops each transmission attempt independently with probability `p`.
+    pub fn with_message_drop(mut self, p: f64) -> Self {
+        self.drop_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delays a message (stalling its sender) with probability `p`, for a
+    /// deterministic duration in `[0, max_delay)`.
+    pub fn with_message_delay(mut self, p: f64, max_delay: Duration) -> Self {
+        self.delay_p = p.clamp(0.0, 1.0);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Duplicates a message with probability `p`.
+    pub fn with_message_duplication(mut self, p: f64) -> Self {
+        self.dup_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Holds a message back so it overtakes its successor within the
+    /// sender's phase, with probability `p`.
+    pub fn with_message_reorder(mut self, p: f64) -> Self {
+        self.reorder_p = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Makes `rank` a straggler: it stalls `stall` at every phase entry.
+    pub fn with_slow_rank(mut self, rank: Rank, stall: Duration) -> Self {
+        self.slow.insert(rank, stall);
+        self
+    }
+
+    /// Crashes `rank` at entry to `phase`: from that phase on it sends
+    /// and receives nothing.
+    pub fn with_crashed_rank(mut self, rank: Rank, phase: usize) -> Self {
+        self.crashed.insert(rank, phase);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if any fault kind is configured (lets hot paths skip the
+    /// per-message hashing entirely on a default plan).
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.delay_p > 0.0
+            || self.dup_p > 0.0
+            || self.reorder_p > 0.0
+            || !self.slow.is_empty()
+            || !self.crashed.is_empty()
+    }
+
+    #[inline]
+    fn roll(&self, domain: u64, src: Rank, dst: Rank, tag: u64, attempt: u32) -> f64 {
+        unit_f64(hash_mix(&[self.seed, domain, src as u64, dst as u64, tag, attempt as u64]))
+    }
+
+    /// The verdict for transmission `attempt` of message `(src, dst,
+    /// tag)`. Drop takes precedence over delay over duplication, so a
+    /// single attempt suffers at most one fault.
+    pub fn send_action(&self, src: Rank, dst: Rank, tag: u64, attempt: u32) -> FaultAction {
+        if self.roll(domain::DROP, src, dst, tag, attempt) < self.drop_p {
+            return FaultAction::Drop;
+        }
+        if self.roll(domain::DELAY, src, dst, tag, attempt) < self.delay_p {
+            let f = self.roll(domain::JITTER, src, dst, tag, attempt);
+            return FaultAction::Delay(self.max_delay.mul_f64(f));
+        }
+        if self.roll(domain::DUP, src, dst, tag, attempt) < self.dup_p {
+            return FaultAction::Duplicate;
+        }
+        FaultAction::Deliver
+    }
+
+    /// Whether message `(src, dst, tag)` should be held back and sent
+    /// after its phase-successor.
+    pub fn reorders(&self, src: Rank, dst: Rank, tag: u64) -> bool {
+        self.roll(domain::REORDER, src, dst, tag, 0) < self.reorder_p
+    }
+
+    /// Extra per-message latency for the simulator: the expected delay
+    /// contribution of the delay fault, deterministically spread over
+    /// messages (same hash stream as [`send_action`]).
+    pub fn sim_jitter(&self, src: Rank, dst: Rank, tag: u64) -> Duration {
+        if self.delay_p == 0.0 {
+            return Duration::ZERO;
+        }
+        if self.roll(domain::DELAY, src, dst, tag, 0) < self.delay_p {
+            self.max_delay.mul_f64(self.roll(domain::JITTER, src, dst, tag, 0))
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// The stall a straggler suffers at each phase entry (zero for
+    /// healthy ranks).
+    pub fn stall(&self, rank: Rank) -> Duration {
+        self.slow.get(&rank).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// True if `rank` has crashed by `phase`.
+    pub fn is_crashed(&self, rank: Rank, phase: usize) -> bool {
+        self.crashed.get(&rank).is_some_and(|&at| phase >= at)
+    }
+
+    /// The phase at which `rank` crashes, if scheduled.
+    pub fn crash_phase(&self, rank: Rank) -> Option<usize> {
+        self.crashed.get(&rank).copied()
+    }
+
+    /// Lowers this plan onto the simulator's perturbation model:
+    /// straggler stalls become per-phase local work, the delay fault
+    /// becomes per-message jitter. (Drops/dups/crashes have no timing
+    /// analogue in a lossless discrete-event model and are ignored.)
+    pub fn to_perturbation(&self, n: usize) -> nhood_simnet::Perturbation {
+        let mut stall = vec![0.0f64; n];
+        for (&r, &d) in &self.slow {
+            if r < n {
+                stall[r] = d.as_secs_f64();
+            }
+        }
+        nhood_simnet::Perturbation {
+            seed: self.seed,
+            rank_stall: stall,
+            jitter_p: self.delay_p,
+            max_jitter: self.max_delay.as_secs_f64(),
+        }
+    }
+}
+
+/// Per-run fault/retry tallies, thread-safe by atomics.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Transmission attempts discarded by the drop fault.
+    pub drops: AtomicU64,
+    /// Messages delivered late.
+    pub delays: AtomicU64,
+    /// Messages delivered twice.
+    pub duplicates: AtomicU64,
+    /// Messages held back past a successor.
+    pub reorders: AtomicU64,
+    /// Retransmission attempts made by the transport.
+    pub retries: AtomicU64,
+    /// Messages abandoned after the retry budget was exhausted.
+    pub lost: AtomicU64,
+}
+
+impl FaultStats {
+    /// Relaxed increment helper.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-data snapshot of the counters.
+    pub fn snapshot(&self) -> FaultCounts {
+        FaultCounts {
+            drops: self.drops.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            reorders: self.reorders.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FaultStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transmission attempts discarded by the drop fault.
+    pub drops: u64,
+    /// Messages delivered late.
+    pub delays: u64,
+    /// Messages delivered twice.
+    pub duplicates: u64,
+    /// Messages held back past a successor.
+    pub reorders: u64,
+    /// Retransmission attempts made by the transport.
+    pub retries: u64,
+    /// Messages abandoned after the retry budget was exhausted.
+    pub lost: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected (excluding retries, which are reactions).
+    pub fn total_injected(&self) -> u64 {
+        self.drops + self.delays + self.duplicates + self.reorders
+    }
+
+    /// Field-wise sum — aggregates the tallies of a fallback re-run onto
+    /// the original run's.
+    pub fn merged(&self, other: &FaultCounts) -> FaultCounts {
+        FaultCounts {
+            drops: self.drops + other.drops,
+            delays: self.delays + other.delays,
+            duplicates: self.duplicates + other.duplicates,
+            reorders: self.reorders + other.reorders,
+            retries: self.retries + other.retries,
+            lost: self.lost + other.lost,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drops={} delays={} dups={} reorders={} retries={} lost={}",
+            self.drops, self.delays, self.duplicates, self.reorders, self.retries, self.lost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_sensitive() {
+        let fp = FaultPlan::seeded(7).with_message_drop(0.5);
+        for src in 0..8 {
+            for tag in 0..8 {
+                assert_eq!(fp.send_action(src, 1, tag, 0), fp.send_action(src, 1, tag, 0));
+            }
+        }
+        // with p=0.5 some (message, attempt) pairs must differ across
+        // attempts — retries can succeed
+        let differs =
+            (0..64u64).any(|tag| fp.send_action(0, 1, tag, 0) != fp.send_action(0, 1, tag, 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn inactive_plan_injects_nothing() {
+        let fp = FaultPlan::seeded(3);
+        assert!(!fp.is_active());
+        for tag in 0..100 {
+            assert_eq!(fp.send_action(0, 1, tag, 0), FaultAction::Deliver);
+            assert!(!fp.reorders(0, 1, tag));
+            assert_eq!(fp.sim_jitter(0, 1, tag), Duration::ZERO);
+        }
+        assert!(!fp.is_crashed(0, 0));
+        assert_eq!(fp.stall(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn drop_rate_concentrates_near_p() {
+        let fp = FaultPlan::seeded(11).with_message_drop(0.05);
+        let n = 20_000;
+        let drops = (0..n).filter(|&tag| fp.send_action(2, 3, tag, 0) == FaultAction::Drop).count();
+        let expect = 0.05 * n as f64;
+        assert!((drops as f64 - expect).abs() < 5.0 * expect.sqrt(), "{drops}");
+    }
+
+    #[test]
+    fn crash_and_slow_schedules() {
+        let fp = FaultPlan::seeded(0)
+            .with_crashed_rank(3, 2)
+            .with_slow_rank(1, Duration::from_millis(5));
+        assert!(!fp.is_crashed(3, 0));
+        assert!(!fp.is_crashed(3, 1));
+        assert!(fp.is_crashed(3, 2));
+        assert!(fp.is_crashed(3, 9));
+        assert_eq!(fp.crash_phase(3), Some(2));
+        assert_eq!(fp.crash_phase(4), None);
+        assert_eq!(fp.stall(1), Duration::from_millis(5));
+        assert!(fp.is_active());
+    }
+
+    #[test]
+    fn delay_durations_bounded() {
+        let fp = FaultPlan::seeded(5).with_message_delay(1.0, Duration::from_millis(10));
+        for tag in 0..200 {
+            match fp.send_action(0, 1, tag, 0) {
+                FaultAction::Delay(d) => assert!(d < Duration::from_millis(10)),
+                other => panic!("p=1 must delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_lowering_carries_stalls_and_jitter() {
+        let fp = FaultPlan::seeded(9)
+            .with_slow_rank(2, Duration::from_micros(100))
+            .with_message_delay(0.5, Duration::from_micros(50));
+        let p = fp.to_perturbation(4);
+        assert_eq!(p.rank_stall.len(), 4);
+        assert!((p.rank_stall[2] - 100e-6).abs() < 1e-12);
+        assert_eq!(p.rank_stall[0], 0.0);
+        assert_eq!(p.jitter_p, 0.5);
+        assert!((p.max_jitter - 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let stats = FaultStats::default();
+        FaultStats::bump(&stats.drops);
+        FaultStats::bump(&stats.drops);
+        FaultStats::bump(&stats.retries);
+        let c = stats.snapshot();
+        assert_eq!(c.drops, 2);
+        assert_eq!(c.retries, 1);
+        assert_eq!(c.total_injected(), 2);
+        assert!(c.to_string().contains("drops=2"));
+    }
+}

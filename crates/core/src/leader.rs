@@ -178,13 +178,9 @@ mod tests {
 
     #[test]
     fn validates_and_matches_reference() {
-        for (n, delta, leaders) in [
-            (32usize, 0.3, 1usize),
-            (32, 0.3, 4),
-            (24, 0.7, 2),
-            (36, 0.1, 3),
-            (17, 0.4, 2),
-        ] {
+        for (n, delta, leaders) in
+            [(32usize, 0.3, 1usize), (32, 0.3, 4), (24, 0.7, 2), (36, 0.1, 3), (17, 0.4, 2)]
+        {
             let g = erdos_renyi(n, delta, 42);
             let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
             let plan = plan_hierarchical_leader(&g, &layout, leaders);

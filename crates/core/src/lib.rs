@@ -22,6 +22,11 @@
 //!   ([`exec::threaded`]), and in simulated time on a modelled cluster
 //!   ([`exec::sim_exec`]).
 //! * [`model`] is the paper's §V closed-form performance model.
+//! * [`fault`] is a deterministic fault-injection layer (message drops,
+//!   delays, duplicates, reorders, stragglers, crashes) consulted by the
+//!   threaded executor and the distributed builder; paired with
+//!   [`comm::RobustPolicy`] it gives graceful degradation to the naive
+//!   plan instead of hard failure.
 //! * [`comm::DistGraphComm`] is the user-facing entry point.
 //!
 //! ## Quick start
@@ -47,6 +52,7 @@ pub mod comm;
 pub mod common_neighbor;
 pub mod distributed_builder;
 pub mod exec;
+pub mod fault;
 pub mod leader;
 pub mod lower;
 pub mod model;
@@ -59,9 +65,10 @@ pub mod remap;
 pub mod select_algo;
 pub mod selection;
 
-pub use comm::{CommError, DistGraphComm};
+pub use comm::{CommError, DistGraphComm, ExecReport, FallbackReason, RobustPolicy};
 pub use exec::sim_exec::SimCost;
 pub use exec::ExecError;
+pub use fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
 pub use pattern::{DhPattern, SelectionStats};
 pub use plan::{Algorithm, CollectivePlan};
 pub use select_algo::recommend;

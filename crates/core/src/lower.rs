@@ -48,8 +48,7 @@ pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
             if t == 0 {
                 phase.copy_blocks = 1;
             } else if let Some(prev) = rp.steps.get(t - 1) {
-                phase.copy_blocks =
-                    prev.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
+                phase.copy_blocks = prev.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
             }
             if let Some(step) = rp.steps.get(t) {
                 if let Some(agent) = step.agent {
@@ -80,8 +79,7 @@ pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
         if steps == 0 {
             // no halving at all: sbuf is sent directly, no main_buf copy
         } else if let Some(last) = rp.steps.last() {
-            phase.copy_blocks +=
-                last.arriving.iter().filter(|&&b| graph.has_edge(b, q)).count();
+            phase.copy_blocks += last.arriving.iter().filter(|&&b| graph.has_edge(b, q)).count();
         }
         // invert: target -> blocks
         let mut by_target: std::collections::BTreeMap<Rank, Vec<Rank>> =
@@ -127,7 +125,12 @@ mod tests {
     use nhood_cluster::ClusterLayout;
     use nhood_topology::random::erdos_renyi;
 
-    fn build_and_lower(n: usize, delta: f64, seed: u64, layout: &ClusterLayout) -> (Topology, CollectivePlan) {
+    fn build_and_lower(
+        n: usize,
+        delta: f64,
+        seed: u64,
+        layout: &ClusterLayout,
+    ) -> (Topology, CollectivePlan) {
         let g = erdos_renyi(n, delta, seed);
         let pat = build_pattern(&g, layout).unwrap();
         let plan = lower(&pat, &g);
@@ -148,8 +151,7 @@ mod tests {
         ] {
             let layout = ClusterLayout::new(nodes, sockets, cores);
             let (g, plan) = build_and_lower(n, delta, 42, &layout);
-            plan.validate(&g)
-                .unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
+            plan.validate(&g).unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
         }
     }
 

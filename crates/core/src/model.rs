@@ -102,8 +102,7 @@ impl ModelParams {
     /// Eq. (8): expected collective time of Distance Halving,
     /// `2 S L (E[t_off] + E[t_in])`.
     pub fn dh_time(&self, m: usize) -> f64 {
-        2.0 * (self.s * self.l) as f64
-            * (self.dh_off_socket_time(m) + self.dh_intra_socket_time(m))
+        2.0 * (self.s * self.l) as f64 * (self.dh_off_socket_time(m) + self.dh_intra_socket_time(m))
     }
 
     /// Predicted speedup of Distance Halving over naïve at payload `m`.
@@ -216,10 +215,7 @@ mod tests {
         let m = 64;
         let s_sparse = ModelParams::niagara(2160, 0.05).predicted_speedup(m);
         let s_dense = ModelParams::niagara(2160, 0.7).predicted_speedup(m);
-        assert!(
-            s_dense > s_sparse,
-            "dense {s_dense} should beat sparse {s_sparse}"
-        );
+        assert!(s_dense > s_sparse, "dense {s_dense} should beat sparse {s_sparse}");
     }
 
     #[test]
@@ -231,8 +227,7 @@ mod tests {
         let params = p(2000, 0.3, 20);
         let naive_msgs = params.delta * params.n as f64;
         assert!((naive_msgs - 600.0).abs() < 1e-9);
-        let dh_msgs =
-            params.expected_off_socket_msgs() + params.expected_intra_socket_msgs();
+        let dh_msgs = params.expected_off_socket_msgs() + params.expected_intra_socket_msgs();
         assert!(dh_msgs < 30.0, "DH sends ~{dh_msgs} messages, naive 600");
     }
 

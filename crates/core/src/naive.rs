@@ -50,8 +50,8 @@ mod tests {
         let g = erdos_renyi(20, 0.4, 2);
         let plan = plan_naive(&g);
         let loads = plan.sends_per_rank();
-        for r in 0..20 {
-            assert_eq!(loads[r], g.outdegree(r));
+        for (r, &load) in loads.iter().enumerate() {
+            assert_eq!(load, g.outdegree(r));
         }
     }
 

@@ -62,11 +62,8 @@ impl RankPattern {
     /// Total final-phase messages this rank sends (one per distinct
     /// target).
     pub fn final_targets(&self) -> Vec<Rank> {
-        let mut t: Vec<Rank> = self
-            .responsibilities
-            .values()
-            .flat_map(|v| v.iter().copied())
-            .collect();
+        let mut t: Vec<Rank> =
+            self.responsibilities.values().flat_map(|v| v.iter().copied()).collect();
         t.sort_unstable();
         t.dedup();
         t
@@ -215,12 +212,12 @@ mod tests {
         // halving [0, n-1] repeatedly always terminates with ranges of 1
         for n in [2usize, 3, 5, 8, 36, 100] {
             let mut range = (0, n - 1);
-            let mut steps = 0;
+            let mut steps = 0u32;
             while range_len(range) > 1 {
                 let (_, lo, hi) = split_half(range.0, range.1);
                 assert_eq!(range_len(lo) + range_len(hi), range_len(range));
                 // follow the lower half (arbitrary)
-                range = if steps % 2 == 0 { lo } else { hi };
+                range = if steps.is_multiple_of(2) { lo } else { hi };
                 steps += 1;
                 assert!(steps < 64, "runaway halving for n={n}");
             }

@@ -29,12 +29,7 @@ impl PersistentAllgather {
     /// Plans the collective once (the expensive step).
     pub fn init(comm: &DistGraphComm, algo: Algorithm) -> Result<Self, CommError> {
         let plan = comm.plan(algo)?;
-        Ok(Self {
-            graph: comm.graph().clone(),
-            plan,
-            rbufs: Vec::new(),
-            executions: 0,
-        })
+        Ok(Self { graph: comm.graph().clone(), plan, rbufs: Vec::new(), executions: 0 })
     }
 
     /// The underlying plan (inspection only).

@@ -121,11 +121,7 @@ impl CollectivePlan {
 
     /// Total messages, counted on the send side.
     pub fn message_count(&self) -> usize {
-        self.per_rank
-            .iter()
-            .flat_map(|p| p.iter())
-            .map(|ph| ph.sends.len())
-            .sum()
+        self.per_rank.iter().flat_map(|p| p.iter()).map(|ph| ph.sends.len()).sum()
     }
 
     /// Total payload volume in block units (multiply by the per-rank
@@ -137,6 +133,14 @@ impl CollectivePlan {
             .flat_map(|ph| ph.sends.iter())
             .map(|m| m.blocks.len())
             .sum()
+    }
+
+    /// Peak per-phase fan-out: the largest number of sends any rank
+    /// posts in a single phase. Under fault injection this bounds how
+    /// many messages a phase deadline must leave room to retry, so the
+    /// chaos tooling uses it to budget per-phase timeouts.
+    pub fn max_sends_in_phase(&self) -> usize {
+        self.per_rank.iter().flat_map(|p| p.iter()).map(|ph| ph.sends.len()).max().unwrap_or(0)
     }
 
     /// Largest single message, in blocks.
@@ -152,10 +156,7 @@ impl CollectivePlan {
 
     /// Per-rank total messages sent — the load-balance view.
     pub fn sends_per_rank(&self) -> Vec<usize> {
-        self.per_rank
-            .iter()
-            .map(|phases| phases.iter().map(|ph| ph.sends.len()).sum())
-            .collect()
+        self.per_rank.iter().map(|phases| phases.iter().map(|ph| ph.sends.len()).sum()).collect()
     }
 
     /// Checks structural sanity and the exactly-once delivery property
@@ -304,6 +305,7 @@ mod tests {
         assert_eq!(plan.message_count(), 2);
         assert_eq!(plan.total_blocks_sent(), 2);
         assert_eq!(plan.max_message_blocks(), 1);
+        assert_eq!(plan.max_sends_in_phase(), 1);
         assert_eq!(plan.sends_per_rank(), vec![1, 1]);
         assert_eq!(plan.phase_count(), 1);
     }
@@ -361,11 +363,7 @@ mod tests {
             algorithm: Algorithm::Naive,
             per_rank: vec![
                 vec![
-                    PlanPhase {
-                        copy_blocks: 0,
-                        sends: vec![msg(1, vec![0], 0)],
-                        recvs: vec![],
-                    },
+                    PlanPhase { copy_blocks: 0, sends: vec![msg(1, vec![0], 0)], recvs: vec![] },
                     PlanPhase::default(),
                 ],
                 vec![

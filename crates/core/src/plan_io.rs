@@ -264,7 +264,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(read_plan(&b"not a plan"[..]), Err(PlanIoError::BadMagic) | Err(PlanIoError::Io(_))));
+        assert!(matches!(
+            read_plan(&b"not a plan"[..]),
+            Err(PlanIoError::BadMagic) | Err(PlanIoError::Io(_))
+        ));
         // right magic, truncated body
         let mut buf = MAGIC.to_vec();
         buf.extend_from_slice(&2u64.to_le_bytes());

@@ -57,10 +57,8 @@ pub fn plan_distance_halving_reordered(
     let order = locality_order(layout, n);
 
     // Virtual graph: relabel every edge.
-    let vedges: Vec<(Rank, Rank)> = graph
-        .edges()
-        .map(|(s, d)| (order.virtual_of[s], order.virtual_of[d]))
-        .collect();
+    let vedges: Vec<(Rank, Rank)> =
+        graph.edges().map(|(s, d)| (order.virtual_of[s], order.virtual_of[d])).collect();
     let vgraph = Topology::from_edges(n, vedges);
 
     // A block-placed layout of the same shape hosts the virtual ranks.
@@ -105,7 +103,7 @@ mod tests {
     fn locality_order_is_a_permutation() {
         let layout = ClusterLayout::new(3, 2, 4).with_placement(Placement::RoundRobinNodes);
         let order = locality_order(&layout, 24);
-        let mut seen = vec![false; 24];
+        let mut seen = [false; 24];
         for &p in &order.physical {
             assert!(!seen[p], "rank {p} twice");
             seen[p] = true;

@@ -89,10 +89,7 @@ impl Acceptor {
     /// Best-scoring non-INACTIVE candidate, if any. `candidates` is
     /// sorted best-first so the first live entry wins.
     fn best_live(&self) -> Option<Rank> {
-        self.candidates
-            .iter()
-            .copied()
-            .find(|c| self.state[c] != CandState::Inactive)
+        self.candidates.iter().copied().find(|c| self.state[c] != CandState::Inactive)
     }
 }
 
@@ -157,10 +154,8 @@ fn run_round_impl(
     // Build candidate lists, best-first.
     let mut props: HashMap<Rank, Proposer> = HashMap::with_capacity(proposers.len());
     let mut accs: HashMap<Rank, Acceptor> = HashMap::with_capacity(acceptors.len());
-    let mut acc_cands: HashMap<Rank, Vec<(usize, Rank)>> = acceptors
-        .iter()
-        .map(|&a| (a, Vec::new()))
-        .collect();
+    let mut acc_cands: HashMap<Rank, Vec<(usize, Rank)>> =
+        acceptors.iter().map(|&a| (a, Vec::new())).collect();
     for &p in proposers {
         let mut cands: Vec<(usize, Rank)> = Vec::new();
         for &a in acceptors {
@@ -314,17 +309,14 @@ fn run_round_impl(
         }
     }
 
-    let matched: HashMap<Rank, Rank> = props
-        .values()
-        .filter_map(|p| p.selected.map(|a| (p.rank, a)))
-        .collect();
+    let matched: HashMap<Rank, Rank> =
+        props.values().filter_map(|p| p.selected.map(|a| (p.rank, a))).collect();
 
     // Protocol-liveness sanity: an unmatched acceptor must not have any
     // proposer still waiting on it (it would have accepted its best
     // waiter when the queue drained).
     debug_assert!(accs.values().all(|a| {
-        a.selected.is_some()
-            || a.candidates.iter().all(|c| a.state[c] != CandState::Waiting)
+        a.selected.is_some() || a.candidates.iter().all(|c| a.state[c] != CandState::Waiting)
     }));
 
     RoundResult { matched, stats }
@@ -335,14 +327,8 @@ mod tests {
     use super::*;
 
     /// score lookup from an explicit table
-    fn table_score(
-        t: &[(Rank, Rank, usize)],
-    ) -> impl FnMut(Rank, Rank) -> usize + '_ {
-        move |p, a| {
-            t.iter()
-                .find(|&&(tp, ta, _)| tp == p && ta == a)
-                .map_or(0, |&(_, _, s)| s)
-        }
+    fn table_score(t: &[(Rank, Rank, usize)]) -> impl FnMut(Rank, Rank) -> usize + '_ {
+        move |p, a| t.iter().find(|&&(tp, ta, _)| tp == p && ta == a).map_or(0, |&(_, _, s)| s)
     }
 
     #[test]
@@ -462,7 +448,7 @@ mod tests {
     #[test]
     fn matching_is_one_to_one() {
         // random-ish asymmetric scores
-        let score = |p: Rank, a: Rank| ((p * 7 + a * 13) % 5) as usize;
+        let score = |p: Rank, a: Rank| (p * 7 + a * 13) % 5;
         let proposers: Vec<Rank> = (0..20).collect();
         let acceptors: Vec<Rank> = (20..40).collect();
         let r = run_round(&proposers, &acceptors, score);
@@ -481,7 +467,7 @@ mod tests {
     fn matching_is_maximal_on_candidate_graph() {
         // After the round, no unmatched proposer shares a candidate edge
         // with an unmatched acceptor (greedy maximality).
-        let score = |p: Rank, a: Rank| usize::from((p + a) % 3 == 0);
+        let score = |p: Rank, a: Rank| usize::from((p + a).is_multiple_of(3));
         let proposers: Vec<Rank> = (0..15).collect();
         let acceptors: Vec<Rank> = (15..30).collect();
         let r = run_round(&proposers, &acceptors, score);
@@ -501,7 +487,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let score = |p: Rank, a: Rank| ((p * 31 + a * 17) % 7) as usize;
+        let score = |p: Rank, a: Rank| (p * 31 + a * 17) % 7;
         let proposers: Vec<Rank> = (0..30).collect();
         let acceptors: Vec<Rank> = (30..60).collect();
         let r1 = run_round(&proposers, &acceptors, score);

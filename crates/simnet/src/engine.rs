@@ -242,6 +242,10 @@ pub struct Engine<'a> {
     config: SimConfig,
 }
 
+/// Completed sends keyed by `(src, dst, tag)` — the trace side-channel
+/// of `run_impl`.
+type SentMap = HashMap<(Rank, Rank, u64), SendInfo>;
+
 #[derive(Clone, Copy)]
 struct SendInfo {
     start: Seconds,
@@ -268,10 +272,7 @@ pub struct MsgTrace {
 }
 
 /// Writes traces as CSV (`src,dst,tag,bytes,level,posted,arrival`).
-pub fn write_trace_csv(
-    traces: &[MsgTrace],
-    mut w: impl std::io::Write,
-) -> std::io::Result<()> {
+pub fn write_trace_csv(traces: &[MsgTrace], mut w: impl std::io::Write) -> std::io::Result<()> {
     writeln!(w, "src,dst,tag,bytes,level,posted,arrival")?;
     for t in traces {
         writeln!(
@@ -304,14 +305,26 @@ impl<'a> Engine<'a> {
     ///
     /// Validates the schedule first; see [`SimError`] for failure modes.
     pub fn run(&self, schedule: &Schedule) -> Result<SimReport, SimError> {
-        self.run_impl(schedule).map(|(r, _)| r)
+        self.run_impl(schedule, None).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run), but under a latency
+    /// [`Perturbation`](crate::Perturbation): straggler ranks pay their
+    /// stall at every phase entry and jittered messages arrive late —
+    /// the simulator-side view of a fault-injection plan.
+    pub fn run_perturbed(
+        &self,
+        schedule: &Schedule,
+        perturbation: &crate::Perturbation,
+    ) -> Result<SimReport, SimError> {
+        self.run_impl(schedule, Some(perturbation)).map(|(r, _)| r)
     }
 
     /// Like [`run`](Self::run), but also returns one [`MsgTrace`] per
     /// message (posting time, arrival time, locality level) for timeline
     /// analysis — the raw material of gantt-style visualizations.
     pub fn run_traced(&self, schedule: &Schedule) -> Result<(SimReport, Vec<MsgTrace>), SimError> {
-        let (report, sent) = self.run_impl(schedule)?;
+        let (report, sent) = self.run_impl(schedule, None)?;
         let mut traces: Vec<MsgTrace> = schedule
             .all_sends()
             .map(|m| {
@@ -334,7 +347,8 @@ impl<'a> Engine<'a> {
     fn run_impl(
         &self,
         schedule: &Schedule,
-    ) -> Result<(SimReport, HashMap<(Rank, Rank, u64), SendInfo>), SimError> {
+        perturbation: Option<&crate::Perturbation>,
+    ) -> Result<(SimReport, SentMap), SimError> {
         schedule.validate().map_err(SimError::InvalidSchedule)?;
         let n = schedule.n();
         if n > self.layout.capacity() {
@@ -352,7 +366,7 @@ impl<'a> Engine<'a> {
         let mut glob_rx = vec![0.0f64; n_groups];
         let mut phase_idx = vec![0usize; n];
         // Sends already issued, keyed by (src, dst, tag).
-        let mut sent: HashMap<(Rank, Rank, u64), SendInfo> = HashMap::new();
+        let mut sent: SentMap = HashMap::new();
         // For each rank currently blocked on recvs: how many are unmatched.
         let mut missing = vec![0usize; n];
         // Reverse index: send key -> rank waiting for it right now.
@@ -374,7 +388,7 @@ impl<'a> Engine<'a> {
                      nic_rx: &mut [f64],
                      glob_tx: &mut [f64],
                      glob_rx: &mut [f64],
-                     sent: &mut HashMap<(Rank, Rank, u64), SendInfo>,
+                     sent: &mut SentMap,
                      missing: &mut [usize],
                      waiters: &mut HashMap<(Rank, Rank, u64), Rank>,
                      stats: &mut LevelStats,
@@ -383,13 +397,17 @@ impl<'a> Engine<'a> {
          -> bool {
             let k = phase_idx[r];
             let phase = &schedule.phases(r)[k];
-            busy[r] += phase.local_seconds;
-            let mut t = port_free[r] + phase.local_seconds;
+            // straggler modeling: a perturbed rank pays its stall on top
+            // of the phase's local work
+            let local = phase.local_seconds + perturbation.map_or(0.0, |p| p.stall(r));
+            busy[r] += local;
+            let mut t = port_free[r] + local;
             let my_node = self.layout.location(r).node;
             for m in &phase.sends {
                 let level = self.layout.locality(m.src, m.dst);
                 let h = hockney.level(level);
-                let wire = h.time(m.bytes); // α + m/β: arrival delay
+                let jitter = perturbation.map_or(0.0, |p| p.jitter(m.src, m.dst, m.tag));
+                let wire = h.time(m.bytes) + jitter; // α + m/β (+ jitter): arrival delay
                 let serial = m.bytes as f64 / h.bytes_per_sec;
                 let occupancy = self.config.cpu_overhead.map_or(wire, |o| o + serial);
                 busy[r] += occupancy;
@@ -402,8 +420,7 @@ impl<'a> Engine<'a> {
                 // (which would let an idle NIC be blocked by a busy one).
                 let posted = t;
                 t = posted + occupancy;
-                let internode =
-                    matches!(level, Locality::SameGroup | Locality::RemoteGroup);
+                let internode = matches!(level, Locality::SameGroup | Locality::RemoteGroup);
                 let mut wire_start = posted;
                 if internode {
                     let dst_node = self.layout.location(m.dst).node;
@@ -509,17 +526,14 @@ impl<'a> Engine<'a> {
                     (info, self.layout.locality(m.src, m.dst), m.bytes)
                 })
                 .collect();
-            arrivals.sort_by(|a, b| {
-                a.0.end.partial_cmp(&b.0.end).expect("sim times are never NaN")
-            });
+            arrivals
+                .sort_by(|a, b| a.0.end.partial_cmp(&b.0.end).expect("sim times are never NaN"));
             let mut t = port_free[r];
             for (info, level, bytes) in arrivals {
                 let h = hockney.level(level);
                 let wire = h.time(bytes);
-                let occupancy = self
-                    .config
-                    .cpu_overhead
-                    .map_or(wire, |o| o + bytes as f64 / h.bytes_per_sec);
+                let occupancy =
+                    self.config.cpu_overhead.map_or(wire, |o| o + bytes as f64 / h.bytes_per_sec);
                 busy[r] += occupancy;
                 let busy_start = t.max(info.start);
                 t = (busy_start + occupancy).max(info.end);
@@ -634,11 +648,7 @@ mod tests {
         for src in 1..4usize {
             s.push(src, vec![msg(src, 0, 1000, src as u64)], vec![]);
         }
-        s.push(
-            0,
-            vec![],
-            (1..4).map(|src| msg(src, 0, 1000, src as u64)).collect(),
-        );
+        s.push(0, vec![], (1..4).map(|src| msg(src, 0, 1000, src as u64)).collect());
         let r = flat_engine_run(&layout, 0.0, 1e9, NicMode::Off, &s);
         // three concurrent 1µs sends arrive at 1µs, but rank 0's port must
         // drain them one at a time: last finishes at 3µs.
@@ -736,7 +746,11 @@ mod tests {
     fn stats_tally_by_level() {
         let layout = ClusterLayout::with_groups(4, 2, 2, 2); // 16 ranks, groups of 2 nodes
         let mut s = Schedule::new(16);
-        s.push(0, vec![msg(0, 1, 10, 0), msg(0, 2, 20, 1), msg(0, 4, 30, 2), msg(0, 8, 40, 3)], vec![]);
+        s.push(
+            0,
+            vec![msg(0, 1, 10, 0), msg(0, 2, 20, 1), msg(0, 4, 30, 2), msg(0, 8, 40, 3)],
+            vec![],
+        );
         s.push(1, vec![], vec![msg(0, 1, 10, 0)]);
         s.push(2, vec![], vec![msg(0, 2, 20, 1)]);
         s.push(4, vec![], vec![msg(0, 4, 30, 2)]);
@@ -812,8 +826,7 @@ mod tests {
         let o = 0.2e-6;
         let alpha = 2.0e-6;
         let mut s = Schedule::new(8);
-        let sends: Vec<Msg> =
-            (1..=k).map(|d| msg(0, d, 0, d as u64)).collect();
+        let sends: Vec<Msg> = (1..=k).map(|d| msg(0, d, 0, d as u64)).collect();
         s.push(0, sends, vec![]);
         for d in 1..=k {
             s.push(d, vec![], vec![msg(0, d, 0, d as u64)]);
@@ -921,10 +934,7 @@ mod tests {
         let mut s = Schedule::new(2);
         s.push(0, vec![msg(0, 1, 8, 0)], vec![]);
         let cfg = SimConfig::niagara();
-        assert!(matches!(
-            Engine::new(&layout, cfg).run(&s),
-            Err(SimError::InvalidSchedule(_))
-        ));
+        assert!(matches!(Engine::new(&layout, cfg).run(&s), Err(SimError::InvalidSchedule(_))));
     }
 
     #[test]
@@ -948,6 +958,34 @@ mod tests {
     }
 
     #[test]
+    fn perturbation_slows_stragglers_and_jittered_messages() {
+        let layout = ClusterLayout::new(2, 1, 1);
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 1, 1000, 0)], vec![]);
+        s.push(1, vec![], vec![msg(0, 1, 1000, 0)]);
+        let cfg = SimConfig::classic(HockneyParams::flat(1e-6, 1e9), NicMode::Off);
+        let engine = Engine::new(&layout, cfg);
+        let base = engine.run(&s).unwrap().makespan;
+        // straggler: rank 0 stalls 10µs before sending
+        let slow = crate::Perturbation {
+            seed: 1,
+            rank_stall: vec![10e-6, 0.0],
+            jitter_p: 0.0,
+            max_jitter: 0.0,
+        };
+        let t = engine.run_perturbed(&s, &slow).unwrap().makespan;
+        assert!((t - (base + 10e-6)).abs() < 1e-12, "base {base} perturbed {t}");
+        // guaranteed jitter delays the arrival by up to max_jitter
+        let jittery =
+            crate::Perturbation { seed: 1, rank_stall: vec![], jitter_p: 1.0, max_jitter: 5e-6 };
+        let tj = engine.run_perturbed(&s, &jittery).unwrap().makespan;
+        assert!(tj > base && tj < base + 5e-6, "base {base} jittered {tj}");
+        // a no-op perturbation changes nothing
+        let t0 = engine.run_perturbed(&s, &crate::Perturbation::none()).unwrap().makespan;
+        assert_eq!(t0, base);
+    }
+
+    #[test]
     fn naive_alltoall_matches_closed_form() {
         // k ranks on one node, flat params, all-to-all of m bytes:
         // per rank: (k-1) serialized sends + (k-1) serialized recvs
@@ -956,14 +994,10 @@ mod tests {
         let layout = ClusterLayout::new(1, 1, k);
         let mut s = Schedule::new(k);
         for r in 0..k {
-            let sends = (0..k)
-                .filter(|&d| d != r)
-                .map(|d| msg(r, d, 1000, (r * k + d) as u64))
-                .collect();
-            let recvs = (0..k)
-                .filter(|&q| q != r)
-                .map(|q| msg(q, r, 1000, (q * k + r) as u64))
-                .collect();
+            let sends =
+                (0..k).filter(|&d| d != r).map(|d| msg(r, d, 1000, (r * k + d) as u64)).collect();
+            let recvs =
+                (0..k).filter(|&q| q != r).map(|q| msg(q, r, 1000, (q * k + r) as u64)).collect();
             s.push(r, sends, recvs);
         }
         let rep = flat_engine_run(&layout, 1e-6, 1e9, NicMode::Off, &s);

@@ -26,7 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod perturb;
 pub mod schedule;
 
-pub use engine::{write_trace_csv, Engine, GlobalLinkConfig, LevelStats, MsgTrace, NicMode, SimConfig, SimError, SimReport};
+pub use engine::{
+    write_trace_csv, Engine, GlobalLinkConfig, LevelStats, MsgTrace, NicMode, SimConfig, SimError,
+    SimReport,
+};
+pub use perturb::Perturbation;
 pub use schedule::{Msg, Phase, Schedule};

@@ -75,20 +75,13 @@ impl Schedule {
 
     /// Total number of messages (counting each once, on the send side).
     pub fn message_count(&self) -> usize {
-        self.ranks
-            .iter()
-            .flat_map(|ph| ph.iter())
-            .map(|p| p.sends.len())
-            .sum()
+        self.ranks.iter().flat_map(|ph| ph.iter()).map(|p| p.sends.len()).sum()
     }
 
     /// Iterates every send message in the schedule (rank by rank, phase
     /// by phase).
     pub fn all_sends(&self) -> impl Iterator<Item = &Msg> + '_ {
-        self.ranks
-            .iter()
-            .flat_map(|phases| phases.iter())
-            .flat_map(|p| p.sends.iter())
+        self.ranks.iter().flat_map(|phases| phases.iter()).flat_map(|p| p.sends.iter())
     }
 
     /// Total bytes sent.
@@ -142,7 +135,10 @@ impl Schedule {
                         return Err(format!("rank {r} phase {k}: recv with dst {}", m.dst));
                     }
                     if m.src >= n {
-                        return Err(format!("rank {r} phase {k}: recv from out-of-range {}", m.src));
+                        return Err(format!(
+                            "rank {r} phase {k}: recv from out-of-range {}",
+                            m.src
+                        ));
                     }
                     if recvs.insert((m.src, m.dst, m.tag), m.bytes).is_some() {
                         return Err(format!(

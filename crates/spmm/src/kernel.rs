@@ -147,7 +147,7 @@ pub fn distributed_spmm_with(
 
     // Each process multiplies its X stripe against the Y rows it now has.
     let mut z_entries: Vec<(usize, usize, f64)> = Vec::new();
-    for p in 0..parts {
+    for (p, rbuf) in rbufs.iter().enumerate().take(parts) {
         // Y rows available at p: its own stripe plus every in-neighbor's.
         let mut y_rows: std::collections::HashMap<usize, Vec<(usize, f64)>> =
             std::collections::HashMap::new();
@@ -159,10 +159,7 @@ pub fn distributed_spmm_with(
         add_stripe(
             part.range(p)
                 .flat_map(|r| {
-                    y.row_cols(r)
-                        .iter()
-                        .zip(y.row_values(r))
-                        .map(move |(&c, &v)| (r, c, v))
+                    y.row_cols(r).iter().zip(y.row_values(r)).map(move |(&c, &v)| (r, c, v))
                 })
                 .collect(),
         );
@@ -176,7 +173,7 @@ pub fn distributed_spmm_with(
                     crate::stripe::exact_bytes(nnz)
                 }
             };
-            let block = &rbufs[p][offset..offset + len];
+            let block = &rbuf[offset..offset + len];
             offset += len;
             add_stripe(deserialize_stripe(block)?);
         }
@@ -234,17 +231,11 @@ mod tests {
         let x = tridiag(24);
         let y = synth_symmetric(24, 100, StructureClass::Uniform, 3);
         let want = x.multiply(&y);
-        for algo in [
-            Algorithm::Naive,
-            Algorithm::CommonNeighbor { k: 2 },
-            Algorithm::DistanceHalving,
-        ] {
+        for algo in
+            [Algorithm::Naive, Algorithm::CommonNeighbor { k: 2 }, Algorithm::DistanceHalving]
+        {
             let got = distributed_spmm(&x, &y, 8, &layout_for(8), algo).unwrap();
-            assert_eq!(
-                got.z.max_abs_diff(&want),
-                0.0,
-                "algorithm {algo} produced a different Z"
-            );
+            assert_eq!(got.z.max_abs_diff(&want), 0.0, "algorithm {algo} produced a different Z");
         }
     }
 
@@ -293,11 +284,9 @@ mod tests {
         let want = x.multiply(&x);
         for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
             let padded =
-                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Padded)
-                    .unwrap();
+                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Padded).unwrap();
             let exact =
-                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Exact)
-                    .unwrap();
+                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Exact).unwrap();
             assert_eq!(padded.z.max_abs_diff(&want), 0.0);
             assert_eq!(exact.z.max_abs_diff(&want), 0.0);
         }
@@ -307,7 +296,10 @@ mod tests {
     fn payload_size_is_reported() {
         let x = tridiag(16);
         let got = distributed_spmm(&x, &x, 4, &layout_for(4), Algorithm::Naive).unwrap();
-        assert_eq!(got.payload_bytes, crate::stripe::payload_bytes(&x, &BlockPartition::new(16, 4)));
+        assert_eq!(
+            got.payload_bytes,
+            crate::stripe::payload_bytes(&x, &BlockPartition::new(16, 4))
+        );
         assert!(got.payload_bytes > 0);
     }
 }

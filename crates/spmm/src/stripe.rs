@@ -128,10 +128,7 @@ mod tests {
             let want: Vec<(usize, usize, f64)> = part
                 .range(p)
                 .flat_map(|r| {
-                    y.row_cols(r)
-                        .iter()
-                        .zip(y.row_values(r))
-                        .map(move |(&c, &v)| (r, c, v))
+                    y.row_cols(r).iter().zip(y.row_values(r)).map(move |(&c, &v)| (r, c, v))
                 })
                 .collect();
             assert_eq!(entries, want, "stripe {p}");
@@ -178,9 +175,6 @@ mod tests {
         let tight = payload_bytes(&y, &part);
         let padded = serialize_stripe(&y, &part, 1, tight + 64);
         let exact = serialize_stripe(&y, &part, 1, tight);
-        assert_eq!(
-            deserialize_stripe(&padded).unwrap(),
-            deserialize_stripe(&exact).unwrap()
-        );
+        assert_eq!(deserialize_stripe(&padded).unwrap(), deserialize_stripe(&exact).unwrap());
     }
 }

@@ -35,10 +35,7 @@ fn word_index(bit: usize) -> (usize, u32) {
 impl Bitset {
     /// Creates an empty bitset able to hold bits `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        Self {
-            words: vec![0; capacity.div_ceil(WORD_BITS)],
-            capacity,
-        }
+        Self { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity }
     }
 
     /// Creates a bitset with the given bits set.
@@ -141,11 +138,7 @@ impl Bitset {
     /// `|self ∩ other|` without allocating.
     pub fn intersection_count(&self, other: &Bitset) -> usize {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `|self ∩ other ∩ [lo, hi]|` — shared bits within an inclusive range.

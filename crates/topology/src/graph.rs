@@ -69,13 +69,7 @@ impl Topology {
         }
         let (out_offsets, out_targets) = csr(&out_adj);
         let (in_offsets, in_sources) = csr(&in_adj);
-        Self {
-            n,
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_sources,
-        }
+        Self { n, out_offsets, out_targets, in_offsets, in_sources }
     }
 
     /// Number of ranks in the communicator.
@@ -157,28 +151,19 @@ impl Topology {
         if self.n == 0 {
             min = 0;
         }
-        DegreeStats {
-            min,
-            max,
-            mean: if self.n == 0 { 0.0 } else { sum as f64 / self.n as f64 },
-        }
+        DegreeStats { min, max, mean: if self.n == 0 { 0.0 } else { sum as f64 / self.n as f64 } }
     }
 
     /// Returns the transposed graph (every edge reversed).
     pub fn transpose(&self) -> Topology {
-        let edges: Vec<(Rank, Rank)> = (0..self.n)
-            .flat_map(|p| self.out_neighbors(p).iter().map(move |&q| (q, p)))
-            .collect();
+        let edges: Vec<(Rank, Rank)> =
+            (0..self.n).flat_map(|p| self.out_neighbors(p).iter().map(move |&q| (q, p))).collect();
         Topology::from_edges(self.n, edges)
     }
 
     /// Whether every edge has a reverse edge.
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n).all(|p| {
-            self.out_neighbors(p)
-                .iter()
-                .all(|&q| self.has_edge(q, p))
-        })
+        (0..self.n).all(|p| self.out_neighbors(p).iter().all(|&q| self.has_edge(q, p)))
     }
 
     /// Iterates over all directed edges `(src, dst)`.
@@ -265,8 +250,8 @@ mod tests {
     fn bitsets_match_adjacency() {
         let g = diamond();
         let bs = g.out_bitsets();
-        for p in 0..g.n() {
-            assert_eq!(bs[p].to_vec(), g.out_neighbors(p));
+        for (p, b) in bs.iter().enumerate() {
+            assert_eq!(b.to_vec(), g.out_neighbors(p));
         }
     }
 

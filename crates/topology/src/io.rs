@@ -48,10 +48,9 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<Topology, EdgeListError> {
         let mut it = t.split_whitespace();
         let first = it.next().expect("non-empty line has a token");
         if first == "n" {
-            let v = it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| EdgeListError::Parse(format!("line {}: bad size header", lineno + 1)))?;
+            let v = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                EdgeListError::Parse(format!("line {}: bad size header", lineno + 1))
+            })?;
             n = Some(v);
             continue;
         }

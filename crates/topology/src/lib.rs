@@ -41,6 +41,7 @@ pub mod io;
 pub mod matrix;
 pub mod moore;
 pub mod random;
+pub mod rng;
 pub mod spmm_graph;
 pub mod stencil;
 

@@ -10,8 +10,7 @@
 //! A [Matrix Market](https://math.nist.gov/MatrixMarket/formats.html)
 //! parser is included so users with the real files can load them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::DetRng;
 use std::io::{BufRead, Write};
 
 /// A sparse matrix in Compressed Sparse Row form.
@@ -56,13 +55,7 @@ impl CsrMatrix {
                 row_offsets[r] = row_offsets[r - 1];
             }
         }
-        Self {
-            rows,
-            cols,
-            row_offsets,
-            col_indices,
-            values,
-        }
+        Self { rows, cols, row_offsets, col_indices, values }
     }
 
     /// Number of rows.
@@ -98,10 +91,7 @@ impl CsrMatrix {
     /// Iterates `(row, col, value)` triplets in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c, v))
+            self.row_cols(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c, v))
         })
     }
 
@@ -126,13 +116,9 @@ impl CsrMatrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn multiply(&self, rhs: &CsrMatrix) -> CsrMatrix {
         assert_eq!(
-            self.cols,
-            rhs.rows,
+            self.cols, rhs.rows,
             "dimension mismatch: {}x{} times {}x{}",
-            self.rows,
-            self.cols,
-            rhs.rows,
-            rhs.cols
+            self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut row_offsets = Vec::with_capacity(self.rows + 1);
         let mut col_indices = Vec::new();
@@ -162,13 +148,7 @@ impl CsrMatrix {
             }
             row_offsets.push(col_indices.len());
         }
-        CsrMatrix {
-            rows: self.rows,
-            cols: rhs.cols,
-            row_offsets,
-            col_indices,
-            values,
-        }
+        CsrMatrix { rows: self.rows, cols: rhs.cols, row_offsets, col_indices, values }
     }
 
     /// Max absolute element-wise difference, treating missing entries as 0.
@@ -222,9 +202,7 @@ impl From<std::io::Error> for MatrixMarketError {
 /// rejected with a descriptive error.
 pub fn read_matrix_market(reader: impl BufRead) -> Result<CsrMatrix, MatrixMarketError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| MatrixMarketError::Parse("empty file".into()))??;
+    let header = lines.next().ok_or_else(|| MatrixMarketError::Parse("empty file".into()))??;
     let h: Vec<String> = header.split_whitespace().map(|s| s.to_ascii_lowercase()).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(MatrixMarketError::Parse(format!("bad header: {header}")));
@@ -249,9 +227,8 @@ pub fn read_matrix_market(reader: impl BufRead) -> Result<CsrMatrix, MatrixMarke
 
     // Skip comments, read the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| MatrixMarketError::Parse("missing size line".into()))??;
+        let line =
+            lines.next().ok_or_else(|| MatrixMarketError::Parse("missing size line".into()))??;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -260,7 +237,9 @@ pub fn read_matrix_market(reader: impl BufRead) -> Result<CsrMatrix, MatrixMarke
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| MatrixMarketError::Parse(format!("bad size line: {size_line}"))))
+        .map(|t| {
+            t.parse().map_err(|_| MatrixMarketError::Parse(format!("bad size line: {size_line}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(MatrixMarketError::Parse(format!("bad size line: {size_line}")));
@@ -303,9 +282,7 @@ pub fn read_matrix_market(reader: impl BufRead) -> Result<CsrMatrix, MatrixMarke
         seen += 1;
     }
     if seen != nnz {
-        return Err(MatrixMarketError::Parse(format!(
-            "expected {nnz} entries, found {seen}"
-        )));
+        return Err(MatrixMarketError::Parse(format!("expected {nnz} entries, found {seen}")));
     }
     Ok(CsrMatrix::from_coo(rows, cols, entries))
 }
@@ -354,10 +331,10 @@ pub mod generators {
         class: StructureClass,
         seed: u64,
     ) -> CsrMatrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut entries: Vec<(usize, usize, f64)> = Vec::with_capacity(target_nnz + n);
         for i in 0..n {
-            entries.push((i, i, 4.0 + rng.gen::<f64>()));
+            entries.push((i, i, 4.0 + rng.gen_f64()));
         }
         // Remaining off-diagonal budget, added in mirrored pairs.
         let budget = target_nnz.saturating_sub(n) / 2;
@@ -375,7 +352,7 @@ pub mod generators {
                 }
                 StructureClass::Uniform => (rng.gen_range(0..n), rng.gen_range(0..n)),
                 StructureClass::BlockDense { block } => {
-                    if rng.gen::<f64>() < 0.9 {
+                    if rng.gen_f64() < 0.9 {
                         // in-block entry
                         let b = rng.gen_range(0..n.div_ceil(block));
                         let lo = b * block;
@@ -414,13 +391,38 @@ pub mod generators {
 
     /// The seven matrices of Table II with their replica parameters.
     pub const TABLE2: [Table2Entry; 7] = [
-        Table2Entry { name: "dwt_193", n: 193, nnz: 1843, class: StructureClass::Banded { half_bandwidth: 20 } },
+        Table2Entry {
+            name: "dwt_193",
+            n: 193,
+            nnz: 1843,
+            class: StructureClass::Banded { half_bandwidth: 20 },
+        },
         Table2Entry { name: "Journals", n: 128, nnz: 6096, class: StructureClass::Uniform },
-        Table2Entry { name: "Heart1", n: 3600, nnz: 1_387_773, class: StructureClass::BlockDense { block: 360 } },
+        Table2Entry {
+            name: "Heart1",
+            n: 3600,
+            nnz: 1_387_773,
+            class: StructureClass::BlockDense { block: 360 },
+        },
         Table2Entry { name: "ash292", n: 292, nnz: 2208, class: StructureClass::Uniform },
-        Table2Entry { name: "bcsstk13", n: 2003, nnz: 83_883, class: StructureClass::Banded { half_bandwidth: 120 } },
-        Table2Entry { name: "cegb2802", n: 2802, nnz: 277_362, class: StructureClass::Banded { half_bandwidth: 200 } },
-        Table2Entry { name: "comsol", n: 1500, nnz: 97_645, class: StructureClass::Banded { half_bandwidth: 130 } },
+        Table2Entry {
+            name: "bcsstk13",
+            n: 2003,
+            nnz: 83_883,
+            class: StructureClass::Banded { half_bandwidth: 120 },
+        },
+        Table2Entry {
+            name: "cegb2802",
+            n: 2802,
+            nnz: 277_362,
+            class: StructureClass::Banded { half_bandwidth: 200 },
+        },
+        Table2Entry {
+            name: "comsol",
+            n: 1500,
+            nnz: 97_645,
+            class: StructureClass::Banded { half_bandwidth: 130 },
+        },
     ];
 
     /// Builds the synthetic replica of a Table II matrix by name.
@@ -530,7 +532,8 @@ mod tests {
 
     #[test]
     fn matrix_market_symmetric_and_pattern() {
-        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 3\n1 1\n2 1\n3 2\n";
+        let text =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 3\n1 1\n2 1\n3 2\n";
         let m = read_matrix_market(text.as_bytes()).unwrap();
         // mirrored: (0,0),(1,0),(0,1),(2,1),(1,2)
         assert_eq!(m.nnz(), 5);
@@ -541,7 +544,8 @@ mod tests {
     #[test]
     fn matrix_market_rejects_garbage() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n".as_bytes())
+            .is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n".as_bytes()
         )
@@ -591,11 +595,7 @@ mod tests {
             assert_eq!(m.cols(), e.n);
             let got = m.nnz() as f64;
             let want = e.nnz as f64;
-            assert!(
-                (got - want).abs() / want < 0.15,
-                "{}: nnz {got} vs target {want}",
-                e.name
-            );
+            assert!((got - want).abs() / want < 0.15, "{}: nnz {got} vs target {want}", e.name);
         }
     }
 

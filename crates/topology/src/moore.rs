@@ -39,7 +39,8 @@ pub fn grid_dims(n: usize, spec: MooreSpec) -> Option<Vec<usize>> {
         }
         // Try sides close to the d-th root first for near-cubic grids.
         let root = (n as f64).powf(1.0 / d as f64).round() as usize;
-        let mut candidates: Vec<usize> = (min_side.max(start)..=n).filter(|s| n % s == 0).collect();
+        let mut candidates: Vec<usize> =
+            (min_side.max(start)..=n).filter(|s| n.is_multiple_of(*s)).collect();
         candidates.sort_by_key(|&s| s.abs_diff(root));
         for s in candidates {
             if let Some(mut rest) = search(n / s, d - 1, min_side, s) {

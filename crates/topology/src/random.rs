@@ -6,8 +6,7 @@
 //! Neighbor line of work the paper compares against.
 
 use crate::graph::{Rank, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::DetRng;
 
 /// Generates a directed Erdős–Rényi graph G(n, δ), seeded and reproducible.
 ///
@@ -19,7 +18,7 @@ use rand::{Rng, SeedableRng};
 /// Panics unless `0.0 <= delta <= 1.0`.
 pub fn erdos_renyi(n: usize, delta: f64, seed: u64) -> Topology {
     assert!((0.0..=1.0).contains(&delta), "delta must be in [0, 1], got {delta}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     if delta == 0.0 || n < 2 {
         return Topology::from_edges(n, []);
     }
@@ -55,7 +54,7 @@ pub fn erdos_renyi(n: usize, delta: f64, seed: u64) -> Topology {
     } else {
         for i in 0..n {
             for j in 0..n {
-                if i != j && rng.gen::<f64>() < delta {
+                if i != j && rng.gen_f64() < delta {
                     edges.push((i, j));
                 }
             }
@@ -71,11 +70,11 @@ pub fn erdos_renyi(n: usize, delta: f64, seed: u64) -> Topology {
 /// exchanges); the paper's RSG benchmark uses the directed variant.
 pub fn erdos_renyi_symmetric(n: usize, delta: f64, seed: u64) -> Topology {
     assert!((0.0..=1.0).contains(&delta), "delta must be in [0, 1], got {delta}");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut edges = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            if rng.gen::<f64>() < delta {
+            if rng.gen_f64() < delta {
                 edges.push((i, j));
                 edges.push((j, i));
             }

@@ -1,0 +1,224 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The workspace needs reproducible randomness in three places: the
+//! synthetic workload generators ([`crate::random`], [`crate::matrix`]),
+//! the benchmark placement shuffles, and the fault-injection layer in
+//! `nhood-core`, which must make *stateless* per-message decisions (the
+//! same `(seed, src, dst, tag, attempt)` tuple always yields the same
+//! verdict, no matter which thread asks first). Both uses are served
+//! here: [`DetRng`] is a sequential xoshiro256** generator seeded via
+//! SplitMix64, and [`hash_mix`] is the stateless mixing function.
+//!
+//! None of this is cryptographic; it only needs good equidistribution
+//! and speed.
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+/// The standard seeding primitive for the xoshiro family.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a word list into one well-distributed u64 — the stateless
+/// counterpart of [`DetRng`], used for per-message fault decisions.
+/// Order-sensitive: `hash_mix(&[a, b]) != hash_mix(&[b, a])` in general.
+pub fn hash_mix(words: &[u64]) -> u64 {
+    let mut state = 0x6A09_E667_F3BC_C909; // sqrt(2) fraction, arbitrary
+    let mut acc = 0u64;
+    for &w in words {
+        state ^= w;
+        acc = acc.rotate_left(23) ^ splitmix64(&mut state);
+    }
+    // one extra scramble so short inputs are well mixed too
+    let mut fin = acc ^ state;
+    splitmix64(&mut fin)
+}
+
+/// Maps a u64 to the unit interval `[0, 1)` using the top 53 bits.
+#[inline]
+pub fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded xoshiro256** generator: deterministic across platforms and
+/// runs, `Clone` for reproducible forks.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Seeds the generator from a single word (SplitMix64 expansion, the
+    /// construction recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self { s: std::array::from_fn(|_| splitmix64(&mut sm)) }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform sample from a range; see [`SampleRange`] for the supported
+    /// range shapes (`usize` half-open/inclusive, `f64` half-open).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// Uniform `usize` in `[0, bound)` via Lemire's multiply-shift
+    /// (with rejection to remove modulo bias).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn gen_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        let bound = bound as u64;
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Range shapes [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Out;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut DetRng) -> Self::Out;
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut DetRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_below(self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Out = usize;
+    fn sample(self, rng: &mut DetRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.gen_below(hi - lo + 1)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Out = u64;
+    fn sample(self, rng: &mut DetRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_below((self.end - self.start) as usize) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        let mut c = DetRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_interval_and_bounds() {
+        let mut r = DetRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let u = r.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let v = r.gen_range(5usize..=5);
+            assert_eq!(v, 5);
+            let x = r.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut r = DetRng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.gen_below(10)] += 1;
+        }
+        for &c in &counts {
+            let expect = n as f64 / 10.0;
+            assert!((c as f64 - expect).abs() < 5.0 * expect.sqrt(), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "overwhelmingly unlikely to be identity");
+    }
+
+    #[test]
+    fn hash_mix_is_stateless_and_order_sensitive() {
+        assert_eq!(hash_mix(&[1, 2, 3]), hash_mix(&[1, 2, 3]));
+        assert_ne!(hash_mix(&[1, 2, 3]), hash_mix(&[3, 2, 1]));
+        assert_ne!(hash_mix(&[0]), hash_mix(&[0, 0]));
+        // decision probabilities derived from hash_mix are roughly uniform
+        let p = 0.05;
+        let hits = (0..100_000u64).filter(|&i| unit_f64(hash_mix(&[42, i, 7])) < p).count();
+        assert!((hits as f64 - 5_000.0).abs() < 500.0, "{hits}");
+    }
+}

@@ -112,7 +112,7 @@ mod tests {
     fn r1_2d_is_the_plus_stencil() {
         let g = von_neumann_on_grid(&[4, 4], 1);
         // rank 5 = (1,1): neighbors (0,1)=1, (2,1)=9, (1,0)=4, (1,2)=6
-        let mut want = vec![1usize, 9, 4, 6];
+        let mut want = [1usize, 9, 4, 6];
         want.sort_unstable();
         assert_eq!(g.out_neighbors(5), &want[..]);
     }

@@ -55,9 +55,7 @@ fn main() {
     // --- allgatherv: ragged payloads ------------------------------------
     let ragged: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 16 + (r % 5) * 24]).collect();
     let v_naive = comm.neighbor_allgatherv(Algorithm::Naive, &ragged).expect("allgatherv");
-    let v_dh = comm
-        .neighbor_allgatherv(Algorithm::DistanceHalving, &ragged)
-        .expect("allgatherv");
+    let v_dh = comm.neighbor_allgatherv(Algorithm::DistanceHalving, &ragged).expect("allgatherv");
     assert_eq!(v_naive, v_dh);
     println!("\nallgatherv: ragged payloads (16..112 B) agree across algorithms");
 
@@ -73,9 +71,7 @@ fn main() {
         })
         .collect();
     let a_naive = comm.neighbor_alltoall(Algorithm::Naive, &sbufs, m).expect("alltoall");
-    let a_dh = comm
-        .neighbor_alltoall(Algorithm::DistanceHalving, &sbufs, m)
-        .expect("alltoall");
+    let a_dh = comm.neighbor_alltoall(Algorithm::DistanceHalving, &sbufs, m).expect("alltoall");
     assert_eq!(a_naive, a_dh);
     let naive_plan = comm.alltoall_plan(Algorithm::Naive).expect("plan");
     let dh_plan = comm.alltoall_plan(Algorithm::DistanceHalving).expect("plan");

@@ -25,10 +25,7 @@ fn pack(state: &[f64]) -> Vec<u8> {
 }
 
 fn unpack(bytes: &[u8]) -> Vec<f64> {
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect()
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
 }
 
 fn main() {
@@ -50,9 +47,7 @@ fn main() {
 
     for it in 0..ITERATIONS {
         let payloads: Vec<Vec<u8>> = state.iter().map(|s| pack(s)).collect();
-        let dh = comm
-            .neighbor_allgather(Algorithm::DistanceHalving, &payloads)
-            .expect("allgather");
+        let dh = comm.neighbor_allgather(Algorithm::DistanceHalving, &payloads).expect("allgather");
         let naive = comm.neighbor_allgather(Algorithm::Naive, &payloads).expect("allgather");
         assert_eq!(dh, naive, "iteration {it}: algorithms disagree");
 

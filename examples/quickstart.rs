@@ -15,20 +15,14 @@ fn main() {
     let n = 256;
     let graph = erdos_renyi(n, 0.2, 42);
     let layout = ClusterLayout::new(8, 2, 16);
-    println!(
-        "topology: {n} ranks, {} edges (density {:.3})",
-        graph.edge_count(),
-        graph.density()
-    );
+    println!("topology: {n} ranks, {} edges (density {:.3})", graph.edge_count(), graph.density());
     let comm = DistGraphComm::create_adjacent(graph, layout).expect("layout fits");
 
     // 2. Every rank contributes an 8-byte payload; run the collective
     //    for real (virtual executor) with each algorithm and check that
     //    all three deliver identical receive buffers.
     let payloads: Vec<Vec<u8>> = (0..n).map(|r| (r as u64).to_le_bytes().to_vec()).collect();
-    let reference = comm
-        .neighbor_allgather(Algorithm::Naive, &payloads)
-        .expect("naive allgather");
+    let reference = comm.neighbor_allgather(Algorithm::Naive, &payloads).expect("naive allgather");
     for algo in [Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving] {
         let got = comm.neighbor_allgather(algo, &payloads).expect("allgather");
         assert_eq!(got, reference, "{algo} must deliver the same data");
@@ -43,10 +37,7 @@ fn main() {
     );
     for m in [32usize, 1024, 32768, 1 << 20] {
         let tn = comm.latency(Algorithm::Naive, m, &cost).expect("sim").makespan;
-        let tc = comm
-            .latency(Algorithm::CommonNeighbor { k: 8 }, m, &cost)
-            .expect("sim")
-            .makespan;
+        let tc = comm.latency(Algorithm::CommonNeighbor { k: 8 }, m, &cost).expect("sim").makespan;
         let td = comm.latency(Algorithm::DistanceHalving, m, &cost).expect("sim").makespan;
         println!(
             "{:>10} {:>10.1}us {:>10.1}us {:>10.1}us {:>7.2}x",

@@ -23,26 +23,18 @@ fn main() {
         eprintln!("unknown Table II matrix: {name}");
         std::process::exit(2);
     });
-    println!(
-        "matrix {name}: {}x{}, {} nonzeros (synthetic replica)",
-        x.rows(),
-        x.cols(),
-        x.nnz()
-    );
+    println!("matrix {name}: {}x{}, {} nonzeros (synthetic replica)", x.rows(), x.cols(), x.nnz());
 
     let parts = 64;
     let layout = ClusterLayout::niagara(2, 32);
     println!("distributing over {parts} processes on 2 nodes");
 
     // Run the kernel end-to-end with Distance Halving and verify.
-    let result = distributed_spmm(&x, &x, parts, &layout, Algorithm::DistanceHalving)
-        .expect("kernel runs");
+    let result =
+        distributed_spmm(&x, &x, parts, &layout, Algorithm::DistanceHalving).expect("kernel runs");
     let serial = x.multiply(&x);
     let err = result.z.max_abs_diff(&serial);
-    println!(
-        "Z = X*X: {} nonzeros, max |distributed - serial| = {err:.2e}",
-        result.z.nnz()
-    );
+    println!("Z = X*X: {} nonzeros, max |distributed - serial| = {err:.2e}", result.z.nnz());
     assert!(err < 1e-9, "distributed product must match the serial one");
 
     let stats = result.topology.degree_stats();
@@ -64,9 +56,7 @@ fn main() {
         .expect("sim")
         .makespan;
     for algo in [Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving] {
-        let t = simulate(&comm.plan(algo).expect("plan"), &layout, m, &cost)
-            .expect("sim")
-            .makespan;
+        let t = simulate(&comm.plan(algo).expect("plan"), &layout, m, &cost).expect("sim").makespan;
         println!("{algo}: {:.1} us ({:.2}x over naive's {:.1} us)", t * 1e6, tn / t, tn * 1e6);
     }
 }

@@ -1,0 +1,230 @@
+//! Chaos suite: seeded fault schedules against the threaded executor,
+//! the distributed negotiation, and the robust communicator API.
+//!
+//! The invariant under test everywhere: **a faulted run either returns
+//! buffers exactly equal to `reference_allgather`, or a typed
+//! error/fallback — never silently corrupted data, never a hang.**
+//! Every schedule is seeded, so failures reproduce exactly.
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::builder::BuildError;
+use nhood_core::distributed_builder::build_pattern_distributed_faulty;
+use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
+use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+use nhood_core::fault::FaultPlan;
+use nhood_core::lower::lower;
+use nhood_core::{Algorithm, DistGraphComm, RobustPolicy};
+use nhood_topology::{MooreSpec, Topology};
+use std::time::{Duration, Instant};
+
+/// Runs `plan`-style chaos on the robust communicator: every outcome
+/// must be exact-or-typed. Returns (ok, fallback, error) tallies.
+fn robust_sweep(
+    graph: &Topology,
+    layout: ClusterLayout,
+    algo: Algorithm,
+    schedules: &[FaultPlan],
+    deadline: Duration,
+) -> (usize, usize, usize) {
+    let payloads = test_payloads(graph.n(), 16, 0xBEEF);
+    let want = reference_allgather(graph, &payloads);
+    let (mut ok, mut fell, mut err) = (0, 0, 0);
+    for fp in schedules {
+        let comm = DistGraphComm::create_adjacent(graph.clone(), layout.clone())
+            .unwrap()
+            .with_policy(RobustPolicy {
+                recv_timeout: deadline,
+                negotiation_timeout: deadline,
+                ..RobustPolicy::default()
+            })
+            .with_fault_plan(fp.clone());
+        let t0 = Instant::now();
+        match comm.neighbor_allgather_robust(algo, &payloads) {
+            Ok((bufs, report)) => {
+                assert_eq!(
+                    bufs,
+                    want,
+                    "seed {}: corrupted buffers ({report}) — the one forbidden outcome",
+                    fp.seed()
+                );
+                if report.clean() {
+                    ok += 1;
+                } else {
+                    fell += 1;
+                }
+            }
+            Err(_) => err += 1, // typed by construction
+        }
+        assert!(
+            t0.elapsed() < deadline * 4 + Duration::from_secs(5),
+            "seed {}: run exceeded its termination bound",
+            fp.seed()
+        );
+    }
+    (ok, fell, err)
+}
+
+#[test]
+fn erdos_renyi_drop_delay_reorder_sweep() {
+    let g = nhood_topology::random::erdos_renyi(32, 0.3, 17);
+    let layout = ClusterLayout::new(4, 2, 4);
+    for &p in &[0.02, 0.1, 0.3] {
+        let schedules: Vec<FaultPlan> = (0..4)
+            .map(|s| {
+                FaultPlan::seeded(s * 1009 + 1)
+                    .with_message_drop(p)
+                    .with_message_delay(p, Duration::from_micros(300))
+                    .with_message_reorder(p)
+            })
+            .collect();
+        let (ok, fell, err) = robust_sweep(
+            &g,
+            layout.clone(),
+            Algorithm::DistanceHalving,
+            &schedules,
+            Duration::from_millis(1500),
+        );
+        // every run classified; moderate rates should mostly complete
+        assert_eq!(ok + fell + err, 4);
+        if p <= 0.1 {
+            assert!(ok + fell >= 3, "drop {p}: only {ok}+{fell} of 4 runs produced buffers");
+        }
+    }
+}
+
+#[test]
+fn moore_topology_survives_chaos() {
+    // 8×8 Moore neighborhood graph (radius 1): the paper's structured
+    // stencil case, denser per-rank than ER at the same n
+    let g = nhood_topology::moore::moore(64, MooreSpec { r: 1, d: 2 });
+    let layout = ClusterLayout::new(8, 2, 4);
+    let schedules: Vec<FaultPlan> = (0..3)
+        .map(|s| FaultPlan::seeded(0xA0 ^ s).with_message_drop(0.05).with_message_reorder(0.1))
+        .collect();
+    let (ok, fell, err) =
+        robust_sweep(&g, layout, Algorithm::DistanceHalving, &schedules, Duration::from_secs(5));
+    assert_eq!(ok + fell + err, 3);
+    assert!(
+        ok + fell == 3,
+        "5% drops must be survivable on Moore(64): ok={ok} fell={fell} err={err}"
+    );
+}
+
+#[test]
+fn naive_plan_is_chaos_tolerant_too() {
+    let g = nhood_topology::random::erdos_renyi(24, 0.4, 23);
+    let layout = ClusterLayout::new(3, 2, 4);
+    let schedules: Vec<FaultPlan> = (0..3)
+        .map(|s| FaultPlan::seeded(100 + s).with_message_drop(0.08).with_message_duplication(0.1))
+        .collect();
+    let (ok, _, err) =
+        robust_sweep(&g, layout, Algorithm::Naive, &schedules, Duration::from_secs(5));
+    assert_eq!(ok, 3, "err={err}");
+}
+
+#[test]
+fn crashed_rank_is_timeout_class_never_a_hang() {
+    // regression: a crashed rank used to leave peers blocked on recv
+    // forever; it must now surface as a timeout-class typed error within
+    // the configured budget on every executor path
+    let g = nhood_topology::random::erdos_renyi(16, 0.4, 31);
+    let layout = ClusterLayout::new(2, 2, 4);
+    let plan = {
+        let comm = DistGraphComm::create_adjacent(g.clone(), layout).unwrap();
+        comm.plan(Algorithm::DistanceHalving).unwrap()
+    };
+    let payloads = test_payloads(16, 8, 4);
+    for crash_phase in 0..plan.phase_count().min(3) {
+        let fp = FaultPlan::seeded(7).with_crashed_rank(5, crash_phase);
+        let cfg = ThreadedConfig {
+            recv_timeout: Duration::from_millis(200),
+            fault: Some(&fp),
+            ..ThreadedConfig::default()
+        };
+        let t0 = Instant::now();
+        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        assert!(err.is_timeout_class(), "crash at phase {crash_phase}: got {err:?}");
+        assert!(t0.elapsed() < Duration::from_secs(10), "crash at phase {crash_phase} hung");
+    }
+}
+
+#[test]
+fn negotiation_chaos_yields_valid_pattern_or_typed_timeout() {
+    let g = nhood_topology::random::erdos_renyi(24, 0.4, 11);
+    let layout = ClusterLayout::new(3, 2, 4);
+    for seed in 0..6u64 {
+        // rates from survivable to hostile
+        let p = [0.02, 0.05, 0.1, 0.3, 0.6, 0.95][seed as usize % 6];
+        let fp = FaultPlan::seeded(seed).with_message_drop(p);
+        let t0 = Instant::now();
+        match build_pattern_distributed_faulty(&g, &layout, Some(&fp), Duration::from_millis(400)) {
+            Ok(pat) => {
+                // a pattern that builds must be fully correct
+                let plan = lower(&pat, &g);
+                plan.validate(&g).expect("exactly-once delivery");
+                let payloads = test_payloads(24, 8, 9);
+                assert_eq!(
+                    run_virtual(&plan, &g, &payloads).unwrap(),
+                    reference_allgather(&g, &payloads)
+                );
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, BuildError::NegotiationTimeout { .. }),
+                    "seed {seed}: non-timeout error {e:?}"
+                );
+            }
+        }
+        assert!(t0.elapsed() < Duration::from_secs(30), "seed {seed} hung");
+    }
+}
+
+/// The acceptance bar from the issue: 64-rank Erdős–Rényi graph, 5%
+/// message drop, threaded execution — every seeded run terminates within
+/// its deadline and returns buffers identical to the reference, or a
+/// typed fallback/error.
+#[test]
+fn acceptance_64_rank_5pct_drop() {
+    let g = nhood_topology::random::erdos_renyi(64, 0.3, 2024);
+    let layout = ClusterLayout::new(8, 2, 4);
+    let schedules: Vec<FaultPlan> =
+        (0..5).map(|s| FaultPlan::seeded(0xACCE97 + s).with_message_drop(0.05)).collect();
+    let t0 = Instant::now();
+    let (ok, fell, err) =
+        robust_sweep(&g, layout, Algorithm::DistanceHalving, &schedules, Duration::from_secs(10));
+    assert_eq!(ok + fell + err, 5);
+    // 5% drop against a 4-retry budget: loss odds ≈ 3e-7 per message, so
+    // clean completion is the overwhelmingly expected outcome
+    assert!(ok >= 4, "ok={ok} fell={fell} err={err}");
+    assert!(t0.elapsed() < Duration::from_secs(120), "acceptance sweep exceeded its budget");
+}
+
+#[test]
+fn direct_threaded_exact_under_retry_budget() {
+    // bypass the robust wrapper: the raw executor itself must deliver
+    // exact buffers when the retry budget covers the drop rate
+    let g = nhood_topology::random::erdos_renyi(20, 0.5, 3);
+    let layout = ClusterLayout::new(3, 2, 4);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout).unwrap();
+    let payloads = test_payloads(20, 32, 1);
+    let want = reference_allgather(&g, &payloads);
+    for algo in [Algorithm::Naive, Algorithm::DistanceHalving, Algorithm::CommonNeighbor { k: 4 }] {
+        let plan = comm.plan(algo).unwrap();
+        for seed in 0..3 {
+            let fp = FaultPlan::seeded(seed)
+                .with_message_drop(0.1)
+                .with_message_duplication(0.1)
+                .with_message_reorder(0.2)
+                .with_message_delay(0.1, Duration::from_micros(200));
+            let cfg = ThreadedConfig {
+                recv_timeout: Duration::from_secs(5),
+                backoff_base: Duration::from_micros(50),
+                fault: Some(&fp),
+                ..ThreadedConfig::default()
+            };
+            let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg)
+                .unwrap_or_else(|e| panic!("{algo} seed {seed}: {e}"));
+            assert_eq!(rep.rbufs, want, "{algo} seed {seed}");
+        }
+    }
+}

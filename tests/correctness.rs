@@ -6,7 +6,7 @@ use nhood_cluster::{ClusterLayout, Placement};
 use nhood_core::exec::threaded::run_threaded;
 use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
 use nhood_core::{Algorithm, DistGraphComm};
-use nhood_topology::moore::{moore_on_grid, MooreSpec};
+use nhood_topology::moore::moore_on_grid;
 use nhood_topology::random::{erdos_renyi, erdos_renyi_symmetric};
 use nhood_topology::spmm_graph::spmm_topology;
 use nhood_topology::Topology;
@@ -87,8 +87,7 @@ fn degenerate_topologies() {
     // one directed edge crossing the whole machine
     check_all(&Topology::from_edges(16, [(0, 15)]), &layout, 8, "single edge");
     // a star: rank 0 broadcasts to everyone, receives from everyone
-    let star: Vec<(usize, usize)> =
-        (1..16).flat_map(|i| [(0usize, i), (i, 0usize)]).collect();
+    let star: Vec<(usize, usize)> = (1..16).flat_map(|i| [(0usize, i), (i, 0usize)]).collect();
     check_all(&Topology::from_edges(16, star), &layout, 8, "star");
     // a directed ring
     let ring: Vec<(usize, usize)> = (0..16).map(|i| (i, (i + 1) % 16)).collect();

@@ -14,11 +14,9 @@ fn small_table2_matrices_all_algorithms() {
     for name in ["dwt_193", "Journals", "ash292"] {
         let x = table2_matrix(name, 7).expect("known matrix");
         let want = x.multiply(&x);
-        for algo in [
-            Algorithm::Naive,
-            Algorithm::CommonNeighbor { k: 8 },
-            Algorithm::DistanceHalving,
-        ] {
+        for algo in
+            [Algorithm::Naive, Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving]
+        {
             let got = distributed_spmm(&x, &x, 64, &layout, algo)
                 .unwrap_or_else(|e| panic!("{name} {algo}: {e}"));
             assert_eq!(got.z.max_abs_diff(&want), 0.0, "{name} {algo}");
@@ -41,7 +39,8 @@ fn medium_table2_matrices_dh() {
 #[test]
 fn rectangular_product() {
     // Z = X (n×n) × Y (n×k as a sparse matrix with k < n columns)
-    let x = synth_symmetric(96, 900, nhood_topology::matrix::generators::StructureClass::Uniform, 1);
+    let x =
+        synth_symmetric(96, 900, nhood_topology::matrix::generators::StructureClass::Uniform, 1);
     let y = nhood_topology::CsrMatrix::from_coo(
         96,
         16,
