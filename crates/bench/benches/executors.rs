@@ -4,8 +4,9 @@
 use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::threaded::run_threaded;
-use nhood_core::exec::virtual_exec::{run_virtual, test_payloads};
+use nhood_core::exec::virtual_exec::{run_virtual, run_virtual_rec, test_payloads};
 use nhood_core::{Algorithm, DistGraphComm};
+use nhood_telemetry::CountingRecorder;
 use nhood_topology::random::erdos_renyi;
 
 fn main() {
@@ -26,5 +27,9 @@ fn main() {
         group.case(&format!("threaded/{algo}"), 10, bytes, || {
             run_threaded(&plan, &graph, &payloads).unwrap()
         });
+        // one instrumented pass: report what the plan actually moved
+        let rec = CountingRecorder::new(n);
+        run_virtual_rec(&plan, &graph, &payloads, &rec).unwrap();
+        group.counters(&format!("{algo}"), &rec.totals());
     }
 }

@@ -314,7 +314,7 @@ pub fn run_variance(scale: Scale, out: &Path) -> std::io::Result<Report> {
 }
 
 /// Extension experiment: the hierarchical leader baseline (SC'20, the
-/// paper's [9]) against naïve, Common Neighbor and Distance Halving in
+/// paper's \[9\]) against naïve, Common Neighbor and Distance Halving in
 /// the large-message regime where DH's buffer doubling hurts.
 pub fn run_leader(scale: Scale, out: &Path) -> std::io::Result<Report> {
     let (ranks, nodes) = scale.rsg_largest();

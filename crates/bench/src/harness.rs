@@ -52,6 +52,13 @@ impl Bench {
         }
         println!("{line}");
     }
+
+    /// Prints one telemetry counter-summary line for a case — the
+    /// message/byte/retry totals a `CountingRecorder` observed during a
+    /// run, so benches report *what* moved alongside how fast it moved.
+    pub fn counters(&self, name: &str, counts: &nhood_telemetry::Counts) {
+        println!("{:<40} counters: {counts}", format!("{}/{}", self.group, name));
+    }
 }
 
 #[cfg(test)]

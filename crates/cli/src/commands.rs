@@ -2,10 +2,15 @@
 //! capture their output.
 
 use crate::args::{parse_bytes, ArgError, Args};
-use nhood_cluster::ClusterLayout;
-use nhood_core::exec::sim_exec::simulate;
-use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+use nhood_cluster::{ClusterLayout, HockneyParams};
+use nhood_core::exec::sim_exec::{simulate, simulate_recorded};
+use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
+use nhood_core::exec::virtual_exec::{
+    reference_allgather, run_virtual, run_virtual_rec, test_payloads,
+};
 use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_simnet::{NicMode, SimConfig};
+use nhood_telemetry::{CountingRecorder, ModelPrediction, Recorder, SpanRecorder};
 use nhood_topology::io::{read_edge_list, write_edge_list};
 use nhood_topology::Topology;
 use std::io::Write;
@@ -53,6 +58,45 @@ pub fn parse_layout(args: &Args, n: usize) -> Result<ClusterLayout, ArgError> {
         )));
     }
     Ok(ClusterLayout::new(nodes, sockets, cores))
+}
+
+/// Parses the `--cost` flag shared by `simulate` and `trace`:
+/// `niagara` (default, LogGP-flavoured hierarchical costs), `classic`
+/// (pure-Hockney occupancy on the Niagara parameter set), or
+/// `flat:ALPHA:BETA` (uniform α seconds / β bytes-per-second at every
+/// locality level, no NIC serialization — the §V model verbatim).
+pub fn parse_cost(args: &Args) -> Result<SimCost, ArgError> {
+    let spec = args.get("cost").unwrap_or("niagara");
+    match spec {
+        "niagara" => Ok(SimCost::niagara()),
+        "classic" => Ok(SimCost {
+            net: SimConfig::classic(HockneyParams::niagara(), NicMode::default()),
+            ..SimCost::niagara()
+        }),
+        _ => {
+            let mut it = spec.split(':');
+            if it.next() != Some("flat") {
+                return Err(fail(format!(
+                    "unknown --cost '{spec}' (niagara | classic | flat:ALPHA:BETA)"
+                )));
+            }
+            let mut num = |name: &str| -> Result<f64, ArgError> {
+                it.next()
+                    .ok_or_else(|| fail(format!("--cost flat:ALPHA:BETA is missing {name}")))?
+                    .parse::<f64>()
+                    .map_err(|e| fail(format!("bad {name} in --cost '{spec}': {e}")))
+            };
+            let alpha = num("ALPHA")?;
+            let beta = num("BETA")?;
+            if it.next().is_some() {
+                return Err(fail(format!("--cost '{spec}' has trailing fields")));
+            }
+            Ok(SimCost {
+                net: SimConfig::classic(HockneyParams::flat(alpha, beta), NicMode::Off),
+                memcpy_bytes_per_sec: f64::INFINITY,
+            })
+        }
+    }
 }
 
 /// Loads a topology from an edge-list file.
@@ -170,7 +214,7 @@ pub fn cmd_simulate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
             .map_err(|e| fail(e.to_string()))?;
         comm.plan(algo).map_err(|e| fail(e.to_string()))?
     };
-    let cost = SimCost::niagara();
+    let cost = parse_cost(args)?;
     writeln!(w, "{:>12} {:>14} {:>12} {:>12}", "msg size", "latency", "internode", "intrasocket")?;
     for m in sizes {
         let rep = simulate(&plan, &layout, m, &cost).map_err(|e| fail(e.to_string()))?;
@@ -274,31 +318,130 @@ pub fn cmd_recommend(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `nhood trace <edge-list> [--algo ..] [--size 4K] [--out trace.csv]`
-/// — simulate one collective and dump the per-message timeline.
+/// `nhood trace <edge-list> [--algo ..] [--size 4K]
+/// [--backend virtual|threaded|sim] [--format csv|chrome|summary|model-check]
+/// [--out FILE] [--cost ..] [layout flags]` — run one collective under a
+/// telemetry recorder and export what it saw:
+///
+/// * `csv` (default; sim backend only): the per-message simulated
+///   timeline, unchanged from earlier releases;
+/// * `chrome`: a Chrome-tracing / Perfetto JSON timeline, one track per
+///   rank — simulated time under `--backend sim`, wall-clock under
+///   `threaded`;
+/// * `summary`: the per-rank counter table;
+/// * `model-check`: measured per-rank means against the paper's §V
+///   predictions (E\[n_off\], E\[n_in\], E\[m_in\]) with relative errors.
 pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let path = args.pos(1).ok_or_else(|| fail("trace: missing edge-list file"))?;
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
     let m = parse_bytes(args.get("size").unwrap_or("4K"))?;
-    let comm =
-        DistGraphComm::create_adjacent(graph, layout.clone()).map_err(|e| fail(e.to_string()))?;
-    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
-    let cost = SimCost::niagara();
-    let schedule = nhood_core::exec::sim_exec::to_schedule(&plan, m, &cost);
-    let (report, traces) = nhood_simnet::Engine::new(&layout, cost.net)
-        .run_traced(&schedule)
+    let cost = parse_cost(args)?;
+    let backend = args.get("backend").unwrap_or("sim");
+    if !matches!(backend, "virtual" | "threaded" | "sim") {
+        return Err(fail(format!("unknown --backend '{backend}' (virtual | threaded | sim)")));
+    }
+    let format = args.get("format").unwrap_or("csv");
+    let comm = DistGraphComm::create_adjacent(graph.clone(), layout.clone())
         .map_err(|e| fail(e.to_string()))?;
-    let out_path = args.get("out").unwrap_or("trace.csv");
-    let f = std::fs::File::create(out_path)?;
-    nhood_simnet::write_trace_csv(&traces, std::io::BufWriter::new(f))?;
-    writeln!(
-        w,
-        "{} messages traced over {:.2} us; timeline written to {out_path}",
-        traces.len(),
-        report.makespan * 1e6
-    )?;
+    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+
+    // Runs the chosen backend once with `rec` observing it.
+    let run_backend = |rec: &dyn Recorder| -> Result<(), ArgError> {
+        match backend {
+            "sim" => {
+                simulate_recorded(&plan, &layout, m, &cost, rec)
+                    .map_err(|e| fail(e.to_string()))?;
+            }
+            "threaded" => {
+                let payloads = test_payloads(graph.n(), m, 0xC0FFEE);
+                let cfg = ThreadedConfig { recorder: rec, ..ThreadedConfig::default() };
+                run_threaded_cfg(&plan, &graph, &payloads, &cfg)
+                    .map_err(|e| fail(e.to_string()))?;
+            }
+            _ => {
+                let payloads = test_payloads(graph.n(), m, 0xC0FFEE);
+                run_virtual_rec(&plan, &graph, &payloads, rec).map_err(|e| fail(e.to_string()))?;
+            }
+        }
+        Ok(())
+    };
+    let counting = || {
+        let socket_of = (0..graph.n())
+            .map(|r| {
+                let loc = layout.location(r);
+                loc.node * layout.sockets_per_node() + loc.socket
+            })
+            .collect();
+        CountingRecorder::with_sockets(socket_of)
+    };
+
+    match format {
+        "csv" => {
+            if backend != "sim" {
+                return Err(fail("--format csv needs --backend sim (simulated timestamps)"));
+            }
+            let schedule = nhood_core::exec::sim_exec::to_schedule(&plan, m, &cost);
+            let (report, traces) = nhood_simnet::Engine::new(&layout, cost.net)
+                .run_traced(&schedule)
+                .map_err(|e| fail(e.to_string()))?;
+            let out_path = args.get("out").unwrap_or("trace.csv");
+            let f = std::fs::File::create(out_path)?;
+            nhood_simnet::write_trace_csv(&traces, std::io::BufWriter::new(f))?;
+            writeln!(
+                w,
+                "{} messages traced over {:.2} us; timeline written to {out_path}",
+                traces.len(),
+                report.makespan * 1e6
+            )?;
+        }
+        "chrome" => {
+            if backend == "virtual" {
+                return Err(fail(
+                    "--backend virtual has no clock; use sim or threaded for --format chrome",
+                ));
+            }
+            let spans = SpanRecorder::new();
+            run_backend(&spans)?;
+            let out_path = args.get("out").unwrap_or("trace.json");
+            std::fs::write(out_path, nhood_telemetry::chrome_trace_json(&spans.events()))?;
+            writeln!(
+                w,
+                "{} span events written to {out_path} (open in chrome://tracing or Perfetto)",
+                spans.len()
+            )?;
+        }
+        "summary" => {
+            let rec = counting();
+            run_backend(&rec)?;
+            write!(w, "{}", nhood_telemetry::summary_table(&rec))?;
+        }
+        "model-check" => {
+            let rec = counting();
+            run_backend(&rec)?;
+            let params = nhood_core::model::ModelParams {
+                n: graph.n(),
+                s: layout.sockets_per_node(),
+                l: layout.ranks_per_socket(),
+                delta: graph.density(),
+                alpha: 1.3e-6,
+                beta: 10.5e9,
+            };
+            let pred = ModelPrediction {
+                off_socket_msgs: params.expected_off_socket_msgs(),
+                intra_socket_msgs: params.expected_intra_socket_msgs(),
+                intra_socket_bytes: params.expected_intra_socket_bytes(m),
+            };
+            writeln!(w, "backend {backend}, {algo}, {} ranks, {m}-byte payloads", graph.n())?;
+            write!(w, "{}", nhood_telemetry::model_check_report(&rec, &pred))?;
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown --format '{other}' (csv | chrome | summary | model-check)"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -359,7 +502,7 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         let (mut ok, mut fell, mut err, mut corrupt) = (0usize, 0usize, 0usize, 0usize);
         let (mut injected, mut retries) = (0u64, 0u64);
         for run in 0..runs {
-            let fp = FaultPlan::seeded(seed ^ (run as u64).wrapping_mul(0x9e37_79b9))
+            let fp = FaultPlan::seeded(nhood_topology::rng::hash_mix(&[seed, run as u64]))
                 .with_message_drop(p)
                 .with_message_delay(p / 2.0, Duration::from_micros(200))
                 .with_message_reorder(p / 2.0);
@@ -403,7 +546,8 @@ mod tests {
     const SPEC: Spec = Spec {
         valued: &[
             "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-            "sizes", "size", "out", "save", "load", "drops", "runs", "timeout",
+            "sizes", "size", "out", "save", "load", "drops", "runs", "timeout", "backend",
+            "format", "cost",
         ],
         switches: &[],
     };
@@ -468,6 +612,95 @@ mod tests {
         let csv = std::fs::read_to_string(&trace_path).unwrap();
         assert!(csv.starts_with("src,dst,tag,bytes,level,posted,arrival"));
         assert!(csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn trace_formats_and_backends() {
+        let path = tmp("nhood_cli_trace_fmt.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "32", "--delta", "0.4"]), &mut out).unwrap();
+
+        // chrome format, sim backend: valid JSON-looking timeline file
+        let json_path = tmp("nhood_cli_trace.json");
+        let mut out = Vec::new();
+        cmd_trace(&args(&["trace", &path, "--format", "chrome", "--out", &json_path]), &mut out)
+            .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("span events"));
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("thread_name"), "{json}");
+
+        // summary and model-check on every backend
+        for backend in ["virtual", "threaded", "sim"] {
+            let mut out = Vec::new();
+            cmd_trace(
+                &args(&["trace", &path, "--backend", backend, "--format", "summary"]),
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8_lossy(&out).to_string();
+            assert!(text.contains("total"), "{backend}: {text}");
+
+            let mut out = Vec::new();
+            cmd_trace(
+                &args(&["trace", &path, "--backend", backend, "--format", "model-check"]),
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8_lossy(&out).to_string();
+            assert!(text.contains("E[n_off]"), "{backend}: {text}");
+            assert!(text.contains("predicted") && text.contains("measured"), "{backend}: {text}");
+        }
+
+        // invalid combinations fail typed
+        let mut out = Vec::new();
+        assert!(cmd_trace(
+            &args(&["trace", &path, "--backend", "virtual", "--format", "csv"]),
+            &mut out
+        )
+        .is_err());
+        assert!(cmd_trace(
+            &args(&["trace", &path, "--backend", "virtual", "--format", "chrome"]),
+            &mut out
+        )
+        .is_err());
+        assert!(cmd_trace(&args(&["trace", &path, "--format", "bogus"]), &mut out).is_err());
+        assert!(cmd_trace(&args(&["trace", &path, "--backend", "bogus"]), &mut out).is_err());
+    }
+
+    #[test]
+    fn cost_flag_is_shared_and_validated() {
+        assert!(parse_cost(&args(&["x", "--cost", "niagara"])).is_ok());
+        assert!(parse_cost(&args(&["x", "--cost", "classic"])).is_ok());
+        let flat = parse_cost(&args(&["x", "--cost", "flat:1e-6:1e9"])).unwrap();
+        assert_eq!(flat.net.cpu_overhead, None);
+        assert!(parse_cost(&args(&["x", "--cost", "flat:1e-6"])).is_err());
+        assert!(parse_cost(&args(&["x", "--cost", "flat:a:b"])).is_err());
+        assert!(parse_cost(&args(&["x", "--cost", "flat:1:2:3"])).is_err());
+        assert!(parse_cost(&args(&["x", "--cost", "hockney"])).is_err());
+
+        // trace and simulate both honour it
+        let path = tmp("nhood_cli_cost.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "24", "--delta", "0.3"]), &mut out).unwrap();
+        let mut fast = Vec::new();
+        cmd_simulate(
+            &args(&["simulate", &path, "--sizes", "4K", "--cost", "flat:1e-6:1e9"]),
+            &mut fast,
+        )
+        .unwrap();
+        let mut slow = Vec::new();
+        cmd_simulate(
+            &args(&["simulate", &path, "--sizes", "4K", "--cost", "flat:1e-3:1e6"]),
+            &mut slow,
+        )
+        .unwrap();
+        assert_ne!(fast, slow, "cost flag must change simulated latencies");
+        let csv_path = tmp("nhood_cli_cost_trace.csv");
+        let mut out = Vec::new();
+        cmd_trace(&args(&["trace", &path, "--cost", "classic", "--out", &csv_path]), &mut out)
+            .unwrap();
+        assert!(std::fs::read_to_string(&csv_path).unwrap().starts_with("src,dst,tag"));
     }
 
     #[test]

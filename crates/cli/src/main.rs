@@ -20,7 +20,8 @@ use args::{Args, Spec};
 const SPEC: Spec = Spec {
     valued: &[
         "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-        "sizes", "size", "out", "save", "load", "drops", "runs", "timeout",
+        "sizes", "size", "out", "save", "load", "drops", "runs", "timeout", "backend", "format",
+        "cost",
     ],
     switches: &["help"],
 };
@@ -31,10 +32,13 @@ nhood <command> [args]
 commands:
   gen <er|moore|vonneumann> <out-file> --n N [--delta D | --r R --d DIM] [--seed S]
   plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin] [layout flags]
-  simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M] [layout flags]
+  simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M]
+           [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   compare <edge-list> [--sizes ..] [--k K] [layout flags]
   validate <edge-list> [--algo ..] [layout flags]
-  trace <edge-list> [--algo ..] [--size 4K] [--out trace.csv] [layout flags]
+  trace <edge-list> [--algo ..] [--size 4K] [--backend virtual|threaded|sim]
+        [--format csv|chrome|summary|model-check] [--out FILE]
+        [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   recommend <edge-list> [--size 4K] [layout flags]
   chaos <edge-list> [--algo ..] [--drops 0.01,0.05,0.1] [--runs 5] [--seed 42]
         [--size 32] [--timeout 5000] [layout flags]

@@ -2,7 +2,8 @@
 //!
 //! The paper's performance model (§V) charges `α + m/β` per message. Real
 //! clusters have different α/β at each locality level; the simulator uses
-//! one [`Hockney`] pair per [`Locality`] level. The [`niagara`]
+//! one [`Hockney`] pair per [`Locality`] level. The
+//! [`HockneyParams::niagara`]
 //! preset approximates the paper's testbed (EDR InfiniBand, Dragonfly+,
 //! dual-socket Skylake/Cascade Lake) from published ping-pong figures —
 //! absolute values are not the point, the level *ordering* and rough

@@ -18,7 +18,7 @@
 //!   with one thread per rank over real channels — the closest analogue
 //!   of the paper's MPI-side code.
 //!
-//! Both share [`assemble_pattern`]: given each step's (agent, origin)
+//! Both share `assemble_pattern`: given each step's (agent, origin)
 //! decisions, the responsibility bookkeeping (descriptor `D`, `O_org`,
 //! buffer growth) is identical.
 //!

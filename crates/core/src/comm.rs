@@ -17,7 +17,7 @@
 
 use crate::builder::{build_pattern, BuildError};
 use crate::common_neighbor::plan_common_neighbor;
-use crate::distributed_builder::build_pattern_distributed_faulty;
+use crate::distributed_builder::build_pattern_distributed_recorded;
 use crate::exec::sim_exec::{simulate, SimCost};
 use crate::exec::threaded::{run_threaded_cfg, ThreadedConfig, DEFAULT_TIMEOUT};
 use crate::exec::virtual_exec::run_virtual;
@@ -28,6 +28,7 @@ use crate::naive::plan_naive;
 use crate::plan::{Algorithm, CollectivePlan};
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
+use nhood_telemetry::{Counts, Recorder, NULL};
 use nhood_topology::Topology;
 use std::time::Duration;
 
@@ -148,6 +149,11 @@ pub struct ExecReport {
     pub fallback: Option<FallbackReason>,
     /// Faults injected and retries spent (summed over a fallback re-run).
     pub faults: FaultCounts,
+    /// Telemetry counter totals, when the run was given a counting
+    /// recorder (see
+    /// [`DistGraphComm::neighbor_allgather_robust_recorded`]); `None`
+    /// otherwise.
+    pub counters: Option<Counts>,
 }
 
 impl ExecReport {
@@ -160,11 +166,15 @@ impl ExecReport {
 impl std::fmt::Display for ExecReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.fallback {
-            None => write!(f, "{} ok ({})", self.used, self.faults),
+            None => write!(f, "{} ok ({})", self.used, self.faults)?,
             Some(r) => {
-                write!(f, "{} -> {} fallback: {r} ({})", self.requested, self.used, self.faults)
+                write!(f, "{} -> {} fallback: {r} ({})", self.requested, self.used, self.faults)?
             }
         }
+        if let Some(c) = &self.counters {
+            write!(f, " [{c}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -325,13 +335,25 @@ impl DistGraphComm {
     /// exposed to injected faults; every other algorithm plans as
     /// [`Self::plan`].
     pub fn robust_plan(&self, algo: Algorithm) -> Result<CollectivePlan, CommError> {
+        self.robust_plan_recorded(algo, &NULL)
+    }
+
+    /// [`Self::robust_plan`] with a telemetry [`Recorder`]: the
+    /// distributed negotiation reports per-rank negotiation rounds,
+    /// signal retries and `negotiate` spans as it runs.
+    pub fn robust_plan_recorded(
+        &self,
+        algo: Algorithm,
+        rec: &dyn Recorder,
+    ) -> Result<CollectivePlan, CommError> {
         match algo {
             Algorithm::DistanceHalving => {
-                let pattern = build_pattern_distributed_faulty(
+                let pattern = build_pattern_distributed_recorded(
                     &self.graph,
                     &self.layout,
                     self.fault.as_ref(),
                     self.policy.negotiation_timeout,
+                    rec,
                 )?;
                 let plan = lower(&pattern, &self.graph);
                 plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
@@ -358,16 +380,34 @@ impl DistGraphComm {
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
+        self.neighbor_allgather_robust_recorded(algo, payloads, &NULL)
+    }
+
+    /// [`Self::neighbor_allgather_robust`] with a telemetry
+    /// [`Recorder`]: negotiation, execution, retries and the
+    /// degradation decision itself all report into `rec` (a fallback is
+    /// recorded against rank 0, the communicator-wide event's
+    /// representative). When `rec` keeps counters (a
+    /// `CountingRecorder`), their totals are copied into
+    /// [`ExecReport::counters`].
+    pub fn neighbor_allgather_robust_recorded(
+        &self,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
         let mut report = ExecReport {
             requested: algo,
             used: algo,
             fallback: None,
             faults: FaultCounts::default(),
+            counters: None,
         };
-        let plan = match self.robust_plan(algo) {
+        let plan = match self.robust_plan_recorded(algo, rec) {
             Ok(p) => Some(p),
             Err(e) => {
                 if self.policy.fallback_to_naive && algo != Algorithm::Naive {
+                    rec.fallback(0);
                     report.fallback = Some(FallbackReason::BuildFailed(e.to_string()));
                     report.used = Algorithm::Naive;
                     None
@@ -382,17 +422,20 @@ impl DistGraphComm {
             max_retries: self.policy.max_retries,
             backoff_base: self.policy.backoff_base,
             fault: self.fault.as_ref(),
+            recorder: rec,
         };
         if let Some(plan) = plan {
             match run_threaded_cfg(&plan, &self.graph, payloads, &cfg) {
                 Ok(run) => {
                     report.faults = run.faults;
+                    report.counters = rec.counts();
                     return Ok((run.rbufs, report));
                 }
                 Err(e) => {
                     if !(self.policy.fallback_to_naive && report.used != Algorithm::Naive) {
                         return Err(e.into());
                     }
+                    rec.fallback(0);
                     report.fallback = Some(FallbackReason::ExecFailed(e.to_string()));
                     report.used = Algorithm::Naive;
                 }
@@ -402,6 +445,7 @@ impl DistGraphComm {
         let naive = self.plan(Algorithm::Naive)?;
         let run = run_threaded_cfg(&naive, &self.graph, payloads, &cfg)?;
         report.faults = report.faults.merged(&run.faults);
+        report.counters = rec.counts();
         Ok((run.rbufs, report))
     }
 

@@ -47,6 +47,7 @@ use crate::builder::{assemble_pattern, check_inputs, segments_per_step, BuildErr
 use crate::fault::{FaultAction, FaultPlan};
 use crate::pattern::{split_half, DhPattern, SelectionStats};
 use nhood_cluster::ClusterLayout;
+use nhood_telemetry::{labels, Recorder, NULL};
 use nhood_topology::{Bitset, Rank, Topology};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -119,6 +120,20 @@ pub fn build_pattern_distributed_faulty(
     fault: Option<&FaultPlan>,
     recv_timeout: Duration,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_distributed_recorded(graph, layout, fault, recv_timeout, &NULL)
+}
+
+/// [`build_pattern_distributed_faulty`] with a telemetry [`Recorder`]:
+/// every rank reports a `negotiate` span per halving step, one
+/// negotiation-round event per proposer/acceptor role it plays, and a
+/// retry event per retransmitted control signal.
+pub fn build_pattern_distributed_recorded(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    fault: Option<&FaultPlan>,
+    recv_timeout: Duration,
+    rec: &dyn Recorder,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let n = graph.n();
     let l = layout.ranks_per_socket();
@@ -151,20 +166,19 @@ pub fn build_pattern_distributed_faulty(
     let senders = Arc::new(senders);
 
     type RankOutcome = (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats);
-    let results: Vec<Result<RankOutcome, BuildError>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for p in 0..n {
-                let rx = receivers[p].take().expect("taken once");
-                let senders = Arc::clone(&senders);
-                let out_sets = Arc::clone(&out_sets);
-                let my_roles = roles[p].clone();
-                handles.push(scope.spawn(move || {
-                    rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-        });
+    let results: Vec<Result<RankOutcome, BuildError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for p in 0..n {
+            let rx = receivers[p].take().expect("taken once");
+            let senders = Arc::clone(&senders);
+            let out_sets = Arc::clone(&out_sets);
+            let my_roles = roles[p].clone();
+            handles.push(scope.spawn(move || {
+                rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout, rec)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
 
     // Convert per-rank outcomes into per-step decision lists.
     let mut stats = SelectionStats::default();
@@ -192,6 +206,7 @@ type RankOutcome = (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats);
 /// The per-rank thread: walks its halving steps, playing proposer and
 /// acceptor in the order of Algorithm 1 lines 14–24 (lower half proposes
 /// in round 0, upper half in round 1).
+#[allow(clippy::too_many_arguments)]
 fn rank_main(
     p: Rank,
     rx: Receiver<Signal>,
@@ -200,6 +215,7 @@ fn rank_main(
     roles: Vec<Option<StepRole>>,
     fault: Option<&FaultPlan>,
     recv_timeout: Duration,
+    rec: &dyn Recorder,
 ) -> Result<RankOutcome, BuildError> {
     let mut stats = SelectionStats::default();
     let mut parked: HashMap<(u32, u8), Vec<Signal>> = HashMap::new();
@@ -216,6 +232,7 @@ fn rank_main(
                 std::thread::sleep(stall);
             }
         }
+        rec.span_begin(p, labels::NEGOTIATE);
         let t = t as u32;
         let (h2, my_half) =
             if role.am_lower { (role.upper, role.lower) } else { (role.lower, role.upper) };
@@ -236,6 +253,7 @@ fn rank_main(
                     rx: &rx,
                     fault,
                     recv_timeout,
+                    rec,
                 },
                 &proposer_cands,
                 &mut stats,
@@ -250,6 +268,7 @@ fn rank_main(
                     rx: &rx,
                     fault,
                     recv_timeout,
+                    rec,
                 },
                 &acceptor_cands,
                 &mut stats,
@@ -266,6 +285,7 @@ fn rank_main(
                     rx: &rx,
                     fault,
                     recv_timeout,
+                    rec,
                 },
                 &acceptor_cands,
                 &mut stats,
@@ -280,12 +300,14 @@ fn rank_main(
                     rx: &rx,
                     fault,
                     recv_timeout,
+                    rec,
                 },
                 &proposer_cands,
                 &mut stats,
             )?;
             (agent, origin)
         };
+        rec.span_end(p, labels::NEGOTIATE);
         outcomes.push((agent, origin));
     }
     Ok((outcomes, stats))
@@ -320,6 +342,7 @@ struct Round<'a> {
     rx: &'a Receiver<Signal>,
     fault: Option<&'a FaultPlan>,
     recv_timeout: Duration,
+    rec: &'a dyn Recorder,
 }
 
 impl<'a> Round<'a> {
@@ -358,6 +381,7 @@ impl<'a> Round<'a> {
                     if attempt >= SIGNAL_MAX_RETRIES {
                         return; // lost for good; the peer's timeout reports it
                     }
+                    self.rec.retry(self.p);
                     std::thread::sleep(SIGNAL_BACKOFF.saturating_mul(1 << attempt.min(16)));
                     attempt += 1;
                 }
@@ -399,6 +423,7 @@ fn propose(
     stats: &mut SelectionStats,
 ) -> Result<Option<Rank>, BuildError> {
     stats.agent_searches += 1;
+    net.rec.negotiation_round(net.p);
     let mut state: HashMap<Rank, PairState> =
         cands.iter().map(|&c| (c, PairState::default())).collect();
     let mut selected: Option<Rank> = None;
@@ -458,6 +483,7 @@ fn accept(
     cands: &[Rank],
     stats: &mut SelectionStats,
 ) -> Result<Option<Rank>, BuildError> {
+    net.rec.negotiation_round(net.p);
     let mut state: HashMap<Rank, PairState> =
         cands.iter().map(|&c| (c, PairState::default())).collect();
     let mut selected: Option<Rank> = None;

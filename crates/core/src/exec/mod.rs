@@ -18,7 +18,23 @@ pub mod sim_exec;
 pub mod threaded;
 pub mod virtual_exec;
 
+use crate::plan::{Algorithm, CollectivePlan};
 use nhood_topology::Rank;
+
+/// The telemetry label for phase `k` of `plan` (see
+/// `nhood_telemetry::labels`). Distance Halving plans are lock-step:
+/// phases `0..max_steps` are halving steps, then one mostly-intra-socket
+/// final exchange and a copy-only epilogue; other algorithms have no
+/// halving structure and get the generic label.
+pub fn phase_label(plan: &CollectivePlan, k: usize) -> &'static str {
+    match plan.algorithm {
+        Algorithm::DistanceHalving if k + 2 < plan.phase_count() => {
+            nhood_telemetry::labels::HALVING_STEP
+        }
+        Algorithm::DistanceHalving => nhood_telemetry::labels::INTRA_SOCKET,
+        _ => nhood_telemetry::labels::PHASE,
+    }
+}
 
 /// Execution failure, shared by the virtual and threaded backends.
 #[derive(Debug, PartialEq, Eq)]

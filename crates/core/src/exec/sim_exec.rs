@@ -70,6 +70,22 @@ pub fn simulate(
     Engine::new(layout, cost.net).run(&schedule)
 }
 
+/// Like [`simulate`], but also replays every simulated message into
+/// `rec` (see [`Engine::run_recorded`]): counters tally one
+/// message/byte pair per planned transfer and span recorders get a
+/// simulated-time track per rank, making the sim backend's telemetry
+/// directly comparable with the virtual and threaded executors'.
+pub fn simulate_recorded(
+    plan: &CollectivePlan,
+    layout: &ClusterLayout,
+    m: usize,
+    cost: &SimCost,
+    rec: &dyn nhood_telemetry::Recorder,
+) -> Result<SimReport, SimError> {
+    let schedule = to_schedule(plan, m, cost);
+    Engine::new(layout, cost.net).run_recorded(&schedule, rec)
+}
+
 /// Lowers `plan` to a schedule with *per-rank* payload sizes — the
 /// `neighbor_allgatherv` variant. A message's bytes are the sum of its
 /// blocks' sizes; copy charges use the mean block size (the plan records
@@ -212,6 +228,22 @@ mod tests {
         );
         // and it does so with far fewer inter-node messages
         assert!(dh.stats.internode_msgs() < naive.stats.internode_msgs() / 2);
+    }
+
+    #[test]
+    fn simulate_recorded_matches_plan_statics() {
+        let g = erdos_renyi(16, 0.4, 3);
+        let layout = ClusterLayout::new(2, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let m = 64;
+        let rec = nhood_telemetry::CountingRecorder::new(plan.n());
+        let rep = simulate_recorded(&plan, &layout, m, &SimCost::niagara(), &rec).unwrap();
+        assert!(rep.makespan > 0.0);
+        let totals = rec.totals();
+        assert_eq!(totals.msgs_sent as usize, plan.message_count());
+        assert_eq!(totals.msgs_recvd as usize, plan.message_count());
+        assert_eq!(totals.bytes_sent as usize, plan.total_blocks_sent() * m);
+        assert_eq!(totals.bytes_recvd as usize, plan.total_blocks_sent() * m);
     }
 
     #[test]

@@ -25,9 +25,10 @@
 //! chased by the chaos suite: **identical-to-reference buffers or a
 //! typed error — never silent corruption, never a hang.**
 
-use crate::exec::{check_payloads, ExecError};
+use crate::exec::{check_payloads, phase_label, ExecError};
 use crate::fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
 use crate::plan::CollectivePlan;
+use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -56,7 +57,7 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 /// Execution parameters of the threaded backend. `Default` matches the
 /// historical behaviour: 10 s receive timeout, no phase deadline, no
 /// faults, no retries needed.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy)]
 pub struct ThreadedConfig<'a> {
     /// How long one blocked receive may wait before erroring.
     pub recv_timeout: Duration,
@@ -70,6 +71,21 @@ pub struct ThreadedConfig<'a> {
     pub backoff_base: Duration,
     /// Fault schedule to consult at every send; `None` injects nothing.
     pub fault: Option<&'a FaultPlan>,
+    /// Telemetry sink; the default [`nhood_telemetry::NULL`] makes every
+    /// hook a no-op.
+    pub recorder: &'a dyn Recorder,
+}
+
+impl std::fmt::Debug for ThreadedConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedConfig")
+            .field("recv_timeout", &self.recv_timeout)
+            .field("phase_deadline", &self.phase_deadline)
+            .field("max_retries", &self.max_retries)
+            .field("backoff_base", &self.backoff_base)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ThreadedConfig<'_> {
@@ -80,6 +96,7 @@ impl Default for ThreadedConfig<'_> {
             max_retries: 4,
             backoff_base: Duration::from_micros(200),
             fault: None,
+            recorder: &NULL,
         }
     }
 }
@@ -168,6 +185,8 @@ fn transport_send(
     cfg: &ThreadedConfig<'_>,
     stats: &FaultStats,
 ) {
+    // one logical message per call, however many attempts it takes
+    cfg.recorder.msg_sent(wire.src, dst, wire.blocks.iter().map(|(_, d)| d.len()).sum());
     let Some(fp) = cfg.fault else {
         // a send can only fail if the peer already exited on error; the
         // peer's error is the root cause
@@ -200,6 +219,7 @@ fn transport_send(
                     return;
                 }
                 FaultStats::bump(&stats.retries);
+                cfg.recorder.retry(wire.src);
                 // bounded exponential backoff: base * 2^attempt
                 std::thread::sleep(cfg.backoff_base.saturating_mul(1 << attempt.min(16)));
                 attempt += 1;
@@ -228,6 +248,7 @@ fn run_inner(
         receivers.push(Some(rx));
     }
     let senders = Arc::new(senders);
+    let labels: Vec<&'static str> = (0..plan.phase_count()).map(|k| phase_label(plan, k)).collect();
 
     let results: Vec<Result<Vec<u8>, ExecError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -237,8 +258,9 @@ fn run_inner(
             let program = &plan.per_rank[r];
             let my_payload = &payloads[r];
             let stats = &stats;
+            let labels = &labels;
             handles.push(scope.spawn(move || -> Result<Vec<u8>, ExecError> {
-                rank_main(r, program, my_payload, payloads, graph, &senders, rx, cfg, stats)
+                rank_main(r, program, labels, my_payload, payloads, graph, &senders, rx, cfg, stats)
             }));
         }
         handles
@@ -256,6 +278,7 @@ fn run_inner(
 fn rank_main(
     r: Rank,
     program: &[crate::plan::PlanPhase],
+    labels: &[&'static str],
     my_payload: &[u8],
     payloads: &[Vec<u8>],
     graph: &Topology,
@@ -269,6 +292,10 @@ fn rank_main(
     // messages that arrived before their phase
     let mut parked: HashMap<(Rank, u64), Wire> = HashMap::new();
     for (k, phase) in program.iter().enumerate() {
+        cfg.recorder.span_begin(r, labels[k]);
+        if phase.copy_blocks > 0 {
+            cfg.recorder.copies(r, phase.copy_blocks);
+        }
         if let Some(fp) = cfg.fault {
             if fp.is_crashed(r, k) {
                 return Err(ExecError::RankCrashed { rank: r, phase: k });
@@ -312,6 +339,7 @@ fn rank_main(
         // consume parked arrivals first
         outstanding.retain(|key| {
             if let Some(w) = parked.remove(key) {
+                cfg.recorder.msg_recvd(r, w.src, w.blocks.iter().map(|(_, d)| d.len()).sum());
                 for (b, data) in w.blocks {
                     store.entry(b).or_insert(data);
                 }
@@ -338,6 +366,7 @@ fn rank_main(
             })?;
             let key = (w.src, w.tag);
             if outstanding.remove(&key) {
+                cfg.recorder.msg_recvd(r, w.src, w.blocks.iter().map(|(_, d)| d.len()).sum());
                 for (b, data) in w.blocks {
                     store.entry(b).or_insert(data);
                 }
@@ -348,6 +377,7 @@ fn rank_main(
                 parked.insert(key, w);
             }
         }
+        cfg.recorder.span_end(r, labels[k]);
     }
     // assemble the receive buffer
     let ins = graph.in_neighbors(r);
@@ -487,10 +517,12 @@ mod tests {
         let plan = plan_naive(&g);
         let payloads = test_payloads(16, 8, 6);
         let fp = FaultPlan::seeded(77).with_message_drop(0.2);
+        let rec = nhood_telemetry::CountingRecorder::new(16);
         let cfg = ThreadedConfig {
             recv_timeout: Duration::from_secs(5),
             backoff_base: Duration::from_micros(50),
             fault: Some(&fp),
+            recorder: &rec,
             ..ThreadedConfig::default()
         };
         let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
@@ -498,6 +530,44 @@ mod tests {
         assert!(rep.faults.drops > 0, "20% drop on a dense 16-rank naive plan must fire");
         assert!(rep.faults.retries >= rep.faults.drops - rep.faults.lost);
         assert_eq!(rep.faults.lost, 0, "retry budget should recover every drop here");
+        // the telemetry recorder sees the same retry tally as FaultStats
+        assert_eq!(rec.totals().retries, rep.faults.retries);
+    }
+
+    #[test]
+    fn recorder_counts_agree_with_virtual_executor() {
+        let g = erdos_renyi(20, 0.4, 7);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let payloads = test_payloads(20, 16, 9);
+        let vrec = nhood_telemetry::CountingRecorder::new(20);
+        crate::exec::virtual_exec::run_virtual_rec(&plan, &g, &payloads, &vrec).unwrap();
+        let trec = nhood_telemetry::CountingRecorder::new(20);
+        let cfg = ThreadedConfig { recorder: &trec, ..ThreadedConfig::default() };
+        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
+        for r in 0..20 {
+            assert_eq!(vrec.per_rank(r), trec.per_rank(r), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn span_recorder_sees_balanced_phase_spans() {
+        let g = erdos_renyi(12, 0.4, 2);
+        let layout = ClusterLayout::new(2, 2, 3);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let payloads = test_payloads(12, 8, 0);
+        let rec = nhood_telemetry::SpanRecorder::new();
+        let cfg = ThreadedConfig { recorder: &rec, ..ThreadedConfig::default() };
+        run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        let events = rec.events();
+        // every rank opens and closes one span per phase
+        let begins = events.iter().filter(|e| e.kind == nhood_telemetry::EventKind::Begin).count();
+        let ends = events.iter().filter(|e| e.kind == nhood_telemetry::EventKind::End).count();
+        assert_eq!(begins, 12 * plan.phase_count());
+        assert_eq!(begins, ends);
+        assert!(events.iter().any(|e| e.label == nhood_telemetry::labels::HALVING_STEP));
+        assert!(events.iter().any(|e| e.label == nhood_telemetry::labels::INTRA_SOCKET));
     }
 
     #[test]
@@ -543,6 +613,7 @@ mod tests {
             max_retries: 2,
             backoff_base: Duration::from_micros(10),
             fault: Some(&fp),
+            ..ThreadedConfig::default()
         };
         let t0 = Instant::now();
         let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();

@@ -8,6 +8,7 @@
 
 use crate::exec::{check_payloads, ExecError};
 use crate::plan::CollectivePlan;
+use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,8 +23,19 @@ pub fn run_virtual(
     graph: &Topology,
     payloads: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ExecError> {
+    run_virtual_rec(plan, graph, payloads, &NULL)
+}
+
+/// [`run_virtual`] with a telemetry [`Recorder`]: message sends /
+/// deliveries and per-phase copy charges are reported as they happen.
+pub fn run_virtual_rec(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    rec: &dyn Recorder,
+) -> Result<Vec<Vec<u8>>, ExecError> {
     check_payloads(payloads, plan.n())?;
-    run_any(plan, graph, payloads)
+    run_any(plan, graph, payloads, rec)
 }
 
 /// The `neighbor_allgatherv` variant of [`run_virtual`]: per-rank
@@ -35,16 +47,27 @@ pub fn run_virtual_v(
     graph: &Topology,
     payloads: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ExecError> {
+    run_virtual_v_rec(plan, graph, payloads, &NULL)
+}
+
+/// [`run_virtual_v`] with a telemetry [`Recorder`].
+pub fn run_virtual_v_rec(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    rec: &dyn Recorder,
+) -> Result<Vec<Vec<u8>>, ExecError> {
     if payloads.len() != plan.n() {
         return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
     }
-    run_any(plan, graph, payloads)
+    run_any(plan, graph, payloads, rec)
 }
 
 fn run_any(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
+    rec: &dyn Recorder,
 ) -> Result<Vec<Vec<u8>>, ExecError> {
     let n = plan.n();
 
@@ -57,24 +80,32 @@ fn run_any(
     for k in 0..plan.phase_count() {
         // Assemble all sends against pre-phase stores.
         // (dst, packed blocks) pairs staged against pre-phase stores
-        type InFlight = Vec<(Rank, Vec<(Rank, Arc<Vec<u8>>)>)>;
+        type InFlight = Vec<(Rank, Rank, Vec<(Rank, Arc<Vec<u8>>)>)>;
         let mut in_flight: InFlight = Vec::new();
         for (r, prog) in plan.per_rank.iter().enumerate() {
+            if prog[k].copy_blocks > 0 {
+                rec.copies(r, prog[k].copy_blocks);
+            }
             for msg in &prog[k].sends {
                 let mut packed = Vec::with_capacity(msg.blocks.len());
+                let mut bytes = 0usize;
                 for &b in &msg.blocks {
                     let data = store[r].get(&b).ok_or(ExecError::MissingBlock {
                         rank: r,
                         block: b,
                         phase: k,
                     })?;
+                    bytes += data.len();
                     packed.push((b, Arc::clone(data)));
                 }
-                in_flight.push((msg.peer, packed));
+                rec.msg_sent(r, msg.peer, bytes);
+                in_flight.push((r, msg.peer, packed));
             }
         }
         // Deliver.
-        for (dst, packed) in in_flight {
+        for (src, dst, packed) in in_flight {
+            let bytes = packed.iter().map(|(_, d)| d.len()).sum();
+            rec.msg_recvd(dst, src, bytes);
             for (b, data) in packed {
                 store[dst].entry(b).or_insert(data);
             }
@@ -260,6 +291,22 @@ mod tests {
             run_virtual(&plan_naive(&g), &g, &payloads),
             Err(ExecError::PayloadSizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn recorder_counts_match_plan_statics() {
+        let g = erdos_renyi(24, 0.3, 5);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let payloads = test_payloads(24, 8, 1);
+        let rec = nhood_telemetry::CountingRecorder::new(24);
+        let got = run_virtual_rec(&plan, &g, &payloads, &rec).unwrap();
+        assert_eq!(got, reference_allgather(&g, &payloads));
+        let t = rec.totals();
+        assert_eq!(t.msgs_sent as usize, plan.message_count());
+        assert_eq!(t.msgs_sent, t.msgs_recvd);
+        assert_eq!(t.bytes_sent, t.bytes_recvd);
+        assert_eq!(t.bytes_sent as usize, plan.total_blocks_sent() * 8);
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl FaultPlan {
 
     /// Extra per-message latency for the simulator: the expected delay
     /// contribution of the delay fault, deterministically spread over
-    /// messages (same hash stream as [`send_action`]).
+    /// messages (same hash stream as [`Self::send_action`]).
     pub fn sim_jitter(&self, src: Rank, dst: Rank, tag: u64) -> Duration {
         if self.delay_p == 0.0 {
             return Duration::ZERO;

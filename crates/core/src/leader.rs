@@ -1,6 +1,6 @@
 //! A hierarchical leader-based neighborhood allgather — the large-message
 //! baseline of the literature (Ghazimirsaeed et al., SC'20, the paper's
-//! reference [9]), implemented for comparison in the regime where
+//! reference \[9\]), implemented for comparison in the regime where
 //! Distance Halving's buffer doubling hurts.
 //!
 //! Three phases under block placement:

@@ -42,7 +42,7 @@ pub enum Algorithm {
     /// The paper's topology- and load-aware Distance Halving algorithm.
     DistanceHalving,
     /// Hierarchical leader-based allgather (Ghazimirsaeed et al.,
-    /// SC'20 — the paper's reference [9]): node leaders aggregate,
+    /// SC'20 — the paper's reference \[9\]): node leaders aggregate,
     /// exchange one combined message per node pair, then scatter.
     HierarchicalLeader {
         /// Leaders per node (blocks assigned round-robin).

@@ -1,6 +1,6 @@
 //! The discrete-event timing engine.
 //!
-//! Executes a [`Schedule`](crate::schedule::Schedule) against a cluster
+//! Executes a [`Schedule`] against a cluster
 //! layout and a hierarchical Hockney parameter set, and reports when every
 //! rank finishes.
 //!
@@ -342,6 +342,36 @@ impl<'a> Engine<'a> {
             .collect();
         traces.sort_by(|a, b| a.posted.partial_cmp(&b.posted).expect("finite"));
         Ok((report, traces))
+    }
+
+    /// Like [`run`](Self::run), but replays every simulated message into
+    /// `rec` afterwards: one `msg_sent`/`msg_recvd` pair per message plus
+    /// a [`span_at`](nhood_telemetry::Recorder::span_at) on the sending
+    /// rank's track covering posting→arrival in *simulated* seconds.
+    /// Same-socket transfers are labelled
+    /// [`INTRA_SOCKET`](nhood_telemetry::labels::INTRA_SOCKET), everything
+    /// farther is [`HALVING_STEP`](nhood_telemetry::labels::HALVING_STEP)
+    /// — the locality split the paper's model predicts, so the recorder's
+    /// counters line up with the virtual/threaded executors' phase labels.
+    pub fn run_recorded(
+        &self,
+        schedule: &Schedule,
+        rec: &dyn nhood_telemetry::Recorder,
+    ) -> Result<SimReport, SimError> {
+        let (report, sent) = self.run_impl(schedule, None)?;
+        for m in schedule.all_sends() {
+            let level = self.layout.locality(m.src, m.dst);
+            let label = if level == Locality::SameSocket {
+                nhood_telemetry::labels::INTRA_SOCKET
+            } else {
+                nhood_telemetry::labels::HALVING_STEP
+            };
+            let info = sent[&(m.src, m.dst, m.tag)];
+            rec.msg_sent(m.src, m.dst, m.bytes);
+            rec.msg_recvd(m.dst, m.src, m.bytes);
+            rec.span_at(m.src, label, info.start, info.end);
+        }
+        Ok(report)
     }
 
     fn run_impl(
@@ -908,6 +938,41 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 4);
         assert!(text.starts_with("src,dst,tag,bytes,level,posted,arrival"));
+    }
+
+    #[test]
+    fn run_recorded_replays_every_message() {
+        let layout = ClusterLayout::new(2, 1, 2); // 4 ranks, sockets of 2
+        let mut s = Schedule::new(4);
+        s.push(0, vec![msg(0, 1, 100, 0), msg(0, 2, 100, 1)], vec![]);
+        s.push(1, vec![], vec![msg(0, 1, 100, 0)]);
+        s.push(2, vec![msg(2, 3, 100, 2)], vec![msg(0, 2, 100, 1)]);
+        s.push(3, vec![], vec![msg(2, 3, 100, 2)]);
+        let engine = Engine::new(&layout, SimConfig::niagara());
+        let rec = nhood_telemetry::CountingRecorder::new(4);
+        let report = engine.run_recorded(&s, &rec).unwrap();
+        assert_eq!(report.makespan, engine.run(&s).unwrap().makespan);
+        let totals = rec.totals();
+        assert_eq!(totals.msgs_sent, 3);
+        assert_eq!(totals.msgs_recvd, 3);
+        assert_eq!(totals.bytes_sent, 300);
+        assert_eq!(totals.bytes_recvd, 300);
+        assert_eq!(rec.per_rank(0).msgs_sent, 2);
+        assert_eq!(rec.per_rank(3).msgs_recvd, 1);
+        // span replay: one Complete span per message, labelled by locality
+        let spans = nhood_telemetry::SpanRecorder::new();
+        engine.run_recorded(&s, &spans).unwrap();
+        let events = spans.events();
+        assert_eq!(events.len(), 3);
+        let intra =
+            events.iter().filter(|e| e.label == nhood_telemetry::labels::INTRA_SOCKET).count();
+        assert_eq!(intra, 2); // 0->1 and 2->3 are same-socket
+        for e in &events {
+            match e.kind {
+                nhood_telemetry::EventKind::Complete { dur_us } => assert!(dur_us >= 0.0),
+                ref k => panic!("expected Complete, got {k:?}"),
+            }
+        }
     }
 
     #[test]

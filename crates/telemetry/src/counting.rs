@@ -1,0 +1,286 @@
+//! Per-rank atomic counters.
+
+use crate::{Rank, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One rank's counter cells. Updates use `Relaxed` ordering — counters
+/// are tallies, not synchronization, exactly like the fault layer's
+/// `FaultStats`.
+#[derive(Debug, Default)]
+struct Cells {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recvd: AtomicU64,
+    bytes_recvd: AtomicU64,
+    copies: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
+    negotiation_rounds: AtomicU64,
+    msgs_off_socket: AtomicU64,
+    bytes_off_socket: AtomicU64,
+    msgs_intra_socket: AtomicU64,
+    bytes_intra_socket: AtomicU64,
+}
+
+fn bump(cell: &AtomicU64, by: u64) {
+    cell.fetch_add(by, Ordering::Relaxed);
+}
+
+/// A plain-value snapshot of one rank's counters (or a sum over ranks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Messages handed to the transport.
+    pub msgs_sent: u64,
+    /// Payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Messages consumed.
+    pub msgs_recvd: u64,
+    /// Payload bytes consumed.
+    pub bytes_recvd: u64,
+    /// Block copies charged (pack/unpack).
+    pub copies: u64,
+    /// Dropped sends that were retried.
+    pub retries: u64,
+    /// Degradations to the fallback plan.
+    pub fallbacks: u64,
+    /// Completed agent-negotiation rounds.
+    pub negotiation_rounds: u64,
+    /// Sent messages whose destination lives on another socket
+    /// (only counted when a socket map was supplied).
+    pub msgs_off_socket: u64,
+    /// Bytes in off-socket sends.
+    pub bytes_off_socket: u64,
+    /// Sent messages whose destination shares the sender's socket.
+    pub msgs_intra_socket: u64,
+    /// Bytes in intra-socket sends.
+    pub bytes_intra_socket: u64,
+}
+
+impl Counts {
+    /// Element-wise sum of two snapshots.
+    #[must_use]
+    pub fn merged(self, o: Counts) -> Counts {
+        Counts {
+            msgs_sent: self.msgs_sent + o.msgs_sent,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+            msgs_recvd: self.msgs_recvd + o.msgs_recvd,
+            bytes_recvd: self.bytes_recvd + o.bytes_recvd,
+            copies: self.copies + o.copies,
+            retries: self.retries + o.retries,
+            fallbacks: self.fallbacks + o.fallbacks,
+            negotiation_rounds: self.negotiation_rounds + o.negotiation_rounds,
+            msgs_off_socket: self.msgs_off_socket + o.msgs_off_socket,
+            bytes_off_socket: self.bytes_off_socket + o.bytes_off_socket,
+            msgs_intra_socket: self.msgs_intra_socket + o.msgs_intra_socket,
+            bytes_intra_socket: self.bytes_intra_socket + o.bytes_intra_socket,
+        }
+    }
+}
+
+impl std::fmt::Display for Counts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sent {} msgs / {} B, recvd {} msgs / {} B, {} copies, \
+             {} retries, {} fallbacks, {} negotiation rounds",
+            self.msgs_sent,
+            self.bytes_sent,
+            self.msgs_recvd,
+            self.bytes_recvd,
+            self.copies,
+            self.retries,
+            self.fallbacks,
+            self.negotiation_rounds
+        )
+    }
+}
+
+/// Lock-free per-rank counters. Cheap enough to leave on in benchmarks:
+/// each hook is one or two relaxed `fetch_add`s on the caller rank's own
+/// cache line group.
+#[derive(Debug)]
+pub struct CountingRecorder {
+    cells: Vec<Cells>,
+    /// `socket_of[r]` = global socket index of rank `r`; enables the
+    /// off-socket / intra-socket split used by the model check.
+    socket_of: Option<Vec<usize>>,
+}
+
+impl CountingRecorder {
+    /// Counters for `n` ranks, without locality classification.
+    pub fn new(n: usize) -> Self {
+        Self { cells: (0..n).map(|_| Cells::default()).collect(), socket_of: None }
+    }
+
+    /// Counters for `socket_of.len()` ranks; sends are additionally
+    /// classified off-socket vs. intra-socket via the map.
+    pub fn with_sockets(socket_of: Vec<usize>) -> Self {
+        Self {
+            cells: (0..socket_of.len()).map(|_| Cells::default()).collect(),
+            socket_of: Some(socket_of),
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn n(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Snapshot of one rank's counters.
+    pub fn per_rank(&self, r: Rank) -> Counts {
+        let c = &self.cells[r];
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        Counts {
+            msgs_sent: ld(&c.msgs_sent),
+            bytes_sent: ld(&c.bytes_sent),
+            msgs_recvd: ld(&c.msgs_recvd),
+            bytes_recvd: ld(&c.bytes_recvd),
+            copies: ld(&c.copies),
+            retries: ld(&c.retries),
+            fallbacks: ld(&c.fallbacks),
+            negotiation_rounds: ld(&c.negotiation_rounds),
+            msgs_off_socket: ld(&c.msgs_off_socket),
+            bytes_off_socket: ld(&c.bytes_off_socket),
+            msgs_intra_socket: ld(&c.msgs_intra_socket),
+            bytes_intra_socket: ld(&c.bytes_intra_socket),
+        }
+    }
+
+    /// Sum over all ranks.
+    pub fn totals(&self) -> Counts {
+        (0..self.n()).map(|r| self.per_rank(r)).fold(Counts::default(), Counts::merged)
+    }
+
+    /// Whether sends are being classified by socket locality.
+    pub fn classifies_sockets(&self) -> bool {
+        self.socket_of.is_some()
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn msg_sent(&self, rank: Rank, peer: Rank, bytes: usize) {
+        let c = &self.cells[rank];
+        bump(&c.msgs_sent, 1);
+        bump(&c.bytes_sent, bytes as u64);
+        if let Some(sock) = &self.socket_of {
+            if sock[rank] == sock[peer] {
+                bump(&c.msgs_intra_socket, 1);
+                bump(&c.bytes_intra_socket, bytes as u64);
+            } else {
+                bump(&c.msgs_off_socket, 1);
+                bump(&c.bytes_off_socket, bytes as u64);
+            }
+        }
+    }
+
+    fn msg_recvd(&self, rank: Rank, _peer: Rank, bytes: usize) {
+        let c = &self.cells[rank];
+        bump(&c.msgs_recvd, 1);
+        bump(&c.bytes_recvd, bytes as u64);
+    }
+
+    fn copies(&self, rank: Rank, blocks: usize) {
+        bump(&self.cells[rank].copies, blocks as u64);
+    }
+
+    fn retry(&self, rank: Rank) {
+        bump(&self.cells[rank].retries, 1);
+    }
+
+    fn fallback(&self, rank: Rank) {
+        bump(&self.cells[rank].fallbacks, 1);
+    }
+
+    fn negotiation_round(&self, rank: Rank) {
+        bump(&self.cells[rank].negotiation_rounds, 1);
+    }
+
+    fn counts(&self) -> Option<Counts> {
+        Some(self.totals())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_rank() {
+        let rec = CountingRecorder::new(3);
+        rec.msg_sent(0, 1, 100);
+        rec.msg_sent(0, 2, 50);
+        rec.msg_recvd(1, 0, 100);
+        rec.copies(2, 4);
+        rec.retry(0);
+        rec.negotiation_round(1);
+        rec.fallback(0);
+
+        let r0 = rec.per_rank(0);
+        assert_eq!(r0.msgs_sent, 2);
+        assert_eq!(r0.bytes_sent, 150);
+        assert_eq!(r0.retries, 1);
+        assert_eq!(r0.fallbacks, 1);
+        assert_eq!(rec.per_rank(1).msgs_recvd, 1);
+        assert_eq!(rec.per_rank(1).negotiation_rounds, 1);
+        assert_eq!(rec.per_rank(2).copies, 4);
+
+        let t = rec.totals();
+        assert_eq!(t.msgs_sent, 2);
+        assert_eq!(t.bytes_sent, 150);
+        assert_eq!(t.bytes_recvd, 100);
+        assert_eq!(rec.counts(), Some(t));
+    }
+
+    #[test]
+    fn socket_map_classifies_sends() {
+        // ranks 0,1 on socket 0; ranks 2,3 on socket 1
+        let rec = CountingRecorder::with_sockets(vec![0, 0, 1, 1]);
+        rec.msg_sent(0, 1, 10); // intra
+        rec.msg_sent(0, 2, 20); // off
+        rec.msg_sent(3, 2, 30); // intra
+        let t = rec.totals();
+        assert_eq!(t.msgs_intra_socket, 2);
+        assert_eq!(t.bytes_intra_socket, 40);
+        assert_eq!(t.msgs_off_socket, 1);
+        assert_eq!(t.bytes_off_socket, 20);
+        assert!(rec.classifies_sockets());
+    }
+
+    #[test]
+    fn unclassified_recorder_leaves_locality_zero() {
+        let rec = CountingRecorder::new(2);
+        rec.msg_sent(0, 1, 10);
+        let t = rec.totals();
+        assert_eq!(t.msgs_sent, 1);
+        assert_eq!(t.msgs_off_socket + t.msgs_intra_socket, 0);
+    }
+
+    #[test]
+    fn merged_adds_elementwise() {
+        let a = Counts { msgs_sent: 1, bytes_sent: 2, ..Counts::default() };
+        let b = Counts { msgs_sent: 10, retries: 3, ..Counts::default() };
+        let m = a.merged(b);
+        assert_eq!(m.msgs_sent, 11);
+        assert_eq!(m.bytes_sent, 2);
+        assert_eq!(m.retries, 3);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let rec = std::sync::Arc::new(CountingRecorder::new(4));
+        let mut handles = Vec::new();
+        for r in 0..4 {
+            let rec = std::sync::Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    rec.msg_sent(r, (r + 1) % 4, 8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.totals().msgs_sent, 4000);
+        assert_eq!(rec.totals().bytes_sent, 32000);
+    }
+}

@@ -1,0 +1,143 @@
+//! Unified tracing & metrics for the `nhood` workspace.
+//!
+//! Every instrumented component — the three collective executors, the
+//! distributed agent negotiation, the fault layer and the discrete-event
+//! simulator — reports through one narrow [`Recorder`] trait. Callers
+//! that do not care pass [`NullRecorder`] (every hook is an empty default
+//! method, so the uninstrumented path costs one virtual call that inlines
+//! to nothing); callers that do care pick:
+//!
+//! * [`CountingRecorder`] — per-rank atomic counters (messages / bytes
+//!   sent and received, copies, retries, fallbacks, negotiation rounds),
+//!   optionally classified by socket locality so measurements can be
+//!   joined against the §V model's E\[n_off\] / E\[n_in\] / E\[m_in\];
+//! * [`SpanRecorder`] — timestamped begin/end/instant events with a rank
+//!   and a phase label, exportable as Chrome `chrome://tracing` JSON.
+//!
+//! Exporters: [`chrome_trace_json`] (one track per rank),
+//! a plain-text [`summary_table`], and a [`model_check_report`] with
+//! relative errors. This crate depends on nothing but `std` so it can sit
+//! underneath every other crate in the workspace.
+
+#![warn(missing_docs)]
+
+mod counting;
+mod export;
+mod span;
+
+pub use counting::{CountingRecorder, Counts};
+pub use export::{chrome_trace_json, model_check_report, summary_table, ModelPrediction};
+pub use span::{EventKind, SpanEvent, SpanRecorder};
+
+/// Rank index (mirrors `nhood_topology::Rank`; redeclared so this crate
+/// stays dependency-free).
+pub type Rank = usize;
+
+/// Canonical phase / event labels used by the instrumented components.
+pub mod labels {
+    /// A Distance Halving halving step (off-socket traffic).
+    pub const HALVING_STEP: &str = "halving_step";
+    /// The final mostly-intra-socket exchange (and its copy epilogue).
+    pub const INTRA_SOCKET: &str = "intra_socket";
+    /// One step of the distributed agent negotiation (Algorithms 2–3).
+    pub const NEGOTIATE: &str = "negotiate";
+    /// A retried send (fault layer backoff path).
+    pub const RETRY: &str = "retry";
+    /// Degradation to the naive plan (`neighbor_allgather_robust`).
+    pub const FALLBACK: &str = "fallback";
+    /// A plan phase of an algorithm without halving structure
+    /// (naive / Common Neighbor / leader).
+    pub const PHASE: &str = "phase";
+}
+
+/// The instrumentation surface. All hooks default to no-ops, so an
+/// implementor overrides only what it measures and `NullRecorder` is an
+/// empty type. Implementations must be `Sync`: the threaded executor and
+/// the distributed builder call hooks from one thread per rank.
+pub trait Recorder: Sync {
+    /// A message from `rank` to `peer` carrying `bytes` payload bytes was
+    /// handed to the transport (counted once even if the fault layer
+    /// retries or duplicates it).
+    fn msg_sent(&self, rank: Rank, peer: Rank, bytes: usize) {
+        let _ = (rank, peer, bytes);
+    }
+
+    /// A message from `peer` was consumed by `rank`.
+    fn msg_recvd(&self, rank: Rank, peer: Rank, bytes: usize) {
+        let _ = (rank, peer, bytes);
+    }
+
+    /// `rank` charged `blocks` block copies (pack/unpack work).
+    fn copies(&self, rank: Rank, blocks: usize) {
+        let _ = (rank, blocks);
+    }
+
+    /// `rank` retried a dropped send.
+    fn retry(&self, rank: Rank) {
+        let _ = rank;
+    }
+
+    /// The collective on `rank` degraded to its fallback plan.
+    fn fallback(&self, rank: Rank) {
+        let _ = rank;
+    }
+
+    /// `rank` completed one REQ/ACCEPT/DROP negotiation round.
+    fn negotiation_round(&self, rank: Rank) {
+        let _ = rank;
+    }
+
+    /// `rank` entered the phase `label` (wall-clock recorders stamp the
+    /// current time).
+    fn span_begin(&self, rank: Rank, label: &'static str) {
+        let _ = (rank, label);
+    }
+
+    /// `rank` left the phase `label`.
+    fn span_end(&self, rank: Rank, label: &'static str) {
+        let _ = (rank, label);
+    }
+
+    /// A complete span with explicit timestamps in seconds — used by the
+    /// simulator, whose clock is virtual.
+    fn span_at(&self, rank: Rank, label: &'static str, begin: f64, end: f64) {
+        let _ = (rank, label, begin, end);
+    }
+
+    /// Counter snapshot, if this recorder keeps counters
+    /// ([`CountingRecorder`] returns its totals). Lets callers holding
+    /// only a `&dyn Recorder` surface counts in reports.
+    fn counts(&self) -> Option<Counts> {
+        None
+    }
+}
+
+/// The zero-overhead recorder: every hook is the default no-op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// A `&'static` null recorder, handy as a default for configuration
+/// structs holding a `&dyn Recorder`.
+pub static NULL: NullRecorder = NullRecorder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_accepts_everything() {
+        let r: &dyn Recorder = &NULL;
+        r.msg_sent(0, 1, 64);
+        r.msg_recvd(1, 0, 64);
+        r.copies(0, 3);
+        r.retry(2);
+        r.fallback(0);
+        r.negotiation_round(1);
+        r.span_begin(0, labels::HALVING_STEP);
+        r.span_end(0, labels::HALVING_STEP);
+        r.span_at(0, labels::INTRA_SOCKET, 0.0, 1e-6);
+        assert!(r.counts().is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Timestamped span events.
+
+use crate::{labels, Rank, Recorder};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What kind of event a [`SpanEvent`] is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Phase entered at `us`.
+    Begin,
+    /// Phase left at `us`.
+    End,
+    /// A complete span: began at `us`, lasted `dur_us` microseconds.
+    Complete {
+        /// Span duration in microseconds.
+        dur_us: f64,
+    },
+    /// A point event (retry, fallback).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Rank the event belongs to (one Chrome track per rank).
+    pub rank: Rank,
+    /// Phase label (see [`labels`](crate::labels)).
+    pub label: &'static str,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Timestamp in microseconds. Wall-clock hooks measure from recorder
+    /// creation; [`Recorder::span_at`] uses the caller's (virtual) clock.
+    pub us: f64,
+}
+
+/// Collects timestamped events behind one mutex. The threaded executor's
+/// per-phase hooks are rare (a handful per rank per collective), so a
+/// mutex is cheap enough; hot per-message paths only hit this recorder
+/// when tracing was explicitly requested.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    origin: Instant,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanRecorder {
+    /// An empty recorder; wall-clock timestamps are measured from now.
+    pub fn new() -> Self {
+        Self { origin: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    fn now_us(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        self.events.lock().expect("span recorder poisoned").push(ev);
+    }
+
+    /// Drains nothing — returns a copy of the events recorded so far.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().expect("span recorder poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("span recorder poisoned").len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for SpanRecorder {
+    fn span_begin(&self, rank: Rank, label: &'static str) {
+        self.push(SpanEvent { rank, label, kind: EventKind::Begin, us: self.now_us() });
+    }
+
+    fn span_end(&self, rank: Rank, label: &'static str) {
+        self.push(SpanEvent { rank, label, kind: EventKind::End, us: self.now_us() });
+    }
+
+    fn span_at(&self, rank: Rank, label: &'static str, begin: f64, end: f64) {
+        self.push(SpanEvent {
+            rank,
+            label,
+            kind: EventKind::Complete { dur_us: (end - begin) * 1e6 },
+            us: begin * 1e6,
+        });
+    }
+
+    fn retry(&self, rank: Rank) {
+        self.push(SpanEvent {
+            rank,
+            label: labels::RETRY,
+            kind: EventKind::Instant,
+            us: self.now_us(),
+        });
+    }
+
+    fn fallback(&self, rank: Rank) {
+        self.push(SpanEvent {
+            rank,
+            label: labels::FALLBACK,
+            kind: EventKind::Instant,
+            us: self.now_us(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotonic_wall_clock() {
+        let rec = SpanRecorder::new();
+        rec.span_begin(0, labels::HALVING_STEP);
+        rec.span_end(0, labels::HALVING_STEP);
+        rec.retry(1);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].kind, EventKind::Begin);
+        assert_eq!(ev[1].kind, EventKind::End);
+        assert!(ev[1].us >= ev[0].us);
+        assert_eq!(ev[2].label, labels::RETRY);
+        assert_eq!(ev[2].kind, EventKind::Instant);
+        assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn span_at_uses_caller_clock() {
+        let rec = SpanRecorder::new();
+        rec.span_at(3, labels::INTRA_SOCKET, 2e-6, 5e-6);
+        let ev = rec.events();
+        assert_eq!(ev[0].rank, 3);
+        assert_eq!(ev[0].us, 2.0);
+        match ev[0].kind {
+            EventKind::Complete { dur_us } => assert!((dur_us - 3.0).abs() < 1e-9),
+            ref k => panic!("wrong kind {k:?}"),
+        }
+    }
+}

@@ -312,3 +312,88 @@ fn threaded_matches_virtual_on_small_graphs() {
         assert_eq!(v, t);
     });
 }
+
+#[test]
+fn telemetry_counters_agree_across_all_backends() {
+    // The tentpole invariant of the telemetry subsystem: the same plan
+    // produces the same per-rank message/byte/copy counters on the
+    // virtual and threaded executors (exactly), and the simulator — which
+    // sees uniform `blocks.len() × m`-byte messages — matches both on
+    // message and byte totals.
+    for_cases(0xAD, |rng| {
+        use nhood_core::exec::sim_exec::to_schedule;
+        use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
+        use nhood_core::exec::virtual_exec::run_virtual_rec;
+        use nhood_telemetry::CountingRecorder;
+
+        let g = arb_graph(rng, 20);
+        let m = rng.gen_range(1..64usize);
+        let n = g.n();
+        let layout = ClusterLayout::new(n.div_ceil(4), 2, 2);
+        let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
+        let payloads = test_payloads(n, m, 5);
+        let algo = if rng.gen_bool(0.5) { Algorithm::DistanceHalving } else { Algorithm::Naive };
+        let plan = comm.plan(algo).unwrap();
+
+        let vrec = CountingRecorder::new(n);
+        run_virtual_rec(&plan, &g, &payloads, &vrec).unwrap();
+        let trec = CountingRecorder::new(n);
+        let cfg = ThreadedConfig { recorder: &trec, ..ThreadedConfig::default() };
+        run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        for r in 0..n {
+            assert_eq!(vrec.per_rank(r), trec.per_rank(r), "{algo}: rank {r} counters diverge");
+        }
+
+        let cost = SimCost::niagara();
+        let srec = CountingRecorder::new(n);
+        nhood_simnet::Engine::new(&layout, cost.net)
+            .run_recorded(&to_schedule(&plan, m, &cost), &srec)
+            .unwrap();
+        let (v, s) = (vrec.totals(), srec.totals());
+        assert_eq!(v.msgs_sent, s.msgs_sent, "{algo}: sim message totals diverge");
+        assert_eq!(v.msgs_recvd, s.msgs_recvd, "{algo}");
+        assert_eq!(v.bytes_sent, s.bytes_sent, "{algo}: sim byte totals diverge");
+        assert_eq!(v.bytes_recvd, s.bytes_recvd, "{algo}");
+    });
+}
+
+#[test]
+fn chrome_trace_json_is_stable_and_well_formed() {
+    // Golden-style test: a tiny fixed plan on a deterministic (simulated
+    // clock, classic cost) backend must render the same Chrome-tracing
+    // JSON every run, and that JSON must be structurally sound.
+    use nhood_core::exec::sim_exec::{to_schedule, SimCost};
+    use nhood_simnet::{Engine, NicMode, SimConfig};
+    use nhood_telemetry::{chrome_trace_json, SpanRecorder};
+
+    let g = nhood_topology::random::erdos_renyi(6, 0.5, 1);
+    let layout = ClusterLayout::new(2, 1, 3);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
+    let plan = comm.plan(Algorithm::DistanceHalving).unwrap();
+    let cost = SimCost {
+        net: SimConfig::classic(nhood_cluster::HockneyParams::flat(1e-6, 1e9), NicMode::Off),
+        memcpy_bytes_per_sec: f64::INFINITY,
+    };
+    let schedule = to_schedule(&plan, 8, &cost);
+    let render = || {
+        let spans = SpanRecorder::new();
+        Engine::new(&layout, cost.net).run_recorded(&schedule, &spans).unwrap();
+        chrome_trace_json(&spans.events())
+    };
+    let json = render();
+    // deterministic: same plan + simulated clock → byte-identical output
+    assert_eq!(json, render());
+    // structurally a JSON array of objects with the fields Chrome needs
+    let body = json.trim();
+    assert!(body.starts_with('[') && body.ends_with(']'), "{json}");
+    assert_eq!(body.matches('{').count(), body.matches('}').count(), "{json}");
+    assert!(json.contains("\"thread_name\""), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    let complete_events = json.matches("\"ph\":\"X\"").count();
+    assert_eq!(complete_events, plan.message_count(), "one span per planned message");
+    for line in json.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+        assert!(line.contains("\"pid\":0"), "{line}");
+        assert!(line.contains("\"ts\":"), "{line}");
+        assert!(line.contains("\"dur\":"), "{line}");
+    }
+}
