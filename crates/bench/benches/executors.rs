@@ -3,9 +3,8 @@
 
 use nhood_bench::harness::Bench;
 use nhood_cluster::ClusterLayout;
-use nhood_core::exec::threaded::run_threaded;
-use nhood_core::exec::virtual_exec::{run_virtual, run_virtual_rec, test_payloads};
-use nhood_core::{Algorithm, DistGraphComm};
+use nhood_core::exec::virtual_exec::test_payloads;
+use nhood_core::{Algorithm, BlockArena, DistGraphComm, ExecOptions, Executor, Threaded, Virtual};
 use nhood_telemetry::CountingRecorder;
 use nhood_topology::random::erdos_renyi;
 
@@ -22,14 +21,22 @@ fn main() {
         let plan = comm.plan(algo).unwrap();
         let bytes = (plan.total_blocks_sent() * m) as u64;
         group.case(&format!("virtual/{algo}"), 10, bytes, || {
-            run_virtual(&plan, &graph, &payloads).unwrap()
+            Virtual.run_simple(&plan, &graph, &payloads).unwrap()
         });
         group.case(&format!("threaded/{algo}"), 10, bytes, || {
-            run_threaded(&plan, &graph, &payloads).unwrap()
+            Threaded.run_simple(&plan, &graph, &payloads).unwrap()
         });
         // one instrumented pass: report what the plan actually moved
         let rec = CountingRecorder::new(n);
-        run_virtual_rec(&plan, &graph, &payloads, &rec).unwrap();
+        Virtual
+            .run(
+                &plan,
+                &graph,
+                &payloads,
+                &mut BlockArena::new(),
+                &ExecOptions::new().recorder(&rec),
+            )
+            .unwrap();
         group.counters(&format!("{algo}"), &rec.totals());
     }
 }

@@ -1,0 +1,59 @@
+//! `bench3` — regenerate `BENCH_3.json`: arena vs legacy per-block
+//! execution across RSG densities and the Moore stencil.
+//!
+//! ```text
+//! bench3 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_3.json` in the current directory. Exits
+//! nonzero if the arena path is not faster at message sizes ≥ 4 KiB on
+//! the threaded backend (the acceptance bar).
+
+use nhood_bench::bench3;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench3 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(">> BENCH_3: arena vs per-block ({} scale)...", if quick { "quick" } else { "full" });
+    let (rows, speedups) = bench3::run(quick);
+    let json = bench3::write_json(&rows, &speedups, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_3.json");
+    for sp in &speedups {
+        let mark = if sp.arena_over_perblock >= 1.0 { " " } else { "!" };
+        eprintln!(
+            "{mark} {:<6} delta={:<5} m={:>6} {:<8} arena speedup {:.3}x",
+            sp.workload,
+            sp.delta.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            sp.m,
+            sp.backend,
+            sp.arena_over_perblock
+        );
+    }
+    // the acceptance bar: at every message size >= 4 KiB the arena path
+    // is faster on the threaded backend (geometric mean over workloads —
+    // single small-size cells sit at thread-spawn parity +- noise)
+    let mut ok = true;
+    for (m, g) in bench3::gmean_by_size(&speedups, "threaded") {
+        eprintln!(">> threaded m={m:>6}: gmean arena speedup {g:.3}x");
+        if m >= 4096 && g <= 1.0 {
+            ok = false;
+        }
+    }
+    eprintln!(">> wrote {}", out.display());
+    if !ok {
+        eprintln!("!! arena slower than per-block at >= 4 KiB on the threaded backend");
+        std::process::exit(1);
+    }
+}

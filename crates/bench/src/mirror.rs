@@ -29,7 +29,8 @@ mod tests {
         let plan = plan_mirror_halving(&g, &layout).unwrap();
         plan.validate(&g).unwrap();
         let payloads = nhood_core::exec::virtual_exec::test_payloads(32, 8, 1);
-        let got = nhood_core::exec::virtual_exec::run_virtual(&plan, &g, &payloads).unwrap();
+        use nhood_core::{Executor, Virtual};
+        let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
         let want = nhood_core::exec::virtual_exec::reference_allgather(&g, &payloads);
         assert_eq!(got, want);
     }

@@ -3,11 +3,10 @@
 
 use crate::args::{parse_bytes, ArgError, Args};
 use nhood_cluster::{ClusterLayout, HockneyParams};
-use nhood_core::exec::sim_exec::{simulate, simulate_recorded};
-use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
-use nhood_core::exec::virtual_exec::{
-    reference_allgather, run_virtual, run_virtual_rec, test_payloads,
-};
+use nhood_core::exec::sim_exec::{simulate, Sim};
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::exec::{ExecOptions, Executor, Threaded, Virtual};
+use nhood_core::BlockArena;
 use nhood_core::{Algorithm, DistGraphComm, SimCost};
 use nhood_simnet::{NicMode, SimConfig};
 use nhood_telemetry::{CountingRecorder, ModelPrediction, Recorder, SpanRecorder};
@@ -283,7 +282,7 @@ pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     plan.validate(&graph).map_err(|e| fail(format!("plan validation failed: {e}")))?;
     writeln!(w, "plan validation: ok (exactly-once delivery holds)")?;
     let payloads = test_payloads(graph.n(), 32, 0xC0FFEE);
-    let got = run_virtual(&plan, &graph, &payloads).map_err(|e| fail(e.to_string()))?;
+    let got = Virtual.run_simple(&plan, &graph, &payloads).map_err(|e| fail(e.to_string()))?;
     if got != reference_allgather(&graph, &payloads) {
         return Err(fail("execution mismatch against the MPI-semantics reference"));
     }
@@ -351,18 +350,29 @@ pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let run_backend = |rec: &dyn Recorder| -> Result<(), ArgError> {
         match backend {
             "sim" => {
-                simulate_recorded(&plan, &layout, m, &cost, rec)
-                    .map_err(|e| fail(e.to_string()))?;
+                let sim = Sim { layout: layout.clone(), cost, m: Some(m) };
+                sim.run(
+                    &plan,
+                    &graph,
+                    &[],
+                    &mut BlockArena::new(),
+                    &ExecOptions::new().recorder(rec),
+                )
+                .map_err(|e| fail(e.to_string()))?;
             }
             "threaded" => {
                 let payloads = test_payloads(graph.n(), m, 0xC0FFEE);
-                let cfg = ThreadedConfig { recorder: rec, ..ThreadedConfig::default() };
-                run_threaded_cfg(&plan, &graph, &payloads, &cfg)
+                let opts = ExecOptions::new().recorder(rec);
+                Threaded
+                    .run(&plan, &graph, &payloads, &mut BlockArena::new(), &opts)
                     .map_err(|e| fail(e.to_string()))?;
             }
             _ => {
                 let payloads = test_payloads(graph.n(), m, 0xC0FFEE);
-                run_virtual_rec(&plan, &graph, &payloads, rec).map_err(|e| fail(e.to_string()))?;
+                let opts = ExecOptions::new().recorder(rec);
+                Virtual
+                    .run(&plan, &graph, &payloads, &mut BlockArena::new(), &opts)
+                    .map_err(|e| fail(e.to_string()))?;
             }
         }
         Ok(())

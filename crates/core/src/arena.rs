@@ -1,0 +1,508 @@
+//! Zero-copy block arenas: flat per-rank buffers with a precomputed
+//! offset table.
+//!
+//! The legacy executors model every payload block as an owned (or
+//! `Arc`-shared) `Vec<u8>` inside a per-rank hash map, so each phase pays
+//! per-block allocation, hashing and pointer-chasing costs that the
+//! paper's Hockney model (§V) never charges. The arena path moves all of
+//! that work to **plan time**:
+//!
+//! * [`ArenaLayout::for_plan`] walks the plan once and assigns every
+//!   block a rank ever holds a fixed **slot** in that rank's flat arena
+//!   (slot 0 is the rank's own block; arriving blocks are appended in
+//!   arrival order). Because the Distance Halving builder also appends
+//!   arrivals to `main_buf` (Algorithm 4 line 15), a halving-phase send
+//!   of the whole buffer resolves to **one contiguous arena span** — the
+//!   growing-message combine the paper's bandwidth term models.
+//! * Every planned message is pre-resolved to source and destination
+//!   **slot runs**, so at execution time a send is a handful of
+//!   `copy_from_slice` calls (usually one) and a receive lands bytes at
+//!   precomputed offsets — no hash lookups, no per-block `Vec`s.
+//! * The receive buffer of each rank is pre-resolved to arena runs too,
+//!   so final assembly is a few large copies in `in_neighbors` order.
+//!
+//! [`BlockArena`] owns the reusable storage. It caches the layout (keyed
+//! by a fingerprint of the plan and topology) and the per-rank buffers,
+//! so a persistent collective executing the same plan repeatedly never
+//! reallocates — see [`BlockArena::reallocations`].
+
+use crate::exec::ExecError;
+use crate::plan::CollectivePlan;
+use nhood_topology::{Rank, Topology};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A run of consecutive arena slots: `(first_slot, slot_count)`.
+///
+/// Byte offsets are slot offsets times the per-execution block size `m`,
+/// so one layout serves every message size.
+pub type SlotRun = (u32, u32);
+
+/// A planned message pre-resolved against the **sender's** arena.
+#[derive(Clone, Debug)]
+pub struct SendOp {
+    /// Destination rank.
+    pub peer: Rank,
+    /// Matching tag (copied from the plan).
+    pub tag: u64,
+    /// Source slot runs in the sender's arena, in message block order.
+    pub runs: Vec<SlotRun>,
+    /// Total blocks in the message.
+    pub blocks: u32,
+}
+
+/// A planned message pre-resolved against the **receiver's** arena.
+#[derive(Clone, Debug)]
+pub struct RecvOp {
+    /// Source rank.
+    pub peer: Rank,
+    /// Matching tag (copied from the plan).
+    pub tag: u64,
+    /// Destination slot runs in the receiver's arena, in message block
+    /// order.
+    pub runs: Vec<SlotRun>,
+    /// Total blocks in the message.
+    pub blocks: u32,
+}
+
+/// One phase of one rank's program, pre-resolved to arena spans.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseOps {
+    /// Sends, aligned with the plan phase's `sends`.
+    pub sends: Vec<SendOp>,
+    /// Receives, aligned with the plan phase's `recvs`.
+    pub recvs: Vec<RecvOp>,
+}
+
+/// One rank's complete arena layout.
+#[derive(Clone, Debug)]
+pub struct RankLayout {
+    /// Block id held in each slot, in slot order (`slots[0]` is the rank
+    /// itself).
+    pub slots: Vec<Rank>,
+    /// Per-phase pre-resolved operations (lock-step with the plan).
+    pub phases: Vec<PhaseOps>,
+    /// Destination runs for every expected incoming message, keyed by
+    /// `(src, tag)` — the threaded backend matches out-of-order arrivals
+    /// against this.
+    pub recv_runs: HashMap<(Rank, u64), Vec<SlotRun>>,
+    /// Arena runs that assemble the rank's receive buffer: its
+    /// in-neighbors' blocks in `in_neighbors` order.
+    pub out_runs: Vec<SlotRun>,
+    /// Blocks in the receive buffer (= in-degree).
+    pub out_blocks: u32,
+}
+
+/// The per-rank flat layout of a [`CollectivePlan`]: every block each
+/// rank ever holds mapped to a fixed arena slot, and every planned
+/// message pre-resolved to slot runs. Built once per plan (see
+/// [`BlockArena`] for caching) and reused across executions and message
+/// sizes.
+#[derive(Clone, Debug)]
+pub struct ArenaLayout {
+    /// Per-rank layouts.
+    pub ranks: Vec<RankLayout>,
+    /// Lock-step phase count (copied from the plan).
+    pub phase_count: usize,
+}
+
+/// Compresses a sequence of slot indices into maximal consecutive runs.
+fn compress_runs(slots: impl IntoIterator<Item = u32>) -> Vec<SlotRun> {
+    let mut runs: Vec<SlotRun> = Vec::new();
+    for s in slots {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == s => *len += 1,
+            _ => runs.push((s, 1)),
+        }
+    }
+    runs
+}
+
+impl ArenaLayout {
+    /// Builds the layout for `plan` on `graph`.
+    ///
+    /// Walks phases in plan order, assigning fresh slots to blocks on
+    /// first arrival. Returns the same typed errors the executors would
+    /// hit at runtime: [`ExecError::MissingBlock`] for a send of a
+    /// never-held block and [`ExecError::Undelivered`] for an in-neighbor
+    /// whose block never arrives — so a corrupt plan fails at layout
+    /// time, before any bytes move.
+    pub fn for_plan(plan: &CollectivePlan, graph: &Topology) -> Result<Self, ExecError> {
+        let n = plan.n();
+        let phase_count = plan.phase_count();
+        let mut slot_of: Vec<HashMap<Rank, u32>> =
+            (0..n).map(|r| HashMap::from([(r, 0u32)])).collect();
+        let mut ranks: Vec<RankLayout> = (0..n)
+            .map(|r| RankLayout {
+                slots: vec![r],
+                phases: Vec::with_capacity(phase_count),
+                recv_runs: HashMap::new(),
+                out_runs: Vec::new(),
+                out_blocks: 0,
+            })
+            .collect();
+
+        for k in 0..phase_count {
+            // Sends first, against pre-phase slot tables (all ranks), so
+            // a block arriving in phase k cannot be sourced in phase k.
+            let mut send_ops: Vec<Vec<SendOp>> = Vec::with_capacity(n);
+            for (r, slots) in slot_of.iter().enumerate() {
+                let phase = &plan.per_rank[r][k];
+                let mut ops = Vec::with_capacity(phase.sends.len());
+                for msg in &phase.sends {
+                    let mut src_slots = Vec::with_capacity(msg.blocks.len());
+                    for &b in &msg.blocks {
+                        let &s = slots.get(&b).ok_or(ExecError::MissingBlock {
+                            rank: r,
+                            block: b,
+                            phase: k,
+                        })?;
+                        src_slots.push(s);
+                    }
+                    ops.push(SendOp {
+                        peer: msg.peer,
+                        tag: msg.tag,
+                        runs: compress_runs(src_slots),
+                        blocks: msg.blocks.len() as u32,
+                    });
+                }
+                send_ops.push(ops);
+            }
+            // Then receives: first arrival appends a slot at the arena
+            // tail (re-deliveries reuse the existing slot — the bytes are
+            // identical, so overwriting is idempotent).
+            for (r, ops) in send_ops.into_iter().enumerate() {
+                let phase = &plan.per_rank[r][k];
+                let mut recv_ops = Vec::with_capacity(phase.recvs.len());
+                for msg in &phase.recvs {
+                    let mut dst_slots = Vec::with_capacity(msg.blocks.len());
+                    for &b in &msg.blocks {
+                        let next = ranks[r].slots.len() as u32;
+                        let s = *slot_of[r].entry(b).or_insert(next);
+                        if s == next {
+                            ranks[r].slots.push(b);
+                        }
+                        dst_slots.push(s);
+                    }
+                    let runs = compress_runs(dst_slots);
+                    ranks[r].recv_runs.insert((msg.peer, msg.tag), runs.clone());
+                    recv_ops.push(RecvOp {
+                        peer: msg.peer,
+                        tag: msg.tag,
+                        runs,
+                        blocks: msg.blocks.len() as u32,
+                    });
+                }
+                ranks[r].phases.push(PhaseOps { sends: ops, recvs: recv_ops });
+            }
+        }
+
+        // Receive-buffer assembly runs, in in-neighbor order.
+        for (r, rl) in ranks.iter_mut().enumerate() {
+            let ins = graph.in_neighbors(r);
+            let mut out_slots = Vec::with_capacity(ins.len());
+            for &b in ins {
+                let &s = slot_of[r].get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
+                out_slots.push(s);
+            }
+            rl.out_blocks = out_slots.len() as u32;
+            rl.out_runs = compress_runs(out_slots);
+        }
+
+        Ok(Self { ranks, phase_count })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Fraction of send operations that resolved to a **single**
+    /// contiguous arena span — the zero-copy hit rate. Distance Halving
+    /// halving-phase sends are 100% contiguous by construction (the
+    /// arena is laid out in `main_buf` order).
+    pub fn contiguous_send_fraction(&self) -> f64 {
+        let (mut total, mut one) = (0usize, 0usize);
+        for rl in &self.ranks {
+            for ph in &rl.phases {
+                for s in &ph.sends {
+                    total += 1;
+                    one += usize::from(s.runs.len() == 1);
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            one as f64 / total as f64
+        }
+    }
+
+    /// Total arena slots across all ranks (arena memory in block units).
+    pub fn total_slots(&self) -> usize {
+        self.ranks.iter().map(|rl| rl.slots.len()).sum()
+    }
+}
+
+/// Stable fingerprint of a (plan, topology) pair, used to decide whether
+/// a cached [`ArenaLayout`] still applies.
+fn fingerprint(plan: &CollectivePlan, graph: &Topology) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    plan.n().hash(&mut h);
+    for prog in &plan.per_rank {
+        prog.len().hash(&mut h);
+        for ph in prog {
+            ph.copy_blocks.hash(&mut h);
+            for m in &ph.sends {
+                (0u8, m.peer, m.tag).hash(&mut h);
+                m.blocks.hash(&mut h);
+            }
+            for m in &ph.recvs {
+                (1u8, m.peer, m.tag).hash(&mut h);
+                m.blocks.hash(&mut h);
+            }
+        }
+    }
+    graph.n().hash(&mut h);
+    for r in 0..graph.n() {
+        graph.in_neighbors(r).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Reusable zero-copy execution workspace: one contiguous buffer per
+/// rank plus the cached [`ArenaLayout`] that indexes it.
+///
+/// Pass the same arena to repeated [`crate::exec::Executor::run`] calls
+/// to amortize both the layout computation and the buffer allocations;
+/// [`reallocations`](Self::reallocations) counts how many times any
+/// buffer actually had to grow, so tests (and the Fig. 8-style
+/// persistent-collective argument) can assert steady-state runs are
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct BlockArena {
+    key: Option<u64>,
+    layout: Option<Arc<ArenaLayout>>,
+    bufs: Vec<Vec<u8>>,
+    spare_rbufs: Vec<Vec<u8>>,
+    reallocations: u64,
+}
+
+impl BlockArena {
+    /// An empty arena; storage and layout are built on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many buffer growths (arena or receive buffers) all executions
+    /// through this arena have paid so far. Stable across repeated runs
+    /// of the same plan at the same message size.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// The cached layout, if one has been built.
+    pub fn layout(&self) -> Option<&ArenaLayout> {
+        self.layout.as_deref()
+    }
+
+    /// Returns the layout for `plan`, rebuilding it only when the
+    /// (plan, topology) fingerprint changed since the last call.
+    pub fn prepare(
+        &mut self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+    ) -> Result<Arc<ArenaLayout>, ExecError> {
+        let key = fingerprint(plan, graph);
+        if self.key != Some(key) || self.layout.is_none() {
+            self.layout = Some(Arc::new(ArenaLayout::for_plan(plan, graph)?));
+            self.key = Some(key);
+        }
+        Ok(Arc::clone(self.layout.as_ref().expect("layout just set")))
+    }
+
+    /// Sizes the per-rank arena buffers for block size `m` and copies
+    /// each rank's own payload into slot 0. Reuses capacity; growth bumps
+    /// the reallocation counter.
+    pub(crate) fn fill(&mut self, layout: &ArenaLayout, payloads: &[Vec<u8>], m: usize) {
+        let n = layout.n();
+        if self.bufs.len() != n {
+            self.bufs.resize_with(n, Vec::new);
+        }
+        for (r, buf) in self.bufs.iter_mut().enumerate() {
+            let want = layout.ranks[r].slots.len() * m;
+            if want > buf.capacity() {
+                self.reallocations += 1;
+            }
+            buf.resize(want, 0);
+            buf[..m].copy_from_slice(&payloads[r]);
+        }
+    }
+
+    /// Moves the per-rank buffers out (the threaded backend hands each
+    /// rank thread ownership of its own arena). Pair with
+    /// [`restore_bufs`](Self::restore_bufs).
+    pub(crate) fn take_bufs(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.bufs)
+    }
+
+    /// Returns buffers taken by [`take_bufs`](Self::take_bufs) so the
+    /// next execution reuses their capacity.
+    pub(crate) fn restore_bufs(&mut self, bufs: Vec<Vec<u8>>) {
+        self.bufs = bufs;
+    }
+
+    /// Takes `n` receive buffers (reusing adopted capacity when
+    /// available) for the executor to fill and hand to the caller.
+    pub(crate) fn take_rbufs(&mut self, n: usize) -> Vec<Vec<u8>> {
+        let mut rb = std::mem::take(&mut self.spare_rbufs);
+        rb.resize_with(n, Vec::new);
+        rb
+    }
+
+    /// Hands receive buffers back for capacity reuse — a persistent
+    /// collective calls this with the previous execution's output before
+    /// re-running, making steady-state executions allocation-free.
+    pub fn adopt_rbufs(&mut self, rbufs: Vec<Vec<u8>>) {
+        self.spare_rbufs = rbufs;
+    }
+
+    /// Notes an rbuf growth (called by executors while assembling output
+    /// into reused buffers).
+    pub(crate) fn note_realloc(&mut self, grew: bool) {
+        self.reallocations += u64::from(grew);
+    }
+}
+
+/// Borrows two distinct per-rank buffers mutably.
+///
+/// # Panics
+/// Panics if `a == b`.
+pub(crate) fn two_bufs(bufs: &mut [Vec<u8>], a: usize, b: usize) -> (&mut Vec<u8>, &mut Vec<u8>) {
+    assert_ne!(a, b, "a rank cannot message itself");
+    if a < b {
+        let (lo, hi) = bufs.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pattern;
+    use crate::lower::lower;
+    use crate::naive::plan_naive;
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn compress_runs_merges_consecutive() {
+        assert_eq!(compress_runs([0, 1, 2, 4, 5, 9]), vec![(0, 3), (4, 2), (9, 1)]);
+        assert!(compress_runs([]).is_empty());
+    }
+
+    #[test]
+    fn dh_halving_sends_are_single_spans() {
+        // The tentpole property: arena order == main_buf order, so every
+        // halving-phase whole-buffer send is one contiguous span.
+        let g = erdos_renyi(32, 0.4, 7);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let al = ArenaLayout::for_plan(&plan, &g).unwrap();
+        let halving_phases = plan.phase_count() - 2;
+        for (r, rl) in al.ranks.iter().enumerate() {
+            for (k, ph) in rl.phases.iter().enumerate().take(halving_phases) {
+                for s in &ph.sends {
+                    assert_eq!(s.runs.len(), 1, "rank {r} phase {k} halving send fragmented");
+                    assert_eq!(s.runs[0].0, 0, "halving send must start at the arena prefix");
+                }
+                for rv in &ph.recvs {
+                    assert_eq!(rv.runs.len(), 1, "rank {r} phase {k} halving recv fragmented");
+                }
+            }
+        }
+        assert!(al.contiguous_send_fraction() > 0.5);
+    }
+
+    #[test]
+    fn naive_layout_holds_own_plus_in_neighbors() {
+        let g = erdos_renyi(16, 0.5, 3);
+        let plan = plan_naive(&g);
+        let al = ArenaLayout::for_plan(&plan, &g).unwrap();
+        for (r, rl) in al.ranks.iter().enumerate() {
+            assert_eq!(rl.slots.len(), 1 + g.indegree(r), "rank {r}");
+            assert_eq!(rl.slots[0], r);
+            assert_eq!(rl.out_blocks as usize, g.indegree(r));
+        }
+    }
+
+    #[test]
+    fn corrupt_plan_fails_at_layout_time() {
+        let g = Topology::from_edges(3, [(0, 2)]);
+        let mut plan = plan_naive(&g);
+        plan.per_rank[1][0].sends.push(crate::plan::PlannedMsg {
+            peer: 2,
+            blocks: vec![0],
+            tag: 5,
+        });
+        assert_eq!(
+            ArenaLayout::for_plan(&plan, &g).unwrap_err(),
+            ExecError::MissingBlock { rank: 1, block: 0, phase: 0 }
+        );
+        let g2 = Topology::from_edges(2, [(0, 1)]);
+        let mut plan2 = plan_naive(&g2);
+        plan2.per_rank[0][0].sends.clear();
+        plan2.per_rank[1][0].recvs.clear();
+        assert_eq!(
+            ArenaLayout::for_plan(&plan2, &g2).unwrap_err(),
+            ExecError::Undelivered { rank: 1, block: 0 }
+        );
+    }
+
+    #[test]
+    fn arena_caches_layout_by_fingerprint() {
+        let g = erdos_renyi(12, 0.4, 1);
+        let plan = plan_naive(&g);
+        let mut arena = BlockArena::new();
+        let l1 = arena.prepare(&plan, &g).unwrap();
+        let l2 = arena.prepare(&plan, &g).unwrap();
+        assert!(Arc::ptr_eq(&l1, &l2), "same plan must reuse the cached layout");
+        // a different plan rebuilds
+        let plan2 = plan_naive(&erdos_renyi(12, 0.6, 2));
+        let l3 = arena.prepare(&plan2, &erdos_renyi(12, 0.6, 2)).unwrap();
+        assert!(!Arc::ptr_eq(&l1, &l3));
+    }
+
+    #[test]
+    fn fill_reuses_capacity() {
+        let g = erdos_renyi(10, 0.5, 9);
+        let plan = plan_naive(&g);
+        let mut arena = BlockArena::new();
+        let layout = arena.prepare(&plan, &g).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..10).map(|r| vec![r as u8; 64]).collect();
+        arena.fill(&layout, &payloads, 64);
+        let after_first = arena.reallocations();
+        assert!(after_first > 0);
+        for _ in 0..10 {
+            arena.fill(&layout, &payloads, 64);
+        }
+        assert_eq!(arena.reallocations(), after_first, "refills must not grow buffers");
+        // smaller m also fits in place
+        let small: Vec<Vec<u8>> = (0..10).map(|r| vec![r as u8; 8]).collect();
+        arena.fill(&layout, &small, 8);
+        assert_eq!(arena.reallocations(), after_first);
+    }
+
+    #[test]
+    fn two_bufs_borrows_disjoint() {
+        let mut v = vec![vec![1u8], vec![2u8], vec![3u8]];
+        let (a, b) = two_bufs(&mut v, 2, 0);
+        a[0] = 9;
+        b[0] = 8;
+        assert_eq!(v, vec![vec![8], vec![2], vec![9]]);
+    }
+}

@@ -15,17 +15,17 @@
 //! assert_eq!(rbufs.len(), 16);
 //! ```
 
+use crate::arena::BlockArena;
 use crate::builder::{build_pattern, BuildError};
 use crate::common_neighbor::plan_common_neighbor;
 use crate::distributed_builder::build_pattern_distributed_recorded;
 use crate::exec::sim_exec::{simulate, SimCost};
-use crate::exec::threaded::{run_threaded_cfg, ThreadedConfig, DEFAULT_TIMEOUT};
-use crate::exec::virtual_exec::run_virtual;
-use crate::exec::ExecError;
+use crate::exec::threaded::DEFAULT_TIMEOUT;
+use crate::exec::{ExecError, ExecOptions, Executor, Threaded, Virtual};
 use crate::fault::{FaultCounts, FaultPlan};
 use crate::lower::lower;
 use crate::naive::plan_naive;
-use crate::plan::{Algorithm, CollectivePlan};
+use crate::plan::{Algorithm, CollectivePlan, PlanValidationError};
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
 use nhood_telemetry::{Counts, Recorder, NULL};
@@ -42,8 +42,11 @@ pub enum CommError {
     /// Simulation failed.
     Sim(SimError),
     /// A produced plan failed validation — an internal bug, surfaced
-    /// loudly rather than silently returning wrong data.
-    InvalidPlan(String),
+    /// loudly (and typed, so tests can match on the cause) rather than
+    /// silently returning wrong data.
+    InvalidPlan(PlanValidationError),
+    /// A produced alltoall plan failed validation.
+    InvalidAlltoallPlan(String),
     /// The requested algorithm does not support the requested operation
     /// (e.g. Common Neighbor has no alltoall formulation).
     UnsupportedAlgorithm {
@@ -61,6 +64,9 @@ impl std::fmt::Display for CommError {
             CommError::Exec(e) => write!(f, "execution failed: {e}"),
             CommError::Sim(e) => write!(f, "simulation failed: {e}"),
             CommError::InvalidPlan(m) => write!(f, "internal plan invariant violated: {m}"),
+            CommError::InvalidAlltoallPlan(m) => {
+                write!(f, "internal alltoall plan invariant violated: {m}")
+            }
             CommError::UnsupportedAlgorithm { algorithm, operation } => {
                 write!(f, "{algorithm} does not support {operation}")
             }
@@ -261,15 +267,16 @@ impl DistGraphComm {
     }
 
     /// One-call neighborhood allgather: plans `algo` and executes it with
-    /// the virtual executor. Returns each rank's receive buffer
-    /// (in-neighbor payloads concatenated in `in_neighbors` order).
+    /// the virtual executor (arena engine). Returns each rank's receive
+    /// buffer (in-neighbor payloads concatenated in `in_neighbors`
+    /// order).
     pub fn neighbor_allgather(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
         let plan = self.plan(algo)?;
-        Ok(run_virtual(&plan, &self.graph, payloads)?)
+        Ok(Virtual.run_simple(&plan, &self.graph, payloads)?)
     }
 
     /// The `neighbor_allgatherv` variant of
@@ -282,7 +289,9 @@ impl DistGraphComm {
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
         let plan = self.plan(algo)?;
-        Ok(crate::exec::virtual_exec::run_virtual_v(&plan, &self.graph, payloads)?)
+        let opts = ExecOptions::new().ragged(true);
+        let out = Virtual.run(&plan, &self.graph, payloads, &mut BlockArena::new(), &opts)?;
+        Ok(out.rbufs)
     }
 
     /// Neighborhood **alltoall**: `sbufs[p]` holds one distinct `m`-byte
@@ -325,7 +334,7 @@ impl DistGraphComm {
                 })
             }
         };
-        plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
+        plan.validate(&self.graph).map_err(CommError::InvalidAlltoallPlan)?;
         Ok(plan)
     }
 
@@ -416,16 +425,17 @@ impl DistGraphComm {
                 }
             }
         };
-        let cfg = ThreadedConfig {
-            recv_timeout: self.policy.recv_timeout,
-            phase_deadline: self.policy.phase_deadline,
-            max_retries: self.policy.max_retries,
-            backoff_base: self.policy.backoff_base,
-            fault: self.fault.as_ref(),
-            recorder: rec,
-        };
+        let mut opts = ExecOptions::new()
+            .recv_timeout(self.policy.recv_timeout)
+            .phase_deadline(self.policy.phase_deadline)
+            .retries(self.policy.max_retries, self.policy.backoff_base)
+            .recorder(rec);
+        if let Some(fp) = self.fault.as_ref() {
+            opts = opts.fault(fp);
+        }
+        let mut arena = BlockArena::new();
         if let Some(plan) = plan {
-            match run_threaded_cfg(&plan, &self.graph, payloads, &cfg) {
+            match Threaded.run(&plan, &self.graph, payloads, &mut arena, &opts) {
                 Ok(run) => {
                     report.faults = run.faults;
                     report.counters = rec.counts();
@@ -443,7 +453,7 @@ impl DistGraphComm {
         }
         // degraded path: the naive plan under the same faults and policy
         let naive = self.plan(Algorithm::Naive)?;
-        let run = run_threaded_cfg(&naive, &self.graph, payloads, &cfg)?;
+        let run = Threaded.run(&naive, &self.graph, payloads, &mut arena, &opts)?;
         report.faults = report.faults.merged(&run.faults);
         report.counters = rec.counts();
         Ok((run.rbufs, report))

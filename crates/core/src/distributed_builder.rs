@@ -545,7 +545,8 @@ fn accept(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use crate::exec::{Executor, Virtual};
     use crate::lower::lower;
     use nhood_topology::random::erdos_renyi;
 
@@ -554,7 +555,7 @@ mod tests {
         let plan = lower(&pat, graph);
         plan.validate(graph).expect("exactly-once delivery");
         let payloads = test_payloads(graph.n(), 8, 3);
-        let got = run_virtual(&plan, graph, &payloads).expect("executes");
+        let got = Virtual.run_simple(&plan, graph, &payloads).expect("executes");
         assert_eq!(got, reference_allgather(graph, &payloads));
         pat
     }
@@ -636,7 +637,7 @@ mod tests {
         let plan = lower(&pat, &g);
         plan.validate(&g).expect("exactly-once delivery");
         let payloads = test_payloads(24, 8, 3);
-        let got = run_virtual(&plan, &g, &payloads).expect("executes");
+        let got = Virtual.run_simple(&plan, &g, &payloads).expect("executes");
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 

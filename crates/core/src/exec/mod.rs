@@ -18,8 +18,17 @@ pub mod sim_exec;
 pub mod threaded;
 pub mod virtual_exec;
 
+use crate::arena::BlockArena;
+use crate::fault::{FaultCounts, FaultPlan};
 use crate::plan::{Algorithm, CollectivePlan};
-use nhood_topology::Rank;
+use nhood_simnet::SimReport;
+use nhood_telemetry::{Recorder, NULL};
+use nhood_topology::{Rank, Topology};
+use std::time::Duration;
+
+pub use sim_exec::Sim;
+pub use threaded::Threaded;
+pub use virtual_exec::Virtual;
 
 /// The telemetry label for phase `k` of `plan` (see
 /// `nhood_telemetry::labels`). Distance Halving plans are lock-step:
@@ -33,6 +42,199 @@ pub fn phase_label(plan: &CollectivePlan, k: usize) -> &'static str {
         }
         Algorithm::DistanceHalving => nhood_telemetry::labels::INTRA_SOCKET,
         _ => nhood_telemetry::labels::PHASE,
+    }
+}
+
+/// How payload bytes are stored and moved during execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Zero-copy path: one flat buffer per rank with a precomputed
+    /// offset table (see [`crate::arena`]). Requires uniform payload
+    /// sizes; ragged runs fall back to [`ExecEngine::PerBlock`].
+    #[default]
+    Arena,
+    /// Legacy path: every block is an `Arc`-shared `Vec<u8>` in a
+    /// per-rank hash map. Kept as the comparison baseline and for
+    /// ragged (`allgatherv`) payloads.
+    PerBlock,
+}
+
+/// Execution parameters shared by every [`Executor`] backend, built
+/// fluently:
+///
+/// ```
+/// use nhood_core::exec::{ExecEngine, ExecOptions};
+/// use std::time::Duration;
+///
+/// let opts = ExecOptions::new()
+///     .recv_timeout(Duration::from_secs(2))
+///     .engine(ExecEngine::Arena);
+/// assert_eq!(opts.recv_timeout, Duration::from_secs(2));
+/// ```
+///
+/// `Default` matches the historical behaviour of the old free functions:
+/// 10 s receive timeout, no phase deadline, no faults, a null recorder,
+/// uniform payloads, arena engine.
+#[derive(Clone, Copy)]
+pub struct ExecOptions<'a> {
+    /// How long one blocked receive may wait before erroring (threaded
+    /// backend only).
+    pub recv_timeout: Duration,
+    /// Wall-clock budget for one whole phase; `None` disables the
+    /// deadline (threaded backend only).
+    pub phase_deadline: Option<Duration>,
+    /// Retransmission attempts per message when the fault plan drops it.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Fault schedule consulted at every send; `None` injects nothing.
+    pub fault: Option<&'a FaultPlan>,
+    /// Telemetry sink; defaults to the no-op [`nhood_telemetry::NULL`].
+    pub recorder: &'a dyn Recorder,
+    /// `true` accepts per-rank payloads of different lengths (the
+    /// `neighbor_allgatherv` semantics). Forces the per-block engine.
+    pub ragged: bool,
+    /// Which data-movement engine to run.
+    pub engine: ExecEngine,
+}
+
+impl std::fmt::Debug for ExecOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("recv_timeout", &self.recv_timeout)
+            .field("phase_deadline", &self.phase_deadline)
+            .field("max_retries", &self.max_retries)
+            .field("backoff_base", &self.backoff_base)
+            .field("fault", &self.fault)
+            .field("ragged", &self.ragged)
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ExecOptions<'_> {
+    fn default() -> Self {
+        Self {
+            recv_timeout: threaded::DEFAULT_TIMEOUT,
+            phase_deadline: None,
+            max_retries: 4,
+            backoff_base: Duration::from_micros(200),
+            fault: None,
+            recorder: &NULL,
+            ragged: false,
+            engine: ExecEngine::Arena,
+        }
+    }
+}
+
+impl<'a> ExecOptions<'a> {
+    /// The defaults (see type-level docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-receive timeout.
+    pub fn recv_timeout(mut self, t: Duration) -> Self {
+        self.recv_timeout = t;
+        self
+    }
+
+    /// Sets (or clears) the per-phase wall-clock deadline.
+    pub fn phase_deadline(mut self, d: Option<Duration>) -> Self {
+        self.phase_deadline = d;
+        self
+    }
+
+    /// Sets the retry budget and first backoff.
+    pub fn retries(mut self, max: u32, backoff_base: Duration) -> Self {
+        self.max_retries = max;
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// Attaches a fault schedule.
+    pub fn fault(mut self, fp: &'a FaultPlan) -> Self {
+        self.fault = Some(fp);
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn recorder(mut self, rec: &'a dyn Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Accepts ragged (`allgatherv`) payloads.
+    pub fn ragged(mut self, ragged: bool) -> Self {
+        self.ragged = ragged;
+        self
+    }
+
+    /// Selects the data-movement engine.
+    pub fn engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine that will actually run given the payload shape: ragged
+    /// payloads always take the per-block path.
+    pub fn effective_engine(&self) -> ExecEngine {
+        if self.ragged {
+            ExecEngine::PerBlock
+        } else {
+            self.engine
+        }
+    }
+}
+
+/// What an [`Executor::run`] produced.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOutcome {
+    /// Per-rank receive buffers: each rank's in-neighbor payloads
+    /// concatenated in `in_neighbors` order. Empty for the simulated
+    /// backend (which moves no real bytes).
+    pub rbufs: Vec<Vec<u8>>,
+    /// Faults injected and retries spent (all zero without a fault
+    /// plan; always zero on the virtual and simulated backends).
+    pub faults: FaultCounts,
+    /// The simulator's report (`Some` only for [`Sim`]).
+    pub sim: Option<SimReport>,
+}
+
+/// A plan-execution backend behind one uniform call.
+///
+/// The three implementations — [`Virtual`] (sequential oracle),
+/// [`Threaded`] (one OS thread per rank) and [`Sim`] (discrete-event
+/// simulated time) — replace the nine historical free functions
+/// (`run_virtual{,_rec,_v,_v_rec}`, `run_threaded{,_v,_with_timeout,
+/// _cfg,_cfg_v}`), which survive as thin deprecated wrappers. See
+/// `docs/EXECUTION_API.md` for the migration table.
+pub trait Executor {
+    /// A short backend name for logs and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Executes `plan` over `payloads`, using `arena` as the reusable
+    /// zero-copy workspace (layout cache + flat buffers; ignored by the
+    /// per-block engine and the simulated backend).
+    fn run(
+        &self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        payloads: &[Vec<u8>],
+        arena: &mut BlockArena,
+        opts: &ExecOptions<'_>,
+    ) -> Result<ExecOutcome, ExecError>;
+
+    /// Convenience wrapper: default options, throwaway arena, receive
+    /// buffers only.
+    fn run_simple(
+        &self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        self.run(plan, graph, payloads, &mut BlockArena::new(), &ExecOptions::default())
+            .map(|o| o.rbufs)
     }
 }
 
@@ -100,6 +302,13 @@ pub enum ExecError {
         /// The phase at whose entry it died.
         phase: usize,
     },
+    /// The simulated backend failed (schedule validation or engine
+    /// error), carried as a message because `nhood-simnet` errors live
+    /// in another crate.
+    SimFailed {
+        /// The simulator's error text.
+        msg: String,
+    },
 }
 
 impl ExecError {
@@ -144,6 +353,7 @@ impl std::fmt::Display for ExecError {
             ExecError::RankCrashed { rank, phase } => {
                 write!(f, "rank {rank} crashed at entry to phase {phase}")
             }
+            ExecError::SimFailed { msg } => write!(f, "simulation failed: {msg}"),
         }
     }
 }

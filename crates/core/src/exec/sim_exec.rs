@@ -7,9 +7,12 @@
 //! cluster — the stand-in for the paper's wall-clock measurements
 //! (Figs. 4–7).
 
+use crate::arena::BlockArena;
+use crate::exec::{check_payloads, ExecError, ExecOptions, ExecOutcome, Executor};
 use crate::plan::CollectivePlan;
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{Engine, Msg, Phase, Schedule, SimConfig, SimError, SimReport};
+use nhood_topology::Topology;
 
 /// Cost knobs of the simulated execution.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +28,85 @@ impl SimCost {
     /// single-core ~5 GB/s packing bandwidth.
     pub fn niagara() -> Self {
         Self { net: SimConfig::niagara(), memcpy_bytes_per_sec: 5.0e9 }
+    }
+}
+
+/// The discrete-event simulated-time backend.
+///
+/// Unlike [`crate::exec::Virtual`] and [`crate::exec::Threaded`], the
+/// simulator moves no real bytes: [`Executor::run`] returns empty
+/// receive buffers and puts the engine's [`SimReport`] (latency =
+/// `report.makespan`) in [`ExecOutcome::sim`]. The message size comes
+/// from [`Sim::m`] when set — so cluster-scale sizes need no real
+/// payload allocation — and from the payloads otherwise. The
+/// [`ExecOptions`] recorder receives every simulated message, making
+/// sim telemetry directly comparable with the real executors'
+/// (formerly the `simulate` vs `simulate_recorded` split).
+#[derive(Clone, Debug)]
+pub struct Sim {
+    /// The modelled cluster.
+    pub layout: ClusterLayout,
+    /// Network + memcpy cost knobs.
+    pub cost: SimCost,
+    /// Simulated per-rank payload size in bytes; `None` derives it from
+    /// the payloads passed to [`Executor::run`].
+    pub m: Option<usize>,
+}
+
+impl Sim {
+    /// A simulator for `layout` with Niagara-like costs, message size
+    /// taken from the payloads.
+    pub fn new(layout: ClusterLayout) -> Self {
+        Self { layout, cost: SimCost::niagara(), m: None }
+    }
+
+    /// Overrides the simulated message size (payload bytes are then
+    /// ignored, only their count is checked if non-empty).
+    pub fn message_size(mut self, m: usize) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn cost(mut self, cost: SimCost) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl Executor for Sim {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(
+        &self,
+        plan: &CollectivePlan,
+        _graph: &Topology,
+        payloads: &[Vec<u8>],
+        _arena: &mut BlockArena,
+        opts: &ExecOptions<'_>,
+    ) -> Result<ExecOutcome, ExecError> {
+        let schedule = if opts.ragged {
+            if payloads.len() != plan.n() {
+                return Err(ExecError::PayloadCountMismatch {
+                    got: payloads.len(),
+                    want: plan.n(),
+                });
+            }
+            let sizes: Vec<usize> = payloads.iter().map(Vec::len).collect();
+            to_schedule_v(plan, &sizes, &self.cost)
+        } else {
+            let m = match self.m {
+                Some(m) => m,
+                None => check_payloads(payloads, plan.n())?,
+            };
+            to_schedule(plan, m, &self.cost)
+        };
+        let report = Engine::new(&self.layout, self.cost.net)
+            .run_recorded(&schedule, opts.recorder)
+            .map_err(|e| ExecError::SimFailed { msg: e.to_string() })?;
+        Ok(ExecOutcome { sim: Some(report), ..ExecOutcome::default() })
     }
 }
 
@@ -75,6 +157,7 @@ pub fn simulate(
 /// message/byte pair per planned transfer and span recorders get a
 /// simulated-time track per rank, making the sim backend's telemetry
 /// directly comparable with the virtual and threaded executors'.
+#[deprecated(note = "use `Sim { .. }.run(...)` with `ExecOptions::new().recorder(...)`")]
 pub fn simulate_recorded(
     plan: &CollectivePlan,
     layout: &ClusterLayout,
@@ -231,19 +314,80 @@ mod tests {
     }
 
     #[test]
-    fn simulate_recorded_matches_plan_statics() {
+    fn recorded_sim_matches_plan_statics() {
         let g = erdos_renyi(16, 0.4, 3);
         let layout = ClusterLayout::new(2, 2, 4);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let m = 64;
         let rec = nhood_telemetry::CountingRecorder::new(plan.n());
-        let rep = simulate_recorded(&plan, &layout, m, &SimCost::niagara(), &rec).unwrap();
+        let sim = Sim::new(layout).message_size(m);
+        let out = sim
+            .run(&plan, &g, &[], &mut BlockArena::new(), &ExecOptions::new().recorder(&rec))
+            .unwrap();
+        let rep = out.sim.expect("sim backend must return a report");
+        assert!(out.rbufs.is_empty(), "sim moves no real bytes");
         assert!(rep.makespan > 0.0);
         let totals = rec.totals();
         assert_eq!(totals.msgs_sent as usize, plan.message_count());
         assert_eq!(totals.msgs_recvd as usize, plan.message_count());
         assert_eq!(totals.bytes_sent as usize, plan.total_blocks_sent() * m);
         assert_eq!(totals.bytes_recvd as usize, plan.total_blocks_sent() * m);
+    }
+
+    #[test]
+    fn trait_run_agrees_with_free_functions() {
+        let g = erdos_renyi(24, 0.4, 6);
+        let layout = ClusterLayout::new(2, 2, 6);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let cost = SimCost::niagara();
+        let m = 4096;
+        let direct = simulate(&plan, &layout, m, &cost).unwrap();
+        let sim = Sim::new(layout.clone()).message_size(m).cost(cost);
+        let via_trait = sim
+            .run(&plan, &g, &[], &mut BlockArena::new(), &ExecOptions::default())
+            .unwrap()
+            .sim
+            .unwrap();
+        assert_eq!(via_trait.makespan, direct.makespan);
+
+        // ragged: sizes derived from real payloads
+        let payloads: Vec<Vec<u8>> = (0..24).map(|r| vec![0u8; 16 + r]).collect();
+        let sizes: Vec<usize> = payloads.iter().map(Vec::len).collect();
+        let direct_v = simulate_v(&plan, &layout, &sizes, &cost).unwrap();
+        let via_trait_v = sim
+            .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::new().ragged(true))
+            .unwrap()
+            .sim
+            .unwrap();
+        assert_eq!(via_trait_v.makespan, direct_v.makespan);
+    }
+
+    #[test]
+    fn derives_message_size_from_payloads_when_unset() {
+        let g = erdos_renyi(12, 0.5, 4);
+        let layout = ClusterLayout::new(2, 2, 3);
+        let plan = plan_naive(&g);
+        let payloads: Vec<Vec<u8>> = vec![vec![0u8; 256]; 12];
+        let sim = Sim::new(layout.clone());
+        let got = sim
+            .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::default())
+            .unwrap()
+            .sim
+            .unwrap();
+        let want = simulate(&plan, &layout, 256, &SimCost::niagara()).unwrap();
+        assert_eq!(got.makespan, want.makespan);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_simulate_recorded_still_works() {
+        let g = erdos_renyi(12, 0.4, 1);
+        let layout = ClusterLayout::new(2, 2, 3);
+        let plan = plan_naive(&g);
+        let rec = nhood_telemetry::CountingRecorder::new(12);
+        let rep = simulate_recorded(&plan, &layout, 64, &SimCost::niagara(), &rec).unwrap();
+        assert!(rep.makespan > 0.0);
+        assert_eq!(rec.totals().msgs_sent as usize, plan.message_count());
     }
 
     #[test]

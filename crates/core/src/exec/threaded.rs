@@ -9,10 +9,23 @@
 //! message passing — the closest this library gets to running the
 //! collective "for real".
 //!
+//! Two data-movement engines share the transport:
+//!
+//! * [`ExecEngine::Arena`] (default) — true zero-copy: wire messages are
+//!   scatter-gather descriptor lists of borrowed slices into the
+//!   original payload buffers (the shared-memory analog of an RDMA
+//!   iovec send from registered memory). A send resolves precomputed
+//!   slot runs to slice views (one descriptor for Distance Halving
+//!   halving steps), a receive appends the descriptors to the rank's
+//!   logical arena, and payload bytes are copied exactly **once** per
+//!   rank — into the final receive buffer;
+//! * [`ExecEngine::PerBlock`] — the legacy `Arc`-shared block store,
+//!   kept as the bench baseline and for ragged payloads.
+//!
 //! # Robustness
 //!
 //! The executor is the primary consumer of the fault-injection layer
-//! ([`crate::fault`]). [`ThreadedConfig`] carries a receive timeout, an
+//! ([`crate::fault`]). [`ExecOptions`] carries a receive timeout, an
 //! optional per-phase deadline, a retry budget with bounded exponential
 //! backoff, and an optional [`FaultPlan`]. Sends traverse a small
 //! reliable-transport emulation: an attempt the fault plan drops is
@@ -25,9 +38,12 @@
 //! chased by the chaos suite: **identical-to-reference buffers or a
 //! typed error — never silent corruption, never a hang.**
 
-use crate::exec::{check_payloads, phase_label, ExecError};
+use crate::arena::{BlockArena, RankLayout, SlotRun};
+use crate::exec::{
+    check_payloads, phase_label, ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor,
+};
 use crate::fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
-use crate::plan::CollectivePlan;
+use crate::plan::{CollectivePlan, PlanPhase};
 use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
@@ -35,7 +51,16 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A packed wire message between rank threads.
+/// What the fault-injected transport needs to know about a message.
+trait WireMsg: Send {
+    fn src(&self) -> Rank;
+    fn tag(&self) -> u64;
+    fn byte_len(&self) -> usize;
+    /// Structural copy for the duplication fault.
+    fn duplicate(&self) -> Self;
+}
+
+/// A packed per-block wire message between rank threads (legacy engine).
 struct Wire {
     src: Rank,
     tag: u64,
@@ -43,11 +68,116 @@ struct Wire {
     blocks: Vec<(Rank, Arc<Vec<u8>>)>,
 }
 
-impl Wire {
-    /// Cheap structural copy (payloads are shared via `Arc`) for the
-    /// duplication fault.
+impl WireMsg for Wire {
+    fn src(&self) -> Rank {
+        self.src
+    }
+    fn tag(&self) -> u64 {
+        self.tag
+    }
+    fn byte_len(&self) -> usize {
+        self.blocks.iter().map(|(_, d)| d.len()).sum()
+    }
     fn duplicate(&self) -> Self {
         Self { src: self.src, tag: self.tag, blocks: self.blocks.clone() }
+    }
+}
+
+/// A zero-copy scatter-gather wire message (arena engine): one planned
+/// message as a descriptor list of borrowed slices into the original
+/// payload buffers, in message byte order. Because every block in the
+/// system originates in some rank's payload and arena slots are
+/// write-once, forwarding re-shares the same slices hop after hop; no
+/// payload byte is copied in transit.
+struct SegWire<'a> {
+    src: Rank,
+    tag: u64,
+    segs: Vec<&'a [u8]>,
+}
+
+impl WireMsg for SegWire<'_> {
+    fn src(&self) -> Rank {
+        self.src
+    }
+    fn tag(&self) -> u64 {
+        self.tag
+    }
+    fn byte_len(&self) -> usize {
+        self.segs.iter().map(|s| s.len()).sum()
+    }
+    fn duplicate(&self) -> Self {
+        Self { src: self.src, tag: self.tag, segs: self.segs.clone() }
+    }
+}
+
+/// One rank's arena in the threaded engine: an append-only sequence of
+/// borrowed segments whose logical concatenation is the rank's flat
+/// arena (slot `i` covers logical bytes `[i*m, (i+1)*m)`). Sends and
+/// receives move only descriptors; the single per-byte copy happens in
+/// [`SegBuf::copy_out`] when the receive buffer is assembled.
+struct SegBuf<'a> {
+    segs: Vec<&'a [u8]>,
+    /// Starting logical byte offset of each segment (strictly increasing
+    /// — empty segments are never stored).
+    starts: Vec<usize>,
+    /// Total logical bytes held.
+    len: usize,
+    /// Slots filled so far (tracked separately from `len` so that
+    /// zero-byte messages still advance the slot tail).
+    tail_slots: u32,
+}
+
+impl<'a> SegBuf<'a> {
+    fn new(own: &'a [u8]) -> Self {
+        let mut b = Self { segs: Vec::new(), starts: Vec::new(), len: 0, tail_slots: 1 };
+        b.push(own);
+        b
+    }
+
+    fn push(&mut self, seg: &'a [u8]) {
+        if !seg.is_empty() {
+            self.starts.push(self.len);
+            self.len += seg.len();
+            self.segs.push(seg);
+        }
+    }
+
+    /// Collects the logical byte range `[start, start+len)` as slice
+    /// descriptors (no byte copies).
+    fn view_into(&self, start: usize, len: usize, out: &mut Vec<&'a [u8]>) {
+        if len == 0 {
+            return;
+        }
+        let mut i = self.starts.partition_point(|&s| s <= start) - 1;
+        let mut off = start - self.starts[i];
+        let mut rem = len;
+        while rem > 0 {
+            let seg = self.segs[i];
+            let take = rem.min(seg.len() - off);
+            out.push(&seg[off..off + take]);
+            rem -= take;
+            off = 0;
+            i += 1;
+        }
+    }
+
+    /// Copies the logical byte range `[start, start+len)` into `dst` —
+    /// the one place payload bytes are copied on this engine.
+    fn copy_out(&self, start: usize, len: usize, dst: &mut Vec<u8>) {
+        if len == 0 {
+            return;
+        }
+        let mut i = self.starts.partition_point(|&s| s <= start) - 1;
+        let mut off = start - self.starts[i];
+        let mut rem = len;
+        while rem > 0 {
+            let seg = self.segs[i];
+            let take = rem.min(seg.len() - off);
+            dst.extend_from_slice(&seg[off..off + take]);
+            rem -= take;
+            off = 0;
+            i += 1;
+        }
     }
 }
 
@@ -57,6 +187,7 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 /// Execution parameters of the threaded backend. `Default` matches the
 /// historical behaviour: 10 s receive timeout, no phase deadline, no
 /// faults, no retries needed.
+#[deprecated(note = "use `nhood_core::exec::ExecOptions` with any `Executor` backend")]
 #[derive(Clone, Copy)]
 pub struct ThreadedConfig<'a> {
     /// How long one blocked receive may wait before erroring.
@@ -76,6 +207,7 @@ pub struct ThreadedConfig<'a> {
     pub recorder: &'a dyn Recorder,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for ThreadedConfig<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedConfig")
@@ -88,6 +220,7 @@ impl std::fmt::Debug for ThreadedConfig<'_> {
     }
 }
 
+#[allow(deprecated)]
 impl Default for ThreadedConfig<'_> {
     fn default() -> Self {
         Self {
@@ -101,7 +234,25 @@ impl Default for ThreadedConfig<'_> {
     }
 }
 
+#[allow(deprecated)]
+impl<'a> ThreadedConfig<'a> {
+    /// The equivalent [`ExecOptions`] (legacy per-block engine).
+    fn to_opts(self) -> ExecOptions<'a> {
+        ExecOptions {
+            recv_timeout: self.recv_timeout,
+            phase_deadline: self.phase_deadline,
+            max_retries: self.max_retries,
+            backoff_base: self.backoff_base,
+            fault: self.fault,
+            recorder: self.recorder,
+            ragged: false,
+            engine: ExecEngine::PerBlock,
+        }
+    }
+}
+
 /// Successful threaded run: receive buffers plus the fault/retry tally.
+#[deprecated(note = "use `nhood_core::exec::ExecOutcome` (returned by `Executor::run`)")]
 #[derive(Clone, Debug)]
 pub struct ThreadedReport {
     /// Per-rank receive buffers (in-neighbor payloads concatenated in
@@ -111,20 +262,61 @@ pub struct ThreadedReport {
     pub faults: FaultCounts,
 }
 
+/// The one-OS-thread-per-rank backend (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Threaded;
+
+impl Executor for Threaded {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(
+        &self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        payloads: &[Vec<u8>],
+        arena: &mut BlockArena,
+        opts: &ExecOptions<'_>,
+    ) -> Result<ExecOutcome, ExecError> {
+        if payloads.len() != plan.n() {
+            return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
+        }
+        match opts.effective_engine() {
+            ExecEngine::Arena => {
+                let m = check_payloads(payloads, plan.n())?;
+                run_arena(plan, graph, payloads, m, arena, opts)
+            }
+            ExecEngine::PerBlock => {
+                if !opts.ragged {
+                    check_payloads(payloads, plan.n())?;
+                }
+                let (rbufs, faults) = run_inner(plan, graph, payloads, opts)?;
+                Ok(ExecOutcome { rbufs, faults, sim: None })
+            }
+        }
+    }
+}
+
 /// Executes `plan` with one thread per rank and returns each rank's
 /// receive buffer (in-neighbor payloads concatenated in `in_neighbors`
-/// order). Semantically identical to
-/// [`run_virtual`](crate::exec::virtual_exec::run_virtual).
+/// order). Semantically identical to the virtual backend.
+#[deprecated(
+    note = "use `Threaded.run(...)` or `Threaded.run_simple(...)` (see docs/EXECUTION_API.md)"
+)]
 pub fn run_threaded(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ExecError> {
-    run_threaded_with_timeout(plan, graph, payloads, DEFAULT_TIMEOUT)
+    check_payloads(payloads, plan.n())?;
+    let opts = ExecOptions { engine: ExecEngine::PerBlock, ..ExecOptions::default() };
+    run_inner(plan, graph, payloads, &opts).map(|(rbufs, _)| rbufs)
 }
 
 /// The `neighbor_allgatherv` variant of [`run_threaded`]: per-rank
 /// payloads may differ in length.
+#[deprecated(note = "use `Threaded.run(...)` with `ExecOptions::new().ragged(true)`")]
 pub fn run_threaded_v(
     plan: &CollectivePlan,
     graph: &Topology,
@@ -133,24 +325,33 @@ pub fn run_threaded_v(
     if payloads.len() != plan.n() {
         return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
     }
-    run_inner(plan, graph, payloads, &ThreadedConfig::default()).map(|r| r.rbufs)
+    let opts = ExecOptions { engine: ExecEngine::PerBlock, ragged: true, ..ExecOptions::default() };
+    run_inner(plan, graph, payloads, &opts).map(|(rbufs, _)| rbufs)
 }
 
 /// [`run_threaded`] with an explicit receive timeout (tests use short
 /// ones to probe failure handling).
+#[deprecated(note = "use `Threaded.run(...)` with `ExecOptions::new().recv_timeout(...)`")]
 pub fn run_threaded_with_timeout(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
     timeout: Duration,
 ) -> Result<Vec<Vec<u8>>, ExecError> {
-    let cfg = ThreadedConfig { recv_timeout: timeout, ..ThreadedConfig::default() };
-    run_threaded_cfg(plan, graph, payloads, &cfg).map(|r| r.rbufs)
+    check_payloads(payloads, plan.n())?;
+    let opts = ExecOptions {
+        recv_timeout: timeout,
+        engine: ExecEngine::PerBlock,
+        ..ExecOptions::default()
+    };
+    run_inner(plan, graph, payloads, &opts).map(|(rbufs, _)| rbufs)
 }
 
 /// The fully-configurable entry point: explicit timeouts, retry policy
 /// and optional fault injection. Uniform payload sizes are enforced (use
 /// [`run_threaded_cfg_v`] for ragged payloads).
+#[allow(deprecated)]
+#[deprecated(note = "use `Threaded.run(...)` with `ExecOptions` (see docs/EXECUTION_API.md)")]
 pub fn run_threaded_cfg(
     plan: &CollectivePlan,
     graph: &Topology,
@@ -158,10 +359,13 @@ pub fn run_threaded_cfg(
     cfg: &ThreadedConfig<'_>,
 ) -> Result<ThreadedReport, ExecError> {
     check_payloads(payloads, plan.n())?;
-    run_inner(plan, graph, payloads, cfg)
+    let (rbufs, faults) = run_inner(plan, graph, payloads, &cfg.to_opts())?;
+    Ok(ThreadedReport { rbufs, faults })
 }
 
 /// Ragged-payload variant of [`run_threaded_cfg`].
+#[allow(deprecated)]
+#[deprecated(note = "use `Threaded.run(...)` with `ExecOptions::new().ragged(true)`")]
 pub fn run_threaded_cfg_v(
     plan: &CollectivePlan,
     graph: &Topology,
@@ -171,23 +375,24 @@ pub fn run_threaded_cfg_v(
     if payloads.len() != plan.n() {
         return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
     }
-    run_inner(plan, graph, payloads, cfg)
+    let (rbufs, faults) = run_inner(plan, graph, payloads, &cfg.to_opts())?;
+    Ok(ThreadedReport { rbufs, faults })
 }
 
 /// Sends `wire` to `dst`, consulting the fault plan per attempt. A
 /// dropped attempt is retried after bounded exponential backoff until
 /// the budget runs out; then the message is abandoned (the receiver's
 /// timeout surfaces the loss as a typed error).
-fn transport_send(
-    senders: &[Sender<Wire>],
+fn transport_send<W: WireMsg>(
+    senders: &[Sender<W>],
     dst: Rank,
-    wire: Wire,
-    cfg: &ThreadedConfig<'_>,
+    wire: W,
+    opts: &ExecOptions<'_>,
     stats: &FaultStats,
 ) {
     // one logical message per call, however many attempts it takes
-    cfg.recorder.msg_sent(wire.src, dst, wire.blocks.iter().map(|(_, d)| d.len()).sum());
-    let Some(fp) = cfg.fault else {
+    opts.recorder.msg_sent(wire.src(), dst, wire.byte_len());
+    let Some(fp) = opts.fault else {
         // a send can only fail if the peer already exited on error; the
         // peer's error is the root cause
         let _ = senders[dst].send(wire);
@@ -195,7 +400,7 @@ fn transport_send(
     };
     let mut attempt: u32 = 0;
     loop {
-        match fp.send_action(wire.src, dst, wire.tag, attempt) {
+        match fp.send_action(wire.src(), dst, wire.tag(), attempt) {
             FaultAction::Deliver => {
                 let _ = senders[dst].send(wire);
                 return;
@@ -214,30 +419,65 @@ fn transport_send(
             }
             FaultAction::Drop => {
                 FaultStats::bump(&stats.drops);
-                if attempt >= cfg.max_retries {
+                if attempt >= opts.max_retries {
                     FaultStats::bump(&stats.lost);
                     return;
                 }
                 FaultStats::bump(&stats.retries);
-                cfg.recorder.retry(wire.src);
+                opts.recorder.retry(wire.src());
                 // bounded exponential backoff: base * 2^attempt
-                std::thread::sleep(cfg.backoff_base.saturating_mul(1 << attempt.min(16)));
+                std::thread::sleep(opts.backoff_base.saturating_mul(1 << attempt.min(16)));
                 attempt += 1;
             }
         }
     }
 }
 
+/// Phase-entry fault hooks shared by both engines: injected crash, then
+/// injected stall.
+fn phase_entry_faults(r: Rank, k: usize, opts: &ExecOptions<'_>) -> Result<(), ExecError> {
+    if let Some(fp) = opts.fault {
+        if fp.is_crashed(r, k) {
+            return Err(ExecError::RankCrashed { rank: r, phase: k });
+        }
+        let stall = fp.stall(r);
+        if stall > Duration::ZERO {
+            std::thread::sleep(stall);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the receive wait budget, converting an elapsed deadline into
+/// the right typed error.
+fn recv_wait(
+    r: Rank,
+    k: usize,
+    deadline: Option<Instant>,
+    recv_timeout: Duration,
+) -> Result<Duration, ExecError> {
+    let mut wait = recv_timeout;
+    if let Some(dl) = deadline {
+        let now = Instant::now();
+        if now >= dl {
+            return Err(ExecError::PhaseDeadline { rank: r, phase: k });
+        }
+        wait = wait.min(dl - now);
+    }
+    Ok(wait)
+}
+
+/// The legacy per-block engine.
 fn run_inner(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
-    cfg: &ThreadedConfig<'_>,
-) -> Result<ThreadedReport, ExecError> {
+    opts: &ExecOptions<'_>,
+) -> Result<(Vec<Vec<u8>>, FaultCounts), ExecError> {
     let n = plan.n();
     let stats = FaultStats::default();
     if n == 0 {
-        return Ok(ThreadedReport { rbufs: Vec::new(), faults: stats.snapshot() });
+        return Ok((Vec::new(), stats.snapshot()));
     }
 
     let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
@@ -260,7 +500,9 @@ fn run_inner(
             let stats = &stats;
             let labels = &labels;
             handles.push(scope.spawn(move || -> Result<Vec<u8>, ExecError> {
-                rank_main(r, program, labels, my_payload, payloads, graph, &senders, rx, cfg, stats)
+                rank_main(
+                    r, program, labels, my_payload, payloads, graph, &senders, rx, opts, stats,
+                )
             }));
         }
         handles
@@ -271,20 +513,20 @@ fn run_inner(
     });
 
     let rbufs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(ThreadedReport { rbufs, faults: stats.snapshot() })
+    Ok((rbufs, stats.snapshot()))
 }
 
 #[allow(clippy::too_many_arguments)]
 fn rank_main(
     r: Rank,
-    program: &[crate::plan::PlanPhase],
+    program: &[PlanPhase],
     labels: &[&'static str],
     my_payload: &[u8],
     payloads: &[Vec<u8>],
     graph: &Topology,
     senders: &[Sender<Wire>],
     rx: Receiver<Wire>,
-    cfg: &ThreadedConfig<'_>,
+    opts: &ExecOptions<'_>,
     stats: &FaultStats,
 ) -> Result<Vec<u8>, ExecError> {
     let mut store: HashMap<Rank, Arc<Vec<u8>>> =
@@ -292,20 +534,12 @@ fn rank_main(
     // messages that arrived before their phase
     let mut parked: HashMap<(Rank, u64), Wire> = HashMap::new();
     for (k, phase) in program.iter().enumerate() {
-        cfg.recorder.span_begin(r, labels[k]);
+        opts.recorder.span_begin(r, labels[k]);
         if phase.copy_blocks > 0 {
-            cfg.recorder.copies(r, phase.copy_blocks);
+            opts.recorder.copies(r, phase.copy_blocks);
         }
-        if let Some(fp) = cfg.fault {
-            if fp.is_crashed(r, k) {
-                return Err(ExecError::RankCrashed { rank: r, phase: k });
-            }
-            let stall = fp.stall(r);
-            if stall > Duration::ZERO {
-                std::thread::sleep(stall);
-            }
-        }
-        let deadline = cfg.phase_deadline.map(|d| Instant::now() + d);
+        phase_entry_faults(r, k, opts)?;
+        let deadline = opts.phase_deadline.map(|d| Instant::now() + d);
 
         // at most one message is held back at a time; it is re-posted
         // after its successor, so reordering stays within the phase
@@ -319,19 +553,19 @@ fn rank_main(
             }
             let wire = Wire { src: r, tag: msg.tag, blocks };
             let reorder =
-                cfg.fault.is_some_and(|fp| fp.reorders(r, msg.peer, msg.tag) && held.is_none());
+                opts.fault.is_some_and(|fp| fp.reorders(r, msg.peer, msg.tag) && held.is_none());
             if reorder {
                 FaultStats::bump(&stats.reorders);
                 held = Some((msg.peer, wire));
                 continue;
             }
-            transport_send(senders, msg.peer, wire, cfg, stats);
+            transport_send(senders, msg.peer, wire, opts, stats);
             if let Some((dst, w)) = held.take() {
-                transport_send(senders, dst, w, cfg, stats);
+                transport_send(senders, dst, w, opts, stats);
             }
         }
         if let Some((dst, w)) = held.take() {
-            transport_send(senders, dst, w, cfg, stats);
+            transport_send(senders, dst, w, opts, stats);
         }
 
         let mut outstanding: std::collections::HashSet<(Rank, u64)> =
@@ -339,7 +573,7 @@ fn rank_main(
         // consume parked arrivals first
         outstanding.retain(|key| {
             if let Some(w) = parked.remove(key) {
-                cfg.recorder.msg_recvd(r, w.src, w.blocks.iter().map(|(_, d)| d.len()).sum());
+                opts.recorder.msg_recvd(r, w.src, w.byte_len());
                 for (b, data) in w.blocks {
                     store.entry(b).or_insert(data);
                 }
@@ -349,14 +583,7 @@ fn rank_main(
             }
         });
         while !outstanding.is_empty() {
-            let mut wait = cfg.recv_timeout;
-            if let Some(dl) = deadline {
-                let now = Instant::now();
-                if now >= dl {
-                    return Err(ExecError::PhaseDeadline { rank: r, phase: k });
-                }
-                wait = wait.min(dl - now);
-            }
+            let wait = recv_wait(r, k, deadline, opts.recv_timeout)?;
             let w = rx.recv_timeout(wait).map_err(|_| {
                 if deadline.is_some_and(|dl| Instant::now() >= dl) {
                     ExecError::PhaseDeadline { rank: r, phase: k }
@@ -366,7 +593,7 @@ fn rank_main(
             })?;
             let key = (w.src, w.tag);
             if outstanding.remove(&key) {
-                cfg.recorder.msg_recvd(r, w.src, w.blocks.iter().map(|(_, d)| d.len()).sum());
+                opts.recorder.msg_recvd(r, w.src, w.byte_len());
                 for (b, data) in w.blocks {
                     store.entry(b).or_insert(data);
                 }
@@ -377,7 +604,7 @@ fn rank_main(
                 parked.insert(key, w);
             }
         }
-        cfg.recorder.span_end(r, labels[k]);
+        opts.recorder.span_end(r, labels[k]);
     }
     // assemble the receive buffer
     let ins = graph.in_neighbors(r);
@@ -389,23 +616,228 @@ fn rank_main(
     Ok(rbuf)
 }
 
+/// The zero-copy arena engine: each rank thread owns its flat buffer.
+fn run_arena(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    m: usize,
+    arena: &mut BlockArena,
+    opts: &ExecOptions<'_>,
+) -> Result<ExecOutcome, ExecError> {
+    let n = plan.n();
+    let stats = FaultStats::default();
+    if n == 0 {
+        return Ok(ExecOutcome::default());
+    }
+    let layout = arena.prepare(plan, graph)?;
+    let rbuf_seed = arena.take_rbufs(n);
+    let rbuf_caps: Vec<usize> = rbuf_seed.iter().map(Vec::capacity).collect();
+
+    let mut senders: Vec<Sender<SegWire<'_>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<SegWire<'_>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let senders = Arc::new(senders);
+    let labels: Vec<&'static str> = (0..plan.phase_count()).map(|k| phase_label(plan, k)).collect();
+
+    type RankOut = Result<Vec<u8>, ExecError>;
+    let results: Vec<RankOut> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (r, rbuf) in rbuf_seed.into_iter().enumerate() {
+            let rx = receivers[r].take().expect("receiver taken once");
+            let senders = Arc::clone(&senders);
+            let rl = &layout.ranks[r];
+            let program = &plan.per_rank[r];
+            let stats = &stats;
+            let labels = &labels;
+            let own = payloads[r].as_slice();
+            handles.push(scope.spawn(move || -> RankOut {
+                rank_main_arena(r, rl, program, labels, &senders, rx, opts, stats, own, rbuf, m)
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(r, h)| h.join().unwrap_or(Err(ExecError::WorkerPanic { rank: r })))
+            .collect()
+    });
+
+    let rbufs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    for (r, rb) in rbufs.iter().enumerate() {
+        arena.note_realloc(rb.capacity() != rbuf_caps[r]);
+    }
+    Ok(ExecOutcome { rbufs, faults: stats.snapshot(), sim: None })
+}
+
+/// Appends the freshly arrived portion of a wire message to the rank's
+/// logical arena (descriptors only, no byte copies).
+///
+/// Slots are write-once and assigned consecutively at the arena tail on
+/// first arrival, so for a validated (exactly-once) plan every landing
+/// is a pure tail append. Runs that revisit already-held slots (possible
+/// only for duplicate-delivery plans) carry identical bytes and are
+/// skipped.
+fn land_segs<'a>(buf: &mut SegBuf<'a>, runs: &[SlotRun], segs: &[&'a [u8]], m: usize) {
+    let mut acc = 0usize; // logical byte offset within the wire message
+    for &(s, l) in runs {
+        let tail = buf.tail_slots;
+        debug_assert!(s <= tail, "arena landing ahead of the tail");
+        let fresh_from = tail.max(s);
+        let fresh = (s + l).saturating_sub(fresh_from);
+        if fresh > 0 {
+            let mut skip = acc + (fresh_from - s) as usize * m;
+            let mut rem = fresh as usize * m;
+            for seg in segs {
+                if rem == 0 {
+                    break;
+                }
+                if skip >= seg.len() {
+                    skip -= seg.len();
+                    continue;
+                }
+                let take = rem.min(seg.len() - skip);
+                buf.push(&seg[skip..skip + take]);
+                skip = 0;
+                rem -= take;
+            }
+            buf.tail_slots += fresh;
+        }
+        acc += l as usize * m;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main_arena<'a>(
+    r: Rank,
+    rl: &RankLayout,
+    program: &[PlanPhase],
+    labels: &[&'static str],
+    senders: &[Sender<SegWire<'a>>],
+    rx: Receiver<SegWire<'a>>,
+    opts: &ExecOptions<'_>,
+    stats: &FaultStats,
+    own: &'a [u8],
+    mut rbuf: Vec<u8>,
+    m: usize,
+) -> Result<Vec<u8>, ExecError> {
+    let mut buf = SegBuf::new(own);
+    // messages that arrived before their phase
+    let mut parked: HashMap<(Rank, u64), SegWire<'a>> = HashMap::new();
+    // keys already landed — a late duplicate is dropped, not re-landed
+    let mut seen: std::collections::HashSet<(Rank, u64)> = std::collections::HashSet::new();
+    for (k, ops) in rl.phases.iter().enumerate() {
+        opts.recorder.span_begin(r, labels[k]);
+        if program[k].copy_blocks > 0 {
+            opts.recorder.copies(r, program[k].copy_blocks);
+        }
+        phase_entry_faults(r, k, opts)?;
+        let deadline = opts.phase_deadline.map(|d| Instant::now() + d);
+
+        let mut held: Option<(Rank, SegWire<'a>)> = None;
+        for op in &ops.sends {
+            // resolve precomputed slot runs to slice descriptors — one
+            // descriptor per contiguous span, no bytes moved
+            let mut segs = Vec::new();
+            for &(s, l) in &op.runs {
+                buf.view_into(s as usize * m, l as usize * m, &mut segs);
+            }
+            let wire = SegWire { src: r, tag: op.tag, segs };
+            let reorder =
+                opts.fault.is_some_and(|fp| fp.reorders(r, op.peer, op.tag) && held.is_none());
+            if reorder {
+                FaultStats::bump(&stats.reorders);
+                held = Some((op.peer, wire));
+                continue;
+            }
+            transport_send(senders, op.peer, wire, opts, stats);
+            if let Some((dst, w)) = held.take() {
+                transport_send(senders, dst, w, opts, stats);
+            }
+        }
+        if let Some((dst, w)) = held.take() {
+            transport_send(senders, dst, w, opts, stats);
+        }
+
+        // land the phase's arrivals in layout (slot-assignment) order —
+        // each landing appends at the arena tail
+        for op in &ops.recvs {
+            let key = (op.peer, op.tag);
+            let w = loop {
+                if let Some(w) = parked.remove(&key) {
+                    break w;
+                }
+                let wait = recv_wait(r, k, deadline, opts.recv_timeout)?;
+                let w = rx.recv_timeout(wait).map_err(|_| {
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        ExecError::PhaseDeadline { rank: r, phase: k }
+                    } else {
+                        ExecError::Timeout { rank: r, phase: k }
+                    }
+                })?;
+                let wkey = (w.src, w.tag);
+                if wkey == key {
+                    break w;
+                }
+                // stray: park if early, drop if a duplicate of a landed key
+                if !seen.contains(&wkey) {
+                    parked.insert(wkey, w);
+                }
+            };
+            seen.insert(key);
+            opts.recorder.msg_recvd(r, w.src, w.byte_len());
+            land_segs(&mut buf, &op.runs, &w.segs, m);
+        }
+        opts.recorder.span_end(r, labels[k]);
+    }
+    // assemble the receive buffer from precomputed arena runs — the one
+    // per-byte copy on this engine
+    rbuf.clear();
+    rbuf.reserve(rl.out_blocks as usize * m);
+    for &(s, l) in &rl.out_runs {
+        buf.copy_out(s as usize * m, l as usize * m, &mut rbuf);
+    }
+    Ok(rbuf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::build_pattern;
     use crate::common_neighbor::plan_common_neighbor;
-    use crate::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads, Virtual};
     use crate::lower::lower;
     use crate::naive::plan_naive;
     use nhood_cluster::ClusterLayout;
     use nhood_topology::random::erdos_renyi;
+
+    /// Runs both engines through the trait and checks they agree.
+    fn run_both(
+        plan: &CollectivePlan,
+        g: &Topology,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        let arena_out = Threaded.run_simple(plan, g, payloads)?;
+        let legacy = Threaded.run(
+            plan,
+            g,
+            payloads,
+            &mut BlockArena::new(),
+            &ExecOptions::new().engine(ExecEngine::PerBlock),
+        )?;
+        assert_eq!(arena_out, legacy.rbufs, "engines disagree");
+        Ok(arena_out)
+    }
 
     #[test]
     fn naive_threaded_matches_reference() {
         let g = erdos_renyi(16, 0.4, 1);
         let plan = plan_naive(&g);
         let payloads = test_payloads(16, 32, 2);
-        let got = run_threaded(&plan, &g, &payloads).unwrap();
+        let got = run_both(&plan, &g, &payloads).unwrap();
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 
@@ -415,8 +847,8 @@ mod tests {
         let layout = ClusterLayout::new(3, 2, 4);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(24, 16, 9);
-        let threaded = run_threaded(&plan, &g, &payloads).unwrap();
-        let virt = run_virtual(&plan, &g, &payloads).unwrap();
+        let threaded = run_both(&plan, &g, &payloads).unwrap();
+        let virt = Virtual.run_simple(&plan, &g, &payloads).unwrap();
         assert_eq!(threaded, virt);
         assert_eq!(threaded, reference_allgather(&g, &payloads));
     }
@@ -426,7 +858,7 @@ mod tests {
         let g = erdos_renyi(20, 0.5, 4);
         let plan = plan_common_neighbor(&g, 4);
         let payloads = test_payloads(20, 8, 1);
-        let got = run_threaded(&plan, &g, &payloads).unwrap();
+        let got = run_both(&plan, &g, &payloads).unwrap();
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 
@@ -436,8 +868,8 @@ mod tests {
         let mut plan = plan_naive(&g);
         plan.per_rank[0][0].sends.clear(); // rank 1 will wait forever
         let payloads = test_payloads(2, 4, 0);
-        let err =
-            run_threaded_with_timeout(&plan, &g, &payloads, Duration::from_millis(50)).unwrap_err();
+        let opts = ExecOptions::new().recv_timeout(Duration::from_millis(50));
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
         assert_eq!(err, ExecError::Timeout { rank: 1, phase: 0 });
     }
 
@@ -486,7 +918,7 @@ mod tests {
         };
         let payloads = test_payloads(3, 4, 3);
         for _ in 0..20 {
-            let got = run_threaded(&plan, &g, &payloads).unwrap();
+            let got = run_both(&plan, &g, &payloads).unwrap();
             assert_eq!(got, reference_allgather(&g, &payloads));
         }
     }
@@ -495,19 +927,24 @@ mod tests {
     fn empty_communicator() {
         let g = Topology::from_edges(0, []);
         let plan = plan_naive(&g);
-        assert!(run_threaded(&plan, &g, &[]).unwrap().is_empty());
+        assert!(Threaded.run_simple(&plan, &g, &[]).unwrap().is_empty());
     }
 
     #[test]
     fn repeated_runs_are_stable_under_scheduling() {
-        // concurrency stress: many small ranks, many repetitions
+        // concurrency stress: many small ranks, many repetitions, one
+        // shared arena (checks cross-run state is reset correctly)
         let g = erdos_renyi(48, 0.3, 13);
         let layout = ClusterLayout::new(4, 2, 6);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(48, 8, 4);
         let want = reference_allgather(&g, &payloads);
+        let mut arena = BlockArena::new();
+        let opts = ExecOptions::default();
         for _ in 0..5 {
-            assert_eq!(run_threaded(&plan, &g, &payloads).unwrap(), want);
+            let out = Threaded.run(&plan, &g, &payloads, &mut arena, &opts).unwrap();
+            assert_eq!(out.rbufs, want);
+            arena.adopt_rbufs(out.rbufs);
         }
     }
 
@@ -518,20 +955,18 @@ mod tests {
         let payloads = test_payloads(16, 8, 6);
         let fp = FaultPlan::seeded(77).with_message_drop(0.2);
         let rec = nhood_telemetry::CountingRecorder::new(16);
-        let cfg = ThreadedConfig {
-            recv_timeout: Duration::from_secs(5),
-            backoff_base: Duration::from_micros(50),
-            fault: Some(&fp),
-            recorder: &rec,
-            ..ThreadedConfig::default()
-        };
-        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
-        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
-        assert!(rep.faults.drops > 0, "20% drop on a dense 16-rank naive plan must fire");
-        assert!(rep.faults.retries >= rep.faults.drops - rep.faults.lost);
-        assert_eq!(rep.faults.lost, 0, "retry budget should recover every drop here");
+        let opts = ExecOptions::new()
+            .recv_timeout(Duration::from_secs(5))
+            .retries(4, Duration::from_micros(50))
+            .fault(&fp)
+            .recorder(&rec);
+        let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+        assert_eq!(out.rbufs, reference_allgather(&g, &payloads));
+        assert!(out.faults.drops > 0, "20% drop on a dense 16-rank naive plan must fire");
+        assert!(out.faults.retries >= out.faults.drops - out.faults.lost);
+        assert_eq!(out.faults.lost, 0, "retry budget should recover every drop here");
         // the telemetry recorder sees the same retry tally as FaultStats
-        assert_eq!(rec.totals().retries, rep.faults.retries);
+        assert_eq!(rec.totals().retries, out.faults.retries);
     }
 
     #[test]
@@ -540,14 +975,17 @@ mod tests {
         let layout = ClusterLayout::new(3, 2, 4);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(20, 16, 9);
-        let vrec = nhood_telemetry::CountingRecorder::new(20);
-        crate::exec::virtual_exec::run_virtual_rec(&plan, &g, &payloads, &vrec).unwrap();
-        let trec = nhood_telemetry::CountingRecorder::new(20);
-        let cfg = ThreadedConfig { recorder: &trec, ..ThreadedConfig::default() };
-        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
-        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
-        for r in 0..20 {
-            assert_eq!(vrec.per_rank(r), trec.per_rank(r), "rank {r}");
+        for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+            let vrec = nhood_telemetry::CountingRecorder::new(20);
+            let vopts = ExecOptions::new().engine(engine).recorder(&vrec);
+            Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &vopts).unwrap();
+            let trec = nhood_telemetry::CountingRecorder::new(20);
+            let topts = ExecOptions::new().engine(engine).recorder(&trec);
+            let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &topts).unwrap();
+            assert_eq!(out.rbufs, reference_allgather(&g, &payloads));
+            for r in 0..20 {
+                assert_eq!(vrec.per_rank(r), trec.per_rank(r), "rank {r} ({engine:?})");
+            }
         }
     }
 
@@ -558,8 +996,8 @@ mod tests {
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(12, 8, 0);
         let rec = nhood_telemetry::SpanRecorder::new();
-        let cfg = ThreadedConfig { recorder: &rec, ..ThreadedConfig::default() };
-        run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        let opts = ExecOptions::new().recorder(&rec);
+        Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
         let events = rec.events();
         // every rank opens and closes one span per phase
         let begins = events.iter().filter(|e| e.kind == nhood_telemetry::EventKind::Begin).count();
@@ -577,10 +1015,12 @@ mod tests {
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(20, 8, 11);
         let fp = FaultPlan::seeded(5).with_message_duplication(0.3).with_message_reorder(0.3);
-        let cfg = ThreadedConfig { fault: Some(&fp), ..ThreadedConfig::default() };
-        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
-        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
-        assert!(rep.faults.duplicates + rep.faults.reorders > 0);
+        for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+            let opts = ExecOptions::new().engine(engine).fault(&fp);
+            let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+            assert_eq!(out.rbufs, reference_allgather(&g, &payloads), "{engine:?}");
+            assert!(out.faults.duplicates + out.faults.reorders > 0);
+        }
     }
 
     #[test]
@@ -589,13 +1029,9 @@ mod tests {
         let plan = plan_naive(&g);
         let payloads = test_payloads(12, 4, 2);
         let fp = FaultPlan::seeded(0).with_crashed_rank(3, 0);
-        let cfg = ThreadedConfig {
-            recv_timeout: Duration::from_millis(100),
-            fault: Some(&fp),
-            ..ThreadedConfig::default()
-        };
+        let opts = ExecOptions::new().recv_timeout(Duration::from_millis(100)).fault(&fp);
         let t0 = Instant::now();
-        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
         assert!(err.is_timeout_class(), "{err:?}");
         assert!(t0.elapsed() < Duration::from_secs(5), "must not hang");
     }
@@ -607,16 +1043,13 @@ mod tests {
         let payloads = test_payloads(2, 4, 0);
         // p=1 drop: every attempt (and every retry) is discarded
         let fp = FaultPlan::seeded(1).with_message_drop(1.0);
-        let cfg = ThreadedConfig {
-            recv_timeout: Duration::from_secs(30),
-            phase_deadline: Some(Duration::from_millis(80)),
-            max_retries: 2,
-            backoff_base: Duration::from_micros(10),
-            fault: Some(&fp),
-            ..ThreadedConfig::default()
-        };
+        let opts = ExecOptions::new()
+            .recv_timeout(Duration::from_secs(30))
+            .phase_deadline(Some(Duration::from_millis(80)))
+            .retries(2, Duration::from_micros(10))
+            .fault(&fp);
         let t0 = Instant::now();
-        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
         assert_eq!(err, ExecError::PhaseDeadline { rank: 1, phase: 0 });
         assert!(t0.elapsed() < Duration::from_secs(2));
     }
@@ -627,10 +1060,28 @@ mod tests {
         let plan = plan_naive(&g);
         let payloads = test_payloads(8, 4, 1);
         let fp = FaultPlan::seeded(2).with_slow_rank(1, Duration::from_millis(20));
-        let cfg = ThreadedConfig { fault: Some(&fp), ..ThreadedConfig::default() };
+        let opts = ExecOptions::new().fault(&fp);
         let t0 = Instant::now();
-        let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
-        assert_eq!(rep.rbufs, reference_allgather(&g, &payloads));
+        let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+        assert_eq!(out.rbufs, reference_allgather(&g, &payloads));
         assert!(t0.elapsed() >= Duration::from_millis(20), "straggler must stall the run");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let g = erdos_renyi(12, 0.4, 3);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(12, 8, 2);
+        let want = reference_allgather(&g, &payloads);
+        assert_eq!(run_threaded(&plan, &g, &payloads).unwrap(), want);
+        assert_eq!(run_threaded_v(&plan, &g, &payloads).unwrap(), want);
+        assert_eq!(
+            run_threaded_with_timeout(&plan, &g, &payloads, Duration::from_secs(5)).unwrap(),
+            want
+        );
+        let cfg = ThreadedConfig::default();
+        assert_eq!(run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap().rbufs, want);
+        assert_eq!(run_threaded_cfg_v(&plan, &g, &payloads, &cfg).unwrap().rbufs, want);
     }
 }

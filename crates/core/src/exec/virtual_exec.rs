@@ -1,33 +1,162 @@
 //! The virtual executor: deterministic, sequential, real bytes.
 //!
 //! Runs all ranks in lock-step, one plan phase at a time, moving actual
-//! payload bytes between per-rank block stores. Blocks are shared via
-//! `Arc`, so relaying a block is O(1) — the executor scales to thousands
-//! of ranks and multi-megabyte payloads, which makes it the correctness
-//! oracle for every algorithm and topology in the test suite.
+//! payload bytes between per-rank stores. It is the correctness oracle
+//! for every algorithm and topology in the test suite and scales to
+//! thousands of ranks.
+//!
+//! Two data-movement engines implement the same semantics:
+//!
+//! * [`ExecEngine::Arena`] (default) — each rank holds one flat buffer
+//!   laid out by a precomputed [`crate::arena::ArenaLayout`]; a planned
+//!   message is a handful of `copy_from_slice` calls between arenas
+//!   (one, for Distance Halving halving steps) and receive buffers are
+//!   assembled from precomputed runs;
+//! * [`ExecEngine::PerBlock`] — the legacy store: blocks shared via
+//!   `Arc` in per-rank hash maps. Kept as the baseline the bench
+//!   harness compares against, and for ragged payloads.
 
-use crate::exec::{check_payloads, ExecError};
+use crate::arena::{two_bufs, BlockArena, SlotRun};
+use crate::exec::{check_payloads, ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor};
 use crate::plan::CollectivePlan;
 use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// The sequential real-bytes backend (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Virtual;
+
+impl Executor for Virtual {
+    fn name(&self) -> &'static str {
+        "virtual"
+    }
+
+    fn run(
+        &self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        payloads: &[Vec<u8>],
+        arena: &mut BlockArena,
+        opts: &ExecOptions<'_>,
+    ) -> Result<ExecOutcome, ExecError> {
+        if payloads.len() != plan.n() {
+            return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
+        }
+        let rbufs = match opts.effective_engine() {
+            ExecEngine::Arena => {
+                let m = check_payloads(payloads, plan.n())?;
+                run_arena(plan, graph, payloads, m, arena, opts)?
+            }
+            ExecEngine::PerBlock => {
+                if !opts.ragged {
+                    check_payloads(payloads, plan.n())?;
+                }
+                run_any(plan, graph, payloads, opts.recorder)?
+            }
+        };
+        Ok(ExecOutcome { rbufs, ..ExecOutcome::default() })
+    }
+}
+
+/// Zero-copy engine: direct arena-to-arena span copies.
+fn run_arena(
+    plan: &CollectivePlan,
+    graph: &Topology,
+    payloads: &[Vec<u8>],
+    m: usize,
+    arena: &mut BlockArena,
+    opts: &ExecOptions<'_>,
+) -> Result<Vec<Vec<u8>>, ExecError> {
+    let rec = opts.recorder;
+    let n = plan.n();
+    let layout = arena.prepare(plan, graph)?;
+    arena.fill(&layout, payloads, m);
+    let mut bufs = arena.take_bufs();
+
+    for k in 0..layout.phase_count {
+        for (r, prog) in plan.per_rank.iter().enumerate() {
+            if prog[k].copy_blocks > 0 {
+                rec.copies(r, prog[k].copy_blocks);
+            }
+        }
+        for r in 0..n {
+            for op in &layout.ranks[r].phases[k].sends {
+                let bytes = op.blocks as usize * m;
+                rec.msg_sent(r, op.peer, bytes);
+                rec.msg_recvd(op.peer, r, bytes);
+                let dst_runs = &layout.ranks[op.peer].recv_runs[&(r, op.tag)];
+                let (src, dst) = two_bufs(&mut bufs, r, op.peer);
+                copy_runs(src, &op.runs, dst, dst_runs, m);
+            }
+        }
+    }
+
+    let mut rbufs = arena.take_rbufs(n);
+    for (r, rb) in rbufs.iter_mut().enumerate() {
+        let cap = rb.capacity();
+        rb.clear();
+        rb.reserve(layout.ranks[r].out_blocks as usize * m);
+        for &(s, l) in &layout.ranks[r].out_runs {
+            let start = s as usize * m;
+            rb.extend_from_slice(&bufs[r][start..start + l as usize * m]);
+        }
+        arena.note_realloc(rb.capacity() != cap);
+    }
+    arena.restore_bufs(bufs);
+    Ok(rbufs)
+}
+
+/// Copies blocks from `src` spans to `dst` spans (both in slot units of
+/// `m` bytes, same total block count by plan mirror-validation).
+pub(crate) fn copy_runs(
+    src: &[u8],
+    src_runs: &[SlotRun],
+    dst: &mut [u8],
+    dst_runs: &[SlotRun],
+    m: usize,
+) {
+    let mut si = 0usize;
+    let mut soff = 0u32;
+    for &(dslot, dlen) in dst_runs {
+        let mut need = dlen;
+        let mut dpos = dslot as usize * m;
+        while need > 0 {
+            let (sslot, slen) = src_runs[si];
+            let take = (slen - soff).min(need);
+            let spos = (sslot + soff) as usize * m;
+            let nbytes = take as usize * m;
+            dst[dpos..dpos + nbytes].copy_from_slice(&src[spos..spos + nbytes]);
+            soff += take;
+            need -= take;
+            dpos += nbytes;
+            if soff == slen {
+                si += 1;
+                soff = 0;
+            }
+        }
+    }
+}
+
 /// Executes `plan` with the given per-rank payloads and returns each
 /// rank's receive buffer: the payloads of its incoming neighbors,
 /// concatenated in `in_neighbors` order (MPI neighborhood-allgather
-/// semantics). Payloads must all have the same length; use
-/// [`run_virtual_v`] for the `allgatherv` (ragged) variant.
+/// semantics).
+#[deprecated(
+    note = "use `Virtual.run(...)` or `Virtual.run_simple(...)` (see docs/EXECUTION_API.md)"
+)]
 pub fn run_virtual(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ExecError> {
-    run_virtual_rec(plan, graph, payloads, &NULL)
+    check_payloads(payloads, plan.n())?;
+    run_any(plan, graph, payloads, &NULL)
 }
 
-/// [`run_virtual`] with a telemetry [`Recorder`]: message sends /
-/// deliveries and per-phase copy charges are reported as they happen.
+/// [`run_virtual`] with a telemetry [`Recorder`].
+#[deprecated(note = "use `Virtual.run(...)` with `ExecOptions::new().recorder(...)`")]
 pub fn run_virtual_rec(
     plan: &CollectivePlan,
     graph: &Topology,
@@ -39,18 +168,21 @@ pub fn run_virtual_rec(
 }
 
 /// The `neighbor_allgatherv` variant of [`run_virtual`]: per-rank
-/// payloads may have different lengths (every plan is size-oblivious —
-/// messages are described by *whose* blocks they carry, so the same plan
-/// moves ragged payloads correctly).
+/// payloads may have different lengths.
+#[deprecated(note = "use `Virtual.run(...)` with `ExecOptions::new().ragged(true)`")]
 pub fn run_virtual_v(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, ExecError> {
-    run_virtual_v_rec(plan, graph, payloads, &NULL)
+    if payloads.len() != plan.n() {
+        return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: plan.n() });
+    }
+    run_any(plan, graph, payloads, &NULL)
 }
 
 /// [`run_virtual_v`] with a telemetry [`Recorder`].
+#[deprecated(note = "use `Virtual.run(...)` with `ExecOptions::new().ragged(true).recorder(...)`")]
 pub fn run_virtual_v_rec(
     plan: &CollectivePlan,
     graph: &Topology,
@@ -63,7 +195,8 @@ pub fn run_virtual_v_rec(
     run_any(plan, graph, payloads, rec)
 }
 
-fn run_any(
+/// The legacy per-block engine (also serves ragged payloads).
+pub(crate) fn run_any(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
@@ -168,12 +301,31 @@ mod tests {
     use nhood_cluster::ClusterLayout;
     use nhood_topology::random::erdos_renyi;
 
+    /// Runs both engines and checks they agree before returning the
+    /// arena result.
+    fn run_both(
+        plan: &CollectivePlan,
+        g: &Topology,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>, ExecError> {
+        let arena_out = Virtual.run_simple(plan, g, payloads)?;
+        let legacy = Virtual.run(
+            plan,
+            g,
+            payloads,
+            &mut BlockArena::new(),
+            &ExecOptions::new().engine(ExecEngine::PerBlock),
+        )?;
+        assert_eq!(arena_out, legacy.rbufs, "engines disagree");
+        Ok(arena_out)
+    }
+
     #[test]
     fn naive_matches_reference() {
         let g = erdos_renyi(24, 0.3, 1);
         let plan = plan_naive(&g);
         let payloads = test_payloads(24, 16, 7);
-        let got = run_virtual(&plan, &g, &payloads).unwrap();
+        let got = run_both(&plan, &g, &payloads).unwrap();
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 
@@ -186,7 +338,7 @@ mod tests {
             let layout = ClusterLayout::new(nodes, 2, cores);
             let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
             let payloads = test_payloads(n, 8, 3);
-            let got = run_virtual(&plan, &g, &payloads)
+            let got = run_both(&plan, &g, &payloads)
                 .unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
             assert_eq!(got, reference_allgather(&g, &payloads), "n={n} delta={delta}");
         }
@@ -198,7 +350,7 @@ mod tests {
             let g = erdos_renyi(32, 0.4, 9);
             let plan = plan_common_neighbor(&g, k);
             let payloads = test_payloads(32, 12, 1);
-            let got = run_virtual(&plan, &g, &payloads).unwrap();
+            let got = run_both(&plan, &g, &payloads).unwrap();
             assert_eq!(got, reference_allgather(&g, &payloads), "k={k}");
         }
     }
@@ -208,7 +360,7 @@ mod tests {
         let g = erdos_renyi(12, 0.5, 2);
         let plan = plan_naive(&g);
         let payloads = vec![vec![]; 12];
-        let got = run_virtual(&plan, &g, &payloads).unwrap();
+        let got = run_both(&plan, &g, &payloads).unwrap();
         for (r, rbuf) in got.iter().enumerate() {
             assert!(rbuf.is_empty(), "rank {r}");
         }
@@ -219,12 +371,12 @@ mod tests {
         let g = erdos_renyi(4, 0.5, 2);
         let plan = plan_naive(&g);
         assert_eq!(
-            run_virtual(&plan, &g, &[vec![0u8; 4]]).unwrap_err(),
+            Virtual.run_simple(&plan, &g, &[vec![0u8; 4]]).unwrap_err(),
             ExecError::PayloadCountMismatch { got: 1, want: 4 }
         );
         let bad = vec![vec![0u8; 4], vec![0u8; 4], vec![0u8; 5], vec![0u8; 4]];
         assert_eq!(
-            run_virtual(&plan, &g, &bad).unwrap_err(),
+            Virtual.run_simple(&plan, &g, &bad).unwrap_err(),
             ExecError::PayloadSizeMismatch { rank: 2, got: 5, want: 4 }
         );
     }
@@ -241,7 +393,7 @@ mod tests {
         });
         let payloads = test_payloads(3, 4, 0);
         assert_eq!(
-            run_virtual(&plan, &g, &payloads).unwrap_err(),
+            run_both(&plan, &g, &payloads).unwrap_err(),
             ExecError::MissingBlock { rank: 1, block: 0, phase: 0 }
         );
     }
@@ -253,7 +405,7 @@ mod tests {
         plan.per_rank[0][0].sends.clear();
         let payloads = test_payloads(2, 4, 0);
         assert_eq!(
-            run_virtual(&plan, &g, &payloads).unwrap_err(),
+            run_both(&plan, &g, &payloads).unwrap_err(),
             ExecError::Undelivered { rank: 1, block: 0 }
         );
     }
@@ -265,7 +417,7 @@ mod tests {
         let g = Topology::from_edges(4, [(2, 0), (1, 0), (3, 0)]);
         let plan = plan_naive(&g);
         let payloads = test_payloads(4, 4, 11);
-        let got = run_virtual(&plan, &g, &payloads).unwrap();
+        let got = run_both(&plan, &g, &payloads).unwrap();
         // in_neighbors(0) = [1, 2, 3]
         assert_eq!(&got[0][0..4], &payloads[1][..]);
         assert_eq!(&got[0][4..8], &payloads[2][..]);
@@ -278,35 +430,75 @@ mod tests {
         let layout = ClusterLayout::new(3, 2, 4);
         let payloads: Vec<Vec<u8>> = (0..20).map(|r| vec![r as u8; r % 5]).collect(); // lengths 0..=4
         let want = reference_allgather(&g, &payloads);
+        let ragged = ExecOptions::new().ragged(true);
         for plan in [
             plan_naive(&g),
             plan_common_neighbor(&g, 4),
             lower(&build_pattern(&g, &layout).unwrap(), &g),
         ] {
-            let got = run_virtual_v(&plan, &g, &payloads).unwrap();
+            let got =
+                Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &ragged).unwrap().rbufs;
             assert_eq!(got, want);
         }
-        // the strict allgather entry point rejects ragged payloads
+        // the strict (uniform) call rejects ragged payloads
         assert!(matches!(
-            run_virtual(&plan_naive(&g), &g, &payloads),
+            Virtual.run_simple(&plan_naive(&g), &g, &payloads),
             Err(ExecError::PayloadSizeMismatch { .. })
         ));
     }
 
     #[test]
-    fn recorder_counts_match_plan_statics() {
+    fn recorder_counts_match_plan_statics_on_both_engines() {
         let g = erdos_renyi(24, 0.3, 5);
         let layout = ClusterLayout::new(3, 2, 4);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let payloads = test_payloads(24, 8, 1);
-        let rec = nhood_telemetry::CountingRecorder::new(24);
-        let got = run_virtual_rec(&plan, &g, &payloads, &rec).unwrap();
-        assert_eq!(got, reference_allgather(&g, &payloads));
-        let t = rec.totals();
-        assert_eq!(t.msgs_sent as usize, plan.message_count());
-        assert_eq!(t.msgs_sent, t.msgs_recvd);
-        assert_eq!(t.bytes_sent, t.bytes_recvd);
-        assert_eq!(t.bytes_sent as usize, plan.total_blocks_sent() * 8);
+        for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+            let rec = nhood_telemetry::CountingRecorder::new(24);
+            let opts = ExecOptions::new().engine(engine).recorder(&rec);
+            let got =
+                Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap().rbufs;
+            assert_eq!(got, reference_allgather(&g, &payloads));
+            let t = rec.totals();
+            assert_eq!(t.msgs_sent as usize, plan.message_count(), "{engine:?}");
+            assert_eq!(t.msgs_sent, t.msgs_recvd);
+            assert_eq!(t.bytes_sent, t.bytes_recvd);
+            assert_eq!(t.bytes_sent as usize, plan.total_blocks_sent() * 8);
+        }
+    }
+
+    #[test]
+    fn arena_is_reused_across_runs() {
+        let g = erdos_renyi(24, 0.4, 8);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let mut arena = BlockArena::new();
+        let opts = ExecOptions::default();
+        let mut prev = None;
+        for round in 0..10u64 {
+            let payloads = test_payloads(24, 32, round);
+            let out = Virtual.run(&plan, &g, &payloads, &mut arena, &opts).unwrap();
+            assert_eq!(out.rbufs, reference_allgather(&g, &payloads), "round {round}");
+            // give the output buffers back so the next run reuses them
+            arena.adopt_rbufs(out.rbufs);
+            if let Some(p) = prev {
+                assert_eq!(arena.reallocations(), p, "round {round} reallocated");
+            }
+            prev = Some(arena.reallocations());
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let g = erdos_renyi(12, 0.4, 3);
+        let plan = plan_naive(&g);
+        let payloads = test_payloads(12, 8, 2);
+        let want = reference_allgather(&g, &payloads);
+        assert_eq!(run_virtual(&plan, &g, &payloads).unwrap(), want);
+        assert_eq!(run_virtual_rec(&plan, &g, &payloads, &NULL).unwrap(), want);
+        assert_eq!(run_virtual_v(&plan, &g, &payloads).unwrap(), want);
+        assert_eq!(run_virtual_v_rec(&plan, &g, &payloads, &NULL).unwrap(), want);
     }
 
     #[test]
@@ -317,7 +509,7 @@ mod tests {
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         plan.validate(&g).unwrap();
         let payloads = test_payloads(540, 8, 5);
-        let got = run_virtual(&plan, &g, &payloads).unwrap();
+        let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 }

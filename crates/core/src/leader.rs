@@ -173,7 +173,8 @@ pub fn plan_hierarchical_leader(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use crate::exec::{Executor, Virtual};
     use nhood_topology::random::erdos_renyi;
 
     #[test]
@@ -187,7 +188,7 @@ mod tests {
             plan.validate(&g)
                 .unwrap_or_else(|e| panic!("n={n} delta={delta} leaders={leaders}: {e}"));
             let payloads = test_payloads(n, 8, 1);
-            let got = run_virtual(&plan, &g, &payloads).unwrap();
+            let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
             assert_eq!(got, reference_allgather(&g, &payloads), "n={n} leaders={leaders}");
         }
     }
@@ -263,7 +264,7 @@ mod tests {
             let plan = plan_hierarchical_leader(&g, &layout, leaders);
             plan.validate(&g).unwrap_or_else(|e| panic!("leaders={leaders}: {e}"));
             let payloads = test_payloads(8, 4, 7);
-            let got = run_virtual(&plan, &g, &payloads).unwrap();
+            let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
             assert_eq!(got, reference_allgather(&g, &payloads));
         }
     }

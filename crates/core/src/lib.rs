@@ -17,10 +17,11 @@
 //! * [`lower`] turns the pattern into an executable
 //!   [`plan::CollectivePlan`] (the planning half of Algorithm 4);
 //!   [`naive`] and [`common_neighbor`] produce plans of the same shape.
-//! * [`exec`] runs plans three ways: sequentially with real bytes
-//!   ([`exec::virtual_exec`]), concurrently with one thread per rank
-//!   ([`exec::threaded`]), and in simulated time on a modelled cluster
-//!   ([`exec::sim_exec`]).
+//! * [`exec`] runs plans behind one [`exec::Executor`] trait with three
+//!   backends: sequentially with real bytes ([`exec::Virtual`]),
+//!   concurrently with one thread per rank ([`exec::Threaded`]), and in
+//!   simulated time on a modelled cluster ([`exec::Sim`]); [`arena`] is
+//!   the zero-copy flat-buffer engine they share.
 //! * [`model`] is the paper's §V closed-form performance model.
 //! * [`fault`] is a deterministic fault-injection layer (message drops,
 //!   delays, duplicates, reorders, stragglers, crashes) consulted by the
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod alltoall;
+pub mod arena;
 pub mod builder;
 pub mod comm;
 pub mod common_neighbor;
@@ -65,10 +67,11 @@ pub mod remap;
 pub mod select_algo;
 pub mod selection;
 
+pub use arena::{ArenaLayout, BlockArena};
 pub use comm::{CommError, DistGraphComm, ExecReport, FallbackReason, RobustPolicy};
 pub use exec::sim_exec::SimCost;
-pub use exec::ExecError;
+pub use exec::{ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor, Sim, Threaded, Virtual};
 pub use fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
 pub use pattern::{DhPattern, SelectionStats};
-pub use plan::{Algorithm, CollectivePlan};
+pub use plan::{Algorithm, CollectivePlan, PlanValidationError};
 pub use select_algo::recommend;

@@ -20,6 +20,17 @@
 //! * final phase: step-`last` arrival copies plus the temp-buffer packing
 //!   of all outgoing final messages (lines 21–28);
 //! * epilogue: one copy per received final-phase block (line 33).
+//!
+//! Ordering contract with the zero-copy engine: [`crate::arena`] derives
+//! each rank's flat slot layout by walking phases — and the `recvs` list
+//! within a phase — in exactly the order emitted here, assigning fresh
+//! blocks consecutive tail slots on first arrival. Because a halving-step
+//! receive delivers the peer's whole pre-step buffer (itself laid out by
+//! the same walk) and final-phase `recvs` are sorted by peer, every
+//! delivered message lands as one contiguous slot run. Reordering the
+//! emission here is safe for correctness (the layout just follows), but
+//! can fragment those runs and cost the arena engine its single-slice
+//! sends.
 
 use crate::pattern::DhPattern;
 use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};

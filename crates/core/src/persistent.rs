@@ -2,16 +2,19 @@
 //! `MPI_Neighbor_allgather_init` workflow: plan once, execute many times
 //! against preallocated buffers.
 //!
-//! [`PersistentAllgather`] owns a validated plan and the reusable
-//! per-rank buffer storage; every [`execute`](PersistentAllgather::execute)
-//! reuses the allocation from the previous call (the receive buffers are
-//! handed out as slices into an arena that persists across calls). This
-//! is how an application amortizes the one-time pattern-creation cost —
-//! the whole point of the Fig. 8 trade-off.
+//! [`PersistentAllgather`] owns a validated plan and a reusable
+//! [`BlockArena`]: `init` pre-computes the zero-copy arena layout, and
+//! every [`execute`](PersistentAllgather::execute) runs over the same
+//! flat buffers, recycling the previous call's receive buffers. After
+//! the first execution at a given message size, steady-state executions
+//! perform **no allocations at all** (asserted via
+//! [`BlockArena::reallocations`]). This is how an application amortizes
+//! the one-time pattern-creation cost — the whole point of the Fig. 8
+//! trade-off.
 
+use crate::arena::BlockArena;
 use crate::comm::{CommError, DistGraphComm};
-use crate::exec::virtual_exec::run_virtual;
-use crate::exec::ExecError;
+use crate::exec::{ExecError, ExecOptions, Executor, Virtual};
 use crate::plan::{Algorithm, CollectivePlan};
 use nhood_topology::Topology;
 
@@ -20,16 +23,23 @@ use nhood_topology::Topology;
 pub struct PersistentAllgather {
     graph: Topology,
     plan: CollectivePlan,
-    /// arena reused across executions: per-rank receive buffers
+    /// Reusable zero-copy workspace: cached layout + flat buffers.
+    arena: BlockArena,
+    /// Receive buffers of the latest execution; recycled into the arena
+    /// at the start of the next one.
     rbufs: Vec<Vec<u8>>,
     executions: usize,
 }
 
 impl PersistentAllgather {
-    /// Plans the collective once (the expensive step).
+    /// Plans the collective once (the expensive step) and pre-computes
+    /// the arena layout, so the first `execute` only pays buffer
+    /// allocation.
     pub fn init(comm: &DistGraphComm, algo: Algorithm) -> Result<Self, CommError> {
         let plan = comm.plan(algo)?;
-        Ok(Self { graph: comm.graph().clone(), plan, rbufs: Vec::new(), executions: 0 })
+        let mut arena = BlockArena::new();
+        arena.prepare(&plan, comm.graph())?;
+        Ok(Self { graph: comm.graph().clone(), plan, arena, rbufs: Vec::new(), executions: 0 })
     }
 
     /// The underlying plan (inspection only).
@@ -42,22 +52,21 @@ impl PersistentAllgather {
         self.executions
     }
 
+    /// How many buffer growths all executions have paid so far. Constant
+    /// across steady-state executions at a fixed message size.
+    pub fn reallocations(&self) -> u64 {
+        self.arena.reallocations()
+    }
+
     /// Executes the planned collective on fresh payloads, reusing the
-    /// internal receive-buffer arena. Returns per-rank receive buffers
-    /// (borrowed until the next execution).
+    /// internal arena. Returns per-rank receive buffers (borrowed until
+    /// the next execution).
     pub fn execute(&mut self, payloads: &[Vec<u8>]) -> Result<&[Vec<u8>], ExecError> {
-        // The virtual executor allocates; move its output into the arena
-        // so repeated calls recycle capacity (Vec assignment reuses the
-        // arena's allocations when capacities suffice).
-        let out = run_virtual(&self.plan, &self.graph, payloads)?;
-        if self.rbufs.len() != out.len() {
-            self.rbufs = out;
-        } else {
-            for (slot, buf) in self.rbufs.iter_mut().zip(out) {
-                slot.clear();
-                slot.extend_from_slice(&buf);
-            }
-        }
+        // recycle the previous output's capacity before running
+        self.arena.adopt_rbufs(std::mem::take(&mut self.rbufs));
+        let out =
+            Virtual.run(&self.plan, &self.graph, payloads, &mut self.arena, &ExecOptions::new())?;
+        self.rbufs = out.rbufs;
         self.executions += 1;
         Ok(&self.rbufs)
     }
@@ -97,6 +106,22 @@ mod tests {
             let want = reference_allgather(c.graph(), &payloads);
             assert_eq!(p.execute(&payloads).unwrap(), &want[..], "m={m}");
         }
+    }
+
+    #[test]
+    fn steady_state_executions_do_not_reallocate() {
+        let c = comm();
+        let mut p = PersistentAllgather::init(&c, Algorithm::DistanceHalving).unwrap();
+        let payloads = test_payloads(32, 64, 3);
+        let want = reference_allgather(c.graph(), &payloads);
+        // first execution sizes the arena and receive buffers
+        assert_eq!(p.execute(&payloads).unwrap(), &want[..]);
+        let after_warmup = p.reallocations();
+        for round in 0..100 {
+            p.execute(&payloads).unwrap();
+            assert_eq!(p.reallocations(), after_warmup, "round {round} reallocated");
+        }
+        assert_eq!(p.executions(), 101);
     }
 
     #[test]

@@ -27,6 +27,185 @@
 use crate::pattern::SelectionStats;
 use nhood_topology::{Rank, Topology};
 
+/// Which direction of a [`PlannedMsg`] a validation error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgDir {
+    /// The message appears in a phase's `sends`.
+    Send,
+    /// The message appears in a phase's `recvs`.
+    Recv,
+}
+
+impl std::fmt::Display for MsgDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgDir::Send => write!(f, "send"),
+            MsgDir::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// Why [`CollectivePlan::validate`] rejected a plan.
+///
+/// Mirrors the style of [`crate::exec::ExecError`]: every failure is a
+/// typed variant carrying the offending ranks/phases, so the CLI and
+/// tests can match on causes instead of substring-grepping a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanValidationError {
+    /// The plan and the topology disagree on the number of ranks.
+    RankCountMismatch {
+        /// Ranks in the plan.
+        plan: usize,
+        /// Ranks in the topology.
+        topology: usize,
+    },
+    /// A rank's program is not lock-step with rank 0's.
+    NotLockStep {
+        /// The offending rank.
+        rank: Rank,
+        /// Its phase count.
+        got: usize,
+        /// The expected (rank 0's) phase count.
+        want: usize,
+    },
+    /// A message names an out-of-range or self peer.
+    BadPeer {
+        /// The rank whose program holds the message.
+        rank: Rank,
+        /// Phase index.
+        phase: usize,
+        /// The bad peer.
+        peer: Rank,
+        /// Whether the message is a send or a recv.
+        dir: MsgDir,
+    },
+    /// A send carries no blocks.
+    EmptySend {
+        /// Sending rank.
+        rank: Rank,
+        /// Phase index.
+        phase: usize,
+        /// Destination.
+        peer: Rank,
+    },
+    /// Two messages share a `(src, dst, tag)` key.
+    DuplicateKey {
+        /// Source rank.
+        src: Rank,
+        /// Destination rank.
+        dst: Rank,
+        /// The shared tag.
+        tag: u64,
+        /// Whether the duplicates are sends or recvs.
+        dir: MsgDir,
+    },
+    /// The total number of sends and recvs differ.
+    SendRecvCountMismatch {
+        /// Total sends.
+        sends: usize,
+        /// Total recvs.
+        recvs: usize,
+    },
+    /// A send has no mirroring recv.
+    UnmatchedSend {
+        /// Source rank.
+        src: Rank,
+        /// Destination rank.
+        dst: Rank,
+        /// Tag.
+        tag: u64,
+    },
+    /// A send and its mirroring recv sit in different phases.
+    PhaseSkew {
+        /// Source rank.
+        src: Rank,
+        /// Destination rank.
+        dst: Rank,
+        /// Tag.
+        tag: u64,
+        /// Phase the send is posted in.
+        send_phase: usize,
+        /// Phase the recv is posted in.
+        recv_phase: usize,
+    },
+    /// A send and its mirroring recv disagree on the block list.
+    BlockListMismatch {
+        /// Source rank.
+        src: Rank,
+        /// Destination rank.
+        dst: Rank,
+        /// Tag.
+        tag: u64,
+    },
+    /// A rank sends a block it does not hold at that phase.
+    UnheldBlock {
+        /// Sending rank.
+        rank: Rank,
+        /// Phase index.
+        phase: usize,
+        /// The block it never held.
+        block: Rank,
+    },
+    /// A topology edge's block is never delivered.
+    NeverDelivered {
+        /// Block owner (edge source).
+        src: Rank,
+        /// Edge destination.
+        dst: Rank,
+    },
+    /// A topology edge's block is delivered more than once.
+    DuplicateDelivery {
+        /// Block owner (edge source).
+        src: Rank,
+        /// Edge destination.
+        dst: Rank,
+        /// How many times it arrived.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for PlanValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use PlanValidationError::*;
+        match self {
+            RankCountMismatch { plan, topology } => {
+                write!(f, "plan has {plan} ranks, topology has {topology}")
+            }
+            NotLockStep { rank, got, want } => {
+                write!(f, "rank {rank} has {got} phases, expected lock-step {want}")
+            }
+            BadPeer { rank, phase, peer, dir } => {
+                write!(f, "rank {rank} phase {phase}: bad {dir} peer {peer}")
+            }
+            EmptySend { rank, phase, peer } => {
+                write!(f, "rank {rank} phase {phase}: empty send to {peer}")
+            }
+            DuplicateKey { src, dst, tag, dir } => {
+                write!(f, "duplicate {dir} key ({src},{dst},{tag})")
+            }
+            SendRecvCountMismatch { sends, recvs } => write!(f, "{sends} sends vs {recvs} recvs"),
+            UnmatchedSend { src, dst, tag } => {
+                write!(f, "send ({src},{dst},{tag}) has no matching recv")
+            }
+            PhaseSkew { src, dst, tag, send_phase, recv_phase } => {
+                write!(f, "send ({src},{dst},{tag}) in phase {send_phase} but recv in {recv_phase}")
+            }
+            BlockListMismatch { src, dst, tag } => {
+                write!(f, "send ({src},{dst},{tag}) blocks differ from recv")
+            }
+            UnheldBlock { rank, phase, block } => {
+                write!(f, "rank {rank} phase {phase} sends block {block} it does not hold")
+            }
+            NeverDelivered { src, dst } => write!(f, "edge ({src} -> {dst}) never delivered"),
+            DuplicateDelivery { src, dst, count } => {
+                write!(f, "edge ({src} -> {dst}) delivered {count} times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanValidationError {}
+
 /// Which neighborhood-allgather algorithm produced a plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
@@ -170,19 +349,20 @@ impl CollectivePlan {
     /// 5. nothing is delivered that the topology does not require —
     ///    except transit data (blocks a rank relays but does not consume),
     ///    which is allowed and is exactly what distinguishes DH traffic.
-    pub fn validate(&self, graph: &Topology) -> Result<(), String> {
+    pub fn validate(&self, graph: &Topology) -> Result<(), PlanValidationError> {
         use std::collections::HashMap;
         let n = self.n();
         if graph.n() != n {
-            return Err(format!("plan has {n} ranks, topology has {}", graph.n()));
+            return Err(PlanValidationError::RankCountMismatch { plan: n, topology: graph.n() });
         }
         let phases = self.phase_count();
         for (r, prog) in self.per_rank.iter().enumerate() {
             if prog.len() != phases {
-                return Err(format!(
-                    "rank {r} has {} phases, expected lock-step {phases}",
-                    prog.len()
-                ));
+                return Err(PlanValidationError::NotLockStep {
+                    rank: r,
+                    got: prog.len(),
+                    want: phases,
+                });
             }
         }
 
@@ -193,37 +373,70 @@ impl CollectivePlan {
             for (k, ph) in prog.iter().enumerate() {
                 for m in &ph.sends {
                     if m.peer >= n || m.peer == r {
-                        return Err(format!("rank {r} phase {k}: bad send peer {}", m.peer));
+                        return Err(PlanValidationError::BadPeer {
+                            rank: r,
+                            phase: k,
+                            peer: m.peer,
+                            dir: MsgDir::Send,
+                        });
                     }
                     if m.blocks.is_empty() {
-                        return Err(format!("rank {r} phase {k}: empty send to {}", m.peer));
+                        return Err(PlanValidationError::EmptySend {
+                            rank: r,
+                            phase: k,
+                            peer: m.peer,
+                        });
                     }
                     if sends.insert((r, m.peer, m.tag), (k, &m.blocks)).is_some() {
-                        return Err(format!("duplicate send key ({r},{},{})", m.peer, m.tag));
+                        return Err(PlanValidationError::DuplicateKey {
+                            src: r,
+                            dst: m.peer,
+                            tag: m.tag,
+                            dir: MsgDir::Send,
+                        });
                     }
                 }
                 for m in &ph.recvs {
                     if m.peer >= n || m.peer == r {
-                        return Err(format!("rank {r} phase {k}: bad recv peer {}", m.peer));
+                        return Err(PlanValidationError::BadPeer {
+                            rank: r,
+                            phase: k,
+                            peer: m.peer,
+                            dir: MsgDir::Recv,
+                        });
                     }
                     if recvs.insert((m.peer, r, m.tag), (k, &m.blocks)).is_some() {
-                        return Err(format!("duplicate recv key ({},{r},{})", m.peer, m.tag));
+                        return Err(PlanValidationError::DuplicateKey {
+                            src: m.peer,
+                            dst: r,
+                            tag: m.tag,
+                            dir: MsgDir::Recv,
+                        });
                     }
                 }
             }
         }
         if sends.len() != recvs.len() {
-            return Err(format!("{} sends vs {} recvs", sends.len(), recvs.len()));
+            return Err(PlanValidationError::SendRecvCountMismatch {
+                sends: sends.len(),
+                recvs: recvs.len(),
+            });
         }
-        for (key, (sk, sblocks)) in &sends {
-            match recvs.get(key) {
-                None => return Err(format!("send {key:?} has no matching recv")),
+        for (&(src, dst, tag), (sk, sblocks)) in &sends {
+            match recvs.get(&(src, dst, tag)) {
+                None => return Err(PlanValidationError::UnmatchedSend { src, dst, tag }),
                 Some((rk, rblocks)) => {
                     if sk != rk {
-                        return Err(format!("send {key:?} in phase {sk} but recv in {rk}"));
+                        return Err(PlanValidationError::PhaseSkew {
+                            src,
+                            dst,
+                            tag,
+                            send_phase: *sk,
+                            recv_phase: *rk,
+                        });
                     }
                     if sblocks != rblocks {
-                        return Err(format!("send {key:?} blocks differ from recv"));
+                        return Err(PlanValidationError::BlockListMismatch { src, dst, tag });
                     }
                 }
             }
@@ -239,9 +452,11 @@ impl CollectivePlan {
                 for m in &prog[k].sends {
                     for &b in &m.blocks {
                         if !holds[r].contains(&b) {
-                            return Err(format!(
-                                "rank {r} phase {k} sends block {b} it does not hold"
-                            ));
+                            return Err(PlanValidationError::UnheldBlock {
+                                rank: r,
+                                phase: k,
+                                block: b,
+                            });
                         }
                     }
                 }
@@ -259,9 +474,11 @@ impl CollectivePlan {
         }
         for (s, d) in graph.edges() {
             match delivered.get(&(s, d)).copied().unwrap_or(0) {
-                0 => return Err(format!("edge ({s} -> {d}) never delivered")),
+                0 => return Err(PlanValidationError::NeverDelivered { src: s, dst: d }),
                 1 => {}
-                c => return Err(format!("edge ({s} -> {d}) delivered {c} times")),
+                c => {
+                    return Err(PlanValidationError::DuplicateDelivery { src: s, dst: d, count: c })
+                }
             }
         }
         Ok(())
@@ -316,7 +533,7 @@ mod tests {
         plan.per_rank[0][0].sends.clear();
         plan.per_rank[1][0].recvs.clear();
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("never delivered"), "{e}");
+        assert_eq!(e, PlanValidationError::NeverDelivered { src: 0, dst: 1 });
     }
 
     #[test]
@@ -325,7 +542,7 @@ mod tests {
         plan.per_rank[0][0].sends.push(msg(1, vec![0], 9));
         plan.per_rank[1][0].recvs.push(msg(0, vec![0], 9));
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("delivered 2 times"), "{e}");
+        assert_eq!(e, PlanValidationError::DuplicateDelivery { src: 0, dst: 1, count: 2 });
     }
 
     #[test]
@@ -334,7 +551,7 @@ mod tests {
         plan.per_rank[0][0].sends[0].blocks = vec![0, 1]; // rank 0 never holds 1 pre-phase
         plan.per_rank[1][0].recvs[0].blocks = vec![0, 1];
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("does not hold"), "{e}");
+        assert_eq!(e, PlanValidationError::UnheldBlock { rank: 0, phase: 0, block: 1 });
     }
 
     #[test]
@@ -345,7 +562,7 @@ mod tests {
         let (g, mut plan) = pair_plan();
         plan.per_rank[1][0].recvs[0].blocks = vec![1];
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("blocks differ"), "{e}");
+        assert_eq!(e, PlanValidationError::BlockListMismatch { src: 0, dst: 1, tag: 0 });
     }
 
     #[test]
@@ -353,7 +570,8 @@ mod tests {
         let (g, mut plan) = pair_plan();
         plan.per_rank[0].push(PlanPhase::default());
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("lock-step"), "{e}");
+        assert_eq!(e, PlanValidationError::NotLockStep { rank: 1, got: 1, want: 2 });
+        assert!(e.to_string().contains("lock-step"), "{e}");
     }
 
     #[test]
@@ -374,7 +592,7 @@ mod tests {
             selection: None,
         };
         let e = plan.validate(&g).unwrap_err();
-        assert!(e.contains("phase"), "{e}");
+        assert!(matches!(e, PlanValidationError::PhaseSkew { src: 0, dst: 1, tag: 0, .. }), "{e}");
     }
 
     #[test]

@@ -250,15 +250,16 @@ mod tests {
 
     #[test]
     fn loaded_plan_executes_identically() {
-        use crate::exec::virtual_exec::{run_virtual, test_payloads};
+        use crate::exec::virtual_exec::test_payloads;
+        use crate::exec::{Executor, Virtual};
         let g = erdos_renyi(32, 0.3, 9);
         let layout = ClusterLayout::new(4, 2, 4);
         let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
         let back = round_trip(&plan);
         let payloads = test_payloads(32, 16, 3);
         assert_eq!(
-            run_virtual(&plan, &g, &payloads).unwrap(),
-            run_virtual(&back, &g, &payloads).unwrap()
+            Virtual.run_simple(&plan, &g, &payloads).unwrap(),
+            Virtual.run_simple(&back, &g, &payloads).unwrap()
         );
     }
 

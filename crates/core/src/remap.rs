@@ -95,7 +95,8 @@ pub fn plan_distance_halving_reordered(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use crate::exec::{Executor, Virtual};
     use nhood_cluster::Placement;
     use nhood_topology::random::erdos_renyi;
 
@@ -136,7 +137,7 @@ mod tests {
         let plan = plan_distance_halving_reordered(&g, &layout).unwrap();
         plan.validate(&g).unwrap();
         let payloads = test_payloads(24, 8, 2);
-        let got = run_virtual(&plan, &g, &payloads).unwrap();
+        let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
         assert_eq!(got, reference_allgather(&g, &payloads));
     }
 

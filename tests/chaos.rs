@@ -9,10 +9,11 @@
 use nhood_cluster::ClusterLayout;
 use nhood_core::builder::BuildError;
 use nhood_core::distributed_builder::build_pattern_distributed_faulty;
-use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
-use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::exec::{ExecOptions, Executor, Threaded, Virtual};
 use nhood_core::fault::FaultPlan;
 use nhood_core::lower::lower;
+use nhood_core::BlockArena;
 use nhood_core::{Algorithm, DistGraphComm, RobustPolicy};
 use nhood_topology::{MooreSpec, Topology};
 use std::time::{Duration, Instant};
@@ -136,13 +137,9 @@ fn crashed_rank_is_timeout_class_never_a_hang() {
     let payloads = test_payloads(16, 8, 4);
     for crash_phase in 0..plan.phase_count().min(3) {
         let fp = FaultPlan::seeded(7).with_crashed_rank(5, crash_phase);
-        let cfg = ThreadedConfig {
-            recv_timeout: Duration::from_millis(200),
-            fault: Some(&fp),
-            ..ThreadedConfig::default()
-        };
+        let opts = ExecOptions::new().recv_timeout(Duration::from_millis(200)).fault(&fp);
         let t0 = Instant::now();
-        let err = run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap_err();
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
         assert!(err.is_timeout_class(), "crash at phase {crash_phase}: got {err:?}");
         assert!(t0.elapsed() < Duration::from_secs(10), "crash at phase {crash_phase} hung");
     }
@@ -164,7 +161,7 @@ fn negotiation_chaos_yields_valid_pattern_or_typed_timeout() {
                 plan.validate(&g).expect("exactly-once delivery");
                 let payloads = test_payloads(24, 8, 9);
                 assert_eq!(
-                    run_virtual(&plan, &g, &payloads).unwrap(),
+                    Virtual.run_simple(&plan, &g, &payloads).unwrap(),
                     reference_allgather(&g, &payloads)
                 );
             }
@@ -216,15 +213,14 @@ fn direct_threaded_exact_under_retry_budget() {
                 .with_message_duplication(0.1)
                 .with_message_reorder(0.2)
                 .with_message_delay(0.1, Duration::from_micros(200));
-            let cfg = ThreadedConfig {
-                recv_timeout: Duration::from_secs(5),
-                backoff_base: Duration::from_micros(50),
-                fault: Some(&fp),
-                ..ThreadedConfig::default()
-            };
-            let rep = run_threaded_cfg(&plan, &g, &payloads, &cfg)
+            let opts = ExecOptions::new()
+                .recv_timeout(Duration::from_secs(5))
+                .retries(4, Duration::from_micros(50))
+                .fault(&fp);
+            let out = Threaded
+                .run(&plan, &g, &payloads, &mut BlockArena::new(), &opts)
                 .unwrap_or_else(|e| panic!("{algo} seed {seed}: {e}"));
-            assert_eq!(rep.rbufs, want, "{algo} seed {seed}");
+            assert_eq!(out.rbufs, want, "{algo} seed {seed}");
         }
     }
 }

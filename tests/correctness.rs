@@ -3,9 +3,8 @@
 //! defines, through both real executors.
 
 use nhood_cluster::{ClusterLayout, Placement};
-use nhood_core::exec::threaded::run_threaded;
-use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
-use nhood_core::{Algorithm, DistGraphComm};
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::{Algorithm, DistGraphComm, Executor, Threaded, Virtual};
 use nhood_topology::moore::moore_on_grid;
 use nhood_topology::random::{erdos_renyi, erdos_renyi_symmetric};
 use nhood_topology::spmm_graph::spmm_topology;
@@ -28,11 +27,13 @@ fn check_all(graph: &Topology, layout: &ClusterLayout, m: usize, label: &str) {
     for algo in ALGOS {
         let plan = comm.plan(algo).unwrap_or_else(|e| panic!("{label} {algo}: {e}"));
         plan.validate(graph).unwrap_or_else(|e| panic!("{label} {algo}: {e}"));
-        let got = run_virtual(&plan, graph, &payloads)
+        let got = Virtual
+            .run_simple(&plan, graph, &payloads)
             .unwrap_or_else(|e| panic!("{label} {algo} virtual: {e}"));
         assert_eq!(got, want, "{label} {algo} virtual output");
         if graph.n() <= 128 {
-            let got = run_threaded(&plan, graph, &payloads)
+            let got = Threaded
+                .run_simple(&plan, graph, &payloads)
                 .unwrap_or_else(|e| panic!("{label} {algo} threaded: {e}"));
             assert_eq!(got, want, "{label} {algo} threaded output");
         }

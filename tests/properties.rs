@@ -15,9 +15,9 @@
 
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::sim_exec::{simulate, SimCost};
-use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
 use nhood_core::model::ModelParams;
-use nhood_core::{Algorithm, DistGraphComm};
+use nhood_core::{Algorithm, BlockArena, DistGraphComm, ExecOptions, Executor, Threaded, Virtual};
 use nhood_topology::rng::DetRng;
 use nhood_topology::{Bitset, Topology};
 
@@ -62,7 +62,7 @@ fn all_algorithms_correct_on_arbitrary_graphs() {
         {
             let plan = comm.plan(algo).unwrap();
             plan.validate(&g).unwrap();
-            assert_eq!(&run_virtual(&plan, &g, &payloads).unwrap(), &want, "{algo}");
+            assert_eq!(&Virtual.run_simple(&plan, &g, &payloads).unwrap(), &want, "{algo}");
         }
     });
 }
@@ -235,14 +235,16 @@ fn reordered_planner_correct_under_any_placement() {
         let plan = plan_distance_halving_reordered(&g, &layout).unwrap();
         plan.validate(&g).unwrap();
         let payloads = test_payloads(n, 4, 13);
-        assert_eq!(run_virtual(&plan, &g, &payloads).unwrap(), reference_allgather(&g, &payloads));
+        assert_eq!(
+            Virtual.run_simple(&plan, &g, &payloads).unwrap(),
+            reference_allgather(&g, &payloads)
+        );
     });
 }
 
 #[test]
 fn allgatherv_ragged_correct() {
     for_cases(0xA9, |rng| {
-        use nhood_core::exec::virtual_exec::run_virtual_v;
         let g = arb_graph(rng, 24);
         let lens: Vec<usize> = (0..24).map(|_| rng.gen_range(0..16usize)).collect();
         let n = g.n();
@@ -250,9 +252,11 @@ fn allgatherv_ragged_correct() {
         let comm = DistGraphComm::create_adjacent(g.clone(), layout).unwrap();
         let payloads: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; lens[r % lens.len()]]).collect();
         let want = reference_allgather(&g, &payloads);
+        let opts = ExecOptions::new().ragged(true);
         for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
             let plan = comm.plan(algo).unwrap();
-            assert_eq!(&run_virtual_v(&plan, &g, &payloads).unwrap(), &want, "{algo}");
+            let out = Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+            assert_eq!(&out.rbufs, &want, "{algo}");
         }
     });
 }
@@ -267,7 +271,10 @@ fn leader_hierarchy_correct_for_any_leader_count() {
         let plan = nhood_core::leader::plan_hierarchical_leader(&g, &layout, leaders);
         plan.validate(&g).unwrap();
         let payloads = test_payloads(n, 4, 31);
-        assert_eq!(run_virtual(&plan, &g, &payloads).unwrap(), reference_allgather(&g, &payloads));
+        assert_eq!(
+            Virtual.run_simple(&plan, &g, &payloads).unwrap(),
+            reference_allgather(&g, &payloads)
+        );
     });
 }
 
@@ -307,8 +314,8 @@ fn threaded_matches_virtual_on_small_graphs() {
         let comm = DistGraphComm::create_adjacent(g.clone(), layout).unwrap();
         let payloads = test_payloads(n, m, 5);
         let plan = comm.plan(Algorithm::DistanceHalving).unwrap();
-        let v = run_virtual(&plan, &g, &payloads).unwrap();
-        let t = nhood_core::exec::threaded::run_threaded(&plan, &g, &payloads).unwrap();
+        let v = Virtual.run_simple(&plan, &g, &payloads).unwrap();
+        let t = Threaded.run_simple(&plan, &g, &payloads).unwrap();
         assert_eq!(v, t);
     });
 }
@@ -322,8 +329,6 @@ fn telemetry_counters_agree_across_all_backends() {
     // message and byte totals.
     for_cases(0xAD, |rng| {
         use nhood_core::exec::sim_exec::to_schedule;
-        use nhood_core::exec::threaded::{run_threaded_cfg, ThreadedConfig};
-        use nhood_core::exec::virtual_exec::run_virtual_rec;
         use nhood_telemetry::CountingRecorder;
 
         let g = arb_graph(rng, 20);
@@ -336,10 +341,13 @@ fn telemetry_counters_agree_across_all_backends() {
         let plan = comm.plan(algo).unwrap();
 
         let vrec = CountingRecorder::new(n);
-        run_virtual_rec(&plan, &g, &payloads, &vrec).unwrap();
+        Virtual
+            .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::new().recorder(&vrec))
+            .unwrap();
         let trec = CountingRecorder::new(n);
-        let cfg = ThreadedConfig { recorder: &trec, ..ThreadedConfig::default() };
-        run_threaded_cfg(&plan, &g, &payloads, &cfg).unwrap();
+        Threaded
+            .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::new().recorder(&trec))
+            .unwrap();
         for r in 0..n {
             assert_eq!(vrec.per_rank(r), trec.per_rank(r), "{algo}: rank {r} counters diverge");
         }
@@ -354,6 +362,50 @@ fn telemetry_counters_agree_across_all_backends() {
         assert_eq!(v.msgs_recvd, s.msgs_recvd, "{algo}");
         assert_eq!(v.bytes_sent, s.bytes_sent, "{algo}: sim byte totals diverge");
         assert_eq!(v.bytes_recvd, s.bytes_recvd, "{algo}");
+    });
+}
+
+#[test]
+fn arena_path_byte_identical_to_reference_on_all_backends() {
+    // Satellite invariant of the zero-copy arena: on random graphs
+    // (n ≤ 64, δ ∈ {0.1, 0.3, 0.6}) the arena engine produces receive
+    // buffers byte-identical to `reference_allgather` on both
+    // byte-moving backends, and the `Sim` backend — run through the same
+    // `Executor` trait — agrees with them on message and byte totals.
+    use nhood_core::exec::sim_exec::SimCost;
+    use nhood_core::{ExecEngine, Sim};
+    use nhood_telemetry::CountingRecorder;
+
+    for_cases(0xAE, |rng| {
+        let n = rng.gen_range(2..=64usize);
+        let delta = [0.1, 0.3, 0.6][rng.gen_range(0..3usize)];
+        let seed = rng.next_u64();
+        let g = nhood_topology::random::erdos_renyi(n, delta, seed);
+        let m = rng.gen_range(1..128usize);
+        let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+        let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
+        let payloads = test_payloads(n, m, seed);
+        let want = reference_allgather(&g, &payloads);
+        for algo in
+            [Algorithm::Naive, Algorithm::DistanceHalving, Algorithm::CommonNeighbor { k: 4 }]
+        {
+            let plan = comm.plan(algo).unwrap();
+            let opts = ExecOptions::new().engine(ExecEngine::Arena);
+            let vrec = CountingRecorder::new(n);
+            let v = Virtual
+                .run(&plan, &g, &payloads, &mut BlockArena::new(), &opts.recorder(&vrec))
+                .unwrap();
+            assert_eq!(&v.rbufs, &want, "{algo}: virtual arena diverges from reference");
+            let t = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+            assert_eq!(&t.rbufs, &want, "{algo}: threaded arena diverges from reference");
+            let srec = CountingRecorder::new(n);
+            let sim = Sim::new(layout.clone()).cost(SimCost::niagara()).message_size(m);
+            sim.run(&plan, &g, &[], &mut BlockArena::new(), &ExecOptions::new().recorder(&srec))
+                .unwrap();
+            let (vt, st) = (vrec.totals(), srec.totals());
+            assert_eq!(vt.msgs_sent, st.msgs_sent, "{algo}: sim message totals diverge");
+            assert_eq!(vt.bytes_sent, st.bytes_sent, "{algo}: sim byte totals diverge");
+        }
     });
 }
 

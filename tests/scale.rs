@@ -4,8 +4,8 @@
 
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::sim_exec::simulate;
-use nhood_core::exec::virtual_exec::{reference_allgather, run_virtual, test_payloads};
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::{Algorithm, DistGraphComm, Executor, SimCost, Virtual};
 use nhood_topology::moore::{moore, MooreSpec};
 use nhood_topology::random::erdos_renyi;
 
@@ -20,7 +20,7 @@ fn paper_smallest_scale_end_to_end() {
     let want = reference_allgather(&g, &payloads);
     for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
         let plan = comm.plan(algo).unwrap();
-        assert_eq!(run_virtual(&plan, &g, &payloads).unwrap(), want, "{algo}");
+        assert_eq!(Virtual.run_simple(&plan, &g, &payloads).unwrap(), want, "{algo}");
     }
 }
 
@@ -157,7 +157,10 @@ fn distributed_builder_matches_at_scale() {
     let plan = nhood_core::lower::lower(&pattern, &g);
     plan.validate(&g).unwrap();
     let payloads = test_payloads(216, 8, 17);
-    assert_eq!(run_virtual(&plan, &g, &payloads).unwrap(), reference_allgather(&g, &payloads));
+    assert_eq!(
+        Virtual.run_simple(&plan, &g, &payloads).unwrap(),
+        reference_allgather(&g, &payloads)
+    );
     // structure agrees with the sequential emulation where it must
     let seq = nhood_core::builder::build_pattern(&g, &layout).unwrap();
     assert_eq!(pattern.max_steps(), seq.max_steps());
