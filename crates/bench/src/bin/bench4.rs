@@ -1,0 +1,98 @@
+//! `bench4` — regenerate `BENCH_4.json`: plan construction serial vs
+//! pooled build vs fingerprint-keyed cache.
+//!
+//! ```text
+//! bench4 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_4.json` in the current directory. Two
+//! acceptance gates: cache hits ≥ 20× a cold build (always enforced),
+//! and pooled builds ≥ 1.5× serial at n ≥ 512 — enforced only when the
+//! host reports ≥ 2 hardware threads (the detected count is written to
+//! the JSON as `host_threads`). Exits nonzero when an applicable gate
+//! fails.
+
+use nhood_bench::bench4;
+use nhood_core::Algorithm;
+use nhood_telemetry::{summary_table, CountingRecorder};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench4 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_4: plan build serial vs pooled vs cached ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let (rows, speedups) = bench4::run(quick);
+    let report = bench4::gates(&speedups);
+    let json = bench4::write_json(&rows, &speedups, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_4.json");
+
+    eprintln!("   workload      n  delta   parallel/serial   hit/cold");
+    for sp in &speedups {
+        eprintln!(
+            "   {:<8} {:>6}  {:<5}   {:>14.3}x  {:>8.1}x",
+            sp.workload,
+            sp.n,
+            sp.delta.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            sp.parallel_over_serial,
+            sp.hit_over_cold
+        );
+    }
+
+    // One representative cached build through the telemetry recorder:
+    // the summary table shows where build time goes (scoring, matching,
+    // lowering) and the plan-cache hit/miss counters for the miss+hit
+    // pair, phase by phase.
+    let g = nhood_topology::random::erdos_renyi(64, 0.3, 42);
+    let layout = nhood_cluster::ClusterLayout::new(8, 2, 4);
+    let comm = nhood_core::DistGraphComm::create_adjacent(g, layout)
+        .expect("summary workload")
+        .with_plan_cache(Arc::new(nhood_core::PlanCache::new(2)));
+    // a 1-rank recorder: plan construction moves no payload bytes, so
+    // the interesting rows are the totals and the plan-cache counters
+    let rec = CountingRecorder::new(1);
+    comm.plan_shared_recorded(Algorithm::DistanceHalving, &rec).expect("cold build");
+    comm.plan_shared_recorded(Algorithm::DistanceHalving, &rec).expect("warm hit");
+    eprintln!("\n>> telemetry summary (one cold + one cached build, rsg n=64 delta=0.3):");
+    eprint!("{}", summary_table(&rec));
+
+    eprintln!(">> host threads: {}", report.host_threads);
+    match report.parallel_gmean_large_n {
+        Some(gm) if report.parallel_gate_applicable => {
+            eprintln!(">> parallel gate (n>=512 gmean >= 1.5x): {gm:.3}x")
+        }
+        Some(gm) => eprintln!(
+            ">> parallel gmean at n>=512: {gm:.3}x (gate not applicable: single-core host)"
+        ),
+        None => eprintln!(">> parallel gate not applicable (no n>=512 cells at this scale)"),
+    }
+    eprintln!(">> cache gate (gmean >= 20x): {:.1}x", report.cache_gmean);
+    eprintln!(">> wrote {}", out.display());
+
+    let mut ok = true;
+    if !report.parallel_ok {
+        eprintln!("!! pooled build slower than 1.5x serial at n >= 512");
+        ok = false;
+    }
+    if !report.cache_ok {
+        eprintln!("!! cache hits below 20x a cold build");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 //! `benches/` (driven by the in-repo [`harness`]).
 
 pub mod bench3;
+pub mod bench4;
 pub mod common;
 pub mod extras;
 pub mod fig2;

@@ -159,8 +159,34 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
-    let comm = DistGraphComm::create_adjacent(graph, layout).map_err(|e| fail(e.to_string()))?;
-    let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
+    let mut comm =
+        DistGraphComm::create_adjacent(graph, layout).map_err(|e| fail(e.to_string()))?;
+    if let Some(bt) = args.get("build-threads") {
+        let threads: usize =
+            bt.parse().map_err(|_| fail(format!("plan: bad --build-threads '{bt}'")))?;
+        comm = comm.with_build_threads(threads);
+    }
+    let plan = if let Some(dir) = args.get("cache-dir") {
+        let cache = std::sync::Arc::new(
+            nhood_core::PlanCache::new(8)
+                .with_disk_dir(dir)
+                .map_err(|e| fail(format!("plan: cannot use cache dir '{dir}': {e}")))?,
+        );
+        let comm = comm.with_plan_cache(std::sync::Arc::clone(&cache));
+        let plan = comm.plan_shared(algo).map_err(|e| fail(e.to_string()))?;
+        let s = cache.stats();
+        let outcome = if s.disk_hits > 0 {
+            "disk hit"
+        } else if s.hits > 0 {
+            "hit"
+        } else {
+            "miss (built and stored)"
+        };
+        writeln!(w, "plan cache:       {outcome} in {dir}")?;
+        plan
+    } else {
+        std::sync::Arc::new(comm.plan(algo).map_err(|e| fail(e.to_string()))?)
+    };
     if let Some(save) = args.get("save") {
         nhood_core::plan_io::save_plan(&plan, std::path::Path::new(save))?;
         writeln!(w, "plan saved to {save}")?;
@@ -555,9 +581,30 @@ mod tests {
 
     const SPEC: Spec = Spec {
         valued: &[
-            "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-            "sizes", "size", "out", "save", "load", "drops", "runs", "timeout", "backend",
-            "format", "cost",
+            "n",
+            "delta",
+            "seed",
+            "r",
+            "d",
+            "algo",
+            "k",
+            "leaders",
+            "nodes",
+            "sockets",
+            "cores",
+            "sizes",
+            "size",
+            "out",
+            "save",
+            "load",
+            "drops",
+            "runs",
+            "timeout",
+            "backend",
+            "format",
+            "cost",
+            "build-threads",
+            "cache-dir",
         ],
         switches: &[],
     };
@@ -595,6 +642,35 @@ mod tests {
         let mut out = Vec::new();
         cmd_validate(&args(&["validate", &path, "--algo", "cn", "--k", "4"]), &mut out).unwrap();
         assert!(String::from_utf8_lossy(&out).contains("execution check: ok"));
+
+        // cached planning: first call misses and stores, second hits disk
+        let cache_dir = tmp("nhood_cli_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut out = Vec::new();
+        cmd_plan(
+            &args(&[
+                "plan",
+                &path,
+                "--algo",
+                "dh",
+                "--build-threads",
+                "2",
+                "--cache-dir",
+                &cache_dir,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("miss (built and stored)"));
+        let mut out = Vec::new();
+        cmd_plan(&args(&["plan", &path, "--algo", "dh", "--cache-dir", &cache_dir]), &mut out)
+            .unwrap();
+        assert!(
+            String::from_utf8_lossy(&out).contains("disk hit"),
+            "{:?}",
+            String::from_utf8_lossy(&out)
+        );
+        let _ = std::fs::remove_dir_all(&cache_dir);
 
         // plan persistence round trip
         let plan_path = tmp("nhood_cli_plan.bin");

@@ -19,9 +19,30 @@ use args::{Args, Spec};
 
 const SPEC: Spec = Spec {
     valued: &[
-        "n", "delta", "seed", "r", "d", "algo", "k", "leaders", "nodes", "sockets", "cores",
-        "sizes", "size", "out", "save", "load", "drops", "runs", "timeout", "backend", "format",
+        "n",
+        "delta",
+        "seed",
+        "r",
+        "d",
+        "algo",
+        "k",
+        "leaders",
+        "nodes",
+        "sockets",
+        "cores",
+        "sizes",
+        "size",
+        "out",
+        "save",
+        "load",
+        "drops",
+        "runs",
+        "timeout",
+        "backend",
+        "format",
         "cost",
+        "build-threads",
+        "cache-dir",
     ],
     switches: &["help"],
 };
@@ -31,7 +52,8 @@ nhood <command> [args]
 
 commands:
   gen <er|moore|vonneumann> <out-file> --n N [--delta D | --r R --d DIM] [--seed S]
-  plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin] [layout flags]
+  plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin]
+       [--build-threads N] [--cache-dir DIR] [layout flags]
   simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M]
            [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   compare <edge-list> [--sizes ..] [--k K] [layout flags]

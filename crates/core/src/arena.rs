@@ -28,9 +28,9 @@
 
 use crate::exec::ExecError;
 use crate::plan::CollectivePlan;
+use crate::plan_cache::PlanFingerprint;
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A run of consecutive arena slots: `(first_slot, slot_count)`.
@@ -245,32 +245,6 @@ impl ArenaLayout {
     }
 }
 
-/// Stable fingerprint of a (plan, topology) pair, used to decide whether
-/// a cached [`ArenaLayout`] still applies.
-fn fingerprint(plan: &CollectivePlan, graph: &Topology) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    plan.n().hash(&mut h);
-    for prog in &plan.per_rank {
-        prog.len().hash(&mut h);
-        for ph in prog {
-            ph.copy_blocks.hash(&mut h);
-            for m in &ph.sends {
-                (0u8, m.peer, m.tag).hash(&mut h);
-                m.blocks.hash(&mut h);
-            }
-            for m in &ph.recvs {
-                (1u8, m.peer, m.tag).hash(&mut h);
-                m.blocks.hash(&mut h);
-            }
-        }
-    }
-    graph.n().hash(&mut h);
-    for r in 0..graph.n() {
-        graph.in_neighbors(r).hash(&mut h);
-    }
-    h.finish()
-}
-
 /// Reusable zero-copy execution workspace: one contiguous buffer per
 /// rank plus the cached [`ArenaLayout`] that indexes it.
 ///
@@ -282,7 +256,7 @@ fn fingerprint(plan: &CollectivePlan, graph: &Topology) -> u64 {
 /// allocation-free.
 #[derive(Debug, Default)]
 pub struct BlockArena {
-    key: Option<u64>,
+    key: Option<PlanFingerprint>,
     layout: Option<Arc<ArenaLayout>>,
     bufs: Vec<Vec<u8>>,
     spare_rbufs: Vec<Vec<u8>>,
@@ -314,7 +288,7 @@ impl BlockArena {
         plan: &CollectivePlan,
         graph: &Topology,
     ) -> Result<Arc<ArenaLayout>, ExecError> {
-        let key = fingerprint(plan, graph);
+        let key = PlanFingerprint::of_plan(plan, graph);
         if self.key != Some(key) || self.layout.is_none() {
             self.layout = Some(Arc::new(ArenaLayout::for_plan(plan, graph)?));
             self.key = Some(key);

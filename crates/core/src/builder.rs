@@ -36,13 +36,15 @@
 //!   arrives (Algorithm 4 lines 15–17) and therefore never appear in the
 //!   responsibility map.
 
+use crate::csr::RespBuilder;
 use crate::pattern::{
     in_range, range_len, split_half, DhPattern, DhStep, RankPattern, SelectionStats,
 };
-use crate::selection::run_round;
+use crate::pool::WorkerPool;
+use crate::selection::{run_matching, RoundCandidates, RoundResult, ScoreRow};
 use nhood_cluster::ClusterLayout;
+use nhood_telemetry::{labels, Recorder, NULL};
 use nhood_topology::{Rank, Topology};
-use std::collections::BTreeMap;
 
 /// Errors from pattern building.
 #[derive(Debug, PartialEq, Eq)]
@@ -157,83 +159,168 @@ pub fn build_pattern_with(
     layout: &ClusterLayout,
     strategy: PairingStrategy,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_pooled(graph, layout, strategy, &WorkerPool::serial())
+}
+
+/// [`build_pattern_with`] running its per-half scoring and protocol
+/// rounds on `pool`. Scoring jobs are chunked proposer ranges and the
+/// drives of independent rounds run concurrently; results are merged in
+/// a fixed (segment, round, rank) order, so the pattern — and any plan
+/// lowered from it — is **byte-identical** to a serial build.
+pub fn build_pattern_pooled(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    strategy: PairingStrategy,
+    pool: &WorkerPool,
+) -> Result<DhPattern, BuildError> {
+    build_pattern_recorded(graph, layout, strategy, pool, &NULL)
+}
+
+/// Proposer ranks scored per [`WorkerPool::map`] job; one halving round
+/// of an n=1024 step yields 16 such chunks, enough slack for any sane
+/// pool without drowning small rounds in scheduling overhead.
+const SCORE_CHUNK: usize = 32;
+
+/// [`build_pattern_pooled`] that additionally emits build-phase spans
+/// ([`labels::PLAN_BUILD`] wrapping [`labels::BUILD_SCORE`] and
+/// [`labels::BUILD_MATCH`] per step) against rank 0 of `rec`.
+pub fn build_pattern_recorded(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    strategy: PairingStrategy,
+    pool: &WorkerPool,
+    rec: &dyn Recorder,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let l = layout.ranks_per_socket();
     let out_sets = graph.out_bitsets();
     let mut stats = SelectionStats::default();
     let mut steps: Vec<Vec<Decision>> = Vec::new();
 
+    rec.span_begin(0, labels::PLAN_BUILD);
     for active in segments_per_step(graph.n(), l) {
-        let mut decisions: Vec<Decision> = Vec::new();
-        for seg in active {
+        // Two protocol rounds per segment, in segment order: round A
+        // (lower half proposes, upper accepts — `(proposers, acceptors)`
+        // below), then round B mirrored. The acceptor range doubles as
+        // the score half (shared outgoing neighbors inside the
+        // proposer's h2).
+        let mut rounds: Vec<((Rank, Rank), (Rank, Rank))> = Vec::with_capacity(active.len() * 2);
+        for &seg in &active {
             let (_, lower, upper) = split_half(seg.0, seg.1);
-            let lower_ranks: Vec<Rank> = (lower.0..=lower.1).collect();
-            let upper_ranks: Vec<Rank> = (upper.0..=upper.1).collect();
+            rounds.push((lower, upper));
+            rounds.push((upper, lower));
+        }
 
-            let (round_a, round_b) = match strategy {
-                PairingStrategy::LoadAware => {
-                    // Round A: lower half proposes (find_agent), upper
-                    // accepts. Score = shared outgoing neighbors inside
-                    // the acceptor-side half (the proposer's h2).
-                    let a = run_round(&lower_ranks, &upper_ranks, |p, q| {
-                        out_sets[p].intersection_count_in_range(&out_sets[q], upper.0, upper.1)
-                    });
-                    // Round B: upper half proposes, lower accepts.
-                    let b = run_round(&upper_ranks, &lower_ranks, |p, q| {
-                        out_sets[p].intersection_count_in_range(&out_sets[q], lower.0, lower.1)
-                    });
-                    (a, b)
-                }
-                PairingStrategy::Mirror => {
-                    // i-th lower rank pairs with i-th upper rank, both
-                    // directions, no negotiation. The (possibly) unpaired
-                    // extra rank of the bigger half finds no agent.
-                    let pairs = lower_ranks.iter().copied().zip(upper_ranks.iter().copied());
-                    let mut a = crate::selection::RoundResult::default();
-                    let mut b = crate::selection::RoundResult::default();
-                    a.stats.agent_searches = lower_ranks.len();
-                    b.stats.agent_searches = upper_ranks.len();
-                    for (lo, hi) in pairs {
-                        a.matched.insert(lo, hi);
-                        b.matched.insert(hi, lo);
-                        a.stats.agents_found += 1;
-                        b.stats.agents_found += 1;
+        let results: Vec<RoundResult> = match strategy {
+            PairingStrategy::LoadAware => {
+                // Stage 1 (parallel): score proposer chunks.
+                let mut jobs: Vec<(usize, Rank, Rank)> = Vec::new();
+                for (ri, &(props, _)) in rounds.iter().enumerate() {
+                    let mut s = props.0;
+                    while s <= props.1 {
+                        let e = (s + SCORE_CHUNK - 1).min(props.1);
+                        jobs.push((ri, s, e));
+                        s = e + 1;
                     }
-                    (a, b)
                 }
-            };
+                rec.span_begin(0, labels::BUILD_SCORE);
+                let chunks: Vec<Vec<ScoreRow>> = pool.map(jobs.len(), |j| {
+                    let (ri, s, e) = jobs[j];
+                    let acc = rounds[ri].1;
+                    let acceptors: Vec<Rank> = (acc.0..=acc.1).collect();
+                    (s..=e)
+                        .map(|p| {
+                            RoundCandidates::score_row(p, &acceptors, |p, a| {
+                                out_sets[p].intersection_count_in_range(&out_sets[a], acc.0, acc.1)
+                            })
+                        })
+                        .collect()
+                });
+                rec.span_end(0, labels::BUILD_SCORE);
+                // Jobs were emitted round-major, proposer-ascending, and
+                // `map` returns them in that order — concatenating per
+                // round reassembles each round's rows exactly as a
+                // serial scan would produce them.
+                let mut rows: Vec<Vec<ScoreRow>> =
+                    rounds.iter().map(|&(p, _)| Vec::with_capacity(range_len(p))).collect();
+                for (j, chunk) in chunks.into_iter().enumerate() {
+                    rows[jobs[j].0].extend(chunk);
+                }
+                let cands: Vec<RoundCandidates> = rounds
+                    .iter()
+                    .zip(rows)
+                    .map(|(&(props, acc), r)| {
+                        RoundCandidates::from_rows(
+                            (props.0..=props.1).collect(),
+                            (acc.0..=acc.1).collect(),
+                            r,
+                        )
+                    })
+                    .collect();
+                // Stage 2 (parallel): drive each round's protocol. The
+                // drive is deterministic per round and rounds are
+                // independent, so any schedule gives the same results.
+                rec.span_begin(0, labels::BUILD_MATCH);
+                let results = pool.map(cands.len(), |i| run_matching(&cands[i]));
+                rec.span_end(0, labels::BUILD_MATCH);
+                results
+            }
+            PairingStrategy::Mirror => {
+                // i-th lower rank pairs with i-th upper rank, both
+                // directions, no negotiation. The (possibly) unpaired
+                // extra rank of the bigger half finds no agent.
+                rounds
+                    .iter()
+                    .map(|&(props, acc)| {
+                        let mut r = RoundResult::default();
+                        r.stats.agent_searches = range_len(props);
+                        for (p, a) in (props.0..=props.1).zip(acc.0..=acc.1) {
+                            r.matched.insert(p, a);
+                            r.stats.agents_found += 1;
+                        }
+                        r
+                    })
+                    .collect()
+            }
+        };
+
+        // Stage 3 (serial): merge in segment order, lower ranks then
+        // upper ranks, ascending — the exact decision order of the
+        // original serial builder.
+        let mut decisions: Vec<Decision> = Vec::new();
+        for (si, &seg) in active.iter().enumerate() {
+            let (_, lower, upper) = split_half(seg.0, seg.1);
+            let round_a = &results[2 * si];
+            let round_b = &results[2 * si + 1];
             stats.merge(&round_a.stats);
             stats.merge(&round_b.stats);
 
-            // acceptor → proposer inversions
-            let inv_a: std::collections::HashMap<Rank, Rank> =
-                round_a.matched.iter().map(|(&p, &a)| (a, p)).collect();
-            let inv_b: std::collections::HashMap<Rank, Rank> =
-                round_b.matched.iter().map(|(&p, &a)| (a, p)).collect();
-
-            for &p in &lower_ranks {
-                decisions.push((
-                    p,
-                    round_a.matched.get(&p).copied(),
-                    inv_b.get(&p).copied(),
-                    lower,
-                    upper,
-                ));
+            // Dense agent/origin tables over the segment span (round A
+            // writes agents of the lower half + origins of the upper
+            // half; round B the mirror — no overlap).
+            let span = seg.0;
+            let mut agent_of: Vec<Option<Rank>> = vec![None; range_len(seg)];
+            let mut origin_of: Vec<Option<Rank>> = vec![None; range_len(seg)];
+            for round in [round_a, round_b] {
+                for (&p, &a) in &round.matched {
+                    agent_of[p - span] = Some(a);
+                    origin_of[a - span] = Some(p);
+                }
             }
-            for &p in &upper_ranks {
-                decisions.push((
-                    p,
-                    round_b.matched.get(&p).copied(),
-                    inv_a.get(&p).copied(),
-                    upper,
-                    lower,
-                ));
+
+            for p in lower.0..=lower.1 {
+                decisions.push((p, agent_of[p - span], origin_of[p - span], lower, upper));
+            }
+            for p in upper.0..=upper.1 {
+                decisions.push((p, agent_of[p - span], origin_of[p - span], upper, lower));
             }
         }
         steps.push(decisions);
     }
 
-    Ok(assemble_pattern(graph, l, &steps, stats))
+    let pat = assemble_pattern(graph, l, &steps, stats);
+    rec.span_end(0, labels::PLAN_BUILD);
+    Ok(pat)
 }
 
 /// Applies per-step (agent, origin) decisions: records every rank's
@@ -253,16 +340,11 @@ pub(crate) fn assemble_pattern(
     mut stats: SelectionStats,
 ) -> DhPattern {
     let n = graph.n();
-    let mut ranks: Vec<RankPattern> = (0..n)
-        .map(|p| {
-            let mut resp = BTreeMap::new();
-            let targets: Vec<Rank> = graph.out_neighbors(p).to_vec();
-            if !targets.is_empty() {
-                resp.insert(p, targets);
-            }
-            RankPattern { steps: Vec::new(), responsibilities: resp, held_final: vec![p] }
-        })
-        .collect();
+    // Responsibilities stay in mutable RespBuilder form while the steps
+    // replay; they freeze into the pattern's CSR maps at the end.
+    let mut resp: Vec<RespBuilder> =
+        (0..n).map(|p| RespBuilder::seeded(p, graph.out_neighbors(p))).collect();
+    let mut step_rows: Vec<Vec<DhStep>> = vec![Vec::new(); n];
     let mut held: Vec<Vec<Rank>> = (0..n).map(|p| vec![p]).collect();
 
     for decisions in steps {
@@ -277,7 +359,7 @@ pub(crate) fn assemble_pattern(
         // Record the step for every participating rank.
         for (i, &(p, agent, origin, h1, h2)) in decisions.iter().enumerate() {
             let arriving = origin.map(|o| held[o].clone()).unwrap_or_default();
-            ranks[p].steps.push(DhStep {
+            step_rows[p].push(DhStep {
                 h1,
                 h2,
                 agent,
@@ -303,7 +385,7 @@ pub(crate) fn assemble_pattern(
         for &(p, agent, _, _, h2) in decisions {
             let Some(a) = agent else { continue };
             let mut d: Vec<(Rank, Vec<Rank>)> = Vec::new();
-            for (&block, targets) in &ranks[p].responsibilities {
+            for (block, targets) in resp[p].iter() {
                 let moved: Vec<Rank> =
                     targets.iter().copied().filter(|&t| in_range(t, h2)).collect();
                 if !moved.is_empty() {
@@ -312,11 +394,7 @@ pub(crate) fn assemble_pattern(
             }
             transfers.push((a, d));
             // drop the moved targets from the sender
-            let resp = &mut ranks[p].responsibilities;
-            resp.retain(|_, targets| {
-                targets.retain(|&t| !in_range(t, h2));
-                !targets.is_empty()
-            });
+            resp[p].retain_targets(|t| !in_range(t, h2));
         }
         for (a, d) in transfers {
             for (block, mut moved) in d {
@@ -325,10 +403,7 @@ pub(crate) fn assemble_pattern(
                 if moved.is_empty() {
                     continue;
                 }
-                let entry = ranks[a].responsibilities.entry(block).or_default();
-                entry.extend(moved);
-                entry.sort_unstable();
-                entry.dedup();
+                resp[a].merge(block, &moved);
             }
         }
 
@@ -347,9 +422,16 @@ pub(crate) fn assemble_pattern(
         }
     }
 
-    for p in 0..n {
-        ranks[p].held_final = held[p].clone();
-    }
+    let ranks: Vec<RankPattern> = resp
+        .into_iter()
+        .zip(step_rows)
+        .zip(held)
+        .map(|((rb, steps), held_final)| RankPattern {
+            steps,
+            responsibilities: rb.freeze(),
+            held_final,
+        })
+        .collect();
     DhPattern { ranks, stats, ranks_per_socket: l }
 }
 
@@ -382,7 +464,7 @@ mod tests {
             }
         }
         for q in 0..graph.n() {
-            for (&b, targets) in &pat.ranks[q].responsibilities {
+            for (b, targets) in pat.ranks[q].responsibilities.iter() {
                 assert!(
                     pat.ranks[q].held_final.contains(&b),
                     "rank {q} responsible for block {b} it does not hold"
@@ -626,5 +708,33 @@ mod tests {
         for (x, y) in a.ranks.iter().zip(&b.ranks) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn pooled_build_is_identical_to_serial() {
+        for (n, delta) in [(17usize, 0.4), (32, 0.1), (40, 0.6)] {
+            let g = erdos_renyi(n, delta, 23);
+            let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+            let serial = build_pattern(&g, &layout).unwrap();
+            for threads in [2usize, 3, 8] {
+                let pool = WorkerPool::new(threads);
+                let pooled =
+                    build_pattern_pooled(&g, &layout, PairingStrategy::LoadAware, &pool).unwrap();
+                assert_eq!(serial.stats, pooled.stats, "n={n} threads={threads}");
+                assert_eq!(serial.ranks, pooled.ranks, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_mirror_matches_serial_mirror() {
+        let g = erdos_renyi(24, 0.5, 8);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let serial = build_pattern_with(&g, &layout, PairingStrategy::Mirror).unwrap();
+        let pooled =
+            build_pattern_pooled(&g, &layout, PairingStrategy::Mirror, &WorkerPool::new(4))
+                .unwrap();
+        assert_eq!(serial.stats, pooled.stats);
+        assert_eq!(serial.ranks, pooled.ranks);
     }
 }

@@ -16,20 +16,23 @@
 //! ```
 
 use crate::arena::BlockArena;
-use crate::builder::{build_pattern, BuildError};
+use crate::builder::{build_pattern_pooled, BuildError, PairingStrategy};
 use crate::common_neighbor::plan_common_neighbor;
-use crate::distributed_builder::build_pattern_distributed_recorded;
+use crate::distributed_builder::build_pattern_distributed_pooled;
 use crate::exec::sim_exec::{simulate, SimCost};
 use crate::exec::threaded::DEFAULT_TIMEOUT;
 use crate::exec::{ExecError, ExecOptions, Executor, Threaded, Virtual};
 use crate::fault::{FaultCounts, FaultPlan};
-use crate::lower::lower;
+use crate::lower::lower_pooled;
 use crate::naive::plan_naive;
 use crate::plan::{Algorithm, CollectivePlan, PlanValidationError};
+use crate::plan_cache::{PlanCache, PlanFingerprint};
+use crate::pool::WorkerPool;
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
 use nhood_telemetry::{Counts, Recorder, NULL};
 use nhood_topology::Topology;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Errors from the communicator API.
@@ -195,6 +198,8 @@ pub struct DistGraphComm {
     layout: ClusterLayout,
     policy: RobustPolicy,
     fault: Option<FaultPlan>,
+    cache: Option<Arc<PlanCache>>,
+    build_pool: WorkerPool,
 }
 
 impl DistGraphComm {
@@ -207,7 +212,14 @@ impl DistGraphComm {
                 capacity: layout.capacity(),
             }));
         }
-        Ok(Self { graph, layout, policy: RobustPolicy::default(), fault: None })
+        Ok(Self {
+            graph,
+            layout,
+            policy: RobustPolicy::default(),
+            fault: None,
+            cache: None,
+            build_pool: WorkerPool::serial(),
+        })
     }
 
     /// Replaces the robustness policy (timeouts, retries, fallback).
@@ -222,6 +234,33 @@ impl DistGraphComm {
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
         self
+    }
+
+    /// Attaches a shared plan cache: [`Self::plan_shared`] (and every
+    /// collective that plans through it) first consults the cache, keyed
+    /// by a [`PlanFingerprint`] of this communicator's topology, layout
+    /// and the requested algorithm.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the worker-thread count for pattern construction and plan
+    /// lowering (`0` = size to the host's available parallelism). The
+    /// default is serial, which parallel builds are byte-identical to.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_pool = if threads == 0 { WorkerPool::auto() } else { WorkerPool::new(threads) };
+        self
+    }
+
+    /// The plan-construction worker pool.
+    pub fn build_pool(&self) -> &WorkerPool {
+        &self.build_pool
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
     }
 
     /// The active robustness policy.
@@ -250,19 +289,68 @@ impl DistGraphComm {
     }
 
     /// Builds (and validates) the data-movement plan for an algorithm.
+    /// Construction runs on the communicator's build pool
+    /// ([`Self::with_build_threads`]); the plan cache is **not**
+    /// consulted — use [`Self::plan_shared`] for the cached path.
     pub fn plan(&self, algo: Algorithm) -> Result<CollectivePlan, CommError> {
+        self.build_plan_recorded(algo, &NULL)
+    }
+
+    /// The uncached build path shared by [`Self::plan`] and cache misses.
+    fn build_plan_recorded(
+        &self,
+        algo: Algorithm,
+        rec: &dyn Recorder,
+    ) -> Result<CollectivePlan, CommError> {
         let plan = match algo {
             Algorithm::Naive => plan_naive(&self.graph),
             Algorithm::CommonNeighbor { k } => plan_common_neighbor(&self.graph, k),
             Algorithm::DistanceHalving => {
-                let pattern = build_pattern(&self.graph, &self.layout)?;
-                lower(&pattern, &self.graph)
+                let pattern = crate::builder::build_pattern_recorded(
+                    &self.graph,
+                    &self.layout,
+                    PairingStrategy::LoadAware,
+                    &self.build_pool,
+                    rec,
+                )?;
+                rec.span_begin(0, nhood_telemetry::labels::PLAN_LOWER);
+                let plan = lower_pooled(&pattern, &self.graph, &self.build_pool);
+                rec.span_end(0, nhood_telemetry::labels::PLAN_LOWER);
+                plan
             }
             Algorithm::HierarchicalLeader { leaders_per_node } => {
                 crate::leader::plan_hierarchical_leader(&self.graph, &self.layout, leaders_per_node)
             }
         };
         plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
+        Ok(plan)
+    }
+
+    /// [`Self::plan`] through the attached [`PlanCache`]: on a hit the
+    /// cached `Arc` is returned with no build or validation work (plans
+    /// are validated before insertion, and disk-tier loads are
+    /// re-validated inside the cache). Without an attached cache this is
+    /// a plain build wrapped in an `Arc`.
+    pub fn plan_shared(&self, algo: Algorithm) -> Result<Arc<CollectivePlan>, CommError> {
+        self.plan_shared_recorded(algo, &NULL)
+    }
+
+    /// [`Self::plan_shared`] with a telemetry [`Recorder`]: the lookup
+    /// reports `plan_cache` hit/miss (against rank 0, the
+    /// communicator-wide event's representative) and cold builds report
+    /// their build/lower spans.
+    pub fn plan_shared_recorded(
+        &self,
+        algo: Algorithm,
+        rec: &dyn Recorder,
+    ) -> Result<Arc<CollectivePlan>, CommError> {
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.build_plan_recorded(algo, rec)?));
+        };
+        let fp = PlanFingerprint::of_build(&self.graph, &self.layout, algo);
+        let (plan, hit) =
+            cache.get_or_build(fp, &self.graph, || self.build_plan_recorded(algo, rec))?;
+        rec.plan_cache(0, hit);
         Ok(plan)
     }
 
@@ -275,7 +363,7 @@ impl DistGraphComm {
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let plan = self.plan(algo)?;
+        let plan = self.plan_shared(algo)?;
         Ok(Virtual.run_simple(&plan, &self.graph, payloads)?)
     }
 
@@ -288,7 +376,7 @@ impl DistGraphComm {
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let plan = self.plan(algo)?;
+        let plan = self.plan_shared(algo)?;
         let opts = ExecOptions::new().ragged(true);
         let out = Virtual.run(&plan, &self.graph, payloads, &mut BlockArena::new(), &opts)?;
         Ok(out.rbufs)
@@ -324,7 +412,12 @@ impl DistGraphComm {
         let plan = match algo {
             Algorithm::Naive => crate::alltoall::plan_naive_alltoall(&self.graph),
             Algorithm::DistanceHalving => {
-                let pattern = build_pattern(&self.graph, &self.layout)?;
+                let pattern = build_pattern_pooled(
+                    &self.graph,
+                    &self.layout,
+                    PairingStrategy::LoadAware,
+                    &self.build_pool,
+                )?;
                 crate::alltoall::plan_dh_alltoall(&pattern, &self.graph)
             }
             Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. } => {
@@ -357,14 +450,15 @@ impl DistGraphComm {
     ) -> Result<CollectivePlan, CommError> {
         match algo {
             Algorithm::DistanceHalving => {
-                let pattern = build_pattern_distributed_recorded(
+                let pattern = build_pattern_distributed_pooled(
                     &self.graph,
                     &self.layout,
                     self.fault.as_ref(),
                     self.policy.negotiation_timeout,
+                    &self.build_pool,
                     rec,
                 )?;
-                let plan = lower(&pattern, &self.graph);
+                let plan = lower_pooled(&pattern, &self.graph, &self.build_pool);
                 plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
                 Ok(plan)
             }

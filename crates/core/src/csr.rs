@@ -1,0 +1,246 @@
+//! Flat CSR (`offsets`/`targets`) responsibility maps.
+//!
+//! The responsibility map of a [`crate::pattern::RankPattern`] — block
+//! `b` → the targets still owed a delivery of `b` — used to be a
+//! `BTreeMap<Rank, Vec<Rank>>`, which puts a pointer chase on every
+//! lookup of the lowering hot path. [`RespMap`] stores the same relation
+//! as three flat arrays (sorted keys, offsets, concatenated target
+//! lists): reads are a binary search plus a slice, iteration is linear
+//! over contiguous memory, and equality/hashing see a canonical form.
+//!
+//! The builder mutates responsibilities incrementally while halving
+//! steps execute, so the map has a two-phase life: [`RespBuilder`]
+//! (sorted association list, cheap in-place edits) during
+//! `assemble_pattern`, frozen into an immutable [`RespMap`] when the
+//! pattern is done.
+
+use nhood_topology::Rank;
+
+/// A frozen block → targets map in CSR form. Keys are sorted and unique;
+/// each key's target list is a contiguous slice of `targets`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RespMap {
+    keys: Vec<Rank>,
+    /// `offsets.len() == keys.len() + 1`; entry `i`'s targets are
+    /// `targets[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<Rank>,
+}
+
+impl Default for RespMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RespMap {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self { keys: Vec::new(), offsets: vec![0], targets: Vec::new() }
+    }
+
+    /// Builds a map from `(block, targets)` entries. Entries are sorted
+    /// by block; empty target lists are dropped; duplicate blocks must
+    /// not occur.
+    pub fn from_entries(mut entries: Vec<(Rank, Vec<Rank>)>) -> Self {
+        entries.sort_unstable_by_key(|e| e.0);
+        entries.retain(|e| !e.1.is_empty());
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "duplicate block key");
+        let mut map = Self::new();
+        map.keys.reserve(entries.len());
+        for (block, targets) in entries {
+            map.keys.push(block);
+            map.targets.extend_from_slice(&targets);
+            map.offsets.push(map.targets.len() as u32);
+        }
+        map
+    }
+
+    /// Inserts (or replaces) one entry, keeping the CSR canonical. An
+    /// empty `targets` removes the entry. O(total) rebuild — meant for
+    /// construction in tests and small fix-ups, not hot paths (the
+    /// builder uses [`RespBuilder`]).
+    pub fn insert(&mut self, block: Rank, targets: Vec<Rank>) {
+        let mut entries: Vec<(Rank, Vec<Rank>)> =
+            self.iter().filter(|&(b, _)| b != block).map(|(b, t)| (b, t.to_vec())).collect();
+        if !targets.is_empty() {
+            entries.push((block, targets));
+        }
+        *self = Self::from_entries(entries);
+    }
+
+    /// The targets owed for `block`, if any.
+    pub fn get(&self, block: Rank) -> Option<&[Rank]> {
+        let i = self.keys.binary_search(&block).ok()?;
+        Some(&self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Iterates `(block, targets)` entries in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &[Rank])> {
+        self.keys.iter().enumerate().map(move |(i, &b)| {
+            (b, &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+        })
+    }
+
+    /// Iterates the target lists in block order.
+    pub fn values(&self) -> impl Iterator<Item = &[Rank]> {
+        self.iter().map(|(_, t)| t)
+    }
+
+    /// The sorted block keys.
+    pub fn blocks(&self) -> &[Rank] {
+        &self.keys
+    }
+
+    /// Number of blocks with at least one owed target.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no deliveries are owed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total owed (block, target) deliveries — the final-phase block
+    /// volume of this rank.
+    pub fn total_targets(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Mutable companion of [`RespMap`]: a sorted association list
+/// supporting the three edits `assemble_pattern` performs per halving
+/// step (read for the descriptor `D`, drop offloaded targets, merge a
+/// received descriptor batch).
+#[derive(Clone, Debug, Default)]
+pub struct RespBuilder {
+    /// Sorted by block, no empty target lists.
+    entries: Vec<(Rank, Vec<Rank>)>,
+}
+
+impl RespBuilder {
+    /// A builder holding one initial entry (skipped when `targets` is
+    /// empty) — each rank starts responsible for its own block's
+    /// deliveries.
+    pub fn seeded(block: Rank, targets: &[Rank]) -> Self {
+        if targets.is_empty() {
+            Self::default()
+        } else {
+            Self { entries: vec![(block, targets.to_vec())] }
+        }
+    }
+
+    /// Iterates `(block, targets)` in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &[Rank])> {
+        self.entries.iter().map(|(b, t)| (*b, t.as_slice()))
+    }
+
+    /// Drops every target for which `keep` is false; entries left with no
+    /// targets disappear.
+    pub fn retain_targets(&mut self, keep: impl Fn(Rank) -> bool) {
+        self.entries.retain_mut(|(_, targets)| {
+            targets.retain(|&t| keep(t));
+            !targets.is_empty()
+        });
+    }
+
+    /// Merges `moved` into `block`'s target list (sorted, deduplicated),
+    /// creating the entry if needed. `moved` must be non-empty.
+    pub fn merge(&mut self, block: Rank, moved: &[Rank]) {
+        debug_assert!(!moved.is_empty());
+        match self.entries.binary_search_by_key(&block, |e| e.0) {
+            Ok(i) => {
+                let targets = &mut self.entries[i].1;
+                targets.extend_from_slice(moved);
+                targets.sort_unstable();
+                targets.dedup();
+            }
+            Err(i) => {
+                let mut targets = moved.to_vec();
+                targets.sort_unstable();
+                targets.dedup();
+                self.entries.insert(i, (block, targets));
+            }
+        }
+    }
+
+    /// Freezes into the immutable CSR form.
+    pub fn freeze(self) -> RespMap {
+        RespMap::from_entries(self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_roundtrip() {
+        let m = RespMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.total_targets(), 0);
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.get(0), None);
+        assert_eq!(m, RespMap::default());
+        assert_eq!(m, RespBuilder::default().freeze());
+    }
+
+    #[test]
+    fn from_entries_sorts_and_drops_empty() {
+        let m = RespMap::from_entries(vec![(5, vec![1, 2]), (0, vec![9]), (3, vec![])]);
+        assert_eq!(m.blocks(), &[0, 5]);
+        assert_eq!(m.get(0), Some(&[9][..]));
+        assert_eq!(m.get(5), Some(&[1, 2][..]));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.total_targets(), 3);
+        let pairs: Vec<(Rank, Vec<Rank>)> = m.iter().map(|(b, t)| (b, t.to_vec())).collect();
+        assert_eq!(pairs, vec![(0, vec![9]), (5, vec![1, 2])]);
+    }
+
+    #[test]
+    fn insert_replaces_and_removes() {
+        let mut m = RespMap::new();
+        m.insert(2, vec![4, 5]);
+        m.insert(1, vec![7]);
+        assert_eq!(m.blocks(), &[1, 2]);
+        m.insert(2, vec![8]);
+        assert_eq!(m.get(2), Some(&[8][..]));
+        m.insert(1, vec![]);
+        assert_eq!(m.blocks(), &[2]);
+    }
+
+    #[test]
+    fn canonical_equality_regardless_of_construction_order() {
+        let a = RespMap::from_entries(vec![(1, vec![2]), (3, vec![4, 5])]);
+        let mut b = RespMap::new();
+        b.insert(3, vec![4, 5]);
+        b.insert(1, vec![2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_edits_mirror_assembly_steps() {
+        let mut rb = RespBuilder::seeded(0, &[1, 2, 5, 6]);
+        // offload targets 5 and 6 (the opposite half)
+        rb.retain_targets(|t| t < 4);
+        assert_eq!(rb.iter().collect::<Vec<_>>(), vec![(0, &[1, 2][..])]);
+        // a descriptor arrives: block 3 owes {2, 7}, then more of block 0
+        rb.merge(3, &[7, 2]);
+        rb.merge(0, &[2, 4]); // 2 already present — dedup
+        let m = rb.freeze();
+        assert_eq!(m.get(0), Some(&[1, 2, 4][..]));
+        assert_eq!(m.get(3), Some(&[2, 7][..]));
+        assert_eq!(m.total_targets(), 5);
+    }
+
+    #[test]
+    fn builder_retain_can_empty_everything() {
+        let mut rb = RespBuilder::seeded(1, &[2, 3]);
+        rb.retain_targets(|_| false);
+        assert!(rb.freeze().is_empty());
+        // seeding with no targets is already empty
+        assert!(RespBuilder::seeded(0, &[]).freeze().is_empty());
+    }
+}

@@ -46,6 +46,7 @@
 use crate::builder::{assemble_pattern, check_inputs, segments_per_step, BuildError, Decision};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::pattern::{split_half, DhPattern, SelectionStats};
+use crate::pool::WorkerPool;
 use nhood_cluster::ClusterLayout;
 use nhood_telemetry::{labels, Recorder, NULL};
 use nhood_topology::{Bitset, Rank, Topology};
@@ -134,6 +135,26 @@ pub fn build_pattern_distributed_recorded(
     recv_timeout: Duration,
     rec: &dyn Recorder,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_distributed_pooled(graph, layout, fault, recv_timeout, &WorkerPool::serial(), rec)
+}
+
+/// [`build_pattern_distributed_recorded`] with the rank threads managed
+/// by a [`WorkerPool`]. Negotiation jobs block on each other's messages,
+/// so the pool's [`run_all`](WorkerPool::run_all) entry point is used —
+/// every rank still gets a thread regardless of the pool's bound, but
+/// spawn, join and panic propagation live in one audited place instead
+/// of an ad-hoc `thread::scope` here. Timeout semantics are unchanged: a
+/// rank waiting longer than `recv_timeout` returns
+/// [`BuildError::NegotiationTimeout`], and the first error in rank order
+/// is the one reported.
+pub fn build_pattern_distributed_pooled(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    fault: Option<&FaultPlan>,
+    recv_timeout: Duration,
+    pool: &WorkerPool,
+    rec: &dyn Recorder,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let n = graph.n();
     let l = layout.ranks_per_socket();
@@ -165,20 +186,16 @@ pub fn build_pattern_distributed_recorded(
     }
     let senders = Arc::new(senders);
 
-    type RankOutcome = (Vec<(Option<Rank>, Option<Rank>)>, SelectionStats);
-    let results: Vec<Result<RankOutcome, BuildError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for p in 0..n {
+    let jobs: Vec<_> = (0..n)
+        .map(|p| {
             let rx = receivers[p].take().expect("taken once");
             let senders = Arc::clone(&senders);
             let out_sets = Arc::clone(&out_sets);
             let my_roles = roles[p].clone();
-            handles.push(scope.spawn(move || {
-                rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout, rec)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
+            move || rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout, rec)
+        })
+        .collect();
+    let results: Vec<Result<RankOutcome, BuildError>> = pool.run_all(jobs);
 
     // Convert per-rank outcomes into per-step decision lists.
     let mut stats = SelectionStats::default();

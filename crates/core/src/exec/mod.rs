@@ -96,6 +96,11 @@ pub struct ExecOptions<'a> {
     pub ragged: bool,
     /// Which data-movement engine to run.
     pub engine: ExecEngine,
+    /// Worker threads for plan construction when a caller on this
+    /// options struct has to (re)build a plan — the persistent
+    /// collective's `init_with` path. `0` inherits the communicator's
+    /// build pool; executors themselves never build plans.
+    pub build_threads: usize,
 }
 
 impl std::fmt::Debug for ExecOptions<'_> {
@@ -108,6 +113,7 @@ impl std::fmt::Debug for ExecOptions<'_> {
             .field("fault", &self.fault)
             .field("ragged", &self.ragged)
             .field("engine", &self.engine)
+            .field("build_threads", &self.build_threads)
             .finish_non_exhaustive()
     }
 }
@@ -123,6 +129,7 @@ impl Default for ExecOptions<'_> {
             recorder: &NULL,
             ragged: false,
             engine: ExecEngine::Arena,
+            build_threads: 0,
         }
     }
 }
@@ -173,6 +180,13 @@ impl<'a> ExecOptions<'a> {
     /// Selects the data-movement engine.
     pub fn engine(mut self, engine: ExecEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the plan-construction worker count (`0` = inherit the
+    /// communicator's build pool).
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
         self
     }
 

@@ -247,6 +247,7 @@ impl<'a> ThreadedConfig<'a> {
             recorder: self.recorder,
             ragged: false,
             engine: ExecEngine::PerBlock,
+            build_threads: 0,
         }
     }
 }

@@ -46,12 +46,16 @@
 //! ```
 
 #![warn(missing_docs)]
+// Keep the CSR hot paths allocation-clean: no collect-then-iterate
+// detours and no contains-then-insert double lookups.
+#![deny(clippy::needless_collect, clippy::map_entry)]
 
 pub mod alltoall;
 pub mod arena;
 pub mod builder;
 pub mod comm;
 pub mod common_neighbor;
+pub mod csr;
 pub mod distributed_builder;
 pub mod exec;
 pub mod fault;
@@ -62,16 +66,21 @@ pub mod naive;
 pub mod pattern;
 pub mod persistent;
 pub mod plan;
+pub mod plan_cache;
 pub mod plan_io;
+pub mod pool;
 pub mod remap;
 pub mod select_algo;
 pub mod selection;
 
 pub use arena::{ArenaLayout, BlockArena};
 pub use comm::{CommError, DistGraphComm, ExecReport, FallbackReason, RobustPolicy};
+pub use csr::RespMap;
 pub use exec::sim_exec::SimCost;
 pub use exec::{ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor, Sim, Threaded, Virtual};
 pub use fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
 pub use pattern::{DhPattern, SelectionStats};
 pub use plan::{Algorithm, CollectivePlan, PlanValidationError};
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanFingerprint};
+pub use pool::WorkerPool;
 pub use select_algo::recommend;

@@ -34,6 +34,7 @@
 
 use crate::pattern::DhPattern;
 use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};
+use crate::pool::WorkerPool;
 use nhood_topology::{Rank, Topology};
 
 /// Tag for final-phase messages (halving steps use their step index).
@@ -45,15 +46,29 @@ pub const FINAL_TAG: u64 = 1 << 32;
 /// Panics if `pattern` and `graph` disagree on the number of ranks (the
 /// public API in [`crate::comm`] makes this unreachable).
 pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
+    lower_pooled(pattern, graph, &WorkerPool::serial())
+}
+
+/// [`lower`] running the per-rank descriptor lowering on `pool`. Each
+/// rank's program (halving phases, final-phase sends, copy accounting)
+/// is independent of every other rank's, so ranks lower concurrently;
+/// only the receive mirror of the final phase is merged serially — in
+/// rank order, with `recvs` sorted by peer — keeping the plan
+/// byte-identical to a serial lowering.
+pub fn lower_pooled(pattern: &DhPattern, graph: &Topology, pool: &WorkerPool) -> CollectivePlan {
     let n = graph.n();
     assert_eq!(pattern.n(), n, "pattern/topology rank mismatch");
     let steps = pattern.max_steps();
-    // phases: steps halving + 1 final + 1 epilogue
-    let mut per_rank: Vec<Vec<PlanPhase>> = vec![Vec::with_capacity(steps + 2); n];
 
-    // Halving phases.
-    for (p, prog) in per_rank.iter_mut().enumerate() {
+    // Stage 1 (parallel): per-rank programs up to the final-phase sends,
+    // plus the outgoing (target, blocks) list the merge needs.
+    type Lowered = (Vec<PlanPhase>, Vec<(Rank, Vec<Rank>)>);
+    let built: Vec<Lowered> = pool.map(n, |p| {
         let rp = &pattern.ranks[p];
+        // phases: steps halving + 1 final + 1 epilogue
+        let mut prog: Vec<PlanPhase> = Vec::with_capacity(steps + 2);
+
+        // Halving phases.
         for t in 0..steps {
             let mut phase = PlanPhase::default();
             if t == 0 {
@@ -79,37 +94,51 @@ pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
             }
             prog.push(phase);
         }
-    }
 
-    // Final phase: group responsibilities by target.
-    // final_msgs[q] = Vec<(target, blocks)>
-    let mut incoming: Vec<Vec<(Rank, Vec<Rank>)>> = vec![Vec::new(); n];
-    for (q, prog) in per_rank.iter_mut().enumerate() {
-        let rp = &pattern.ranks[q];
+        // Final phase: group responsibilities by target. The CSR map
+        // flattens to (target, block) pairs whose lexicographic sort
+        // yields targets ascending with each target's blocks ascending —
+        // the same grouping the old BTreeMap inversion produced.
         let mut phase = PlanPhase::default();
         if steps == 0 {
             // no halving at all: sbuf is sent directly, no main_buf copy
         } else if let Some(last) = rp.steps.last() {
-            phase.copy_blocks += last.arriving.iter().filter(|&&b| graph.has_edge(b, q)).count();
+            phase.copy_blocks += last.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
         }
-        // invert: target -> blocks
-        let mut by_target: std::collections::BTreeMap<Rank, Vec<Rank>> =
-            std::collections::BTreeMap::new();
-        for (&block, targets) in &rp.responsibilities {
+        let mut pairs: Vec<(Rank, Rank)> = Vec::with_capacity(rp.responsibilities.total_targets());
+        for (block, targets) in rp.responsibilities.iter() {
             for &t in targets {
-                by_target.entry(t).or_default().push(block);
+                pairs.push((t, block));
             }
         }
-        for (target, mut blocks) in by_target {
-            blocks.sort_unstable();
+        pairs.sort_unstable();
+        let mut outgoing: Vec<(Rank, Vec<Rank>)> = Vec::new();
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let target = pairs[i].0;
+            let mut blocks = Vec::new();
+            while i < pairs.len() && pairs[i].0 == target {
+                blocks.push(pairs[i].1);
+                i += 1;
+            }
             phase.copy_blocks += blocks.len(); // temp-buffer packing
-            incoming[target].push((q, blocks.clone()));
-            phase.sends.push(PlannedMsg { peer: target, blocks, tag: FINAL_TAG });
+            phase.sends.push(PlannedMsg { peer: target, blocks: blocks.clone(), tag: FINAL_TAG });
+            outgoing.push((target, blocks));
         }
         prog.push(phase);
+        (prog, outgoing)
+    });
+
+    // Stage 2 (serial): mirror the receives + epilogue copies, in rank
+    // order.
+    let mut incoming: Vec<Vec<(Rank, Vec<Rank>)>> = vec![Vec::new(); n];
+    for (q, (_, outgoing)) in built.iter().enumerate() {
+        for (target, blocks) in outgoing {
+            incoming[*target].push((q, blocks.clone()));
+        }
     }
-    // mirror the receives + epilogue copies
-    for (r, prog) in per_rank.iter_mut().enumerate() {
+    let mut per_rank: Vec<Vec<PlanPhase>> = Vec::with_capacity(n);
+    for (r, (mut prog, _)) in built.into_iter().enumerate() {
         let mut scatter = 0usize;
         {
             let final_phase = prog.last_mut().expect("final phase exists");
@@ -120,6 +149,7 @@ pub fn lower(pattern: &DhPattern, graph: &Topology) -> CollectivePlan {
             final_phase.recvs.sort_by_key(|m| m.peer);
         }
         prog.push(PlanPhase { copy_blocks: scatter, sends: vec![], recvs: vec![] });
+        per_rank.push(prog);
     }
 
     CollectivePlan {
@@ -204,7 +234,7 @@ mod tests {
         let final_idx = plan.phase_count() - 2;
         for (q, prog) in plan.per_rank.iter().enumerate() {
             let sent: usize = prog[final_idx].sends.iter().map(|m| m.blocks.len()).sum();
-            let owed: usize = pat.ranks[q].responsibilities.values().map(Vec::len).sum();
+            let owed: usize = pat.ranks[q].responsibilities.total_targets();
             assert_eq!(sent, owed, "rank {q} final messages mismatch responsibilities");
         }
     }
@@ -222,6 +252,22 @@ mod tests {
             let final_idx = plan.phase_count() - 2;
             let got: usize = prog[final_idx].recvs.iter().map(|m| m.blocks.len()).sum();
             assert_eq!(prog[final_idx + 1].copy_blocks, got);
+        }
+    }
+
+    #[test]
+    fn pooled_lowering_is_identical_to_serial() {
+        for (n, delta) in [(17usize, 0.4), (32, 0.2), (24, 0.7)] {
+            let g = erdos_renyi(n, delta, 31);
+            let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+            let pat = build_pattern(&g, &layout).unwrap();
+            let serial = lower(&pat, &g);
+            for threads in [2usize, 4] {
+                let pooled = lower_pooled(&pat, &g, &crate::pool::WorkerPool::new(threads));
+                assert_eq!(serial.per_rank, pooled.per_rank, "n={n} threads={threads}");
+                assert_eq!(serial.algorithm, pooled.algorithm);
+                assert_eq!(serial.selection, pooled.selection);
+            }
         }
     }
 

@@ -13,8 +13,8 @@
 //! Terminology follows Table I of the paper; "block `b`" always means
 //! "the allgather payload contributed by rank `b`".
 
+use crate::csr::RespMap;
 use nhood_topology::Rank;
-use std::collections::BTreeMap;
 
 /// One halving step of one rank.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -46,8 +46,10 @@ pub struct RankPattern {
     /// held block `b`, the targets this rank must still deliver `b` to
     /// (the union of the paper's `O_on` for `b == self` and
     /// `O_org[b]` for origin blocks). Self-targets never appear — they
-    /// are satisfied by the receive-buffer copy on arrival.
-    pub responsibilities: BTreeMap<Rank, Vec<Rank>>,
+    /// are satisfied by the receive-buffer copy on arrival. Stored as a
+    /// flat CSR ([`RespMap`]) so the lowering hot path reads contiguous
+    /// slices instead of chasing tree nodes.
+    pub responsibilities: RespMap,
     /// All blocks held at the end of the halving phase, in buffer order
     /// (starts with this rank's own block).
     pub held_final: Vec<Rank>,

@@ -17,12 +17,13 @@ use crate::comm::{CommError, DistGraphComm};
 use crate::exec::{ExecError, ExecOptions, Executor, Virtual};
 use crate::plan::{Algorithm, CollectivePlan};
 use nhood_topology::Topology;
+use std::sync::Arc;
 
 /// A planned, reusable neighborhood allgather.
 #[derive(Debug)]
 pub struct PersistentAllgather {
     graph: Topology,
-    plan: CollectivePlan,
+    plan: Arc<CollectivePlan>,
     /// Reusable zero-copy workspace: cached layout + flat buffers.
     arena: BlockArena,
     /// Receive buffers of the latest execution; recycled into the arena
@@ -36,7 +37,27 @@ impl PersistentAllgather {
     /// the arena layout, so the first `execute` only pays buffer
     /// allocation.
     pub fn init(comm: &DistGraphComm, algo: Algorithm) -> Result<Self, CommError> {
-        let plan = comm.plan(algo)?;
+        Self::init_with(comm, algo, &ExecOptions::new())
+    }
+
+    /// [`Self::init`] with explicit [`ExecOptions`]: planning goes
+    /// through the communicator's plan cache when one is attached
+    /// (repeated `init_with` on one cached (topology, algorithm) pair is
+    /// O(1) after the first), `opts.build_threads` overrides the
+    /// communicator's build pool for a cold build (`0` inherits it), and
+    /// cache lookups / build spans report to `opts.recorder`.
+    pub fn init_with(
+        comm: &DistGraphComm,
+        algo: Algorithm,
+        opts: &ExecOptions<'_>,
+    ) -> Result<Self, CommError> {
+        let plan = if opts.build_threads == 0 {
+            comm.plan_shared_recorded(algo, opts.recorder)?
+        } else {
+            comm.clone()
+                .with_build_threads(opts.build_threads)
+                .plan_shared_recorded(algo, opts.recorder)?
+        };
         let mut arena = BlockArena::new();
         arena.prepare(&plan, comm.graph())?;
         Ok(Self { graph: comm.graph().clone(), plan, arena, rbufs: Vec::new(), executions: 0 })
@@ -122,6 +143,27 @@ mod tests {
             assert_eq!(p.reallocations(), after_warmup, "round {round} reallocated");
         }
         assert_eq!(p.executions(), 101);
+    }
+
+    #[test]
+    fn init_with_reuses_cached_plans() {
+        use crate::plan_cache::PlanCache;
+        let cache = std::sync::Arc::new(PlanCache::new(4));
+        let g = erdos_renyi(32, 0.3, 5);
+        let c = DistGraphComm::create_adjacent(g, ClusterLayout::new(4, 2, 4))
+            .unwrap()
+            .with_plan_cache(std::sync::Arc::clone(&cache));
+        let opts = ExecOptions::new();
+        let mut a = PersistentAllgather::init_with(&c, Algorithm::DistanceHalving, &opts).unwrap();
+        let mut b = PersistentAllgather::init_with(&c, Algorithm::DistanceHalving, &opts).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "first init builds");
+        assert_eq!(s.hits, 1, "second init reuses");
+        // both instances execute correctly off the shared plan
+        let payloads = test_payloads(32, 8, 4);
+        let want = reference_allgather(c.graph(), &payloads);
+        assert_eq!(a.execute(&payloads).unwrap(), &want[..]);
+        assert_eq!(b.execute(&payloads).unwrap(), &want[..]);
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Fingerprint-keyed plan cache: repeated communicator setups on the
+//! same (topology, layout, algorithm) triple reuse the built
+//! [`CollectivePlan`] instead of re-running pattern construction.
+//!
+//! Two tiers:
+//!
+//! * an in-memory LRU of `Arc<CollectivePlan>` (always on), and
+//! * an optional disk tier ([`PlanCache::with_disk_dir`]) that persists
+//!   every inserted plan via [`crate::plan_io`] and reloads it in a
+//!   later process — the "persistent collective" workflow of Fig. 8.
+//!
+//! The key is a [`PlanFingerprint`]: a 128-bit hash of everything the
+//! build consumes (adjacency, rank placement, algorithm parameters), so
+//! two setups share a cache slot only when the builder would provably
+//! emit the same plan. Disk loads are re-validated against the topology
+//! before use; a stale or corrupt file is treated as a miss and removed.
+//!
+//! Fingerprints are computed with `std`'s `DefaultHasher` (SipHash with
+//! fixed keys). That is stable within one build of the library but not
+//! guaranteed across Rust releases — a toolchain upgrade may orphan disk
+//! entries, which then simply miss and get rebuilt. See
+//! `docs/PLAN_CACHE.md`.
+
+use crate::plan::{Algorithm, CollectivePlan};
+use crate::plan_io;
+use nhood_cluster::ClusterLayout;
+use nhood_topology::Topology;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content fingerprint of the inputs a plan was built from
+/// (or of a finished plan itself — see [`PlanFingerprint::of_plan`],
+/// which the zero-copy arena uses to key cached layouts).
+///
+/// Two independently seeded 64-bit SipHash passes; a collision requires
+/// both halves to collide at once.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl PlanFingerprint {
+    /// The fingerprint as one `u128` (hi half in the top bits).
+    pub fn as_u128(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+
+    /// Runs `feed` twice into differently seeded hashers and combines
+    /// the two 64-bit digests.
+    fn digest(feed: impl Fn(&mut DefaultHasher)) -> Self {
+        let pass = |seed: u64| {
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            feed(&mut h);
+            h.finish()
+        };
+        Self { hi: pass(0x6e68_6f6f_645f_6869), lo: pass(0x6e68_6f6f_645f_6c6f) }
+    }
+
+    /// Fingerprint of a *build request*: everything pattern construction
+    /// consumes. Covers the adjacency lists, the layout's shape **and**
+    /// rank placement (two layouts that map ranks to sockets differently
+    /// fingerprint differently, even with equal shape), and the
+    /// algorithm with its parameters. Rank labels matter: an isomorphic
+    /// but relabeled graph is a different build request and gets a
+    /// different fingerprint.
+    pub fn of_build(graph: &Topology, layout: &ClusterLayout, algo: Algorithm) -> Self {
+        Self::digest(|h| {
+            let n = graph.n();
+            n.hash(h);
+            for p in 0..n {
+                let out = graph.out_neighbors(p);
+                out.len().hash(h);
+                out.hash(h);
+            }
+            layout.nodes().hash(h);
+            layout.sockets_per_node().hash(h);
+            layout.ranks_per_socket().hash(h);
+            (layout.placement() == nhood_cluster::Placement::Block).hash(h);
+            if layout.placement() == nhood_cluster::Placement::Block {
+                // socket ranges are only defined (contiguous) under block
+                // placement — the one placement the DH builder accepts
+                for r in 0..n {
+                    layout.socket_range(r).hash(h);
+                }
+            }
+            let (id, param) = match algo {
+                Algorithm::Naive => (0u64, 0u64),
+                Algorithm::CommonNeighbor { k } => (1, k as u64),
+                Algorithm::DistanceHalving => (2, 0),
+                Algorithm::HierarchicalLeader { leaders_per_node } => (3, leaders_per_node as u64),
+            };
+            id.hash(h);
+            param.hash(h);
+        })
+    }
+
+    /// Fingerprint of a *finished plan* on a topology — the key the
+    /// [`crate::arena::BlockArena`] uses to decide whether its cached
+    /// slot layout still applies to the plan it is handed.
+    pub fn of_plan(plan: &CollectivePlan, graph: &Topology) -> Self {
+        Self::digest(|h| {
+            plan.n().hash(h);
+            for prog in &plan.per_rank {
+                prog.len().hash(h);
+                for ph in prog {
+                    ph.copy_blocks.hash(h);
+                    for m in &ph.sends {
+                        (0u8, m.peer, m.tag).hash(h);
+                        m.blocks.hash(h);
+                    }
+                    for m in &ph.recvs {
+                        (1u8, m.peer, m.tag).hash(h);
+                        m.blocks.hash(h);
+                    }
+                }
+            }
+            graph.n().hash(h);
+            for r in 0..graph.n() {
+                graph.in_neighbors(r).hash(h);
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Counter snapshot of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing and fell through to a build.
+    pub misses: u64,
+    /// The subset of `hits` that came off the disk tier.
+    pub disk_hits: u64,
+    /// Plans inserted.
+    pub insertions: u64,
+    /// In-memory entries displaced by LRU eviction (disk copies, when a
+    /// disk tier is configured, survive eviction).
+    pub evictions: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanFingerprint, Arc<CollectivePlan>>,
+    /// Recency order: front = least recently used.
+    order: VecDeque<PlanFingerprint>,
+    stats: PlanCacheStats,
+}
+
+impl Inner {
+    /// Moves `fp` to the most-recently-used position.
+    fn touch(&mut self, fp: PlanFingerprint) {
+        if let Some(i) = self.order.iter().position(|&k| k == fp) {
+            self.order.remove(i);
+        }
+        self.order.push_back(fp);
+    }
+}
+
+/// A thread-safe, fingerprint-keyed LRU of built plans with an optional
+/// disk tier. Shared across communicators as an `Arc<PlanCache>` (see
+/// `DistGraphComm::with_plan_cache`).
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    disk_dir: Option<PathBuf>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("disk_dir", &self.disk_dir)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An in-memory cache holding at most `capacity` plans (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                stats: PlanCacheStats::default(),
+            }),
+            disk_dir: None,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Adds a disk tier under `dir` (created if absent): every insert is
+    /// also persisted as `<fingerprint>.nhplan`, and lookups that miss in
+    /// memory probe the directory before reporting a miss.
+    pub fn with_disk_dir(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.disk_dir = Some(dir);
+        Ok(self)
+    }
+
+    /// The configured disk tier directory, if any.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Maximum number of in-memory entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// `true` when no plan is cached in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().expect("plan cache poisoned").stats
+    }
+
+    fn disk_path(&self, fp: PlanFingerprint) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{fp}.nhplan")))
+    }
+
+    /// Looks `fp` up: memory first, then the disk tier. A disk hit is
+    /// re-validated against `graph` before being promoted to memory — a
+    /// file that fails to parse or validate is deleted and counted as a
+    /// miss (the caller rebuilds and the insert overwrites it).
+    pub fn lookup(&self, fp: PlanFingerprint, graph: &Topology) -> Option<Arc<CollectivePlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(plan) = inner.map.get(&fp).cloned() {
+            inner.touch(fp);
+            inner.stats.hits += 1;
+            return Some(plan);
+        }
+        if let Some(path) = self.disk_path(fp) {
+            if let Ok(plan) = plan_io::load_plan(&path) {
+                if plan.validate(graph).is_ok() {
+                    let plan = Arc::new(plan);
+                    Self::insert_locked(&mut inner, self.capacity, fp, Arc::clone(&plan));
+                    // the disk promotion is a reuse, not a fresh build
+                    inner.stats.insertions -= 1;
+                    inner.stats.hits += 1;
+                    inner.stats.disk_hits += 1;
+                    return Some(plan);
+                }
+            }
+            // unreadable or stale for this topology: drop it
+            let _ = std::fs::remove_file(&path);
+        }
+        inner.stats.misses += 1;
+        None
+    }
+
+    fn insert_locked(
+        inner: &mut Inner,
+        capacity: usize,
+        fp: PlanFingerprint,
+        plan: Arc<CollectivePlan>,
+    ) {
+        if inner.map.insert(fp, plan).is_none() && inner.map.len() > capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.touch(fp);
+        inner.stats.insertions += 1;
+    }
+
+    /// Inserts (or replaces) the plan for `fp`, evicting the least
+    /// recently used entry when the memory tier is full. With a disk
+    /// tier, the plan is also written to `<fingerprint>.nhplan`
+    /// (best-effort: an I/O failure leaves only the memory entry).
+    pub fn insert(&self, fp: PlanFingerprint, plan: Arc<CollectivePlan>) {
+        if let Some(path) = self.disk_path(fp) {
+            let _ = plan_io::save_plan(&plan, &path);
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        Self::insert_locked(&mut inner, self.capacity, fp, plan);
+    }
+
+    /// Looks `fp` up and, on a miss, runs `build`, caches its result and
+    /// returns it. The boolean is `true` on a hit (memory or disk). Build
+    /// errors are returned as-is and cache nothing.
+    pub fn get_or_build<E>(
+        &self,
+        fp: PlanFingerprint,
+        graph: &Topology,
+        build: impl FnOnce() -> Result<CollectivePlan, E>,
+    ) -> Result<(Arc<CollectivePlan>, bool), E> {
+        if let Some(plan) = self.lookup(fp, graph) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(build()?);
+        self.insert(fp, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::plan_naive;
+    use nhood_topology::random::erdos_renyi;
+    use nhood_topology::Rank;
+
+    fn layout(n: usize) -> ClusterLayout {
+        ClusterLayout::new(n.div_ceil(8), 2, 4)
+    }
+
+    #[test]
+    fn build_fingerprint_is_deterministic_and_input_sensitive() {
+        let g = erdos_renyi(32, 0.3, 7);
+        let l = layout(32);
+        let a = PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving);
+        let b = PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a}").len(), 32);
+        // different algorithm, parameter, graph, or layout → different key
+        assert_ne!(a, PlanFingerprint::of_build(&g, &l, Algorithm::Naive));
+        assert_ne!(
+            PlanFingerprint::of_build(&g, &l, Algorithm::CommonNeighbor { k: 2 }),
+            PlanFingerprint::of_build(&g, &l, Algorithm::CommonNeighbor { k: 3 })
+        );
+        let g2 = erdos_renyi(32, 0.3, 8);
+        assert_ne!(a, PlanFingerprint::of_build(&g2, &l, Algorithm::DistanceHalving));
+        let l2 = ClusterLayout::new(8, 2, 2);
+        assert_ne!(a, PlanFingerprint::of_build(&g, &l2, Algorithm::DistanceHalving));
+    }
+
+    #[test]
+    fn isomorphic_permuted_graphs_fingerprint_differently() {
+        // Relabeling ranks by a rotation keeps the graph isomorphic but
+        // changes which physical rank holds which adjacency — the builder
+        // would emit a different plan, so the fingerprints must differ.
+        let n = 24;
+        let g = erdos_renyi(n, 0.3, 11);
+        let perm = |r: Rank| (r + 1) % n;
+        let permuted =
+            nhood_topology::Topology::from_edges(n, g.edges().map(|(u, v)| (perm(u), perm(v))));
+        let l = layout(n);
+        assert_ne!(
+            PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving),
+            PlanFingerprint::of_build(&permuted, &l, Algorithm::DistanceHalving),
+        );
+        // A node permutation moves nodes between groups but leaves every
+        // socket range — all the builder consumes — untouched, so the
+        // permuted layout builds the identical plan and SHARES the key.
+        let l_perm = layout(n).with_node_permutation(vec![2, 0, 1]);
+        assert_eq!(
+            PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving),
+            PlanFingerprint::of_build(&g, &l_perm, Algorithm::DistanceHalving),
+        );
+        // a different placement policy is a different build request
+        let l_rr = layout(n).with_placement(nhood_cluster::Placement::RoundRobinNodes);
+        assert_ne!(
+            PlanFingerprint::of_build(&g, &l, Algorithm::Naive),
+            PlanFingerprint::of_build(&g, &l_rr, Algorithm::Naive),
+        );
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_plan_content() {
+        let g = erdos_renyi(16, 0.4, 3);
+        let plan = plan_naive(&g);
+        assert_eq!(PlanFingerprint::of_plan(&plan, &g), PlanFingerprint::of_plan(&plan, &g));
+        let mut other = plan.clone();
+        other.per_rank[0][0].copy_blocks += 1;
+        assert_ne!(PlanFingerprint::of_plan(&plan, &g), PlanFingerprint::of_plan(&other, &g));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let g = erdos_renyi(8, 0.5, 1);
+        let l = layout(8);
+        let plan = Arc::new(plan_naive(&g));
+        let fps: Vec<PlanFingerprint> =
+            [Algorithm::Naive, Algorithm::CommonNeighbor { k: 2 }, Algorithm::DistanceHalving]
+                .into_iter()
+                .map(|a| PlanFingerprint::of_build(&g, &l, a))
+                .collect();
+
+        cache.insert(fps[0], Arc::clone(&plan));
+        cache.insert(fps[1], Arc::clone(&plan));
+        // touch fps[0] so fps[1] becomes LRU
+        assert!(cache.lookup(fps[0], &g).is_some());
+        cache.insert(fps[2], Arc::clone(&plan));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(fps[1], &g).is_none(), "LRU entry should be gone");
+        assert!(cache.lookup(fps[0], &g).is_some());
+        assert!(cache.lookup(fps[2], &g).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn get_or_build_builds_once_then_hits() {
+        let cache = PlanCache::new(4);
+        let g = erdos_renyi(16, 0.3, 9);
+        let l = layout(16);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+        let mut builds = 0;
+        let (first, hit) = cache
+            .get_or_build(fp, &g, || -> Result<_, std::convert::Infallible> {
+                builds += 1;
+                Ok(plan_naive(&g))
+            })
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_build(fp, &g, || -> Result<_, std::convert::Infallible> {
+                builds += 1;
+                Ok(plan_naive(&g))
+            })
+            .unwrap();
+        assert!(hit);
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn build_errors_pass_through_uncached() {
+        let cache = PlanCache::new(4);
+        let g = erdos_renyi(8, 0.5, 2);
+        let fp = PlanFingerprint::of_build(&g, &layout(8), Algorithm::Naive);
+        let r: Result<_, &str> = cache.get_or_build(fp, &g, || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        assert!(cache.lookup(fp, &g).is_none());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("nhood_plan_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(16, 0.4, 5);
+        let l = layout(16);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        cache.insert(fp, Arc::new(plan_naive(&g)));
+        drop(cache);
+
+        // a brand-new cache (fresh process, conceptually) finds it on disk
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        let plan = cache.lookup(fp, &g).expect("disk hit");
+        plan.validate(&g).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.misses, 0);
+        // promoted: the second lookup is a pure memory hit
+        assert!(cache.lookup(fp, &g).is_some());
+        assert_eq!(cache.stats().disk_hits, 1);
+
+        // a corrupt file is a miss and gets cleaned up
+        let other = PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving);
+        let bad = dir.join(format!("{other}.nhplan"));
+        std::fs::write(&bad, b"garbage").unwrap();
+        assert!(cache.lookup(other, &g).is_none());
+        assert!(!bad.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,15 @@
 //! query); a pair is mutually a candidate iff its score is ≥ 1, which
 //! makes the candidate relation symmetric. Ties are broken toward the
 //! lower rank, mirroring a rank-ordered candidate scan.
+//!
+//! Internally a round is split into two stages so the builder can
+//! parallelize the expensive one: **scoring** fills a [`RoundCandidates`]
+//! CSR (per-proposer and per-acceptor candidate lists, best-first, as
+//! flat `offsets`/`targets` arrays over *local* indices), and the
+//! **drive** ([`run_matching`]) replays the protocol over dense
+//! `Vec<CandState>` matrices — no hash lookups on the hot path. The
+//! drive is single-threaded and deterministic, so any partitioning of
+//! the scoring work yields bit-identical rounds.
 
 use crate::pattern::SelectionStats;
 use nhood_topology::Rank;
@@ -54,45 +63,6 @@ enum CandState {
     Inactive,
 }
 
-fn push_signal(
-    queue: &mut VecDeque<(Rank, Rank, Sig)>,
-    log: &mut Option<&mut Vec<Event>>,
-    from: Rank,
-    to: Rank,
-    sig: Sig,
-) {
-    if let Some(l) = log.as_deref_mut() {
-        l.push(Event::Sent { from, to });
-    }
-    queue.push_back((from, to, sig));
-}
-
-struct Proposer {
-    rank: Rank,
-    /// candidates sorted best-first: (score desc, rank asc)
-    candidates: Vec<Rank>,
-    state: HashMap<Rank, CandState>,
-    /// index into `candidates` of the outstanding REQ target
-    cursor: usize,
-    selected: Option<Rank>,
-    failed: bool,
-}
-
-struct Acceptor {
-    rank: Rank,
-    candidates: Vec<Rank>,
-    state: HashMap<Rank, CandState>,
-    selected: Option<Rank>,
-}
-
-impl Acceptor {
-    /// Best-scoring non-INACTIVE candidate, if any. `candidates` is
-    /// sorted best-first so the first live entry wins.
-    fn best_live(&self) -> Option<Rank> {
-        self.candidates.iter().copied().find(|c| self.state[c] != CandState::Inactive)
-    }
-}
-
 /// One observable protocol event, in global causal order: a signal is
 /// `Sent` when its sender emits it and `Received` when its receiver
 /// processes it. The per-rank subsequences of this log are exactly the
@@ -118,6 +88,103 @@ pub enum Event {
     },
 }
 
+/// One proposer's scored candidates: `(score, acceptor local index)`,
+/// in acceptor-slice order (the order `build` calls `score`).
+pub(crate) type ScoreRow = Vec<(usize, u32)>;
+
+/// The frozen input of one protocol round: both sides' candidate lists,
+/// best-first, in CSR form over local indices.
+#[derive(Clone, Debug, Default)]
+pub struct RoundCandidates {
+    proposers: Vec<Rank>,
+    acceptors: Vec<Rank>,
+    /// `prop_off.len() == proposers.len() + 1`; proposer `pi`'s
+    /// candidates (acceptor local indices, best-first) are
+    /// `prop_cand[prop_off[pi]..prop_off[pi + 1]]`.
+    prop_off: Vec<u32>,
+    prop_cand: Vec<u32>,
+    /// Mirror CSR for the acceptor side (proposer local indices).
+    acc_off: Vec<u32>,
+    acc_cand: Vec<u32>,
+}
+
+impl RoundCandidates {
+    /// Scores every (proposer, acceptor) pair — `score` is called once
+    /// per pair, proposers outermost, both in slice order — and freezes
+    /// the candidate CSR. Pairs with score 0 are not candidates.
+    pub fn build(
+        proposers: &[Rank],
+        acceptors: &[Rank],
+        mut score: impl FnMut(Rank, Rank) -> usize,
+    ) -> Self {
+        let rows: Vec<ScoreRow> =
+            proposers.iter().map(|&p| Self::score_row(p, acceptors, &mut score)).collect();
+        Self::from_rows(proposers.to_vec(), acceptors.to_vec(), rows)
+    }
+
+    /// Scores one proposer against every acceptor. Split out so the
+    /// builder can farm rows out to a worker pool and reassemble with
+    /// [`from_rows`](Self::from_rows).
+    pub(crate) fn score_row(
+        p: Rank,
+        acceptors: &[Rank],
+        mut score: impl FnMut(Rank, Rank) -> usize,
+    ) -> ScoreRow {
+        let mut row = ScoreRow::new();
+        for (ai, &a) in acceptors.iter().enumerate() {
+            let s = score(p, a);
+            if s > 0 {
+                row.push((s, ai as u32));
+            }
+        }
+        row
+    }
+
+    /// Assembles the CSR from per-proposer score rows (one per proposer,
+    /// in proposer-slice order). Sorting is (score desc, rank asc) on
+    /// both sides — the comparator every matchmaking path shares.
+    pub(crate) fn from_rows(
+        proposers: Vec<Rank>,
+        acceptors: Vec<Rank>,
+        rows: Vec<ScoreRow>,
+    ) -> Self {
+        debug_assert_eq!(rows.len(), proposers.len());
+        let mut acc_rows: Vec<Vec<(usize, u32)>> = vec![Vec::new(); acceptors.len()];
+        let mut prop_off: Vec<u32> = Vec::with_capacity(proposers.len() + 1);
+        prop_off.push(0);
+        let mut prop_cand: Vec<u32> = Vec::new();
+        for (pi, mut row) in rows.into_iter().enumerate() {
+            for &(s, ai) in &row {
+                acc_rows[ai as usize].push((s, pi as u32));
+            }
+            row.sort_unstable_by(|x, y| {
+                y.0.cmp(&x.0).then(acceptors[x.1 as usize].cmp(&acceptors[y.1 as usize]))
+            });
+            prop_cand.extend(row.iter().map(|&(_, ai)| ai));
+            prop_off.push(prop_cand.len() as u32);
+        }
+        let mut acc_off: Vec<u32> = Vec::with_capacity(acceptors.len() + 1);
+        acc_off.push(0);
+        let mut acc_cand: Vec<u32> = Vec::new();
+        for mut row in acc_rows {
+            row.sort_unstable_by(|x, y| {
+                y.0.cmp(&x.0).then(proposers[x.1 as usize].cmp(&proposers[y.1 as usize]))
+            });
+            acc_cand.extend(row.iter().map(|&(_, pi)| pi));
+            acc_off.push(acc_cand.len() as u32);
+        }
+        Self { proposers, acceptors, prop_off, prop_cand, acc_off, acc_cand }
+    }
+
+    fn prop_cands(&self, pi: usize) -> &[u32] {
+        &self.prop_cand[self.prop_off[pi] as usize..self.prop_off[pi + 1] as usize]
+    }
+
+    fn acc_cands(&self, ai: usize) -> &[u32] {
+        &self.acc_cand[self.acc_off[ai] as usize..self.acc_off[ai + 1] as usize]
+    }
+}
+
 /// Runs one selection round.
 ///
 /// `score(p, a)` must return the shared-outgoing-neighbor count of
@@ -129,7 +196,7 @@ pub fn run_round(
     acceptors: &[Rank],
     score: impl FnMut(Rank, Rank) -> usize,
 ) -> RoundResult {
-    run_round_impl(proposers, acceptors, score, None)
+    run_matching(&RoundCandidates::build(proposers, acceptors, score))
 }
 
 /// [`run_round`] that additionally appends every signal's send and
@@ -140,183 +207,288 @@ pub fn run_round_logged(
     score: impl FnMut(Rank, Rank) -> usize,
     log: &mut Vec<Event>,
 ) -> RoundResult {
-    run_round_impl(proposers, acceptors, score, Some(log))
+    run_matching_impl(&RoundCandidates::build(proposers, acceptors, score), Some(log))
 }
 
-fn run_round_impl(
-    proposers: &[Rank],
-    acceptors: &[Rank],
-    mut score: impl FnMut(Rank, Rank) -> usize,
-    mut log: Option<&mut Vec<Event>>,
-) -> RoundResult {
-    let mut stats = SelectionStats { agent_searches: proposers.len(), ..Default::default() };
+/// Drives the protocol over pre-scored candidates (see
+/// [`RoundCandidates`]). Deterministic: same candidates in, same
+/// matching, signals, and stats out.
+pub fn run_matching(rc: &RoundCandidates) -> RoundResult {
+    run_matching_impl(rc, None)
+}
 
-    // Build candidate lists, best-first.
-    let mut props: HashMap<Rank, Proposer> = HashMap::with_capacity(proposers.len());
-    let mut accs: HashMap<Rank, Acceptor> = HashMap::with_capacity(acceptors.len());
-    let mut acc_cands: HashMap<Rank, Vec<(usize, Rank)>> =
-        acceptors.iter().map(|&a| (a, Vec::new())).collect();
-    for &p in proposers {
-        let mut cands: Vec<(usize, Rank)> = Vec::new();
-        for &a in acceptors {
-            let s = score(p, a);
-            if s > 0 {
-                cands.push((s, a));
-                acc_cands.get_mut(&a).expect("acceptor exists").push((s, p));
-            }
+/// [`run_matching`] that additionally appends every signal's send and
+/// receive to `log`, in causal order.
+pub fn run_matching_logged(rc: &RoundCandidates, log: &mut Vec<Event>) -> RoundResult {
+    run_matching_impl(rc, Some(log))
+}
+
+/// Queue entries carry local indices; direction is implied by the
+/// signal kind (REQ/EXIT travel proposer→acceptor, ACCEPT/DROP
+/// acceptor→proposer).
+fn push_signal(
+    queue: &mut VecDeque<(u32, u32, Sig)>,
+    log: &mut Option<&mut Vec<Event>>,
+    from_rank: Rank,
+    to_rank: Rank,
+    from: u32,
+    to: u32,
+    sig: Sig,
+) {
+    if let Some(l) = log.as_deref_mut() {
+        l.push(Event::Sent { from: from_rank, to: to_rank });
+    }
+    queue.push_back((from, to, sig));
+}
+
+/// Acceptor `ai` selects proposer `pi`: ACCEPT pi, proactively DROP
+/// every other live candidate (in candidate order).
+#[allow(clippy::too_many_arguments)]
+fn accept(
+    rc: &RoundCandidates,
+    ai: usize,
+    pi: u32,
+    astate: &mut [CandState],
+    a_sel: &mut [Option<u32>],
+    queue: &mut VecDeque<(u32, u32, Sig)>,
+    log: &mut Option<&mut Vec<Event>>,
+    stats: &mut SelectionStats,
+) {
+    let np = rc.proposers.len();
+    let a_rank = rc.acceptors[ai];
+    a_sel[ai] = Some(pi);
+    push_signal(queue, log, a_rank, rc.proposers[pi as usize], ai as u32, pi, Sig::Accept);
+    stats.accept += 1;
+    for &c in rc.acc_cands(ai) {
+        if c != pi && astate[ai * np + c as usize] != CandState::Inactive {
+            push_signal(queue, log, a_rank, rc.proposers[c as usize], ai as u32, c, Sig::Drop);
+            stats.drop += 1;
+            astate[ai * np + c as usize] = CandState::Inactive;
         }
-        cands.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
-        let candidates: Vec<Rank> = cands.iter().map(|&(_, r)| r).collect();
-        let state = candidates.iter().map(|&c| (c, CandState::Active)).collect();
-        props.insert(
-            p,
-            Proposer { rank: p, candidates, state, cursor: 0, selected: None, failed: false },
-        );
     }
-    for &a in acceptors {
-        let mut cands = acc_cands.remove(&a).expect("populated above");
-        cands.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
-        let candidates: Vec<Rank> = cands.iter().map(|&(_, r)| r).collect();
-        let state = candidates.iter().map(|&c| (c, CandState::Active)).collect();
-        accs.insert(a, Acceptor { rank: a, candidates, state, selected: None });
-    }
+    astate[ai * np + pi as usize] = CandState::Inactive;
+}
 
-    let mut queue: VecDeque<(Rank, Rank, Sig)> = VecDeque::new();
+fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> RoundResult {
+    let np = rc.proposers.len();
+    let na = rc.acceptors.len();
+    let mut stats = SelectionStats { agent_searches: np, ..Default::default() };
+
+    // Dense candidate-state matrices, row-major by local index. Cells of
+    // non-candidate pairs stay Inactive and are never written: signals
+    // only travel candidate edges, and the candidate relation is
+    // symmetric (score > 0 both ways), so the two matrices agree on
+    // which cells are live.
+    let mut pstate: Vec<CandState> = vec![CandState::Inactive; np * na];
+    let mut astate: Vec<CandState> = vec![CandState::Inactive; na * np];
+    for pi in 0..np {
+        for &ai in rc.prop_cands(pi) {
+            pstate[pi * na + ai as usize] = CandState::Active;
+        }
+    }
+    for ai in 0..na {
+        for &pi in rc.acc_cands(ai) {
+            astate[ai * np + pi as usize] = CandState::Active;
+        }
+    }
+    // Per-proposer: index into its candidate list of the outstanding REQ.
+    let mut cursor: Vec<usize> = vec![0; np];
+    let mut p_sel: Vec<Option<u32>> = vec![None; np];
+    let mut p_failed: Vec<bool> = vec![false; np];
+    let mut a_sel: Vec<Option<u32>> = vec![None; na];
+
+    // Best-scoring non-INACTIVE candidate of acceptor `ai`, if any
+    // (candidates are sorted best-first, so the first live entry wins).
+    let best_live = |ai: usize, astate: &[CandState]| -> Option<u32> {
+        rc.acc_cands(ai)
+            .iter()
+            .copied()
+            .find(|&c| astate[ai * np + c as usize] != CandState::Inactive)
+    };
+
+    let mut queue: VecDeque<(u32, u32, Sig)> = VecDeque::new();
 
     // Bootstrap: every proposer with candidates REQs its best one.
-    for &p in proposers {
-        let pr = props.get_mut(&p).expect("proposer exists");
-        if let Some(&best) = pr.candidates.first() {
-            push_signal(&mut queue, &mut log, p, best, Sig::Req);
+    for (pi, failed) in p_failed.iter_mut().enumerate() {
+        if let Some(&best) = rc.prop_cands(pi).first() {
+            push_signal(
+                &mut queue,
+                &mut log,
+                rc.proposers[pi],
+                rc.acceptors[best as usize],
+                pi as u32,
+                best,
+                Sig::Req,
+            );
             stats.req += 1;
         } else {
-            pr.failed = true;
+            *failed = true;
         }
-    }
-
-    // Acceptor `a` selects proposer `p`: ACCEPT p, proactively DROP every
-    // other live candidate.
-    fn accept(
-        a: &mut Acceptor,
-        p: Rank,
-        queue: &mut VecDeque<(Rank, Rank, Sig)>,
-        log: &mut Option<&mut Vec<Event>>,
-        stats: &mut SelectionStats,
-    ) {
-        a.selected = Some(p);
-        push_signal(queue, log, a.rank, p, Sig::Accept);
-        stats.accept += 1;
-        for &c in &a.candidates {
-            if c != p && a.state[&c] != CandState::Inactive {
-                push_signal(queue, log, a.rank, c, Sig::Drop);
-                stats.drop += 1;
-                a.state.insert(c, CandState::Inactive);
-            }
-        }
-        a.state.insert(p, CandState::Inactive);
     }
 
     while let Some((from, to, sig)) = queue.pop_front() {
-        if let Some(l) = log.as_deref_mut() {
-            l.push(Event::Received { by: to, from });
-        }
         match sig {
             Sig::Req => {
-                let a = accs.get_mut(&to).expect("REQ goes to an acceptor");
-                if a.selected.is_some() {
+                let (pi, ai) = (from as usize, to as usize);
+                if let Some(l) = log.as_deref_mut() {
+                    l.push(Event::Received { by: rc.acceptors[ai], from: rc.proposers[pi] });
+                }
+                if a_sel[ai].is_some() {
                     // straggler: already matched this round
-                    push_signal(&mut queue, &mut log, to, from, Sig::Drop);
+                    push_signal(
+                        &mut queue,
+                        &mut log,
+                        rc.acceptors[ai],
+                        rc.proposers[pi],
+                        to,
+                        from,
+                        Sig::Drop,
+                    );
                     stats.drop += 1;
-                    a.state.insert(from, CandState::Inactive);
+                    astate[ai * np + pi] = CandState::Inactive;
                     continue;
                 }
-                debug_assert_eq!(a.state[&from], CandState::Active, "duplicate REQ");
-                a.state.insert(from, CandState::Waiting);
-                if a.best_live() == Some(from) {
-                    accept(a, from, &mut queue, &mut log, &mut stats);
+                debug_assert_eq!(astate[ai * np + pi], CandState::Active, "duplicate REQ");
+                astate[ai * np + pi] = CandState::Waiting;
+                if best_live(ai, &astate) == Some(from) {
+                    accept(rc, ai, from, &mut astate, &mut a_sel, &mut queue, &mut log, &mut stats);
                 }
             }
             Sig::Accept => {
-                let p = props.get_mut(&to).expect("ACCEPT goes to a proposer");
-                debug_assert!(p.selected.is_none(), "double accept");
-                p.selected = Some(from);
+                let (ai, pi) = (from as usize, to as usize);
+                if let Some(l) = log.as_deref_mut() {
+                    l.push(Event::Received { by: rc.proposers[pi], from: rc.acceptors[ai] });
+                }
+                debug_assert!(p_sel[pi].is_none(), "double accept");
+                p_sel[pi] = Some(from);
                 stats.agents_found += 1;
                 // EXIT all other candidates still considered live by us.
-                for i in 0..p.candidates.len() {
-                    let c = p.candidates[i];
-                    if c != from && p.state[&c] != CandState::Inactive {
-                        push_signal(&mut queue, &mut log, p.rank, c, Sig::Exit);
+                for &c in rc.prop_cands(pi) {
+                    if c != from && pstate[pi * na + c as usize] != CandState::Inactive {
+                        push_signal(
+                            &mut queue,
+                            &mut log,
+                            rc.proposers[pi],
+                            rc.acceptors[c as usize],
+                            to,
+                            c,
+                            Sig::Exit,
+                        );
                         stats.exit += 1;
-                        p.state.insert(c, CandState::Inactive);
+                        pstate[pi * na + c as usize] = CandState::Inactive;
                     }
                 }
-                p.state.insert(from, CandState::Inactive);
+                pstate[pi * na + ai] = CandState::Inactive;
             }
             Sig::Drop => {
-                let p = props.get_mut(&to).expect("DROP goes to a proposer");
-                if p.state.get(&from) == Some(&CandState::Inactive) && p.selected.is_some() {
+                let (ai, pi) = (from as usize, to as usize);
+                if let Some(l) = log.as_deref_mut() {
+                    l.push(Event::Received { by: rc.proposers[pi], from: rc.acceptors[ai] });
+                }
+                if pstate[pi * na + ai] == CandState::Inactive && p_sel[pi].is_some() {
                     continue; // late chatter after we matched
                 }
-                let was_target = p
-                    .candidates
-                    .get(p.cursor)
-                    .is_some_and(|&c| c == from && p.selected.is_none() && !p.failed);
-                let already_inactive = p.state.get(&from) == Some(&CandState::Inactive);
-                p.state.insert(from, CandState::Inactive);
-                if p.selected.is_some() || p.failed || already_inactive {
+                let cands = rc.prop_cands(pi);
+                let was_target = cands
+                    .get(cursor[pi])
+                    .is_some_and(|&c| c == from && p_sel[pi].is_none() && !p_failed[pi]);
+                let already_inactive = pstate[pi * na + ai] == CandState::Inactive;
+                pstate[pi * na + ai] = CandState::Inactive;
+                if p_sel[pi].is_some() || p_failed[pi] || already_inactive {
                     continue;
                 }
                 if was_target {
                     // advance to the next live candidate
-                    p.cursor += 1;
-                    while p.cursor < p.candidates.len()
-                        && p.state[&p.candidates[p.cursor]] == CandState::Inactive
+                    cursor[pi] += 1;
+                    while cursor[pi] < cands.len()
+                        && pstate[pi * na + cands[cursor[pi]] as usize] == CandState::Inactive
                     {
-                        p.cursor += 1;
+                        cursor[pi] += 1;
                     }
-                    if p.cursor < p.candidates.len() {
-                        let next = p.candidates[p.cursor];
-                        push_signal(&mut queue, &mut log, p.rank, next, Sig::Req);
+                    if cursor[pi] < cands.len() {
+                        let next = cands[cursor[pi]];
+                        push_signal(
+                            &mut queue,
+                            &mut log,
+                            rc.proposers[pi],
+                            rc.acceptors[next as usize],
+                            to,
+                            next,
+                            Sig::Req,
+                        );
                         stats.req += 1;
                     } else {
-                        p.failed = true;
+                        p_failed[pi] = true;
                     }
                 } else {
                     // unsolicited DROP from an acceptor we never REQ'd:
                     // tell it to stop considering us (Alg. 2 line 34)
-                    push_signal(&mut queue, &mut log, p.rank, from, Sig::Exit);
+                    push_signal(
+                        &mut queue,
+                        &mut log,
+                        rc.proposers[pi],
+                        rc.acceptors[ai],
+                        to,
+                        from,
+                        Sig::Exit,
+                    );
                     stats.exit += 1;
                 }
             }
             Sig::Exit => {
-                let a = accs.get_mut(&to).expect("EXIT goes to an acceptor");
-                let prev = a.state.insert(from, CandState::Inactive);
-                if a.selected.is_some() {
+                let (pi, ai) = (from as usize, to as usize);
+                if let Some(l) = log.as_deref_mut() {
+                    l.push(Event::Received { by: rc.acceptors[ai], from: rc.proposers[pi] });
+                }
+                let prev = astate[ai * np + pi];
+                astate[ai * np + pi] = CandState::Inactive;
+                if a_sel[ai].is_some() {
                     // Alg. 3 lines 41-48: a matched acceptor answers a
                     // still-ACTIVE candidate's EXIT with a final DROP.
-                    if prev == Some(CandState::Active) {
-                        push_signal(&mut queue, &mut log, a.rank, from, Sig::Drop);
+                    if prev == CandState::Active {
+                        push_signal(
+                            &mut queue,
+                            &mut log,
+                            rc.acceptors[ai],
+                            rc.proposers[pi],
+                            to,
+                            from,
+                            Sig::Drop,
+                        );
                         stats.drop += 1;
                     }
                     continue;
                 }
-                if let Some(best) = a.best_live() {
-                    if a.state[&best] == CandState::Waiting {
-                        accept(a, best, &mut queue, &mut log, &mut stats);
+                if let Some(best) = best_live(ai, &astate) {
+                    if astate[ai * np + best as usize] == CandState::Waiting {
+                        accept(
+                            rc,
+                            ai,
+                            best,
+                            &mut astate,
+                            &mut a_sel,
+                            &mut queue,
+                            &mut log,
+                            &mut stats,
+                        );
                     }
                 }
             }
         }
     }
 
-    let matched: HashMap<Rank, Rank> =
-        props.values().filter_map(|p| p.selected.map(|a| (p.rank, a))).collect();
+    let matched: HashMap<Rank, Rank> = p_sel
+        .iter()
+        .enumerate()
+        .filter_map(|(pi, sel)| sel.map(|ai| (rc.proposers[pi], rc.acceptors[ai as usize])))
+        .collect();
 
     // Protocol-liveness sanity: an unmatched acceptor must not have any
     // proposer still waiting on it (it would have accepted its best
     // waiter when the queue drained).
-    debug_assert!(accs.values().all(|a| {
-        a.selected.is_some() || a.candidates.iter().all(|c| a.state[c] != CandState::Waiting)
+    debug_assert!((0..na).all(|ai| {
+        a_sel[ai].is_some()
+            || rc.acc_cands(ai).iter().all(|&c| astate[ai * np + c as usize] != CandState::Waiting)
     }));
 
     RoundResult { matched, stats }
@@ -401,6 +573,15 @@ mod tests {
     fn ties_break_toward_lower_rank() {
         let t = [(0, 5, 3), (0, 7, 3)];
         let r = run_round(&[0], &[5, 7], table_score(&t));
+        assert_eq!(r.matched[&0], 5);
+    }
+
+    #[test]
+    fn ties_break_by_rank_even_when_slices_are_unsorted() {
+        // acceptor slice deliberately out of rank order: the comparator
+        // must use rank values, not local indices
+        let t = [(0, 5, 3), (0, 7, 3)];
+        let r = run_round(&[0], &[7, 5], table_score(&t));
         assert_eq!(r.matched[&0], 5);
     }
 
@@ -507,5 +688,40 @@ mod tests {
         assert!(r.stats.accept <= r.stats.req);
         assert_eq!(r.stats.accept, r.stats.agents_found);
         assert_eq!(r.stats.accept, r.matched.len());
+    }
+
+    #[test]
+    fn split_scoring_matches_monolithic_build() {
+        // Scoring rows computed separately (as the parallel builder does)
+        // and reassembled must produce the identical round.
+        let score = |p: Rank, a: Rank| (p * 31 + a * 17) % 7;
+        let proposers: Vec<Rank> = (0..24).collect();
+        let acceptors: Vec<Rank> = (24..48).collect();
+        let whole = RoundCandidates::build(&proposers, &acceptors, score);
+        let rows: Vec<ScoreRow> =
+            proposers.iter().map(|&p| RoundCandidates::score_row(p, &acceptors, score)).collect();
+        let split = RoundCandidates::from_rows(proposers.clone(), acceptors.clone(), rows);
+        let r1 = run_matching(&whole);
+        let r2 = run_matching(&split);
+        assert_eq!(r1.matched, r2.matched);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn logged_matching_equals_unlogged() {
+        let score = |p: Rank, a: Rank| (p * 5 + a * 3) % 4;
+        let proposers: Vec<Rank> = (0..10).collect();
+        let acceptors: Vec<Rank> = (10..20).collect();
+        let rc = RoundCandidates::build(&proposers, &acceptors, score);
+        let mut log = Vec::new();
+        let r1 = run_matching_logged(&rc, &mut log);
+        let r2 = run_matching(&rc);
+        assert_eq!(r1.matched, r2.matched);
+        assert_eq!(r1.stats, r2.stats);
+        // every signal appears exactly twice: once sent, once received
+        let sent = log.iter().filter(|e| matches!(e, Event::Sent { .. })).count();
+        let recvd = log.iter().filter(|e| matches!(e, Event::Received { .. })).count();
+        assert_eq!(sent, recvd);
+        assert_eq!(sent, r1.stats.total_signals());
     }
 }

@@ -1,0 +1,93 @@
+//! End-to-end properties of the plan-construction fast path.
+//!
+//! Two guarantees the fast path must never trade away:
+//!
+//! 1. **Determinism** — a plan built on the worker pool is *byte
+//!    identical* (through the `plan_io` wire format) to one built
+//!    serially. The pool's index-ordered merge makes parallelism an
+//!    implementation detail, not an observable one.
+//! 2. **Transparency** — a plan served from the fingerprint cache
+//!    executes exactly like a freshly built one on every backend.
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::{
+    plan_io, Algorithm, BlockArena, DistGraphComm, ExecOptions, Executor, PlanCache, Sim, Threaded,
+    Virtual,
+};
+use nhood_topology::random::erdos_renyi;
+use std::sync::Arc;
+
+fn comm_for(n: usize, delta: f64, seed: u64) -> DistGraphComm {
+    let g = erdos_renyi(n, delta, seed);
+    let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+    DistGraphComm::create_adjacent(g, layout).unwrap()
+}
+
+fn plan_bytes(comm: &DistGraphComm) -> Vec<u8> {
+    let plan = comm.plan(Algorithm::DistanceHalving).unwrap();
+    let mut bytes = Vec::new();
+    plan_io::write_plan(&plan, &mut bytes).unwrap();
+    bytes
+}
+
+/// Pool-built DH plans round-trip to the same `plan_io` bytes as
+/// serial ones, across random graphs up to n = 128 at low, medium, and
+/// high density.
+#[test]
+fn parallel_built_plans_are_byte_identical_to_serial() {
+    for n in [16usize, 48, 128] {
+        for delta in [0.1f64, 0.3, 0.6] {
+            let serial = comm_for(n, delta, 0xD5 + n as u64);
+            let pooled = serial.clone().with_build_threads(4);
+            assert_eq!(
+                plan_bytes(&serial),
+                plan_bytes(&pooled),
+                "n={n} delta={delta}: pooled plan diverged from serial"
+            );
+        }
+    }
+}
+
+/// A plan served from the cache (a genuine hit — the same `Arc`, no
+/// rebuild) produces `reference_allgather`-identical output on the
+/// Virtual and Threaded backends, and simulates to the plan's own
+/// message statics on Sim (the simulator moves no real payload bytes,
+/// so traffic counts are its observable output).
+#[test]
+fn all_backends_match_reference_from_cached_plans() {
+    let n = 32;
+    let g = erdos_renyi(n, 0.35, 11);
+    let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone())
+        .unwrap()
+        .with_plan_cache(Arc::new(PlanCache::new(4)));
+
+    let first = comm.plan_shared(Algorithm::DistanceHalving).unwrap();
+    let plan = comm.plan_shared(Algorithm::DistanceHalving).unwrap();
+    assert!(Arc::ptr_eq(&first, &plan), "second lookup must be a cache hit");
+    let stats = comm.plan_cache().unwrap().stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+
+    let m = 64;
+    let payloads = test_payloads(n, m, 0xCA);
+    let want = reference_allgather(&g, &payloads);
+    let opts = ExecOptions::new();
+
+    let out = Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+    assert_eq!(out.rbufs, want, "virtual backend diverged on a cached plan");
+
+    let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
+    assert_eq!(out.rbufs, want, "threaded backend diverged on a cached plan");
+
+    let rec = nhood_telemetry::CountingRecorder::new(n);
+    let sim = Sim::new(layout).message_size(m);
+    let out = sim
+        .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::new().recorder(&rec))
+        .unwrap();
+    assert!(out.rbufs.is_empty(), "sim moves no real bytes");
+    assert!(out.sim.expect("sim report").makespan > 0.0);
+    let totals = rec.totals();
+    assert_eq!(totals.msgs_sent as usize, plan.message_count());
+    assert_eq!(totals.bytes_sent as usize, plan.total_blocks_sent() * m);
+}

@@ -20,6 +20,8 @@ struct Cells {
     bytes_off_socket: AtomicU64,
     msgs_intra_socket: AtomicU64,
     bytes_intra_socket: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
 }
 
 fn bump(cell: &AtomicU64, by: u64) {
@@ -54,6 +56,10 @@ pub struct Counts {
     pub msgs_intra_socket: u64,
     /// Bytes in intra-socket sends.
     pub bytes_intra_socket: u64,
+    /// Plan-cache lookups served from the cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that fell through to a cold build.
+    pub plan_cache_misses: u64,
 }
 
 impl Counts {
@@ -73,6 +79,8 @@ impl Counts {
             bytes_off_socket: self.bytes_off_socket + o.bytes_off_socket,
             msgs_intra_socket: self.msgs_intra_socket + o.msgs_intra_socket,
             bytes_intra_socket: self.bytes_intra_socket + o.bytes_intra_socket,
+            plan_cache_hits: self.plan_cache_hits + o.plan_cache_hits,
+            plan_cache_misses: self.plan_cache_misses + o.plan_cache_misses,
         }
     }
 }
@@ -143,6 +151,8 @@ impl CountingRecorder {
             bytes_off_socket: ld(&c.bytes_off_socket),
             msgs_intra_socket: ld(&c.msgs_intra_socket),
             bytes_intra_socket: ld(&c.bytes_intra_socket),
+            plan_cache_hits: ld(&c.plan_cache_hits),
+            plan_cache_misses: ld(&c.plan_cache_misses),
         }
     }
 
@@ -193,6 +203,11 @@ impl Recorder for CountingRecorder {
 
     fn negotiation_round(&self, rank: Rank) {
         bump(&self.cells[rank].negotiation_rounds, 1);
+    }
+
+    fn plan_cache(&self, rank: Rank, hit: bool) {
+        let c = &self.cells[rank];
+        bump(if hit { &c.plan_cache_hits } else { &c.plan_cache_misses }, 1);
     }
 
     fn counts(&self) -> Option<Counts> {
@@ -253,6 +268,19 @@ mod tests {
         let t = rec.totals();
         assert_eq!(t.msgs_sent, 1);
         assert_eq!(t.msgs_off_socket + t.msgs_intra_socket, 0);
+    }
+
+    #[test]
+    fn plan_cache_lookups_split_by_outcome() {
+        let rec = CountingRecorder::new(2);
+        rec.plan_cache(0, false);
+        rec.plan_cache(0, true);
+        rec.plan_cache(1, true);
+        assert_eq!(rec.per_rank(0).plan_cache_hits, 1);
+        assert_eq!(rec.per_rank(0).plan_cache_misses, 1);
+        let t = rec.totals();
+        assert_eq!(t.plan_cache_hits, 2);
+        assert_eq!(t.plan_cache_misses, 1);
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub fn summary_table(rec: &CountingRecorder) -> String {
             t.msgs_off_socket, t.bytes_off_socket, t.msgs_intra_socket, t.bytes_intra_socket
         );
     }
+    if t.plan_cache_hits + t.plan_cache_misses > 0 {
+        let _ =
+            writeln!(out, "plan cache: {} hits, {} misses", t.plan_cache_hits, t.plan_cache_misses);
+    }
     out
 }
 
@@ -199,6 +203,12 @@ mod tests {
         assert!(table.lines().count() >= 4, "{table}");
         assert!(table.contains("total"));
         assert!(table.contains("128"));
+        // no plan-cache traffic → no plan-cache line
+        assert!(!table.contains("plan cache"));
+        rec.plan_cache(0, true);
+        rec.plan_cache(1, false);
+        let table = summary_table(&rec);
+        assert!(table.contains("plan cache: 1 hits, 1 misses"), "{table}");
     }
 
     #[test]

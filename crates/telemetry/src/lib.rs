@@ -48,6 +48,18 @@ pub mod labels {
     /// A plan phase of an algorithm without halving structure
     /// (naive / Common Neighbor / leader).
     pub const PHASE: &str = "phase";
+    /// A complete pattern build (`build_pattern*` — Algorithm 1).
+    pub const PLAN_BUILD: &str = "plan_build";
+    /// The candidate-scoring stage of one halving step (matrix-A
+    /// queries), parallelizable.
+    pub const BUILD_SCORE: &str = "build_score";
+    /// The protocol-drive stage of one halving step (REQ/ACCEPT/DROP/
+    /// EXIT emulation), one drive per round.
+    pub const BUILD_MATCH: &str = "build_match";
+    /// Lowering a built pattern to an executable plan.
+    pub const PLAN_LOWER: &str = "plan_lower";
+    /// A plan-cache lookup (hit or miss — see `Recorder::plan_cache`).
+    pub const PLAN_CACHE: &str = "plan_cache";
 }
 
 /// The instrumentation surface. All hooks default to no-ops, so an
@@ -85,6 +97,12 @@ pub trait Recorder: Sync {
     /// `rank` completed one REQ/ACCEPT/DROP negotiation round.
     fn negotiation_round(&self, rank: Rank) {
         let _ = rank;
+    }
+
+    /// `rank` looked a plan up in a plan cache: `hit` is `true` when the
+    /// plan was served from the cache, `false` when it had to be built.
+    fn plan_cache(&self, rank: Rank, hit: bool) {
+        let _ = (rank, hit);
     }
 
     /// `rank` entered the phase `label` (wall-clock recorders stamp the
@@ -135,6 +153,7 @@ mod tests {
         r.retry(2);
         r.fallback(0);
         r.negotiation_round(1);
+        r.plan_cache(0, true);
         r.span_begin(0, labels::HALVING_STEP);
         r.span_end(0, labels::HALVING_STEP);
         r.span_at(0, labels::INTRA_SOCKET, 0.0, 1e-6);

@@ -24,7 +24,7 @@ pub fn erdos_renyi(n: usize, delta: f64, seed: u64) -> Topology {
     }
     if delta == 1.0 {
         let edges = (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)));
-        return Topology::from_edges(n, edges.collect::<Vec<_>>());
+        return Topology::from_edges(n, edges);
     }
 
     let mut edges: Vec<(Rank, Rank)> = Vec::with_capacity((delta * (n * n) as f64) as usize);
