@@ -1,0 +1,307 @@
+//! BENCH_5 — variable-size allgatherv and byte-weighted agent
+//! selection.
+//!
+//! For each workload — random sparse graphs, the Moore stencil, and
+//! SpMM-derived topologies with their real per-stripe byte sizes — the
+//! Distance Halving collective is simulated three ways:
+//!
+//! * `padded` — uniform allgather with every block padded to the
+//!   largest (`MPI_Neighbor_allgather`, the pre-allgatherv baseline);
+//! * `ragged_neighbors` — exact per-rank sizes on the wire
+//!   ([`simulate_v`]) with the paper's shared-neighbor agent selection
+//!   ([`LoadMetric::Neighbors`]);
+//! * `ragged_bytes` — the same ragged sizes on a plan whose agent
+//!   selection was byte-aware ([`LoadMetric::Bytes`]).
+//!
+//! Each cell also records the §V model's E\[m_in\] per received block
+//! under both metrics ([`mean_block_bytes`]): the plain mean and the
+//! size-biased mean, whose gap measures how ragged the size table is.
+//!
+//! One acceptance gate rides on the numbers, evaluated by [`gates`]:
+//! on the ragged SpMM workload, Bytes-metric selection must be no
+//! slower than Neighbors-metric selection in geometric mean
+//! (`spmm_bytes_gmean >= 1.0`).
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::sim_exec::{simulate, simulate_v};
+use nhood_core::model::mean_block_bytes;
+use nhood_core::{Algorithm, BlockSizes, DistGraphComm, LoadMetric, SimCost};
+use nhood_topology::matrix::generators::{synth_symmetric, TABLE2};
+use nhood_topology::moore::{moore, MooreSpec};
+use nhood_topology::random::erdos_renyi;
+use nhood_topology::rng::DetRng;
+use nhood_topology::spmm_graph::spmm_topology;
+use nhood_topology::{BlockPartition, Topology};
+
+/// One simulated (workload, case) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload family: `"rsg"`, `"moore"`, or `"spmm"`.
+    pub workload: String,
+    /// Cell label: `"n=128 d=0.3"` or a Table II matrix name.
+    pub case: String,
+    /// Rank count.
+    pub n: usize,
+    /// Total payload bytes across all ranks.
+    pub total_bytes: usize,
+    /// Largest per-rank block — the padded allgather's uniform size.
+    pub max_bytes: usize,
+    /// §V E\[m_in\] per block under `Neighbors` (the plain mean).
+    pub model_mean_neighbors: f64,
+    /// §V E\[m_in\] per block under `Bytes` (the size-biased mean;
+    /// ≥ the plain mean, equal iff the table is uniform).
+    pub model_mean_bytes: f64,
+    /// Makespan of the padded uniform allgather, seconds.
+    pub padded_s: f64,
+    /// Makespan of ragged allgatherv on the Neighbors-selected plan.
+    pub ragged_neighbors_s: f64,
+    /// Makespan of ragged allgatherv on the Bytes-selected plan.
+    pub ragged_bytes_s: f64,
+}
+
+impl Row {
+    /// How much exact sizes save over padding: `padded /
+    /// ragged_neighbors` (> 1 means allgatherv won).
+    pub fn padded_over_ragged(&self) -> f64 {
+        self.padded_s / self.ragged_neighbors_s
+    }
+
+    /// Byte-weighted selection gain: `ragged_neighbors / ragged_bytes`
+    /// (> 1 means the Bytes metric won; 1.0 when both metrics picked
+    /// the same agents).
+    pub fn bytes_gain(&self) -> f64 {
+        self.ragged_neighbors_s / self.ragged_bytes_s
+    }
+}
+
+/// The acceptance verdict derived from a run (also embedded in the
+/// JSON document).
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Geometric-mean `padded_over_ragged` across every cell.
+    pub padded_gmean: f64,
+    /// Geometric-mean `bytes_gain` across every cell.
+    pub bytes_gmean_all: f64,
+    /// Geometric-mean `bytes_gain` over the SpMM cells — the gated
+    /// quantity.
+    pub spmm_bytes_gmean: f64,
+    /// Gate verdict: `spmm_bytes_gmean >= 1.0` (with a 1e-9 tolerance
+    /// for float noise on identical plans).
+    pub spmm_bytes_ok: bool,
+}
+
+/// Skewed per-rank block sizes for the synthetic-topology workloads:
+/// roughly one rank in eight carries a block one to two orders of
+/// magnitude heavier than the rest, and zero-length blocks occur.
+pub fn skewed_sizes(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_below(8) == 0 {
+                4096 + rng.gen_below(4096)
+            } else {
+                rng.gen_below(257) // 0..=256, zeros included
+            }
+        })
+        .collect()
+}
+
+fn cell(workload: &str, case: String, graph: Topology, sizes: Vec<usize>, rows: &mut Vec<Row>) {
+    let n = graph.n();
+    let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+    let cost = SimCost::niagara();
+    let table = BlockSizes::per_rank(sizes.clone());
+    let base = DistGraphComm::create_adjacent(graph, layout.clone())
+        .expect("layout fits")
+        .with_block_sizes(table.clone());
+    let plan_n = base
+        .clone()
+        .with_load_metric(LoadMetric::Neighbors)
+        .plan(Algorithm::DistanceHalving)
+        .expect("plan");
+    let plan_b =
+        base.with_load_metric(LoadMetric::Bytes).plan(Algorithm::DistanceHalving).expect("plan");
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    rows.push(Row {
+        workload: workload.to_string(),
+        case,
+        n,
+        total_bytes: sizes.iter().sum(),
+        max_bytes: max,
+        model_mean_neighbors: mean_block_bytes(&table, n, LoadMetric::Neighbors),
+        model_mean_bytes: mean_block_bytes(&table, n, LoadMetric::Bytes),
+        padded_s: simulate(&plan_n, &layout, max, &cost).expect("sim").makespan,
+        ragged_neighbors_s: simulate_v(&plan_n, &layout, &sizes, &cost).expect("sim").makespan,
+        ragged_bytes_s: simulate_v(&plan_b, &layout, &sizes, &cost).expect("sim").makespan,
+    });
+}
+
+/// Per-stripe exact payload bytes of an SpMM exchange — the real size
+/// table [`nhood_spmm::distributed_spmm_with`] pins under
+/// `Packing::Exact`.
+pub fn spmm_stripe_sizes(x: &nhood_topology::CsrMatrix, parts: usize) -> Vec<usize> {
+    let part = BlockPartition::new(x.rows(), parts);
+    (0..parts)
+        .map(|p| {
+            let nnz: usize = part.range(p).map(|r| x.row_cols(r).len()).sum();
+            nhood_spmm::stripe::exact_bytes(nnz)
+        })
+        .collect()
+}
+
+/// Runs the full grid. `quick` shrinks rank counts, densities, and the
+/// matrix list for CI smoke runs.
+pub fn run(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    let (rsg_sizes, densities): (&[usize], &[f64]) =
+        if quick { (&[64], &[0.3]) } else { (&[128, 512], &[0.1, 0.3]) };
+    for &n in rsg_sizes {
+        for &delta in densities {
+            let g = erdos_renyi(n, delta, 42);
+            cell("rsg", format!("n={n} d={delta}"), g, skewed_sizes(n, 0xB5 + n as u64), &mut rows);
+        }
+    }
+
+    let moore_sizes: &[usize] = if quick { &[64] } else { &[256] };
+    for &n in moore_sizes {
+        let g = moore(n, MooreSpec { r: 1, d: 2 });
+        cell("moore", format!("n={n} r=1 d=2"), g, skewed_sizes(n, 0x3007 + n as u64), &mut rows);
+    }
+
+    let (matrices, parts): (&[_], usize) =
+        if quick { (&TABLE2[..2], 16) } else { (&TABLE2[..4], 64) };
+    for e in matrices {
+        let x = synth_symmetric(e.n, e.nnz, e.class, 42);
+        let g = spmm_topology(&x, parts);
+        cell("spmm", e.name.to_string(), g, spmm_stripe_sizes(&x, parts), &mut rows);
+    }
+
+    rows
+}
+
+fn gmean(vals: impl Iterator<Item = f64>) -> f64 {
+    let logs: Vec<f64> = vals.map(f64::ln).collect();
+    if logs.is_empty() {
+        1.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+/// Evaluates the acceptance gate against a run's rows.
+pub fn gates(rows: &[Row]) -> GateReport {
+    let spmm_bytes_gmean = gmean(rows.iter().filter(|r| r.workload == "spmm").map(Row::bytes_gain));
+    GateReport {
+        padded_gmean: gmean(rows.iter().map(Row::padded_over_ragged)),
+        bytes_gmean_all: gmean(rows.iter().map(Row::bytes_gain)),
+        spmm_bytes_gmean,
+        spmm_bytes_ok: spmm_bytes_gmean >= 1.0 - 1e-9,
+    }
+}
+
+/// Renders the result as the `BENCH_5.json` document (pretty-printed,
+/// hand-rolled — the workspace builds offline, no serde).
+pub fn write_json(rows: &[Row], report: &GateReport, quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_5\",\n");
+    s.push_str(
+        "  \"description\": \"allgatherv: padded vs ragged, neighbors- vs byte-weighted selection\",\n",
+    );
+    s.push_str(&format!("  \"scale\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"case\": \"{}\", \"n\": {}, \"total_bytes\": {}, \"max_bytes\": {}, \"model_mean_neighbors\": {:.3}, \"model_mean_bytes\": {:.3}, \"padded_s\": {:.9}, \"ragged_neighbors_s\": {:.9}, \"ragged_bytes_s\": {:.9}, \"padded_over_ragged\": {:.3}, \"bytes_gain\": {:.4}}}{}\n",
+            r.workload,
+            r.case,
+            r.n,
+            r.total_bytes,
+            r.max_bytes,
+            r.model_mean_neighbors,
+            r.model_mean_bytes,
+            r.padded_s,
+            r.ragged_neighbors_s,
+            r.ragged_bytes_s,
+            r.padded_over_ragged(),
+            r.bytes_gain(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"gates\": {\n");
+    s.push_str(&format!("    \"padded_gmean\": {:.3},\n", report.padded_gmean));
+    s.push_str(&format!("    \"bytes_gmean_all\": {:.4},\n", report.bytes_gmean_all));
+    s.push_str(&format!("    \"spmm_bytes_gmean\": {:.4},\n", report.spmm_bytes_gmean));
+    s.push_str(&format!("    \"spmm_bytes_ok\": {}\n", report.spmm_bytes_ok));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(workload: &str, padded: f64, neighbors: f64, bytes: f64) -> Row {
+        Row {
+            workload: workload.into(),
+            case: "t".into(),
+            n: 16,
+            total_bytes: 1024,
+            max_bytes: 256,
+            model_mean_neighbors: 64.0,
+            model_mean_bytes: 96.0,
+            padded_s: padded,
+            ragged_neighbors_s: neighbors,
+            ragged_bytes_s: bytes,
+        }
+    }
+
+    #[test]
+    fn gate_is_spmm_only_and_tolerates_identical_plans() {
+        // an rsg cell where Bytes loses must not fail the SpMM gate
+        let rows = vec![row("rsg", 4.0, 2.0, 3.0), row("spmm", 4.0, 2.0, 2.0)];
+        let g = gates(&rows);
+        assert!(g.spmm_bytes_ok, "identical plans (gain 1.0) must pass");
+        assert!((g.spmm_bytes_gmean - 1.0).abs() < 1e-12);
+        assert!(g.bytes_gmean_all < 1.0, "the all-cells gmean still sees the rsg loss");
+
+        let rows = vec![row("spmm", 4.0, 2.0, 2.5)];
+        assert!(!gates(&rows).spmm_bytes_ok, "a real SpMM regression must fail");
+    }
+
+    #[test]
+    fn skewed_sizes_are_deterministic_and_actually_skewed() {
+        let a = skewed_sizes(256, 7);
+        assert_eq!(a, skewed_sizes(256, 7));
+        assert!(a.contains(&0), "zero-length blocks must occur");
+        assert!(a.iter().any(|&s| s >= 4096), "heavy blocks must occur");
+        let table = BlockSizes::per_rank(a.clone());
+        let plain = mean_block_bytes(&table, 256, LoadMetric::Neighbors);
+        let biased = mean_block_bytes(&table, 256, LoadMetric::Bytes);
+        assert!(biased > 2.0 * plain, "skew should widen the §V means: {plain} vs {biased}");
+    }
+
+    #[test]
+    fn quick_run_covers_all_three_workloads_and_json_is_well_formed() {
+        let rows = run(true);
+        for w in ["rsg", "moore", "spmm"] {
+            assert!(rows.iter().any(|r| r.workload == w), "missing workload {w}");
+        }
+        for r in &rows {
+            assert!(r.padded_s > 0.0 && r.ragged_neighbors_s > 0.0 && r.ragged_bytes_s > 0.0);
+            assert!(
+                r.model_mean_bytes >= r.model_mean_neighbors - 1e-9,
+                "size-biased mean must dominate the plain mean"
+            );
+            assert!(r.padded_over_ragged() >= 1.0 - 1e-9, "padding can never beat exact sizes");
+        }
+        let report = gates(&rows);
+        let json = write_json(&rows, &report, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"spmm_bytes_gmean\""));
+    }
+}

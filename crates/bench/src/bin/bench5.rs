@@ -1,0 +1,64 @@
+//! `bench5` — regenerate `BENCH_5.json`: variable-size allgatherv
+//! (padded vs ragged) and byte-weighted agent selection (Neighbors vs
+//! Bytes) on RSG, Moore, and SpMM topologies.
+//!
+//! ```text
+//! bench5 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_5.json` in the current directory. One
+//! acceptance gate: on the ragged SpMM workload, Bytes-metric agent
+//! selection must be no slower than Neighbors-metric selection in
+//! geometric mean (≥ 1.0×). Exits nonzero when the gate fails.
+
+use nhood_bench::bench5;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_5.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench5 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_5: padded vs ragged allgatherv, neighbors- vs byte-weighted selection ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let rows = bench5::run(quick);
+    let report = bench5::gates(&rows);
+    let json = bench5::write_json(&rows, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_5.json");
+
+    eprintln!(
+        "   workload case            n    E[m] plain  E[m] biased   padded/ragged  bytes gain"
+    );
+    for r in &rows {
+        eprintln!(
+            "   {:<8} {:<14} {:>4}  {:>10.1}  {:>11.1}  {:>13.3}x  {:>9.4}x",
+            r.workload,
+            r.case,
+            r.n,
+            r.model_mean_neighbors,
+            r.model_mean_bytes,
+            r.padded_over_ragged(),
+            r.bytes_gain()
+        );
+    }
+    eprintln!(">> padding cost (gmean padded/ragged, all cells): {:.3}x", report.padded_gmean);
+    eprintln!(">> bytes-metric gain (gmean, all cells): {:.4}x", report.bytes_gmean_all);
+    eprintln!(">> bytes-metric gain (gmean, spmm cells): {:.4}x", report.spmm_bytes_gmean);
+    eprintln!(">> wrote {}", out.display());
+
+    if !report.spmm_bytes_ok {
+        eprintln!("!! byte-weighted selection slower than neighbors-weighted on ragged SpMM");
+        std::process::exit(1);
+    }
+}

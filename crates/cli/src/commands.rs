@@ -7,7 +7,7 @@ use nhood_core::exec::sim_exec::{simulate, Sim};
 use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
 use nhood_core::exec::{ExecOptions, Executor, Threaded, Virtual};
 use nhood_core::BlockArena;
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::{Algorithm, BlockSizes, DistGraphComm, LoadMetric, SimCost};
 use nhood_simnet::{NicMode, SimConfig};
 use nhood_telemetry::{CountingRecorder, ModelPrediction, Recorder, SpanRecorder};
 use nhood_topology::io::{read_edge_list, write_edge_list};
@@ -40,6 +40,29 @@ pub fn parse_algo(args: &Args) -> Result<Algorithm, ArgError> {
         }
         other => Err(fail(format!("unknown --algo '{other}' (naive | dh | cn | leader)"))),
     }
+}
+
+/// Parses the `--load-metric` flag: `neighbors` (default, the paper's
+/// stage-1 scoring) or `bytes` (byte-aware agent selection).
+pub fn parse_load_metric(args: &Args) -> Result<LoadMetric, ArgError> {
+    match args.get("load-metric").unwrap_or("neighbors") {
+        "neighbors" => Ok(LoadMetric::Neighbors),
+        "bytes" => Ok(LoadMetric::Bytes),
+        other => Err(fail(format!("unknown --load-metric '{other}' (neighbors | bytes)"))),
+    }
+}
+
+/// Parses the `--block-sizes` flag — a comma-separated byte-size list
+/// (`1K,64,0,...`) cycled to cover all `n` ranks — into a size table.
+/// Absent flag → `None` (the communicator plans uniformly).
+pub fn parse_block_sizes(args: &Args, n: usize) -> Result<Option<BlockSizes>, ArgError> {
+    let Some(spec) = args.get("block-sizes") else { return Ok(None) };
+    let entries: Vec<usize> = spec.split(',').map(parse_bytes).collect::<Result<_, _>>()?;
+    if entries.is_empty() {
+        return Err(fail("--block-sizes needs at least one size"));
+    }
+    let table: Vec<usize> = (0..n).map(|r| entries[r % entries.len()]).collect();
+    Ok(Some(BlockSizes::per_rank(table)))
 }
 
 /// Parses the layout flags `--nodes`, `--sockets`, `--cores` (defaults
@@ -159,8 +182,14 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
-    let mut comm =
-        DistGraphComm::create_adjacent(graph, layout).map_err(|e| fail(e.to_string()))?;
+    let metric = parse_load_metric(args)?;
+    let sizes = parse_block_sizes(args, graph.n())?;
+    let mut comm = DistGraphComm::create_adjacent(graph, layout)
+        .map_err(|e| fail(e.to_string()))?
+        .with_load_metric(metric);
+    if let Some(sizes) = sizes {
+        comm = comm.with_block_sizes(sizes);
+    }
     if let Some(bt) = args.get("build-threads") {
         let threads: usize =
             bt.parse().map_err(|_| fail(format!("plan: bad --build-threads '{bt}'")))?;
@@ -192,6 +221,9 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         writeln!(w, "plan saved to {save}")?;
     }
     writeln!(w, "algorithm:        {algo}")?;
+    if metric == LoadMetric::Bytes {
+        writeln!(w, "load metric:      bytes (agent selection weighted by block size)")?;
+    }
     writeln!(w, "ranks:            {}", plan.n())?;
     writeln!(w, "phases:           {}", plan.phase_count())?;
     writeln!(w, "messages:         {}", plan.message_count())?;
@@ -295,15 +327,20 @@ pub fn cmd_compare(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `nhood validate <edge-list> [--algo ..] [layout flags]` — plan
-/// validation plus a real execution against the reference.
+/// `nhood validate <edge-list> [--algo ..] [--load-metric neighbors|bytes]
+/// [--ragged] [layout flags]` — plan validation plus a real execution
+/// against the reference. `--ragged` additionally runs a
+/// `neighbor_allgatherv` round with deterministic per-rank payload
+/// lengths (zero-length blocks included) against the same reference.
 pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let path = args.pos(1).ok_or_else(|| fail("validate: missing edge-list file"))?;
     let graph = load_topology(path)?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
-    let comm =
-        DistGraphComm::create_adjacent(graph.clone(), layout).map_err(|e| fail(e.to_string()))?;
+    let metric = parse_load_metric(args)?;
+    let comm = DistGraphComm::create_adjacent(graph.clone(), layout)
+        .map_err(|e| fail(e.to_string()))?
+        .with_load_metric(metric);
     let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
     plan.validate(&graph).map_err(|e| fail(format!("plan validation failed: {e}")))?;
     writeln!(w, "plan validation: ok (exactly-once delivery holds)")?;
@@ -313,6 +350,20 @@ pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         return Err(fail("execution mismatch against the MPI-semantics reference"));
     }
     writeln!(w, "execution check: ok ({} ranks, 32-byte payloads)", graph.n())?;
+    if args.has("ragged") {
+        let mut rng = nhood_topology::rng::DetRng::seed_from_u64(0xC0FFEE);
+        let payloads: Vec<Vec<u8>> = (0..graph.n())
+            .map(|r| {
+                let len = if r % 5 == 0 { 0 } else { 1 + rng.gen_below(63) };
+                (0..len).map(|_| rng.next_u64() as u8).collect()
+            })
+            .collect();
+        let got = comm.neighbor_allgatherv(algo, &payloads).map_err(|e| fail(e.to_string()))?;
+        if got != reference_allgather(&graph, &payloads) {
+            return Err(fail("ragged execution mismatch against the MPI-semantics reference"));
+        }
+        writeln!(w, "ragged check:    ok (allgatherv, per-rank sizes 0..=64)")?;
+    }
     Ok(())
 }
 
@@ -605,8 +656,10 @@ mod tests {
             "cost",
             "build-threads",
             "cache-dir",
+            "load-metric",
+            "block-sizes",
         ],
-        switches: &[],
+        switches: &["ragged"],
     };
 
     fn args(toks: &[&str]) -> Args {
@@ -821,6 +874,54 @@ mod tests {
         let zero_row = text.lines().nth(2).unwrap();
         assert!(zero_row.trim_start().starts_with("0.000"), "{zero_row}");
         assert!(zero_row.contains(" 2 "), "{zero_row}");
+    }
+
+    #[test]
+    fn load_metric_and_ragged_flags() {
+        let path = tmp("nhood_cli_ragged.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "32", "--delta", "0.3"]), &mut out).unwrap();
+
+        // byte-weighted planning with an explicit ragged size table
+        let mut out = Vec::new();
+        cmd_plan(
+            &args(&[
+                "plan",
+                &path,
+                "--algo",
+                "dh",
+                "--load-metric",
+                "bytes",
+                "--block-sizes",
+                "1K,64,0",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("load metric:      bytes"), "{text}");
+
+        // the metric line stays silent under the default
+        let mut out = Vec::new();
+        cmd_plan(&args(&["plan", &path, "--algo", "dh"]), &mut out).unwrap();
+        assert!(!String::from_utf8_lossy(&out).contains("load metric"));
+
+        // ragged validation runs allgatherv against the reference
+        for metric in ["neighbors", "bytes"] {
+            let mut out = Vec::new();
+            cmd_validate(
+                &args(&["validate", &path, "--algo", "dh", "--load-metric", metric, "--ragged"]),
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8_lossy(&out).to_string();
+            assert!(text.contains("ragged check:    ok"), "{metric}: {text}");
+        }
+
+        // bad flag values fail typed
+        let mut out = Vec::new();
+        assert!(cmd_plan(&args(&["plan", &path, "--load-metric", "bogus"]), &mut out).is_err());
+        assert!(cmd_plan(&args(&["plan", &path, "--block-sizes", ""]), &mut out).is_err());
     }
 
     #[test]

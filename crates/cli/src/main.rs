@@ -43,8 +43,10 @@ const SPEC: Spec = Spec {
         "cost",
         "build-threads",
         "cache-dir",
+        "load-metric",
+        "block-sizes",
     ],
-    switches: &["help"],
+    switches: &["help", "ragged"],
 };
 
 const USAGE: &str = "\
@@ -54,10 +56,12 @@ commands:
   gen <er|moore|vonneumann> <out-file> --n N [--delta D | --r R --d DIM] [--seed S]
   plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin]
        [--build-threads N] [--cache-dir DIR] [layout flags]
+       [--load-metric neighbors|bytes] [--block-sizes 1K,64,0,...]
   simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M]
            [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   compare <edge-list> [--sizes ..] [--k K] [layout flags]
-  validate <edge-list> [--algo ..] [layout flags]
+  validate <edge-list> [--algo ..] [--load-metric neighbors|bytes] [--ragged]
+           [layout flags]
   trace <edge-list> [--algo ..] [--size 4K] [--backend virtual|threaded|sim]
         [--format csv|chrome|summary|model-check] [--out FILE]
         [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]

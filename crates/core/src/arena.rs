@@ -29,15 +29,52 @@
 use crate::exec::ExecError;
 use crate::plan::CollectivePlan;
 use crate::plan_cache::PlanFingerprint;
+use crate::sizes::BlockSizes;
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A run of consecutive arena slots: `(first_slot, slot_count)`.
 ///
-/// Byte offsets are slot offsets times the per-execution block size `m`,
-/// so one layout serves every message size.
+/// Slot runs are resolved to byte extents per execution via
+/// [`SlotExtents`] — uniform block size `m` gives `offset = slot * m`,
+/// ragged sizes use a per-rank prefix-sum table — so one layout serves
+/// every message size *and* shape.
 pub type SlotRun = (u32, u32);
+
+/// Resolves one rank's slot indices to byte offsets in its arena buffer.
+///
+/// The layout stays size-agnostic (slots, not bytes); this is the
+/// per-execution lens that turns a [`SlotRun`] into a byte span. The
+/// uniform variant is a multiplication; the ragged variant is one
+/// prefix-sum table lookup — both O(1), keeping `land_segs` and
+/// `copy_runs` zero-copy.
+#[derive(Clone, Debug)]
+pub enum SlotExtents {
+    /// Every block is `m` bytes: `offset(slot) = slot * m`.
+    Uniform(usize),
+    /// Prefix sums over the rank's slot sizes (`table.len() = slots + 1`,
+    /// `table[0] = 0`): `offset(slot) = table[slot]`.
+    Table(Arc<Vec<usize>>),
+}
+
+impl SlotExtents {
+    /// Byte offset of `slot` in the rank's arena buffer. `slot` may be
+    /// one past the last slot, yielding the buffer's total byte length.
+    #[inline]
+    pub fn offset(&self, slot: usize) -> usize {
+        match self {
+            SlotExtents::Uniform(m) => slot * m,
+            SlotExtents::Table(t) => t[slot],
+        }
+    }
+
+    /// Total bytes covered by a slot run.
+    #[inline]
+    pub fn run_bytes(&self, (s, l): SlotRun) -> usize {
+        self.offset((s + l) as usize) - self.offset(s as usize)
+    }
+}
 
 /// A planned message pre-resolved against the **sender's** arena.
 #[derive(Clone, Debug)]
@@ -243,6 +280,31 @@ impl ArenaLayout {
     pub fn total_slots(&self) -> usize {
         self.ranks.iter().map(|rl| rl.slots.len()).sum()
     }
+
+    /// Per-rank byte extents for one execution's size table.
+    ///
+    /// Uniform sizes cost nothing (one shared multiplier per rank);
+    /// ragged sizes build one prefix-sum table per rank over that rank's
+    /// slot order, so every later offset query is a single lookup.
+    pub fn extents(&self, sizes: &BlockSizes) -> Vec<SlotExtents> {
+        match sizes {
+            BlockSizes::Uniform(m) => vec![SlotExtents::Uniform(*m); self.n()],
+            BlockSizes::PerRank(_) => self
+                .ranks
+                .iter()
+                .map(|rl| {
+                    let mut pre = Vec::with_capacity(rl.slots.len() + 1);
+                    let mut acc = 0usize;
+                    pre.push(0);
+                    for &b in &rl.slots {
+                        acc += sizes.size(b);
+                        pre.push(acc);
+                    }
+                    SlotExtents::Table(Arc::new(pre))
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Reusable zero-copy execution workspace: one contiguous buffer per
@@ -296,21 +358,27 @@ impl BlockArena {
         Ok(Arc::clone(self.layout.as_ref().expect("layout just set")))
     }
 
-    /// Sizes the per-rank arena buffers for block size `m` and copies
-    /// each rank's own payload into slot 0. Reuses capacity; growth bumps
-    /// the reallocation counter.
-    pub(crate) fn fill(&mut self, layout: &ArenaLayout, payloads: &[Vec<u8>], m: usize) {
+    /// Sizes the per-rank arena buffers for this execution's byte
+    /// extents and copies each rank's own payload into slot 0. Reuses
+    /// capacity; growth bumps the reallocation counter.
+    pub(crate) fn fill(
+        &mut self,
+        layout: &ArenaLayout,
+        payloads: &[Vec<u8>],
+        exts: &[SlotExtents],
+    ) {
         let n = layout.n();
         if self.bufs.len() != n {
             self.bufs.resize_with(n, Vec::new);
         }
         for (r, buf) in self.bufs.iter_mut().enumerate() {
-            let want = layout.ranks[r].slots.len() * m;
+            let want = exts[r].offset(layout.ranks[r].slots.len());
             if want > buf.capacity() {
                 self.reallocations += 1;
             }
             buf.resize(want, 0);
-            buf[..m].copy_from_slice(&payloads[r]);
+            let own = payloads[r].len();
+            buf[..own].copy_from_slice(&payloads[r]);
         }
     }
 
@@ -458,17 +526,42 @@ mod tests {
         let mut arena = BlockArena::new();
         let layout = arena.prepare(&plan, &g).unwrap();
         let payloads: Vec<Vec<u8>> = (0..10).map(|r| vec![r as u8; 64]).collect();
-        arena.fill(&layout, &payloads, 64);
+        let exts = layout.extents(&BlockSizes::Uniform(64));
+        arena.fill(&layout, &payloads, &exts);
         let after_first = arena.reallocations();
         assert!(after_first > 0);
         for _ in 0..10 {
-            arena.fill(&layout, &payloads, 64);
+            arena.fill(&layout, &payloads, &exts);
         }
         assert_eq!(arena.reallocations(), after_first, "refills must not grow buffers");
         // smaller m also fits in place
         let small: Vec<Vec<u8>> = (0..10).map(|r| vec![r as u8; 8]).collect();
-        arena.fill(&layout, &small, 8);
+        arena.fill(&layout, &small, &layout.extents(&BlockSizes::Uniform(8)));
         assert_eq!(arena.reallocations(), after_first);
+    }
+
+    #[test]
+    fn ragged_extents_prefix_sums_follow_slot_order() {
+        let g = erdos_renyi(10, 0.5, 9);
+        let plan = plan_naive(&g);
+        let al = ArenaLayout::for_plan(&plan, &g).unwrap();
+        let sizes = BlockSizes::per_rank((0..10).map(|r| r * 3 % 7).collect());
+        let exts = al.extents(&sizes);
+        for (r, rl) in al.ranks.iter().enumerate() {
+            let ext = &exts[r];
+            assert_eq!(ext.offset(0), 0);
+            let mut acc = 0;
+            for (i, &b) in rl.slots.iter().enumerate() {
+                assert_eq!(ext.offset(i), acc, "rank {r} slot {i}");
+                assert_eq!(ext.run_bytes((i as u32, 1)), sizes.size(b));
+                acc += sizes.size(b);
+            }
+            assert_eq!(ext.offset(rl.slots.len()), acc);
+        }
+        // uniform tables collapse to the multiplier
+        let uni = al.extents(&BlockSizes::Uniform(16));
+        assert!(matches!(uni[0], SlotExtents::Uniform(16)));
+        assert_eq!(uni[0].run_bytes((2, 3)), 48);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::pattern::{
 };
 use crate::pool::WorkerPool;
 use crate::selection::{run_matching, RoundCandidates, RoundResult, ScoreRow};
+use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
 use nhood_telemetry::{labels, Recorder, NULL};
 use nhood_topology::{Rank, Topology};
@@ -191,6 +192,32 @@ pub fn build_pattern_recorded(
     pool: &WorkerPool,
     rec: &dyn Recorder,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_recorded_v(
+        graph,
+        layout,
+        strategy,
+        &BlockSizes::default(),
+        LoadMetric::Neighbors,
+        pool,
+        rec,
+    )
+}
+
+/// The size-aware entry point behind every builder variant:
+/// [`LoadMetric::Neighbors`] reproduces the paper's count-based matching
+/// exactly, and [`LoadMetric::Bytes`] keeps the shared-neighbor count
+/// primary but breaks score ties toward the proposer with fewer block
+/// bytes in `sizes` — the cheapest block for the agent to take on
+/// (candidacy and ordering are unchanged on uniform sizes).
+pub fn build_pattern_recorded_v(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    strategy: PairingStrategy,
+    sizes: &BlockSizes,
+    metric: LoadMetric,
+    pool: &WorkerPool,
+    rec: &dyn Recorder,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let l = layout.ranks_per_socket();
     let out_sets = graph.out_bitsets();
@@ -224,6 +251,7 @@ pub fn build_pattern_recorded(
                     }
                 }
                 rec.span_begin(0, labels::BUILD_SCORE);
+                let scale = metric.scale(sizes);
                 let chunks: Vec<Vec<ScoreRow>> = pool.map(jobs.len(), |j| {
                     let (ri, s, e) = jobs[j];
                     let acc = rounds[ri].1;
@@ -231,7 +259,12 @@ pub fn build_pattern_recorded(
                     (s..=e)
                         .map(|p| {
                             RoundCandidates::score_row(p, &acceptors, |p, a| {
-                                out_sets[p].intersection_count_in_range(&out_sets[a], acc.0, acc.1)
+                                let shared = out_sets[p].intersection_count_in_range(
+                                    &out_sets[a],
+                                    acc.0,
+                                    acc.1,
+                                );
+                                metric.score(shared, p, sizes, scale)
                             })
                         })
                         .collect()

@@ -18,7 +18,7 @@
 use crate::arena::BlockArena;
 use crate::builder::{build_pattern_pooled, BuildError, PairingStrategy};
 use crate::common_neighbor::plan_common_neighbor;
-use crate::distributed_builder::build_pattern_distributed_pooled;
+use crate::distributed_builder::build_pattern_distributed_pooled_v;
 use crate::exec::sim_exec::{simulate, SimCost};
 use crate::exec::threaded::DEFAULT_TIMEOUT;
 use crate::exec::{ExecError, ExecOptions, Executor, Threaded, Virtual};
@@ -28,6 +28,7 @@ use crate::naive::plan_naive;
 use crate::plan::{Algorithm, CollectivePlan, PlanValidationError};
 use crate::plan_cache::{PlanCache, PlanFingerprint};
 use crate::pool::WorkerPool;
+use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
 use nhood_telemetry::{Counts, Recorder, NULL};
@@ -200,6 +201,8 @@ pub struct DistGraphComm {
     fault: Option<FaultPlan>,
     cache: Option<Arc<PlanCache>>,
     build_pool: WorkerPool,
+    metric: LoadMetric,
+    sizes: Option<BlockSizes>,
 }
 
 impl DistGraphComm {
@@ -219,7 +222,44 @@ impl DistGraphComm {
             fault: None,
             cache: None,
             build_pool: WorkerPool::serial(),
+            metric: LoadMetric::default(),
+            sizes: None,
         })
+    }
+
+    /// Selects the load metric of agent selection:
+    /// [`LoadMetric::Neighbors`] (the paper's count-based scoring, the
+    /// default) or [`LoadMetric::Bytes`], which weighs candidates by
+    /// their block size — from [`Self::with_block_sizes`] when set,
+    /// otherwise derived per call from the `allgatherv` payloads.
+    pub fn with_load_metric(mut self, metric: LoadMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Pins the per-rank block-size table consulted by
+    /// [`LoadMetric::Bytes`] selection (and by the size-aware plan-cache
+    /// fingerprint). Without it, sized paths derive the table from the
+    /// payloads they are handed.
+    pub fn with_block_sizes(mut self, sizes: BlockSizes) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// The active load metric.
+    pub fn load_metric(&self) -> LoadMetric {
+        self.metric
+    }
+
+    /// The pinned block-size table, if any.
+    pub fn block_sizes(&self) -> Option<&BlockSizes> {
+        self.sizes.as_ref()
+    }
+
+    /// The size table planning uses when nothing better is known: the
+    /// pinned table, or the uniform default.
+    fn planning_sizes(&self) -> BlockSizes {
+        self.sizes.clone().unwrap_or_default()
     }
 
     /// Replaces the robustness policy (timeouts, retries, fallback).
@@ -293,23 +333,26 @@ impl DistGraphComm {
     /// ([`Self::with_build_threads`]); the plan cache is **not**
     /// consulted — use [`Self::plan_shared`] for the cached path.
     pub fn plan(&self, algo: Algorithm) -> Result<CollectivePlan, CommError> {
-        self.build_plan_recorded(algo, &NULL)
+        self.build_plan_recorded(algo, &self.planning_sizes(), &NULL)
     }
 
     /// The uncached build path shared by [`Self::plan`] and cache misses.
     fn build_plan_recorded(
         &self,
         algo: Algorithm,
+        sizes: &BlockSizes,
         rec: &dyn Recorder,
     ) -> Result<CollectivePlan, CommError> {
         let plan = match algo {
             Algorithm::Naive => plan_naive(&self.graph),
             Algorithm::CommonNeighbor { k } => plan_common_neighbor(&self.graph, k),
             Algorithm::DistanceHalving => {
-                let pattern = crate::builder::build_pattern_recorded(
+                let pattern = crate::builder::build_pattern_recorded_v(
                     &self.graph,
                     &self.layout,
                     PairingStrategy::LoadAware,
+                    sizes,
+                    self.metric,
                     &self.build_pool,
                     rec,
                 )?;
@@ -344,12 +387,25 @@ impl DistGraphComm {
         algo: Algorithm,
         rec: &dyn Recorder,
     ) -> Result<Arc<CollectivePlan>, CommError> {
+        self.plan_shared_sized(algo, &self.planning_sizes(), rec)
+    }
+
+    /// The sized planning path behind every cached build: the cache key
+    /// is [`PlanFingerprint::of_build_v`] over this communicator's
+    /// metric and `sizes`, so a Bytes-metric ragged build can never be
+    /// served a plan negotiated for different block sizes.
+    fn plan_shared_sized(
+        &self,
+        algo: Algorithm,
+        sizes: &BlockSizes,
+        rec: &dyn Recorder,
+    ) -> Result<Arc<CollectivePlan>, CommError> {
         let Some(cache) = &self.cache else {
-            return Ok(Arc::new(self.build_plan_recorded(algo, rec)?));
+            return Ok(Arc::new(self.build_plan_recorded(algo, sizes, rec)?));
         };
-        let fp = PlanFingerprint::of_build(&self.graph, &self.layout, algo);
+        let fp = PlanFingerprint::of_build_v(&self.graph, &self.layout, algo, sizes, self.metric);
         let (plan, hit) =
-            cache.get_or_build(fp, &self.graph, || self.build_plan_recorded(algo, rec))?;
+            cache.get_or_build(fp, &self.graph, || self.build_plan_recorded(algo, sizes, rec))?;
         rec.plan_cache(0, hit);
         Ok(plan)
     }
@@ -369,14 +425,21 @@ impl DistGraphComm {
 
     /// The `neighbor_allgatherv` variant of
     /// [`neighbor_allgather`](Self::neighbor_allgather): per-rank
-    /// payloads may differ in length. The receive buffer of rank `r`
-    /// concatenates its in-neighbors' payloads, each at its own size.
+    /// payloads may differ in length (including zero). The receive
+    /// buffer of rank `r` concatenates its in-neighbors' payloads, each
+    /// at its own size.
+    ///
+    /// Under [`LoadMetric::Bytes`] the plan is negotiated against the
+    /// communicator's size table — [`Self::with_block_sizes`] when
+    /// pinned, otherwise the per-call payload lengths — and cached under
+    /// a size-aware fingerprint.
     pub fn neighbor_allgatherv(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let plan = self.plan_shared(algo)?;
+        let sizes = self.sizes.clone().unwrap_or_else(|| BlockSizes::from_payloads(payloads));
+        let plan = self.plan_shared_sized(algo, &sizes, &NULL)?;
         let opts = ExecOptions::new().ragged(true);
         let out = Virtual.run(&plan, &self.graph, payloads, &mut BlockArena::new(), &opts)?;
         Ok(out.rbufs)
@@ -450,11 +513,13 @@ impl DistGraphComm {
     ) -> Result<CollectivePlan, CommError> {
         match algo {
             Algorithm::DistanceHalving => {
-                let pattern = build_pattern_distributed_pooled(
+                let pattern = build_pattern_distributed_pooled_v(
                     &self.graph,
                     &self.layout,
                     self.fault.as_ref(),
                     self.policy.negotiation_timeout,
+                    &self.planning_sizes(),
+                    self.metric,
                     &self.build_pool,
                     rec,
                 )?;

@@ -40,15 +40,27 @@ impl RespMap {
     }
 
     /// Builds a map from `(block, targets)` entries. Entries are sorted
-    /// by block; empty target lists are dropped; duplicate blocks must
-    /// not occur.
+    /// by block; empty target lists are dropped; entries sharing a block
+    /// are **merged** (their targets unioned, sorted, deduplicated).
+    /// Merging must happen in release builds too — a `debug_assert` here
+    /// once let duplicate keys through silently, producing a map whose
+    /// binary-search lookups and canonical equality were both wrong.
     pub fn from_entries(mut entries: Vec<(Rank, Vec<Rank>)>) -> Self {
         entries.sort_unstable_by_key(|e| e.0);
         entries.retain(|e| !e.1.is_empty());
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "duplicate block key");
         let mut map = Self::new();
         map.keys.reserve(entries.len());
-        for (block, targets) in entries {
+        let mut entries = entries.into_iter().peekable();
+        while let Some((block, mut targets)) = entries.next() {
+            let mut merged = false;
+            while entries.peek().is_some_and(|e| e.0 == block) {
+                targets.extend(entries.next().expect("peeked").1);
+                merged = true;
+            }
+            if merged {
+                targets.sort_unstable();
+                targets.dedup();
+            }
             map.keys.push(block);
             map.targets.extend_from_slice(&targets);
             map.offsets.push(map.targets.len() as u32);
@@ -197,6 +209,26 @@ mod tests {
         assert_eq!(m.total_targets(), 3);
         let pairs: Vec<(Rank, Vec<Rank>)> = m.iter().map(|(b, t)| (b, t.to_vec())).collect();
         assert_eq!(pairs, vec![(0, vec![9]), (5, vec![1, 2])]);
+    }
+
+    #[test]
+    fn duplicate_blocks_merge_in_release_builds_too() {
+        // Regression: this used to be a debug_assert only, so release
+        // builds silently froze maps with duplicate keys — get() then
+        // returned an arbitrary one of the duplicate slices and equality
+        // saw non-canonical forms.
+        let m = RespMap::from_entries(vec![(2, vec![5, 1]), (0, vec![3]), (2, vec![1, 9])]);
+        assert_eq!(m.blocks(), &[0, 2]);
+        assert_eq!(m.get(0), Some(&[3][..]));
+        assert_eq!(m.get(2), Some(&[1, 5, 9][..]));
+        assert_eq!(m.total_targets(), 4);
+        assert_eq!(m.len(), 2);
+        // canonical equality regardless of how the duplicates were split
+        let n = RespMap::from_entries(vec![(0, vec![3]), (2, vec![1, 5, 9])]);
+        assert_eq!(m, n);
+        // non-duplicate entries keep their given target order
+        let o = RespMap::from_entries(vec![(1, vec![9, 4])]);
+        assert_eq!(o.get(1), Some(&[9, 4][..]));
     }
 
     #[test]

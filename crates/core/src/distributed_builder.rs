@@ -47,6 +47,7 @@ use crate::builder::{assemble_pattern, check_inputs, segments_per_step, BuildErr
 use crate::fault::{FaultAction, FaultPlan};
 use crate::pattern::{split_half, DhPattern, SelectionStats};
 use crate::pool::WorkerPool;
+use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
 use nhood_telemetry::{labels, Recorder, NULL};
 use nhood_topology::{Bitset, Rank, Topology};
@@ -61,7 +62,8 @@ pub const RECV_TIMEOUT: Duration = Duration::from_secs(20);
 
 /// Retransmission budget per control signal under fault injection.
 const SIGNAL_MAX_RETRIES: u32 = 5;
-/// First retry backoff for control signals; doubles per attempt.
+/// First retry backoff for control signals; doubles per attempt with
+/// deterministic jitter (see [`crate::fault::backoff`]).
 const SIGNAL_BACKOFF: Duration = Duration::from_micros(100);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -155,6 +157,35 @@ pub fn build_pattern_distributed_pooled(
     pool: &WorkerPool,
     rec: &dyn Recorder,
 ) -> Result<DhPattern, BuildError> {
+    build_pattern_distributed_pooled_v(
+        graph,
+        layout,
+        fault,
+        recv_timeout,
+        &BlockSizes::default(),
+        LoadMetric::Neighbors,
+        pool,
+        rec,
+    )
+}
+
+/// Size-aware [`build_pattern_distributed_pooled`]: under
+/// [`LoadMetric::Bytes`] score ties are broken toward the **proposer**
+/// with fewer block bytes (both sides of a pair apply the same byte
+/// term and candidacy never changes, so the candidate relation stays
+/// symmetric and the two-message invariant holds).
+/// [`LoadMetric::Neighbors`] is the paper's count-based scoring.
+#[allow(clippy::too_many_arguments)]
+pub fn build_pattern_distributed_pooled_v(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    fault: Option<&FaultPlan>,
+    recv_timeout: Duration,
+    sizes: &BlockSizes,
+    metric: LoadMetric,
+    pool: &WorkerPool,
+    rec: &dyn Recorder,
+) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let n = graph.n();
     let l = layout.ranks_per_socket();
@@ -192,7 +223,20 @@ pub fn build_pattern_distributed_pooled(
             let senders = Arc::clone(&senders);
             let out_sets = Arc::clone(&out_sets);
             let my_roles = roles[p].clone();
-            move || rank_main(p, rx, senders, out_sets, my_roles, fault, recv_timeout, rec)
+            move || {
+                rank_main(
+                    p,
+                    rx,
+                    senders,
+                    out_sets,
+                    my_roles,
+                    fault,
+                    recv_timeout,
+                    sizes,
+                    metric,
+                    rec,
+                )
+            }
         })
         .collect();
     let results: Vec<Result<RankOutcome, BuildError>> = pool.run_all(jobs);
@@ -232,6 +276,8 @@ fn rank_main(
     roles: Vec<Option<StepRole>>,
     fault: Option<&FaultPlan>,
     recv_timeout: Duration,
+    sizes: &BlockSizes,
+    metric: LoadMetric,
     rec: &dyn Recorder,
 ) -> Result<RankOutcome, BuildError> {
     let mut stats = SelectionStats::default();
@@ -256,8 +302,8 @@ fn rank_main(
         // Candidates: opposite-half ranks sharing ≥1 outgoing neighbor in
         // the acceptor-side half. The acceptor-side half differs per
         // round: when I propose, it's my h2; when I accept, it's my h1.
-        let proposer_cands = candidates(p, h2, h2, &out_sets);
-        let acceptor_cands = candidates(p, h2, my_half, &out_sets);
+        let proposer_cands = candidates(p, h2, h2, &out_sets, sizes, metric, true);
+        let acceptor_cands = candidates(p, h2, my_half, &out_sets, sizes, metric, false);
 
         let (agent, origin) = if role.am_lower {
             let agent = propose(
@@ -331,18 +377,29 @@ fn rank_main(
 }
 
 /// Candidate list of `p` against the opposite half, scored by shared
-/// outgoing neighbors within `score_half`, best-first (score desc, rank
-/// asc).
+/// outgoing neighbors within `score_half` (with proposer block bytes as
+/// the [`LoadMetric::Bytes`] tie-breaker), best-first (score desc, rank
+/// asc). The byte term always applies to the proposing rank of the pair
+/// — `p` itself when `i_propose`, the candidate `c` otherwise — so both
+/// sides of a pair compute the identical score and the candidate
+/// relation is symmetric.
+#[allow(clippy::too_many_arguments)]
 fn candidates(
     p: Rank,
     opposite: (Rank, Rank),
     score_half: (Rank, Rank),
     out_sets: &[Bitset],
+    sizes: &BlockSizes,
+    metric: LoadMetric,
+    i_propose: bool,
 ) -> Vec<Rank> {
+    let scale = metric.scale(sizes);
     let mut cands: Vec<(usize, Rank)> = (opposite.0..=opposite.1)
         .filter_map(|c| {
-            let s =
+            let shared =
                 out_sets[p].intersection_count_in_range(&out_sets[c], score_half.0, score_half.1);
+            let proposer = if i_propose { p } else { c };
+            let s = metric.score(shared, proposer, sizes, scale);
             (s > 0).then_some((s, c))
         })
         .collect();
@@ -399,7 +456,10 @@ impl<'a> Round<'a> {
                         return; // lost for good; the peer's timeout reports it
                     }
                     self.rec.retry(self.p);
-                    std::thread::sleep(SIGNAL_BACKOFF.saturating_mul(1 << attempt.min(16)));
+                    // jittered per (src, dst, tag) so colliding ranks
+                    // desynchronize; deterministic per fault seed
+                    let seed = crate::fault::backoff_seed(fp.seed(), self.p as u64, to as u64, tag);
+                    std::thread::sleep(crate::fault::backoff(SIGNAL_BACKOFF, attempt, seed));
                     attempt += 1;
                 }
             }

@@ -49,13 +49,13 @@ pub fn phase_label(plan: &CollectivePlan, k: usize) -> &'static str {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecEngine {
     /// Zero-copy path: one flat buffer per rank with a precomputed
-    /// offset table (see [`crate::arena`]). Requires uniform payload
-    /// sizes; ragged runs fall back to [`ExecEngine::PerBlock`].
+    /// offset table (see [`crate::arena`]). Serves uniform and ragged
+    /// (`allgatherv`) payloads alike — ragged runs resolve slot runs
+    /// through per-rank byte-extent tables.
     #[default]
     Arena,
     /// Legacy path: every block is an `Arc`-shared `Vec<u8>` in a
-    /// per-rank hash map. Kept as the comparison baseline and for
-    /// ragged (`allgatherv`) payloads.
+    /// per-rank hash map. Kept as the comparison baseline.
     PerBlock,
 }
 
@@ -92,7 +92,7 @@ pub struct ExecOptions<'a> {
     /// Telemetry sink; defaults to the no-op [`nhood_telemetry::NULL`].
     pub recorder: &'a dyn Recorder,
     /// `true` accepts per-rank payloads of different lengths (the
-    /// `neighbor_allgatherv` semantics). Forces the per-block engine.
+    /// `neighbor_allgatherv` semantics). Served by either engine.
     pub ragged: bool,
     /// Which data-movement engine to run.
     pub engine: ExecEngine,
@@ -190,14 +190,12 @@ impl<'a> ExecOptions<'a> {
         self
     }
 
-    /// The engine that will actually run given the payload shape: ragged
-    /// payloads always take the per-block path.
+    /// The engine that will actually run. (Historically ragged payloads
+    /// forced [`ExecEngine::PerBlock`]; the arena engine now serves them
+    /// through byte-extent tables, so this is simply the configured
+    /// engine.)
     pub fn effective_engine(&self) -> ExecEngine {
-        if self.ragged {
-            ExecEngine::PerBlock
-        } else {
-            self.engine
-        }
+        self.engine
     }
 }
 

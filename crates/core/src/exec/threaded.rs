@@ -20,7 +20,10 @@
 //!   logical arena, and payload bytes are copied exactly **once** per
 //!   rank — into the final receive buffer;
 //! * [`ExecEngine::PerBlock`] — the legacy `Arc`-shared block store,
-//!   kept as the bench baseline and for ragged payloads.
+//!   kept as the bench baseline.
+//!
+//! Both engines serve ragged (`allgatherv`) payloads; the arena engine
+//! resolves slot runs through per-rank [`SlotExtents`] byte tables.
 //!
 //! # Robustness
 //!
@@ -38,12 +41,13 @@
 //! chased by the chaos suite: **identical-to-reference buffers or a
 //! typed error — never silent corruption, never a hang.**
 
-use crate::arena::{BlockArena, RankLayout, SlotRun};
+use crate::arena::{BlockArena, RankLayout, SlotExtents, SlotRun};
 use crate::exec::{
     check_payloads, phase_label, ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor,
 };
-use crate::fault::{FaultAction, FaultCounts, FaultPlan, FaultStats};
+use crate::fault::{backoff, backoff_seed, FaultAction, FaultCounts, FaultPlan, FaultStats};
 use crate::plan::{CollectivePlan, PlanPhase};
+use crate::sizes::BlockSizes;
 use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
@@ -112,7 +116,8 @@ impl WireMsg for SegWire<'_> {
 
 /// One rank's arena in the threaded engine: an append-only sequence of
 /// borrowed segments whose logical concatenation is the rank's flat
-/// arena (slot `i` covers logical bytes `[i*m, (i+1)*m)`). Sends and
+/// arena (slot `i` covers logical bytes `[ext.offset(i),
+/// ext.offset(i+1))` for the rank's [`SlotExtents`]). Sends and
 /// receives move only descriptors; the single per-byte copy happens in
 /// [`SegBuf::copy_out`] when the receive buffer is assembled.
 struct SegBuf<'a> {
@@ -285,8 +290,12 @@ impl Executor for Threaded {
         }
         match opts.effective_engine() {
             ExecEngine::Arena => {
-                let m = check_payloads(payloads, plan.n())?;
-                run_arena(plan, graph, payloads, m, arena, opts)
+                let sizes = if opts.ragged {
+                    BlockSizes::from_payloads(payloads)
+                } else {
+                    BlockSizes::Uniform(check_payloads(payloads, plan.n())?)
+                };
+                run_arena(plan, graph, payloads, &sizes, arena, opts)
             }
             ExecEngine::PerBlock => {
                 if !opts.ragged {
@@ -426,8 +435,11 @@ fn transport_send<W: WireMsg>(
                 }
                 FaultStats::bump(&stats.retries);
                 opts.recorder.retry(wire.src());
-                // bounded exponential backoff: base * 2^attempt
-                std::thread::sleep(opts.backoff_base.saturating_mul(1 << attempt.min(16)));
+                // jittered exponential backoff, seeded per message so
+                // chaos runs stay deterministic but retrying ranks
+                // don't wake in lockstep
+                let seed = backoff_seed(fp.seed(), wire.src() as u64, dst as u64, wire.tag());
+                std::thread::sleep(backoff(opts.backoff_base, attempt, seed));
                 attempt += 1;
             }
         }
@@ -622,7 +634,7 @@ fn run_arena(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
-    m: usize,
+    sizes: &BlockSizes,
     arena: &mut BlockArena,
     opts: &ExecOptions<'_>,
 ) -> Result<ExecOutcome, ExecError> {
@@ -632,6 +644,7 @@ fn run_arena(
         return Ok(ExecOutcome::default());
     }
     let layout = arena.prepare(plan, graph)?;
+    let exts = layout.extents(sizes);
     let rbuf_seed = arena.take_rbufs(n);
     let rbuf_caps: Vec<usize> = rbuf_seed.iter().map(Vec::capacity).collect();
 
@@ -656,8 +669,9 @@ fn run_arena(
             let stats = &stats;
             let labels = &labels;
             let own = payloads[r].as_slice();
+            let ext = &exts[r];
             handles.push(scope.spawn(move || -> RankOut {
-                rank_main_arena(r, rl, program, labels, &senders, rx, opts, stats, own, rbuf, m)
+                rank_main_arena(r, rl, program, labels, &senders, rx, opts, stats, own, rbuf, ext)
             }));
         }
         handles
@@ -682,7 +696,7 @@ fn run_arena(
 /// is a pure tail append. Runs that revisit already-held slots (possible
 /// only for duplicate-delivery plans) carry identical bytes and are
 /// skipped.
-fn land_segs<'a>(buf: &mut SegBuf<'a>, runs: &[SlotRun], segs: &[&'a [u8]], m: usize) {
+fn land_segs<'a>(buf: &mut SegBuf<'a>, runs: &[SlotRun], segs: &[&'a [u8]], ext: &SlotExtents) {
     let mut acc = 0usize; // logical byte offset within the wire message
     for &(s, l) in runs {
         let tail = buf.tail_slots;
@@ -690,8 +704,10 @@ fn land_segs<'a>(buf: &mut SegBuf<'a>, runs: &[SlotRun], segs: &[&'a [u8]], m: u
         let fresh_from = tail.max(s);
         let fresh = (s + l).saturating_sub(fresh_from);
         if fresh > 0 {
-            let mut skip = acc + (fresh_from - s) as usize * m;
-            let mut rem = fresh as usize * m;
+            // sender and receiver extents agree per block (same blocks,
+            // same order), so receiver-side offsets slice the wire bytes
+            let mut skip = acc + (ext.offset(fresh_from as usize) - ext.offset(s as usize));
+            let mut rem = ext.offset((s + l) as usize) - ext.offset(fresh_from as usize);
             for seg in segs {
                 if rem == 0 {
                     break;
@@ -707,7 +723,7 @@ fn land_segs<'a>(buf: &mut SegBuf<'a>, runs: &[SlotRun], segs: &[&'a [u8]], m: u
             }
             buf.tail_slots += fresh;
         }
-        acc += l as usize * m;
+        acc += ext.run_bytes((s, l));
     }
 }
 
@@ -723,7 +739,7 @@ fn rank_main_arena<'a>(
     stats: &FaultStats,
     own: &'a [u8],
     mut rbuf: Vec<u8>,
-    m: usize,
+    ext: &SlotExtents,
 ) -> Result<Vec<u8>, ExecError> {
     let mut buf = SegBuf::new(own);
     // messages that arrived before their phase
@@ -743,8 +759,8 @@ fn rank_main_arena<'a>(
             // resolve precomputed slot runs to slice descriptors — one
             // descriptor per contiguous span, no bytes moved
             let mut segs = Vec::new();
-            for &(s, l) in &op.runs {
-                buf.view_into(s as usize * m, l as usize * m, &mut segs);
+            for &run in &op.runs {
+                buf.view_into(ext.offset(run.0 as usize), ext.run_bytes(run), &mut segs);
             }
             let wire = SegWire { src: r, tag: op.tag, segs };
             let reorder =
@@ -790,16 +806,16 @@ fn rank_main_arena<'a>(
             };
             seen.insert(key);
             opts.recorder.msg_recvd(r, w.src, w.byte_len());
-            land_segs(&mut buf, &op.runs, &w.segs, m);
+            land_segs(&mut buf, &op.runs, &w.segs, ext);
         }
         opts.recorder.span_end(r, labels[k]);
     }
     // assemble the receive buffer from precomputed arena runs — the one
     // per-byte copy on this engine
     rbuf.clear();
-    rbuf.reserve(rl.out_blocks as usize * m);
-    for &(s, l) in &rl.out_runs {
-        buf.copy_out(s as usize * m, l as usize * m, &mut rbuf);
+    rbuf.reserve(rl.out_runs.iter().map(|&run| ext.run_bytes(run)).sum());
+    for &run in &rl.out_runs {
+        buf.copy_out(ext.offset(run.0 as usize), ext.run_bytes(run), &mut rbuf);
     }
     Ok(rbuf)
 }
@@ -1066,6 +1082,29 @@ mod tests {
         let out = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap();
         assert_eq!(out.rbufs, reference_allgather(&g, &payloads));
         assert!(t0.elapsed() >= Duration::from_millis(20), "straggler must stall the run");
+    }
+
+    #[test]
+    fn allgatherv_ragged_payloads_both_engines() {
+        let g = erdos_renyi(20, 0.4, 6);
+        let layout = ClusterLayout::new(3, 2, 4);
+        // lengths 0..=4, including zero-length blocks
+        let payloads: Vec<Vec<u8>> = (0..20).map(|r| vec![r as u8; r % 5]).collect();
+        let want = reference_allgather(&g, &payloads);
+        for plan in [
+            plan_naive(&g),
+            plan_common_neighbor(&g, 4),
+            lower(&build_pattern(&g, &layout).unwrap(), &g),
+        ] {
+            for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+                let opts = ExecOptions::new().ragged(true).engine(engine);
+                let got = Threaded
+                    .run(&plan, &g, &payloads, &mut BlockArena::new(), &opts)
+                    .unwrap()
+                    .rbufs;
+                assert_eq!(got, want, "{engine:?}");
+            }
+        }
     }
 
     #[test]

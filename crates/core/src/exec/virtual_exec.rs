@@ -14,11 +14,16 @@
 //!   assembled from precomputed runs;
 //! * [`ExecEngine::PerBlock`] — the legacy store: blocks shared via
 //!   `Arc` in per-rank hash maps. Kept as the baseline the bench
-//!   harness compares against, and for ragged payloads.
+//!   harness compares against.
+//!
+//! Both engines accept ragged (`allgatherv`) payloads: the arena engine
+//! resolves slot runs through per-rank [`SlotExtents`] byte tables, so
+//! variable-size blocks keep the same handful-of-copies execution.
 
-use crate::arena::{two_bufs, BlockArena, SlotRun};
+use crate::arena::{two_bufs, BlockArena, SlotExtents, SlotRun};
 use crate::exec::{check_payloads, ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor};
 use crate::plan::CollectivePlan;
+use crate::sizes::BlockSizes;
 use nhood_telemetry::{Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashMap;
@@ -46,8 +51,12 @@ impl Executor for Virtual {
         }
         let rbufs = match opts.effective_engine() {
             ExecEngine::Arena => {
-                let m = check_payloads(payloads, plan.n())?;
-                run_arena(plan, graph, payloads, m, arena, opts)?
+                let sizes = if opts.ragged {
+                    BlockSizes::from_payloads(payloads)
+                } else {
+                    BlockSizes::Uniform(check_payloads(payloads, plan.n())?)
+                };
+                run_arena(plan, graph, payloads, &sizes, arena, opts)?
             }
             ExecEngine::PerBlock => {
                 if !opts.ragged {
@@ -65,14 +74,15 @@ fn run_arena(
     plan: &CollectivePlan,
     graph: &Topology,
     payloads: &[Vec<u8>],
-    m: usize,
+    sizes: &BlockSizes,
     arena: &mut BlockArena,
     opts: &ExecOptions<'_>,
 ) -> Result<Vec<Vec<u8>>, ExecError> {
     let rec = opts.recorder;
     let n = plan.n();
     let layout = arena.prepare(plan, graph)?;
-    arena.fill(&layout, payloads, m);
+    let exts = layout.extents(sizes);
+    arena.fill(&layout, payloads, &exts);
     let mut bufs = arena.take_bufs();
 
     for k in 0..layout.phase_count {
@@ -83,24 +93,25 @@ fn run_arena(
         }
         for r in 0..n {
             for op in &layout.ranks[r].phases[k].sends {
-                let bytes = op.blocks as usize * m;
+                let ext = &exts[r];
+                let bytes: usize = op.runs.iter().map(|&run| ext.run_bytes(run)).sum();
                 rec.msg_sent(r, op.peer, bytes);
                 rec.msg_recvd(op.peer, r, bytes);
                 let dst_runs = &layout.ranks[op.peer].recv_runs[&(r, op.tag)];
                 let (src, dst) = two_bufs(&mut bufs, r, op.peer);
-                copy_runs(src, &op.runs, dst, dst_runs, m);
+                copy_runs(src, &op.runs, ext, dst, dst_runs, &exts[op.peer]);
             }
         }
     }
 
     let mut rbufs = arena.take_rbufs(n);
     for (r, rb) in rbufs.iter_mut().enumerate() {
+        let ext = &exts[r];
         let cap = rb.capacity();
         rb.clear();
-        rb.reserve(layout.ranks[r].out_blocks as usize * m);
+        rb.reserve(layout.ranks[r].out_runs.iter().map(|&run| ext.run_bytes(run)).sum());
         for &(s, l) in &layout.ranks[r].out_runs {
-            let start = s as usize * m;
-            rb.extend_from_slice(&bufs[r][start..start + l as usize * m]);
+            rb.extend_from_slice(&bufs[r][ext.offset(s as usize)..ext.offset((s + l) as usize)]);
         }
         arena.note_realloc(rb.capacity() != cap);
     }
@@ -108,29 +119,32 @@ fn run_arena(
     Ok(rbufs)
 }
 
-/// Copies blocks from `src` spans to `dst` spans (both in slot units of
-/// `m` bytes, same total block count by plan mirror-validation).
+/// Copies blocks from `src` spans to `dst` spans. Both run lists carry
+/// the same blocks in the same order (plan mirror-validation), so each
+/// chunk's byte count agrees on the two sides even under ragged extents.
 pub(crate) fn copy_runs(
     src: &[u8],
     src_runs: &[SlotRun],
+    sext: &SlotExtents,
     dst: &mut [u8],
     dst_runs: &[SlotRun],
-    m: usize,
+    dext: &SlotExtents,
 ) {
     let mut si = 0usize;
     let mut soff = 0u32;
     for &(dslot, dlen) in dst_runs {
         let mut need = dlen;
-        let mut dpos = dslot as usize * m;
+        let mut done = 0u32;
         while need > 0 {
             let (sslot, slen) = src_runs[si];
             let take = (slen - soff).min(need);
-            let spos = (sslot + soff) as usize * m;
-            let nbytes = take as usize * m;
+            let spos = sext.offset((sslot + soff) as usize);
+            let nbytes = sext.offset((sslot + soff + take) as usize) - spos;
+            let dpos = dext.offset((dslot + done) as usize);
             dst[dpos..dpos + nbytes].copy_from_slice(&src[spos..spos + nbytes]);
             soff += take;
             need -= take;
-            dpos += nbytes;
+            done += take;
             if soff == slen {
                 si += 1;
                 soff = 0;
@@ -430,15 +444,18 @@ mod tests {
         let layout = ClusterLayout::new(3, 2, 4);
         let payloads: Vec<Vec<u8>> = (0..20).map(|r| vec![r as u8; r % 5]).collect(); // lengths 0..=4
         let want = reference_allgather(&g, &payloads);
-        let ragged = ExecOptions::new().ragged(true);
         for plan in [
             plan_naive(&g),
             plan_common_neighbor(&g, 4),
             lower(&build_pattern(&g, &layout).unwrap(), &g),
         ] {
-            let got =
-                Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &ragged).unwrap().rbufs;
-            assert_eq!(got, want);
+            // both engines serve ragged payloads and must agree
+            for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+                let opts = ExecOptions::new().ragged(true).engine(engine);
+                let got =
+                    Virtual.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap().rbufs;
+                assert_eq!(got, want, "{engine:?}");
+            }
         }
         // the strict (uniform) call rejects ragged payloads
         assert!(matches!(

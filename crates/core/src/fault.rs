@@ -42,6 +42,34 @@ mod domain {
     pub const JITTER: u64 = 0x05;
 }
 
+/// Cap on any single backoff sleep, so a large attempt count (or a
+/// pathological base) cannot stall a rank for minutes: `base * 2^16`
+/// un-jittered used to reach ~6.5 s at the 100 µs default base.
+pub const BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// Jittered exponential backoff for retry loops: `base * 2^attempt`,
+/// capped at [`BACKOFF_CAP`], then scaled by a deterministic jitter
+/// factor in `[0.5, 1.0)` derived from `(seed, attempt)`.
+///
+/// Both retry sites (the threaded transport and the distributed
+/// builder's control signals) previously used the same un-jittered
+/// formula, so ranks that dropped messages in the same attempt woke in
+/// lockstep and re-collided. The jitter decorrelates wake-ups while
+/// staying a pure function of its inputs — chaos tests remain exactly
+/// reproducible per seed.
+pub fn backoff(base: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16)).min(BACKOFF_CAP);
+    let f = 0.5 + 0.5 * unit_f64(hash_mix(&[seed, attempt as u64]));
+    exp.mul_f64(f)
+}
+
+/// The canonical per-message jitter seed both retry sites use: mixes the
+/// fault plan's seed with the message identity, so two runs with the
+/// same fault schedule sleep the same jittered schedule.
+pub fn backoff_seed(plan_seed: u64, src: u64, dst: u64, tag: u64) -> u64 {
+    hash_mix(&[plan_seed, src, dst, tag])
+}
+
 /// What the fault layer decides for one transmission attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultAction {
@@ -385,6 +413,31 @@ mod tests {
         assert_eq!(p.rank_stall[0], 0.0);
         assert_eq!(p.jitter_p, 0.5);
         assert!((p.max_jitter - 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_jittered_deterministic_and_capped() {
+        let base = Duration::from_micros(100);
+        // deterministic per (seed, attempt)
+        assert_eq!(backoff(base, 2, 7), backoff(base, 2, 7));
+        // jittered: two colliding senders with different message seeds
+        // must not sleep the same duration (the pre-fix formula gave
+        // every sender exactly base * 2^attempt)
+        let distinct =
+            (0..8u64).map(|s| backoff(base, 3, s)).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1, "all seeds slept identically");
+        // jitter stays within [0.5, 1.0) of the exponential value
+        for attempt in 0..6 {
+            let exp = base * (1 << attempt);
+            for seed in 0..16 {
+                let d = backoff(base, attempt, seed);
+                assert!(d >= exp / 2 && d < exp, "attempt {attempt} seed {seed}: {d:?}");
+            }
+        }
+        // capped: the pre-fix formula reached base * 2^16 = 6.5536 s
+        assert!(backoff(base, 16, 1) <= BACKOFF_CAP);
+        assert!(backoff(base, 40, 1) <= BACKOFF_CAP, "attempt clamp + cap must both hold");
+        assert!(backoff(Duration::from_secs(5), 0, 1) <= BACKOFF_CAP, "pathological base capped");
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod pool;
 pub mod remap;
 pub mod select_algo;
 pub mod selection;
+pub mod sizes;
 
 pub use arena::{ArenaLayout, BlockArena};
 pub use comm::{CommError, DistGraphComm, ExecReport, FallbackReason, RobustPolicy};
@@ -84,3 +85,4 @@ pub use plan::{Algorithm, CollectivePlan, PlanValidationError};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanFingerprint};
 pub use pool::WorkerPool;
 pub use select_algo::recommend;
+pub use sizes::{BlockSizes, LoadMetric};

@@ -13,6 +13,43 @@
 //! the formulas below follow the *printed equations*; `EXPERIMENTS.md`
 //! quantifies the worked-example discrepancy.
 
+use crate::sizes::{BlockSizes, LoadMetric};
+
+/// Expected size (bytes) of the block behind one delivered message under
+/// a [`LoadMetric`]:
+///
+/// * [`LoadMetric::Neighbors`]: a uniformly random block — the plain
+///   mean `Σs / n`;
+/// * [`LoadMetric::Bytes`]: blocks travel inside buffers in proportion
+///   to their own size, so a delivered byte belongs to block `r` with
+///   probability `s_r / Σs` — the **size-biased mean** `Σs² / Σs`.
+///
+/// By Cauchy–Schwarz the size-biased mean is ≥ the plain mean, with
+/// equality exactly on uniform tables; the gap is what byte-weighted
+/// agent selection has to win back on ragged workloads.
+pub fn mean_block_bytes(sizes: &BlockSizes, n: usize, metric: LoadMetric) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n).map(|r| sizes.size(r) as f64).sum();
+    match metric {
+        LoadMetric::Neighbors => total / n as f64,
+        LoadMetric::Bytes => {
+            if total == 0.0 {
+                0.0
+            } else {
+                let sq: f64 = (0..n)
+                    .map(|r| {
+                        let s = sizes.size(r) as f64;
+                        s * s
+                    })
+                    .sum();
+                sq / total
+            }
+        }
+    }
+}
+
 /// Model inputs.
 #[derive(Clone, Copy, Debug)]
 pub struct ModelParams {
@@ -65,6 +102,24 @@ impl ModelParams {
     /// payload `m`: `δ · E[n_in] · m`.
     pub fn expected_intra_socket_bytes(&self, m: usize) -> f64 {
         self.delta * self.expected_intra_socket_msgs() * m as f64
+    }
+
+    /// Eq. (3) generalised to variable block sizes:
+    /// `δ · E[n_in] · E[m]`, where `E[m]` is the expected size of a
+    /// block carried by an intra-socket message under the given
+    /// [`LoadMetric`] — see [`mean_block_bytes`]. Degenerates to
+    /// [`expected_intra_socket_bytes`](Self::expected_intra_socket_bytes)
+    /// on a uniform table under either metric.
+    pub fn expected_intra_socket_bytes_v(&self, sizes: &BlockSizes, metric: LoadMetric) -> f64 {
+        self.delta * self.expected_intra_socket_msgs() * mean_block_bytes(sizes, self.n, metric)
+    }
+
+    /// Eq. (7) generalised to variable block sizes:
+    /// `E[n_in] (α + E[m_in]/β)` with the byte term from
+    /// [`expected_intra_socket_bytes_v`](Self::expected_intra_socket_bytes_v).
+    pub fn dh_intra_socket_time_v(&self, sizes: &BlockSizes, metric: LoadMetric) -> f64 {
+        let n_in = self.expected_intra_socket_msgs();
+        n_in * self.t(self.expected_intra_socket_bytes_v(sizes, metric))
     }
 
     /// Hockney term `α + m/β`.
@@ -176,6 +231,36 @@ mod tests {
         }
         // worst case: δ = 1 → exactly L
         assert!((p(2000, 1.0, 20).expected_intra_socket_msgs() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_weighted_mean_block_size() {
+        // uniform table: both metrics agree with the scalar m
+        let u = BlockSizes::uniform(64);
+        assert_eq!(mean_block_bytes(&u, 10, LoadMetric::Neighbors), 64.0);
+        assert_eq!(mean_block_bytes(&u, 10, LoadMetric::Bytes), 64.0);
+        let params = p(10, 0.3, 2);
+        for metric in [LoadMetric::Neighbors, LoadMetric::Bytes] {
+            assert!(
+                (params.expected_intra_socket_bytes_v(&u, metric)
+                    - params.expected_intra_socket_bytes(64))
+                .abs()
+                    < 1e-9
+            );
+        }
+        // ragged table: size-biased mean strictly exceeds the plain mean
+        let r = BlockSizes::per_rank(vec![0, 8, 8, 8, 8, 8, 8, 8, 8, 1024]);
+        let plain = mean_block_bytes(&r, 10, LoadMetric::Neighbors);
+        let biased = mean_block_bytes(&r, 10, LoadMetric::Bytes);
+        assert!((plain - 1088.0 / 10.0).abs() < 1e-9);
+        assert!(biased > plain, "size-biased {biased} must exceed plain {plain}");
+        assert!(
+            params.dh_intra_socket_time_v(&r, LoadMetric::Bytes)
+                >= params.dh_intra_socket_time_v(&r, LoadMetric::Neighbors)
+        );
+        // degenerate inputs
+        assert_eq!(mean_block_bytes(&r, 0, LoadMetric::Bytes), 0.0);
+        assert_eq!(mean_block_bytes(&BlockSizes::uniform(0), 4, LoadMetric::Bytes), 0.0);
     }
 
     #[test]

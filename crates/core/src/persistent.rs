@@ -83,10 +83,26 @@ impl PersistentAllgather {
     /// internal arena. Returns per-rank receive buffers (borrowed until
     /// the next execution).
     pub fn execute(&mut self, payloads: &[Vec<u8>]) -> Result<&[Vec<u8>], ExecError> {
+        self.run(payloads, &ExecOptions::new())
+    }
+
+    /// The `allgatherv` variant of [`execute`](Self::execute): per-rank
+    /// payloads may differ in length (including zero-length blocks). The
+    /// same plan and arena serve both — block extents are resolved from
+    /// the payload lengths at execution time, so a persistent collective
+    /// may alternate freely between uniform and ragged rounds.
+    pub fn execute_v(&mut self, payloads: &[Vec<u8>]) -> Result<&[Vec<u8>], ExecError> {
+        self.run(payloads, &ExecOptions::new().ragged(true))
+    }
+
+    fn run(
+        &mut self,
+        payloads: &[Vec<u8>],
+        opts: &ExecOptions<'_>,
+    ) -> Result<&[Vec<u8>], ExecError> {
         // recycle the previous output's capacity before running
         self.arena.adopt_rbufs(std::mem::take(&mut self.rbufs));
-        let out =
-            Virtual.run(&self.plan, &self.graph, payloads, &mut self.arena, &ExecOptions::new())?;
+        let out = Virtual.run(&self.plan, &self.graph, payloads, &mut self.arena, opts)?;
         self.rbufs = out.rbufs;
         self.executions += 1;
         Ok(&self.rbufs)
@@ -116,6 +132,25 @@ mod tests {
             assert_eq!(got, &want[..], "round {round}");
         }
         assert_eq!(p.executions(), 5);
+    }
+
+    #[test]
+    fn ragged_executions_are_correct_and_mix_with_uniform() {
+        let c = comm();
+        let mut p = PersistentAllgather::init(&c, Algorithm::DistanceHalving).unwrap();
+        for round in 0..4u64 {
+            // per-rank lengths cycle through 0..=4, shifted per round
+            let payloads: Vec<Vec<u8>> = (0..32)
+                .map(|r| vec![(r as u8) ^ (round as u8); (r + round as usize) % 5])
+                .collect();
+            let want = reference_allgather(c.graph(), &payloads);
+            assert_eq!(p.execute_v(&payloads).unwrap(), &want[..], "round {round}");
+            // alternate with a uniform round on the same arena
+            let uniform = test_payloads(32, 16, round);
+            let want = reference_allgather(c.graph(), &uniform);
+            assert_eq!(p.execute(&uniform).unwrap(), &want[..], "uniform round {round}");
+        }
+        assert_eq!(p.executions(), 8);
     }
 
     #[test]

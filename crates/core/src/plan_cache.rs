@@ -23,6 +23,7 @@
 
 use crate::plan::{Algorithm, CollectivePlan};
 use crate::plan_io;
+use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
 use nhood_topology::Topology;
 use std::collections::hash_map::DefaultHasher;
@@ -69,6 +70,23 @@ impl PlanFingerprint {
     /// but relabeled graph is a different build request and gets a
     /// different fingerprint.
     pub fn of_build(graph: &Topology, layout: &ClusterLayout, algo: Algorithm) -> Self {
+        Self::of_build_v(graph, layout, algo, &BlockSizes::default(), LoadMetric::default())
+    }
+
+    /// [`of_build`](Self::of_build) for size-aware builds: additionally
+    /// covers the [`LoadMetric`] and — under [`LoadMetric::Bytes`], the
+    /// one metric whose matching consumes the size table — the
+    /// [`BlockSizes`] themselves. Under [`LoadMetric::Neighbors`] the
+    /// builder provably ignores sizes, so uniform and ragged requests
+    /// deliberately share a slot; under `Bytes` a uniform and a ragged
+    /// build can never collide.
+    pub fn of_build_v(
+        graph: &Topology,
+        layout: &ClusterLayout,
+        algo: Algorithm,
+        sizes: &BlockSizes,
+        metric: LoadMetric,
+    ) -> Self {
         Self::digest(|h| {
             let n = graph.n();
             n.hash(h);
@@ -96,6 +114,10 @@ impl PlanFingerprint {
             };
             id.hash(h);
             param.hash(h);
+            metric.id().hash(h);
+            if metric == LoadMetric::Bytes {
+                sizes.hash_into(h);
+            }
         })
     }
 
@@ -344,6 +366,31 @@ mod tests {
         assert_ne!(a, PlanFingerprint::of_build(&g2, &l, Algorithm::DistanceHalving));
         let l2 = ClusterLayout::new(8, 2, 2);
         assert_ne!(a, PlanFingerprint::of_build(&g, &l2, Algorithm::DistanceHalving));
+    }
+
+    #[test]
+    fn size_table_keys_uniform_and_ragged_builds_distinctly() {
+        let g = erdos_renyi(24, 0.4, 13);
+        let l = layout(24);
+        let algo = Algorithm::DistanceHalving;
+        let uniform = BlockSizes::uniform(64);
+        let ragged = BlockSizes::per_rank((0..24).map(|r| 8 + 8 * (r % 5)).collect());
+        // Bytes-metric builds consume the size table: a uniform and a
+        // ragged request must never share a cache slot, and two distinct
+        // ragged tables must not collide either.
+        let fu = PlanFingerprint::of_build_v(&g, &l, algo, &uniform, LoadMetric::Bytes);
+        let fr = PlanFingerprint::of_build_v(&g, &l, algo, &ragged, LoadMetric::Bytes);
+        assert_ne!(fu, fr);
+        let ragged2 = BlockSizes::per_rank((0..24).map(|r| 8 + 8 * (r % 7)).collect());
+        assert_ne!(fr, PlanFingerprint::of_build_v(&g, &l, algo, &ragged2, LoadMetric::Bytes));
+        // The two metrics are distinct build requests even at equal sizes.
+        assert_ne!(fu, PlanFingerprint::of_build_v(&g, &l, algo, &uniform, LoadMetric::Neighbors));
+        // Neighbors-metric builds ignore sizes, so they share a slot —
+        // and the legacy entry point is exactly that request.
+        assert_eq!(
+            PlanFingerprint::of_build_v(&g, &l, algo, &ragged, LoadMetric::Neighbors),
+            PlanFingerprint::of_build(&g, &l, algo),
+        );
     }
 
     #[test]

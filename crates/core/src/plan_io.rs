@@ -46,19 +46,53 @@ fn w64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn r64(r: &mut impl Read) -> Result<u64, PlanIoError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-/// Guard against absurd counts from corrupt files before allocating.
+/// Guard against absurd scalar values from corrupt files.
 fn checked_len(v: u64, what: &str) -> Result<usize, PlanIoError> {
     const LIMIT: u64 = 1 << 32;
     if v > LIMIT {
         return Err(PlanIoError::Corrupt(format!("{what} count {v} exceeds limit")));
     }
     Ok(v as usize)
+}
+
+/// Bounded decode cursor over the whole file. Every *count* field is
+/// validated against the bytes actually remaining in the input before
+/// anything is allocated or looped over — a flipped length bit can
+/// therefore neither over-allocate (the old decoder accepted any count
+/// up to 2³² after a bare overflow check) nor send the decoder spinning
+/// past the end of the file.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, PlanIoError> {
+        if self.remaining() < 8 {
+            return Err(PlanIoError::Corrupt(format!("truncated reading {what}")));
+        }
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Reads a count of records that each occupy at least
+    /// `min_elem_bytes` of input, and rejects it unless that many
+    /// records can still fit in the remaining file.
+    fn count(&mut self, min_elem_bytes: u64, what: &str) -> Result<usize, PlanIoError> {
+        let v = self.u64(what)?;
+        let rem = self.remaining() as u64;
+        match v.checked_mul(min_elem_bytes) {
+            Some(need) if need <= rem => Ok(v as usize),
+            _ => Err(PlanIoError::Corrupt(format!(
+                "{what} count {v} cannot fit in {rem} remaining bytes"
+            ))),
+        }
+    }
 }
 
 fn write_msg(w: &mut impl Write, m: &PlannedMsg) -> io::Result<()> {
@@ -71,16 +105,16 @@ fn write_msg(w: &mut impl Write, m: &PlannedMsg) -> io::Result<()> {
     Ok(())
 }
 
-fn read_msg(r: &mut impl Read, n: usize) -> Result<PlannedMsg, PlanIoError> {
-    let peer = checked_len(r64(r)?, "peer")?;
+fn read_msg(c: &mut Cursor<'_>, n: usize) -> Result<PlannedMsg, PlanIoError> {
+    let peer = checked_len(c.u64("peer")?, "peer")?;
     if peer >= n {
         return Err(PlanIoError::Corrupt(format!("peer {peer} out of {n} ranks")));
     }
-    let tag = r64(r)?;
-    let len = checked_len(r64(r)?, "blocks")?;
-    let mut blocks = Vec::with_capacity(len.min(1 << 20));
+    let tag = c.u64("tag")?;
+    let len = c.count(8, "blocks")?;
+    let mut blocks = Vec::with_capacity(len);
     for _ in 0..len {
-        let b = checked_len(r64(r)?, "block")?;
+        let b = checked_len(c.u64("block")?, "block")?;
         if b >= n {
             return Err(PlanIoError::Corrupt(format!("block {b} out of {n} ranks")));
         }
@@ -150,20 +184,24 @@ pub fn write_plan(plan: &CollectivePlan, mut w: impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes a plan.
+/// Deserializes a plan. The whole stream is read up front and decoded
+/// through a bounded cursor, so corrupt counts are rejected against
+/// the real file size instead of being trusted up to 2³² (see
+/// `docs/PLAN_CACHE.md`).
 pub fn read_plan(mut r: impl Read) -> Result<CollectivePlan, PlanIoError> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(PlanIoError::BadMagic);
     }
-    let algorithm = algorithm_from(r64(&mut r)?, r64(&mut r)?)?;
-    let selection = match r64(&mut r)? {
+    let mut c = Cursor { buf: &buf, pos: MAGIC.len() };
+    let algorithm = algorithm_from(c.u64("algorithm id")?, c.u64("algorithm param")?)?;
+    let selection = match c.u64("selection flag")? {
         0 => None,
         1 => {
             let mut v = [0usize; 8];
             for slot in &mut v {
-                *slot = checked_len(r64(&mut r)?, "stat")?;
+                *slot = checked_len(c.u64("stat")?, "stat")?;
             }
             Some(SelectionStats {
                 req: v[0],
@@ -178,22 +216,25 @@ pub fn read_plan(mut r: impl Read) -> Result<CollectivePlan, PlanIoError> {
         }
         other => return Err(PlanIoError::Corrupt(format!("bad selection flag {other}"))),
     };
-    let n = checked_len(r64(&mut r)?, "rank")?;
-    let mut per_rank = Vec::with_capacity(n.min(1 << 20));
+    // every rank contributes at least a phase count (8 bytes); every
+    // phase at least copy + send count + recv count (24); every message
+    // at least peer + tag + block count (24); every block 8
+    let n = c.count(8, "rank")?;
+    let mut per_rank = Vec::with_capacity(n);
     for _ in 0..n {
-        let phases = checked_len(r64(&mut r)?, "phase")?;
-        let mut prog = Vec::with_capacity(phases.min(1 << 20));
+        let phases = c.count(24, "phase")?;
+        let mut prog = Vec::with_capacity(phases);
         for _ in 0..phases {
-            let copy_blocks = checked_len(r64(&mut r)?, "copy")?;
-            let ns = checked_len(r64(&mut r)?, "send")?;
-            let mut sends = Vec::with_capacity(ns.min(1 << 20));
+            let copy_blocks = checked_len(c.u64("copy")?, "copy")?;
+            let ns = c.count(24, "send")?;
+            let mut sends = Vec::with_capacity(ns);
             for _ in 0..ns {
-                sends.push(read_msg(&mut r, n)?);
+                sends.push(read_msg(&mut c, n)?);
             }
-            let nr = checked_len(r64(&mut r)?, "recv")?;
-            let mut recvs = Vec::with_capacity(nr.min(1 << 20));
+            let nr = c.count(24, "recv")?;
+            let mut recvs = Vec::with_capacity(nr);
             for _ in 0..nr {
-                recvs.push(read_msg(&mut r, n)?);
+                recvs.push(read_msg(&mut c, n)?);
             }
             prog.push(PlanPhase { copy_blocks, sends, recvs });
         }
@@ -281,6 +322,61 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes()); // no selection
         buf.extend_from_slice(&u64::MAX.to_le_bytes()); // ranks
         assert!(matches!(read_plan(&buf[..]), Err(PlanIoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn every_truncation_errors_and_bit_flips_never_panic() {
+        use nhood_topology::rng::DetRng;
+        let g = erdos_renyi(24, 0.4, 7);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        assert!(read_plan(&buf[..]).is_ok(), "pristine file must load");
+
+        // The decoder consumes exactly the encoded bytes, so every
+        // strict prefix must come back as a typed error — never a panic,
+        // a hang, or a silently shorter plan.
+        let mut rng = DetRng::seed_from_u64(0x71a6);
+        let mut cuts: Vec<usize> = (0..64).collect();
+        cuts.extend((0..200).map(|_| rng.gen_below(buf.len())));
+        cuts.extend(buf.len().saturating_sub(64)..buf.len());
+        for k in cuts {
+            assert!(read_plan(&buf[..k]).is_err(), "prefix of {k} bytes must not parse");
+        }
+
+        // Single-bit flips anywhere in the file must never panic or
+        // over-allocate; they either fail typed or still decode (a flip
+        // in a payload-irrelevant field like a stat or a tag is legal).
+        for _ in 0..500 {
+            let byte = rng.gen_below(buf.len());
+            let bit = rng.gen_below(8) as u32;
+            let mut evil = buf.clone();
+            evil[byte] ^= 1 << bit;
+            if let Ok(p) = read_plan(&evil[..]) {
+                // decoded plans are structurally sane even when wrong
+                assert!(p.n() <= evil.len());
+            }
+        }
+    }
+
+    #[test]
+    fn length_fields_are_bounded_by_remaining_file_size() {
+        let g = erdos_renyi(8, 0.5, 3);
+        let plan = crate::naive::plan_naive(&g);
+        let mut buf = Vec::new();
+        write_plan(&plan, &mut buf).unwrap();
+        // Blow up the rank count at offset 32 (magic + algo + selection
+        // flag): far below the old 2^32 limit, far above what the file
+        // can hold. The bounded cursor must reject it up front.
+        for absurd in [1u64 << 20, 1 << 31] {
+            let mut hacked = buf.clone();
+            hacked[32..40].copy_from_slice(&absurd.to_le_bytes());
+            assert!(
+                matches!(read_plan(&hacked[..]), Err(PlanIoError::Corrupt(_))),
+                "rank count {absurd} must be rejected against the file size"
+            );
+        }
     }
 
     #[test]

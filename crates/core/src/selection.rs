@@ -23,7 +23,15 @@
 //! ranks share **inside the acceptor-side half** (the paper's matrix-A
 //! query); a pair is mutually a candidate iff its score is ≥ 1, which
 //! makes the candidate relation symmetric. Ties are broken toward the
-//! lower rank, mirroring a rank-ordered candidate scan.
+//! lower rank, mirroring a rank-ordered candidate scan. Under
+//! [`crate::sizes::LoadMetric::Bytes`] the builders refine the ordering
+//! lexicographically: shared-neighbor count stays primary, and ties are
+//! broken toward the proposer carrying *fewer* block bytes — the
+//! pairing that adds the least forwarding load to the accepting agent —
+//! before falling back to the rank order. The byte term applies to the
+//! proposer on both sides of a pair and never creates or removes
+//! candidacy, so the relation stays symmetric and candidate sets match
+//! the paper's exactly.
 //!
 //! Internally a round is split into two stages so the builder can
 //! parallelize the expensive one: **scoring** fills a [`RoundCandidates`]

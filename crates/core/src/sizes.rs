@@ -1,0 +1,233 @@
+//! Per-rank block sizes for the variable-size (`allgatherv`) collective,
+//! and the [`LoadMetric`] knob that decides what "load" means during
+//! agent selection.
+//!
+//! The paper's collective is uniform: every rank contributes one block of
+//! `m` bytes, and every executor hot path exploits that (`offset = slot *
+//! m`). `MPI_Neighbor_allgatherv`-shaped exchanges — our SpMM stripes
+//! included — break the assumption: each rank `r` contributes `size(r)`
+//! bytes. [`BlockSizes`] is the size table threaded through pattern
+//! construction, arena layout and execution; the
+//! [`Uniform`](BlockSizes::Uniform) variant preserves the constant-time
+//! fast path, and [`PerRank`](BlockSizes::PerRank) shares one table
+//! across builder threads via `Arc`.
+
+use nhood_topology::Rank;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Per-rank contribution sizes in bytes.
+///
+/// `Uniform(m)` is the classic allgather (every rank sends `m` bytes);
+/// `PerRank` is the allgatherv generalisation. Zero-length blocks are
+/// legal in both variants — a rank may contribute nothing and still
+/// relay its neighbors' blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockSizes {
+    /// Every rank contributes the same number of bytes.
+    Uniform(usize),
+    /// Rank `r` contributes `sizes[r]` bytes.
+    PerRank(Arc<Vec<usize>>),
+}
+
+impl BlockSizes {
+    /// The uniform table at block size `m`.
+    pub fn uniform(m: usize) -> Self {
+        BlockSizes::Uniform(m)
+    }
+
+    /// A per-rank table (collapses to [`Uniform`](Self::Uniform) when all
+    /// entries agree, preserving the fast path).
+    pub fn per_rank(sizes: Vec<usize>) -> Self {
+        match sizes.first() {
+            Some(&m) if sizes.iter().all(|&s| s == m) => BlockSizes::Uniform(m),
+            Some(_) => BlockSizes::PerRank(Arc::new(sizes)),
+            None => BlockSizes::Uniform(0),
+        }
+    }
+
+    /// Derives the size table from concrete payloads.
+    pub fn from_payloads(payloads: &[Vec<u8>]) -> Self {
+        Self::per_rank(payloads.iter().map(Vec::len).collect())
+    }
+
+    /// Bytes contributed by rank `r`.
+    #[inline]
+    pub fn size(&self, r: Rank) -> usize {
+        match self {
+            BlockSizes::Uniform(m) => *m,
+            BlockSizes::PerRank(t) => t.get(r).copied().unwrap_or(0),
+        }
+    }
+
+    /// True for the uniform fast path.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, BlockSizes::Uniform(_))
+    }
+
+    /// The largest per-rank contribution in the table.
+    pub fn max_size(&self) -> usize {
+        match self {
+            BlockSizes::Uniform(m) => *m,
+            BlockSizes::PerRank(t) => t.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Feeds the table into a fingerprint hasher. Uniform and per-rank
+    /// tables hash distinctly even when extensionally equal at a given
+    /// `n` is impossible — `per_rank` canonicalises constant tables to
+    /// `Uniform`, so equal tables always hash equal.
+    pub fn hash_into<H: Hasher>(&self, state: &mut H) {
+        match self {
+            BlockSizes::Uniform(m) => {
+                0u8.hash(state);
+                m.hash(state);
+            }
+            BlockSizes::PerRank(t) => {
+                1u8.hash(state);
+                t.len().hash(state);
+                for &s in t.iter() {
+                    s.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl Default for BlockSizes {
+    /// Unit blocks: size-agnostic callers get neighbor-count semantics.
+    fn default() -> Self {
+        BlockSizes::Uniform(1)
+    }
+}
+
+/// What agent selection weighs when scoring candidate pairs.
+///
+/// The Distance Halving matchmaking (Algorithms 2–3) pairs a proposer
+/// with the acceptor sharing the most *outgoing load* in the
+/// acceptor-side half. The paper counts shared neighbors;
+/// [`Bytes`](LoadMetric::Bytes) keeps that count as the primary score —
+/// a candidacy identical to the paper's, so byte awareness can never
+/// trade away offloaded targets — and breaks ties toward the proposer
+/// carrying *fewer* block bytes. Pairing does not change how many bytes
+/// get delivered (it combines messages), so what byte awareness can
+/// improve is *who carries them*: accepting the lighter of two
+/// otherwise-equal proposers adds the least forwarding load to this
+/// agent's send queue, spreading heavy blocks across agents instead of
+/// stacking them. On uniform sizes the two metrics induce the same
+/// ordering.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LoadMetric {
+    /// Score = number of shared outgoing neighbors (the paper's metric).
+    #[default]
+    Neighbors,
+    /// Score = shared outgoing neighbors, ties broken toward the
+    /// lighter proposer block.
+    Bytes,
+}
+
+impl LoadMetric {
+    /// Stable discriminant for fingerprinting.
+    pub(crate) fn id(self) -> u64 {
+        match self {
+            LoadMetric::Neighbors => 0,
+            LoadMetric::Bytes => 1,
+        }
+    }
+
+    /// The scale factor that packs (shared neighbors, proposer bytes)
+    /// lexicographically into one integer score: strictly larger than
+    /// any byte tie-breaker, so a shared-neighbor advantage always
+    /// dominates. Compute once per build.
+    pub(crate) fn scale(self, sizes: &BlockSizes) -> usize {
+        match self {
+            LoadMetric::Neighbors => 1,
+            LoadMetric::Bytes => sizes.max_size().saturating_add(1),
+        }
+    }
+
+    /// Scores one candidate pair: `shared` outgoing neighbors with
+    /// proposer `p`; under [`Bytes`](LoadMetric::Bytes) the tie-breaker
+    /// is `max_size - size(p)` (lighter blocks score higher). Zero
+    /// shared neighbors is zero under both metrics — the candidate
+    /// relation never widens, which keeps it symmetric and preserves
+    /// the two-message invariant.
+    #[inline]
+    pub(crate) fn score(self, shared: usize, p: Rank, sizes: &BlockSizes, scale: usize) -> usize {
+        match self {
+            LoadMetric::Neighbors => shared,
+            LoadMetric::Bytes => {
+                if shared == 0 {
+                    0
+                } else {
+                    let light = (scale - 1).saturating_sub(sizes.size(p));
+                    shared.saturating_mul(scale).saturating_add(light)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(s: &BlockSizes) -> u64 {
+        let mut d = DefaultHasher::new();
+        s.hash_into(&mut d);
+        d.finish()
+    }
+
+    #[test]
+    fn per_rank_canonicalises_constant_tables() {
+        assert_eq!(BlockSizes::per_rank(vec![4, 4, 4]), BlockSizes::Uniform(4));
+        assert_eq!(BlockSizes::per_rank(vec![]), BlockSizes::Uniform(0));
+        assert!(!BlockSizes::per_rank(vec![4, 5]).is_uniform());
+    }
+
+    #[test]
+    fn from_payloads_detects_raggedness() {
+        let uni = BlockSizes::from_payloads(&[vec![0; 8], vec![1; 8]]);
+        assert_eq!(uni, BlockSizes::Uniform(8));
+        let rag = BlockSizes::from_payloads(&[vec![0; 8], vec![1; 3]]);
+        assert_eq!(rag.size(0), 8);
+        assert_eq!(rag.size(1), 3);
+        assert_eq!(rag.size(99), 0, "out-of-range ranks contribute nothing");
+    }
+
+    #[test]
+    fn hashes_distinguish_tables() {
+        let a = BlockSizes::per_rank(vec![1, 2, 3]);
+        let b = BlockSizes::per_rank(vec![1, 2, 4]);
+        let u = BlockSizes::Uniform(2);
+        assert_ne!(h(&a), h(&b));
+        assert_ne!(h(&a), h(&u));
+        assert_eq!(h(&a), h(&BlockSizes::per_rank(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn metric_scores_are_lexicographic_in_shared_then_bytes() {
+        let sizes = BlockSizes::per_rank(vec![10, 0, 7]);
+        let scale = LoadMetric::Bytes.scale(&sizes);
+        assert_eq!(scale, 11, "scale must exceed the largest block");
+        // a shared-neighbor advantage always dominates any byte gap
+        let heavy_few = LoadMetric::Bytes.score(1, 0, &sizes, scale);
+        let light_many = LoadMetric::Bytes.score(2, 1, &sizes, scale);
+        assert!(light_many > heavy_few);
+        // at equal shared counts, the lighter proposer wins the tie —
+        // it adds the least forwarding load to the accepting agent
+        let heavy = LoadMetric::Bytes.score(2, 0, &sizes, scale);
+        let light = LoadMetric::Bytes.score(2, 2, &sizes, scale);
+        assert!(light > heavy);
+        assert_eq!(LoadMetric::Bytes.score(2, 1, &sizes, scale), 2 * scale + 10);
+        // zero shared neighbors is never a candidate under either metric
+        assert_eq!(LoadMetric::Bytes.score(0, 0, &sizes, scale), 0);
+        assert_eq!(LoadMetric::Neighbors.score(0, 0, &sizes, 1), 0);
+        // the Neighbors metric is the paper's plain count
+        assert_eq!(
+            LoadMetric::Neighbors.score(3, 0, &sizes, LoadMetric::Neighbors.scale(&sizes)),
+            3
+        );
+    }
+}

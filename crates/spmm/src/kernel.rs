@@ -16,7 +16,7 @@
 
 use crate::stripe::{deserialize_stripe, payload_bytes, serialize_stripe, StripeError};
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, CommError, DistGraphComm};
+use nhood_core::{Algorithm, BlockSizes, CommError, DistGraphComm, LoadMetric};
 use nhood_topology::spmm_graph::spmm_topology_with;
 use nhood_topology::{BlockPartition, CsrMatrix, Topology};
 
@@ -91,10 +91,15 @@ pub fn distributed_spmm(
     layout: &ClusterLayout,
     algo: Algorithm,
 ) -> Result<SpmmResult, SpmmError> {
-    distributed_spmm_with(x, y, parts, layout, algo, Packing::Padded)
+    distributed_spmm_with(x, y, parts, layout, algo, Packing::Padded, LoadMetric::Neighbors)
 }
 
-/// [`distributed_spmm`] with an explicit payload [`Packing`] mode.
+/// [`distributed_spmm`] with an explicit payload [`Packing`] mode and
+/// pairing [`LoadMetric`]. Stripe sizes (exact under
+/// [`Packing::Exact`]) are pinned on the communicator, so
+/// [`LoadMetric::Bytes`] makes Distance-Halving agent selection aware
+/// of each process's actual `Y`-stripe bytes.
+#[allow(clippy::too_many_arguments)]
 pub fn distributed_spmm_with(
     x: &CsrMatrix,
     y: &CsrMatrix,
@@ -102,6 +107,7 @@ pub fn distributed_spmm_with(
     layout: &ClusterLayout,
     algo: Algorithm,
     packing: Packing,
+    metric: LoadMetric,
 ) -> Result<SpmmResult, SpmmError> {
     if x.cols() != y.rows() {
         return Err(SpmmError::Shape(format!(
@@ -138,8 +144,12 @@ pub fn distributed_spmm_with(
         })
         .collect();
 
-    // One neighborhood allgather(v) moves every needed stripe.
-    let comm = DistGraphComm::create_adjacent(topology.clone(), layout.clone())?;
+    // One neighborhood allgather(v) moves every needed stripe. The
+    // communicator plans against the real stripe sizes (canonicalized to
+    // the uniform fast path under `Packing::Padded`).
+    let comm = DistGraphComm::create_adjacent(topology.clone(), layout.clone())?
+        .with_load_metric(metric)
+        .with_block_sizes(BlockSizes::from_payloads(&payloads));
     let rbufs = match packing {
         Packing::Padded => comm.neighbor_allgather(algo, &payloads)?,
         Packing::Exact => comm.neighbor_allgatherv(algo, &payloads)?,
@@ -283,13 +293,51 @@ mod tests {
         let x = synth_symmetric(48, 500, StructureClass::BlockDense { block: 12 }, 5);
         let want = x.multiply(&x);
         for algo in [Algorithm::Naive, Algorithm::DistanceHalving] {
-            let padded =
-                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Padded).unwrap();
-            let exact =
-                distributed_spmm_with(&x, &x, 12, &layout_for(12), algo, Packing::Exact).unwrap();
-            assert_eq!(padded.z.max_abs_diff(&want), 0.0);
-            assert_eq!(exact.z.max_abs_diff(&want), 0.0);
+            for metric in [LoadMetric::Neighbors, LoadMetric::Bytes] {
+                let padded = distributed_spmm_with(
+                    &x,
+                    &x,
+                    12,
+                    &layout_for(12),
+                    algo,
+                    Packing::Padded,
+                    metric,
+                )
+                .unwrap();
+                let exact = distributed_spmm_with(
+                    &x,
+                    &x,
+                    12,
+                    &layout_for(12),
+                    algo,
+                    Packing::Exact,
+                    metric,
+                )
+                .unwrap();
+                assert_eq!(padded.z.max_abs_diff(&want), 0.0, "{algo} {metric:?} padded");
+                assert_eq!(exact.z.max_abs_diff(&want), 0.0, "{algo} {metric:?} exact");
+            }
         }
+    }
+
+    #[test]
+    fn byte_weighted_selection_stays_correct_on_skewed_stripes() {
+        // Misaligned dense blocks give stripes of very different nnz —
+        // the workload the Bytes metric exists for. Correctness must
+        // not depend on which metric picked the agents.
+        let x = synth_symmetric(64, 900, StructureClass::BlockDense { block: 24 }, 11);
+        let want = x.multiply(&x);
+        let got = distributed_spmm_with(
+            &x,
+            &x,
+            8,
+            &layout_for(8),
+            Algorithm::DistanceHalving,
+            Packing::Exact,
+            LoadMetric::Bytes,
+        )
+        .unwrap();
+        assert!(got.z.max_abs_diff(&want) < 1e-12);
     }
 
     #[test]

@@ -26,4 +26,4 @@
 pub mod kernel;
 pub mod stripe;
 
-pub use kernel::{distributed_spmm, SpmmError, SpmmResult};
+pub use kernel::{distributed_spmm, distributed_spmm_with, SpmmError, SpmmResult};
