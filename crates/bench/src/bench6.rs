@@ -1,0 +1,251 @@
+//! BENCH_6 — topology churn: incremental plan repair vs cold rebuild.
+//!
+//! For random sparse graphs at growing rank counts the live
+//! [`DistGraphComm`] plan is mutated one edge at a time —
+//! add-a-non-edge then remove-it-again pairs, so the topology never
+//! drifts — and each surgical repair is timed against the cold build
+//! that seeded the slot. Every repaired plan is executed and compared
+//! to the MPI-semantics reference, and to a from-scratch build over the
+//! same mutated topology.
+//!
+//! Two acceptance gates ride on the numbers, evaluated by [`gates`]:
+//!
+//! * `repair_exact_ok` — every repaired plan reproduced the reference
+//!   output and every sampled mutation stayed surgical (no silent
+//!   rebuilds inflating the numbers);
+//! * `speedup_ok` — at every cell with `n >= 512`, the median
+//!   single-edge repair is **≥ 10× cheaper** than the cold build
+//!   (vacuously true on quick runs, which stop at n = 128; the
+//!   reported speedups still make regressions visible in CI).
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
+use nhood_core::exec::{Executor, Virtual};
+use nhood_core::{Algorithm, DistGraphComm};
+use nhood_topology::random::erdos_renyi;
+use nhood_topology::rng::DetRng;
+use std::time::Instant;
+
+/// The `n` from which the ≥10× speedup gate applies.
+pub const GATE_N: usize = 512;
+
+/// Required cold-build / repair ratio at and above [`GATE_N`].
+pub const GATE_SPEEDUP: f64 = 10.0;
+
+/// One churn cell: a graph size/density with its cold-build and
+/// single-edge repair costs.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Cell label, e.g. `"n=512 d=0.3"`.
+    pub case: String,
+    /// Rank count.
+    pub n: usize,
+    /// Edge density of the Erdős–Rényi graph.
+    pub delta: f64,
+    /// Cold build into the churn slot (build + lower + validate), s.
+    pub cold_build_s: f64,
+    /// Median single-edge `mutate` over the sampled repairs, s.
+    pub repair_s: f64,
+    /// All sampled mutations took the surgical path.
+    pub all_surgical: bool,
+    /// The repaired plan's output matched `reference_allgather` and a
+    /// from-scratch build over the mutated topology.
+    pub exact: bool,
+}
+
+impl Row {
+    /// Cold build cost over repair cost (> 1 means repair won).
+    pub fn speedup(&self) -> f64 {
+        self.cold_build_s / self.repair_s.max(1e-12)
+    }
+}
+
+/// The acceptance verdict derived from a run (also embedded in the
+/// JSON document).
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Smallest per-cell speedup among cells with `n >=` [`GATE_N`]
+    /// (`None` when the run had no such cell — quick runs).
+    pub min_gate_speedup: Option<f64>,
+    /// Gate: every `n >=` [`GATE_N`] cell repaired ≥ [`GATE_SPEEDUP`]×
+    /// cheaper than its cold build.
+    pub speedup_ok: bool,
+    /// Gate: every cell was surgical and reference-exact.
+    pub repair_exact_ok: bool,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn cell(n: usize, delta: f64, samples: usize, rows: &mut Vec<Row>) {
+    let g = erdos_renyi(n, delta, 42);
+    let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+    let mut comm = DistGraphComm::create_adjacent(g, layout.clone()).expect("layout fits");
+
+    let t0 = Instant::now();
+    comm.mutate(&[], &[]).expect("cold build");
+    let cold = t0.elapsed().as_secs_f64();
+
+    // Add-then-remove pairs over seeded non-edges: the slot sees 2
+    // mutations per sample and the topology ends where it started.
+    let mut rng = DetRng::seed_from_u64(0xC4 + n as u64);
+    let mut times = Vec::with_capacity(samples * 2);
+    let mut all_surgical = true;
+    for _ in 0..samples {
+        let (u, v) = loop {
+            let u = rng.gen_below(n);
+            let v = rng.gen_below(n);
+            if u != v && !comm.graph().has_edge(u, v) {
+                break (u, v);
+            }
+        };
+        for (add, rm) in [(vec![(u, v)], vec![]), (vec![], vec![(u, v)])] {
+            let t0 = Instant::now();
+            let rep = comm.mutate(&add, &rm).expect("mutate");
+            times.push(t0.elapsed().as_secs_f64());
+            all_surgical &= !rep.full_rebuild;
+        }
+    }
+
+    // Correctness of the final repaired plan: against the reference and
+    // against a from-scratch build over the same (restored) topology.
+    let payloads = test_payloads(n, 8, 0xB6);
+    let want = reference_allgather(comm.graph(), &payloads);
+    let live = comm.churn_plan().expect("mutate leaves a live plan");
+    let exact = Virtual.run_simple(live, comm.graph(), &payloads).expect("repaired run") == want
+        && {
+            let fresh = DistGraphComm::create_adjacent(comm.graph().clone(), layout)
+                .expect("layout fits")
+                .plan(Algorithm::DistanceHalving)
+                .expect("scratch plan");
+            Virtual.run_simple(&fresh, comm.graph(), &payloads).expect("scratch run") == want
+        };
+
+    rows.push(Row {
+        case: format!("n={n} d={delta}"),
+        n,
+        delta,
+        cold_build_s: cold,
+        repair_s: median(times),
+        all_surgical,
+        exact,
+    });
+}
+
+/// Runs the full grid. `quick` stops at n = 128 for CI smoke runs (the
+/// speedup gate applies from [`GATE_N`], so quick runs report numbers
+/// without gating on them).
+pub fn run(quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let ns: &[usize] = if quick { &[64, 128] } else { &[128, 256, 512] };
+    for &n in ns {
+        cell(n, 0.3, 3, &mut rows);
+    }
+    if !quick {
+        // density sweep at the gate size: sparse and dense repairs
+        cell(GATE_N, 0.1, 3, &mut rows);
+    }
+    rows
+}
+
+/// Evaluates the acceptance gates against a run's rows.
+pub fn gates(rows: &[Row]) -> GateReport {
+    let gate_cells: Vec<f64> = rows.iter().filter(|r| r.n >= GATE_N).map(Row::speedup).collect();
+    let min_gate_speedup = gate_cells.iter().copied().min_by(f64::total_cmp);
+    GateReport {
+        min_gate_speedup,
+        speedup_ok: gate_cells.iter().all(|&s| s >= GATE_SPEEDUP),
+        repair_exact_ok: rows.iter().all(|r| r.all_surgical && r.exact),
+    }
+}
+
+/// Renders the result as the `BENCH_6.json` document (pretty-printed,
+/// hand-rolled — the workspace builds offline, no serde).
+pub fn write_json(rows: &[Row], report: &GateReport, quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_6\",\n");
+    s.push_str("  \"description\": \"topology churn: single-edge plan repair vs cold rebuild\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"delta\": {}, \"cold_build_s\": {:.9}, \"repair_s\": {:.9}, \"speedup\": {:.2}, \"all_surgical\": {}, \"exact\": {}}}{}\n",
+            r.case,
+            r.n,
+            r.delta,
+            r.cold_build_s,
+            r.repair_s,
+            r.speedup(),
+            r.all_surgical,
+            r.exact,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"gates\": {\n");
+    match report.min_gate_speedup {
+        Some(m) => s.push_str(&format!("    \"min_gate_speedup\": {m:.2},\n")),
+        None => s.push_str("    \"min_gate_speedup\": null,\n"),
+    }
+    s.push_str(&format!("    \"speedup_ok\": {},\n", report.speedup_ok));
+    s.push_str(&format!("    \"repair_exact_ok\": {}\n", report.repair_exact_ok));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: usize, cold: f64, repair: f64, surgical: bool, exact: bool) -> Row {
+        Row {
+            case: format!("n={n} d=0.3"),
+            n,
+            delta: 0.3,
+            cold_build_s: cold,
+            repair_s: repair,
+            all_surgical: surgical,
+            exact,
+        }
+    }
+
+    #[test]
+    fn speedup_gate_applies_only_from_gate_n() {
+        // a slow small cell must not trip the gate; a slow gate cell must
+        let rows = vec![row(128, 1e-3, 1e-3, true, true), row(512, 1e-2, 1e-3, true, true)];
+        let g = gates(&rows);
+        assert!(g.speedup_ok, "{g:?}");
+        assert_eq!(g.min_gate_speedup.map(|s| s.round()), Some(10.0));
+
+        let rows = vec![row(512, 1e-2, 2e-3, true, true)];
+        assert!(!gates(&rows).speedup_ok, "5x at n=512 must fail the gate");
+
+        let rows = vec![row(128, 1.0, 1.0, true, true)];
+        let g = gates(&rows);
+        assert!(g.speedup_ok && g.min_gate_speedup.is_none(), "quick runs gate vacuously");
+    }
+
+    #[test]
+    fn exactness_gate_rejects_rebuilds_and_corruption() {
+        assert!(!gates(&[row(128, 1.0, 0.01, false, true)]).repair_exact_ok);
+        assert!(!gates(&[row(128, 1.0, 0.01, true, false)]).repair_exact_ok);
+        assert!(gates(&[row(128, 1.0, 0.01, true, true)]).repair_exact_ok);
+    }
+
+    #[test]
+    fn quick_run_repairs_surgically_and_exactly() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 2);
+        let report = gates(&rows);
+        assert!(report.repair_exact_ok, "{rows:?}");
+        assert!(report.speedup_ok, "no n>=512 cell in quick runs: {report:?}");
+        let json = write_json(&rows, &report, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"min_gate_speedup\""));
+    }
+}

@@ -1,0 +1,73 @@
+//! `bench6` — regenerate `BENCH_6.json`: topology churn, single-edge
+//! plan repair vs cold rebuild.
+//!
+//! ```text
+//! bench6 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_6.json` in the current directory. Two
+//! acceptance gates: every sampled repair is surgical and
+//! reference-exact, and at n ≥ 512 the median single-edge repair is
+//! ≥ 10× cheaper than the cold build. Exits nonzero when a gate fails.
+
+use nhood_bench::bench6;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench6 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_6: single-edge churn repair vs cold rebuild ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let rows = bench6::run(quick);
+    let report = bench6::gates(&rows);
+    let json = bench6::write_json(&rows, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_6.json");
+
+    eprintln!("   case              cold build      repair     speedup  surgical  exact");
+    for r in &rows {
+        eprintln!(
+            "   {:<14} {:>10.3} ms {:>8.3} ms {:>9.1}x  {:>8} {:>6}",
+            r.case,
+            r.cold_build_s * 1e3,
+            r.repair_s * 1e3,
+            r.speedup(),
+            r.all_surgical,
+            r.exact
+        );
+    }
+    match report.min_gate_speedup {
+        Some(m) => eprintln!(">> min speedup at n>={}: {:.1}x", bench6::GATE_N, m),
+        None => eprintln!(">> no n>={} cell (quick run): speedup gate vacuous", bench6::GATE_N),
+    }
+    eprintln!(">> wrote {}", out.display());
+
+    let mut failed = false;
+    if !report.repair_exact_ok {
+        eprintln!("!! a repair rebuilt or diverged from the reference");
+        failed = true;
+    }
+    if !report.speedup_ok {
+        eprintln!(
+            "!! single-edge repair under {}x cheaper than cold build at n>={}",
+            bench6::GATE_SPEEDUP,
+            bench6::GATE_N
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

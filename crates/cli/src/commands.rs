@@ -147,10 +147,7 @@ pub fn cmd_gen(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
             let r = args.get_parsed("r", 1usize)?;
             let d = args.get_parsed("d", 2usize)?;
             let spec = nhood_topology::MooreSpec { r, d };
-            if nhood_topology::moore::grid_dims(n, spec).is_none() {
-                return Err(fail(format!("n={n} has no {d}-D grid with sides > {}", 2 * r)));
-            }
-            nhood_topology::moore::moore(n, spec)
+            nhood_topology::moore::try_moore(n, spec).map_err(|e| fail(e.to_string()))?
         }
         "vonneumann" => {
             let n = args.require::<usize>("n")?;
@@ -625,6 +622,133 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `nhood churn <edge-list> [--events N] [--seed S] [--size BYTES]
+/// [--timeout MS] [layout flags]` — a topology-churn drill: cold-build
+/// the live plan, apply `N` seeded one-add-one-remove mutations
+/// through [`DistGraphComm::mutate`], verify every repaired plan
+/// against the reference, then kill a relay link mid-collective and
+/// demonstrate recovery by repair rather than naive fallback.
+pub fn cmd_churn(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    use nhood_core::fault::FaultPlan;
+    use nhood_core::RobustPolicy;
+    use nhood_topology::rng::hash_mix;
+    use std::time::{Duration, Instant};
+
+    let path = args.pos(1).ok_or_else(|| fail("churn: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let events = args.get_parsed("events", 5usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let m = parse_bytes(args.get("size").unwrap_or("32"))?;
+    let timeout = Duration::from_millis(args.get_parsed("timeout", 5000u64)?);
+
+    let mut comm = DistGraphComm::create_adjacent(graph.clone(), layout)
+        .map_err(|e| fail(e.to_string()))?
+        .with_policy(RobustPolicy {
+            recv_timeout: timeout,
+            negotiation_timeout: timeout,
+            ..RobustPolicy::default()
+        });
+
+    // Warm-up: the cold build every later mutation is measured against.
+    let t0 = Instant::now();
+    comm.mutate(&[], &[]).map_err(|e| fail(e.to_string()))?;
+    let cold = t0.elapsed();
+    writeln!(
+        w,
+        "churn: {} ranks, cold build {:.1} ms, {events} churn events",
+        comm.n(),
+        cold.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        w,
+        "{:>6} {:>6} {:>9} {:>8} {:>8} {:>10} {:>8}",
+        "event", "±edges", "path", "changed", "damage", "repair_us", "speedup"
+    )?;
+
+    let mut corrupt = 0usize;
+    let mut x = hash_mix(&[seed, 0x0c_48_52_4e]);
+    for e in 0..events {
+        // One seeded removal of an existing edge, one seeded addition of
+        // a non-edge — the single-link churn the repair engine targets.
+        let edges: Vec<(usize, usize)> = comm.graph().edges().collect();
+        let removed = vec![edges[x as usize % edges.len()]];
+        let added = loop {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 16) as usize % comm.n();
+            let v = (x >> 40) as usize % comm.n();
+            if u != v && !comm.graph().has_edge(u, v) {
+                break vec![(u, v)];
+            }
+        };
+        let t0 = Instant::now();
+        let rep = comm.mutate(&added, &removed).map_err(|e| fail(e.to_string()))?;
+        let dt = t0.elapsed();
+        let payloads = test_payloads(comm.n(), m, seed ^ e as u64);
+        let want = reference_allgather(comm.graph(), &payloads);
+        let live = comm.churn_plan().expect("mutate leaves a live plan");
+        let got =
+            Virtual.run_simple(live, comm.graph(), &payloads).map_err(|e| fail(e.to_string()))?;
+        if got != want {
+            corrupt += 1;
+        }
+        writeln!(
+            w,
+            "{:>6} {:>6} {:>9} {:>8} {:>8.3} {:>10.0} {:>7.1}x",
+            e,
+            format!("+{}-{}", rep.edges_added, rep.edges_removed),
+            if rep.full_rebuild { "rebuild" } else { "surgical" },
+            rep.changed_ranks,
+            rep.damage_frac,
+            dt.as_secs_f64() * 1e6,
+            cold.as_secs_f64() / dt.as_secs_f64().max(1e-9)
+        )?;
+    }
+    if corrupt > 0 {
+        return Err(fail(format!(
+            "{corrupt} mutated plan(s) diverged from the reference — repair correctness violated"
+        )));
+    }
+
+    // Link-down drill: kill a relay link (a plan send that is not a
+    // graph edge) mid-collective and require recovery by repair.
+    let plan = comm.churn_plan().expect("warm-up built the live plan").clone();
+    let link = plan.per_rank.iter().enumerate().find_map(|(r, prog)| {
+        prog.iter().enumerate().find_map(|(k, ph)| {
+            ph.sends
+                .iter()
+                .find(|msg| {
+                    !comm.graph().has_edge(r, msg.peer) && !comm.graph().has_edge(msg.peer, r)
+                })
+                .map(|msg| (r, msg.peer, k))
+        })
+    });
+    match link {
+        Some((src, dst, phase)) => {
+            let payloads = test_payloads(comm.n(), m, seed);
+            let want = reference_allgather(comm.graph(), &payloads);
+            let drilled = comm
+                .clone()
+                .with_fault_plan(FaultPlan::seeded(seed).with_link_down(src, dst, phase));
+            let (bufs, report) = drilled
+                .neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads)
+                .map_err(|e| fail(e.to_string()))?;
+            if bufs != want {
+                return Err(fail("link-down drill returned corrupted buffers"));
+            }
+            writeln!(w, "link-down drill: killed {src}->{dst} at phase {phase}: {report}")?;
+            if report.fallback.is_some() {
+                return Err(fail("link-down drill fell back instead of repairing"));
+            }
+            writeln!(w, "recovered by repair ({} repair(s)), output exact", report.repairs)?;
+        }
+        None => {
+            writeln!(w, "link-down drill: plan uses no relay links, nothing to kill")?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -650,6 +774,7 @@ mod tests {
             "load",
             "drops",
             "runs",
+            "events",
             "timeout",
             "backend",
             "format",
@@ -877,6 +1002,25 @@ mod tests {
     }
 
     #[test]
+    fn churn_repairs_and_survives_link_down() {
+        let path = tmp("nhood_cli_churn.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "32", "--delta", "0.3"]), &mut out).unwrap();
+        let mut out = Vec::new();
+        cmd_churn(
+            &args(&["churn", &path, "--events", "3", "--seed", "7", "--timeout", "5000"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("cold build"), "{text}");
+        // banner + header + 3 events + drill lines
+        assert!(text.lines().count() >= 6, "{text}");
+        assert!(text.contains("surgical") || text.contains("rebuild"), "{text}");
+        assert!(text.contains("recovered by repair") || text.contains("nothing to kill"), "{text}");
+    }
+
+    #[test]
     fn load_metric_and_ragged_flags() {
         let path = tmp("nhood_cli_ragged.el");
         let mut out = Vec::new();
@@ -942,6 +1086,12 @@ mod tests {
         let mut out = Vec::new();
         assert!(cmd_gen(&args(&["gen", "er", "/tmp/x.el", "--n", "8"]), &mut out).is_err()); // no delta
         assert!(cmd_gen(&args(&["gen", "bogus", "/tmp/x.el"]), &mut out).is_err());
+        // an impossible Moore grid reports typed instead of panicking
+        let bad = cmd_gen(
+            &args(&["gen", "moore", "/tmp/x.el", "--n", "2048", "--r", "22", "--d", "2"]),
+            &mut out,
+        );
+        assert!(bad.unwrap_err().0.contains("no 2-D grid"));
         assert!(cmd_plan(&args(&["plan", "/nonexistent.el"]), &mut out).is_err());
         // delta range check
         assert!(cmd_gen(

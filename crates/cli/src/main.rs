@@ -10,6 +10,7 @@
 //! nhood compare out.el --sizes 64,4K
 //! nhood validate out.el --algo dh
 //! nhood chaos out.el --algo dh --drops 0.01,0.05,0.1 --runs 5
+//! nhood churn out.el --events 5 --seed 42
 //! ```
 
 mod args;
@@ -37,6 +38,7 @@ const SPEC: Spec = Spec {
         "load",
         "drops",
         "runs",
+        "events",
         "timeout",
         "backend",
         "format",
@@ -68,6 +70,8 @@ commands:
   recommend <edge-list> [--size 4K] [layout flags]
   chaos <edge-list> [--algo ..] [--drops 0.01,0.05,0.1] [--runs 5] [--seed 42]
         [--size 32] [--timeout 5000] [layout flags]
+  churn <edge-list> [--events 5] [--seed 42] [--size 32] [--timeout 5000]
+        [layout flags]
 ";
 
 fn main() {
@@ -93,6 +97,7 @@ fn main() {
         "trace" => commands::cmd_trace(&parsed, &mut out),
         "recommend" => commands::cmd_recommend(&parsed, &mut out),
         "chaos" => commands::cmd_chaos(&parsed, &mut out),
+        "churn" => commands::cmd_churn(&parsed, &mut out),
         other => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

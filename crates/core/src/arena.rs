@@ -156,98 +156,113 @@ fn compress_runs(slots: impl IntoIterator<Item = u32>) -> Vec<SlotRun> {
     runs
 }
 
+/// Builds one rank's complete layout row. A rank's slot assignment is a
+/// pure function of its own program (sends resolve against its own slot
+/// table, receives only grow it), so rows are independently computable —
+/// which is what lets [`ArenaLayout::repair`] rebuild only the ranks a
+/// plan mutation touched.
+fn rank_layout(plan: &CollectivePlan, graph: &Topology, r: Rank) -> Result<RankLayout, ExecError> {
+    let phase_count = plan.phase_count();
+    let mut slot_of: HashMap<Rank, u32> = HashMap::from([(r, 0u32)]);
+    let mut rl = RankLayout {
+        slots: vec![r],
+        phases: Vec::with_capacity(phase_count),
+        recv_runs: HashMap::new(),
+        out_runs: Vec::new(),
+        out_blocks: 0,
+    };
+
+    for (k, phase) in plan.per_rank[r].iter().enumerate() {
+        // Sends first, against the pre-phase slot table, so a block
+        // arriving in phase k cannot be sourced in phase k.
+        let mut ops = Vec::with_capacity(phase.sends.len());
+        for msg in &phase.sends {
+            let mut src_slots = Vec::with_capacity(msg.blocks.len());
+            for &b in &msg.blocks {
+                let &s = slot_of.get(&b).ok_or(ExecError::MissingBlock {
+                    rank: r,
+                    block: b,
+                    phase: k,
+                })?;
+                src_slots.push(s);
+            }
+            ops.push(SendOp {
+                peer: msg.peer,
+                tag: msg.tag,
+                runs: compress_runs(src_slots),
+                blocks: msg.blocks.len() as u32,
+            });
+        }
+        // Then receives: first arrival appends a slot at the arena tail
+        // (re-deliveries reuse the existing slot — the bytes are
+        // identical, so overwriting is idempotent).
+        let mut recv_ops = Vec::with_capacity(phase.recvs.len());
+        for msg in &phase.recvs {
+            let mut dst_slots = Vec::with_capacity(msg.blocks.len());
+            for &b in &msg.blocks {
+                let next = rl.slots.len() as u32;
+                let s = *slot_of.entry(b).or_insert(next);
+                if s == next {
+                    rl.slots.push(b);
+                }
+                dst_slots.push(s);
+            }
+            let runs = compress_runs(dst_slots);
+            rl.recv_runs.insert((msg.peer, msg.tag), runs.clone());
+            recv_ops.push(RecvOp {
+                peer: msg.peer,
+                tag: msg.tag,
+                runs,
+                blocks: msg.blocks.len() as u32,
+            });
+        }
+        rl.phases.push(PhaseOps { sends: ops, recvs: recv_ops });
+    }
+
+    // Receive-buffer assembly runs, in in-neighbor order.
+    let ins = graph.in_neighbors(r);
+    let mut out_slots = Vec::with_capacity(ins.len());
+    for &b in ins {
+        let &s = slot_of.get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
+        out_slots.push(s);
+    }
+    rl.out_blocks = out_slots.len() as u32;
+    rl.out_runs = compress_runs(out_slots);
+    Ok(rl)
+}
+
 impl ArenaLayout {
     /// Builds the layout for `plan` on `graph`.
     ///
-    /// Walks phases in plan order, assigning fresh slots to blocks on
-    /// first arrival. Returns the same typed errors the executors would
-    /// hit at runtime: [`ExecError::MissingBlock`] for a send of a
-    /// never-held block and [`ExecError::Undelivered`] for an in-neighbor
-    /// whose block never arrives — so a corrupt plan fails at layout
-    /// time, before any bytes move.
+    /// Walks each rank's phases in plan order, assigning fresh slots to
+    /// blocks on first arrival. Returns the same typed errors the
+    /// executors would hit at runtime: [`ExecError::MissingBlock`] for a
+    /// send of a never-held block and [`ExecError::Undelivered`] for an
+    /// in-neighbor whose block never arrives — so a corrupt plan fails
+    /// at layout time, before any bytes move.
     pub fn for_plan(plan: &CollectivePlan, graph: &Topology) -> Result<Self, ExecError> {
-        let n = plan.n();
-        let phase_count = plan.phase_count();
-        let mut slot_of: Vec<HashMap<Rank, u32>> =
-            (0..n).map(|r| HashMap::from([(r, 0u32)])).collect();
-        let mut ranks: Vec<RankLayout> = (0..n)
-            .map(|r| RankLayout {
-                slots: vec![r],
-                phases: Vec::with_capacity(phase_count),
-                recv_runs: HashMap::new(),
-                out_runs: Vec::new(),
-                out_blocks: 0,
-            })
-            .collect();
+        let ranks =
+            (0..plan.n()).map(|r| rank_layout(plan, graph, r)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { ranks, phase_count: plan.phase_count() })
+    }
 
-        for k in 0..phase_count {
-            // Sends first, against pre-phase slot tables (all ranks), so
-            // a block arriving in phase k cannot be sourced in phase k.
-            let mut send_ops: Vec<Vec<SendOp>> = Vec::with_capacity(n);
-            for (r, slots) in slot_of.iter().enumerate() {
-                let phase = &plan.per_rank[r][k];
-                let mut ops = Vec::with_capacity(phase.sends.len());
-                for msg in &phase.sends {
-                    let mut src_slots = Vec::with_capacity(msg.blocks.len());
-                    for &b in &msg.blocks {
-                        let &s = slots.get(&b).ok_or(ExecError::MissingBlock {
-                            rank: r,
-                            block: b,
-                            phase: k,
-                        })?;
-                        src_slots.push(s);
-                    }
-                    ops.push(SendOp {
-                        peer: msg.peer,
-                        tag: msg.tag,
-                        runs: compress_runs(src_slots),
-                        blocks: msg.blocks.len() as u32,
-                    });
-                }
-                send_ops.push(ops);
-            }
-            // Then receives: first arrival appends a slot at the arena
-            // tail (re-deliveries reuse the existing slot — the bytes are
-            // identical, so overwriting is idempotent).
-            for (r, ops) in send_ops.into_iter().enumerate() {
-                let phase = &plan.per_rank[r][k];
-                let mut recv_ops = Vec::with_capacity(phase.recvs.len());
-                for msg in &phase.recvs {
-                    let mut dst_slots = Vec::with_capacity(msg.blocks.len());
-                    for &b in &msg.blocks {
-                        let next = ranks[r].slots.len() as u32;
-                        let s = *slot_of[r].entry(b).or_insert(next);
-                        if s == next {
-                            ranks[r].slots.push(b);
-                        }
-                        dst_slots.push(s);
-                    }
-                    let runs = compress_runs(dst_slots);
-                    ranks[r].recv_runs.insert((msg.peer, msg.tag), runs.clone());
-                    recv_ops.push(RecvOp {
-                        peer: msg.peer,
-                        tag: msg.tag,
-                        runs,
-                        blocks: msg.blocks.len() as u32,
-                    });
-                }
-                ranks[r].phases.push(PhaseOps { sends: ops, recvs: recv_ops });
-            }
+    /// Rebuilds only the rows in `changed_ranks` against a mutated plan,
+    /// leaving every other row untouched. Correct because a row is a
+    /// pure function of its own rank's program (`rank_layout`) — the
+    /// caller guarantees ranks outside the list have bitwise-equal
+    /// programs and unchanged in-neighbor lists.
+    pub fn repair(
+        &self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        changed_ranks: &[Rank],
+    ) -> Result<Self, ExecError> {
+        let mut out = self.clone();
+        out.phase_count = plan.phase_count();
+        for &r in changed_ranks {
+            out.ranks[r] = rank_layout(plan, graph, r)?;
         }
-
-        // Receive-buffer assembly runs, in in-neighbor order.
-        for (r, rl) in ranks.iter_mut().enumerate() {
-            let ins = graph.in_neighbors(r);
-            let mut out_slots = Vec::with_capacity(ins.len());
-            for &b in ins {
-                let &s = slot_of[r].get(&b).ok_or(ExecError::Undelivered { rank: r, block: b })?;
-                out_slots.push(s);
-            }
-            rl.out_blocks = out_slots.len() as u32;
-            rl.out_runs = compress_runs(out_slots);
-        }
-
-        Ok(Self { ranks, phase_count })
+        Ok(out)
     }
 
     /// Number of ranks.
@@ -356,6 +371,41 @@ impl BlockArena {
             self.key = Some(key);
         }
         Ok(Arc::clone(self.layout.as_ref().expect("layout just set")))
+    }
+
+    /// Like [`prepare`](Self::prepare), but after a plan mutation whose
+    /// blast radius is known: when a compatible layout is cached, only
+    /// the rows in `changed_ranks` are rebuilt (O(changed) instead of
+    /// O(n)). Falls back to a full build when nothing usable is cached
+    /// or the plan changed shape. The caller guarantees ranks outside
+    /// `changed_ranks` have bitwise-identical programs and in-neighbor
+    /// lists — [`DistGraphComm::mutate`](crate::comm::DistGraphComm::mutate)
+    /// gets this from the repair engine's changed-rank report.
+    pub fn repair(
+        &mut self,
+        plan: &CollectivePlan,
+        graph: &Topology,
+        changed_ranks: &[Rank],
+    ) -> Result<Arc<ArenaLayout>, ExecError> {
+        let key = PlanFingerprint::of_plan(plan, graph);
+        if self.key == Some(key) {
+            if let Some(layout) = &self.layout {
+                return Ok(Arc::clone(layout));
+            }
+        }
+        let patchable = self
+            .layout
+            .as_ref()
+            .is_some_and(|l| l.n() == plan.n() && l.phase_count == plan.phase_count());
+        let layout = if patchable {
+            let base = self.layout.as_ref().expect("patchable implies cached");
+            Arc::new(base.repair(plan, graph, changed_ranks)?)
+        } else {
+            Arc::new(ArenaLayout::for_plan(plan, graph)?)
+        };
+        self.layout = Some(Arc::clone(&layout));
+        self.key = Some(key);
+        Ok(layout)
     }
 
     /// Sizes the per-rank arena buffers for this execution's byte
@@ -562,6 +612,80 @@ mod tests {
         let uni = al.extents(&BlockSizes::Uniform(16));
         assert!(matches!(uni[0], SlotExtents::Uniform(16)));
         assert_eq!(uni[0].run_bytes((2, 3)), 48);
+    }
+
+    /// Structural equality for layouts (the op types don't derive
+    /// `PartialEq`, and `recv_runs` iteration order is unstable).
+    fn assert_layout_eq(a: &ArenaLayout, b: &ArenaLayout) {
+        assert_eq!(a.phase_count, b.phase_count);
+        assert_eq!(a.n(), b.n());
+        for (r, (x, y)) in a.ranks.iter().zip(&b.ranks).enumerate() {
+            assert_eq!(x.slots, y.slots, "rank {r} slots");
+            assert_eq!(x.out_runs, y.out_runs, "rank {r} out_runs");
+            assert_eq!(x.out_blocks, y.out_blocks, "rank {r} out_blocks");
+            assert_eq!(x.phases.len(), y.phases.len(), "rank {r} phases");
+            for (k, (px, py)) in x.phases.iter().zip(&y.phases).enumerate() {
+                let sx: Vec<_> =
+                    px.sends.iter().map(|s| (s.peer, s.tag, &s.runs, s.blocks)).collect();
+                let sy: Vec<_> =
+                    py.sends.iter().map(|s| (s.peer, s.tag, &s.runs, s.blocks)).collect();
+                assert_eq!(sx, sy, "rank {r} phase {k} sends");
+                let rx: Vec<_> =
+                    px.recvs.iter().map(|s| (s.peer, s.tag, &s.runs, s.blocks)).collect();
+                let ry: Vec<_> =
+                    py.recvs.iter().map(|s| (s.peer, s.tag, &s.runs, s.blocks)).collect();
+                assert_eq!(rx, ry, "rank {r} phase {k} recvs");
+            }
+            let mut mx: Vec<_> = x.recv_runs.iter().collect();
+            let mut my: Vec<_> = y.recv_runs.iter().collect();
+            mx.sort_by_key(|(k, _)| **k);
+            my.sort_by_key(|(k, _)| **k);
+            assert_eq!(mx, my, "rank {r} recv_runs");
+        }
+    }
+
+    #[test]
+    fn repair_matches_full_rebuild_after_churn() {
+        use crate::repair::repair_for_churn;
+        let g = erdos_renyi(48, 0.3, 17);
+        let layout = ClusterLayout::new(6, 2, 4);
+        let pat = build_pattern(&g, &layout).unwrap();
+        let plan = lower(&pat, &g);
+
+        let mut arena = BlockArena::new();
+        let before = arena.prepare(&plan, &g).unwrap();
+
+        // churn: drop one edge, add one non-edge
+        let gone = g.edges().next().unwrap();
+        let grown = (0..48)
+            .flat_map(|u| (0..48).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let g2 = Topology::from_edges(
+            48,
+            g.edges().filter(|&e| e != gone).chain(std::iter::once(grown)),
+        );
+        let rep = repair_for_churn(&pat, &plan, &g2, &[grown], &[gone]).unwrap();
+
+        let patched = arena.repair(&rep.plan, &g2, &rep.changed_ranks).unwrap();
+        assert!(!Arc::ptr_eq(&before, &patched), "churn must produce a new layout");
+        assert_layout_eq(&patched, &ArenaLayout::for_plan(&rep.plan, &g2).unwrap());
+
+        // same (plan, graph) again: the patched layout is now cached
+        let again = arena.repair(&rep.plan, &g2, &[]).unwrap();
+        assert!(Arc::ptr_eq(&patched, &again));
+        // and prepare() agrees it is current
+        let prep = arena.prepare(&rep.plan, &g2).unwrap();
+        assert!(Arc::ptr_eq(&patched, &prep));
+    }
+
+    #[test]
+    fn repair_without_cached_layout_falls_back_to_full_build() {
+        let g = erdos_renyi(12, 0.4, 4);
+        let plan = plan_naive(&g);
+        let mut arena = BlockArena::new();
+        let l = arena.repair(&plan, &g, &[0, 1]).unwrap();
+        assert_layout_eq(&l, &ArenaLayout::for_plan(&plan, &g).unwrap());
     }
 
     #[test]

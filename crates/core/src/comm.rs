@@ -22,17 +22,20 @@ use crate::distributed_builder::build_pattern_distributed_pooled_v;
 use crate::exec::sim_exec::{simulate, SimCost};
 use crate::exec::threaded::DEFAULT_TIMEOUT;
 use crate::exec::{ExecError, ExecOptions, Executor, Threaded, Virtual};
-use crate::fault::{FaultCounts, FaultPlan};
+use crate::fault::{FaultCounts, FaultPlan, FaultStats};
 use crate::lower::lower_pooled;
 use crate::naive::plan_naive;
+use crate::pattern::DhPattern;
 use crate::plan::{Algorithm, CollectivePlan, PlanValidationError};
 use crate::plan_cache::{PlanCache, PlanFingerprint};
 use crate::pool::WorkerPool;
+use crate::repair::{repair_for_churn, repair_link_down, Completeness, RepairPolicy};
 use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
 use nhood_simnet::{SimError, SimReport};
-use nhood_telemetry::{Counts, Recorder, NULL};
-use nhood_topology::Topology;
+use nhood_telemetry::{labels, Counts, Recorder, NULL};
+use nhood_topology::{Rank, Topology};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,8 +100,9 @@ impl From<SimError> for CommError {
 }
 
 /// Robustness knobs of a communicator: timeouts, the retry policy of the
-/// threaded transport, and whether failures degrade to the naive plan.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// threaded transport, link-down self-healing, and whether failures
+/// degrade to the naive plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RobustPolicy {
     /// Per-receive timeout of the threaded executor (previously the
     /// hard-coded `DEFAULT_TIMEOUT`).
@@ -115,6 +119,14 @@ pub struct RobustPolicy {
     /// Degrade to the naive plan when Distance Halving pattern
     /// construction or execution fails, instead of returning the error.
     pub fallback_to_naive: bool,
+    /// When a link dies mid-execution, repair the plan around it
+    /// ([`crate::repair::repair_link_down`]) and re-execute, instead of
+    /// immediately degrading to naive (which would cross the same dead
+    /// link anyway whenever it is a graph edge).
+    pub repair_link_down: bool,
+    /// Blast-radius bounds for incremental repairs — both mid-run
+    /// link-down recovery and [`DistGraphComm::mutate`].
+    pub repair: RepairPolicy,
 }
 
 impl Default for RobustPolicy {
@@ -126,6 +138,8 @@ impl Default for RobustPolicy {
             max_retries: 4,
             backoff_base: Duration::from_micros(200),
             fallback_to_naive: true,
+            repair_link_down: true,
+            repair: RepairPolicy::default(),
         }
     }
 }
@@ -157,19 +171,32 @@ pub struct ExecReport {
     pub used: Algorithm,
     /// `Some` iff the run degraded from `requested` to `used`.
     pub fallback: Option<FallbackReason>,
-    /// Faults injected and retries spent (summed over a fallback re-run).
+    /// Faults injected and retries spent, across **every** attempt this
+    /// call made — the failed primary run, repaired re-executions and
+    /// the naive fallback all tally into one shared sink.
     pub faults: FaultCounts,
     /// Telemetry counter totals, when the run was given a counting
     /// recorder (see
     /// [`DistGraphComm::neighbor_allgather_robust_recorded`]); `None`
     /// otherwise.
     pub counters: Option<Counts>,
+    /// Mid-execution link-down repairs performed before the buffers were
+    /// produced (0 on the happy path).
+    pub repairs: u32,
+    /// Ranks that did not receive every in-neighbor block the virtual
+    /// topology promises (targets of dropped deliveries), ascending.
+    /// Empty unless `completeness` is degraded.
+    pub degraded_ranks: Vec<Rank>,
+    /// Whether the returned buffers honor the full virtual topology or a
+    /// quorum-degraded subset of it.
+    pub completeness: Completeness,
 }
 
 impl ExecReport {
-    /// `true` if the requested algorithm completed without degradation.
+    /// `true` if the requested algorithm completed without degradation:
+    /// no fallback, no mid-run repairs, every delivery served.
     pub fn clean(&self) -> bool {
-        self.fallback.is_none()
+        self.fallback.is_none() && self.repairs == 0 && self.completeness.is_full()
     }
 }
 
@@ -181,11 +208,52 @@ impl std::fmt::Display for ExecReport {
                 write!(f, "{} -> {} fallback: {r} ({})", self.requested, self.used, self.faults)?
             }
         }
+        if self.repairs > 0 {
+            write!(f, " [{} repairs]", self.repairs)?;
+        }
+        if let Completeness::Degraded { missing } = &self.completeness {
+            write!(f, " [degraded: {} deliveries dropped]", missing.len())?;
+        }
         if let Some(c) = &self.counters {
             write!(f, " [{c}]")?;
         }
         Ok(())
     }
+}
+
+/// What [`DistGraphComm::mutate`] did to absorb a topology change.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// Edges actually added (after dropping no-ops the graph already had).
+    pub edges_added: usize,
+    /// Edges actually removed (after dropping edges the graph lacked).
+    pub edges_removed: usize,
+    /// `true` when the change was absorbed by a full pattern rebuild
+    /// (cold slot, damage over threshold, or repair-round budget spent);
+    /// `false` when the surgical repair path handled it.
+    pub full_rebuild: bool,
+    /// Ranks whose plan rows changed (= `n` for a full rebuild).
+    pub changed_ranks: usize,
+    /// `changed_ranks / n`.
+    pub damage_frac: f64,
+    /// Successive surgical repairs absorbed by the active plan since its
+    /// last full build (resets to 0 on rebuild).
+    pub repairs: u32,
+}
+
+/// The communicator's churn state: the live Distance Halving pattern and
+/// plan that [`DistGraphComm::mutate`] patches in place, with the
+/// fingerprint its cache entry lives under.
+#[derive(Clone, Debug)]
+struct ChurnSlot {
+    pattern: Arc<DhPattern>,
+    plan: Arc<CollectivePlan>,
+    /// Cache key of `plan` (`None` when no cache is attached).
+    fp: Option<PlanFingerprint>,
+    /// Surgical repairs since the last full build.
+    repairs: u32,
+    /// Size table the pattern was negotiated against.
+    sizes: BlockSizes,
 }
 
 /// A communicator with an attached virtual topology and cluster layout.
@@ -203,6 +271,7 @@ pub struct DistGraphComm {
     build_pool: WorkerPool,
     metric: LoadMetric,
     sizes: Option<BlockSizes>,
+    churn: Option<ChurnSlot>,
 }
 
 impl DistGraphComm {
@@ -224,6 +293,7 @@ impl DistGraphComm {
             build_pool: WorkerPool::serial(),
             metric: LoadMetric::default(),
             sizes: None,
+            churn: None,
         })
     }
 
@@ -328,6 +398,143 @@ impl DistGraphComm {
         self.graph.n()
     }
 
+    /// The live Distance Halving plan maintained across
+    /// [`mutate`](Self::mutate) calls, if one has been built.
+    pub fn churn_plan(&self) -> Option<&Arc<CollectivePlan>> {
+        self.churn.as_ref().map(|s| &s.plan)
+    }
+
+    /// Absorbs a topology change — `edges_added` joins the neighborhood,
+    /// `edges_removed` leaves it — by **repairing** the communicator's
+    /// live Distance Halving plan instead of rebuilding it.
+    ///
+    /// The first call (or any call whose damage exceeds
+    /// [`RepairPolicy::max_damage_frac`], or arriving after
+    /// [`RepairPolicy::max_repair_rounds`] successive repairs) performs a
+    /// full build on the new topology and validates it. Every other call
+    /// runs [`crate::repair::repair_for_churn`]: all agent matchings are
+    /// preserved and only the responsibility rows, final-phase messages
+    /// and copy counts the changed edges touch are patched — the result
+    /// is byte-identical to a decision-preserving rebuild (a property
+    /// the repair engine pins with tests), so the surgical path skips
+    /// re-validation and costs O(clone + changed) instead of a build.
+    ///
+    /// An attached [`PlanCache`] is kept coherent: the old entry is
+    /// retired from both tiers and the patched plan is inserted under
+    /// [`PlanFingerprint::mutated`], whose XOR delta makes an
+    /// add-then-remove round trip land back on the original key.
+    ///
+    /// Edges the graph already has (for adds), lacks (for removes) and
+    /// self-loops are ignored; `mutate(&[], &[])` is a warm-up that just
+    /// (re)builds the slot. Subsequent collectives on this communicator
+    /// plan against the mutated topology automatically.
+    pub fn mutate(
+        &mut self,
+        edges_added: &[(Rank, Rank)],
+        edges_removed: &[(Rank, Rank)],
+    ) -> Result<MutationReport, CommError> {
+        let mut added: Vec<(Rank, Rank)> = edges_added
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != v && u < self.n() && v < self.n() && !self.graph.has_edge(u, v))
+            .collect();
+        added.sort_unstable();
+        added.dedup();
+        let mut removed: Vec<(Rank, Rank)> =
+            edges_removed.iter().copied().filter(|&(u, v)| self.graph.has_edge(u, v)).collect();
+        removed.sort_unstable();
+        removed.dedup();
+
+        let gone: HashSet<(Rank, Rank)> = removed.iter().copied().collect();
+        let new_graph = Topology::from_edges(
+            self.n(),
+            self.graph.edges().filter(|e| !gone.contains(e)).chain(added.iter().copied()),
+        );
+        let sizes = self.planning_sizes();
+        let n = self.n();
+
+        // Surgical attempt against the live slot, bounded by policy.
+        let surgical = self.churn.as_ref().and_then(|slot| {
+            if slot.repairs >= self.policy.repair.max_repair_rounds || slot.sizes != sizes {
+                return None;
+            }
+            repair_for_churn(&slot.pattern, &slot.plan, &new_graph, &added, &removed)
+                .ok()
+                .filter(|rep| rep.damage_frac <= self.policy.repair.max_damage_frac)
+        });
+
+        let report = match surgical {
+            Some(rep) => {
+                let churned: Vec<(Rank, Rank)> =
+                    added.iter().chain(removed.iter()).copied().collect();
+                let slot = self.churn.as_mut().expect("surgical repair implies a live slot");
+                let new_fp = slot.fp.map(|fp| fp.mutated(&churned));
+                let plan = Arc::new(rep.plan);
+                if let Some(cache) = &self.cache {
+                    if let Some(old) = slot.fp {
+                        cache.retire(old);
+                    }
+                    if let Some(fp) = new_fp {
+                        cache.insert(fp, Arc::clone(&plan));
+                    }
+                }
+                let report = MutationReport {
+                    edges_added: added.len(),
+                    edges_removed: removed.len(),
+                    full_rebuild: false,
+                    changed_ranks: rep.changed_ranks.len(),
+                    damage_frac: rep.damage_frac,
+                    repairs: slot.repairs + 1,
+                };
+                slot.pattern = Arc::new(rep.pattern);
+                slot.plan = plan;
+                slot.fp = new_fp;
+                slot.repairs += 1;
+                report
+            }
+            None => {
+                let pattern = crate::builder::build_pattern_recorded_v(
+                    &new_graph,
+                    &self.layout,
+                    PairingStrategy::LoadAware,
+                    &sizes,
+                    self.metric,
+                    &self.build_pool,
+                    &NULL,
+                )?;
+                let plan = lower_pooled(&pattern, &new_graph, &self.build_pool);
+                plan.validate(&new_graph).map_err(CommError::InvalidPlan)?;
+                let plan = Arc::new(plan);
+                let fp = self.cache.as_ref().map(|cache| {
+                    if let Some(old) = self.churn.as_ref().and_then(|s| s.fp) {
+                        cache.retire(old);
+                    }
+                    let fp = PlanFingerprint::of_build_v(
+                        &new_graph,
+                        &self.layout,
+                        Algorithm::DistanceHalving,
+                        &sizes,
+                        self.metric,
+                    );
+                    cache.insert(fp, Arc::clone(&plan));
+                    fp
+                });
+                self.churn =
+                    Some(ChurnSlot { pattern: Arc::new(pattern), plan, fp, repairs: 0, sizes });
+                MutationReport {
+                    edges_added: added.len(),
+                    edges_removed: removed.len(),
+                    full_rebuild: true,
+                    changed_ranks: n,
+                    damage_frac: 1.0,
+                    repairs: 0,
+                }
+            }
+        };
+        self.graph = new_graph;
+        Ok(report)
+    }
+
     /// Builds (and validates) the data-movement plan for an algorithm.
     /// Construction runs on the communicator's build pool
     /// ([`Self::with_build_threads`]); the plan cache is **not**
@@ -400,6 +607,17 @@ impl DistGraphComm {
         sizes: &BlockSizes,
         rec: &dyn Recorder,
     ) -> Result<Arc<CollectivePlan>, CommError> {
+        // A live churn slot holds THE current Distance Halving plan for
+        // this communicator's (possibly mutated) topology — serve it
+        // without touching the cache or rebuilding.
+        if algo == Algorithm::DistanceHalving {
+            if let Some(slot) = &self.churn {
+                if slot.sizes == *sizes {
+                    rec.plan_cache(0, true);
+                    return Ok(Arc::clone(&slot.plan));
+                }
+            }
+        }
         let Some(cache) = &self.cache else {
             return Ok(Arc::new(self.build_plan_recorded(algo, sizes, rec)?));
         };
@@ -511,8 +729,27 @@ impl DistGraphComm {
         algo: Algorithm,
         rec: &dyn Recorder,
     ) -> Result<CollectivePlan, CommError> {
+        self.robust_plan_with_pattern(algo, rec).map(|(plan, _)| plan)
+    }
+
+    /// The planning path of the robust collective, keeping the built
+    /// [`DhPattern`] alive alongside the plan — mid-execution link-down
+    /// repair needs the pattern's decisions, not just the lowered
+    /// messages. Non-DH algorithms have no pattern.
+    fn robust_plan_with_pattern(
+        &self,
+        algo: Algorithm,
+        rec: &dyn Recorder,
+    ) -> Result<(CollectivePlan, Option<DhPattern>), CommError> {
         match algo {
             Algorithm::DistanceHalving => {
+                // A live churn slot IS the current plan — no negotiation.
+                if let Some(slot) = &self.churn {
+                    if slot.sizes == self.planning_sizes() {
+                        rec.plan_cache(0, true);
+                        return Ok(((*slot.plan).clone(), Some((*slot.pattern).clone())));
+                    }
+                }
                 let pattern = build_pattern_distributed_pooled_v(
                     &self.graph,
                     &self.layout,
@@ -525,9 +762,9 @@ impl DistGraphComm {
                 )?;
                 let plan = lower_pooled(&pattern, &self.graph, &self.build_pool);
                 plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
-                Ok(plan)
+                Ok((plan, Some(pattern)))
             }
-            _ => self.plan(algo),
+            _ => Ok((self.plan(algo)?, None)),
         }
     }
 
@@ -570,8 +807,15 @@ impl DistGraphComm {
             fallback: None,
             faults: FaultCounts::default(),
             counters: None,
+            repairs: 0,
+            degraded_ranks: Vec::new(),
+            completeness: Completeness::Full,
         };
-        let plan = match self.robust_plan_recorded(algo, rec) {
+        // One shared sink tallies every attempt — the failed primary,
+        // repaired re-executions and the naive fallback — so the final
+        // report never under-counts the faults a failed run absorbed.
+        let sink = FaultStats::default();
+        let planned = match self.robust_plan_with_pattern(algo, rec) {
             Ok(p) => Some(p),
             Err(e) => {
                 if self.policy.fallback_to_naive && algo != Algorithm::Naive {
@@ -584,36 +828,106 @@ impl DistGraphComm {
                 }
             }
         };
+        // Ragged (`allgatherv`-shaped) payloads flow through the same
+        // robust machinery: the executors derive per-rank extents from
+        // the payloads themselves, so detecting raggedness here is all
+        // the plumbing the degraded paths need.
+        let first_len = payloads.first().map_or(0, Vec::len);
+        let ragged = payloads.iter().any(|p| p.len() != first_len);
         let mut opts = ExecOptions::new()
+            .ragged(ragged)
             .recv_timeout(self.policy.recv_timeout)
             .phase_deadline(self.policy.phase_deadline)
             .retries(self.policy.max_retries, self.policy.backoff_base)
-            .recorder(rec);
+            .recorder(rec)
+            .fault_sink(&sink);
         if let Some(fp) = self.fault.as_ref() {
             opts = opts.fault(fp);
         }
         let mut arena = BlockArena::new();
-        if let Some(plan) = plan {
-            match Threaded.run(&plan, &self.graph, payloads, &mut arena, &opts) {
-                Ok(run) => {
-                    report.faults = run.faults;
-                    report.counters = rec.counts();
-                    return Ok((run.rbufs, report));
-                }
-                Err(e) => {
-                    if !(self.policy.fallback_to_naive && report.used != Algorithm::Naive) {
-                        return Err(e.into());
+        if let Some((mut plan, mut pattern)) = planned {
+            // Execute, self-healing around dead links: a LinkDown error
+            // marks the edge dead, the plan is repaired to route around
+            // it, and execution restarts — up to the policy's repair
+            // budget. Only unrepairable failures fall through to naive.
+            let mut exec_graph = self.graph.clone();
+            let mut dead: HashSet<(Rank, Rank)> = HashSet::new();
+            let err = loop {
+                let err = match Threaded.run(&plan, &exec_graph, payloads, &mut arena, &opts) {
+                    Ok(run) => {
+                        report.faults = run.faults;
+                        report.counters = rec.counts();
+                        return Ok((run.rbufs, report));
                     }
-                    rec.fallback(0);
-                    report.fallback = Some(FallbackReason::ExecFailed(e.to_string()));
-                    report.used = Algorithm::Naive;
+                    Err(e) => e,
+                };
+                let repairable = matches!(err, ExecError::LinkDown { .. })
+                    && self.policy.repair_link_down
+                    && pattern.is_some()
+                    && report.repairs < self.policy.repair.max_repair_rounds;
+                if !repairable {
+                    break err;
                 }
+                let ExecError::LinkDown { src, dst, .. } = err else { unreachable!() };
+                dead.insert((src, dst));
+                dead.insert((dst, src));
+                rec.span_begin(0, labels::REPAIR);
+                let base = pattern.as_ref().expect("repairable implies pattern");
+                // Repair around the full dead set; past the damage
+                // threshold, rebuild the matchings from scratch first —
+                // fresh negotiation avoids the dead links where it can,
+                // and the reroute pass covers what it cannot.
+                let repaired = repair_link_down(base, &plan, &self.graph, &dead)
+                    .ok()
+                    .filter(|r| r.damage_frac <= self.policy.repair.max_damage_frac)
+                    .or_else(|| {
+                        build_pattern_pooled(
+                            &self.graph,
+                            &self.layout,
+                            PairingStrategy::LoadAware,
+                            &self.build_pool,
+                        )
+                        .ok()
+                        .and_then(|fresh| repair_link_down(&fresh, &plan, &self.graph, &dead).ok())
+                    });
+                rec.span_end(0, labels::REPAIR);
+                let Some(rep) = repaired else { break err };
+                rec.repair(0);
+                report.repairs += 1;
+                report.degraded_ranks = match &rep.completeness {
+                    Completeness::Full => Vec::new(),
+                    Completeness::Degraded { missing } => {
+                        let mut targets: Vec<Rank> = missing.iter().map(|&(_, t)| t).collect();
+                        targets.sort_unstable();
+                        targets.dedup();
+                        targets
+                    }
+                };
+                report.completeness = rep.completeness;
+                // Patch only the arena rows the repair touched; a failed
+                // patch just leaves the run to rebuild the layout itself.
+                let _ = arena.repair(&rep.plan, &rep.exec_graph, &rep.changed_ranks);
+                exec_graph = rep.exec_graph;
+                plan = rep.plan;
+                pattern = Some(rep.pattern);
+            };
+            if !(self.policy.fallback_to_naive && report.used != Algorithm::Naive) {
+                return Err(err.into());
             }
+            rec.fallback(0);
+            report.fallback = Some(FallbackReason::ExecFailed(err.to_string()));
+            report.used = Algorithm::Naive;
+            // Naive routes directly over graph edges: a degraded repair's
+            // dropped deliveries don't apply to it.
+            report.degraded_ranks = Vec::new();
+            report.completeness = Completeness::Full;
         }
-        // degraded path: the naive plan under the same faults and policy
+        // degraded path: the naive plan under the same faults and policy.
+        // The shared sink already accumulated the failed attempts'
+        // tallies, so the outcome's snapshot is the complete count.
         let naive = self.plan(Algorithm::Naive)?;
         let run = Threaded.run(&naive, &self.graph, payloads, &mut arena, &opts)?;
-        report.faults = report.faults.merged(&run.faults);
+        report.faults = run.faults;
         report.counters = rec.counts();
         Ok((run.rbufs, report))
     }
@@ -798,6 +1112,165 @@ mod tests {
         assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
         assert_eq!(report.used, Algorithm::Naive);
         assert!(matches!(report.fallback, Some(FallbackReason::BuildFailed(_))), "{report}");
+    }
+
+    type EdgeSet = Vec<(usize, usize)>;
+
+    /// Picks churn sets for a graph: `k` present edges and `k` absent
+    /// pairs, deterministically.
+    fn churn_sets(g: &Topology, k: usize, seed: u64) -> (EdgeSet, EdgeSet) {
+        let edges: Vec<_> = g.edges().collect();
+        let removed: Vec<_> =
+            (0..k).map(|i| edges[(seed as usize + i * 101) % edges.len()]).collect();
+        let mut added = Vec::new();
+        let mut x = seed | 1;
+        while added.len() < k {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 16) as usize % g.n();
+            let v = (x >> 40) as usize % g.n();
+            if u != v && !g.has_edge(u, v) && !added.contains(&(u, v)) {
+                added.push((u, v));
+            }
+        }
+        (added, removed)
+    }
+
+    #[test]
+    fn mutate_cold_builds_then_repairs_surgically() {
+        let mut c = comm(32, 0.3);
+        let payloads = test_payloads(32, 8, 3);
+        // warm-up: cold slot → full build
+        let warm = c.mutate(&[], &[]).unwrap();
+        assert!(warm.full_rebuild);
+        assert_eq!(warm.repairs, 0);
+
+        let (added, removed) = churn_sets(c.graph(), 2, 5);
+        let rep = c.mutate(&added, &removed).unwrap();
+        assert!(!rep.full_rebuild, "small churn must take the surgical path");
+        assert_eq!(rep.edges_added, 2);
+        assert_eq!(rep.edges_removed, 2);
+        assert!(rep.repairs == 1 && rep.damage_frac < 1.0);
+
+        // the mutated communicator serves correct allgathers on the NEW topology
+        let got = c.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(got, reference_allgather(c.graph(), &payloads));
+
+        // reference-output equality vs a from-scratch communicator on the same graph
+        let fresh = DistGraphComm::create_adjacent(c.graph().clone(), c.layout().clone()).unwrap();
+        let want = fresh.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mutate_keeps_the_plan_cache_coherent() {
+        let cache = Arc::new(PlanCache::new(8));
+        let graph = erdos_renyi(32, 0.3, 21);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let mut c = DistGraphComm::create_adjacent(graph, layout)
+            .unwrap()
+            .with_plan_cache(Arc::clone(&cache));
+        c.mutate(&[], &[]).unwrap();
+        assert_eq!(cache.len(), 1, "warm-up inserts under the canonical key");
+
+        let (added, _) = churn_sets(c.graph(), 2, 9);
+        c.mutate(&added, &[]).unwrap();
+        assert_eq!(cache.len(), 1, "old entry retired, mutated entry inserted");
+        // removing the same edges restores the canonical fingerprint:
+        // the slot's key equals a cold build request for the original graph
+        let original = erdos_renyi(32, 0.3, 21);
+        c.mutate(&[], &added).unwrap();
+        let canonical = PlanFingerprint::of_build_v(
+            &original,
+            c.layout(),
+            Algorithm::DistanceHalving,
+            &BlockSizes::default(),
+            LoadMetric::default(),
+        );
+        assert!(
+            cache.lookup(canonical, &original).is_some(),
+            "add/remove round trip must land back on the original cache key"
+        );
+    }
+
+    #[test]
+    fn mutate_over_damage_threshold_rebuilds() {
+        let mut c = comm(32, 0.5);
+        c.mutate(&[], &[]).unwrap();
+        // churn a third of all edges: far past the default 25% damage cap
+        let edges: Vec<_> = c.graph().edges().collect();
+        let removed: Vec<_> = edges.iter().copied().step_by(3).collect();
+        let rep = c.mutate(&[], &removed).unwrap();
+        assert!(rep.full_rebuild, "mass churn must fall back to a full rebuild");
+        assert_eq!(rep.repairs, 0);
+        let payloads = test_payloads(32, 8, 4);
+        let got = c.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(got, reference_allgather(c.graph(), &payloads));
+    }
+
+    /// Finds a (src, dst) pair the DH plan sends over but the graph has
+    /// no edge between (either direction) — a pure relay link, invisible
+    /// to the naive plan.
+    fn dh_only_link(plan: &CollectivePlan, g: &Topology) -> Option<(usize, usize, usize)> {
+        for (r, prog) in plan.per_rank.iter().enumerate() {
+            for (k, ph) in prog.iter().enumerate() {
+                for m in &ph.sends {
+                    if !g.has_edge(r, m.peer) && !g.has_edge(m.peer, r) {
+                        return Some((r, m.peer, k));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn failed_primary_faults_survive_into_the_fallback_report() {
+        // Regression (satellite 3): a LinkDown that kills the DH run must
+        // still be counted in the final report after the naive fallback
+        // succeeds — the old code threw away the failed attempt's tally.
+        let c = comm(32, 0.3);
+        let plan = c.robust_plan(Algorithm::DistanceHalving).unwrap();
+        let (src, dst, phase) =
+            dh_only_link(&plan, c.graph()).expect("DH at δ=0.3 uses relay links");
+        let c = c
+            .with_policy(RobustPolicy {
+                repair_link_down: false, // force the naive fallback path
+                ..RobustPolicy::default()
+            })
+            .with_fault_plan(crate::fault::FaultPlan::seeded(7).with_link_down(src, dst, phase));
+        let payloads = test_payloads(32, 8, 6);
+        let (bufs, report) =
+            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
+        assert_eq!(report.used, Algorithm::Naive, "{report}");
+        assert!(matches!(report.fallback, Some(FallbackReason::ExecFailed(_))), "{report}");
+        assert!(
+            report.faults.link_downs >= 1,
+            "failed primary's link_downs lost from the report: {report}"
+        );
+    }
+
+    #[test]
+    fn link_down_mid_run_repairs_without_fallback() {
+        let c = comm(64, 0.4);
+        let plan = c.robust_plan(Algorithm::DistanceHalving).unwrap();
+        let (src, dst, phase) =
+            dh_only_link(&plan, c.graph()).expect("DH at δ=0.4 uses relay links");
+        let c =
+            c.with_fault_plan(crate::fault::FaultPlan::seeded(13).with_link_down(src, dst, phase));
+        let payloads = test_payloads(64, 8, 9);
+        let (bufs, report) =
+            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        assert_eq!(report.used, Algorithm::DistanceHalving, "{report}");
+        assert!(report.fallback.is_none(), "repair must obviate the naive fallback: {report}");
+        assert!(report.repairs >= 1, "{report}");
+        assert!(report.faults.link_downs >= 1, "{report}");
+        assert!(!report.clean(), "a repaired run is not clean");
+        // the dead link is NOT a graph edge, so no delivery is lost:
+        // buffers must be complete and exact
+        assert!(report.completeness.is_full(), "{report}");
+        assert!(report.degraded_ranks.is_empty());
+        assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
     }
 
     #[test]

@@ -451,6 +451,11 @@ impl<'a> Round<'a> {
                     let _ = self.senders[to].send(sig);
                     return;
                 }
+                FaultAction::LinkDown => {
+                    // a severed link never heals within a round: the signal
+                    // is lost outright and the peer's timeout reports it
+                    return;
+                }
                 FaultAction::Drop => {
                     if attempt >= SIGNAL_MAX_RETRIES {
                         return; // lost for good; the peer's timeout reports it

@@ -19,7 +19,7 @@ pub mod threaded;
 pub mod virtual_exec;
 
 use crate::arena::BlockArena;
-use crate::fault::{FaultCounts, FaultPlan};
+use crate::fault::{FaultCounts, FaultPlan, FaultStats};
 use crate::plan::{Algorithm, CollectivePlan};
 use nhood_simnet::SimReport;
 use nhood_telemetry::{Recorder, NULL};
@@ -101,6 +101,12 @@ pub struct ExecOptions<'a> {
     /// collective's `init_with` path. `0` inherits the communicator's
     /// build pool; executors themselves never build plans.
     pub build_threads: usize,
+    /// External fault-tally sink. When set, the threaded backend counts
+    /// into this shared [`FaultStats`] instead of a run-local one, so
+    /// the faults a *failed* run injected survive the `Err` (an
+    /// [`ExecError`] carries no counters) and can be merged into the
+    /// caller's report — the robust fallback path relies on this.
+    pub fault_sink: Option<&'a FaultStats>,
 }
 
 impl std::fmt::Debug for ExecOptions<'_> {
@@ -130,6 +136,7 @@ impl Default for ExecOptions<'_> {
             ragged: false,
             engine: ExecEngine::Arena,
             build_threads: 0,
+            fault_sink: None,
         }
     }
 }
@@ -187,6 +194,13 @@ impl<'a> ExecOptions<'a> {
     /// communicator's build pool).
     pub fn build_threads(mut self, threads: usize) -> Self {
         self.build_threads = threads;
+        self
+    }
+
+    /// Routes fault tallies into an external [`FaultStats`], preserving
+    /// them across a failed run.
+    pub fn fault_sink(mut self, sink: &'a FaultStats) -> Self {
+        self.fault_sink = Some(sink);
         self
     }
 
@@ -321,6 +335,18 @@ pub enum ExecError {
         /// The simulator's error text.
         msg: String,
     },
+    /// A send hit a dead link (see
+    /// [`crate::fault::FaultPlan::with_link_down`]). Unretryable at the
+    /// transport level: the caller must repair the plan around the edge
+    /// (or fall back) and re-execute.
+    LinkDown {
+        /// Sending rank of the refused message.
+        src: Rank,
+        /// Receiving rank of the refused message.
+        dst: Rank,
+        /// Phase in which the send was attempted.
+        phase: usize,
+    },
 }
 
 impl ExecError {
@@ -366,6 +392,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "rank {rank} crashed at entry to phase {phase}")
             }
             ExecError::SimFailed { msg } => write!(f, "simulation failed: {msg}"),
+            ExecError::LinkDown { src, dst, phase } => {
+                write!(f, "link {src} -> {dst} is down (send refused in phase {phase})")
+            }
         }
     }
 }

@@ -253,6 +253,7 @@ impl<'a> ThreadedConfig<'a> {
             ragged: false,
             engine: ExecEngine::PerBlock,
             build_threads: 0,
+            fault_sink: None,
         }
     }
 }
@@ -389,49 +390,52 @@ pub fn run_threaded_cfg_v(
     Ok(ThreadedReport { rbufs, faults })
 }
 
-/// Sends `wire` to `dst`, consulting the fault plan per attempt. A
-/// dropped attempt is retried after bounded exponential backoff until
-/// the budget runs out; then the message is abandoned (the receiver's
-/// timeout surfaces the loss as a typed error).
+/// Sends `wire` to `dst` during `phase`, consulting the fault plan per
+/// attempt. A dropped attempt is retried after bounded exponential
+/// backoff until the budget runs out; then the message is abandoned (the
+/// receiver's timeout surfaces the loss as a typed error). A dead link
+/// is not retryable: the send fails immediately with
+/// [`ExecError::LinkDown`] so the caller can repair around the edge.
 fn transport_send<W: WireMsg>(
     senders: &[Sender<W>],
     dst: Rank,
     wire: W,
+    phase: usize,
     opts: &ExecOptions<'_>,
     stats: &FaultStats,
-) {
+) -> Result<(), ExecError> {
     // one logical message per call, however many attempts it takes
     opts.recorder.msg_sent(wire.src(), dst, wire.byte_len());
     let Some(fp) = opts.fault else {
         // a send can only fail if the peer already exited on error; the
         // peer's error is the root cause
         let _ = senders[dst].send(wire);
-        return;
+        return Ok(());
     };
     let mut attempt: u32 = 0;
     loop {
-        match fp.send_action(wire.src(), dst, wire.tag(), attempt) {
+        match fp.send_action_at(wire.src(), dst, wire.tag(), attempt, phase) {
             FaultAction::Deliver => {
                 let _ = senders[dst].send(wire);
-                return;
+                return Ok(());
             }
             FaultAction::Duplicate => {
                 FaultStats::bump(&stats.duplicates);
                 let _ = senders[dst].send(wire.duplicate());
                 let _ = senders[dst].send(wire);
-                return;
+                return Ok(());
             }
             FaultAction::Delay(d) => {
                 FaultStats::bump(&stats.delays);
                 std::thread::sleep(d);
                 let _ = senders[dst].send(wire);
-                return;
+                return Ok(());
             }
             FaultAction::Drop => {
                 FaultStats::bump(&stats.drops);
                 if attempt >= opts.max_retries {
                     FaultStats::bump(&stats.lost);
-                    return;
+                    return Ok(());
                 }
                 FaultStats::bump(&stats.retries);
                 opts.recorder.retry(wire.src());
@@ -441,6 +445,10 @@ fn transport_send<W: WireMsg>(
                 let seed = backoff_seed(fp.seed(), wire.src() as u64, dst as u64, wire.tag());
                 std::thread::sleep(backoff(opts.backoff_base, attempt, seed));
                 attempt += 1;
+            }
+            FaultAction::LinkDown => {
+                FaultStats::bump(&stats.link_downs);
+                return Err(ExecError::LinkDown { src: wire.src(), dst, phase });
             }
         }
     }
@@ -480,6 +488,35 @@ fn recv_wait(
     Ok(wait)
 }
 
+/// Folds per-rank results into receive buffers, choosing the most
+/// actionable error when several ranks failed: a [`ExecError::LinkDown`]
+/// beats the timeouts it cascades into on peer ranks (they were waiting
+/// for data that could never cross the dead link), so the caller sees
+/// the root cause rather than a symptom.
+fn collect_rank_results(
+    results: Vec<Result<Vec<u8>, ExecError>>,
+) -> Result<Vec<Vec<u8>>, ExecError> {
+    let mut rbufs = Vec::with_capacity(results.len());
+    let mut first_err: Option<ExecError> = None;
+    for res in results {
+        match res {
+            Ok(b) => rbufs.push(b),
+            Err(e) => {
+                let have_link_down = matches!(first_err, Some(ExecError::LinkDown { .. }));
+                if first_err.is_none()
+                    || (matches!(e, ExecError::LinkDown { .. }) && !have_link_down)
+                {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(rbufs),
+    }
+}
+
 /// The legacy per-block engine.
 fn run_inner(
     plan: &CollectivePlan,
@@ -488,7 +525,8 @@ fn run_inner(
     opts: &ExecOptions<'_>,
 ) -> Result<(Vec<Vec<u8>>, FaultCounts), ExecError> {
     let n = plan.n();
-    let stats = FaultStats::default();
+    let local_stats = FaultStats::default();
+    let stats = opts.fault_sink.unwrap_or(&local_stats);
     if n == 0 {
         return Ok((Vec::new(), stats.snapshot()));
     }
@@ -510,7 +548,6 @@ fn run_inner(
             let senders = Arc::clone(&senders);
             let program = &plan.per_rank[r];
             let my_payload = &payloads[r];
-            let stats = &stats;
             let labels = &labels;
             handles.push(scope.spawn(move || -> Result<Vec<u8>, ExecError> {
                 rank_main(
@@ -525,7 +562,7 @@ fn run_inner(
             .collect()
     });
 
-    let rbufs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let rbufs = collect_rank_results(results)?;
     Ok((rbufs, stats.snapshot()))
 }
 
@@ -572,13 +609,13 @@ fn rank_main(
                 held = Some((msg.peer, wire));
                 continue;
             }
-            transport_send(senders, msg.peer, wire, opts, stats);
+            transport_send(senders, msg.peer, wire, k, opts, stats)?;
             if let Some((dst, w)) = held.take() {
-                transport_send(senders, dst, w, opts, stats);
+                transport_send(senders, dst, w, k, opts, stats)?;
             }
         }
         if let Some((dst, w)) = held.take() {
-            transport_send(senders, dst, w, opts, stats);
+            transport_send(senders, dst, w, k, opts, stats)?;
         }
 
         let mut outstanding: std::collections::HashSet<(Rank, u64)> =
@@ -639,7 +676,8 @@ fn run_arena(
     opts: &ExecOptions<'_>,
 ) -> Result<ExecOutcome, ExecError> {
     let n = plan.n();
-    let stats = FaultStats::default();
+    let local_stats = FaultStats::default();
+    let stats = opts.fault_sink.unwrap_or(&local_stats);
     if n == 0 {
         return Ok(ExecOutcome::default());
     }
@@ -666,7 +704,6 @@ fn run_arena(
             let senders = Arc::clone(&senders);
             let rl = &layout.ranks[r];
             let program = &plan.per_rank[r];
-            let stats = &stats;
             let labels = &labels;
             let own = payloads[r].as_slice();
             let ext = &exts[r];
@@ -681,7 +718,7 @@ fn run_arena(
             .collect()
     });
 
-    let rbufs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let rbufs = collect_rank_results(results)?;
     for (r, rb) in rbufs.iter().enumerate() {
         arena.note_realloc(rb.capacity() != rbuf_caps[r]);
     }
@@ -770,13 +807,13 @@ fn rank_main_arena<'a>(
                 held = Some((op.peer, wire));
                 continue;
             }
-            transport_send(senders, op.peer, wire, opts, stats);
+            transport_send(senders, op.peer, wire, k, opts, stats)?;
             if let Some((dst, w)) = held.take() {
-                transport_send(senders, dst, w, opts, stats);
+                transport_send(senders, dst, w, k, opts, stats)?;
             }
         }
         if let Some((dst, w)) = held.take() {
-            transport_send(senders, dst, w, opts, stats);
+            transport_send(senders, dst, w, k, opts, stats)?;
         }
 
         // land the phase's arrivals in layout (slot-assignment) order —
@@ -888,6 +925,50 @@ mod tests {
         let opts = ExecOptions::new().recv_timeout(Duration::from_millis(50));
         let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
         assert_eq!(err, ExecError::Timeout { rank: 1, phase: 0 });
+    }
+
+    #[test]
+    fn link_down_fails_typed_and_is_counted_in_sink() {
+        let g = erdos_renyi(16, 0.5, 7);
+        let plan = plan_naive(&g);
+        // Pick a directed edge the naive plan actually sends over.
+        let (src, dst) = {
+            let msg = plan.per_rank.iter().enumerate().find_map(|(r, prog)| {
+                prog.iter().flat_map(|p| p.sends.iter()).next().map(|m| (r, m.peer))
+            });
+            msg.expect("naive plan on a connected-ish graph has sends")
+        };
+        let fp = FaultPlan::seeded(1).with_link_down(src, dst, 0);
+        let payloads = test_payloads(16, 8, 5);
+        let sink = FaultStats::default();
+        let opts = ExecOptions::new()
+            .fault(&fp)
+            .fault_sink(&sink)
+            .recv_timeout(Duration::from_millis(200));
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
+        // LinkDown must win over the timeouts it cascades into on peers.
+        assert!(matches!(err, ExecError::LinkDown { .. }), "{err:?}");
+        let counts = sink.snapshot();
+        assert!(counts.link_downs >= 1, "{counts}");
+    }
+
+    #[test]
+    fn fault_sink_survives_failed_runs() {
+        // Same scenario via the per-block engine: even though run() errors,
+        // the caller-provided sink keeps the injected-fault tally.
+        let g = Topology::from_edges(2, [(0, 1), (1, 0)]);
+        let plan = plan_naive(&g);
+        let fp = FaultPlan::seeded(2).with_link_down(0, 1, 0);
+        let payloads = test_payloads(2, 4, 1);
+        let sink = FaultStats::default();
+        let opts = ExecOptions::new()
+            .engine(ExecEngine::PerBlock)
+            .fault(&fp)
+            .fault_sink(&sink)
+            .recv_timeout(Duration::from_millis(200));
+        let err = Threaded.run(&plan, &g, &payloads, &mut BlockArena::new(), &opts).unwrap_err();
+        assert!(matches!(err, ExecError::LinkDown { .. }), "{err:?}");
+        assert!(sink.snapshot().link_downs >= 1);
     }
 
     #[test]

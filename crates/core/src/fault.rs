@@ -81,6 +81,11 @@ pub enum FaultAction {
     Delay(Duration),
     /// Deliver twice (the receive path must be duplicate-tolerant).
     Duplicate,
+    /// The link is dead: no attempt on this edge can ever succeed.
+    /// Unlike [`FaultAction::Drop`] this is not retryable — the
+    /// transport must surface a typed link failure immediately so the
+    /// caller can repair the plan around the edge.
+    LinkDown,
 }
 
 /// A deterministic, seeded fault schedule.
@@ -101,6 +106,8 @@ pub struct FaultPlan {
     slow: HashMap<Rank, Duration>,
     /// Rank -> phase index at which the rank stops participating.
     crashed: HashMap<Rank, usize>,
+    /// Directed edge -> phase index from which the link is dead.
+    link_down: HashMap<(Rank, Rank), usize>,
 }
 
 impl FaultPlan {
@@ -115,6 +122,7 @@ impl FaultPlan {
             reorder_p: 0.0,
             slow: HashMap::new(),
             crashed: HashMap::new(),
+            link_down: HashMap::new(),
         }
     }
 
@@ -158,6 +166,17 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the physical link between `a` and `b` from `phase` on: every
+    /// transmission attempt in either direction fails immediately and
+    /// unretryably with [`FaultAction::LinkDown`]. Link failures are
+    /// bidirectional (both directed edges die together), matching a cable
+    /// or port failure rather than a lossy path.
+    pub fn with_link_down(mut self, a: Rank, b: Rank, phase: usize) -> Self {
+        self.link_down.insert((a, b), phase);
+        self.link_down.insert((b, a), phase);
+        self
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -172,6 +191,7 @@ impl FaultPlan {
             || self.reorder_p > 0.0
             || !self.slow.is_empty()
             || !self.crashed.is_empty()
+            || !self.link_down.is_empty()
     }
 
     #[inline]
@@ -232,10 +252,39 @@ impl FaultPlan {
         self.crashed.get(&rank).copied()
     }
 
+    /// True if the directed edge `src -> dst` is dead at `phase`.
+    pub fn link_is_down(&self, src: Rank, dst: Rank, phase: usize) -> bool {
+        self.link_down.get(&(src, dst)).is_some_and(|&at| phase >= at)
+    }
+
+    /// The scheduled link failures as `(src, dst, phase)` triples (both
+    /// directions of each failed link appear).
+    pub fn link_failures(&self) -> impl Iterator<Item = (Rank, Rank, usize)> + '_ {
+        self.link_down.iter().map(|(&(s, d), &at)| (s, d, at))
+    }
+
+    /// The verdict for transmission `attempt` of message `(src, dst,
+    /// tag)` sent during `phase`. A dead link preempts every
+    /// probabilistic fault; otherwise defers to [`Self::send_action`].
+    pub fn send_action_at(
+        &self,
+        src: Rank,
+        dst: Rank,
+        tag: u64,
+        attempt: u32,
+        phase: usize,
+    ) -> FaultAction {
+        if self.link_is_down(src, dst, phase) {
+            return FaultAction::LinkDown;
+        }
+        self.send_action(src, dst, tag, attempt)
+    }
+
     /// Lowers this plan onto the simulator's perturbation model:
     /// straggler stalls become per-phase local work, the delay fault
-    /// becomes per-message jitter. (Drops/dups/crashes have no timing
-    /// analogue in a lossless discrete-event model and are ignored.)
+    /// becomes per-message jitter, and dead links fail the simulated run
+    /// with a typed error. (Drops/dups/crashes have no timing analogue
+    /// in a lossless discrete-event model and are ignored.)
     pub fn to_perturbation(&self, n: usize) -> nhood_simnet::Perturbation {
         let mut stall = vec![0.0f64; n];
         for (&r, &d) in &self.slow {
@@ -243,11 +292,15 @@ impl FaultPlan {
                 stall[r] = d.as_secs_f64();
             }
         }
+        let mut dead_links: Vec<(usize, usize)> =
+            self.link_down.keys().filter(|&&(s, d)| s < n && d < n).copied().collect();
+        dead_links.sort_unstable();
         nhood_simnet::Perturbation {
             seed: self.seed,
             rank_stall: stall,
             jitter_p: self.delay_p,
             max_jitter: self.max_delay.as_secs_f64(),
+            dead_links,
         }
     }
 }
@@ -267,6 +320,8 @@ pub struct FaultStats {
     pub retries: AtomicU64,
     /// Messages abandoned after the retry budget was exhausted.
     pub lost: AtomicU64,
+    /// Sends refused because the link was dead (unretryable).
+    pub link_downs: AtomicU64,
 }
 
 impl FaultStats {
@@ -284,6 +339,7 @@ impl FaultStats {
             reorders: self.reorders.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             lost: self.lost.load(Ordering::Relaxed),
+            link_downs: self.link_downs.load(Ordering::Relaxed),
         }
     }
 }
@@ -303,12 +359,14 @@ pub struct FaultCounts {
     pub retries: u64,
     /// Messages abandoned after the retry budget was exhausted.
     pub lost: u64,
+    /// Sends refused because the link was dead (unretryable).
+    pub link_downs: u64,
 }
 
 impl FaultCounts {
     /// Total faults injected (excluding retries, which are reactions).
     pub fn total_injected(&self) -> u64 {
-        self.drops + self.delays + self.duplicates + self.reorders
+        self.drops + self.delays + self.duplicates + self.reorders + self.link_downs
     }
 
     /// Field-wise sum — aggregates the tallies of a fallback re-run onto
@@ -321,6 +379,7 @@ impl FaultCounts {
             reorders: self.reorders + other.reorders,
             retries: self.retries + other.retries,
             lost: self.lost + other.lost,
+            link_downs: self.link_downs + other.link_downs,
         }
     }
 }
@@ -329,8 +388,14 @@ impl std::fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "drops={} delays={} dups={} reorders={} retries={} lost={}",
-            self.drops, self.delays, self.duplicates, self.reorders, self.retries, self.lost
+            "drops={} delays={} dups={} reorders={} retries={} lost={} link_downs={}",
+            self.drops,
+            self.delays,
+            self.duplicates,
+            self.reorders,
+            self.retries,
+            self.lost,
+            self.link_downs
         )
     }
 }
@@ -438,6 +503,34 @@ mod tests {
         assert!(backoff(base, 16, 1) <= BACKOFF_CAP);
         assert!(backoff(base, 40, 1) <= BACKOFF_CAP, "attempt clamp + cap must both hold");
         assert!(backoff(Duration::from_secs(5), 0, 1) <= BACKOFF_CAP, "pathological base capped");
+    }
+
+    #[test]
+    fn link_down_is_bidirectional_phased_and_unretryable() {
+        let fp = FaultPlan::seeded(1).with_link_down(2, 5, 1);
+        assert!(fp.is_active());
+        // before the failure phase the link behaves normally
+        assert!(!fp.link_is_down(2, 5, 0));
+        assert_eq!(fp.send_action_at(2, 5, 9, 0, 0), FaultAction::Deliver);
+        // from the failure phase on, both directions die, every attempt
+        for phase in 1..4 {
+            for attempt in 0..3 {
+                assert_eq!(fp.send_action_at(2, 5, 9, attempt, phase), FaultAction::LinkDown);
+                assert_eq!(fp.send_action_at(5, 2, 9, attempt, phase), FaultAction::LinkDown);
+            }
+        }
+        // unrelated edges are untouched
+        assert_eq!(fp.send_action_at(2, 4, 9, 0, 3), FaultAction::Deliver);
+        let mut failures: Vec<_> = fp.link_failures().collect();
+        failures.sort_unstable();
+        assert_eq!(failures, vec![(2, 5, 1), (5, 2, 1)]);
+    }
+
+    #[test]
+    fn perturbation_lowering_carries_dead_links() {
+        let fp = FaultPlan::seeded(4).with_link_down(1, 3, 0).with_link_down(7, 9, 2);
+        let p = fp.to_perturbation(8); // rank 9 out of range -> filtered
+        assert_eq!(p.dead_links, vec![(1, 3), (3, 1)]);
     }
 
     #[test]

@@ -70,12 +70,15 @@ pub mod plan_cache;
 pub mod plan_io;
 pub mod pool;
 pub mod remap;
+pub mod repair;
 pub mod select_algo;
 pub mod selection;
 pub mod sizes;
 
 pub use arena::{ArenaLayout, BlockArena};
-pub use comm::{CommError, DistGraphComm, ExecReport, FallbackReason, RobustPolicy};
+pub use comm::{
+    CommError, DistGraphComm, ExecReport, FallbackReason, MutationReport, RobustPolicy,
+};
 pub use csr::RespMap;
 pub use exec::sim_exec::SimCost;
 pub use exec::{ExecEngine, ExecError, ExecOptions, ExecOutcome, Executor, Sim, Threaded, Virtual};
@@ -84,5 +87,6 @@ pub use pattern::{DhPattern, SelectionStats};
 pub use plan::{Algorithm, CollectivePlan, PlanValidationError};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanFingerprint};
 pub use pool::WorkerPool;
+pub use repair::{Completeness, RepairPolicy};
 pub use select_algo::recommend;
 pub use sizes::{BlockSizes, LoadMetric};

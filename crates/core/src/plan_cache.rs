@@ -121,6 +121,33 @@ impl PlanFingerprint {
         })
     }
 
+    /// Derives the fingerprint of a *mutated* build request from this
+    /// one without rehashing the whole world: each churned edge `(u, v)`
+    /// is hashed through the same dual-seed digest and XOR-folded into
+    /// both halves. XOR makes the operation self-inverting — adding an
+    /// edge and then removing it (or vice versa) restores the original
+    /// fingerprint, so an add/remove round trip re-hits the original
+    /// cache slot. Toggling the same edge set in any order commutes.
+    ///
+    /// The mutated keyspace is deliberately distinct from
+    /// [`of_build_v`](Self::of_build_v) on the churned graph: a mutated
+    /// key names "this base build plus this churn", not "a cold build of
+    /// the new graph" (which could legitimately pick different agents).
+    /// Disk lookups still re-validate against the actual topology, so a
+    /// stale file under a mutated key is detected and removed.
+    pub fn mutated(&self, edges: &[(nhood_topology::Rank, nhood_topology::Rank)]) -> Self {
+        let mut out = *self;
+        for &(u, v) in edges {
+            let delta = Self::digest(|h| {
+                u.hash(h);
+                v.hash(h);
+            });
+            out.hi ^= delta.hi;
+            out.lo ^= delta.lo;
+        }
+        out
+    }
+
     /// Fingerprint of a *finished plan* on a topology — the key the
     /// [`crate::arena::BlockArena`] uses to decide whether its cached
     /// slot layout still applies to the plan it is handed.
@@ -319,6 +346,27 @@ impl PlanCache {
         Self::insert_locked(&mut inner, self.capacity, fp, plan);
     }
 
+    /// Drops the entry for `fp` from both tiers: the in-memory slot (and
+    /// its recency record) and, when a disk tier is configured, the
+    /// `<fingerprint>.nhplan` file. Used under topology churn to retire
+    /// a plan the mutation invalidated. Returns `true` when either tier
+    /// held the entry.
+    pub fn retire(&self, fp: PlanFingerprint) -> bool {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let had_mem = inner.map.remove(&fp).is_some();
+        if had_mem {
+            if let Some(i) = inner.order.iter().position(|&k| k == fp) {
+                inner.order.remove(i);
+            }
+        }
+        drop(inner);
+        let had_disk = match self.disk_path(fp) {
+            Some(path) => std::fs::remove_file(path).is_ok(),
+            None => false,
+        };
+        had_mem || had_disk
+    }
+
     /// Looks `fp` up and, on a miss, runs `build`, caches its result and
     /// returns it. The boolean is `true` on a hit (memory or disk). Build
     /// errors are returned as-is and cache nothing.
@@ -496,6 +544,84 @@ mod tests {
         assert_eq!(r.unwrap_err(), "boom");
         assert!(cache.is_empty());
         assert!(cache.lookup(fp, &g).is_none());
+    }
+
+    #[test]
+    fn mutated_fingerprint_is_self_inverting_and_order_free() {
+        let g = erdos_renyi(32, 0.3, 7);
+        let l = layout(32);
+        let base = PlanFingerprint::of_build(&g, &l, Algorithm::DistanceHalving);
+        let churn = [(3usize, 17usize), (9, 2), (21, 30)];
+        let fwd = base.mutated(&churn);
+        assert_ne!(fwd, base, "churn must move the key");
+        // self-inverting: toggling the same edges again restores the key
+        assert_eq!(fwd.mutated(&churn), base);
+        // order-free: any permutation lands on the same key
+        let rev: Vec<_> = churn.iter().rev().copied().collect();
+        assert_eq!(base.mutated(&rev), fwd);
+        // each edge is its own toggle
+        assert_eq!(base.mutated(&churn[..1]).mutated(&churn[1..]), fwd);
+        // direction matters: (u, v) and (v, u) are different edges
+        assert_ne!(base.mutated(&[(3, 17)]), base.mutated(&[(17, 3)]));
+    }
+
+    #[test]
+    fn retire_drops_memory_and_disk_tiers() {
+        let dir = std::env::temp_dir().join(format!("nhood_retire_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(16, 0.4, 5);
+        let l = layout(16);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        cache.insert(fp, Arc::new(plan_naive(&g)));
+        assert!(dir.join(format!("{fp}.nhplan")).exists());
+
+        assert!(cache.retire(fp));
+        assert!(cache.is_empty());
+        assert!(!dir.join(format!("{fp}.nhplan")).exists());
+        assert!(cache.lookup(fp, &g).is_none());
+        assert!(!cache.retire(fp), "second retire finds nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mutated_key_never_promotes_a_stale_disk_plan() {
+        // The churn-stale hazard: a plan for the PRE-mutation topology
+        // sits on disk under the post-mutation key (e.g. written by a
+        // buggy or crashed mutator). The disk tier's revalidation must
+        // refuse to promote it for the churned topology and clean it up.
+        let dir = std::env::temp_dir().join(format!("nhood_churn_stale_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(16, 0.5, 31);
+        let l = layout(16);
+        let base = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+        // churn: add an edge, so the pre-churn plan under-delivers on
+        // the churned topology (a removed edge would merely leave the
+        // old plan over-delivering, which validation tolerates)
+        let grown = (0..16)
+            .flat_map(|u| (0..16).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let g2 = nhood_topology::Topology::from_edges(16, g.edges().chain(std::iter::once(grown)));
+        let mutated = base.mutated(&[grown]);
+
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        // plant the PRE-churn plan on disk under the POST-churn key
+        let stale = dir.join(format!("{mutated}.nhplan"));
+        crate::plan_io::save_plan(&plan_naive(&g), &stale).unwrap();
+
+        assert!(
+            cache.lookup(mutated, &g2).is_none(),
+            "stale pre-churn plan must not revalidate for the churned topology"
+        );
+        assert!(!stale.exists(), "stale file must be removed on detection");
+        // and a correct post-churn plan inserted under the same key works
+        cache.insert(mutated, Arc::new(plan_naive(&g2)));
+        drop(cache);
+        let fresh = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        let plan = fresh.lookup(mutated, &g2).expect("valid churned plan promotes");
+        plan.validate(&g2).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! Incremental plan repair under topology churn and link failure.
+//!
+//! A Distance Halving plan is expensive to build (agent negotiation
+//! dominates — see Fig. 8) but most of it survives small topology
+//! changes: the halving schedule and the agent/origin matchings are
+//! *valid for any* communication graph (any exactly-once pairing is a
+//! correct pattern; the graph only steers which pairing scores best).
+//! This module exploits that invariance two ways:
+//!
+//! * **Edge churn** ([`repair_for_churn`]): adding or removing graph
+//!   edges keeps every matching decision and patches only the
+//!   responsibility rows, final-phase messages and copy accounting the
+//!   changed edges touch. The result is **byte-identical** to re-running
+//!   `assemble_pattern` + `lower` on the new graph with the old
+//!   decisions — at the cost of a pattern/plan clone plus O(changed)
+//!   work instead of a full rebuild.
+//! * **Link failure** ([`repair_link_down`]): when a physical link dies
+//!   mid-execution, every matching that crossed it is revoked (those
+//!   ranks fall back to the failed-agent-search direct-send path) and
+//!   every final-phase delivery routed over it moves to an alternate
+//!   holder of the block with a live link. A delivery with no live
+//!   alternate is *dropped* and reported as
+//!   [`Completeness::Degraded`] — degraded output, never a hang or
+//!   silent corruption.
+//!
+//! Both paths bound their blast radius with a [`RepairPolicy`]: past a
+//! damaged-rank fraction (or a run of successive incremental repairs)
+//! the caller should cut its losses and rebuild from scratch.
+
+use crate::builder::{assemble_pattern, Decision};
+use crate::lower::{lower, FINAL_TAG};
+use crate::pattern::{in_range, DhPattern};
+use crate::plan::{CollectivePlan, PlanValidationError, PlannedMsg};
+use nhood_topology::{Rank, Topology};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// When an incremental repair should give up and rebuild from scratch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RepairPolicy {
+    /// Maximum fraction of ranks a repair may touch before a full
+    /// rebuild is cheaper/safer than patching.
+    pub max_damage_frac: f64,
+    /// Maximum successive incremental repairs before a forced rebuild
+    /// (bounds drift accumulated over long churn sequences).
+    pub max_repair_rounds: u32,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        Self { max_damage_frac: 0.25, max_repair_rounds: 8 }
+    }
+}
+
+/// Whether a repaired plan still delivers every edge of the virtual
+/// topology.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every `(block, target)` delivery the topology requires is served.
+    #[default]
+    Full,
+    /// Some deliveries were dropped — no live route existed for them.
+    Degraded {
+        /// The `(block, target)` pairs that will not be delivered.
+        missing: Vec<(Rank, Rank)>,
+    },
+}
+
+impl Completeness {
+    /// `true` when nothing was dropped.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Completeness::Full)
+    }
+}
+
+/// Why an incremental repair could not be applied (the caller should
+/// fall back to a full rebuild).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The pattern and the requested edit disagree — e.g. a removed
+    /// edge whose responsibility row is not where the carrier-chain
+    /// walk says it must be. Indicates stale repair state.
+    InconsistentState {
+        /// The edge being repaired.
+        edge: (Rank, Rank),
+        /// What was inconsistent.
+        detail: &'static str,
+    },
+    /// The repaired plan failed validation — an internal bug surfaced
+    /// loudly instead of returning a corrupt plan.
+    Invalid(PlanValidationError),
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::InconsistentState { edge: (u, v), detail } => {
+                write!(f, "repair state inconsistent at edge ({u} -> {v}): {detail}")
+            }
+            RepairError::Invalid(e) => write!(f, "repaired plan invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Outcome of a successful churn repair.
+#[derive(Clone, Debug)]
+pub struct ChurnRepair {
+    /// The patched pattern (old matchings, new graph's bookkeeping).
+    pub pattern: DhPattern,
+    /// The patched plan — byte-identical to re-lowering `pattern`.
+    pub plan: CollectivePlan,
+    /// Ranks whose program changed, ascending.
+    pub changed_ranks: Vec<Rank>,
+    /// `changed_ranks.len() / n`.
+    pub damage_frac: f64,
+}
+
+/// Outcome of a link-down repair.
+#[derive(Clone, Debug)]
+pub struct LinkDownRepair {
+    /// The repaired pattern (dead matchings revoked).
+    pub pattern: DhPattern,
+    /// The re-lowered plan; no message crosses a dead link.
+    pub plan: CollectivePlan,
+    /// The topology the plan validates (and should execute) against:
+    /// the original graph, minus any dropped deliveries.
+    pub exec_graph: Topology,
+    /// Ranks whose program changed versus `old_plan`, ascending.
+    pub changed_ranks: Vec<Rank>,
+    /// `changed_ranks.len() / n`.
+    pub damage_frac: f64,
+    /// Whether every required delivery still has a route.
+    pub completeness: Completeness,
+}
+
+/// Re-extracts the per-step (agent, origin) decision lists from a built
+/// pattern — the exact input `assemble_pattern` consumed, in the same
+/// ascending-rank order the builders emit. Lets a repair replay (or
+/// selectively revoke) old matchings without re-running negotiation.
+pub fn recover_decisions(pattern: &DhPattern) -> Vec<Vec<Decision>> {
+    (0..pattern.max_steps())
+        .map(|t| {
+            pattern
+                .ranks
+                .iter()
+                .enumerate()
+                .filter_map(|(p, rp)| rp.steps.get(t).map(|s| (p, s.agent, s.origin, s.h1, s.h2)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Where the responsibility row `(u -> v)` sits after the halving phase,
+/// under `pattern`'s decisions — without consulting any responsibility
+/// map. `None` means the pair is covered by a halving-phase arrival
+/// (block `u` lands in `v`'s buffer), so no row exists anywhere.
+///
+/// Follows the carrier chain of Algorithm 1: the row starts at `u` and
+/// moves to the carrier's agent at the first step whose opposite half
+/// contains `v`; a failed agent search at that step strands it on the
+/// carrier for good (the direct-send fallback).
+pub fn resp_owner(pattern: &DhPattern, u: Rank, v: Rank) -> Option<Rank> {
+    // Any halving-phase arrival of u at v covers the pair (lemma 1 of
+    // the exactly-once proof makes a second arrival impossible).
+    if pattern.ranks[v].steps.iter().any(|s| s.arriving.contains(&u)) {
+        return None;
+    }
+    let mut c = u;
+    let mut t = 0usize;
+    while let Some(step) = pattern.ranks[c].steps.get(t) {
+        if in_range(v, step.h2) {
+            match step.agent {
+                // an agent == v would have delivered u to v — excluded
+                // by the arrival check above
+                Some(a) => {
+                    debug_assert_ne!(a, v, "arrival check must have caught agent == target");
+                    c = a;
+                }
+                // no agent found: the row stays with c (direct send)
+                None => break,
+            }
+        }
+        t += 1;
+    }
+    Some(c)
+}
+
+/// How many of `u`'s halving steps have `v` in the opposite half — the
+/// per-edge contribution to `SelectionStats::notifications` (0 or 1,
+/// since the opposite halves of one rank's steps are disjoint).
+fn notification_count(pattern: &DhPattern, u: Rank, v: Rank) -> usize {
+    pattern.ranks[u].steps.iter().filter(|s| in_range(v, s.h2)).count()
+}
+
+/// Re-derives every `copy_blocks` of rank `r`'s program from the
+/// pattern and graph, exactly as [`crate::lower`] computes them:
+/// phase 0 pays the sbuf copy, phase `t > 0` the in-neighbor copies of
+/// step `t-1`'s arrivals, the final phase the last step's arrival
+/// copies plus the temp-buffer packing of its own sends, the epilogue
+/// one copy per received final block.
+fn recompute_copies(
+    pattern: &DhPattern,
+    graph: &Topology,
+    steps: usize,
+    r: Rank,
+    prog: &mut [crate::plan::PlanPhase],
+) {
+    let rp = &pattern.ranks[r];
+    let arrival_copies = |step: &crate::pattern::DhStep| {
+        step.arriving.iter().filter(|&&b| graph.has_edge(b, r)).count()
+    };
+    for (t, phase) in prog.iter_mut().enumerate().take(steps) {
+        phase.copy_blocks =
+            if t == 0 { 1 } else { rp.steps.get(t - 1).map(arrival_copies).unwrap_or(0) };
+    }
+    let mut fin = 0usize;
+    if steps > 0 {
+        if let Some(last) = rp.steps.last() {
+            fin += arrival_copies(last);
+        }
+    }
+    fin += prog[steps].sends.iter().map(|m| m.blocks.len()).sum::<usize>();
+    prog[steps].copy_blocks = fin;
+    prog[steps + 1].copy_blocks = prog[steps].recvs.iter().map(|m| m.blocks.len()).sum::<usize>();
+}
+
+/// Adds `block` to the final-phase message `r -> peer` (send or recv
+/// side), creating the message at its sorted position if absent. Keeps
+/// the lowering's ordering contract: messages ascending by peer, blocks
+/// ascending within a message.
+fn final_msg_add(msgs: &mut Vec<PlannedMsg>, peer: Rank, block: Rank) {
+    match msgs.binary_search_by_key(&peer, |m| m.peer) {
+        Ok(i) => {
+            let blocks = &mut msgs[i].blocks;
+            if let Err(j) = blocks.binary_search(&block) {
+                blocks.insert(j, block);
+            }
+        }
+        Err(i) => {
+            msgs.insert(i, PlannedMsg { peer, blocks: vec![block], tag: FINAL_TAG });
+        }
+    }
+}
+
+/// Removes `block` from the final-phase message `r -> peer`, dropping
+/// the message when it empties. Returns `false` when the message or the
+/// block was not there (inconsistent state).
+fn final_msg_remove(msgs: &mut Vec<PlannedMsg>, peer: Rank, block: Rank) -> bool {
+    let Ok(i) = msgs.binary_search_by_key(&peer, |m| m.peer) else {
+        return false;
+    };
+    let Ok(j) = msgs[i].blocks.binary_search(&block) else {
+        return false;
+    };
+    msgs[i].blocks.remove(j);
+    if msgs[i].blocks.is_empty() {
+        msgs.remove(i);
+    }
+    true
+}
+
+/// Patches `pattern`/`plan` for a set of edge additions and removals,
+/// preserving every matching decision. `new_graph` must already have
+/// the churn applied; `added`/`removed` must be the actual deltas
+/// (edges genuinely absent before / present before, no self-edges, no
+/// duplicates).
+///
+/// The returned plan is byte-identical to
+/// `lower(assemble_pattern(new_graph, decisions), new_graph)` with the
+/// recovered decisions — the property `mutated_plan_is_byte_identical`
+/// below pins this.
+pub fn repair_for_churn(
+    pattern: &DhPattern,
+    plan: &CollectivePlan,
+    new_graph: &Topology,
+    added: &[(Rank, Rank)],
+    removed: &[(Rank, Rank)],
+) -> Result<ChurnRepair, RepairError> {
+    let n = pattern.n();
+    let steps = pattern.max_steps();
+    let mut new_pattern = pattern.clone();
+    let mut new_plan = plan.clone();
+    let final_idx = steps; // phases: 0..steps halving, steps final, steps+1 epilogue
+    let mut changed: BTreeSet<Rank> = BTreeSet::new();
+
+    for (&edge, add) in added.iter().map(|e| (e, true)).chain(removed.iter().map(|e| (e, false))) {
+        let (u, v) = edge;
+        match resp_owner(pattern, u, v) {
+            None => {
+                // Covered by a halving arrival: only v's receive-copy
+                // accounting changes with the edge.
+                changed.insert(v);
+            }
+            Some(w) => {
+                let row = new_pattern.ranks[w].responsibilities.get(u).map(<[Rank]>::to_vec);
+                if add {
+                    let mut targets = row.unwrap_or_default();
+                    match targets.binary_search(&v) {
+                        Ok(_) => {
+                            return Err(RepairError::InconsistentState {
+                                edge,
+                                detail: "added edge already has a responsibility row",
+                            })
+                        }
+                        Err(j) => targets.insert(j, v),
+                    }
+                    new_pattern.ranks[w].responsibilities.insert(u, targets);
+                    final_msg_add(&mut new_plan.per_rank[w][final_idx].sends, v, u);
+                    final_msg_add(&mut new_plan.per_rank[v][final_idx].recvs, w, u);
+                } else {
+                    let mut targets = row.ok_or(RepairError::InconsistentState {
+                        edge,
+                        detail: "removed edge has no responsibility row at its owner",
+                    })?;
+                    let Ok(j) = targets.binary_search(&v) else {
+                        return Err(RepairError::InconsistentState {
+                            edge,
+                            detail: "owner's row does not list the removed target",
+                        });
+                    };
+                    targets.remove(j);
+                    new_pattern.ranks[w].responsibilities.insert(u, targets);
+                    let ok = final_msg_remove(&mut new_plan.per_rank[w][final_idx].sends, v, u)
+                        && final_msg_remove(&mut new_plan.per_rank[v][final_idx].recvs, w, u);
+                    if !ok {
+                        return Err(RepairError::InconsistentState {
+                            edge,
+                            detail: "plan's final phase lacks the removed delivery",
+                        });
+                    }
+                }
+                changed.insert(w);
+                changed.insert(v);
+            }
+        }
+        // Agent announcements go to out-neighbors in the opposite half,
+        // so the edge shifts the notification tally by its h2 hits.
+        let delta = notification_count(pattern, u, v);
+        if add {
+            new_pattern.stats.notifications += delta;
+        } else {
+            new_pattern.stats.notifications -= delta;
+        }
+    }
+    new_plan.selection = Some(new_pattern.stats);
+
+    for &r in &changed {
+        recompute_copies(&new_pattern, new_graph, steps, r, &mut new_plan.per_rank[r]);
+    }
+
+    let changed_ranks: Vec<Rank> = changed.into_iter().collect();
+    let damage_frac = changed_ranks.len() as f64 / n.max(1) as f64;
+    Ok(ChurnRepair { pattern: new_pattern, plan: new_plan, changed_ranks, damage_frac })
+}
+
+/// Repairs a pattern after one or more physical links died: revokes
+/// every matching whose halving transfer crosses a dead link, reroutes
+/// final-phase deliveries routed over dead links to alternate holders,
+/// and re-lowers. `dead` holds *directed* pairs (insert both directions
+/// for a severed cable). Deliveries with no live route are dropped and
+/// reported via [`LinkDownRepair::completeness`]; the returned
+/// `exec_graph` excludes them so the plan validates and executes
+/// cleanly.
+pub fn repair_link_down(
+    pattern: &DhPattern,
+    old_plan: &CollectivePlan,
+    graph: &Topology,
+    dead: &HashSet<(Rank, Rank)>,
+) -> Result<LinkDownRepair, RepairError> {
+    let n = pattern.n();
+    let l = pattern.ranks_per_socket;
+
+    // 1. Replay the old matchings minus any that cross a dead link.
+    let mut decisions = recover_decisions(pattern);
+    for step in &mut decisions {
+        for d in step.iter_mut() {
+            let (p, agent, origin, ..) = *d;
+            if let Some(a) = agent {
+                if dead.contains(&(p, a)) {
+                    d.1 = None;
+                }
+            }
+            if let Some(o) = origin {
+                if dead.contains(&(o, p)) {
+                    d.2 = None;
+                }
+            }
+        }
+    }
+    // Preserve the negotiation tallies; the revoked transfers' derived
+    // counts (notifications, descriptors) are recomputed by assembly.
+    let mut stats = pattern.stats;
+    stats.notifications = 0;
+    stats.descriptors = 0;
+    let mut repaired = assemble_pattern(graph, l, &decisions, stats);
+
+    // 2. Reroute final-phase deliveries that would cross a dead link.
+    // holders[b] = ranks holding block b at the end of halving, ascending.
+    let mut holders: HashMap<Rank, Vec<Rank>> = HashMap::new();
+    for (r, rp) in repaired.ranks.iter().enumerate() {
+        for &b in &rp.held_final {
+            holders.entry(b).or_default().push(r);
+        }
+    }
+    let mut moves: Vec<(Rank, Rank, Rank, Option<Rank>)> = Vec::new(); // (from, block, target, to)
+    for (w, rp) in repaired.ranks.iter().enumerate() {
+        for (b, targets) in rp.responsibilities.iter() {
+            for &t in targets {
+                if !dead.contains(&(w, t)) {
+                    continue;
+                }
+                let alt = holders
+                    .get(&b)
+                    .and_then(|hs| {
+                        hs.iter().find(|&&z| z != w && z != t && !dead.contains(&(z, t)))
+                    })
+                    .copied();
+                moves.push((w, b, t, alt));
+            }
+        }
+    }
+    let mut missing: Vec<(Rank, Rank)> = Vec::new();
+    for &(w, b, t, to) in &moves {
+        let mut row: Vec<Rank> = repaired.ranks[w].responsibilities.get(b).unwrap_or(&[]).to_vec();
+        row.retain(|&x| x != t);
+        repaired.ranks[w].responsibilities.insert(b, row);
+        match to {
+            Some(z) => {
+                let mut row: Vec<Rank> =
+                    repaired.ranks[z].responsibilities.get(b).unwrap_or(&[]).to_vec();
+                if let Err(j) = row.binary_search(&t) {
+                    row.insert(j, t);
+                }
+                repaired.ranks[z].responsibilities.insert(b, row);
+            }
+            None => missing.push((b, t)),
+        }
+    }
+    missing.sort_unstable();
+    missing.dedup();
+
+    // 3. Re-lower against the graph minus dropped deliveries.
+    let exec_graph = if missing.is_empty() {
+        graph.clone()
+    } else {
+        let gone: HashSet<(Rank, Rank)> = missing.iter().copied().collect();
+        Topology::from_edges(n, graph.edges().filter(|e| !gone.contains(e)))
+    };
+    let plan = lower(&repaired, &exec_graph);
+    plan.validate(&exec_graph).map_err(RepairError::Invalid)?;
+    debug_assert!(
+        plan.per_rank.iter().enumerate().all(|(r, prog)| prog
+            .iter()
+            .flat_map(|ph| ph.sends.iter())
+            .all(|m| !dead.contains(&(r, m.peer)))),
+        "repaired plan still schedules a send over a dead link"
+    );
+
+    let changed_ranks: Vec<Rank> =
+        (0..n).filter(|&r| old_plan.per_rank.get(r) != plan.per_rank.get(r)).collect();
+    let damage_frac = changed_ranks.len() as f64 / n.max(1) as f64;
+    let completeness =
+        if missing.is_empty() { Completeness::Full } else { Completeness::Degraded { missing } };
+    Ok(LinkDownRepair {
+        pattern: repaired,
+        plan,
+        exec_graph,
+        changed_ranks,
+        damage_frac,
+        completeness,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_pattern;
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads, Virtual};
+    use crate::exec::Executor;
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    fn layout(n: usize) -> ClusterLayout {
+        ClusterLayout::new(n.div_ceil(8), 2, 4)
+    }
+
+    /// Applies churn to a graph's edge set.
+    fn churned(g: &Topology, added: &[(Rank, Rank)], removed: &[(Rank, Rank)]) -> Topology {
+        let gone: HashSet<(Rank, Rank)> = removed.iter().copied().collect();
+        Topology::from_edges(
+            g.n(),
+            g.edges().filter(|e| !gone.contains(e)).chain(added.iter().copied()),
+        )
+    }
+
+    type EdgeSet = Vec<(Rank, Rank)>;
+
+    /// Picks a deterministic churn set: `k` edges to remove from the
+    /// graph and `k` non-edges to add.
+    fn churn_set(g: &Topology, k: usize, seed: u64) -> (EdgeSet, EdgeSet) {
+        let edges: Vec<_> = g.edges().collect();
+        let n = g.n();
+        let removed: Vec<_> =
+            (0..k).map(|i| edges[(seed as usize + i * 37) % edges.len()]).collect();
+        let mut added = Vec::new();
+        let mut x = seed;
+        while added.len() < k {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = (x >> 16) as usize % n;
+            let v = (x >> 40) as usize % n;
+            if u != v && !g.has_edge(u, v) && !added.contains(&(u, v)) {
+                added.push((u, v));
+            }
+        }
+        (added, removed)
+    }
+
+    #[test]
+    fn recovered_decisions_rebuild_the_same_pattern() {
+        let g = erdos_renyi(48, 0.3, 7);
+        let lay = layout(48);
+        let pat = build_pattern(&g, &lay).unwrap();
+        let decisions = recover_decisions(&pat);
+        let mut stats = pat.stats;
+        stats.notifications = 0;
+        stats.descriptors = 0;
+        let rebuilt = assemble_pattern(&g, lay.ranks_per_socket(), &decisions, stats);
+        assert_eq!(pat.stats, rebuilt.stats);
+        assert_eq!(pat.ranks, rebuilt.ranks);
+    }
+
+    #[test]
+    fn resp_owner_agrees_with_built_responsibilities() {
+        for (n, delta, seed) in [(32usize, 0.3, 1u64), (48, 0.5, 2), (40, 0.1, 3)] {
+            let g = erdos_renyi(n, delta, seed);
+            let pat = build_pattern(&g, &layout(n)).unwrap();
+            for (u, v) in g.edges() {
+                match resp_owner(&pat, u, v) {
+                    Some(w) => {
+                        let row = pat.ranks[w].responsibilities.get(u).unwrap_or_else(|| {
+                            panic!("owner {w} of ({u}->{v}) holds no row for {u}")
+                        });
+                        assert!(row.contains(&v), "({u}->{v}) not in owner {w}'s row");
+                    }
+                    None => {
+                        let arrived = pat.ranks[v].steps.iter().any(|s| s.arriving.contains(&u));
+                        assert!(arrived, "({u}->{v}) neither owned nor arriving");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tentpole identity: the surgical patch equals the
+    /// decision-preserving rebuild, byte for byte — pattern and plan.
+    #[test]
+    fn churn_repair_is_byte_identical_to_decision_preserving_rebuild() {
+        for (n, delta, seed) in [(32usize, 0.1, 11u64), (48, 0.3, 12), (64, 0.6, 13), (41, 0.3, 14)]
+        {
+            let g = erdos_renyi(n, delta, seed);
+            let lay = layout(n);
+            let pat = build_pattern(&g, &lay).unwrap();
+            let plan = lower(&pat, &g);
+            let (added, removed) = churn_set(&g, 3, seed);
+            let g2 = churned(&g, &added, &removed);
+
+            let rep = repair_for_churn(&pat, &plan, &g2, &added, &removed)
+                .unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
+
+            let decisions = recover_decisions(&pat);
+            let mut stats = pat.stats;
+            stats.notifications = 0;
+            stats.descriptors = 0;
+            let want_pat = assemble_pattern(&g2, lay.ranks_per_socket(), &decisions, stats);
+            let want_plan = lower(&want_pat, &g2);
+
+            assert_eq!(rep.pattern.stats, want_pat.stats, "n={n} delta={delta}");
+            assert_eq!(rep.pattern.ranks, want_pat.ranks, "n={n} delta={delta}");
+            assert_eq!(rep.plan.per_rank, want_plan.per_rank, "n={n} delta={delta}");
+            rep.plan.validate(&g2).unwrap();
+
+            // The changed-rank list is truthful: untouched programs are
+            // bitwise-unchanged from the old plan.
+            for r in 0..n {
+                if !rep.changed_ranks.contains(&r) {
+                    assert_eq!(rep.plan.per_rank[r], plan.per_rank[r], "rank {r} silently changed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_repair_add_then_remove_roundtrips() {
+        let g = erdos_renyi(32, 0.3, 9);
+        let pat = build_pattern(&g, &layout(32)).unwrap();
+        let plan = lower(&pat, &g);
+        let (added, _) = churn_set(&g, 2, 77);
+        let g2 = churned(&g, &added, &[]);
+        let rep = repair_for_churn(&pat, &plan, &g2, &added, &[]).unwrap();
+        // removing the same edges from the churned state restores the
+        // original pattern and plan exactly
+        let back = repair_for_churn(&rep.pattern, &rep.plan, &g, &[], &added).unwrap();
+        assert_eq!(back.pattern.ranks, pat.ranks);
+        assert_eq!(back.pattern.stats, pat.stats);
+        assert_eq!(back.plan.per_rank, plan.per_rank);
+    }
+
+    #[test]
+    fn churn_repair_rejects_inconsistent_edits() {
+        let g = erdos_renyi(16, 0.4, 5);
+        let pat = build_pattern(&g, &layout(16)).unwrap();
+        let plan = lower(&pat, &g);
+        // "removing" a non-edge must be reported, not silently patched
+        let bogus = (0..16)
+            .flat_map(|u| (0..16).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let g2 = churned(&g, &[], &[bogus]);
+        match repair_for_churn(&pat, &plan, &g2, &[], &[bogus]) {
+            Err(e) => assert!(matches!(e, RepairError::InconsistentState { .. }), "{e}"),
+            // a bogus removal of an arrival-covered pair is indistinguishable
+            // from a no-op copy retally — also acceptable
+            Ok(rep) => assert!(rep.changed_ranks.len() <= 1),
+        }
+    }
+
+    #[test]
+    fn link_down_repair_reroutes_and_validates() {
+        let g = erdos_renyi(48, 0.4, 21);
+        let pat = build_pattern(&g, &layout(48)).unwrap();
+        let plan = lower(&pat, &g);
+        // kill the first halving-phase matching's link
+        let (p, a) = pat
+            .ranks
+            .iter()
+            .enumerate()
+            .find_map(|(p, rp)| rp.steps.first().and_then(|s| s.agent).map(|a| (p, a)))
+            .expect("some rank matched in step 0");
+        let dead: HashSet<(Rank, Rank)> = [(p, a), (a, p)].into_iter().collect();
+        let rep = repair_link_down(&pat, &plan, &g, &dead).unwrap();
+        assert_eq!(rep.pattern.ranks[p].steps[0].agent, None, "dead matching not revoked");
+        assert_eq!(rep.pattern.ranks[a].steps[0].origin, None);
+        // no message crosses the dead link, either direction
+        for (r, prog) in rep.plan.per_rank.iter().enumerate() {
+            for ph in prog {
+                for m in &ph.sends {
+                    assert!(!dead.contains(&(r, m.peer)), "send {r} -> {} over dead link", m.peer);
+                }
+            }
+        }
+        // the repaired plan produces correct output on its exec graph
+        let payloads = test_payloads(48, 8, 4);
+        let got = Virtual.run_simple(&rep.plan, &rep.exec_graph, &payloads).unwrap();
+        assert_eq!(got, reference_allgather(&rep.exec_graph, &payloads));
+        if rep.completeness.is_full() {
+            assert_eq!(rep.exec_graph.edge_count(), g.edge_count());
+        }
+        assert!(!rep.changed_ranks.is_empty());
+        assert!(rep.damage_frac > 0.0);
+    }
+
+    #[test]
+    fn link_down_with_no_alternate_degrades_not_corrupts() {
+        // A sparse graph where rank u's block is held only by u: killing
+        // u's direct link to a target it still owes leaves no alternate,
+        // so the delivery is dropped and reported.
+        let g = Topology::from_edges(8, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let lay = ClusterLayout::new(1, 2, 4); // L = 4, one halving step
+        let pat = build_pattern(&g, &lay).unwrap();
+        let plan = lower(&pat, &g);
+        // find a responsibility delivered over a direct final send
+        let mut found = None;
+        'outer: for rp in &pat.ranks {
+            for (_, targets) in rp.responsibilities.iter() {
+                if let Some(&t) = targets.first() {
+                    found = Some(t);
+                    break 'outer;
+                }
+            }
+        }
+        let Some(t) = found else {
+            return; // all deliveries are arrival-covered; nothing to test
+        };
+        // kill every link into t, so no reroute can exist
+        let dead: HashSet<(Rank, Rank)> =
+            (0..8).filter(|&z| z != t).flat_map(|z| [(z, t), (t, z)]).collect();
+        let rep = repair_link_down(&pat, &plan, &g, &dead).unwrap();
+        match &rep.completeness {
+            Completeness::Degraded { missing } => {
+                assert!(missing.iter().any(|&(_, mt)| mt == t), "t={t} must lose a delivery");
+                assert!(rep.exec_graph.edge_count() < g.edge_count());
+            }
+            Completeness::Full => panic!("expected a degraded repair"),
+        }
+        rep.plan.validate(&rep.exec_graph).unwrap();
+    }
+}

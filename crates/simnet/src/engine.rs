@@ -130,6 +130,15 @@ pub enum SimError {
         /// Cores in the layout.
         capacity: usize,
     },
+    /// The schedule sends over a link the perturbation declares dead; a
+    /// lossless event model cannot deliver it, so the run fails typed
+    /// and the caller must repair the plan around the edge.
+    LinkDown {
+        /// Sending rank of the doomed message.
+        src: Rank,
+        /// Receiving rank of the doomed message.
+        dst: Rank,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -141,6 +150,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::LayoutTooSmall { ranks, capacity } => {
                 write!(f, "schedule has {ranks} ranks but layout holds {capacity}")
+            }
+            SimError::LinkDown { src, dst } => {
+                write!(f, "schedule sends over dead link {src} -> {dst}")
             }
         }
     }
@@ -383,6 +395,13 @@ impl<'a> Engine<'a> {
         let n = schedule.n();
         if n > self.layout.capacity() {
             return Err(SimError::LayoutTooSmall { ranks: n, capacity: self.layout.capacity() });
+        }
+        if let Some(p) = perturbation {
+            if !p.dead_links.is_empty() {
+                if let Some(m) = schedule.all_sends().find(|m| p.link_is_down(m.src, m.dst)) {
+                    return Err(SimError::LinkDown { src: m.src, dst: m.dst });
+                }
+            }
         }
 
         let hockney = &self.config.hockney;
@@ -1035,19 +1054,42 @@ mod tests {
         let slow = crate::Perturbation {
             seed: 1,
             rank_stall: vec![10e-6, 0.0],
-            jitter_p: 0.0,
-            max_jitter: 0.0,
+            ..crate::Perturbation::none()
         };
         let t = engine.run_perturbed(&s, &slow).unwrap().makespan;
         assert!((t - (base + 10e-6)).abs() < 1e-12, "base {base} perturbed {t}");
         // guaranteed jitter delays the arrival by up to max_jitter
-        let jittery =
-            crate::Perturbation { seed: 1, rank_stall: vec![], jitter_p: 1.0, max_jitter: 5e-6 };
+        let jittery = crate::Perturbation {
+            seed: 1,
+            jitter_p: 1.0,
+            max_jitter: 5e-6,
+            ..crate::Perturbation::none()
+        };
         let tj = engine.run_perturbed(&s, &jittery).unwrap().makespan;
         assert!(tj > base && tj < base + 5e-6, "base {base} jittered {tj}");
         // a no-op perturbation changes nothing
         let t0 = engine.run_perturbed(&s, &crate::Perturbation::none()).unwrap().makespan;
         assert_eq!(t0, base);
+    }
+
+    #[test]
+    fn dead_link_fails_the_run_typed() {
+        let layout = ClusterLayout::new(2, 1, 1);
+        let mut s = Schedule::new(2);
+        s.push(0, vec![msg(0, 1, 1000, 0)], vec![]);
+        s.push(1, vec![], vec![msg(0, 1, 1000, 0)]);
+        let cfg = SimConfig::classic(HockneyParams::flat(1e-6, 1e9), NicMode::Off);
+        let engine = Engine::new(&layout, cfg);
+        let dead =
+            crate::Perturbation { dead_links: vec![(0, 1), (1, 0)], ..crate::Perturbation::none() };
+        assert_eq!(
+            engine.run_perturbed(&s, &dead).unwrap_err(),
+            SimError::LinkDown { src: 0, dst: 1 }
+        );
+        // a dead link the schedule never uses is harmless
+        let unused =
+            crate::Perturbation { dead_links: vec![(1, 0)], ..crate::Perturbation::none() };
+        assert!(engine.run_perturbed(&s, &unused).is_ok());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct Perturbation {
     pub jitter_p: f64,
     /// Upper bound of the per-message jitter, seconds.
     pub max_jitter: Seconds,
+    /// Directed edges whose link is dead: any scheduled message on one
+    /// of them fails the simulated run with a typed
+    /// [`SimError::LinkDown`](crate::SimError) (a lossless event model
+    /// cannot deliver over a severed link, so this is an error, not a
+    /// latency).
+    pub dead_links: Vec<(Rank, Rank)>,
 }
 
 /// Matches `nhood_core::fault::domain::DELAY` / `JITTER` so the two
@@ -34,7 +40,19 @@ const DOMAIN_JITTER: u64 = 0x05;
 impl Perturbation {
     /// A no-op perturbation.
     pub fn none() -> Self {
-        Self { seed: 0, rank_stall: Vec::new(), jitter_p: 0.0, max_jitter: 0.0 }
+        Self {
+            seed: 0,
+            rank_stall: Vec::new(),
+            jitter_p: 0.0,
+            max_jitter: 0.0,
+            dead_links: Vec::new(),
+        }
+    }
+
+    /// True if the directed edge `src -> dst` is severed.
+    #[inline]
+    pub fn link_is_down(&self, src: Rank, dst: Rank) -> bool {
+        self.dead_links.contains(&(src, dst))
     }
 
     /// Straggler stall of `rank` per phase, seconds.
@@ -72,9 +90,24 @@ mod tests {
     }
 
     #[test]
+    fn dead_link_lookup_is_directed() {
+        let p = Perturbation { dead_links: vec![(1, 2), (2, 1), (4, 7)], ..Perturbation::none() };
+        assert!(p.link_is_down(1, 2));
+        assert!(p.link_is_down(2, 1));
+        assert!(p.link_is_down(4, 7));
+        assert!(!p.link_is_down(7, 4), "only the listed direction is dead");
+        assert!(!Perturbation::none().link_is_down(1, 2));
+    }
+
+    #[test]
     fn jitter_is_deterministic_and_bounded() {
-        let p =
-            Perturbation { seed: 42, rank_stall: vec![0.0, 1e-3], jitter_p: 0.5, max_jitter: 2e-6 };
+        let p = Perturbation {
+            seed: 42,
+            rank_stall: vec![0.0, 1e-3],
+            jitter_p: 0.5,
+            max_jitter: 2e-6,
+            dead_links: Vec::new(),
+        };
         let mut hit = 0;
         for tag in 0..1000u64 {
             let j = p.jitter(0, 1, tag);

@@ -22,6 +22,7 @@ struct Cells {
     bytes_intra_socket: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    repairs: AtomicU64,
 }
 
 fn bump(cell: &AtomicU64, by: u64) {
@@ -60,6 +61,8 @@ pub struct Counts {
     pub plan_cache_hits: u64,
     /// Plan-cache lookups that fell through to a cold build.
     pub plan_cache_misses: u64,
+    /// Incremental plan repairs (churn or link-down recovery).
+    pub repairs: u64,
 }
 
 impl Counts {
@@ -81,6 +84,7 @@ impl Counts {
             bytes_intra_socket: self.bytes_intra_socket + o.bytes_intra_socket,
             plan_cache_hits: self.plan_cache_hits + o.plan_cache_hits,
             plan_cache_misses: self.plan_cache_misses + o.plan_cache_misses,
+            repairs: self.repairs + o.repairs,
         }
     }
 }
@@ -153,6 +157,7 @@ impl CountingRecorder {
             bytes_intra_socket: ld(&c.bytes_intra_socket),
             plan_cache_hits: ld(&c.plan_cache_hits),
             plan_cache_misses: ld(&c.plan_cache_misses),
+            repairs: ld(&c.repairs),
         }
     }
 
@@ -208,6 +213,10 @@ impl Recorder for CountingRecorder {
     fn plan_cache(&self, rank: Rank, hit: bool) {
         let c = &self.cells[rank];
         bump(if hit { &c.plan_cache_hits } else { &c.plan_cache_misses }, 1);
+    }
+
+    fn repair(&self, rank: Rank) {
+        bump(&self.cells[rank].repairs, 1);
     }
 
     fn counts(&self) -> Option<Counts> {
@@ -281,6 +290,19 @@ mod tests {
         let t = rec.totals();
         assert_eq!(t.plan_cache_hits, 2);
         assert_eq!(t.plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn repairs_are_counted_and_merged() {
+        let rec = CountingRecorder::new(2);
+        rec.repair(0);
+        rec.repair(0);
+        rec.repair(1);
+        assert_eq!(rec.per_rank(0).repairs, 2);
+        assert_eq!(rec.totals().repairs, 3);
+        let m = Counts { repairs: 1, ..Counts::default() }
+            .merged(Counts { repairs: 4, ..Counts::default() });
+        assert_eq!(m.repairs, 5);
     }
 
     #[test]

@@ -113,6 +113,9 @@ pub fn summary_table(rec: &CountingRecorder) -> String {
         let _ =
             writeln!(out, "plan cache: {} hits, {} misses", t.plan_cache_hits, t.plan_cache_misses);
     }
+    if t.repairs > 0 {
+        let _ = writeln!(out, "plan repairs: {}", t.repairs);
+    }
     out
 }
 

@@ -60,6 +60,9 @@ pub mod labels {
     pub const PLAN_LOWER: &str = "plan_lower";
     /// A plan-cache lookup (hit or miss — see `Recorder::plan_cache`).
     pub const PLAN_CACHE: &str = "plan_cache";
+    /// An incremental plan repair (topology churn or mid-run link-down
+    /// recovery) — see `Recorder::repair`.
+    pub const REPAIR: &str = "repair";
 }
 
 /// The instrumentation surface. All hooks default to no-ops, so an
@@ -103,6 +106,12 @@ pub trait Recorder: Sync {
     /// plan was served from the cache, `false` when it had to be built.
     fn plan_cache(&self, rank: Rank, hit: bool) {
         let _ = (rank, hit);
+    }
+
+    /// `rank` performed an incremental plan repair (topology churn or
+    /// mid-run link-down recovery) instead of a cold rebuild.
+    fn repair(&self, rank: Rank) {
+        let _ = rank;
     }
 
     /// `rank` entered the phase `label` (wall-clock recorders stamp the
@@ -154,6 +163,7 @@ mod tests {
         r.fallback(0);
         r.negotiation_round(1);
         r.plan_cache(0, true);
+        r.repair(0);
         r.span_begin(0, labels::HALVING_STEP);
         r.span_end(0, labels::HALVING_STEP);
         r.span_at(0, labels::INTRA_SOCKET, 0.0, 1e-6);

@@ -60,19 +60,43 @@ pub fn grid_dims(n: usize, spec: MooreSpec) -> Option<Vec<usize>> {
     })
 }
 
-/// Builds a Moore-neighborhood topology for `n` ranks.
+/// `n` cannot be factored into a `d`-dimensional grid with every side
+/// `> 2r` — the typed form of what used to be a panic, so callers fed a
+/// bad spec (e.g. from the CLI) can report instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoGridError {
+    /// The requested rank count.
+    pub n: usize,
+    /// The spec that has no valid grid for `n`.
+    pub spec: MooreSpec,
+}
+
+impl std::fmt::Display for NoGridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n={} has no {}-D grid with sides > {}", self.n, self.spec.d, 2 * self.spec.r)
+    }
+}
+
+impl std::error::Error for NoGridError {}
+
+/// Builds a Moore-neighborhood topology for `n` ranks, reporting a typed
+/// error when no valid grid exists.
 ///
 /// Ranks are laid out on the grid in row-major order (last dimension
 /// fastest), which is the natural MPI Cartesian order; grid wrap-around is
 /// periodic in every dimension.
+pub fn try_moore(n: usize, spec: MooreSpec) -> Result<Topology, NoGridError> {
+    let dims = grid_dims(n, spec).ok_or(NoGridError { n, spec })?;
+    Ok(moore_on_grid(&dims, spec.r))
+}
+
+/// Builds a Moore-neighborhood topology for `n` ranks.
 ///
 /// # Panics
 /// Panics if `n` cannot be factored into a `d`-dimensional grid with every
-/// side `> 2r` (use [`grid_dims`] to test first).
+/// side `> 2r` (use [`try_moore`] or [`grid_dims`] for the typed form).
 pub fn moore(n: usize, spec: MooreSpec) -> Topology {
-    let dims = grid_dims(n, spec)
-        .unwrap_or_else(|| panic!("n={n} has no {}-D grid with sides > {}", spec.d, 2 * spec.r));
-    moore_on_grid(&dims, spec.r)
+    try_moore(n, spec).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Builds a Moore-neighborhood topology on an explicit grid.
@@ -213,6 +237,16 @@ mod tests {
     #[should_panic(expected = "must exceed 2r")]
     fn radius_too_large_for_side() {
         moore_on_grid(&[4, 4], 2);
+    }
+
+    #[test]
+    fn try_moore_reports_typed_error() {
+        // 2048 = 2^11 has no 2-D factorisation with both sides > 44.
+        let spec = MooreSpec { r: 22, d: 2 };
+        let err = try_moore(2048, spec).unwrap_err();
+        assert_eq!(err, NoGridError { n: 2048, spec });
+        assert_eq!(err.to_string(), "n=2048 has no 2-D grid with sides > 44");
+        assert!(try_moore(64, MooreSpec { r: 1, d: 2 }).is_ok());
     }
 
     #[test]

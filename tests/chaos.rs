@@ -196,6 +196,114 @@ fn acceptance_64_rank_5pct_drop() {
     assert!(t0.elapsed() < Duration::from_secs(120), "acceptance sweep exceeded its budget");
 }
 
+/// Seeded ragged size table with deliberate zero-length blocks — the
+/// chaos suite predates variable-size payloads and only covered uniform
+/// blocks until this test.
+fn seeded_ragged_sizes(n: usize, seed: u64) -> Vec<usize> {
+    (0..n)
+        .map(|r| {
+            let x = (r as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            let x = x ^ (x >> 31);
+            if r % 7 == 3 {
+                0 // silent ranks: zero-length blocks must survive chaos too
+            } else {
+                1 + (x % 48) as usize
+            }
+        })
+        .collect()
+}
+
+fn ragged_payloads(sizes: &[usize], seed: u64) -> Vec<Vec<u8>> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(r, &m)| {
+            (0..m)
+                .map(|i| {
+                    let x = (r as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(seed)
+                        .wrapping_add(i as u64);
+                    (x ^ (x >> 32)) as u8
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The 64-rank 5%-drop acceptance bar, ragged edition: seeded per-rank
+/// block sizes (including zero-length blocks) through `allgatherv`
+/// semantics on all three backends — virtual, threaded-under-chaos, and
+/// the discrete-event simulator.
+#[test]
+fn acceptance_64_rank_5pct_drop_ragged() {
+    use nhood_core::exec::{ExecEngine, Sim};
+    use nhood_core::BlockSizes;
+
+    let g = nhood_topology::random::erdos_renyi(64, 0.3, 2024);
+    let layout = ClusterLayout::new(8, 2, 4);
+    let sizes = seeded_ragged_sizes(64, 0xC0FFEE);
+    assert!(sizes.contains(&0), "the seeded table must exercise zero-length blocks");
+    let payloads = ragged_payloads(&sizes, 0xACCE97);
+    let want = reference_allgather(&g, &payloads);
+
+    // Planning is pinned to the seeded size table, so byte-weighted
+    // selection sees the same raggedness the execution does.
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone())
+        .unwrap()
+        .with_block_sizes(BlockSizes::per_rank(sizes.clone()));
+
+    // Backend 1 — virtual, through the public allgatherv entry point.
+    assert_eq!(comm.neighbor_allgatherv(Algorithm::DistanceHalving, &payloads).unwrap(), want);
+
+    // Backend 2 — threaded under seeded 5% drops, both engines, with the
+    // same retry budget as the uniform acceptance test.
+    let plan = comm.plan(Algorithm::DistanceHalving).unwrap();
+    for engine in [ExecEngine::Arena, ExecEngine::PerBlock] {
+        for s in 0..3 {
+            let fp = FaultPlan::seeded(0xACCE97 + s).with_message_drop(0.05);
+            let opts = ExecOptions::new()
+                .ragged(true)
+                .engine(engine)
+                .recv_timeout(Duration::from_secs(5))
+                .retries(4, Duration::from_micros(50))
+                .fault(&fp);
+            let out = Threaded
+                .run(&plan, &g, &payloads, &mut BlockArena::new(), &opts)
+                .unwrap_or_else(|e| panic!("{engine:?} seed {s}: {e}"));
+            assert_eq!(out.rbufs, want, "{engine:?} seed {s}: ragged buffers corrupted");
+        }
+    }
+
+    // The robust wrapper accepts ragged payloads too: every seeded run
+    // is exact-or-typed, exactly like the uniform sweep.
+    for s in 0..3u64 {
+        let fp = FaultPlan::seeded(0xACCE97 + s).with_message_drop(0.05);
+        let robust = DistGraphComm::create_adjacent(g.clone(), layout.clone())
+            .unwrap()
+            .with_block_sizes(BlockSizes::per_rank(sizes.clone()))
+            .with_fault_plan(fp);
+        // errors are typed by construction; a success must be exact
+        if let Ok((bufs, report)) =
+            robust.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads)
+        {
+            assert_eq!(bufs, want, "seed {s}: corrupted ragged buffers ({report})");
+        }
+    }
+
+    // Backend 3 — the simulator consumes the ragged schedule: no real
+    // bytes move, so acceptance is a finite positive makespan.
+    let out = Sim::new(layout)
+        .run(&plan, &g, &payloads, &mut BlockArena::new(), &ExecOptions::new().ragged(true))
+        .unwrap();
+    let report = out.sim.expect("sim backend returns a report");
+    assert!(
+        report.makespan.is_finite() && report.makespan > 0.0,
+        "ragged schedule must simulate to completion, got makespan {}",
+        report.makespan
+    );
+}
+
 #[test]
 fn direct_threaded_exact_under_retry_budget() {
     // bypass the robust wrapper: the raw executor itself must deliver
