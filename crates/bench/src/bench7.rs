@@ -1,0 +1,480 @@
+//! BENCH_7 — sustained load on the multi-tenant collective service.
+//!
+//! Two measurements over [`nhood_service`]:
+//!
+//! * **Sustained cells** — an open-loop mixed workload (Poisson
+//!   arrivals, Zipf-sized uniform *and* ragged payloads, a fault-armed
+//!   tenant injecting 5 % message drops, periodic topology churn)
+//!   drives a service of several tenants. Every completion is
+//!   byte-verified against the MPI-semantics reference; the report
+//!   keeps rejected / degraded / failed counts and deterministic
+//!   nearest-rank p50/p99 latency.
+//! * **Batching cells** — the identical pre-generated request stream is
+//!   pushed through the service twice: once with same-fingerprint
+//!   coalescing on (one plan fetch + warm arena per batch) and once
+//!   per-request (the public one-call-API baseline: plan fetch and cold
+//!   arena per request). Throughput is requests over wall time.
+//!
+//! Acceptance gates, evaluated by [`gates`]:
+//!
+//! * `completion_ok` — every sustained cell completes ≥ 99 % of
+//!   *admitted* requests ([`GATE_COMPLETION`]) with **zero** corrupt
+//!   buffers and a non-trivial number of byte-verifications;
+//! * `batch_speedup_ok` — the best batching cell beats its per-request
+//!   baseline by ≥ [`GATE_SPEEDUP`]× on throughput.
+
+use std::time::{Duration, Instant};
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::{Algorithm, DistGraphComm, FaultPlan};
+use nhood_service::traffic::{
+    drive_stream, generate_requests, run_open_loop, GenRequest, TrafficSpec,
+};
+use nhood_service::{AdmissionConfig, Service, ServiceConfig, Verify};
+use nhood_topology::random::erdos_renyi;
+use nhood_topology::rng::hash_mix;
+
+/// Required completed / admitted fraction per sustained cell.
+pub const GATE_COMPLETION: f64 = 0.99;
+
+/// Required batched / per-request throughput ratio (best cell).
+pub const GATE_SPEEDUP: f64 = 1.2;
+
+/// One sustained-load cell: the full honesty ledger of an open-loop
+/// run.
+#[derive(Debug, Clone)]
+pub struct SustainedRow {
+    /// Cell label, e.g. `"mixed n=24 drop=0.05 churn=20ms"`.
+    pub case: String,
+    /// Registered tenants (the last one fault-armed).
+    pub tenants: usize,
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions rejected by admission control (typed backpressure).
+    pub rejected: u64,
+    /// Requests completed with buffers.
+    pub completed: u64,
+    /// Requests failed with a typed error.
+    pub failed: u64,
+    /// Completed-but-degraded requests (quorum subset).
+    pub degraded: u64,
+    /// Completions byte-verified against the naive reference.
+    pub verified: u64,
+    /// Verified completions with wrong bytes (must be zero).
+    pub corrupt: u64,
+    /// Churn events applied mid-run.
+    pub churn_events: u64,
+    /// Churn events absorbed surgically.
+    pub repairs: u64,
+    /// Churn events that forced a full rebuild.
+    pub full_rebuilds: u64,
+    /// Nearest-rank median latency, µs (arrival → completion).
+    pub p50_us: u64,
+    /// Nearest-rank 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+impl SustainedRow {
+    /// Completed / admitted (1.0 when nothing was admitted).
+    pub fn completion_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// One batching-comparison cell: identical stream, two configurations.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Cell label, e.g. `"n=32 reqs=600"`.
+    pub case: String,
+    /// Requests in the stream.
+    pub requests: usize,
+    /// Throughput with same-fingerprint coalescing, req/s.
+    pub batched_rps: f64,
+    /// Throughput per-request (batching off), req/s.
+    pub unbatched_rps: f64,
+}
+
+impl BatchRow {
+    /// Batched over per-request throughput.
+    pub fn speedup(&self) -> f64 {
+        self.batched_rps / self.unbatched_rps.max(1e-9)
+    }
+}
+
+/// The acceptance verdict (also embedded in the JSON document).
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Smallest completion rate among sustained cells.
+    pub min_completion: f64,
+    /// Total corrupt completions across sustained cells.
+    pub corrupt_total: u64,
+    /// Gate: every sustained cell at ≥ [`GATE_COMPLETION`], zero
+    /// corrupt, and at least one byte-verification actually ran.
+    pub completion_ok: bool,
+    /// Largest batched/per-request speedup among batching cells.
+    pub max_batch_speedup: f64,
+    /// Gate: `max_batch_speedup >=` [`GATE_SPEEDUP`].
+    pub batch_speedup_ok: bool,
+}
+
+/// Sustained-cell parameters (exposed so tests can run a tiny cell).
+#[derive(Debug, Clone, Copy)]
+pub struct SustainedParams {
+    /// Rank count per tenant graph.
+    pub n: usize,
+    /// Clean tenants (one more tenant is added fault-armed).
+    pub clean_tenants: usize,
+    /// Message-drop probability on the fault-armed tenant.
+    pub drop_p: f64,
+    /// Arrival horizon.
+    pub horizon: Duration,
+    /// Mean interarrival gap.
+    pub mean_interarrival: Duration,
+    /// Churn period (edge add + remove on a random tenant).
+    pub churn_period: Duration,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs one sustained open-loop cell.
+pub fn sustained_cell(p: SustainedParams) -> SustainedRow {
+    let cfg = ServiceConfig {
+        admission: AdmissionConfig { queue_capacity: 256, per_tenant_quota: 64, max_batch: 64 },
+        verify: Verify::All,
+        ..ServiceConfig::default()
+    };
+    let mut svc = Service::new(cfg);
+    let layout = ClusterLayout::new(p.n.div_ceil(8), 2, 4);
+    for t in 0..p.clean_tenants {
+        let g = erdos_renyi(p.n, 0.3, hash_mix(&[p.seed, t as u64]));
+        svc.add_tenant(g, layout.clone(), Algorithm::DistanceHalving).expect("clean tenant");
+    }
+    let g = erdos_renyi(p.n, 0.3, hash_mix(&[p.seed, 0xfa]));
+    let faulty = DistGraphComm::create_adjacent(g, layout)
+        .expect("layout fits")
+        .with_fault_plan(FaultPlan::seeded(hash_mix(&[p.seed, 0xfb])).with_message_drop(p.drop_p));
+    svc.add_tenant_comm(faulty, Algorithm::DistanceHalving).expect("faulty tenant");
+
+    let spec = TrafficSpec {
+        seed: p.seed,
+        horizon: p.horizon,
+        mean_interarrival: p.mean_interarrival,
+        zipf_s: 1.1,
+        size_min: 16,
+        size_max: 2048,
+        ragged_frac: 0.3,
+        churn_period: Some(p.churn_period),
+        churn_edges: 1,
+    };
+    let report = run_open_loop(&mut svc, &spec);
+    let (p50, p99) = report.latency.map_or((0, 0), |l| (l.p50, l.p99));
+    SustainedRow {
+        case: format!(
+            "mixed n={} t={} drop={} churn={}ms",
+            p.n,
+            p.clean_tenants + 1,
+            p.drop_p,
+            p.churn_period.as_millis()
+        ),
+        tenants: p.clean_tenants + 1,
+        submitted: report.stats.submitted,
+        admitted: report.stats.admitted,
+        rejected: report.stats.rejected,
+        completed: report.stats.completed,
+        failed: report.stats.failed,
+        degraded: report.stats.degraded,
+        verified: report.stats.verified,
+        corrupt: report.stats.corrupt,
+        churn_events: report.stats.churn_events,
+        repairs: report.stats.repairs,
+        full_rebuilds: report.stats.full_rebuilds,
+        p50_us: p50,
+        p99_us: p99,
+        throughput_rps: report.throughput_rps,
+    }
+}
+
+/// Runs one batching-comparison cell: the same `requests`-long stream
+/// through a batched and a per-request service, `reps` times each
+/// (alternating order); the best wall-clock per arm is kept so one
+/// scheduler hiccup cannot decide the verdict.
+pub fn batching_cell(
+    n: usize,
+    tenants: usize,
+    requests: usize,
+    reps: usize,
+    seed: u64,
+) -> BatchRow {
+    let spec = TrafficSpec {
+        seed,
+        zipf_s: 1.2,
+        size_min: 16,
+        size_max: 256,
+        ragged_frac: 0.25,
+        ..TrafficSpec::default()
+    };
+    // Every tenant shares one topology → one fingerprint → cross-tenant
+    // coalescing in the batched arm.
+    let graph = erdos_renyi(n, 0.3, seed);
+    let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+    let stream = generate_requests(&spec, &vec![n; tenants], requests);
+
+    let run_arm = |batching: bool, stream: &[GenRequest]| -> f64 {
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig {
+                queue_capacity: 256,
+                per_tenant_quota: 256,
+                max_batch: 64,
+            },
+            batching,
+            verify: Verify::None,
+            ..ServiceConfig::default()
+        };
+        let mut svc = Service::new(cfg);
+        for _ in 0..tenants {
+            svc.add_tenant(graph.clone(), layout.clone(), Algorithm::DistanceHalving)
+                .expect("tenant");
+        }
+        let t0 = Instant::now();
+        let finished = drive_stream(&mut svc, stream);
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(finished, stream.len(), "every request must finish");
+        finished as f64 / dt
+    };
+
+    let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+    for rep in 0..reps.max(1) {
+        // Alternate which arm runs first so cache/allocator warmth is
+        // shared fairly.
+        if rep % 2 == 0 {
+            best_on = best_on.max(run_arm(true, &stream));
+            best_off = best_off.max(run_arm(false, &stream));
+        } else {
+            best_off = best_off.max(run_arm(false, &stream));
+            best_on = best_on.max(run_arm(true, &stream));
+        }
+    }
+    BatchRow {
+        case: format!("n={n} tenants={tenants} reqs={requests}"),
+        requests,
+        batched_rps: best_on,
+        unbatched_rps: best_off,
+    }
+}
+
+/// Runs the sustained grid. Quick runs shrink horizons for CI smoke.
+pub fn run_sustained(quick: bool) -> Vec<SustainedRow> {
+    let (horizon_ms, inter_us) = if quick { (100, 300) } else { (400, 150) };
+    let base = SustainedParams {
+        n: 24,
+        clean_tenants: 3,
+        drop_p: 0.05,
+        horizon: Duration::from_millis(horizon_ms),
+        mean_interarrival: Duration::from_micros(inter_us),
+        churn_period: Duration::from_millis(20),
+        seed: 0xB7,
+    };
+    let mut rows = vec![sustained_cell(base)];
+    if !quick {
+        // A second, denser cell: more tenants, faster churn.
+        rows.push(sustained_cell(SustainedParams {
+            n: 32,
+            clean_tenants: 5,
+            churn_period: Duration::from_millis(10),
+            seed: 0xB8,
+            ..base
+        }));
+    }
+    rows
+}
+
+/// Runs the batching grid.
+pub fn run_batching(quick: bool) -> Vec<BatchRow> {
+    let (requests, reps) = if quick { (200, 3) } else { (600, 5) };
+    let mut rows = vec![batching_cell(32, 4, requests, reps, 0xB7)];
+    if !quick {
+        rows.push(batching_cell(64, 4, requests, reps, 0xB8));
+    }
+    rows
+}
+
+/// Evaluates the acceptance gates.
+pub fn gates(sustained: &[SustainedRow], batching: &[BatchRow]) -> GateReport {
+    let min_completion =
+        sustained.iter().map(SustainedRow::completion_rate).min_by(f64::total_cmp).unwrap_or(1.0);
+    let corrupt_total = sustained.iter().map(|r| r.corrupt).sum();
+    let completion_ok = min_completion >= GATE_COMPLETION
+        && corrupt_total == 0
+        && sustained.iter().all(|r| r.verified > 0);
+    let max_batch_speedup =
+        batching.iter().map(BatchRow::speedup).max_by(f64::total_cmp).unwrap_or(0.0);
+    GateReport {
+        min_completion,
+        corrupt_total,
+        completion_ok,
+        max_batch_speedup,
+        batch_speedup_ok: max_batch_speedup >= GATE_SPEEDUP,
+    }
+}
+
+/// Renders the result as the `BENCH_7.json` document (pretty-printed,
+/// hand-rolled — the workspace builds offline, no serde).
+pub fn write_json(
+    sustained: &[SustainedRow],
+    batching: &[BatchRow],
+    report: &GateReport,
+    quick: bool,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_7\",\n");
+    s.push_str(
+        "  \"description\": \"multi-tenant service under sustained open-loop load; batched vs per-request execution\",\n",
+    );
+    s.push_str(&format!("  \"scale\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    s.push_str("  \"sustained\": [\n");
+    for (i, r) in sustained.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"tenants\": {}, \"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"completed\": {}, \"failed\": {}, \"degraded\": {}, \"verified\": {}, \"corrupt\": {}, \"churn_events\": {}, \"repairs\": {}, \"full_rebuilds\": {}, \"p50_us\": {}, \"p99_us\": {}, \"throughput_rps\": {:.1}, \"completion_rate\": {:.6}}}{}\n",
+            r.case,
+            r.tenants,
+            r.submitted,
+            r.admitted,
+            r.rejected,
+            r.completed,
+            r.failed,
+            r.degraded,
+            r.verified,
+            r.corrupt,
+            r.churn_events,
+            r.repairs,
+            r.full_rebuilds,
+            r.p50_us,
+            r.p99_us,
+            r.throughput_rps,
+            r.completion_rate(),
+            if i + 1 < sustained.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"batching\": [\n");
+    for (i, r) in batching.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"requests\": {}, \"batched_rps\": {:.1}, \"unbatched_rps\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.case,
+            r.requests,
+            r.batched_rps,
+            r.unbatched_rps,
+            r.speedup(),
+            if i + 1 < batching.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"gates\": {\n");
+    s.push_str(&format!("    \"min_completion\": {:.6},\n", report.min_completion));
+    s.push_str(&format!("    \"corrupt_total\": {},\n", report.corrupt_total));
+    s.push_str(&format!("    \"completion_ok\": {},\n", report.completion_ok));
+    s.push_str(&format!("    \"max_batch_speedup\": {:.3},\n", report.max_batch_speedup));
+    s.push_str(&format!("    \"batch_speedup_ok\": {}\n", report.batch_speedup_ok));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srow(admitted: u64, completed: u64, verified: u64, corrupt: u64) -> SustainedRow {
+        SustainedRow {
+            case: "test".into(),
+            tenants: 2,
+            submitted: admitted,
+            admitted,
+            rejected: 0,
+            completed,
+            failed: admitted - completed,
+            degraded: 0,
+            verified,
+            corrupt,
+            churn_events: 0,
+            repairs: 0,
+            full_rebuilds: 0,
+            p50_us: 10,
+            p99_us: 100,
+            throughput_rps: 1000.0,
+        }
+    }
+
+    fn brow(batched: f64, unbatched: f64) -> BatchRow {
+        BatchRow {
+            case: "test".into(),
+            requests: 100,
+            batched_rps: batched,
+            unbatched_rps: unbatched,
+        }
+    }
+
+    #[test]
+    fn completion_gate_requires_rate_verification_and_zero_corruption() {
+        let ok = gates(&[srow(100, 100, 100, 0)], &[brow(1200.0, 1000.0)]);
+        assert!(ok.completion_ok && ok.batch_speedup_ok, "{ok:?}");
+
+        let low = gates(&[srow(100, 98, 98, 0)], &[]);
+        assert!(!low.completion_ok, "98% must fail the 99% bar: {low:?}");
+
+        let corrupt = gates(&[srow(100, 100, 100, 1)], &[]);
+        assert!(!corrupt.completion_ok, "any corruption fails: {corrupt:?}");
+
+        let unverified = gates(&[srow(100, 100, 0, 0)], &[]);
+        assert!(!unverified.completion_ok, "a cell that never verified is not evidence");
+    }
+
+    #[test]
+    fn speedup_gate_takes_the_best_cell() {
+        let g = gates(&[srow(10, 10, 10, 0)], &[brow(1000.0, 900.0), brow(1500.0, 1000.0)]);
+        assert!(g.batch_speedup_ok, "1.5x best cell passes: {g:?}");
+        let g = gates(&[srow(10, 10, 10, 0)], &[brow(1100.0, 1000.0)]);
+        assert!(!g.batch_speedup_ok, "1.1x fails the 1.2x bar: {g:?}");
+    }
+
+    #[test]
+    fn tiny_sustained_cell_holds_the_invariants() {
+        let row = sustained_cell(SustainedParams {
+            n: 12,
+            clean_tenants: 1,
+            drop_p: 0.05,
+            horizon: Duration::from_millis(30),
+            mean_interarrival: Duration::from_micros(600),
+            churn_period: Duration::from_millis(12),
+            seed: 7,
+        });
+        assert!(row.admitted > 0, "{row:?}");
+        assert_eq!(row.completed + row.failed, row.admitted, "{row:?}");
+        assert_eq!(row.corrupt, 0, "{row:?}");
+        assert!(row.verified > 0, "{row:?}");
+        assert!(row.p99_us >= row.p50_us, "{row:?}");
+    }
+
+    #[test]
+    fn json_document_is_balanced() {
+        let sustained = vec![srow(100, 100, 100, 0)];
+        let batching = vec![brow(1300.0, 1000.0)];
+        let report = gates(&sustained, &batching);
+        let json = write_json(&sustained, &batching, &report, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"rejected\""));
+        assert!(json.contains("\"degraded\""));
+        assert!(json.contains("\"batch_speedup_ok\": true"));
+    }
+}

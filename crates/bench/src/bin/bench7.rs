@@ -1,0 +1,96 @@
+//! `bench7` — regenerate `BENCH_7.json`: multi-tenant service under
+//! sustained open-loop load.
+//!
+//! ```text
+//! bench7 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_7.json` in the current directory. Two
+//! acceptance gates: every sustained cell completes ≥ 99 % of admitted
+//! requests with zero corrupt byte-verified buffers, and batched
+//! same-fingerprint execution beats per-request execution ≥ 1.2× on
+//! throughput. Exits nonzero when a gate fails.
+
+use nhood_bench::bench7;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_7.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench7 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_7: multi-tenant service, sustained load + batching ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let sustained = bench7::run_sustained(quick);
+    let batching = bench7::run_batching(quick);
+    let report = bench7::gates(&sustained, &batching);
+    let json = bench7::write_json(&sustained, &batching, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_7.json");
+
+    eprintln!(
+        "   case                             adm   rej  done  fail   cor   p50us   p99us  compl"
+    );
+    for r in &sustained {
+        eprintln!(
+            "   {:<30} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>7} {:>5.3}",
+            r.case,
+            r.admitted,
+            r.rejected,
+            r.completed,
+            r.failed,
+            r.corrupt,
+            r.p50_us,
+            r.p99_us,
+            r.completion_rate()
+        );
+    }
+    eprintln!("   case                        batched rps  per-req rps  speedup");
+    for r in &batching {
+        eprintln!(
+            "   {:<26} {:>11.0} {:>12.0} {:>7.2}x",
+            r.case,
+            r.batched_rps,
+            r.unbatched_rps,
+            r.speedup()
+        );
+    }
+    eprintln!(
+        ">> min completion {:.4} (gate {:.2}), best batch speedup {:.2}x (gate {:.1}x)",
+        report.min_completion,
+        bench7::GATE_COMPLETION,
+        report.max_batch_speedup,
+        bench7::GATE_SPEEDUP
+    );
+    eprintln!(">> wrote {}", out.display());
+
+    let mut failed = false;
+    if !report.completion_ok {
+        eprintln!(
+            "!! sustained gate failed: min completion {:.4} / corrupt {} / verification coverage",
+            report.min_completion, report.corrupt_total
+        );
+        failed = true;
+    }
+    if !report.batch_speedup_ok {
+        eprintln!(
+            "!! batching gate failed: best speedup {:.2}x under {:.1}x",
+            report.max_batch_speedup,
+            bench7::GATE_SPEEDUP
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

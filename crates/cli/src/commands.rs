@@ -558,6 +558,10 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let seed = args.get_parsed("seed", 42u64)?;
     let m = parse_bytes(args.get("size").unwrap_or("32"))?;
     let timeout = Duration::from_millis(args.get_parsed("timeout", 5000u64)?);
+    let min_complete = args.get_parsed("min-complete", 0.0f64)?;
+    if !(0.0..=1.0).contains(&min_complete) {
+        return Err(fail(format!("--min-complete {min_complete} outside [0, 1]")));
+    }
 
     let comm = DistGraphComm::create_adjacent(graph.clone(), layout)
         .map_err(|e| fail(e.to_string()))?
@@ -582,6 +586,7 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         "drop", "ok", "fallback", "error", "corrupt", "injected", "retries"
     )?;
     let mut corrupt_total = 0usize;
+    let mut completed_total = 0usize;
     for &p in &drops {
         let (mut ok, mut fell, mut err, mut corrupt) = (0usize, 0usize, 0usize, 0usize);
         let (mut injected, mut retries) = (0u64, 0u64);
@@ -607,6 +612,7 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
             }
         }
         corrupt_total += corrupt;
+        completed_total += ok + fell;
         writeln!(
             w,
             "{:>8.3} {:>6} {:>9} {:>7} {:>8} {:>9} {:>8}",
@@ -619,6 +625,18 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         )));
     }
     writeln!(w, "no silent corruption: every run was exact or failed typed")?;
+    // CI gate: a typed error is honest but still a failure to deliver —
+    // --min-complete bounds how many runs may end that way.
+    let total_runs = drops.len() * runs;
+    let frac = if total_runs == 0 { 1.0 } else { completed_total as f64 / total_runs as f64 };
+    if frac < min_complete {
+        return Err(fail(format!(
+            "completion {frac:.3} ({completed_total}/{total_runs}) below --min-complete {min_complete}"
+        )));
+    }
+    if min_complete > 0.0 {
+        writeln!(w, "completion {frac:.3} >= {min_complete} (--min-complete gate)")?;
+    }
     Ok(())
 }
 
@@ -749,6 +767,152 @@ pub fn cmd_churn(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `nhood serve [<edge-list>] [--tenants T] [--n N --delta D] [--algo ..]
+/// [--duration-ms MS] [--interarrival-us US] [--zipf S]
+/// [--size-min B --size-max B] [--faulty F] [--fault-drop P]
+/// [--churn-ms MS] [--queue CAP] [--quota Q] [--batch B] [--no-batch]
+/// [--backend virtual|threaded|sim] [--seed S] [--drill] [layout flags]`
+/// — host `T` tenants on one multi-tenant collective service and drive
+/// it with a seeded open-loop workload (Poisson arrivals, Zipf sizes,
+/// optional periodic churn). With an edge-list every tenant shares that
+/// topology; otherwise each tenant gets its own seeded Erdős–Rényi
+/// graph. The last `--faulty` tenants are fault-armed (message drops at
+/// `--fault-drop`) and execute on the robust path.
+///
+/// `--drill` pins a small deterministic mixed workload (clean + faulty
+/// tenants, churn every 25 ms, every completion byte-verified) and
+/// **fails with a nonzero exit** unless ≥ 99 % of admitted requests
+/// complete with zero corrupt buffers — the CI acceptance condition.
+pub fn cmd_serve(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    use nhood_core::fault::FaultPlan;
+    use nhood_service::traffic::{run_open_loop, TrafficSpec};
+    use nhood_service::{AdmissionConfig, Backend, Service, ServiceConfig, Verify};
+    use nhood_topology::random::erdos_renyi;
+    use nhood_topology::rng::hash_mix;
+    use std::time::Duration;
+
+    let drill = args.has("drill");
+    let tenants = args.get_parsed("tenants", if drill { 3 } else { 4usize })?;
+    if tenants == 0 {
+        return Err(fail("serve: --tenants must be at least 1"));
+    }
+    let seed = args.get_parsed("seed", 42u64)?;
+    let algo = parse_algo(args)?;
+    let duration_ms = args.get_parsed("duration-ms", if drill { 80 } else { 200u64 })?;
+    let inter_us = args.get_parsed("interarrival-us", if drill { 400 } else { 200u64 })?;
+    let zipf_s = args.get_parsed("zipf", 1.1f64)?;
+    let faulty = args.get_parsed("faulty", if drill { 1 } else { 0usize })?;
+    let fault_drop = args.get_parsed("fault-drop", 0.05f64)?;
+    let churn_ms = args.get_parsed("churn-ms", if drill { 25 } else { 0u64 })?;
+    let queue = args.get_parsed("queue", 256usize)?;
+    let quota = args.get_parsed("quota", 64usize)?;
+    let batch = args.get_parsed("batch", 64usize)?;
+    let size_min = parse_bytes(args.get("size-min").unwrap_or("16"))?;
+    let size_max = parse_bytes(args.get("size-max").unwrap_or("2K"))?;
+    if faulty > tenants {
+        return Err(fail(format!("--faulty {faulty} exceeds --tenants {tenants}")));
+    }
+    let backend = match args.get("backend").unwrap_or("virtual") {
+        "virtual" => Backend::Virtual,
+        "threaded" => Backend::Threaded,
+        "sim" => Backend::Sim,
+        other => return Err(fail(format!("unknown --backend '{other}' (virtual|threaded|sim)"))),
+    };
+
+    let cfg = ServiceConfig {
+        admission: AdmissionConfig {
+            queue_capacity: queue,
+            per_tenant_quota: quota,
+            max_batch: batch,
+        },
+        backend,
+        batching: !args.has("no-batch"),
+        verify: if drill { Verify::All } else { Verify::Sample(8) },
+        ..ServiceConfig::default()
+    };
+    let mut svc = Service::new(cfg);
+
+    // Tenant topologies: a shared edge-list, or per-tenant seeded ER
+    // graphs (which also demonstrates cross-tenant cache sharing when
+    // seeds collide).
+    let shared = match args.pos(1) {
+        Some(path) => Some(load_topology(path)?),
+        None => None,
+    };
+    for t in 0..tenants {
+        let graph = match &shared {
+            Some(g) => g.clone(),
+            None => {
+                let n = args.get_parsed("n", 16usize)?;
+                let delta = args.get_parsed("delta", 0.3f64)?;
+                erdos_renyi(n, delta, hash_mix(&[seed, t as u64]))
+            }
+        };
+        let layout = parse_layout(args, graph.n())?;
+        let comm =
+            DistGraphComm::create_adjacent(graph, layout).map_err(|e| fail(e.to_string()))?;
+        let comm = if t >= tenants - faulty {
+            comm.with_fault_plan(
+                FaultPlan::seeded(hash_mix(&[seed, 0xfa, t as u64]))
+                    .with_message_drop(fault_drop.clamp(0.0, 1.0)),
+            )
+        } else {
+            comm
+        };
+        svc.add_tenant_comm(comm, algo).map_err(|e| fail(e.to_string()))?;
+    }
+
+    let spec = TrafficSpec {
+        seed,
+        horizon: Duration::from_millis(duration_ms),
+        mean_interarrival: Duration::from_micros(inter_us.max(1)),
+        zipf_s,
+        size_min,
+        size_max,
+        churn_period: (churn_ms > 0).then(|| Duration::from_millis(churn_ms)),
+        ..TrafficSpec::default()
+    };
+    writeln!(
+        w,
+        "serve: {tenants} tenant(s) ({faulty} fault-armed), {algo}, backend {}, \
+         horizon {duration_ms} ms @ ~{inter_us} µs interarrival, batching {}",
+        match backend {
+            Backend::Virtual => "virtual",
+            Backend::Threaded => "threaded",
+            Backend::Sim => "sim",
+        },
+        if args.has("no-batch") { "off" } else { "on" },
+    )?;
+    let report = run_open_loop(&mut svc, &spec);
+    writeln!(w, "{report}")?;
+
+    if drill {
+        if report.stats.admitted == 0 {
+            return Err(fail("drill admitted no requests — workload misconfigured"));
+        }
+        if report.stats.corrupt > 0 {
+            return Err(fail(format!(
+                "drill: {} corrupt completion(s) — byte-correctness violated",
+                report.stats.corrupt
+            )));
+        }
+        let rate = report.completion_rate();
+        if rate < 0.99 {
+            return Err(fail(format!(
+                "drill: completion {:.4} below the 0.99 acceptance bar ({} of {} admitted)",
+                rate, report.stats.completed, report.stats.admitted
+            )));
+        }
+        writeln!(
+            w,
+            "drill: completion {:.2}% >= 99%, corrupt 0, rejected {} (typed backpressure) — ok",
+            rate * 100.0,
+            report.stats.rejected
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,8 +947,21 @@ mod tests {
             "cache-dir",
             "load-metric",
             "block-sizes",
+            "min-complete",
+            "tenants",
+            "duration-ms",
+            "interarrival-us",
+            "zipf",
+            "faulty",
+            "fault-drop",
+            "churn-ms",
+            "queue",
+            "quota",
+            "batch",
+            "size-min",
+            "size-max",
         ],
-        switches: &["ragged"],
+        switches: &["ragged", "no-batch", "drill"],
     };
 
     fn args(toks: &[&str]) -> Args {
@@ -1018,6 +1195,77 @@ mod tests {
         assert!(text.lines().count() >= 6, "{text}");
         assert!(text.contains("surgical") || text.contains("rebuild"), "{text}");
         assert!(text.contains("recovered by repair") || text.contains("nothing to kill"), "{text}");
+    }
+
+    #[test]
+    fn chaos_min_complete_gate_trips_on_impossible_bar() {
+        let path = tmp("nhood_cli_chaos_gate.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "16", "--delta", "0.4"]), &mut out).unwrap();
+        // A full-drop schedule cannot complete; gating at 1.0 must fail
+        // (typed error → nonzero exit from main).
+        let mut out = Vec::new();
+        let err = cmd_chaos(
+            &args(&[
+                "chaos",
+                &path,
+                "--drops",
+                "1.0",
+                "--runs",
+                "1",
+                "--timeout",
+                "200",
+                "--min-complete",
+                "1.0",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("below --min-complete"), "{}", err.0);
+        // The same sweep passes with the gate disabled (default 0.0).
+        let mut out = Vec::new();
+        cmd_chaos(
+            &args(&["chaos", &path, "--drops", "1.0", "--runs", "1", "--timeout", "200"]),
+            &mut out,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_hosts_tenants_and_reports() {
+        let mut out = Vec::new();
+        cmd_serve(
+            &args(&[
+                "serve",
+                "--tenants",
+                "2",
+                "--n",
+                "12",
+                "--duration-ms",
+                "20",
+                "--interarrival-us",
+                "1000",
+                "--seed",
+                "5",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("serve: 2 tenant(s)"), "{text}");
+        assert!(text.contains("submitted"), "{text}");
+        assert!(text.contains("throughput"), "{text}");
+        assert!(text.contains("corrupt 0"), "{text}");
+    }
+
+    #[test]
+    fn serve_drill_enforces_the_acceptance_bar() {
+        let mut out = Vec::new();
+        cmd_serve(&args(&["serve", "--drill", "--seed", "11"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("fault-armed"), "{text}");
+        assert!(text.contains("drill: completion"), "{text}");
+        assert!(text.contains("ok"), "{text}");
     }
 
     #[test]

@@ -47,8 +47,21 @@ const SPEC: Spec = Spec {
         "cache-dir",
         "load-metric",
         "block-sizes",
+        "min-complete",
+        "tenants",
+        "duration-ms",
+        "interarrival-us",
+        "zipf",
+        "faulty",
+        "fault-drop",
+        "churn-ms",
+        "queue",
+        "quota",
+        "batch",
+        "size-min",
+        "size-max",
     ],
-    switches: &["help", "ragged"],
+    switches: &["help", "ragged", "no-batch", "drill"],
 };
 
 const USAGE: &str = "\
@@ -69,9 +82,14 @@ commands:
         [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   recommend <edge-list> [--size 4K] [layout flags]
   chaos <edge-list> [--algo ..] [--drops 0.01,0.05,0.1] [--runs 5] [--seed 42]
-        [--size 32] [--timeout 5000] [layout flags]
+        [--size 32] [--timeout 5000] [--min-complete 0.9] [layout flags]
   churn <edge-list> [--events 5] [--seed 42] [--size 32] [--timeout 5000]
         [layout flags]
+  serve [<edge-list>] [--tenants 4] [--n 16 --delta 0.3] [--algo ..]
+        [--duration-ms 200] [--interarrival-us 200] [--zipf 1.1]
+        [--size-min 16 --size-max 2K] [--faulty 0] [--fault-drop 0.05]
+        [--churn-ms 0] [--queue 256] [--quota 64] [--batch 64] [--no-batch]
+        [--backend virtual|threaded|sim] [--seed 42] [--drill] [layout flags]
 ";
 
 fn main() {
@@ -98,6 +116,7 @@ fn main() {
         "recommend" => commands::cmd_recommend(&parsed, &mut out),
         "chaos" => commands::cmd_chaos(&parsed, &mut out),
         "churn" => commands::cmd_churn(&parsed, &mut out),
+        "serve" => commands::cmd_serve(&parsed, &mut out),
         other => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

@@ -274,6 +274,17 @@ pub struct DistGraphComm {
     churn: Option<ChurnSlot>,
 }
 
+// Tenants of the collective service own one communicator each and may
+// be dispatched from worker threads while sharing a plan cache — the
+// communicator (and everything a robust run threads through it) must
+// stay `Send + Sync`-clean. Compile-time pin, not a runtime check.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DistGraphComm>();
+    assert_send_sync::<RobustPolicy>();
+    assert_send_sync::<ExecReport>();
+};
+
 impl DistGraphComm {
     /// Creates a communicator. Fails if the layout has fewer cores than
     /// the topology has ranks.

@@ -224,6 +224,16 @@ pub struct PlanCache {
     capacity: usize,
 }
 
+// The service layer hands one `Arc<PlanCache>` to every tenant and the
+// threaded executor's rank threads hit it concurrently — losing `Send`
+// or `Sync` (e.g. by caching an `Rc` or a raw pointer in `Inner`) must
+// be a compile error here, not a runtime surprise at the call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<PlanFingerprint>();
+};
+
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
@@ -622,6 +632,64 @@ mod tests {
         let plan = fresh.lookup(mutated, &g2).expect("valid churned plan promotes");
         plan.validate(&g2).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contention_smoke_shared_cache_across_threads() {
+        // The multi-tenant service shares ONE cache across every tenant
+        // and worker thread. Hammer a small cache from several threads —
+        // concurrent get_or_build / lookup / retire over more keys than
+        // the capacity holds — and require: no deadlock, no panic, every
+        // served plan validates for its topology, capacity respected,
+        // and the counter deltas add up.
+        let threads = 8usize;
+        let iters = 200usize;
+        let cache = PlanCache::new(4);
+        let graphs: Vec<Topology> = (0..8).map(|s| erdos_renyi(16, 0.4, s as u64)).collect();
+        let l = layout(16);
+        let fps: Vec<PlanFingerprint> =
+            graphs.iter().map(|g| PlanFingerprint::of_build(g, &l, Algorithm::Naive)).collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                let graphs = &graphs;
+                let fps = &fps;
+                scope.spawn(move || {
+                    for i in 0..iters {
+                        let k = (t * 31 + i * 7) % graphs.len();
+                        let (g, fp) = (&graphs[k], fps[k]);
+                        let (plan, _hit) = cache
+                            .get_or_build(fp, g, || -> Result<_, std::convert::Infallible> {
+                                Ok(plan_naive(g))
+                            })
+                            .unwrap();
+                        plan.validate(g).expect("served plan must fit its topology");
+                        // interleave reads and occasional retirements
+                        if let Some(p) = cache.lookup(fp, g) {
+                            p.validate(g).unwrap();
+                        }
+                        if i % 17 == t % 17 {
+                            cache.retire(fp);
+                        }
+                    }
+                });
+            }
+        });
+
+        assert!(cache.len() <= cache.capacity(), "LRU bound violated under contention");
+        let s = cache.stats();
+        let ops = (threads * iters) as u64;
+        // every get_or_build is a hit or a miss, and every miss inserted
+        assert!(s.hits + s.misses >= ops, "{s:?} vs {ops} get_or_build calls");
+        assert!(s.insertions >= s.misses.min(1), "misses must insert: {s:?}");
+        // the cache still works single-threaded afterwards
+        let (plan, _) = cache
+            .get_or_build(fps[0], &graphs[0], || -> Result<_, std::convert::Infallible> {
+                Ok(plan_naive(&graphs[0]))
+            })
+            .unwrap();
+        plan.validate(&graphs[0]).unwrap();
     }
 
     #[test]

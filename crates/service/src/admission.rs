@@ -1,0 +1,157 @@
+//! Admission control: the bounded submission queue's accept/reject
+//! decision, with typed backpressure.
+//!
+//! The service accepts a request only while (a) the global queue has
+//! room and (b) the submitting tenant is under its fairness quota.
+//! Everything else is **rejected immediately** with a typed
+//! [`Rejected`] carrying a `retry_after` hint derived from the current
+//! backlog and a smoothed per-request service time — an open-loop
+//! client can convert it straight into a backoff sleep. Rejection is
+//! the only backpressure mechanism: the service never blocks a
+//! submitter and never drops an admitted request.
+
+use std::time::Duration;
+
+/// Tunable admission limits. The defaults suit the in-repo traffic
+/// drills; a real deployment sizes `queue_capacity` to its latency
+/// budget (queue depth × mean service time ≈ worst-case queueing
+/// delay).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Upper bound on queued (admitted, not yet executed) requests
+    /// across all tenants.
+    pub queue_capacity: usize,
+    /// Upper bound on one tenant's share of the queue — the fairness
+    /// backstop that keeps a bursty tenant from starving the rest.
+    pub per_tenant_quota: usize,
+    /// Most requests drained per [`tick`](crate::Service::tick); bounds
+    /// the reactor's per-iteration latency.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 256, per_tenant_quota: 64, max_batch: 64 }
+    }
+}
+
+/// Why a submission was turned away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global queue is at [`AdmissionConfig::queue_capacity`].
+    QueueFull {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The tenant is at [`AdmissionConfig::per_tenant_quota`].
+    TenantQuota {
+        /// The tenant's queued-request count at rejection time.
+        queued: usize,
+    },
+    /// The request itself is malformed (wrong payload count for the
+    /// tenant's communicator). Retrying the same request is futile;
+    /// `retry_after` is zero.
+    BadRequest {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+}
+
+/// Typed backpressure: the submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// What tripped.
+    pub reason: RejectReason,
+    /// Suggested client backoff before resubmitting: the backlog ahead
+    /// of the request times the smoothed per-request service time.
+    /// Zero for [`RejectReason::BadRequest`].
+    pub retry_after: Duration,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.reason {
+            RejectReason::QueueFull { depth } => {
+                write!(f, "queue full (depth {depth}), retry after {:?}", self.retry_after)
+            }
+            RejectReason::TenantQuota { queued } => {
+                write!(f, "tenant quota hit ({queued} queued), retry after {:?}", self.retry_after)
+            }
+            RejectReason::BadRequest { detail } => write!(f, "bad request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Smoothed per-request service time, fed by every executed batch and
+/// read by [`Rejected::retry_after`] hints. Exponential moving average
+/// with a 1/5 step — stable enough to ignore one slow batch, fast
+/// enough to track a load shift within a few ticks.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ServiceTimeEma {
+    micros: f64,
+}
+
+impl ServiceTimeEma {
+    /// Starts from a deliberately modest guess so the first rejections
+    /// already carry a usable hint.
+    pub(crate) fn new() -> Self {
+        Self { micros: 100.0 }
+    }
+
+    /// Folds in one batch: `elapsed` covering `requests` executions.
+    pub(crate) fn observe(&mut self, elapsed: Duration, requests: usize) {
+        if requests == 0 {
+            return;
+        }
+        let per_req = elapsed.as_secs_f64() * 1e6 / requests as f64;
+        self.micros = 0.8 * self.micros + 0.2 * per_req;
+    }
+
+    /// Backoff hint for a request that would sit behind `backlog`
+    /// queued requests (at least 1µs, so a hint is never zero while the
+    /// queue is the reason).
+    pub(crate) fn retry_after(&self, backlog: usize) -> Duration {
+        let us = (self.micros * backlog.max(1) as f64).max(1.0);
+        Duration::from_micros(us as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_tracks_service_time() {
+        let mut ema = ServiceTimeEma::new();
+        for _ in 0..50 {
+            ema.observe(Duration::from_micros(4000), 2); // 2000µs/req
+        }
+        let hint = ema.retry_after(10);
+        assert!(hint >= Duration::from_micros(10_000), "hint {hint:?} too small");
+        assert!(hint <= Duration::from_micros(40_000), "hint {hint:?} too large");
+    }
+
+    #[test]
+    fn zero_request_batches_are_ignored() {
+        let mut ema = ServiceTimeEma::new();
+        let before = ema.retry_after(1);
+        ema.observe(Duration::from_secs(5), 0);
+        assert_eq!(ema.retry_after(1), before);
+    }
+
+    #[test]
+    fn rejected_displays_its_reason() {
+        let r = Rejected {
+            reason: RejectReason::QueueFull { depth: 256 },
+            retry_after: Duration::from_micros(500),
+        };
+        assert!(r.to_string().contains("queue full"));
+        let r = Rejected {
+            reason: RejectReason::TenantQuota { queued: 64 },
+            retry_after: Duration::from_micros(500),
+        };
+        assert!(r.to_string().contains("quota"));
+    }
+}

@@ -1,0 +1,936 @@
+//! The reactor: many tenants, one shared plan cache, one submission
+//! queue, batched execution.
+//!
+//! # Life of a request
+//!
+//! 1. [`Service::submit`] runs admission control — bounded global
+//!    queue, per-tenant quota — and either enqueues the request or
+//!    returns a typed [`Rejected`] with a backoff hint. Submission
+//!    never blocks and never silently drops.
+//! 2. [`Service::tick`] drains up to
+//!    [`AdmissionConfig::max_batch`](crate::AdmissionConfig) requests
+//!    and groups them by the submitting tenant's
+//!    [`PlanFingerprint`]: requests whose fingerprints agree are
+//!    provably planning the identical collective (the fingerprint
+//!    digests topology, layout, algorithm, size table and load
+//!    metric), so the group shares **one** plan fetch and each tenant's
+//!    **warm** block arena instead of paying fingerprint hashing and
+//!    arena layout per request. That amortization is the service's
+//!    throughput lever (disable it with
+//!    [`ServiceConfig::batching`]` = false` to get the
+//!    one-call-API-per-request baseline).
+//! 3. Fault-armed tenants execute through
+//!    `neighbor_allgather_robust` (the threaded transport is the only
+//!    one that injects faults); their requests group per-tenant so a
+//!    degraded tenant never shares a batch with a clean one.
+//! 4. [`Service::churn`] applies PR 6 topology mutations to a live
+//!    tenant **without draining the queue**: the communicator repairs
+//!    (or rebuilds) its plan in place and the tenant's fingerprint is
+//!    refreshed, so queued requests simply execute against the
+//!    repaired plan when their tick comes.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::exec::sim_exec::{simulate_v, to_schedule_v};
+use nhood_core::exec::virtual_exec::reference_allgather;
+use nhood_core::{
+    Algorithm, BlockArena, BlockSizes, CommError, DistGraphComm, ExecOptions, Executor,
+    MutationReport, PlanCache, PlanFingerprint, SimCost, Threaded, Virtual,
+};
+use nhood_simnet::{Engine, Perturbation};
+use nhood_telemetry::{labels, CountingRecorder, Recorder};
+use nhood_topology::{Rank, Topology};
+
+use crate::admission::{AdmissionConfig, RejectReason, Rejected, ServiceTimeEma};
+use crate::report::{ServiceReport, ServiceStats, TenantStats};
+
+/// Identifies a registered tenant (dense, assigned by
+/// [`Service::add_tenant`] in registration order).
+pub type TenantId = usize;
+
+/// Identifies an admitted request (unique per service instance).
+pub type RequestId = u64;
+
+/// Which transport executes clean (fault-free) tenants' requests.
+/// Fault-armed tenants always run the robust threaded path on
+/// byte-moving backends, and a perturbed simulation on [`Backend::Sim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Sequential in-process oracle — fastest, used by benches/tests.
+    Virtual,
+    /// Thread-per-rank real execution.
+    Threaded,
+    /// Discrete-event simulated time; completions carry a makespan and
+    /// no bytes.
+    Sim,
+}
+
+/// How aggressively completions are byte-checked against the naive
+/// reference (only meaningful on byte-moving backends, and skipped for
+/// degraded completions whose buffers intentionally miss blocks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verify {
+    /// Never verify.
+    None,
+    /// Verify every `k`-th admitted request (`id % k == 0`).
+    Sample(u64),
+    /// Verify every completion.
+    All,
+}
+
+impl Verify {
+    fn hits(&self, id: RequestId) -> bool {
+        match *self {
+            Verify::None => false,
+            Verify::Sample(k) => k != 0 && id.is_multiple_of(k),
+            Verify::All => true,
+        }
+    }
+}
+
+/// Service construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Admission limits (queue depth, per-tenant quota, batch bound).
+    pub admission: AdmissionConfig,
+    /// Transport for clean tenants.
+    pub backend: Backend,
+    /// Coalesce same-fingerprint requests into batched executions
+    /// (`false` = per-request baseline: every request pays its own plan
+    /// fetch and a cold arena).
+    pub batching: bool,
+    /// Byte-verification policy.
+    pub verify: Verify,
+    /// Attach each completion's receive buffers to its [`Completion`]
+    /// (tests; costs memory under load).
+    pub keep_outputs: bool,
+    /// Worker threads for pattern construction / plan lowering on every
+    /// tenant communicator (the shared build pool; `1` = serial).
+    pub build_threads: usize,
+    /// Capacity of the internally created shared [`PlanCache`]
+    /// (ignored when a cache is supplied via [`Service::with_cache`]).
+    pub cache_capacity: usize,
+    /// Cost model for [`Backend::Sim`].
+    pub sim_cost: SimCost,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionConfig::default(),
+            backend: Backend::Virtual,
+            batching: true,
+            verify: Verify::Sample(16),
+            keep_outputs: false,
+            build_threads: 1,
+            cache_capacity: 64,
+            sim_cost: SimCost::niagara(),
+        }
+    }
+}
+
+/// Why a finished request finished.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Buffers (or a simulated makespan) were produced.
+    Completed {
+        /// Buffers honor only a quorum-degraded subset of the topology.
+        degraded: bool,
+        /// The run fell back to the naive plan.
+        fallback: bool,
+        /// Mid-run link-down repairs performed.
+        repairs: u32,
+    },
+    /// The request failed with a typed executor/communicator error.
+    Failed {
+        /// Rendered error.
+        error: String,
+    },
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+/// One finished request, as handed back by
+/// [`Service::take_completions`].
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The ticket [`Service::submit`] returned.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Arrival → completion, microseconds (queueing included).
+    pub latency_us: u64,
+    /// How it finished.
+    pub outcome: Outcome,
+    /// `Some(result)` when the completion was byte-checked against the
+    /// naive reference; `None` when verification was skipped.
+    pub verified: Option<bool>,
+    /// Receive buffers, when [`ServiceConfig::keep_outputs`] is set and
+    /// the backend moves bytes.
+    pub output: Option<Vec<Vec<u8>>>,
+    /// Simulated collective latency in seconds ([`Backend::Sim`] only).
+    pub sim_makespan: Option<f64>,
+}
+
+struct Pending {
+    id: RequestId,
+    tenant: TenantId,
+    payloads: Vec<Vec<u8>>,
+    ragged: bool,
+    arrived: Instant,
+}
+
+struct Tenant {
+    comm: DistGraphComm,
+    algo: Algorithm,
+    /// Grouping key: digests graph + layout + algo + size table +
+    /// metric, recomputed on churn (not per request).
+    fp: PlanFingerprint,
+    /// Persistent arena — stays laid out for the tenant's live plan, so
+    /// batched requests skip per-request layout work.
+    arena: BlockArena,
+    faulty: bool,
+    queued: usize,
+    stats: TenantStats,
+}
+
+/// Batch grouping key: clean tenants coalesce across tenants by
+/// fingerprint; fault-armed tenants stay per-tenant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum BatchKey {
+    Clean(PlanFingerprint),
+    Faulty(TenantId),
+}
+
+/// The multi-tenant collective service. See the [crate docs](crate)
+/// for the life of a request.
+pub struct Service {
+    cfg: ServiceConfig,
+    cache: Arc<PlanCache>,
+    tenants: Vec<Tenant>,
+    queue: VecDeque<Pending>,
+    next_id: RequestId,
+    ema: ServiceTimeEma,
+    rec: CountingRecorder,
+    stats: ServiceStats,
+    latencies_us: Vec<u64>,
+    completions: Vec<Completion>,
+    epoch: Instant,
+    busy: Duration,
+}
+
+impl Service {
+    /// A service with its own shared plan cache of
+    /// [`ServiceConfig::cache_capacity`] entries.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let cache = Arc::new(PlanCache::new(cfg.cache_capacity.max(1)));
+        Self::with_cache(cfg, cache)
+    }
+
+    /// A service over a caller-supplied shared cache (e.g. one cache
+    /// spanning several services, or a disk-tiered cache).
+    pub fn with_cache(cfg: ServiceConfig, cache: Arc<PlanCache>) -> Self {
+        Self {
+            cfg,
+            cache,
+            tenants: Vec::new(),
+            queue: VecDeque::new(),
+            next_id: 0,
+            ema: ServiceTimeEma::new(),
+            rec: CountingRecorder::new(0),
+            stats: ServiceStats::default(),
+            latencies_us: Vec::new(),
+            completions: Vec::new(),
+            epoch: Instant::now(),
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Registers a tenant from a raw topology + layout, planning with
+    /// `algo`. Warm-up happens here (plan built and cached, Distance
+    /// Halving churn slot armed), so the first request pays no build.
+    pub fn add_tenant(
+        &mut self,
+        graph: Topology,
+        layout: ClusterLayout,
+        algo: Algorithm,
+    ) -> Result<TenantId, CommError> {
+        let comm = DistGraphComm::create_adjacent(graph, layout)?;
+        self.add_tenant_comm(comm, algo)
+    }
+
+    /// Registers a pre-configured communicator (fault plan, robust
+    /// policy, load metric, pinned sizes). The service re-points it at
+    /// the shared plan cache and build pool.
+    pub fn add_tenant_comm(
+        &mut self,
+        comm: DistGraphComm,
+        algo: Algorithm,
+    ) -> Result<TenantId, CommError> {
+        let mut comm = comm
+            .with_plan_cache(self.cache.clone())
+            .with_build_threads(self.cfg.build_threads.max(1));
+        if algo == Algorithm::DistanceHalving {
+            // Arm the churn slot: robust runs and later mutations serve
+            // and patch the live plan instead of renegotiating.
+            comm.mutate(&[], &[])?;
+        } else {
+            comm.plan_shared(algo)?;
+        }
+        let faulty = comm.fault_plan().is_some();
+        if comm.n() > self.rec.n() {
+            // The counting recorder is per-rank; regrow for the widest
+            // tenant (registration happens before traffic, so the reset
+            // loses nothing).
+            self.rec = CountingRecorder::new(comm.n());
+        }
+        let fp = Self::fingerprint(&comm, algo);
+        self.tenants.push(Tenant {
+            comm,
+            algo,
+            fp,
+            arena: BlockArena::new(),
+            faulty,
+            queued: 0,
+            stats: TenantStats::default(),
+        });
+        Ok(self.tenants.len() - 1)
+    }
+
+    fn fingerprint(comm: &DistGraphComm, algo: Algorithm) -> PlanFingerprint {
+        let sizes = comm.block_sizes().cloned().unwrap_or_else(|| BlockSizes::uniform(0));
+        PlanFingerprint::of_build_v(comm.graph(), comm.layout(), algo, &sizes, comm.load_metric())
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Rank count of tenant `t`.
+    ///
+    /// # Panics
+    /// Panics on an unknown tenant id.
+    pub fn tenant_n(&self, t: TenantId) -> usize {
+        self.tenants[t].comm.n()
+    }
+
+    /// Tenant `t`'s current virtual topology (changes under churn).
+    ///
+    /// # Panics
+    /// Panics on an unknown tenant id.
+    pub fn tenant_graph(&self, t: TenantId) -> &Topology {
+        self.tenants[t].comm.graph()
+    }
+
+    /// Queued (admitted, not yet executed) requests.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Submits a request arriving now. See [`Service::submit_at`].
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<RequestId, Rejected> {
+        self.submit_at(tenant, payloads, Instant::now())
+    }
+
+    /// Submits a request with an explicit arrival stamp (the open-loop
+    /// generator passes the *intended* arrival so reported latency
+    /// honestly includes scheduling slip and queueing). `payloads[r]`
+    /// is rank `r`'s contribution; lengths may differ (allgatherv).
+    ///
+    /// # Errors
+    /// Returns [`Rejected`] when admission control turns the request
+    /// away; the queue and tenant state are untouched.
+    pub fn submit_at(
+        &mut self,
+        tenant: TenantId,
+        payloads: Vec<Vec<u8>>,
+        arrived: Instant,
+    ) -> Result<RequestId, Rejected> {
+        self.stats.submitted += 1;
+        let Some(t) = self.tenants.get_mut(tenant) else {
+            self.stats.rejected += 1;
+            return Err(Rejected {
+                reason: RejectReason::BadRequest { detail: format!("unknown tenant {tenant}") },
+                retry_after: Duration::ZERO,
+            });
+        };
+        t.stats.submitted += 1;
+        if payloads.len() != t.comm.n() {
+            self.stats.rejected += 1;
+            t.stats.rejected += 1;
+            return Err(Rejected {
+                reason: RejectReason::BadRequest {
+                    detail: format!(
+                        "{} payloads for an {}-rank tenant",
+                        payloads.len(),
+                        t.comm.n()
+                    ),
+                },
+                retry_after: Duration::ZERO,
+            });
+        }
+        if self.queue.len() >= self.cfg.admission.queue_capacity {
+            self.stats.rejected += 1;
+            t.stats.rejected += 1;
+            return Err(Rejected {
+                reason: RejectReason::QueueFull { depth: self.queue.len() },
+                retry_after: self.ema.retry_after(self.queue.len()),
+            });
+        }
+        if t.queued >= self.cfg.admission.per_tenant_quota {
+            self.stats.rejected += 1;
+            t.stats.rejected += 1;
+            return Err(Rejected {
+                reason: RejectReason::TenantQuota { queued: t.queued },
+                retry_after: self.ema.retry_after(t.queued),
+            });
+        }
+        let ragged = payloads.windows(2).any(|w| w[0].len() != w[1].len());
+        let id = self.next_id;
+        self.next_id += 1;
+        t.queued += 1;
+        t.stats.admitted += 1;
+        self.stats.admitted += 1;
+        self.queue.push_back(Pending { id, tenant, payloads, ragged, arrived });
+        Ok(id)
+    }
+
+    /// Applies a topology mutation to a live tenant **without draining
+    /// the queue**: the communicator repairs (or rebuilds) its plan in
+    /// place and the tenant's batching fingerprint is refreshed; queued
+    /// requests execute against the repaired plan.
+    ///
+    /// # Errors
+    /// Propagates [`CommError`] when the mutated topology cannot be
+    /// planned; the tenant keeps serving its previous plan.
+    ///
+    /// # Panics
+    /// Panics on an unknown tenant id.
+    pub fn churn(
+        &mut self,
+        tenant: TenantId,
+        added: &[(Rank, Rank)],
+        removed: &[(Rank, Rank)],
+    ) -> Result<MutationReport, CommError> {
+        let t = &mut self.tenants[tenant];
+        let rep = t.comm.mutate(added, removed)?;
+        t.fp = Self::fingerprint(&t.comm, t.algo);
+        t.stats.churn_events += 1;
+        self.stats.churn_events += 1;
+        if rep.full_rebuild {
+            t.stats.full_rebuilds += 1;
+            self.stats.full_rebuilds += 1;
+        } else {
+            t.stats.repairs += 1;
+            self.stats.repairs += 1;
+        }
+        Ok(rep)
+    }
+
+    /// One reactor iteration: drain up to
+    /// [`AdmissionConfig::max_batch`](crate::AdmissionConfig) queued
+    /// requests, group them (see the [crate docs](crate)), execute the
+    /// groups. Returns the number of requests finished (completed or
+    /// failed) this tick; `0` means the queue was empty.
+    pub fn tick(&mut self) -> usize {
+        let take = self.cfg.admission.max_batch.min(self.queue.len());
+        if take == 0 {
+            return 0;
+        }
+        self.stats.ticks += 1;
+        self.rec.span_begin(0, labels::SERVICE_TICK);
+        let drained: Vec<Pending> = self.queue.drain(..take).collect();
+
+        // Group while preserving arrival order within each group (and
+        // group order by first arrival). With batching off, every
+        // request is its own singleton group — the per-request baseline.
+        let mut groups: Vec<Vec<Pending>> = Vec::new();
+        if self.cfg.batching {
+            let mut index: HashMap<BatchKey, usize> = HashMap::new();
+            for req in drained {
+                let t = &self.tenants[req.tenant];
+                let key =
+                    if t.faulty { BatchKey::Faulty(req.tenant) } else { BatchKey::Clean(t.fp) };
+                match index.get(&key) {
+                    Some(&g) => groups[g].push(req),
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push(vec![req]);
+                    }
+                }
+            }
+        } else {
+            groups.extend(drained.into_iter().map(|r| vec![r]));
+        }
+
+        let mut finished = 0;
+        for batch in groups {
+            let t0 = Instant::now();
+            self.rec.span_begin(0, labels::SERVICE_BATCH);
+            self.stats.batches += 1;
+            if batch.len() >= 2 {
+                self.stats.coalesced += batch.len() as u64;
+            }
+            let len = batch.len();
+            finished += len;
+            if self.tenants[batch[0].tenant].faulty {
+                self.run_robust_batch(batch);
+            } else {
+                self.run_clean_batch(batch);
+            }
+            self.rec.span_end(0, labels::SERVICE_BATCH);
+            let dt = t0.elapsed();
+            self.busy += dt;
+            self.ema.observe(dt, len);
+        }
+        self.rec.span_end(0, labels::SERVICE_TICK);
+        finished
+    }
+
+    /// Ticks until the queue is empty. Returns requests finished.
+    pub fn drain(&mut self) -> usize {
+        let mut finished = 0;
+        while self.pending() > 0 {
+            finished += self.tick();
+        }
+        finished
+    }
+
+    /// A clean group: one plan fetch for the whole batch (every member
+    /// shares the group fingerprint, so the leader's plan is everyone's
+    /// plan), warm per-tenant arenas.
+    fn run_clean_batch(&mut self, batch: Vec<Pending>) {
+        let lead = batch[0].tenant;
+        let algo = self.tenants[lead].algo;
+        let plan = match self.tenants[lead].comm.plan_shared(algo) {
+            Ok(p) => p,
+            Err(e) => {
+                let error = e.to_string();
+                for req in batch {
+                    self.finish(req, Outcome::Failed { error: error.clone() }, None, None, None);
+                }
+                return;
+            }
+        };
+        for req in batch {
+            if self.cfg.backend == Backend::Sim {
+                let sizes: Vec<usize> = req.payloads.iter().map(Vec::len).collect();
+                let t = &self.tenants[req.tenant];
+                match simulate_v(&plan, t.comm.layout(), &sizes, &self.cfg.sim_cost) {
+                    Ok(rep) => {
+                        let outcome =
+                            Outcome::Completed { degraded: false, fallback: false, repairs: 0 };
+                        self.finish(req, outcome, None, None, Some(rep.makespan));
+                    }
+                    Err(e) => {
+                        self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None)
+                    }
+                }
+                continue;
+            }
+            let res = {
+                let rec = &self.rec;
+                let opts = ExecOptions::new().ragged(req.ragged).recorder(rec);
+                let t = &mut self.tenants[req.tenant];
+                // The warm per-tenant arena is part of the batching
+                // design; with batching off each request pays a cold
+                // arena, exactly like the public one-call API.
+                let mut scratch;
+                let arena = if self.cfg.batching {
+                    &mut t.arena
+                } else {
+                    scratch = BlockArena::new();
+                    &mut scratch
+                };
+                match self.cfg.backend {
+                    Backend::Virtual => {
+                        Virtual.run(&plan, t.comm.graph(), &req.payloads, arena, &opts)
+                    }
+                    Backend::Threaded => {
+                        Threaded.run(&plan, t.comm.graph(), &req.payloads, arena, &opts)
+                    }
+                    Backend::Sim => unreachable!("handled above"),
+                }
+            };
+            match res {
+                Ok(out) => {
+                    let outcome =
+                        Outcome::Completed { degraded: false, fallback: false, repairs: 0 };
+                    let verified = self.verify_bytes(&req, &out.rbufs, false);
+                    let output = self.cfg.keep_outputs.then_some(out.rbufs);
+                    self.finish(req, outcome, verified, output, None);
+                }
+                Err(e) => {
+                    self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None)
+                }
+            }
+        }
+    }
+
+    /// A fault-armed tenant's group: each request runs the robust path
+    /// (threaded transport — the only one that injects faults), with
+    /// plan negotiation amortized by the tenant's live churn slot and
+    /// the shared cache. On [`Backend::Sim`] the fault plan lowers to a
+    /// latency perturbation instead.
+    fn run_robust_batch(&mut self, batch: Vec<Pending>) {
+        for req in batch {
+            if self.cfg.backend == Backend::Sim {
+                self.run_sim_perturbed(req);
+                continue;
+            }
+            let res = {
+                let rec = &self.rec;
+                let t = &self.tenants[req.tenant];
+                t.comm.neighbor_allgather_robust_recorded(t.algo, &req.payloads, rec)
+            };
+            match res {
+                Ok((rbufs, rep)) => {
+                    let degraded = !rep.completeness.is_full();
+                    let outcome = Outcome::Completed {
+                        degraded,
+                        fallback: rep.fallback.is_some(),
+                        repairs: rep.repairs,
+                    };
+                    let verified = self.verify_bytes(&req, &rbufs, degraded);
+                    let output = self.cfg.keep_outputs.then_some(rbufs);
+                    self.finish(req, outcome, verified, output, None);
+                }
+                Err(e) => {
+                    self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None)
+                }
+            }
+        }
+    }
+
+    fn run_sim_perturbed(&mut self, req: Pending) {
+        let t = &self.tenants[req.tenant];
+        let plan = match t.comm.plan_shared(t.algo) {
+            Ok(p) => p,
+            Err(e) => {
+                return self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None)
+            }
+        };
+        let sizes: Vec<usize> = req.payloads.iter().map(Vec::len).collect();
+        let schedule = to_schedule_v(&plan, &sizes, &self.cfg.sim_cost);
+        let pert =
+            t.comm.fault_plan().map_or_else(Perturbation::none, |f| f.to_perturbation(t.comm.n()));
+        let run =
+            Engine::new(t.comm.layout(), self.cfg.sim_cost.net).run_perturbed(&schedule, &pert);
+        match run {
+            Ok(rep) => {
+                let outcome = Outcome::Completed { degraded: false, fallback: false, repairs: 0 };
+                self.finish(req, outcome, None, None, Some(rep.makespan));
+            }
+            Err(e) => self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None),
+        }
+    }
+
+    /// Byte-checks `rbufs` against the naive reference when the verify
+    /// policy samples this request. Degraded buffers intentionally miss
+    /// blocks, so they are never compared (`None`).
+    fn verify_bytes(&self, req: &Pending, rbufs: &[Vec<u8>], degraded: bool) -> Option<bool> {
+        if degraded || !self.cfg.verify.hits(req.id) {
+            return None;
+        }
+        let want = reference_allgather(self.tenants[req.tenant].comm.graph(), &req.payloads);
+        Some(want == rbufs)
+    }
+
+    fn finish(
+        &mut self,
+        req: Pending,
+        outcome: Outcome,
+        verified: Option<bool>,
+        output: Option<Vec<Vec<u8>>>,
+        sim_makespan: Option<f64>,
+    ) {
+        let now = Instant::now();
+        let latency_us = now.saturating_duration_since(req.arrived).as_micros() as u64;
+        let t = &mut self.tenants[req.tenant];
+        t.queued = t.queued.saturating_sub(1);
+        match &outcome {
+            Outcome::Completed { degraded, fallback, .. } => {
+                t.stats.completed += 1;
+                self.stats.completed += 1;
+                if *degraded {
+                    t.stats.degraded += 1;
+                    self.stats.degraded += 1;
+                }
+                if *fallback {
+                    self.stats.fallbacks += 1;
+                }
+                self.latencies_us.push(latency_us);
+            }
+            Outcome::Failed { .. } => {
+                t.stats.failed += 1;
+                self.stats.failed += 1;
+            }
+        }
+        if let Some(ok) = verified {
+            t.stats.verified += 1;
+            self.stats.verified += 1;
+            if !ok {
+                t.stats.corrupt += 1;
+                self.stats.corrupt += 1;
+            }
+        }
+        self.completions.push(Completion {
+            id: req.id,
+            tenant: req.tenant,
+            latency_us,
+            outcome,
+            verified,
+            output,
+            sim_makespan,
+        });
+    }
+
+    /// Hands back (and clears) the accumulated completion records.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// The current aggregate report (counters, latency percentiles,
+    /// throughput over wall time since construction).
+    pub fn report(&self) -> ServiceReport {
+        let wall = self.epoch.elapsed();
+        let throughput_rps =
+            if wall.is_zero() { 0.0 } else { self.stats.completed as f64 / wall.as_secs_f64() };
+        ServiceReport {
+            wall,
+            busy: self.busy,
+            stats: self.stats,
+            per_tenant: self.tenants.iter().map(|t| t.stats).collect(),
+            latency: nhood_telemetry::LatencySummary::of(&self.latencies_us),
+            throughput_rps,
+            counters: self.rec.counts(),
+        }
+    }
+
+    /// Resets counters, latency samples, completions and the wall-clock
+    /// epoch — tenants, queue and the plan cache stay. Lets a bench
+    /// measure phases over one warm service.
+    pub fn reset_metrics(&mut self) {
+        self.stats = ServiceStats::default();
+        for t in &mut self.tenants {
+            t.stats = TenantStats::default();
+        }
+        self.latencies_us.clear();
+        self.completions.clear();
+        self.busy = Duration::ZERO;
+        self.epoch = Instant::now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nhood_topology::random::erdos_renyi;
+
+    fn layout_for(n: usize) -> ClusterLayout {
+        ClusterLayout::new(n.div_ceil(8), 2, 4)
+    }
+
+    fn uniform_payloads(n: usize, m: usize, salt: u8) -> Vec<Vec<u8>> {
+        (0..n).map(|r| vec![(r as u8) ^ salt; m]).collect()
+    }
+
+    fn service_with_one_tenant(cfg: ServiceConfig) -> (Service, TenantId) {
+        let mut svc = Service::new(cfg);
+        let g = erdos_renyi(16, 0.3, 7);
+        let t = svc.add_tenant(g, layout_for(16), Algorithm::DistanceHalving).unwrap();
+        (svc, t)
+    }
+
+    #[test]
+    fn submit_tick_complete_verified() {
+        let cfg = ServiceConfig { verify: Verify::All, keep_outputs: true, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        for i in 0..5 {
+            svc.submit(t, uniform_payloads(n, 64, i)).unwrap();
+        }
+        assert_eq!(svc.pending(), 5);
+        let done = svc.drain();
+        assert_eq!(done, 5);
+        let report = svc.report();
+        assert_eq!(report.stats.completed, 5);
+        assert_eq!(report.stats.verified, 5);
+        assert_eq!(report.stats.corrupt, 0);
+        // All five share one fingerprint → one batch.
+        assert_eq!(report.stats.batches, 1);
+        assert_eq!(report.stats.coalesced, 5);
+        let completions = svc.take_completions();
+        assert_eq!(completions.len(), 5);
+        assert!(completions.iter().all(|c| c.verified == Some(true)));
+        assert!(completions.iter().all(|c| c.output.is_some()));
+    }
+
+    #[test]
+    fn ragged_payloads_complete_and_verify() {
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        let payloads: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; (r * 13) % 97]).collect();
+        svc.submit(t, payloads).unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.corrupt, 0);
+        assert_eq!(report.stats.verified, 1);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backoff_hint() {
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig { queue_capacity: 4, per_tenant_quota: 64, max_batch: 64 },
+            ..Default::default()
+        };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        for _ in 0..4 {
+            svc.submit(t, uniform_payloads(n, 8, 0)).unwrap();
+        }
+        let err = svc.submit(t, uniform_payloads(n, 8, 0)).unwrap_err();
+        assert!(matches!(err.reason, RejectReason::QueueFull { depth: 4 }));
+        assert!(err.retry_after > Duration::ZERO);
+        let report = svc.report();
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.stats.admitted, 4);
+        // Draining frees the queue for new admissions.
+        svc.drain();
+        svc.submit(t, uniform_payloads(n, 8, 0)).unwrap();
+    }
+
+    #[test]
+    fn tenant_quota_rejects_before_queue_fills() {
+        let cfg = ServiceConfig {
+            admission: AdmissionConfig { queue_capacity: 64, per_tenant_quota: 2, max_batch: 64 },
+            ..Default::default()
+        };
+        let mut svc = Service::new(cfg);
+        let g1 = erdos_renyi(12, 0.3, 1);
+        let g2 = erdos_renyi(12, 0.3, 2);
+        let a = svc.add_tenant(g1, layout_for(12), Algorithm::Naive).unwrap();
+        let b = svc.add_tenant(g2, layout_for(12), Algorithm::Naive).unwrap();
+        svc.submit(a, uniform_payloads(12, 8, 0)).unwrap();
+        svc.submit(a, uniform_payloads(12, 8, 1)).unwrap();
+        let err = svc.submit(a, uniform_payloads(12, 8, 2)).unwrap_err();
+        assert!(matches!(err.reason, RejectReason::TenantQuota { queued: 2 }));
+        // The quota protects tenant b's headroom.
+        svc.submit(b, uniform_payloads(12, 8, 0)).unwrap();
+        svc.drain();
+        assert_eq!(svc.report().stats.completed, 3);
+    }
+
+    #[test]
+    fn bad_request_is_typed_and_free_of_side_effects() {
+        let (mut svc, t) = service_with_one_tenant(ServiceConfig::default());
+        let err = svc.submit(t, vec![vec![0u8; 8]; 3]).unwrap_err();
+        assert!(matches!(err.reason, RejectReason::BadRequest { .. }));
+        assert_eq!(err.retry_after, Duration::ZERO);
+        let err = svc.submit(99, vec![]).unwrap_err();
+        assert!(matches!(err.reason, RejectReason::BadRequest { .. }));
+        assert_eq!(svc.pending(), 0);
+    }
+
+    #[test]
+    fn batching_off_runs_singleton_batches() {
+        let cfg = ServiceConfig { batching: false, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        for i in 0..4 {
+            svc.submit(t, uniform_payloads(n, 16, i)).unwrap();
+        }
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.batches, 4);
+        assert_eq!(report.stats.coalesced, 0);
+        assert_eq!(report.stats.completed, 4);
+    }
+
+    #[test]
+    fn same_topology_tenants_coalesce_cross_tenant() {
+        let mut svc = Service::new(ServiceConfig::default());
+        let g = erdos_renyi(16, 0.3, 5);
+        let a = svc.add_tenant(g.clone(), layout_for(16), Algorithm::DistanceHalving).unwrap();
+        let b = svc.add_tenant(g, layout_for(16), Algorithm::DistanceHalving).unwrap();
+        svc.submit(a, uniform_payloads(16, 32, 1)).unwrap();
+        svc.submit(b, uniform_payloads(16, 32, 2)).unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.batches, 1, "identical fingerprints must share a batch");
+        assert_eq!(report.stats.completed, 2);
+    }
+
+    #[test]
+    fn churn_repairs_in_place_and_requests_keep_completing() {
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        svc.submit(t, uniform_payloads(n, 32, 0)).unwrap();
+        // Mutate while a request sits in the queue: no drain required.
+        let (u, v) = svc.tenant_graph(t).edges().next().expect("seeded graph has edges");
+        let rep = svc.churn(t, &[], &[(u, v)]).unwrap();
+        assert_eq!(rep.edges_removed, 1);
+        svc.submit(t, uniform_payloads(n, 32, 1)).unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.stats.corrupt, 0);
+        assert_eq!(report.stats.churn_events, 1);
+        assert_eq!(report.stats.repairs + report.stats.full_rebuilds, 1);
+    }
+
+    #[test]
+    fn faulty_tenant_runs_the_robust_path() {
+        use nhood_core::FaultPlan;
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let mut svc = Service::new(cfg);
+        let g = erdos_renyi(12, 0.35, 9);
+        let comm = DistGraphComm::create_adjacent(g, layout_for(12))
+            .unwrap()
+            .with_fault_plan(FaultPlan::seeded(3).with_message_drop(0.05));
+        let t = svc.add_tenant_comm(comm, Algorithm::DistanceHalving).unwrap();
+        for i in 0..3 {
+            svc.submit(t, uniform_payloads(12, 24, i)).unwrap();
+        }
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.completed + report.stats.failed, 3);
+        assert_eq!(report.stats.corrupt, 0, "robust path must never return wrong bytes");
+    }
+
+    #[test]
+    fn sim_backend_reports_makespans() {
+        let cfg = ServiceConfig { backend: Backend::Sim, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        svc.submit(t, uniform_payloads(n, 1024, 0)).unwrap();
+        svc.drain();
+        let completions = svc.take_completions();
+        assert_eq!(completions.len(), 1);
+        let mk = completions[0].sim_makespan.expect("sim completion carries a makespan");
+        assert!(mk > 0.0);
+        assert!(completions[0].output.is_none());
+    }
+}

@@ -16,17 +16,21 @@
 //!
 //! Exporters: [`chrome_trace_json`] (one track per rank),
 //! a plain-text [`summary_table`], and a [`model_check_report`] with
-//! relative errors. This crate depends on nothing but `std` so it can sit
-//! underneath every other crate in the workspace.
+//! relative errors. [`percentile`] / [`LatencySummary`] provide the
+//! deterministic nearest-rank latency summaries the service layer and
+//! the sustained-load benches report. This crate depends on nothing but
+//! `std` so it can sit underneath every other crate in the workspace.
 
 #![warn(missing_docs)]
 
 mod counting;
 mod export;
+mod percentile;
 mod span;
 
 pub use counting::{CountingRecorder, Counts};
 pub use export::{chrome_trace_json, model_check_report, summary_table, ModelPrediction};
+pub use percentile::{percentile, percentile_sorted, LatencySummary};
 pub use span::{EventKind, SpanEvent, SpanRecorder};
 
 /// Rank index (mirrors `nhood_topology::Rank`; redeclared so this crate
@@ -63,6 +67,11 @@ pub mod labels {
     /// An incremental plan repair (topology churn or mid-run link-down
     /// recovery) — see `Recorder::repair`.
     pub const REPAIR: &str = "repair";
+    /// One reactor tick of the collective service: drain the submission
+    /// queue, group by fingerprint, execute the batches.
+    pub const SERVICE_TICK: &str = "service_tick";
+    /// One batched execution of same-fingerprint service requests.
+    pub const SERVICE_BATCH: &str = "service_batch";
 }
 
 /// The instrumentation surface. All hooks default to no-ops, so an

@@ -1,0 +1,169 @@
+//! Deterministic percentile summaries over integer samples.
+//!
+//! The service layer and the sustained-load benches report request
+//! latencies as `u64` microsecond samples; this module turns a sample
+//! set into **nearest-rank** percentiles — the estimator that always
+//! returns an observed sample (never an interpolation), so two runs
+//! over the same samples produce bit-identical summaries regardless of
+//! platform floating-point behaviour.
+//!
+//! Nearest-rank definition: for `0 < p <= 100` over `N` sorted samples,
+//! the percentile is the sample at 1-based rank `ceil(p/100 * N)`.
+
+/// The nearest-rank `p`-th percentile of `samples` (any order; a sorted
+/// copy is taken). Returns `None` on an empty sample set.
+///
+/// `p` is clamped to `(0, 100]`: values at or below 0 report the
+/// minimum, values above 100 the maximum.
+pub fn percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// [`percentile`] over already-sorted samples, without the copy. The
+/// caller promises `sorted` is ascending (debug-asserted).
+///
+/// # Panics
+/// Panics if `sorted` is empty.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+    let n = sorted.len();
+    // ceil(p/100 * n) in integer space to dodge float edge cases: the
+    // smallest rank r with r * 100 >= p * n. p is clamped to (0, 100].
+    let p = p.clamp(f64::MIN_POSITIVE, 100.0);
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// A fixed percentile summary (p50 / p90 / p99 plus the extremes) of a
+/// `u64` sample set — the shape `ServiceReport` and the sustained-load
+/// benches record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Nearest-rank 50th percentile (the median).
+    pub p50: u64,
+    /// Nearest-rank 90th percentile.
+    pub p90: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (any order). Returns `None` when empty.
+    pub fn of(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Self {
+            count: sorted.len(),
+            min: sorted[0],
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(LatencySummary::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in [0.001, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7], p), Some(7));
+        }
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_textbook_cases() {
+        // The canonical worked example: {15, 20, 35, 40, 50}.
+        let s = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile(&s, 5.0), Some(15)); // ceil(0.05*5)=1
+        assert_eq!(percentile(&s, 30.0), Some(20)); // ceil(0.30*5)=2
+        assert_eq!(percentile(&s, 40.0), Some(20)); // ceil(0.40*5)=2
+        assert_eq!(percentile(&s, 50.0), Some(35)); // ceil(0.50*5)=3
+        assert_eq!(percentile(&s, 100.0), Some(50));
+    }
+
+    #[test]
+    fn p99_over_a_hundred_distinct_samples_is_the_99th_value() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 99.0), Some(99));
+        assert_eq!(percentile(&s, 50.0), Some(50));
+        assert_eq!(percentile(&s, 90.0), Some(90));
+        assert_eq!(percentile(&s, 100.0), Some(100));
+        // one more sample pushes every rank up
+        let s: Vec<u64> = (1..=101).collect();
+        assert_eq!(percentile(&s, 99.0), Some(100)); // ceil(0.99*101)=100
+    }
+
+    #[test]
+    fn order_free_and_deterministic() {
+        let fwd: Vec<u64> = (0..1000).map(|i| (i * 37) % 257).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        for p in [1.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(percentile(&fwd, p), percentile(&rev, p));
+        }
+        assert_eq!(LatencySummary::of(&fwd), LatencySummary::of(&rev));
+    }
+
+    #[test]
+    fn ties_always_return_an_observed_sample() {
+        let s = [4u64, 4, 4, 9, 9];
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let v = percentile(&s, p).unwrap();
+            assert!(s.contains(&v), "nearest-rank must return a sample, got {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_p_clamps_to_the_extremes() {
+        let s = [3u64, 1, 2];
+        assert_eq!(percentile(&s, -5.0), Some(1));
+        assert_eq!(percentile(&s, 0.0), Some(1));
+        assert_eq!(percentile(&s, 250.0), Some(3));
+    }
+
+    #[test]
+    fn summary_is_internally_ordered() {
+        let s: Vec<u64> = (0..500).map(|i| (i * i * 31) as u64 % 10_007).collect();
+        let sum = LatencySummary::of(&s).unwrap();
+        assert_eq!(sum.count, 500);
+        assert!(sum.min <= sum.p50 && sum.p50 <= sum.p90);
+        assert!(sum.p90 <= sum.p99 && sum.p99 <= sum.max);
+        let fmt = sum.to_string();
+        assert!(fmt.contains("p99=") && fmt.contains("n=500"));
+    }
+}

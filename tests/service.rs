@@ -1,0 +1,207 @@
+//! Tenant isolation under the multi-tenant service: a fault-armed,
+//! churning tenant sharing the reactor (and the plan cache) must not
+//! change a single byte of a clean tenant's results. Property-tested
+//! across seeds on the byte backends, plus a makespan-equality check on
+//! the simulation backend.
+
+use std::time::Duration;
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::{Algorithm, DistGraphComm, FaultPlan};
+use nhood_service::traffic::{gen_payloads, ZipfSizes};
+use nhood_service::{Backend, Completion, Outcome, Service, ServiceConfig, TenantId, Verify};
+use nhood_topology::random::erdos_renyi;
+use nhood_topology::rng::{hash_mix, DetRng};
+use nhood_topology::Topology;
+
+const N: usize = 14;
+const REQUESTS: usize = 12;
+
+fn layout() -> ClusterLayout {
+    ClusterLayout::new(2, 2, 4)
+}
+
+fn clean_graph(seed: u64) -> Topology {
+    erdos_renyi(N, 0.35, hash_mix(&[seed, 1]))
+}
+
+/// The clean tenant's request stream, deterministic in `seed` and
+/// independent of anything the faulty tenant does (each stream draws
+/// from its own rng).
+fn clean_stream(seed: u64) -> Vec<Vec<Vec<u8>>> {
+    let sizes = ZipfSizes::new(16, 512, 1.1);
+    let mut rng = DetRng::seed_from_u64(hash_mix(&[seed, 2]));
+    (0..REQUESTS).map(|i| gen_payloads(N, &sizes, i % 3 == 0, &mut rng)).collect()
+}
+
+fn service(backend: Backend) -> Service {
+    Service::new(ServiceConfig {
+        backend,
+        verify: Verify::All,
+        keep_outputs: true,
+        ..ServiceConfig::default()
+    })
+}
+
+fn add_faulty_tenant(svc: &mut Service, seed: u64) -> TenantId {
+    let g = erdos_renyi(N, 0.35, hash_mix(&[seed, 3]));
+    let comm = DistGraphComm::create_adjacent(g, layout())
+        .expect("layout fits")
+        .with_fault_plan(FaultPlan::seeded(hash_mix(&[seed, 4])).with_message_drop(0.08));
+    svc.add_tenant_comm(comm, Algorithm::DistanceHalving).expect("faulty tenant")
+}
+
+/// One churn event on the faulty tenant: drop its lowest edge, add a
+/// fresh one (deterministic, so both property arms could replay it).
+fn churn_faulty(svc: &mut Service, t: TenantId, step: usize) {
+    let g = svc.tenant_graph(t);
+    let removed: Vec<_> = g.edges().take(1).collect();
+    let mut added = Vec::new();
+    'outer: for u in 0..N {
+        for v in (u + 1)..N {
+            let uv = (u + v + step).is_multiple_of(2);
+            if uv && !g.has_edge(u, v) {
+                added.push((u, v));
+                break 'outer;
+            }
+        }
+    }
+    let _ = svc.churn(t, &added, &removed);
+}
+
+/// Runs the clean stream and returns the clean tenant's completions in
+/// submission order (request ids are monotone, so sorting by id
+/// restores it).
+fn run_clean(
+    svc: &mut Service,
+    clean: TenantId,
+    stream: &[Vec<Vec<u8>>],
+    mut interleave: impl FnMut(&mut Service, usize),
+) -> Vec<Completion> {
+    for (i, payloads) in stream.iter().enumerate() {
+        interleave(svc, i);
+        svc.submit(clean, payloads.clone()).expect("clean submit admitted");
+    }
+    svc.drain();
+    let mut done: Vec<Completion> =
+        svc.take_completions().into_iter().filter(|c| c.tenant == clean).collect();
+    done.sort_by_key(|c| c.id);
+    done
+}
+
+fn assert_all_clean(done: &[Completion], arm: &str) {
+    assert_eq!(done.len(), REQUESTS, "{arm}: every clean request completes");
+    for c in done {
+        assert!(
+            matches!(c.outcome, Outcome::Completed { degraded: false, .. }),
+            "{arm}: clean tenant must never degrade: {:?}",
+            c.outcome
+        );
+        assert_eq!(c.verified, Some(true), "{arm}: byte verification against the reference");
+    }
+}
+
+/// A clean tenant's bytes are identical whether it runs alone or shares
+/// the service with a fault-armed tenant that takes traffic and churns
+/// its topology mid-stream.
+#[test]
+fn faulty_neighbor_tenant_never_alters_clean_bytes() {
+    for backend in [Backend::Virtual, Backend::Threaded] {
+        for seed in [3u64, 17, 101] {
+            let stream = clean_stream(seed);
+
+            let mut solo = service(backend);
+            let clean =
+                solo.add_tenant(clean_graph(seed), layout(), Algorithm::DistanceHalving).unwrap();
+            let baseline = run_clean(&mut solo, clean, &stream, |_, _| {});
+            assert_all_clean(&baseline, "solo");
+
+            let mut shared = service(backend);
+            let clean =
+                shared.add_tenant(clean_graph(seed), layout(), Algorithm::DistanceHalving).unwrap();
+            let faulty = add_faulty_tenant(&mut shared, seed);
+            let sizes = ZipfSizes::new(16, 256, 1.2);
+            let mut noise = DetRng::seed_from_u64(hash_mix(&[seed, 5]));
+            let perturbed = run_clean(&mut shared, clean, &stream, |svc, i| {
+                // The hostile neighbor: traffic on every step, churn on
+                // every third.
+                let payloads = gen_payloads(N, &sizes, i % 2 == 0, &mut noise);
+                let _ = svc.submit(faulty, payloads);
+                if i % 3 == 0 {
+                    churn_faulty(svc, faulty, i);
+                }
+            });
+            assert_all_clean(&perturbed, "shared");
+
+            for (a, b) in baseline.iter().zip(&perturbed) {
+                assert_eq!(
+                    a.output, b.output,
+                    "seed {seed} {backend:?}: clean tenant bytes diverged under a faulty neighbor"
+                );
+            }
+
+            let report = shared.report();
+            assert_eq!(report.stats.corrupt, 0, "no verified completion may be corrupt");
+            assert!(report.stats.churn_events >= 1, "churn actually happened");
+        }
+    }
+}
+
+/// Same isolation property on the simulation backend: the clean
+/// tenant's predicted makespans are unchanged by a co-resident faulty
+/// tenant.
+#[test]
+fn sim_backend_makespans_are_isolated_too() {
+    let seed = 29u64;
+    let stream = clean_stream(seed);
+
+    let mut solo = service(Backend::Sim);
+    let clean = solo.add_tenant(clean_graph(seed), layout(), Algorithm::DistanceHalving).unwrap();
+    let baseline = run_clean(&mut solo, clean, &stream, |_, _| {});
+
+    let mut shared = service(Backend::Sim);
+    let clean = shared.add_tenant(clean_graph(seed), layout(), Algorithm::DistanceHalving).unwrap();
+    let faulty = add_faulty_tenant(&mut shared, seed);
+    let sizes = ZipfSizes::new(16, 256, 1.2);
+    let mut noise = DetRng::seed_from_u64(hash_mix(&[seed, 6]));
+    let perturbed = run_clean(&mut shared, clean, &stream, |svc, i| {
+        let payloads = gen_payloads(N, &sizes, false, &mut noise);
+        let _ = svc.submit(faulty, payloads);
+        if i == REQUESTS / 2 {
+            churn_faulty(svc, faulty, i);
+        }
+    });
+
+    assert_eq!(baseline.len(), REQUESTS);
+    assert_eq!(perturbed.len(), REQUESTS);
+    for (a, b) in baseline.iter().zip(&perturbed) {
+        let (ma, mb) = (a.sim_makespan, b.sim_makespan);
+        assert!(ma.is_some(), "sim backend reports a makespan");
+        assert_eq!(ma, mb, "clean tenant's predicted makespan diverged");
+    }
+}
+
+/// The service keeps admitting and completing the clean tenant even
+/// while the faulty tenant's requests run the degraded path — admission
+/// quotas are per tenant, not global starvation.
+#[test]
+fn clean_tenant_is_not_starved_by_a_faulty_one() {
+    let seed = 7u64;
+    let mut svc = service(Backend::Virtual);
+    let clean = svc.add_tenant(clean_graph(seed), layout(), Algorithm::DistanceHalving).unwrap();
+    let faulty = add_faulty_tenant(&mut svc, seed);
+    let sizes = ZipfSizes::new(16, 128, 1.2);
+    let mut rng = DetRng::seed_from_u64(seed);
+    for _ in 0..20 {
+        let _ = svc.submit(faulty, gen_payloads(N, &sizes, false, &mut rng));
+        svc.submit(clean, gen_payloads(N, &sizes, false, &mut rng))
+            .expect("clean submissions stay admitted");
+    }
+    svc.drain();
+    svc.churn(faulty, &[], &[]).expect("warm churn");
+    let report = svc.report();
+    let clean_stats = report.per_tenant[clean];
+    assert_eq!(clean_stats.completed, 20, "all clean requests completed");
+    assert_eq!(clean_stats.corrupt, 0);
+    assert!(Duration::from_secs(0) < report.wall);
+}
