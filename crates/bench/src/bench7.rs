@@ -30,7 +30,7 @@ use nhood_core::{Algorithm, DistGraphComm, FaultPlan};
 use nhood_service::traffic::{
     drive_stream, generate_requests, run_open_loop, GenRequest, TrafficSpec,
 };
-use nhood_service::{AdmissionConfig, Service, ServiceConfig, Verify};
+use nhood_service::{AdmissionConfig, OpMix, Service, ServiceConfig, Verify};
 use nhood_topology::random::erdos_renyi;
 use nhood_topology::rng::hash_mix;
 
@@ -173,6 +173,8 @@ pub fn sustained_cell(p: SustainedParams) -> SustainedRow {
         ragged_frac: 0.3,
         churn_period: Some(p.churn_period),
         churn_edges: 1,
+        // Gather-only: BENCH_8 owns the message-combining comparison.
+        op_mix: OpMix::default(),
     };
     let report = run_open_loop(&mut svc, &spec);
     let (p50, p99) = report.latency.map_or((0, 0), |l| (l.p50, l.p99));

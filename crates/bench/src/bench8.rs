@@ -1,0 +1,229 @@
+//! BENCH_8 — what message combining buys: the fused sparse allreduce
+//! against the classic emulation (neighborhood allgather, then reduce
+//! locally for free).
+//!
+//! Both arms run the same Distance Halving routing through the
+//! collective-agnostic request API with a [`CountingRecorder`]
+//! attached, so the comparison is on **bytes moved** — the quantity
+//! the paper's §V model prices — not on wall clock, which a virtual
+//! transport cannot measure honestly. The emulation's local reduction
+//! is costed at zero bytes, the strongest possible baseline: every
+//! byte the fused op saves comes purely from applying
+//! [`ReduceOp`](nhood_core::ReduceOp)s at
+//! forwarding agents, collapsing the blocks that share a relay hop
+//! into one.
+//!
+//! Acceptance gate, evaluated by [`gates`]: the best cell moves
+//! ≥ [`GATE_BYTES_RATIO`]× fewer bytes fused than emulated, and every
+//! cell's fused output byte-matches [`reference_allreduce`].
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::collective::reference_allreduce;
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, Reduction};
+use nhood_telemetry::CountingRecorder;
+use nhood_topology::random::erdos_renyi;
+use nhood_topology::rng::hash_mix;
+
+/// Required emulated / fused bytes-moved ratio (best cell).
+pub const GATE_BYTES_RATIO: f64 = 1.2;
+
+/// One comparison cell: identical topology and payloads, two arms.
+#[derive(Debug, Clone)]
+pub struct FusionRow {
+    /// Cell label, e.g. `"n=128 δ=0.3 m=1024"`.
+    pub case: String,
+    /// Rank count.
+    pub n: usize,
+    /// Edge density of the Erdős–Rényi graph.
+    pub delta: f64,
+    /// Per-rank block size in bytes.
+    pub m: usize,
+    /// Bytes sent by the fused `allreduce` request.
+    pub fused_bytes: u64,
+    /// Messages sent by the fused request.
+    pub fused_msgs: u64,
+    /// Bytes sent by the allgather half of the emulation.
+    pub emulated_bytes: u64,
+    /// Messages sent by the emulation.
+    pub emulated_msgs: u64,
+    /// Whether the fused output byte-matched the naive reference.
+    pub correct: bool,
+}
+
+impl FusionRow {
+    /// Emulated over fused bytes moved.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.emulated_bytes as f64 / (self.fused_bytes as f64).max(1e-9)
+    }
+}
+
+/// The acceptance verdict (also embedded in the JSON document).
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Largest emulated/fused bytes ratio among cells.
+    pub max_bytes_ratio: f64,
+    /// Smallest ratio — reported for honesty, not gated.
+    pub min_bytes_ratio: f64,
+    /// Gate: `max_bytes_ratio >=` [`GATE_BYTES_RATIO`].
+    pub bytes_ratio_ok: bool,
+    /// Gate: every cell's fused buffers matched the reference.
+    pub all_correct: bool,
+}
+
+/// Runs one cell: fused allreduce and its allgather emulation over the
+/// same graph and payloads, each under its own recorder.
+pub fn fusion_cell(n: usize, delta: f64, m: usize, seed: u64) -> FusionRow {
+    let g = erdos_renyi(n, delta, seed);
+    let layout = ClusterLayout::new(n.div_ceil(16), 2, 8);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout).expect("layout fits");
+    let payloads: Vec<Vec<u8>> = (0..n)
+        .map(|r| (0..m).map(|i| (hash_mix(&[seed, r as u64, i as u64]) & 0xFF) as u8).collect())
+        .collect();
+    let red = Reduction::SUM_U8;
+
+    let fused_rec = CountingRecorder::new(n);
+    let req = CollectiveRequest::allreduce(&payloads, red)
+        .algorithm(Algorithm::DistanceHalving)
+        .recorder(&fused_rec);
+    let fused = comm.collective(&req).expect("fused allreduce").rbufs;
+    let correct = fused == reference_allreduce(&g, &payloads, red);
+
+    let emu_rec = CountingRecorder::new(n);
+    let req = CollectiveRequest::allgather(&payloads)
+        .algorithm(Algorithm::DistanceHalving)
+        .recorder(&emu_rec);
+    comm.collective(&req).expect("emulation allgather");
+    // The emulation's second half — reducing the gathered blocks
+    // locally — moves zero bytes, so nothing more is charged.
+
+    let (f, e) = (fused_rec.totals(), emu_rec.totals());
+    FusionRow {
+        case: format!("n={n} δ={delta} m={m}"),
+        n,
+        delta,
+        m,
+        fused_bytes: f.bytes_sent,
+        fused_msgs: f.msgs_sent,
+        emulated_bytes: e.bytes_sent,
+        emulated_msgs: e.msgs_sent,
+        correct,
+    }
+}
+
+/// Runs the cell grid. Quick runs shrink the grid for CI smoke.
+pub fn run_fusion(quick: bool) -> Vec<FusionRow> {
+    let m = 1024;
+    let cells: &[(usize, f64)] = if quick {
+        &[(128, 0.3), (128, 0.5)]
+    } else {
+        &[(128, 0.3), (128, 0.5), (256, 0.3), (256, 0.5)]
+    };
+    cells.iter().map(|&(n, delta)| fusion_cell(n, delta, m, 0xB8)).collect()
+}
+
+/// Evaluates the acceptance gates.
+pub fn gates(rows: &[FusionRow]) -> GateReport {
+    let max_bytes_ratio =
+        rows.iter().map(FusionRow::bytes_ratio).max_by(f64::total_cmp).unwrap_or(0.0);
+    let min_bytes_ratio =
+        rows.iter().map(FusionRow::bytes_ratio).min_by(f64::total_cmp).unwrap_or(0.0);
+    GateReport {
+        max_bytes_ratio,
+        min_bytes_ratio,
+        bytes_ratio_ok: max_bytes_ratio >= GATE_BYTES_RATIO,
+        all_correct: !rows.is_empty() && rows.iter().all(|r| r.correct),
+    }
+}
+
+/// Renders the result as the `BENCH_8.json` document (pretty-printed,
+/// hand-rolled — the workspace builds offline, no serde).
+pub fn write_json(rows: &[FusionRow], report: &GateReport, quick: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_8\",\n");
+    s.push_str(
+        "  \"description\": \"fused sparse allreduce vs allgather-then-local-reduce, bytes moved\",\n",
+    );
+    s.push_str(&format!("  \"scale\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"n\": {}, \"delta\": {}, \"m\": {}, \"fused_bytes\": {}, \"fused_msgs\": {}, \"emulated_bytes\": {}, \"emulated_msgs\": {}, \"bytes_ratio\": {:.3}, \"correct\": {}}}{}\n",
+            r.case,
+            r.n,
+            r.delta,
+            r.m,
+            r.fused_bytes,
+            r.fused_msgs,
+            r.emulated_bytes,
+            r.emulated_msgs,
+            r.bytes_ratio(),
+            r.correct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"gates\": {\n");
+    s.push_str(&format!("    \"max_bytes_ratio\": {:.3},\n", report.max_bytes_ratio));
+    s.push_str(&format!("    \"min_bytes_ratio\": {:.3},\n", report.min_bytes_ratio));
+    s.push_str(&format!("    \"bytes_ratio_ok\": {},\n", report.bytes_ratio_ok));
+    s.push_str(&format!("    \"all_correct\": {}\n", report.all_correct));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(fused: u64, emulated: u64, correct: bool) -> FusionRow {
+        FusionRow {
+            case: "test".into(),
+            n: 16,
+            delta: 0.3,
+            m: 64,
+            fused_bytes: fused,
+            fused_msgs: 10,
+            emulated_bytes: emulated,
+            emulated_msgs: 10,
+            correct,
+        }
+    }
+
+    #[test]
+    fn ratio_gate_takes_the_best_cell_and_demands_correctness() {
+        let g = gates(&[row(1000, 1100, true), row(1000, 1500, true)]);
+        assert!(g.bytes_ratio_ok && g.all_correct, "{g:?}");
+        assert!((g.max_bytes_ratio - 1.5).abs() < 1e-9);
+        assert!((g.min_bytes_ratio - 1.1).abs() < 1e-9);
+
+        let g = gates(&[row(1000, 1100, true)]);
+        assert!(!g.bytes_ratio_ok, "1.1x fails the 1.2x bar: {g:?}");
+
+        let g = gates(&[row(1000, 1500, false)]);
+        assert!(!g.all_correct, "a wrong fused buffer poisons the verdict");
+
+        let g = gates(&[]);
+        assert!(!g.all_correct, "an empty grid is not evidence");
+    }
+
+    #[test]
+    fn small_cell_is_correct_and_fused_never_moves_more_bytes() {
+        let r = fusion_cell(48, 0.4, 64, 7);
+        assert!(r.correct, "{r:?}");
+        assert!(r.fused_bytes > 0 && r.emulated_bytes > 0, "{r:?}");
+        assert!(r.fused_bytes <= r.emulated_bytes, "combining at hops can only shed bytes: {r:?}");
+    }
+
+    #[test]
+    fn json_document_is_balanced() {
+        let rows = vec![row(1000, 1500, true)];
+        let report = gates(&rows);
+        let json = write_json(&rows, &report, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bytes_ratio_ok\": true"));
+        assert!(json.contains("\"fused_bytes\""));
+    }
+}

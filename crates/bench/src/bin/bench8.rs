@@ -1,0 +1,76 @@
+//! `bench8` — regenerate `BENCH_8.json`: fused sparse allreduce vs the
+//! allgather-then-local-reduce emulation, compared on bytes moved.
+//!
+//! ```text
+//! bench8 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_8.json` in the current directory. Two
+//! acceptance gates: the best cell must move ≥ 1.2× fewer bytes fused
+//! than emulated, and every fused output must byte-match the naive
+//! reference. Exits nonzero when a gate fails.
+
+use nhood_bench::bench8;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_8.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench8 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_8: fused allreduce vs allgather emulation ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let rows = bench8::run_fusion(quick);
+    let report = bench8::gates(&rows);
+    let json = bench8::write_json(&rows, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_8.json");
+
+    eprintln!("   case                    fused B    fused msg   emulated B  emu msg  ratio  ok");
+    for r in &rows {
+        eprintln!(
+            "   {:<20} {:>10} {:>10} {:>12} {:>8} {:>5.2}x {:>4}",
+            r.case,
+            r.fused_bytes,
+            r.fused_msgs,
+            r.emulated_bytes,
+            r.emulated_msgs,
+            r.bytes_ratio(),
+            if r.correct { "yes" } else { "NO" }
+        );
+    }
+    eprintln!(
+        ">> best bytes ratio {:.2}x, worst {:.2}x (gate {:.1}x on best)",
+        report.max_bytes_ratio,
+        report.min_bytes_ratio,
+        bench8::GATE_BYTES_RATIO
+    );
+    eprintln!(">> wrote {}", out.display());
+
+    let mut failed = false;
+    if !report.bytes_ratio_ok {
+        eprintln!(
+            "!! bytes gate failed: best ratio {:.2}x under {:.1}x",
+            report.max_bytes_ratio,
+            bench8::GATE_BYTES_RATIO
+        );
+        failed = true;
+    }
+    if !report.all_correct {
+        eprintln!("!! correctness gate failed: a fused output diverged from the reference");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,10 @@ use nhood_core::exec::sim_exec::{simulate, Sim};
 use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
 use nhood_core::exec::{ExecOptions, Executor, Threaded, Virtual};
 use nhood_core::BlockArena;
-use nhood_core::{Algorithm, BlockSizes, DistGraphComm, LoadMetric, SimCost};
+use nhood_core::{
+    Algorithm, BlockSizes, CollectiveOp, CollectiveRequest, DType, DistGraphComm, ExecBackend,
+    LoadMetric, ReduceOp, Reduction, SimCost,
+};
 use nhood_simnet::{NicMode, SimConfig};
 use nhood_telemetry::{CountingRecorder, ModelPrediction, Recorder, SpanRecorder};
 use nhood_topology::io::{read_edge_list, write_edge_list};
@@ -355,12 +358,148 @@ pub fn cmd_validate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
                 (0..len).map(|_| rng.next_u64() as u8).collect()
             })
             .collect();
-        let got = comm.neighbor_allgatherv(algo, &payloads).map_err(|e| fail(e.to_string()))?;
+        let req = CollectiveRequest::allgatherv(&payloads).algorithm(algo);
+        let got = comm.collective(&req).map_err(|e| fail(e.to_string()))?.rbufs;
         if got != reference_allgather(&graph, &payloads) {
             return Err(fail("ragged execution mismatch against the MPI-semantics reference"));
         }
         writeln!(w, "ragged check:    ok (allgatherv, per-rank sizes 0..=64)")?;
     }
+    Ok(())
+}
+
+/// Parses `--reduce sum|max|bitor` and `--dtype u8|u32|f32` into a
+/// [`Reduction`] (defaults: Sum over u8 lanes).
+pub fn parse_reduction(args: &Args) -> Result<Reduction, ArgError> {
+    let op = match args.get("reduce").unwrap_or("sum") {
+        "sum" => ReduceOp::Sum,
+        "max" => ReduceOp::Max,
+        "bitor" => ReduceOp::BitOr,
+        other => return Err(fail(format!("unknown --reduce '{other}' (sum | max | bitor)"))),
+    };
+    let dtype = match args.get("dtype").unwrap_or("u8") {
+        "u8" => DType::U8,
+        "u32" => DType::U32,
+        "f32" => DType::F32,
+        other => return Err(fail(format!("unknown --dtype '{other}' (u8 | u32 | f32)"))),
+    };
+    Ok(Reduction::new(op, dtype))
+}
+
+/// Parses `--op` (plus `--reduce`/`--dtype` for the reducing ops).
+/// The reduction flags are validated even for non-reducing ops so a
+/// typo never passes silently.
+pub fn parse_op(args: &Args) -> Result<CollectiveOp, ArgError> {
+    let red = parse_reduction(args)?;
+    match args.get("op").unwrap_or("allgather") {
+        "allgather" => Ok(CollectiveOp::Allgather),
+        "allgatherv" => Ok(CollectiveOp::Allgatherv),
+        "alltoallv" => Ok(CollectiveOp::Alltoallv),
+        "reduce_scatter" => Ok(CollectiveOp::ReduceScatter(red)),
+        "allreduce" => Ok(CollectiveOp::Allreduce(red)),
+        other => Err(fail(format!(
+            "unknown --op '{other}' (allgather | allgatherv | alltoallv | reduce_scatter | allreduce)"
+        ))),
+    }
+}
+
+/// Deterministic send buffers shaped for `op`: flat `m`-byte blocks for
+/// allgather/allreduce, ragged per-rank lengths (zeros included) for
+/// allgatherv, out-degree-scaled concatenations for alltoallv and
+/// reduce_scatter.
+fn shaped_payloads(graph: &Topology, op: CollectiveOp, m: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = nhood_topology::rng::DetRng::seed_from_u64(seed);
+    let mut block = |len: usize| -> Vec<u8> {
+        let fill = rng.next_u64().to_le_bytes();
+        (0..len).map(|i| fill[i % 8] ^ (i as u8)).collect()
+    };
+    match op {
+        CollectiveOp::Allgather | CollectiveOp::Allreduce(_) => {
+            (0..graph.n()).map(|_| block(m)).collect()
+        }
+        CollectiveOp::Allgatherv => (0..graph.n())
+            .map(|r| {
+                let len = if r % 5 == 0 { 0 } else { 1 + (r * 13) % m.max(1) };
+                block(len)
+            })
+            .collect(),
+        CollectiveOp::Alltoallv | CollectiveOp::ReduceScatter(_) => {
+            (0..graph.n()).map(|p| block(graph.out_neighbors(p).len() * m)).collect()
+        }
+    }
+}
+
+/// `nhood run <edge-list> [--op allgather|allgatherv|alltoallv|reduce_scatter|allreduce]
+/// [--reduce sum|max|bitor] [--dtype u8|u32|f32] [--algo ..] [--size B]
+/// [--backend virtual|threaded|sim] [--cost ..] [layout flags]` — run
+/// one collective end-to-end through the op-agnostic request API
+/// ([`DistGraphComm::collective`]), byte-check it against the op's
+/// naive reference, and report message/byte counters (or the simulated
+/// makespan under `--backend sim`). f32 reductions skip the byte check
+/// — fold order differs between engine and reference — and report
+/// completion only.
+pub fn cmd_run(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
+    use nhood_core::collective::{
+        derive_sizes, reference_allreduce, reference_alltoallv, reference_reduce_scatter,
+    };
+
+    let path = args.pos(1).ok_or_else(|| fail("run: missing edge-list file"))?;
+    let graph = load_topology(path)?;
+    let layout = parse_layout(args, graph.n())?;
+    let algo = parse_algo(args)?;
+    let op = parse_op(args)?;
+    let m = {
+        let raw = parse_bytes(args.get("size").unwrap_or("1K"))?;
+        // Reductions over u32/f32 need whole lanes.
+        let lane = op.reduction().map_or(1, |red| red.dtype.lane_bytes());
+        raw.next_multiple_of(lane.max(1))
+    };
+    let backend = match args.get("backend").unwrap_or("virtual") {
+        "virtual" => ExecBackend::Virtual,
+        "threaded" => ExecBackend::Threaded,
+        "sim" => ExecBackend::Sim,
+        other => return Err(fail(format!("unknown --backend '{other}' (virtual|threaded|sim)"))),
+    };
+    let seed = args.get_parsed("seed", 42u64)?;
+    let payloads = shaped_payloads(&graph, op, m, seed);
+    let comm =
+        DistGraphComm::create_adjacent(graph.clone(), layout).map_err(|e| fail(e.to_string()))?;
+    let rec = CountingRecorder::new(graph.n());
+    let req = CollectiveRequest::new(op, &payloads).algorithm(algo).backend(backend).recorder(&rec);
+    let out = comm.collective(&req).map_err(|e| fail(e.to_string()))?;
+    writeln!(w, "run: {op} via {algo}, {} ranks, {m}-byte blocks", graph.n())?;
+    if let Some(sim) = &out.sim {
+        writeln!(w, "simulated makespan: {:.2} us", sim.makespan * 1e6)?;
+    }
+    let skip_f32 = op.reduction().is_some_and(|red| red.dtype == DType::F32);
+    if backend != ExecBackend::Sim || !out.rbufs.is_empty() {
+        if skip_f32 {
+            writeln!(w, "verify: skipped (f32 fold order differs from the reference)")?;
+        } else {
+            let want = match op {
+                CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+                    reference_allgather(&graph, &payloads)
+                }
+                CollectiveOp::Alltoallv => {
+                    let sizes = derive_sizes(&graph, op, &payloads, None)
+                        .map_err(|e| fail(e.to_string()))?;
+                    reference_alltoallv(&graph, &payloads, &sizes)
+                }
+                CollectiveOp::ReduceScatter(red) => {
+                    let sizes = derive_sizes(&graph, op, &payloads, None)
+                        .map_err(|e| fail(e.to_string()))?;
+                    reference_reduce_scatter(&graph, &payloads, &sizes, red)
+                }
+                CollectiveOp::Allreduce(red) => reference_allreduce(&graph, &payloads, red),
+            };
+            if out.rbufs != want {
+                return Err(fail("output mismatch against the op's naive reference"));
+            }
+            writeln!(w, "verify: ok (matches the naive reference)")?;
+        }
+    }
+    let counts = rec.counts().unwrap_or_default();
+    writeln!(w, "messages sent: {}, bytes sent: {}", counts.msgs_sent, counts.bytes_sent)?;
     Ok(())
 }
 
@@ -596,11 +735,16 @@ pub fn cmd_chaos(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
                 .with_message_delay(p / 2.0, Duration::from_micros(200))
                 .with_message_reorder(p / 2.0);
             let c = comm.clone().with_fault_plan(fp);
-            match c.neighbor_allgather_robust(algo, &payloads) {
-                Ok((bufs, report)) => {
+            let req = CollectiveRequest::allgather(&payloads)
+                .algorithm(algo)
+                .robust(true)
+                .backend(ExecBackend::Threaded);
+            match c.collective(&req) {
+                Ok(out) => {
+                    let report = out.report.expect("robust runs carry an execution report");
                     injected += report.faults.total_injected();
                     retries += report.faults.retries;
-                    if bufs != want {
+                    if out.rbufs != want {
                         corrupt += 1;
                     } else if report.clean() {
                         ok += 1;
@@ -748,10 +892,13 @@ pub fn cmd_churn(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
             let drilled = comm
                 .clone()
                 .with_fault_plan(FaultPlan::seeded(seed).with_link_down(src, dst, phase));
-            let (bufs, report) = drilled
-                .neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads)
-                .map_err(|e| fail(e.to_string()))?;
-            if bufs != want {
+            let req = CollectiveRequest::allgather(&payloads)
+                .algorithm(Algorithm::DistanceHalving)
+                .robust(true)
+                .backend(ExecBackend::Threaded);
+            let out = drilled.collective(&req).map_err(|e| fail(e.to_string()))?;
+            let report = out.report.expect("robust runs carry an execution report");
+            if out.rbufs != want {
                 return Err(fail("link-down drill returned corrupted buffers"));
             }
             writeln!(w, "link-down drill: killed {src}->{dst} at phase {phase}: {report}")?;
@@ -779,13 +926,15 @@ pub fn cmd_churn(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
 /// graph. The last `--faulty` tenants are fault-armed (message drops at
 /// `--fault-drop`) and execute on the robust path.
 ///
-/// `--drill` pins a small deterministic mixed workload (clean + faulty
-/// tenants, churn every 25 ms, every completion byte-verified) and
-/// **fails with a nonzero exit** unless ≥ 99 % of admitted requests
-/// complete with zero corrupt buffers — the CI acceptance condition.
+/// `--drill` pins a small deterministic mixed workload (all four
+/// collective families — allgather(v), alltoallv, reduce_scatter,
+/// allreduce — on clean + faulty tenants, churn every 25 ms, every
+/// completion byte-verified against its op's reference) and **fails
+/// with a nonzero exit** unless ≥ 99 % of admitted requests complete
+/// with zero corrupt buffers — the CI acceptance condition.
 pub fn cmd_serve(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     use nhood_core::fault::FaultPlan;
-    use nhood_service::traffic::{run_open_loop, TrafficSpec};
+    use nhood_service::traffic::{run_open_loop, OpMix, TrafficSpec};
     use nhood_service::{AdmissionConfig, Backend, Service, ServiceConfig, Verify};
     use nhood_topology::random::erdos_renyi;
     use nhood_topology::rng::hash_mix;
@@ -869,6 +1018,9 @@ pub fn cmd_serve(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         zipf_s,
         size_min,
         size_max,
+        // The drill exercises every collective family; plain serve runs
+        // the gather-only workload unless --mixed asks for the full mix.
+        op_mix: if drill || args.has("mixed") { OpMix::uniform() } else { OpMix::default() },
         churn_period: (churn_ms > 0).then(|| Duration::from_millis(churn_ms)),
         ..TrafficSpec::default()
     };
@@ -960,8 +1112,11 @@ mod tests {
             "batch",
             "size-min",
             "size-max",
+            "op",
+            "reduce",
+            "dtype",
         ],
-        switches: &["ragged", "no-batch", "drill"],
+        switches: &["ragged", "no-batch", "drill", "mixed"],
     };
 
     fn args(toks: &[&str]) -> Args {
@@ -1229,6 +1384,78 @@ mod tests {
             &mut out,
         )
         .unwrap();
+    }
+
+    #[test]
+    fn run_covers_every_op_and_backend() {
+        let path = tmp("nhood_cli_run.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "24", "--delta", "0.3"]), &mut out).unwrap();
+        for op in ["allgather", "allgatherv", "alltoallv", "reduce_scatter", "allreduce"] {
+            for backend in ["virtual", "threaded", "sim"] {
+                let mut out = Vec::new();
+                cmd_run(
+                    &args(&["run", &path, "--op", op, "--backend", backend, "--size", "64"]),
+                    &mut out,
+                )
+                .unwrap();
+                let text = String::from_utf8_lossy(&out).to_string();
+                assert!(text.contains("run:"), "{op}/{backend}: {text}");
+                if backend == "sim" {
+                    assert!(text.contains("simulated makespan"), "{op}/{backend}: {text}");
+                } else {
+                    assert!(text.contains("verify: ok"), "{op}/{backend}: {text}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_reduction_flags_and_typed_errors() {
+        let path = tmp("nhood_cli_run_red.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "16", "--delta", "0.4"]), &mut out).unwrap();
+        // max/u32 verifies byte-exactly; sum/f32 skips the byte check.
+        let mut out = Vec::new();
+        cmd_run(
+            &args(&[
+                "run",
+                &path,
+                "--op",
+                "allreduce",
+                "--reduce",
+                "max",
+                "--dtype",
+                "u32",
+                "--size",
+                "64",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("verify: ok"));
+        let mut out = Vec::new();
+        cmd_run(
+            &args(&["run", &path, "--op", "allreduce", "--dtype", "f32", "--size", "64"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("verify: skipped"));
+        // bitor over f32 lanes is a typed rejection, as are bad flags.
+        let mut out = Vec::new();
+        let err = cmd_run(
+            &args(&["run", &path, "--op", "allreduce", "--reduce", "bitor", "--dtype", "f32"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("invalid reduction"), "{}", err.0);
+        assert!(cmd_run(&args(&["run", &path, "--op", "bogus"]), &mut out).is_err());
+        assert!(cmd_run(&args(&["run", &path, "--reduce", "bogus"]), &mut out).is_err());
+        assert!(cmd_run(&args(&["run", &path, "--dtype", "bogus"]), &mut out).is_err());
+        // combining ops reject non-combining planners typed
+        let err = cmd_run(&args(&["run", &path, "--op", "alltoallv", "--algo", "cn"]), &mut out)
+            .unwrap_err();
+        assert!(err.0.contains("unsupported"), "{}", err.0);
     }
 
     #[test]

@@ -60,8 +60,11 @@ const SPEC: Spec = Spec {
         "batch",
         "size-min",
         "size-max",
+        "op",
+        "reduce",
+        "dtype",
     ],
-    switches: &["help", "ragged", "no-batch", "drill"],
+    switches: &["help", "ragged", "no-batch", "drill", "mixed"],
 };
 
 const USAGE: &str = "\
@@ -77,6 +80,9 @@ commands:
   compare <edge-list> [--sizes ..] [--k K] [layout flags]
   validate <edge-list> [--algo ..] [--load-metric neighbors|bytes] [--ragged]
            [layout flags]
+  run <edge-list> [--op allgather|allgatherv|alltoallv|reduce_scatter|allreduce]
+      [--reduce sum|max|bitor] [--dtype u8|u32|f32] [--algo ..] [--size 1K]
+      [--backend virtual|threaded|sim] [--seed 42] [layout flags]
   trace <edge-list> [--algo ..] [--size 4K] [--backend virtual|threaded|sim]
         [--format csv|chrome|summary|model-check] [--out FILE]
         [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
@@ -89,7 +95,8 @@ commands:
         [--duration-ms 200] [--interarrival-us 200] [--zipf 1.1]
         [--size-min 16 --size-max 2K] [--faulty 0] [--fault-drop 0.05]
         [--churn-ms 0] [--queue 256] [--quota 64] [--batch 64] [--no-batch]
-        [--backend virtual|threaded|sim] [--seed 42] [--drill] [layout flags]
+        [--backend virtual|threaded|sim] [--seed 42] [--drill] [--mixed]
+        [layout flags]
 ";
 
 fn main() {
@@ -112,6 +119,7 @@ fn main() {
         "simulate" => commands::cmd_simulate(&parsed, &mut out),
         "compare" => commands::cmd_compare(&parsed, &mut out),
         "validate" => commands::cmd_validate(&parsed, &mut out),
+        "run" => commands::cmd_run(&parsed, &mut out),
         "trace" => commands::cmd_trace(&parsed, &mut out),
         "recommend" => commands::cmd_recommend(&parsed, &mut out),
         "chaos" => commands::cmd_chaos(&parsed, &mut out),

@@ -1,0 +1,1247 @@
+//! The collective-agnostic request surface and the message-combining
+//! executors behind it.
+//!
+//! One entry point — [`crate::comm::DistGraphComm::collective`] — serves
+//! every neighborhood collective through a typed [`CollectiveRequest`]:
+//! allgather(v) on the lowered [`crate::plan::CollectivePlan`], and the
+//! three *message-combining* collectives (alltoallv, sparse
+//! reduce_scatter, sparse allreduce) on the item-routed
+//! [`crate::alltoall::AlltoallPlan`]. The combining family follows Träff
+//! et al.'s isomorphic sparse collectives and the Kolmakov–Zhang
+//! allreduce generalization: forwarding agents *reduce* payloads at hops
+//! instead of concatenating them.
+//!
+//! ## Why combining is sound on the alltoall routing
+//!
+//! [`crate::alltoall::plan_dh_alltoall`] routes an item `(src, dst)` by
+//! looking only at `dst` (is it in the step's opposite half?), and
+//! arrivals merge into a rank's pending set *after* the step's sends are
+//! fixed. Consequence: **all items held at a rank with the same
+//! destination co-route in every subsequent phase.** A rank may
+//! therefore hold one *partial* per destination — `(source set, reduced
+//! value)` — and forward the partial wherever the plan forwards that
+//! destination's items; two partials for the same destination meeting at
+//! a rank merge with one [`Reduction::combine`]. Exactly-once item
+//! delivery (validated on the plan) becomes exactly-once inclusion of
+//! every source's contribution.
+//!
+//! ## Determinism
+//!
+//! The combine *tree* is fully plan-determined: within a phase, arrivals
+//! are integrated in ascending `(peer, tag)` order on every backend, and
+//! IEEE-754 addition is commutative (though not associative), so f32
+//! sums are **bit-identical** across the virtual and threaded backends
+//! and across repeat runs. Exact lanes (wrapping integer sums, max,
+//! bit-or) are associative and equal the naive reference exactly; f32
+//! agrees with the reference up to reassociation error.
+//!
+//! ## Wire accounting
+//!
+//! A packed message is a list of groups `(dsts, srcs, value)`; groups
+//! whose source set *and* value bytes coincide share one value block
+//! (the allreduce first hop sends one copy of `x_src` no matter how many
+//! destinations it serves). Telemetry counts the value bytes only —
+//! consistent with the allgather executors, which count payload bytes
+//! and not headers.
+
+use crate::alltoall::{A2aMsg, AlltoallPlan};
+use crate::comm::{CommError, ExecReport};
+use crate::exec::ExecError;
+use crate::plan::Algorithm;
+use crate::sizes::BlockSizes;
+use nhood_simnet::{Msg, Phase, Schedule, SimReport};
+use nhood_telemetry::{Recorder, NULL};
+use nhood_topology::{Rank, Topology};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Lane type of a [`Reduction`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// One byte per lane.
+    U8,
+    /// Little-endian `u32` lanes; block lengths must be multiples of 4.
+    U32,
+    /// Little-endian IEEE-754 `f32` lanes; block lengths must be
+    /// multiples of 4. `BitOr` is rejected for this type.
+    F32,
+}
+
+impl DType {
+    /// Bytes per lane.
+    pub fn lane_bytes(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::U32 | DType::F32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::U8 => write!(f, "u8"),
+            DType::U32 => write!(f, "u32"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+/// The operator a combining agent applies at each hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Lane-wise sum (wrapping for integer lanes).
+    Sum,
+    /// Lane-wise maximum.
+    Max,
+    /// Lane-wise bit-or (integer lanes only).
+    BitOr,
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceOp::Sum => write!(f, "sum"),
+            ReduceOp::Max => write!(f, "max"),
+            ReduceOp::BitOr => write!(f, "bitor"),
+        }
+    }
+}
+
+/// A reduction: operator × lane type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reduction {
+    /// The operator.
+    pub op: ReduceOp,
+    /// The lane type.
+    pub dtype: DType,
+}
+
+impl Reduction {
+    /// Byte-wise wrapping sum — the cheapest exact reduction, and the
+    /// one the service's mixed-op traffic verifies byte-for-byte.
+    pub const SUM_U8: Reduction = Reduction { op: ReduceOp::Sum, dtype: DType::U8 };
+
+    /// A reduction over `dtype` lanes.
+    pub fn new(op: ReduceOp, dtype: DType) -> Self {
+        Self { op, dtype }
+    }
+
+    /// Rejects operator/lane combinations with no defined semantics.
+    pub fn validate(self) -> Result<(), &'static str> {
+        match (self.op, self.dtype) {
+            (ReduceOp::BitOr, DType::F32) => Err("bitor is undefined on f32 lanes"),
+            _ => Ok(()),
+        }
+    }
+
+    /// `true` when a block of `len` bytes splits into whole lanes.
+    pub fn fits(self, len: usize) -> bool {
+        len.is_multiple_of(self.dtype.lane_bytes())
+    }
+
+    /// The identity block of `len` bytes: combining it with any block
+    /// yields that block.
+    pub fn identity(self, len: usize) -> Vec<u8> {
+        match (self.op, self.dtype) {
+            (ReduceOp::Max, DType::F32) => {
+                f32::NEG_INFINITY.to_le_bytes().iter().copied().cycle().take(len).collect()
+            }
+            // 0 is the identity for sum and bit-or, and for unsigned max
+            _ => vec![0u8; len],
+        }
+    }
+
+    /// Lane-wise `acc = acc ⊕ rhs`. Both slices must be the same length
+    /// and a whole number of lanes.
+    pub fn combine(self, acc: &mut [u8], rhs: &[u8]) {
+        assert_eq!(acc.len(), rhs.len(), "combining blocks of unequal length");
+        let lanes4 = |acc: &mut [u8], rhs: &[u8], f: fn([u8; 4], [u8; 4]) -> [u8; 4]| {
+            for (a, b) in acc.chunks_exact_mut(4).zip(rhs.chunks_exact(4)) {
+                let v = f(a.try_into().unwrap(), b.try_into().unwrap());
+                a.copy_from_slice(&v);
+            }
+        };
+        match (self.op, self.dtype) {
+            (ReduceOp::Sum, DType::U8) => {
+                for (a, &b) in acc.iter_mut().zip(rhs) {
+                    *a = a.wrapping_add(b);
+                }
+            }
+            (ReduceOp::Sum, DType::U32) => lanes4(acc, rhs, |a, b| {
+                u32::from_le_bytes(a).wrapping_add(u32::from_le_bytes(b)).to_le_bytes()
+            }),
+            (ReduceOp::Sum, DType::F32) => lanes4(acc, rhs, |a, b| {
+                (f32::from_le_bytes(a) + f32::from_le_bytes(b)).to_le_bytes()
+            }),
+            (ReduceOp::Max, DType::U8) => {
+                for (a, &b) in acc.iter_mut().zip(rhs) {
+                    *a = (*a).max(b);
+                }
+            }
+            (ReduceOp::Max, DType::U32) => lanes4(acc, rhs, |a, b| {
+                u32::from_le_bytes(a).max(u32::from_le_bytes(b)).to_le_bytes()
+            }),
+            (ReduceOp::Max, DType::F32) => lanes4(acc, rhs, |a, b| {
+                f32::from_le_bytes(a).max(f32::from_le_bytes(b)).to_le_bytes()
+            }),
+            (ReduceOp::BitOr, DType::U8) | (ReduceOp::BitOr, DType::U32) => {
+                // bit-or is lane-width agnostic: byte-wise or is exact
+                for (a, &b) in acc.iter_mut().zip(rhs) {
+                    *a |= b;
+                }
+            }
+            (ReduceOp::BitOr, DType::F32) => unreachable!("rejected by Reduction::validate"),
+        }
+    }
+}
+
+impl std::fmt::Display for Reduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.op, self.dtype)
+    }
+}
+
+/// The collective an execution request names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveOp {
+    /// Uniform-size neighborhood allgather.
+    Allgather,
+    /// Ragged (per-rank-sized) neighborhood allgather.
+    Allgatherv,
+    /// Per-destination distinct payloads; `sizes[p]` is the block size
+    /// *source* `p` sends to each of its out-neighbors.
+    Alltoallv,
+    /// Sparse reduce_scatter: rank `t` receives the reduction of its
+    /// in-neighbors' contributions addressed to it; `sizes[t]` is the
+    /// block size of *destination* `t`.
+    ReduceScatter(Reduction),
+    /// Sparse allreduce (reduce_scatter ⊕ allgather fused on the item
+    /// routing): rank `t` ends with `x_t ⊕ (⊕ x_s for s ∈ I(t))`.
+    /// Uniform block size only.
+    Allreduce(Reduction),
+}
+
+impl CollectiveOp {
+    /// Short stable name for logs, CLI flags and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveOp::Allgather => "allgather",
+            CollectiveOp::Allgatherv => "allgatherv",
+            CollectiveOp::Alltoallv => "alltoallv",
+            CollectiveOp::ReduceScatter(_) => "reduce_scatter",
+            CollectiveOp::Allreduce(_) => "allreduce",
+        }
+    }
+
+    /// The *plan-family* tag hashed into cache keys
+    /// ([`crate::plan_cache::PlanFingerprint::of_collective`]): ops that
+    /// provably execute the same plan share a tag — allgather and
+    /// allgatherv both run the lowered `CollectivePlan` (tag 0); the
+    /// combining family all routes over the identical item
+    /// `AlltoallPlan` (tag 1), so mixed reduce/alltoallv traffic reuses
+    /// one cached routing instead of thrashing per-op copies.
+    pub fn plan_tag(&self) -> u64 {
+        match self {
+            CollectiveOp::Allgather | CollectiveOp::Allgatherv => 0,
+            _ => 1,
+        }
+    }
+
+    /// `true` for the allgather family (runs `CollectivePlan`; supports
+    /// every algorithm, robustness and fault injection).
+    pub fn is_gather(&self) -> bool {
+        self.plan_tag() == 0
+    }
+
+    /// The reduction of a combining-reduce op, if any.
+    pub fn reduction(&self) -> Option<Reduction> {
+        match self {
+            CollectiveOp::ReduceScatter(r) | CollectiveOp::Allreduce(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CollectiveOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reduction() {
+            Some(r) => write!(f, "{}({r})", self.name()),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// Which execution backend a request runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// Deterministic sequential execution with real bytes (the oracle).
+    #[default]
+    Virtual,
+    /// One OS thread per rank, real channels, the communicator's
+    /// timeouts; the only backend with fault injection and robustness.
+    Threaded,
+    /// Discrete-event simulated time. Unlike the legacy `Sim` executor,
+    /// the unified API *also* returns oracle bytes (computed on the
+    /// virtual data path) next to the makespan, so reference-equivalence
+    /// holds on this backend too.
+    Sim,
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecBackend::Virtual => write!(f, "virtual"),
+            ExecBackend::Threaded => write!(f, "threaded"),
+            ExecBackend::Sim => write!(f, "sim"),
+        }
+    }
+}
+
+/// A collective execution request — the one argument of
+/// [`crate::comm::DistGraphComm::collective`].
+///
+/// ```
+/// use nhood_cluster::ClusterLayout;
+/// use nhood_core::collective::{CollectiveRequest, Reduction};
+/// use nhood_core::comm::DistGraphComm;
+/// use nhood_topology::random::erdos_renyi;
+///
+/// let graph = erdos_renyi(16, 0.3, 42);
+/// let comm = DistGraphComm::create_adjacent(graph, ClusterLayout::new(2, 2, 4)).unwrap();
+/// let payloads: Vec<Vec<u8>> = (0..16).map(|r| vec![r as u8; 8]).collect();
+/// let out = comm.collective(&CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8)).unwrap();
+/// assert_eq!(out.rbufs.len(), 16);
+/// ```
+pub struct CollectiveRequest<'a> {
+    /// The collective to run.
+    pub op: CollectiveOp,
+    /// The planning algorithm (default [`Algorithm::DistanceHalving`]).
+    pub algorithm: Algorithm,
+    /// Per-rank send buffers; the shape contract depends on `op` (see
+    /// each [`CollectiveOp`] variant).
+    pub payloads: &'a [Vec<u8>],
+    /// Explicit size table; `None` derives it from the payloads (ragged
+    /// reduce_scatter *requires* an explicit per-destination table — it
+    /// cannot be inferred from concatenated send buffers).
+    pub sizes: Option<BlockSizes>,
+    /// The execution backend.
+    pub backend: ExecBackend,
+    /// Fault-tolerant execution (allgather family on the threaded
+    /// transport only — see the support matrix in docs/EXECUTION_API.md).
+    pub robust: bool,
+    /// Telemetry sink.
+    pub recorder: &'a dyn Recorder,
+}
+
+impl<'a> CollectiveRequest<'a> {
+    /// A request for `op` over `payloads` with Distance Halving, the
+    /// virtual backend, no robustness and a null recorder.
+    pub fn new(op: CollectiveOp, payloads: &'a [Vec<u8>]) -> Self {
+        Self {
+            op,
+            algorithm: Algorithm::DistanceHalving,
+            payloads,
+            sizes: None,
+            backend: ExecBackend::Virtual,
+            robust: false,
+            recorder: &NULL,
+        }
+    }
+
+    /// Uniform neighborhood allgather of one block per rank.
+    pub fn allgather(payloads: &'a [Vec<u8>]) -> Self {
+        Self::new(CollectiveOp::Allgather, payloads)
+    }
+
+    /// Ragged neighborhood allgather (per-rank block sizes, zeros legal).
+    pub fn allgatherv(payloads: &'a [Vec<u8>]) -> Self {
+        Self::new(CollectiveOp::Allgatherv, payloads)
+    }
+
+    /// Neighborhood alltoallv: `payloads[p]` concatenates one distinct
+    /// block per out-neighbor (in `O(p)` order), each `sizes[p]` bytes.
+    pub fn alltoallv(payloads: &'a [Vec<u8>]) -> Self {
+        Self::new(CollectiveOp::Alltoallv, payloads)
+    }
+
+    /// Sparse reduce_scatter under `red`: `payloads[p]` concatenates
+    /// p's contribution to each out-neighbor `d` (in `O(p)` order), each
+    /// `sizes[d]` bytes.
+    pub fn reduce_scatter(payloads: &'a [Vec<u8>], red: Reduction) -> Self {
+        Self::new(CollectiveOp::ReduceScatter(red), payloads)
+    }
+
+    /// Sparse allreduce under `red`: `payloads[r]` is rank r's uniform
+    /// `m`-byte contribution; every rank ends with its in-neighborhood's
+    /// reduction folded over its own block.
+    pub fn allreduce(payloads: &'a [Vec<u8>], red: Reduction) -> Self {
+        Self::new(CollectiveOp::Allreduce(red), payloads)
+    }
+
+    /// Selects the planning algorithm.
+    pub fn algorithm(mut self, algo: Algorithm) -> Self {
+        self.algorithm = algo;
+        self
+    }
+
+    /// Pins an explicit size table (per-source for alltoallv,
+    /// per-destination for reduce_scatter, per-rank for allgatherv).
+    pub fn sizes(mut self, sizes: BlockSizes) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Requests fault-tolerant execution (threaded allgather family).
+    pub fn robust(mut self, robust: bool) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn recorder(mut self, rec: &'a dyn Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+}
+
+impl std::fmt::Debug for CollectiveRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectiveRequest")
+            .field("op", &self.op)
+            .field("algorithm", &self.algorithm)
+            .field("payloads", &self.payloads.len())
+            .field("sizes", &self.sizes)
+            .field("backend", &self.backend)
+            .field("robust", &self.robust)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a [`crate::comm::DistGraphComm::collective`] call produced.
+#[derive(Clone, Debug, Default)]
+pub struct CollectiveOutput {
+    /// Per-rank receive buffers (shape depends on the op; see
+    /// [`CollectiveOp`]). Real bytes on **every** backend, including
+    /// [`ExecBackend::Sim`].
+    pub rbufs: Vec<Vec<u8>>,
+    /// Faults injected and retries spent (threaded backend only).
+    pub faults: crate::fault::FaultCounts,
+    /// The robustness report, `Some` iff the request set
+    /// [`CollectiveRequest::robust`].
+    pub report: Option<ExecReport>,
+    /// The simulator's report, `Some` iff the request ran on
+    /// [`ExecBackend::Sim`].
+    pub sim: Option<SimReport>,
+}
+
+/// Rejects (op, algorithm, robustness, backend) combinations outside the
+/// support matrix — the typed error the old
+/// `UnsupportedAlgorithm { operation: "neighbor_alltoall" }` branch grew
+/// into. See docs/EXECUTION_API.md for the full table.
+pub(crate) fn check_support(
+    op: CollectiveOp,
+    algorithm: Algorithm,
+    robust: bool,
+    backend: ExecBackend,
+) -> Result<(), CommError> {
+    if let Some(red) = op.reduction() {
+        if let Err(reason) = red.validate() {
+            return Err(CommError::InvalidReduction { reduction: red, reason });
+        }
+    }
+    if robust && !op.is_gather() {
+        return Err(CommError::UnsupportedCollective {
+            op,
+            algorithm,
+            reason: "robust execution supports the allgather family only",
+        });
+    }
+    if robust && backend != ExecBackend::Threaded {
+        return Err(CommError::UnsupportedCollective {
+            op,
+            algorithm,
+            reason: "robust execution runs on the threaded transport",
+        });
+    }
+    if !op.is_gather()
+        && matches!(
+            algorithm,
+            Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. }
+        )
+    {
+        return Err(CommError::UnsupportedCollective {
+            op,
+            algorithm,
+            reason: "no item-routing formulation (alltoall-family ops need Naive or \
+                     DistanceHalving)",
+        });
+    }
+    Ok(())
+}
+
+/// Derives (or validates) the size table of a combining-family request
+/// and checks every payload against the op's shape contract: per-source
+/// for alltoallv, per-destination for reduce_scatter (uniform unless
+/// explicit — ragged destination tables cannot be recovered from
+/// concatenated send buffers), uniform-only for allreduce.
+pub fn derive_sizes(
+    graph: &Topology,
+    op: CollectiveOp,
+    payloads: &[Vec<u8>],
+    explicit: Option<&BlockSizes>,
+) -> Result<BlockSizes, CommError> {
+    let n = graph.n();
+    if payloads.len() != n {
+        return Err(ExecError::PayloadCountMismatch { got: payloads.len(), want: n }.into());
+    }
+    let lane_err = |red: Reduction| CommError::InvalidReduction {
+        reduction: red,
+        reason: "block length is not a whole number of lanes",
+    };
+    match op {
+        CollectiveOp::Alltoallv => {
+            // per-SOURCE sizing: sbuf[p] = outdegree(p) × sizes[p]
+            let sizes = match explicit {
+                Some(s) => s.clone(),
+                None => BlockSizes::per_rank(
+                    (0..n)
+                        .map(|p| payloads[p].len().checked_div(graph.outdegree(p)).unwrap_or(0))
+                        .collect(),
+                ),
+            };
+            for (p, payload) in payloads.iter().enumerate() {
+                let want = graph.outdegree(p) * sizes.size(p);
+                if payload.len() != want {
+                    return Err(ExecError::PayloadSizeMismatch {
+                        rank: p,
+                        got: payload.len(),
+                        want,
+                    }
+                    .into());
+                }
+            }
+            Ok(sizes)
+        }
+        CollectiveOp::ReduceScatter(red) => {
+            // per-DESTINATION sizing: sbuf[p] = Σ_{d ∈ O(p)} sizes[d]
+            let sizes = match explicit {
+                Some(s) => s.clone(),
+                None => {
+                    // infer a uniform size; ragged tables cannot be
+                    // recovered from concatenated buffers
+                    let m = (0..n)
+                        .find(|&p| graph.outdegree(p) > 0)
+                        .map_or(0, |p| payloads[p].len() / graph.outdegree(p));
+                    BlockSizes::uniform(m)
+                }
+            };
+            for t in 0..n {
+                if !red.fits(sizes.size(t)) {
+                    return Err(lane_err(red));
+                }
+            }
+            for (p, payload) in payloads.iter().enumerate() {
+                let want: usize = graph.out_neighbors(p).iter().map(|&d| sizes.size(d)).sum();
+                if payload.len() != want {
+                    return Err(ExecError::PayloadSizeMismatch {
+                        rank: p,
+                        got: payload.len(),
+                        want,
+                    }
+                    .into());
+                }
+            }
+            Ok(sizes)
+        }
+        CollectiveOp::Allreduce(red) => {
+            let m = match explicit {
+                Some(s) if s.is_uniform() => s.max_size(),
+                Some(_) => {
+                    return Err(CommError::UnsupportedCollective {
+                        op,
+                        algorithm: Algorithm::DistanceHalving,
+                        reason: "allreduce is uniform-size only",
+                    })
+                }
+                None => payloads.first().map_or(0, Vec::len),
+            };
+            if !red.fits(m) {
+                return Err(lane_err(red));
+            }
+            for (rank, p) in payloads.iter().enumerate() {
+                if p.len() != m {
+                    return Err(
+                        ExecError::PayloadSizeMismatch { rank, got: p.len(), want: m }.into()
+                    );
+                }
+            }
+            Ok(BlockSizes::uniform(m))
+        }
+        CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+            unreachable!("gather family does not take the combining path")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive references (straight from the definitions)
+// ---------------------------------------------------------------------
+
+/// Reference alltoallv: `rbuf[r]` concatenates, per in-neighbor `s` in
+/// `I(r)` order, the block `s` addressed to `r` (`sizes[s]` bytes).
+pub fn reference_alltoallv(
+    graph: &Topology,
+    sbufs: &[Vec<u8>],
+    sizes: &BlockSizes,
+) -> Vec<Vec<u8>> {
+    (0..graph.n())
+        .map(|r| {
+            let mut rbuf = Vec::new();
+            for &s in graph.in_neighbors(r) {
+                let m = sizes.size(s);
+                let slot = graph.out_neighbors(s).binary_search(&r).expect("in/out consistency");
+                rbuf.extend_from_slice(&sbufs[s][slot * m..(slot + 1) * m]);
+            }
+            rbuf
+        })
+        .collect()
+}
+
+/// Reference sparse reduce_scatter: `rbuf[t]` is the `red`-reduction of
+/// every in-neighbor's contribution to `t` (each `sizes[t]` bytes),
+/// folded over the identity in ascending source order.
+pub fn reference_reduce_scatter(
+    graph: &Topology,
+    sbufs: &[Vec<u8>],
+    sizes: &BlockSizes,
+    red: Reduction,
+) -> Vec<Vec<u8>> {
+    (0..graph.n())
+        .map(|t| {
+            let m = sizes.size(t);
+            let mut acc = red.identity(m);
+            for &s in graph.in_neighbors(t) {
+                let outs = graph.out_neighbors(s);
+                let slot = outs.binary_search(&t).expect("in/out consistency");
+                let off: usize = outs[..slot].iter().map(|&d| sizes.size(d)).sum();
+                red.combine(&mut acc, &sbufs[s][off..off + m]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reference sparse allreduce: `rbuf[t] = x_t ⊕ (⊕ x_s for s ∈ I(t))`,
+/// folded in ascending source order.
+pub fn reference_allreduce(graph: &Topology, payloads: &[Vec<u8>], red: Reduction) -> Vec<Vec<u8>> {
+    (0..graph.n())
+        .map(|t| {
+            let mut acc = payloads[t].clone();
+            for &s in graph.in_neighbors(t) {
+                red.combine(&mut acc, &payloads[s]);
+            }
+            acc
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The combining engine, shared verbatim by the virtual and threaded
+// backends (which is what makes their outputs bit-identical)
+// ---------------------------------------------------------------------
+
+/// One wire group: destinations sharing one `value` block reduced over
+/// `srcs`. Routing ops carry singleton groups; reduce ops coalesce
+/// byte-identical values across destinations.
+#[derive(Clone, Debug)]
+struct WireGroup {
+    dsts: Vec<Rank>,
+    srcs: Vec<Rank>,
+    value: Vec<u8>,
+}
+
+fn packet_bytes(packet: &[WireGroup]) -> usize {
+    packet.iter().map(|g| g.value.len()).sum()
+}
+
+/// A held partial reduction for one destination.
+#[derive(Clone, Debug)]
+struct Partial {
+    /// Sources already folded in, ascending (always disjoint across
+    /// partials for the same destination — exactly-once item delivery).
+    srcs: Vec<Rank>,
+    value: Vec<u8>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum OpKind {
+    Route,
+    Reduce(Reduction),
+}
+
+/// Per-rank execution state of the combining engine.
+struct RankState {
+    rank: Rank,
+    kind: OpKind,
+    /// Routed blocks held: `(src, dst) → bytes` (alltoallv).
+    route: HashMap<(Rank, Rank), Vec<u8>>,
+    /// Held partials: `dst → partial` (reduce ops).
+    partials: HashMap<Rank, Partial>,
+    /// The output accumulator of reduce ops (`Some` from the start for
+    /// allreduce — it begins at the rank's own block).
+    acc: Option<Vec<u8>>,
+    /// Sources folded into `acc` (own rank excluded).
+    acc_srcs: Vec<Rank>,
+}
+
+impl RankState {
+    /// Packs one planned message from held state, *removing* what it
+    /// ships (items move, they don't copy).
+    fn pack(&mut self, msg: &A2aMsg, phase: usize) -> Result<Vec<WireGroup>, ExecError> {
+        match self.kind {
+            OpKind::Route => msg
+                .items
+                .iter()
+                .map(|&(s, d)| {
+                    self.route.remove(&(s, d)).map(|value| WireGroup {
+                        dsts: vec![d],
+                        srcs: vec![s],
+                        value,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or(ExecError::MissingBlock { rank: self.rank, block: msg.peer, phase }),
+            OpKind::Reduce(_) => {
+                // The plan forwards all of a rank's same-destination
+                // items together (the co-routing invariant), so the held
+                // partial must cover exactly the claimed sources.
+                let mut by_dst: BTreeMap<Rank, Vec<Rank>> = BTreeMap::new();
+                for &(s, d) in &msg.items {
+                    by_dst.entry(d).or_default().push(s);
+                }
+                let mut groups: Vec<WireGroup> = Vec::new();
+                for (d, mut srcs) in by_dst {
+                    let partial = self.partials.remove(&d).ok_or(ExecError::MissingBlock {
+                        rank: self.rank,
+                        block: d,
+                        phase,
+                    })?;
+                    srcs.sort_unstable();
+                    if partial.srcs != srcs {
+                        return Err(ExecError::MissingBlock { rank: self.rank, block: d, phase });
+                    }
+                    // share one value block across destinations whose
+                    // (source set, bytes) coincide — the allreduce first
+                    // hop carries x_src once, not once per destination
+                    match groups
+                        .iter_mut()
+                        .find(|g| g.srcs == partial.srcs && g.value == partial.value)
+                    {
+                        Some(g) => g.dsts.push(d),
+                        None => groups.push(WireGroup {
+                            dsts: vec![d],
+                            srcs: partial.srcs,
+                            value: partial.value,
+                        }),
+                    }
+                }
+                Ok(groups)
+            }
+        }
+    }
+
+    /// Integrates one arrived packet. Callers must feed packets in
+    /// ascending `(peer, tag)` order within a phase — that ordering is
+    /// the determinism contract of the f32 combine tree.
+    fn integrate(&mut self, packet: Vec<WireGroup>) {
+        match self.kind {
+            OpKind::Route => {
+                for g in packet {
+                    self.route.insert((g.srcs[0], g.dsts[0]), g.value);
+                }
+            }
+            OpKind::Reduce(red) => {
+                for g in packet {
+                    for &d in &g.dsts {
+                        if d == self.rank {
+                            match &mut self.acc {
+                                Some(a) => red.combine(a, &g.value),
+                                None => self.acc = Some(g.value.clone()),
+                            }
+                            self.acc_srcs.extend_from_slice(&g.srcs);
+                        } else {
+                            match self.partials.entry(d) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    let p = e.get_mut();
+                                    red.combine(&mut p.value, &g.value);
+                                    p.srcs.extend_from_slice(&g.srcs);
+                                    p.srcs.sort_unstable();
+                                }
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    v.insert(Partial {
+                                        srcs: g.srcs.clone(),
+                                        value: g.value.clone(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles this rank's receive buffer, verifying (in release mode
+    /// too) that every promised contribution arrived.
+    fn finish(
+        mut self,
+        graph: &Topology,
+        op: CollectiveOp,
+        sizes: &BlockSizes,
+    ) -> Result<Vec<u8>, ExecError> {
+        let r = self.rank;
+        match op {
+            CollectiveOp::Alltoallv => {
+                let ins = graph.in_neighbors(r);
+                let mut rbuf = Vec::with_capacity(ins.iter().map(|&s| sizes.size(s)).sum());
+                for &s in ins {
+                    let data = self
+                        .route
+                        .get(&(s, r))
+                        .ok_or(ExecError::Undelivered { rank: r, block: s })?;
+                    rbuf.extend_from_slice(data);
+                }
+                Ok(rbuf)
+            }
+            CollectiveOp::ReduceScatter(red) | CollectiveOp::Allreduce(red) => {
+                self.acc_srcs.sort_unstable();
+                let want = graph.in_neighbors(r);
+                if self.acc_srcs != want {
+                    let missing =
+                        want.iter().find(|s| !self.acc_srcs.contains(s)).copied().unwrap_or(0);
+                    return Err(ExecError::Undelivered { rank: r, block: missing });
+                }
+                let out_len = match op {
+                    CollectiveOp::ReduceScatter(_) => sizes.size(r),
+                    _ => sizes.max_size(),
+                };
+                Ok(self.acc.unwrap_or_else(|| red.identity(out_len)))
+            }
+            CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+                unreachable!("gather family does not take the combining path")
+            }
+        }
+    }
+}
+
+/// Seeds per-rank state from the send buffers. Shapes are assumed
+/// pre-validated by [`derive_sizes`]; slicing here would panic on a
+/// violated contract rather than corrupt data.
+fn seed_states(
+    op: CollectiveOp,
+    graph: &Topology,
+    sbufs: &[Vec<u8>],
+    sizes: &BlockSizes,
+) -> Result<Vec<RankState>, ExecError> {
+    let n = graph.n();
+    if sbufs.len() != n {
+        return Err(ExecError::PayloadCountMismatch { got: sbufs.len(), want: n });
+    }
+    let mut states = Vec::with_capacity(n);
+    for (p, sbuf) in sbufs.iter().enumerate() {
+        let mut st = RankState {
+            rank: p,
+            kind: match op.reduction() {
+                Some(red) => OpKind::Reduce(red),
+                None => OpKind::Route,
+            },
+            route: HashMap::new(),
+            partials: HashMap::new(),
+            acc: None,
+            acc_srcs: Vec::new(),
+        };
+        match op {
+            CollectiveOp::Alltoallv => {
+                let m = sizes.size(p);
+                for (i, &d) in graph.out_neighbors(p).iter().enumerate() {
+                    st.route.insert((p, d), sbuf[i * m..(i + 1) * m].to_vec());
+                }
+            }
+            CollectiveOp::ReduceScatter(_) => {
+                let mut off = 0;
+                for &d in graph.out_neighbors(p) {
+                    let m = sizes.size(d);
+                    st.partials
+                        .insert(d, Partial { srcs: vec![p], value: sbuf[off..off + m].to_vec() });
+                    off += m;
+                }
+            }
+            CollectiveOp::Allreduce(_) => {
+                for &d in graph.out_neighbors(p) {
+                    st.partials.insert(d, Partial { srcs: vec![p], value: sbuf.clone() });
+                }
+                st.acc = Some(sbuf.clone());
+            }
+            CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+                unreachable!("gather family does not take the combining path")
+            }
+        }
+        states.push(st);
+    }
+    Ok(states)
+}
+
+/// A finished combining run: real receive buffers plus the lowered
+/// simulator schedule (message bytes are the *combined* wire sizes the
+/// run actually produced).
+pub(crate) struct CombiningRun {
+    pub rbufs: Vec<Vec<u8>>,
+    pub schedule: Schedule,
+}
+
+/// Sequential combining execution — the oracle, and the byte source of
+/// the Sim backend.
+pub(crate) fn run_combining_virtual(
+    plan: &AlltoallPlan,
+    graph: &Topology,
+    op: CollectiveOp,
+    sbufs: &[Vec<u8>],
+    sizes: &BlockSizes,
+    rec: &dyn Recorder,
+) -> Result<CombiningRun, ExecError> {
+    let n = plan.n();
+    let mut states = seed_states(op, graph, sbufs, sizes)?;
+    let mut sched = Schedule::new(n);
+    for k in 0..plan.phase_count() {
+        let mut inboxes: Vec<Vec<(Rank, u64, Vec<WireGroup>)>> = vec![Vec::new(); n];
+        let mut sent: HashMap<(Rank, Rank, u64), usize> = HashMap::new();
+        for (r, state) in states.iter_mut().enumerate() {
+            for msg in &plan.per_rank[r][k].sends {
+                let packet = state.pack(msg, k)?;
+                let bytes = packet_bytes(&packet);
+                rec.msg_sent(r, msg.peer, bytes);
+                sent.insert((r, msg.peer, msg.tag), bytes);
+                inboxes[msg.peer].push((r, msg.tag, packet));
+            }
+        }
+        for (r, inbox) in inboxes.iter_mut().enumerate() {
+            inbox.sort_by_key(|e| (e.0, e.1));
+            for (peer, _tag, packet) in inbox.drain(..) {
+                rec.msg_recvd(r, peer, packet_bytes(&packet));
+                states[r].integrate(packet);
+            }
+        }
+        for r in 0..n {
+            let bytes_of = |src: Rank, dst: Rank, tag: u64| sent[&(src, dst, tag)];
+            let sends = plan.per_rank[r][k]
+                .sends
+                .iter()
+                .map(|m| Msg { src: r, dst: m.peer, bytes: bytes_of(r, m.peer, m.tag), tag: m.tag })
+                .collect();
+            let recvs = plan.per_rank[r][k]
+                .recvs
+                .iter()
+                .map(|m| Msg { src: m.peer, dst: r, bytes: bytes_of(m.peer, r, m.tag), tag: m.tag })
+                .collect();
+            sched.push_phase(r, Phase { local_seconds: 0.0, sends, recvs });
+        }
+    }
+    let rbufs =
+        states.into_iter().map(|st| st.finish(graph, op, sizes)).collect::<Result<Vec<_>, _>>()?;
+    Ok(CombiningRun { rbufs, schedule: sched })
+}
+
+/// One-thread-per-rank combining execution over real channels. Runs the
+/// same [`RankState`] engine as the virtual backend with the same
+/// within-phase `(peer, tag)` integration order, so outputs (f32 bits
+/// included) are identical.
+pub(crate) fn run_combining_threaded(
+    plan: &AlltoallPlan,
+    graph: &Topology,
+    op: CollectiveOp,
+    sbufs: &[Vec<u8>],
+    sizes: &BlockSizes,
+    recv_timeout: Duration,
+    rec: &dyn Recorder,
+) -> Result<Vec<Vec<u8>>, ExecError> {
+    let n = plan.n();
+    let states = seed_states(op, graph, sbufs, sizes)?;
+    type Envelope = (usize, Rank, u64, Vec<WireGroup>);
+    let mut txs: Vec<mpsc::Sender<Envelope>> = Vec::with_capacity(n);
+    let mut rxs: Vec<mpsc::Receiver<Envelope>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let results: Vec<Result<Vec<u8>, ExecError>> = std::thread::scope(|scope| {
+        let txs = &txs;
+        let handles: Vec<_> = states
+            .into_iter()
+            .zip(rxs)
+            .map(|(mut st, rx)| {
+                scope.spawn(move || -> Result<Vec<u8>, ExecError> {
+                    let rank = st.rank;
+                    let mut pending: HashMap<usize, Vec<(Rank, u64, Vec<WireGroup>)>> =
+                        HashMap::new();
+                    for k in 0..plan.phase_count() {
+                        let ph = &plan.per_rank[rank][k];
+                        for msg in &ph.sends {
+                            let packet = st.pack(msg, k)?;
+                            rec.msg_sent(rank, msg.peer, packet_bytes(&packet));
+                            txs[msg.peer]
+                                .send((k, rank, msg.tag, packet))
+                                .map_err(|_| ExecError::Timeout { rank, phase: k })?;
+                        }
+                        let want = ph.recvs.len();
+                        let mut got = pending.remove(&k).unwrap_or_default();
+                        while got.len() < want {
+                            match rx.recv_timeout(recv_timeout) {
+                                Ok((kk, peer, tag, packet)) if kk == k => {
+                                    got.push((peer, tag, packet))
+                                }
+                                Ok((kk, peer, tag, packet)) => {
+                                    pending.entry(kk).or_default().push((peer, tag, packet))
+                                }
+                                Err(_) => return Err(ExecError::Timeout { rank, phase: k }),
+                            }
+                        }
+                        got.sort_by_key(|e| (e.0, e.1));
+                        for (peer, _tag, packet) in got {
+                            rec.msg_recvd(rank, peer, packet_bytes(&packet));
+                            st.integrate(packet);
+                        }
+                    }
+                    st.finish(graph, op, sizes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| h.join().unwrap_or(Err(ExecError::WorkerPanic { rank })))
+            .collect()
+    });
+    drop(txs);
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alltoall::plan_dh_alltoall;
+    use crate::builder::build_pattern;
+    use nhood_cluster::ClusterLayout;
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn combine_lanes_are_exact() {
+        let mut acc = 250u32.to_le_bytes().to_vec();
+        Reduction::new(ReduceOp::Sum, DType::U32).combine(&mut acc, &10u32.to_le_bytes());
+        assert_eq!(acc, 260u32.to_le_bytes());
+        let mut acc = vec![250u8, 7];
+        Reduction::SUM_U8.combine(&mut acc, &[10, 1]);
+        assert_eq!(acc, vec![4, 8], "u8 sum wraps");
+        let mut acc = 3.5f32.to_le_bytes().to_vec();
+        Reduction::new(ReduceOp::Max, DType::F32).combine(&mut acc, &(-1.0f32).to_le_bytes());
+        assert_eq!(acc, 3.5f32.to_le_bytes());
+        let mut acc = vec![0b1010];
+        Reduction::new(ReduceOp::BitOr, DType::U8).combine(&mut acc, &[0b0101]);
+        assert_eq!(acc, vec![0b1111]);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for red in [
+            Reduction::SUM_U8,
+            Reduction::new(ReduceOp::Sum, DType::F32),
+            Reduction::new(ReduceOp::Max, DType::U32),
+            Reduction::new(ReduceOp::Max, DType::F32),
+            Reduction::new(ReduceOp::BitOr, DType::U32),
+        ] {
+            let block: Vec<u8> = (0..16).map(|i| (i * 17 + 3) as u8).collect();
+            let mut acc = red.identity(16);
+            red.combine(&mut acc, &block);
+            assert_eq!(acc, block, "{red}");
+        }
+    }
+
+    #[test]
+    fn bitor_f32_is_rejected() {
+        assert!(Reduction::new(ReduceOp::BitOr, DType::F32).validate().is_err());
+        assert!(Reduction::new(ReduceOp::BitOr, DType::U32).validate().is_ok());
+    }
+
+    #[test]
+    fn plan_tags_split_the_two_plan_families() {
+        assert_eq!(CollectiveOp::Allgather.plan_tag(), CollectiveOp::Allgatherv.plan_tag());
+        assert_eq!(
+            CollectiveOp::Alltoallv.plan_tag(),
+            CollectiveOp::Allreduce(Reduction::SUM_U8).plan_tag()
+        );
+        assert_ne!(CollectiveOp::Allgather.plan_tag(), CollectiveOp::Alltoallv.plan_tag());
+    }
+
+    fn rs_payloads(g: &Topology, sizes: &BlockSizes, seed: u64) -> Vec<Vec<u8>> {
+        (0..g.n())
+            .map(|p| {
+                let mut buf = Vec::new();
+                for &d in g.out_neighbors(p) {
+                    buf.extend((0..sizes.size(d)).map(|i| {
+                        (p.wrapping_mul(131) ^ d.wrapping_mul(31) ^ i ^ seed as usize) as u8
+                    }));
+                }
+                buf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_first_hop_coalesces_duplicate_values() {
+        // every partial leaving a source on hop 1 carries x_src — the
+        // wire must ship it once, not once per destination
+        let g = erdos_renyi(32, 0.5, 9);
+        let layout = ClusterLayout::new(4, 2, 4);
+        let pattern = build_pattern(&g, &layout).unwrap();
+        let plan = plan_dh_alltoall(&pattern, &g);
+        let m = 64usize;
+        let payloads: Vec<Vec<u8>> = (0..32).map(|r| vec![r as u8; m]).collect();
+        let rec = nhood_telemetry::CountingRecorder::new(32);
+        let sizes = BlockSizes::uniform(m);
+        run_combining_virtual(
+            &plan,
+            &g,
+            CollectiveOp::Allreduce(Reduction::SUM_U8),
+            &payloads,
+            &sizes,
+            &rec,
+        )
+        .unwrap();
+        let combined = rec.totals().bytes_sent as usize;
+        let uncombined = plan.total_items_sent() * m;
+        assert!(
+            combined < uncombined,
+            "coalescing must beat per-item shipping: {combined} vs {uncombined}"
+        );
+    }
+
+    #[test]
+    fn virtual_combining_matches_references_on_dh() {
+        for (n, delta) in [(16usize, 0.3), (24, 0.5), (30, 0.2)] {
+            let g = erdos_renyi(n, delta, 77);
+            let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+            let pattern = build_pattern(&g, &layout).unwrap();
+            let plan = plan_dh_alltoall(&pattern, &g);
+            plan.validate(&g).unwrap();
+
+            // alltoallv, ragged per-source sizes including zeros
+            let sizes = BlockSizes::per_rank((0..n).map(|p| (p * 7) % 5).collect::<Vec<_>>());
+            let sbufs: Vec<Vec<u8>> = (0..n)
+                .map(|p| {
+                    (0..g.outdegree(p) * sizes.size(p)).map(|i| (p * 67 + i * 13) as u8).collect()
+                })
+                .collect();
+            let got =
+                run_combining_virtual(&plan, &g, CollectiveOp::Alltoallv, &sbufs, &sizes, &NULL)
+                    .unwrap()
+                    .rbufs;
+            assert_eq!(got, reference_alltoallv(&g, &sbufs, &sizes), "alltoallv n={n}");
+
+            // reduce_scatter, ragged per-destination sizes including zeros
+            let red = Reduction::SUM_U8;
+            let dsizes = BlockSizes::per_rank((0..n).map(|t| (t * 3) % 7).collect::<Vec<_>>());
+            let sbufs = rs_payloads(&g, &dsizes, 5);
+            let got = run_combining_virtual(
+                &plan,
+                &g,
+                CollectiveOp::ReduceScatter(red),
+                &sbufs,
+                &dsizes,
+                &NULL,
+            )
+            .unwrap()
+            .rbufs;
+            assert_eq!(
+                got,
+                reference_reduce_scatter(&g, &sbufs, &dsizes, red),
+                "reduce_scatter n={n}"
+            );
+
+            // allreduce
+            let m = 12;
+            let payloads: Vec<Vec<u8>> =
+                (0..n).map(|r| (0..m).map(|i| (r * 29 + i) as u8).collect()).collect();
+            let usizes = BlockSizes::uniform(m);
+            let got = run_combining_virtual(
+                &plan,
+                &g,
+                CollectiveOp::Allreduce(red),
+                &payloads,
+                &usizes,
+                &NULL,
+            )
+            .unwrap()
+            .rbufs;
+            assert_eq!(got, reference_allreduce(&g, &payloads, red), "allreduce n={n}");
+        }
+    }
+
+    #[test]
+    fn threaded_combining_is_bit_identical_to_virtual() {
+        let g = erdos_renyi(24, 0.4, 3);
+        let layout = ClusterLayout::new(3, 2, 4);
+        let pattern = build_pattern(&g, &layout).unwrap();
+        let plan = plan_dh_alltoall(&pattern, &g);
+        let red = Reduction::new(ReduceOp::Sum, DType::F32);
+        let m = 16;
+        let payloads: Vec<Vec<u8>> = (0..24)
+            .map(|r| {
+                (0..m / 4)
+                    .flat_map(|i| ((r as f32 + 0.5) * (i as f32 + 0.1)).to_le_bytes())
+                    .collect()
+            })
+            .collect();
+        let sizes = BlockSizes::uniform(m);
+        let op = CollectiveOp::Allreduce(red);
+        let v = run_combining_virtual(&plan, &g, op, &payloads, &sizes, &NULL).unwrap().rbufs;
+        let t = run_combining_threaded(
+            &plan,
+            &g,
+            op,
+            &payloads,
+            &sizes,
+            Duration::from_secs(10),
+            &NULL,
+        )
+        .unwrap();
+        assert_eq!(v, t, "f32 bits must agree across backends");
+    }
+
+    #[test]
+    fn derive_sizes_rejects_bad_shapes() {
+        let g = erdos_renyi(8, 0.5, 1);
+        let sbufs: Vec<Vec<u8>> = (0..8).map(|p| vec![0u8; g.outdegree(p) * 4]).collect();
+        assert!(derive_sizes(&g, CollectiveOp::Alltoallv, &sbufs, None).is_ok());
+        let mut bad = sbufs.clone();
+        bad[2].push(0);
+        assert!(matches!(
+            derive_sizes(&g, CollectiveOp::Alltoallv, &bad, None),
+            Err(CommError::Exec(ExecError::PayloadSizeMismatch { rank: 2, .. }))
+        ));
+        // f32 lanes demand 4-byte multiples
+        let red = Reduction::new(ReduceOp::Sum, DType::F32);
+        let odd: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 3]).collect();
+        assert!(matches!(
+            derive_sizes(&g, CollectiveOp::Allreduce(red), &odd, None),
+            Err(CommError::InvalidReduction { .. })
+        ));
+    }
+}

@@ -1,8 +1,10 @@
 //! The public communicator API — the `MPI_Dist_graph_create_adjacent` /
-//! `MPI_Neighbor_allgather` surface of this library.
+//! `MPI_Neighbor_*` surface of this library, fronted by the
+//! collective-agnostic [`DistGraphComm::collective`] entry point.
 //!
 //! ```
 //! use nhood_cluster::ClusterLayout;
+//! use nhood_core::collective::CollectiveRequest;
 //! use nhood_core::comm::DistGraphComm;
 //! use nhood_core::plan::Algorithm;
 //! use nhood_topology::random::erdos_renyi;
@@ -11,15 +13,21 @@
 //! let layout = ClusterLayout::new(2, 2, 4);
 //! let comm = DistGraphComm::create_adjacent(graph, layout).unwrap();
 //! let payloads: Vec<Vec<u8>> = (0..16).map(|r| vec![r as u8; 8]).collect();
-//! let rbufs = comm.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
-//! assert_eq!(rbufs.len(), 16);
+//! let req = CollectiveRequest::allgather(&payloads).algorithm(Algorithm::DistanceHalving);
+//! let out = comm.collective(&req).unwrap();
+//! assert_eq!(out.rbufs.len(), 16);
 //! ```
 
+use crate::alltoall::AlltoallPlan;
 use crate::arena::BlockArena;
 use crate::builder::{build_pattern_pooled, BuildError, PairingStrategy};
+use crate::collective::{
+    check_support, derive_sizes, run_combining_threaded, run_combining_virtual, CollectiveOp,
+    CollectiveOutput, CollectiveRequest, ExecBackend, Reduction,
+};
 use crate::common_neighbor::plan_common_neighbor;
 use crate::distributed_builder::build_pattern_distributed_pooled_v;
-use crate::exec::sim_exec::{simulate, SimCost};
+use crate::exec::sim_exec::{simulate, simulate_v, SimCost};
 use crate::exec::threaded::DEFAULT_TIMEOUT;
 use crate::exec::{ExecError, ExecOptions, Executor, Threaded, Virtual};
 use crate::fault::{FaultCounts, FaultPlan, FaultStats};
@@ -32,11 +40,11 @@ use crate::pool::WorkerPool;
 use crate::repair::{repair_for_churn, repair_link_down, Completeness, RepairPolicy};
 use crate::sizes::{BlockSizes, LoadMetric};
 use nhood_cluster::ClusterLayout;
-use nhood_simnet::{SimError, SimReport};
+use nhood_simnet::{Engine, SimError, SimReport};
 use nhood_telemetry::{labels, Counts, Recorder, NULL};
 use nhood_topology::{Rank, Topology};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Errors from the communicator API.
@@ -54,13 +62,25 @@ pub enum CommError {
     InvalidPlan(PlanValidationError),
     /// A produced alltoall plan failed validation.
     InvalidAlltoallPlan(String),
-    /// The requested algorithm does not support the requested operation
-    /// (e.g. Common Neighbor has no alltoall formulation).
-    UnsupportedAlgorithm {
-        /// The algorithm that was requested.
+    /// The requested (op, algorithm, robustness, backend) combination is
+    /// outside the support matrix (see docs/EXECUTION_API.md) — e.g.
+    /// Common Neighbor has no item-routing formulation, and robust
+    /// execution covers the allgather family only.
+    UnsupportedCollective {
+        /// The collective that was requested.
+        op: CollectiveOp,
+        /// The algorithm it was requested under.
         algorithm: Algorithm,
-        /// The operation it cannot perform.
-        operation: &'static str,
+        /// Which support-matrix rule rejected it.
+        reason: &'static str,
+    },
+    /// The reduction itself is malformed: an undefined operator/lane
+    /// combination, or block lengths that don't split into whole lanes.
+    InvalidReduction {
+        /// The offending reduction.
+        reduction: Reduction,
+        /// What is wrong with it.
+        reason: &'static str,
     },
 }
 
@@ -74,8 +94,11 @@ impl std::fmt::Display for CommError {
             CommError::InvalidAlltoallPlan(m) => {
                 write!(f, "internal alltoall plan invariant violated: {m}")
             }
-            CommError::UnsupportedAlgorithm { algorithm, operation } => {
-                write!(f, "{algorithm} does not support {operation}")
+            CommError::UnsupportedCollective { op, algorithm, reason } => {
+                write!(f, "{op} under {algorithm} is unsupported: {reason}")
+            }
+            CommError::InvalidReduction { reduction, reason } => {
+                write!(f, "invalid reduction {reduction}: {reason}")
             }
         }
     }
@@ -272,7 +295,16 @@ pub struct DistGraphComm {
     metric: LoadMetric,
     sizes: Option<BlockSizes>,
     churn: Option<ChurnSlot>,
+    /// Memo of the item-routing plan the combining family shares
+    /// (alltoallv / reduce_scatter / allreduce all route identically).
+    /// Keyed by [`PlanFingerprint::of_collective`] over the *current*
+    /// graph, so `mutate` invalidates it for free; clones share the memo
+    /// the way they share an attached [`PlanCache`].
+    a2a_slot: A2aSlot,
 }
+
+/// The shared memo cell for the combining family's item-routing plan.
+type A2aSlot = Arc<Mutex<Option<(PlanFingerprint, Arc<AlltoallPlan>)>>>;
 
 // Tenants of the collective service own one communicator each and may
 // be dispatched from worker threads while sharing a plan cache — the
@@ -305,6 +337,7 @@ impl DistGraphComm {
             metric: LoadMetric::default(),
             sizes: None,
             churn: None,
+            a2a_slot: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -639,68 +672,228 @@ impl DistGraphComm {
         Ok(plan)
     }
 
-    /// One-call neighborhood allgather: plans `algo` and executes it with
-    /// the virtual executor (arena engine). Returns each rank's receive
-    /// buffer (in-neighbor payloads concatenated in `in_neighbors`
-    /// order).
+    /// Runs any neighborhood collective from one typed request — the
+    /// single entry point every per-op convenience method now shims to.
+    ///
+    /// The allgather family executes the lowered [`CollectivePlan`]
+    /// (every algorithm; robust + fault-injected execution on the
+    /// threaded backend). The combining family — alltoallv, sparse
+    /// reduce_scatter, sparse allreduce — routes the shared item
+    /// [`AlltoallPlan`] with reducing agents (Naive and Distance Halving
+    /// only). On [`ExecBackend::Sim`] the output carries **both** real
+    /// oracle bytes and the simulator's makespan (under
+    /// [`SimCost::niagara`]); the legacy [`crate::exec::Sim`] executor
+    /// returned empty buffers.
+    ///
+    /// Combinations outside the support matrix return
+    /// [`CommError::UnsupportedCollective`] /
+    /// [`CommError::InvalidReduction`] before any work happens.
+    pub fn collective(&self, req: &CollectiveRequest) -> Result<CollectiveOutput, CommError> {
+        check_support(req.op, req.algorithm, req.robust, req.backend)?;
+        if req.op.is_gather() {
+            self.gather_collective(req)
+        } else {
+            self.combining_collective(req)
+        }
+    }
+
+    /// The allgather-family half of [`Self::collective`].
+    fn gather_collective(&self, req: &CollectiveRequest) -> Result<CollectiveOutput, CommError> {
+        if req.robust {
+            // check_support pinned the backend to Threaded already.
+            let (rbufs, report) =
+                self.robust_allgather_inner(req.algorithm, req.payloads, req.recorder)?;
+            let faults = report.faults;
+            return Ok(CollectiveOutput { rbufs, faults, report: Some(report), sim: None });
+        }
+        let ragged = req.op == CollectiveOp::Allgatherv;
+        let sizes = match (&req.sizes, ragged) {
+            (Some(s), _) => s.clone(),
+            (None, true) => {
+                self.sizes.clone().unwrap_or_else(|| BlockSizes::from_payloads(req.payloads))
+            }
+            (None, false) => self.planning_sizes(),
+        };
+        let plan = self.plan_shared_sized(req.algorithm, &sizes, req.recorder)?;
+        let base_opts = || ExecOptions::new().ragged(ragged).recorder(req.recorder).op(req.op);
+        match req.backend {
+            ExecBackend::Virtual => {
+                let out = Virtual.run(
+                    &plan,
+                    &self.graph,
+                    req.payloads,
+                    &mut BlockArena::new(),
+                    &base_opts(),
+                )?;
+                Ok(CollectiveOutput { rbufs: out.rbufs, faults: out.faults, ..Default::default() })
+            }
+            ExecBackend::Threaded => {
+                let mut opts = base_opts()
+                    .recv_timeout(self.policy.recv_timeout)
+                    .phase_deadline(self.policy.phase_deadline)
+                    .retries(self.policy.max_retries, self.policy.backoff_base);
+                if let Some(fp) = self.fault.as_ref() {
+                    opts = opts.fault(fp);
+                }
+                let out = Threaded.run(
+                    &plan,
+                    &self.graph,
+                    req.payloads,
+                    &mut BlockArena::new(),
+                    &opts,
+                )?;
+                Ok(CollectiveOutput { rbufs: out.rbufs, faults: out.faults, ..Default::default() })
+            }
+            ExecBackend::Sim => {
+                let out = Virtual.run(
+                    &plan,
+                    &self.graph,
+                    req.payloads,
+                    &mut BlockArena::new(),
+                    &base_opts(),
+                )?;
+                let lens: Vec<usize> = req.payloads.iter().map(Vec::len).collect();
+                let report = simulate_v(&plan, &self.layout, &lens, &SimCost::niagara())?;
+                Ok(CollectiveOutput {
+                    rbufs: out.rbufs,
+                    faults: out.faults,
+                    report: None,
+                    sim: Some(report),
+                })
+            }
+        }
+    }
+
+    /// The combining-family half of [`Self::collective`]: alltoallv,
+    /// sparse reduce_scatter and sparse allreduce over the shared item
+    /// routing, with reducing agents at forwarding hops.
+    fn combining_collective(&self, req: &CollectiveRequest) -> Result<CollectiveOutput, CommError> {
+        let sizes = derive_sizes(&self.graph, req.op, req.payloads, req.sizes.as_ref())?;
+        let plan = self.a2a_plan_shared(req.algorithm, req.recorder)?;
+        match req.backend {
+            ExecBackend::Virtual => {
+                let run = run_combining_virtual(
+                    &plan,
+                    &self.graph,
+                    req.op,
+                    req.payloads,
+                    &sizes,
+                    req.recorder,
+                )?;
+                Ok(CollectiveOutput { rbufs: run.rbufs, ..Default::default() })
+            }
+            ExecBackend::Threaded => {
+                let rbufs = run_combining_threaded(
+                    &plan,
+                    &self.graph,
+                    req.op,
+                    req.payloads,
+                    &sizes,
+                    self.policy.recv_timeout,
+                    req.recorder,
+                )?;
+                Ok(CollectiveOutput { rbufs, ..Default::default() })
+            }
+            ExecBackend::Sim => {
+                // The virtual run is the byte oracle AND the schedule
+                // source: its per-message sizes are the combined wire
+                // bytes, which is what makes the simulated makespan
+                // reflect message combining.
+                let run = run_combining_virtual(
+                    &plan,
+                    &self.graph,
+                    req.op,
+                    req.payloads,
+                    &sizes,
+                    req.recorder,
+                )?;
+                let cost = SimCost::niagara();
+                let report = Engine::new(&self.layout, cost.net).run(&run.schedule)?;
+                Ok(CollectiveOutput { rbufs: run.rbufs, sim: Some(report), ..Default::default() })
+            }
+        }
+    }
+
+    /// The combining family's plan path: one item-routing
+    /// [`AlltoallPlan`] shared (via a fingerprint-keyed memo) by
+    /// alltoallv, reduce_scatter and allreduce — they route identically,
+    /// so mixed-op traffic reuses a single plan instead of rebuilding
+    /// per op.
+    fn a2a_plan_shared(
+        &self,
+        algo: Algorithm,
+        rec: &dyn Recorder,
+    ) -> Result<Arc<AlltoallPlan>, CommError> {
+        let fp = PlanFingerprint::of_collective(
+            &self.graph,
+            &self.layout,
+            algo,
+            &self.planning_sizes(),
+            self.metric,
+            &CollectiveOp::Alltoallv,
+        );
+        {
+            let slot = self.a2a_slot.lock().expect("a2a memo poisoned");
+            if let Some((key, plan)) = slot.as_ref() {
+                if *key == fp {
+                    rec.plan_cache(0, true);
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        rec.plan_cache(0, false);
+        let plan = Arc::new(self.alltoall_plan(algo)?);
+        *self.a2a_slot.lock().expect("a2a memo poisoned") = Some((fp, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    /// One-call neighborhood allgather on the virtual backend.
+    #[deprecated(note = "use `DistGraphComm::collective` with `CollectiveRequest::allgather`")]
     pub fn neighbor_allgather(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let plan = self.plan_shared(algo)?;
-        Ok(Virtual.run_simple(&plan, &self.graph, payloads)?)
+        self.collective(&CollectiveRequest::allgather(payloads).algorithm(algo)).map(|o| o.rbufs)
     }
 
-    /// The `neighbor_allgatherv` variant of
-    /// [`neighbor_allgather`](Self::neighbor_allgather): per-rank
-    /// payloads may differ in length (including zero). The receive
-    /// buffer of rank `r` concatenates its in-neighbors' payloads, each
-    /// at its own size.
-    ///
-    /// Under [`LoadMetric::Bytes`] the plan is negotiated against the
-    /// communicator's size table — [`Self::with_block_sizes`] when
-    /// pinned, otherwise the per-call payload lengths — and cached under
-    /// a size-aware fingerprint.
+    /// Ragged (per-rank-sized) neighborhood allgather on the virtual
+    /// backend.
+    #[deprecated(note = "use `DistGraphComm::collective` with `CollectiveRequest::allgatherv`")]
     pub fn neighbor_allgatherv(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let sizes = self.sizes.clone().unwrap_or_else(|| BlockSizes::from_payloads(payloads));
-        let plan = self.plan_shared_sized(algo, &sizes, &NULL)?;
-        let opts = ExecOptions::new().ragged(true);
-        let out = Virtual.run(&plan, &self.graph, payloads, &mut BlockArena::new(), &opts)?;
-        Ok(out.rbufs)
+        self.collective(&CollectiveRequest::allgatherv(payloads).algorithm(algo)).map(|o| o.rbufs)
     }
 
-    /// Neighborhood **alltoall**: `sbufs[p]` holds one distinct `m`-byte
-    /// block per outgoing neighbor (in `O(p)` order); returns per-rank
-    /// receive buffers with one block per incoming neighbor (in `I(r)`
-    /// order). Supports [`Algorithm::Naive`] and
-    /// [`Algorithm::DistanceHalving`] (the paper's future-work variant,
-    /// see [`crate::alltoall`]).
+    /// Uniform neighborhood alltoall: `sbufs[p]` holds one distinct
+    /// `m`-byte block per outgoing neighbor (in `O(p)` order).
+    #[deprecated(note = "use `DistGraphComm::collective` with `CollectiveRequest::alltoallv`")]
     pub fn neighbor_alltoall(
         &self,
         algo: Algorithm,
         sbufs: &[Vec<u8>],
         m: usize,
     ) -> Result<Vec<Vec<u8>>, CommError> {
-        let plan = self.alltoall_plan(algo)?;
-        Ok(crate::alltoall::run_alltoall_virtual(&plan, &self.graph, sbufs, m)?)
+        let req = CollectiveRequest::alltoallv(sbufs).algorithm(algo).sizes(BlockSizes::uniform(m));
+        self.collective(&req).map(|o| o.rbufs)
     }
 
-    /// Builds (and validates) an alltoall plan.
+    /// Builds (and validates) the item-routing alltoall plan the
+    /// combining family executes.
     ///
     /// # Errors
-    /// Returns [`CommError::UnsupportedAlgorithm`] for
+    /// Returns [`CommError::UnsupportedCollective`] for
     /// [`Algorithm::CommonNeighbor`] and
-    /// [`Algorithm::HierarchicalLeader`], which have no alltoall
+    /// [`Algorithm::HierarchicalLeader`], which have no item-routing
     /// formulation.
     pub fn alltoall_plan(
         &self,
         algo: Algorithm,
     ) -> Result<crate::alltoall::AlltoallPlan, CommError> {
+        check_support(CollectiveOp::Alltoallv, algo, false, ExecBackend::Virtual)?;
         let plan = match algo {
             Algorithm::Naive => crate::alltoall::plan_naive_alltoall(&self.graph),
             Algorithm::DistanceHalving => {
@@ -713,10 +906,7 @@ impl DistGraphComm {
                 crate::alltoall::plan_dh_alltoall(&pattern, &self.graph)
             }
             Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. } => {
-                return Err(CommError::UnsupportedAlgorithm {
-                    algorithm: algo,
-                    operation: "neighborhood alltoall",
-                })
+                unreachable!("rejected by check_support")
             }
         };
         plan.validate(&self.graph).map_err(CommError::InvalidAlltoallPlan)?;
@@ -791,12 +981,15 @@ impl DistGraphComm {
     /// only ever returned when some plan ran to completion — a fault
     /// schedule that defeats both the requested plan and the naive
     /// fallback yields a typed error, never corrupt data or a hang.
+    #[deprecated(
+        note = "use `DistGraphComm::collective` with `CollectiveRequest::allgather(..).robust(true).backend(ExecBackend::Threaded)`"
+    )]
     pub fn neighbor_allgather_robust(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
     ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
-        self.neighbor_allgather_robust_recorded(algo, payloads, &NULL)
+        self.robust_allgather_inner(algo, payloads, &NULL)
     }
 
     /// [`Self::neighbor_allgather_robust`] with a telemetry
@@ -806,7 +999,23 @@ impl DistGraphComm {
     /// representative). When `rec` keeps counters (a
     /// `CountingRecorder`), their totals are copied into
     /// [`ExecReport::counters`].
+    #[deprecated(
+        note = "use `DistGraphComm::collective` with `CollectiveRequest::allgather(..).robust(true).backend(ExecBackend::Threaded).recorder(..)`"
+    )]
     pub fn neighbor_allgather_robust_recorded(
+        &self,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+        rec: &dyn Recorder,
+    ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
+        self.robust_allgather_inner(algo, payloads, rec)
+    }
+
+    /// The robust-allgather engine behind [`Self::collective`] with
+    /// `robust = true`: distributed negotiation, mid-run link-down
+    /// self-healing, and naive degradation, per the communicator's
+    /// [`RobustPolicy`].
+    fn robust_allgather_inner(
         &self,
         algo: Algorithm,
         payloads: &[Vec<u8>],
@@ -1000,6 +1209,22 @@ mod tests {
         DistGraphComm::create_adjacent(graph, layout).unwrap()
     }
 
+    fn allgather(c: &DistGraphComm, algo: Algorithm, payloads: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        c.collective(&CollectiveRequest::allgather(payloads).algorithm(algo)).unwrap().rbufs
+    }
+
+    fn robust(
+        c: &DistGraphComm,
+        algo: Algorithm,
+        payloads: &[Vec<u8>],
+    ) -> Result<(Vec<Vec<u8>>, ExecReport), CommError> {
+        let req = CollectiveRequest::allgather(payloads)
+            .algorithm(algo)
+            .robust(true)
+            .backend(ExecBackend::Threaded);
+        c.collective(&req).map(|o| (o.rbufs, o.report.expect("robust run carries a report")))
+    }
+
     #[test]
     fn all_algorithms_agree_with_reference() {
         let c = comm(32, 0.3);
@@ -1008,7 +1233,7 @@ mod tests {
         for algo in
             [Algorithm::Naive, Algorithm::CommonNeighbor { k: 4 }, Algorithm::DistanceHalving]
         {
-            let got = c.neighbor_allgather(algo, &payloads).unwrap();
+            let got = allgather(&c, algo, &payloads);
             assert_eq!(got, want, "{algo}");
         }
     }
@@ -1057,28 +1282,126 @@ mod tests {
     }
 
     #[test]
-    fn alltoall_plan_rejects_unsupported_algorithms_typed() {
+    fn unsupported_combinations_reject_typed() {
         let c = comm(16, 0.4);
+        let payloads = test_payloads(16, 4, 3);
+        // combining ops have no CN/HL item-routing formulation
         for algo in [
             Algorithm::CommonNeighbor { k: 4 },
             Algorithm::HierarchicalLeader { leaders_per_node: 2 },
         ] {
             match c.alltoall_plan(algo) {
-                Err(CommError::UnsupportedAlgorithm { algorithm, operation }) => {
+                Err(CommError::UnsupportedCollective { op, algorithm, .. }) => {
+                    assert_eq!(op, CollectiveOp::Alltoallv);
                     assert_eq!(algorithm, algo);
-                    assert!(operation.contains("alltoall"));
                 }
-                other => panic!("expected UnsupportedAlgorithm, got {other:?}"),
+                other => panic!("expected UnsupportedCollective, got {other:?}"),
             }
+            let req =
+                CollectiveRequest::reduce_scatter(&payloads, Reduction::SUM_U8).algorithm(algo);
+            assert!(matches!(
+                c.collective(&req),
+                Err(CommError::UnsupportedCollective { op: CollectiveOp::ReduceScatter(_), .. })
+            ));
         }
+        // robustness covers the allgather family only...
+        let req = CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8)
+            .robust(true)
+            .backend(ExecBackend::Threaded);
+        assert!(matches!(c.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+        // ...and runs on the threaded transport only
+        let req = CollectiveRequest::allgather(&payloads).robust(true);
+        assert!(matches!(c.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_collective() {
+        let c = comm(16, 0.4);
+        let payloads = test_payloads(16, 8, 11);
+        let via_shim = c.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        let via_req = allgather(&c, Algorithm::DistanceHalving, &payloads);
+        assert_eq!(via_shim, via_req);
+
+        let m = 6usize;
+        let sbufs: Vec<Vec<u8>> = (0..16)
+            .map(|p| (0..c.graph().outdegree(p) * m).map(|i| (p * 31 + i) as u8).collect())
+            .collect();
+        let via_shim = c.neighbor_alltoall(Algorithm::DistanceHalving, &sbufs, m).unwrap();
+        let req = CollectiveRequest::alltoallv(&sbufs).sizes(BlockSizes::uniform(m));
+        let via_req = c.collective(&req).unwrap().rbufs;
+        assert_eq!(via_shim, via_req);
+    }
+
+    #[test]
+    fn combining_family_shares_one_memoized_routing_plan() {
+        let c = comm(32, 0.4);
+        let rec = nhood_telemetry::CountingRecorder::new(32);
+        let m = 8usize;
+        let payloads = test_payloads(32, m, 2);
+        let sbufs: Vec<Vec<u8>> = (0..32)
+            .map(|p| (0..c.graph().outdegree(p) * m).map(|i| (p * 13 + i) as u8).collect())
+            .collect();
+        // alltoallv (cold build), then reduce ops: all hit the same memo
+        let req = CollectiveRequest::alltoallv(&sbufs).sizes(BlockSizes::uniform(m)).recorder(&rec);
+        c.collective(&req).unwrap();
+        let req = CollectiveRequest::reduce_scatter(&sbufs, Reduction::SUM_U8)
+            .sizes(BlockSizes::uniform(m))
+            .recorder(&rec);
+        c.collective(&req).unwrap();
+        let req = CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8).recorder(&rec);
+        c.collective(&req).unwrap();
+        let t = rec.totals();
+        assert_eq!(t.plan_cache_misses, 1, "one cold item-plan build");
+        assert_eq!(t.plan_cache_hits, 2, "subsequent combining ops reuse the memo");
+    }
+
+    #[test]
+    fn mutate_invalidates_the_combining_plan_memo() {
+        let mut c = comm(32, 0.4);
+        let payloads = test_payloads(32, 8, 8);
+        let run = |c: &DistGraphComm| {
+            c.collective(&CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8)).unwrap().rbufs
+        };
+        let before = run(&c);
+        assert_eq!(
+            before,
+            crate::collective::reference_allreduce(c.graph(), &payloads, Reduction::SUM_U8)
+        );
+        let (added, removed) = churn_sets(c.graph(), 2, 3);
+        c.mutate(&added, &removed).unwrap();
+        let after = run(&c);
+        assert_eq!(
+            after,
+            crate::collective::reference_allreduce(c.graph(), &payloads, Reduction::SUM_U8),
+            "post-mutate allreduce must plan against the new topology"
+        );
+    }
+
+    #[test]
+    fn sim_backend_returns_bytes_and_makespan() {
+        let c = comm(32, 0.3);
+        let payloads = test_payloads(32, 16, 4);
+        let req =
+            CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8).backend(ExecBackend::Sim);
+        let out = c.collective(&req).unwrap();
+        assert_eq!(
+            out.rbufs,
+            crate::collective::reference_allreduce(c.graph(), &payloads, Reduction::SUM_U8)
+        );
+        assert!(out.sim.expect("sim backend reports").makespan > 0.0);
+
+        let req = CollectiveRequest::allgather(&payloads).backend(ExecBackend::Sim);
+        let out = c.collective(&req).unwrap();
+        assert_eq!(out.rbufs, reference_allgather(c.graph(), &payloads));
+        assert!(out.sim.expect("sim backend reports").makespan > 0.0);
     }
 
     #[test]
     fn robust_allgather_without_faults_is_clean() {
         let c = comm(32, 0.3);
         let payloads = test_payloads(32, 8, 7);
-        let (bufs, report) =
-            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        let (bufs, report) = robust(&c, Algorithm::DistanceHalving, &payloads).unwrap();
         assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
         assert!(report.clean());
         assert_eq!(report.used, Algorithm::DistanceHalving);
@@ -1093,8 +1416,7 @@ mod tests {
                 .with_message_delay(0.05, Duration::from_micros(200)),
         );
         let payloads = test_payloads(32, 8, 2);
-        let (bufs, report) =
-            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        let (bufs, report) = robust(&c, Algorithm::DistanceHalving, &payloads).unwrap();
         assert_eq!(bufs, reference_allgather(c.graph(), &payloads), "{report}");
         assert!(report.faults.drops + report.faults.delays > 0);
     }
@@ -1118,8 +1440,7 @@ mod tests {
                 crate::fault::FaultPlan::seeded(3).with_slow_rank(0, Duration::from_millis(300)),
             );
         let payloads = test_payloads(32, 4, 1);
-        let (bufs, report) =
-            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        let (bufs, report) = robust(&c, Algorithm::DistanceHalving, &payloads).unwrap();
         assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
         assert_eq!(report.used, Algorithm::Naive);
         assert!(matches!(report.fallback, Some(FallbackReason::BuildFailed(_))), "{report}");
@@ -1163,12 +1484,12 @@ mod tests {
         assert!(rep.repairs == 1 && rep.damage_frac < 1.0);
 
         // the mutated communicator serves correct allgathers on the NEW topology
-        let got = c.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        let got = allgather(&c, Algorithm::DistanceHalving, &payloads);
         assert_eq!(got, reference_allgather(c.graph(), &payloads));
 
         // reference-output equality vs a from-scratch communicator on the same graph
         let fresh = DistGraphComm::create_adjacent(c.graph().clone(), c.layout().clone()).unwrap();
-        let want = fresh.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        let want = allgather(&fresh, Algorithm::DistanceHalving, &payloads);
         assert_eq!(got, want);
     }
 
@@ -1214,7 +1535,7 @@ mod tests {
         assert!(rep.full_rebuild, "mass churn must fall back to a full rebuild");
         assert_eq!(rep.repairs, 0);
         let payloads = test_payloads(32, 8, 4);
-        let got = c.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
+        let got = allgather(&c, Algorithm::DistanceHalving, &payloads);
         assert_eq!(got, reference_allgather(c.graph(), &payloads));
     }
 
@@ -1250,8 +1571,7 @@ mod tests {
             })
             .with_fault_plan(crate::fault::FaultPlan::seeded(7).with_link_down(src, dst, phase));
         let payloads = test_payloads(32, 8, 6);
-        let (bufs, report) =
-            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        let (bufs, report) = robust(&c, Algorithm::DistanceHalving, &payloads).unwrap();
         assert_eq!(bufs, reference_allgather(c.graph(), &payloads));
         assert_eq!(report.used, Algorithm::Naive, "{report}");
         assert!(matches!(report.fallback, Some(FallbackReason::ExecFailed(_))), "{report}");
@@ -1270,8 +1590,7 @@ mod tests {
         let c =
             c.with_fault_plan(crate::fault::FaultPlan::seeded(13).with_link_down(src, dst, phase));
         let payloads = test_payloads(64, 8, 9);
-        let (bufs, report) =
-            c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
+        let (bufs, report) = robust(&c, Algorithm::DistanceHalving, &payloads).unwrap();
         assert_eq!(report.used, Algorithm::DistanceHalving, "{report}");
         assert!(report.fallback.is_none(), "repair must obviate the naive fallback: {report}");
         assert!(report.repairs >= 1, "{report}");
@@ -1297,7 +1616,7 @@ mod tests {
             })
             .with_fault_plan(crate::fault::FaultPlan::seeded(9).with_message_drop(1.0));
         let payloads = test_payloads(16, 4, 0);
-        match c.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads) {
+        match robust(&c, Algorithm::DistanceHalving, &payloads) {
             Err(CommError::Build(BuildError::NegotiationTimeout { .. })) => {}
             other => panic!("expected NegotiationTimeout, got {other:?}"),
         }

@@ -107,6 +107,11 @@ pub struct ExecOptions<'a> {
     /// [`ExecError`] carries no counters) and can be merged into the
     /// caller's report — the robust fallback path relies on this.
     pub fault_sink: Option<&'a FaultStats>,
+    /// The collective this execution serves. Executors of a
+    /// [`CollectivePlan`] run the allgather family regardless, but the
+    /// tag travels with the options so recorders and diagnostics can
+    /// attribute a run to the request that triggered it.
+    pub op: crate::collective::CollectiveOp,
 }
 
 impl std::fmt::Debug for ExecOptions<'_> {
@@ -120,6 +125,7 @@ impl std::fmt::Debug for ExecOptions<'_> {
             .field("ragged", &self.ragged)
             .field("engine", &self.engine)
             .field("build_threads", &self.build_threads)
+            .field("op", &self.op)
             .finish_non_exhaustive()
     }
 }
@@ -137,6 +143,7 @@ impl Default for ExecOptions<'_> {
             engine: ExecEngine::Arena,
             build_threads: 0,
             fault_sink: None,
+            op: crate::collective::CollectiveOp::Allgather,
         }
     }
 }
@@ -201,6 +208,12 @@ impl<'a> ExecOptions<'a> {
     /// them across a failed run.
     pub fn fault_sink(mut self, sink: &'a FaultStats) -> Self {
         self.fault_sink = Some(sink);
+        self
+    }
+
+    /// Tags the options with the collective op this execution serves.
+    pub fn op(mut self, op: crate::collective::CollectiveOp) -> Self {
+        self.op = op;
         self
     }
 

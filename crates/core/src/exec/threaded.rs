@@ -254,6 +254,7 @@ impl<'a> ThreadedConfig<'a> {
             engine: ExecEngine::PerBlock,
             build_threads: 0,
             fault_sink: None,
+            op: crate::collective::CollectiveOp::Allgather,
         }
     }
 }

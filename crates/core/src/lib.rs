@@ -34,15 +34,16 @@
 //!
 //! ```
 //! use nhood_cluster::ClusterLayout;
-//! use nhood_core::{Algorithm, DistGraphComm};
+//! use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm};
 //! use nhood_topology::random::erdos_renyi;
 //!
 //! let graph = erdos_renyi(32, 0.2, 7);
 //! let comm = DistGraphComm::create_adjacent(graph, ClusterLayout::new(4, 2, 4)).unwrap();
 //! let payloads: Vec<Vec<u8>> = (0..32).map(|r| vec![r as u8; 4]).collect();
-//! let dh = comm.neighbor_allgather(Algorithm::DistanceHalving, &payloads).unwrap();
-//! let naive = comm.neighbor_allgather(Algorithm::Naive, &payloads).unwrap();
-//! assert_eq!(dh, naive); // same semantics, different message schedule
+//! let dh = comm.collective(&CollectiveRequest::allgather(&payloads)).unwrap();
+//! let req = CollectiveRequest::allgather(&payloads).algorithm(Algorithm::Naive);
+//! let naive = comm.collective(&req).unwrap();
+//! assert_eq!(dh.rbufs, naive.rbufs); // same semantics, different message schedule
 //! ```
 
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@
 pub mod alltoall;
 pub mod arena;
 pub mod builder;
+pub mod collective;
 pub mod comm;
 pub mod common_neighbor;
 pub mod csr;
@@ -76,6 +78,9 @@ pub mod selection;
 pub mod sizes;
 
 pub use arena::{ArenaLayout, BlockArena};
+pub use collective::{
+    CollectiveOp, CollectiveOutput, CollectiveRequest, DType, ExecBackend, ReduceOp, Reduction,
+};
 pub use comm::{
     CommError, DistGraphComm, ExecReport, FallbackReason, MutationReport, RobustPolicy,
 };

@@ -21,6 +21,7 @@
 //! entries, which then simply miss and get rebuilt. See
 //! `docs/PLAN_CACHE.md`.
 
+use crate::collective::CollectiveOp;
 use crate::plan::{Algorithm, CollectivePlan};
 use crate::plan_io;
 use crate::sizes::{BlockSizes, LoadMetric};
@@ -87,7 +88,28 @@ impl PlanFingerprint {
         sizes: &BlockSizes,
         metric: LoadMetric,
     ) -> Self {
+        Self::of_collective(graph, layout, algo, sizes, metric, &CollectiveOp::Allgather)
+    }
+
+    /// [`of_build_v`](Self::of_build_v) with the collective op's
+    /// *plan-family tag* ([`CollectiveOp::plan_tag`]) hashed into the
+    /// key. Ops that provably build the identical plan share a slot
+    /// (allgather/allgatherv; the whole alltoallv/reduce family), while
+    /// the two plan families can never collide — an allgather
+    /// `CollectivePlan` is never served where an item-routed
+    /// `AlltoallPlan` was asked for, even on identical topology, layout
+    /// and algorithm.
+    pub fn of_collective(
+        graph: &Topology,
+        layout: &ClusterLayout,
+        algo: Algorithm,
+        sizes: &BlockSizes,
+        metric: LoadMetric,
+        op: &CollectiveOp,
+    ) -> Self {
+        let tag = op.plan_tag();
         Self::digest(|h| {
+            tag.hash(h);
             let n = graph.n();
             n.hash(h);
             for p in 0..n {

@@ -12,8 +12,8 @@
 use nhood_cluster::ClusterLayout;
 use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
 use nhood_core::{
-    plan_io, Algorithm, BlockArena, BlockSizes, DistGraphComm, ExecOptions, Executor, LoadMetric,
-    PlanCache, Sim, Threaded, Virtual,
+    plan_io, Algorithm, BlockArena, BlockSizes, CollectiveRequest, DistGraphComm, ExecOptions,
+    Executor, LoadMetric, PlanCache, Sim, Threaded, Virtual,
 };
 use nhood_topology::random::erdos_renyi;
 use nhood_topology::rng::DetRng;
@@ -127,7 +127,8 @@ fn ragged_allgatherv_matches_reference_on_every_backend() {
                     Algorithm::CommonNeighbor { k: 4 },
                     Algorithm::DistanceHalving,
                 ] {
-                    let got = comm.neighbor_allgatherv(algo, &payloads).unwrap();
+                    let req = CollectiveRequest::allgatherv(&payloads).algorithm(algo);
+                    let got = comm.collective(&req).unwrap().rbufs;
                     assert_eq!(got, want, "n={n} delta={delta} {metric:?} {algo:?}");
                 }
             }
@@ -163,14 +164,17 @@ fn plan_cache_keys_uniform_and_ragged_builds_distinctly() {
     let uniform = test_payloads(32, 8, 1);
     let ragged = ragged_payloads(32, 2);
 
-    comm.neighbor_allgatherv(Algorithm::DistanceHalving, &uniform).unwrap();
-    comm.neighbor_allgatherv(Algorithm::DistanceHalving, &ragged).unwrap();
+    let gatherv = |payloads: &[Vec<u8>]| {
+        comm.collective(&CollectiveRequest::allgatherv(payloads)).unwrap();
+    };
+    gatherv(&uniform);
+    gatherv(&ragged);
     let stats = comm.plan_cache().unwrap().stats();
     assert_eq!((stats.hits, stats.misses), (0, 2), "distinct size tables must build separately");
 
     // same shapes again: both served from the cache
-    comm.neighbor_allgatherv(Algorithm::DistanceHalving, &uniform).unwrap();
-    comm.neighbor_allgatherv(Algorithm::DistanceHalving, &ragged).unwrap();
+    gatherv(&uniform);
+    gatherv(&ragged);
     let stats = comm.plan_cache().unwrap().stats();
     assert_eq!((stats.hits, stats.misses), (2, 2), "repeat shapes must hit");
 }

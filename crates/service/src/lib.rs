@@ -4,7 +4,9 @@
 //! long-running production shape of the paper's plan-once/execute-many
 //! structure. Many communicators (tenants) share one
 //! [`PlanCache`](nhood_core::PlanCache) (and one build worker pool);
-//! concurrent `allgather(v)` / SpMM requests flow through a bounded
+//! concurrent collective requests — the gather family plus the
+//! message-combining family (alltoallv, sparse reduce_scatter, sparse
+//! allreduce), op-tagged via [`SubmitRequest`] — flow through a bounded
 //! submission queue with **admission control** — per-tenant fairness
 //! quotas and typed backpressure ([`Rejected`]` { retry_after }`) —
 //! and an event-driven reactor coalesces requests whose
@@ -50,6 +52,7 @@ pub mod traffic;
 pub use admission::{AdmissionConfig, RejectReason, Rejected};
 pub use report::{ServiceReport, ServiceStats, TenantStats};
 pub use service::{
-    Backend, Completion, Outcome, RequestId, Service, ServiceConfig, TenantId, Verify,
+    Backend, Completion, Outcome, RequestId, Service, ServiceConfig, SubmitRequest, TenantId,
+    Verify,
 };
-pub use traffic::TrafficSpec;
+pub use traffic::{OpMix, TrafficSpec};

@@ -19,10 +19,14 @@
 //!    throughput lever (disable it with
 //!    [`ServiceConfig::batching`]` = false` to get the
 //!    one-call-API-per-request baseline).
-//! 3. Fault-armed tenants execute through
-//!    `neighbor_allgather_robust` (the threaded transport is the only
-//!    one that injects faults); their requests group per-tenant so a
-//!    degraded tenant never shares a batch with a clean one.
+//! 3. Fault-armed tenants execute gather ops through the robust
+//!    threaded path (the only transport that injects faults); their
+//!    requests group per-tenant so a degraded tenant never shares a
+//!    batch with a clean one. Combining ops (alltoallv,
+//!    reduce_scatter, allreduce) run the message-combining engine via
+//!    [`DistGraphComm::collective`] and never share a batch with
+//!    gather traffic — the two families plan differently, so the
+//!    grouping key carries the op's plan tag next to the fingerprint.
 //! 4. [`Service::churn`] applies PR 6 topology mutations to a live
 //!    tenant **without draining the queue**: the communicator repairs
 //!    (or rebuilds) its plan in place and the tenant's fingerprint is
@@ -35,11 +39,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nhood_cluster::ClusterLayout;
+use nhood_core::collective::{
+    derive_sizes, reference_allreduce, reference_alltoallv, reference_reduce_scatter,
+};
 use nhood_core::exec::sim_exec::{simulate_v, to_schedule_v};
 use nhood_core::exec::virtual_exec::reference_allgather;
 use nhood_core::{
-    Algorithm, BlockArena, BlockSizes, CommError, DistGraphComm, ExecOptions, Executor,
-    MutationReport, PlanCache, PlanFingerprint, SimCost, Threaded, Virtual,
+    Algorithm, BlockArena, BlockSizes, CollectiveOp, CollectiveRequest, CommError, DType,
+    DistGraphComm, ExecBackend, ExecOptions, Executor, MutationReport, PlanCache, PlanFingerprint,
+    Reduction, SimCost, Threaded, Virtual,
 };
 use nhood_simnet::{Engine, Perturbation};
 use nhood_telemetry::{labels, CountingRecorder, Recorder};
@@ -181,10 +189,62 @@ pub struct Completion {
     pub sim_makespan: Option<f64>,
 }
 
+/// An owned, op-tagged submission. [`Service::submit`] wraps plain
+/// gather payloads into one of these; mixed-op traffic builds them
+/// directly and hands them to [`Service::submit_request`].
+#[derive(Clone, Debug)]
+pub struct SubmitRequest {
+    /// Which collective to run.
+    pub op: CollectiveOp,
+    /// Per-rank send buffers, shaped per the op's contract (per-source
+    /// concatenation for alltoallv, per-destination for reduce_scatter,
+    /// one uniform block for allreduce).
+    pub payloads: Vec<Vec<u8>>,
+    /// Explicit size table; `None` derives it from the payloads (only
+    /// ragged reduce_scatter destinations genuinely need one).
+    pub sizes: Option<BlockSizes>,
+}
+
+impl SubmitRequest {
+    /// Uniform neighborhood allgather.
+    pub fn allgather(payloads: Vec<Vec<u8>>) -> Self {
+        Self { op: CollectiveOp::Allgather, payloads, sizes: None }
+    }
+
+    /// Ragged neighborhood allgather.
+    pub fn allgatherv(payloads: Vec<Vec<u8>>) -> Self {
+        Self { op: CollectiveOp::Allgatherv, payloads, sizes: None }
+    }
+
+    /// Neighborhood alltoallv (`payloads[p]` = one block per
+    /// out-neighbor, concatenated in `O(p)` order).
+    pub fn alltoallv(payloads: Vec<Vec<u8>>) -> Self {
+        Self { op: CollectiveOp::Alltoallv, payloads, sizes: None }
+    }
+
+    /// Sparse reduce_scatter under `red`.
+    pub fn reduce_scatter(payloads: Vec<Vec<u8>>, red: Reduction) -> Self {
+        Self { op: CollectiveOp::ReduceScatter(red), payloads, sizes: None }
+    }
+
+    /// Sparse allreduce under `red`.
+    pub fn allreduce(payloads: Vec<Vec<u8>>, red: Reduction) -> Self {
+        Self { op: CollectiveOp::Allreduce(red), payloads, sizes: None }
+    }
+
+    /// Pins an explicit size table.
+    pub fn sizes(mut self, sizes: BlockSizes) -> Self {
+        self.sizes = Some(sizes);
+        self
+    }
+}
+
 struct Pending {
     id: RequestId,
     tenant: TenantId,
+    op: CollectiveOp,
     payloads: Vec<Vec<u8>>,
+    sizes: Option<BlockSizes>,
     ragged: bool,
     arrived: Instant,
 }
@@ -204,10 +264,12 @@ struct Tenant {
 }
 
 /// Batch grouping key: clean tenants coalesce across tenants by
-/// fingerprint; fault-armed tenants stay per-tenant.
+/// fingerprint **and** plan family (the op's plan tag — gather and
+/// message-combining traffic plan differently, so they must not share
+/// a leader plan fetch); fault-armed tenants stay per-tenant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 enum BatchKey {
-    Clean(PlanFingerprint),
+    Clean(PlanFingerprint, u64),
     Faulty(TenantId),
 }
 
@@ -342,7 +404,8 @@ impl Service {
         &self.cache
     }
 
-    /// Submits a request arriving now. See [`Service::submit_at`].
+    /// Submits an allgather(v) arriving now (op inferred from payload
+    /// raggedness). See [`Service::submit_request_at`].
     pub fn submit(
         &mut self,
         tenant: TenantId,
@@ -351,10 +414,9 @@ impl Service {
         self.submit_at(tenant, payloads, Instant::now())
     }
 
-    /// Submits a request with an explicit arrival stamp (the open-loop
-    /// generator passes the *intended* arrival so reported latency
-    /// honestly includes scheduling slip and queueing). `payloads[r]`
-    /// is rank `r`'s contribution; lengths may differ (allgatherv).
+    /// Submits an allgather(v) with an explicit arrival stamp.
+    /// `payloads[r]` is rank `r`'s contribution; lengths may differ
+    /// (allgatherv). See [`Service::submit_request_at`].
     ///
     /// # Errors
     /// Returns [`Rejected`] when admission control turns the request
@@ -365,6 +427,35 @@ impl Service {
         payloads: Vec<Vec<u8>>,
         arrived: Instant,
     ) -> Result<RequestId, Rejected> {
+        let ragged = payloads.windows(2).any(|w| w[0].len() != w[1].len());
+        let op = if ragged { CollectiveOp::Allgatherv } else { CollectiveOp::Allgather };
+        self.submit_request_at(tenant, SubmitRequest { op, payloads, sizes: None }, arrived)
+    }
+
+    /// Submits an op-tagged request arriving now. See
+    /// [`Service::submit_request_at`].
+    pub fn submit_request(
+        &mut self,
+        tenant: TenantId,
+        request: SubmitRequest,
+    ) -> Result<RequestId, Rejected> {
+        self.submit_request_at(tenant, request, Instant::now())
+    }
+
+    /// Submits any collective with an explicit arrival stamp (the
+    /// open-loop generator passes the *intended* arrival so reported
+    /// latency honestly includes scheduling slip and queueing).
+    ///
+    /// # Errors
+    /// Returns [`Rejected`] when admission control turns the request
+    /// away; the queue and tenant state are untouched.
+    pub fn submit_request_at(
+        &mut self,
+        tenant: TenantId,
+        request: SubmitRequest,
+        arrived: Instant,
+    ) -> Result<RequestId, Rejected> {
+        let SubmitRequest { op, payloads, sizes } = request;
         self.stats.submitted += 1;
         let Some(t) = self.tenants.get_mut(tenant) else {
             self.stats.rejected += 1;
@@ -410,7 +501,7 @@ impl Service {
         t.queued += 1;
         t.stats.admitted += 1;
         self.stats.admitted += 1;
-        self.queue.push_back(Pending { id, tenant, payloads, ragged, arrived });
+        self.queue.push_back(Pending { id, tenant, op, payloads, sizes, ragged, arrived });
         Ok(id)
     }
 
@@ -468,8 +559,11 @@ impl Service {
             let mut index: HashMap<BatchKey, usize> = HashMap::new();
             for req in drained {
                 let t = &self.tenants[req.tenant];
-                let key =
-                    if t.faulty { BatchKey::Faulty(req.tenant) } else { BatchKey::Clean(t.fp) };
+                let key = if t.faulty {
+                    BatchKey::Faulty(req.tenant)
+                } else {
+                    BatchKey::Clean(t.fp, req.op.plan_tag())
+                };
                 match index.get(&key) {
                     Some(&g) => groups[g].push(req),
                     None => {
@@ -517,8 +611,16 @@ impl Service {
 
     /// A clean group: one plan fetch for the whole batch (every member
     /// shares the group fingerprint, so the leader's plan is everyone's
-    /// plan), warm per-tenant arenas.
+    /// plan), warm per-tenant arenas. Combining-family groups route
+    /// through [`DistGraphComm::collective`] per request — the
+    /// communicator's memoized routing plan plays the leader-plan role.
     fn run_clean_batch(&mut self, batch: Vec<Pending>) {
+        if !batch[0].op.is_gather() {
+            for req in batch {
+                self.run_combining(req);
+            }
+            return;
+        }
         let lead = batch[0].tenant;
         let algo = self.tenants[lead].algo;
         let plan = match self.tenants[lead].comm.plan_shared(algo) {
@@ -586,13 +688,58 @@ impl Service {
         }
     }
 
-    /// A fault-armed tenant's group: each request runs the robust path
-    /// (threaded transport — the only one that injects faults), with
-    /// plan negotiation amortized by the tenant's live churn slot and
-    /// the shared cache. On [`Backend::Sim`] the fault plan lowers to a
-    /// latency perturbation instead.
+    /// One combining-family request (alltoallv, reduce_scatter,
+    /// allreduce): the message-combining engine behind
+    /// [`DistGraphComm::collective`], on the configured backend. The
+    /// communicator memoizes the routing plan, so a batch of these pays
+    /// planning once per topology epoch, not per request.
+    fn run_combining(&mut self, req: Pending) {
+        let backend = match self.cfg.backend {
+            Backend::Virtual => ExecBackend::Virtual,
+            Backend::Threaded => ExecBackend::Threaded,
+            Backend::Sim => ExecBackend::Sim,
+        };
+        let res = {
+            let rec = &self.rec;
+            let t = &self.tenants[req.tenant];
+            let mut creq = CollectiveRequest::new(req.op, &req.payloads)
+                .algorithm(t.algo)
+                .backend(backend)
+                .recorder(rec);
+            if let Some(s) = req.sizes.clone() {
+                creq = creq.sizes(s);
+            }
+            t.comm.collective(&creq)
+        };
+        match res {
+            Ok(out) => {
+                let outcome = Outcome::Completed { degraded: false, fallback: false, repairs: 0 };
+                if self.cfg.backend == Backend::Sim {
+                    let mk = out.sim.map(|s| s.makespan);
+                    self.finish(req, outcome, None, None, mk);
+                } else {
+                    let verified = self.verify_bytes(&req, &out.rbufs, false);
+                    let output = self.cfg.keep_outputs.then_some(out.rbufs);
+                    self.finish(req, outcome, verified, output, None);
+                }
+            }
+            Err(e) => self.finish(req, Outcome::Failed { error: e.to_string() }, None, None, None),
+        }
+    }
+
+    /// A fault-armed tenant's group: gather requests run the robust
+    /// path (threaded transport — the only one that injects faults),
+    /// with plan negotiation amortized by the tenant's live churn slot
+    /// and the shared cache. On [`Backend::Sim`] the fault plan lowers
+    /// to a latency perturbation instead. Combining ops have no robust
+    /// transport — a fault-armed tenant's alltoallv/reduce traffic runs
+    /// the plain combining engine.
     fn run_robust_batch(&mut self, batch: Vec<Pending>) {
         for req in batch {
+            if !req.op.is_gather() {
+                self.run_combining(req);
+                continue;
+            }
             if self.cfg.backend == Backend::Sim {
                 self.run_sim_perturbed(req);
                 continue;
@@ -600,18 +747,24 @@ impl Service {
             let res = {
                 let rec = &self.rec;
                 let t = &self.tenants[req.tenant];
-                t.comm.neighbor_allgather_robust_recorded(t.algo, &req.payloads, rec)
+                let creq = CollectiveRequest::new(req.op, &req.payloads)
+                    .algorithm(t.algo)
+                    .robust(true)
+                    .backend(ExecBackend::Threaded)
+                    .recorder(rec);
+                t.comm.collective(&creq)
             };
             match res {
-                Ok((rbufs, rep)) => {
+                Ok(out) => {
+                    let rep = out.report.expect("robust runs carry an execution report");
                     let degraded = !rep.completeness.is_full();
                     let outcome = Outcome::Completed {
                         degraded,
                         fallback: rep.fallback.is_some(),
                         repairs: rep.repairs,
                     };
-                    let verified = self.verify_bytes(&req, &rbufs, degraded);
-                    let output = self.cfg.keep_outputs.then_some(rbufs);
+                    let verified = self.verify_bytes(&req, &out.rbufs, degraded);
+                    let output = self.cfg.keep_outputs.then_some(out.rbufs);
                     self.finish(req, outcome, verified, output, None);
                 }
                 Err(e) => {
@@ -644,14 +797,35 @@ impl Service {
         }
     }
 
-    /// Byte-checks `rbufs` against the naive reference when the verify
-    /// policy samples this request. Degraded buffers intentionally miss
-    /// blocks, so they are never compared (`None`).
+    /// Byte-checks `rbufs` against the op's naive reference when the
+    /// verify policy samples this request. Degraded buffers
+    /// intentionally miss blocks, so they are never compared (`None`);
+    /// f32 reductions are skipped too — the reference folds in
+    /// neighbor order, the engine in arrival-schedule order, and f32
+    /// addition is not associative, so byte equality is not the
+    /// contract there (bit-determinism is covered by core tests).
     fn verify_bytes(&self, req: &Pending, rbufs: &[Vec<u8>], degraded: bool) -> Option<bool> {
         if degraded || !self.cfg.verify.hits(req.id) {
             return None;
         }
-        let want = reference_allgather(self.tenants[req.tenant].comm.graph(), &req.payloads);
+        if req.op.reduction().is_some_and(|red| red.dtype == DType::F32) {
+            return None;
+        }
+        let g = self.tenants[req.tenant].comm.graph();
+        let want = match req.op {
+            CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+                reference_allgather(g, &req.payloads)
+            }
+            CollectiveOp::Alltoallv => {
+                let sizes = derive_sizes(g, req.op, &req.payloads, req.sizes.as_ref()).ok()?;
+                reference_alltoallv(g, &req.payloads, &sizes)
+            }
+            CollectiveOp::ReduceScatter(red) => {
+                let sizes = derive_sizes(g, req.op, &req.payloads, req.sizes.as_ref()).ok()?;
+                reference_reduce_scatter(g, &req.payloads, &sizes, red)
+            }
+            CollectiveOp::Allreduce(red) => reference_allreduce(g, &req.payloads, red),
+        };
         Some(want == rbufs)
     }
 
@@ -918,6 +1092,87 @@ mod tests {
         let report = svc.report();
         assert_eq!(report.stats.completed + report.stats.failed, 3);
         assert_eq!(report.stats.corrupt, 0, "robust path must never return wrong bytes");
+    }
+
+    /// Alltoallv / reduce_scatter send buffers for tenant `t`:
+    /// `sbuf[p]` carries one `m`-byte block per out-neighbor.
+    fn combining_payloads(svc: &Service, t: TenantId, m: usize, salt: u8) -> Vec<Vec<u8>> {
+        let g = svc.tenant_graph(t);
+        (0..g.n())
+            .map(|p| vec![(p as u8).wrapping_mul(31) ^ salt; g.out_neighbors(p).len() * m])
+            .collect()
+    }
+
+    #[test]
+    fn mixed_op_traffic_verifies_and_splits_batches_by_family() {
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let (mut svc, t) = service_with_one_tenant(cfg);
+        let n = svc.tenant_n(t);
+        svc.submit(t, uniform_payloads(n, 16, 1)).unwrap();
+        svc.submit_request(t, SubmitRequest::alltoallv(combining_payloads(&svc, t, 8, 2))).unwrap();
+        svc.submit_request(
+            t,
+            SubmitRequest::reduce_scatter(combining_payloads(&svc, t, 8, 3), Reduction::SUM_U8),
+        )
+        .unwrap();
+        svc.submit_request(
+            t,
+            SubmitRequest::allreduce(uniform_payloads(n, 16, 4), Reduction::SUM_U8),
+        )
+        .unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.completed, 4);
+        assert_eq!(report.stats.verified, 4, "every op family must be byte-checked");
+        assert_eq!(report.stats.corrupt, 0);
+        // One gather batch + one combining batch: same fingerprint,
+        // different plan tags.
+        assert_eq!(report.stats.batches, 2);
+    }
+
+    #[test]
+    fn combining_ops_complete_on_every_backend() {
+        for backend in [Backend::Virtual, Backend::Threaded, Backend::Sim] {
+            let cfg = ServiceConfig { backend, verify: Verify::All, ..Default::default() };
+            let (mut svc, t) = service_with_one_tenant(cfg);
+            let n = svc.tenant_n(t);
+            svc.submit_request(
+                t,
+                SubmitRequest::allreduce(uniform_payloads(n, 32, 7), Reduction::SUM_U8),
+            )
+            .unwrap();
+            svc.drain();
+            let completions = svc.take_completions();
+            assert_eq!(completions.len(), 1);
+            assert!(completions[0].outcome.is_completed(), "backend {backend:?}");
+            if backend == Backend::Sim {
+                assert!(completions[0].sim_makespan.expect("sim makespan") > 0.0);
+            } else {
+                assert_eq!(completions[0].verified, Some(true), "backend {backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_tenant_combining_traffic_uses_the_plain_engine() {
+        use nhood_core::FaultPlan;
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let mut svc = Service::new(cfg);
+        let g = erdos_renyi(12, 0.35, 9);
+        let comm = DistGraphComm::create_adjacent(g, layout_for(12))
+            .unwrap()
+            .with_fault_plan(FaultPlan::seeded(3).with_message_drop(0.05));
+        let t = svc.add_tenant_comm(comm, Algorithm::DistanceHalving).unwrap();
+        svc.submit(t, uniform_payloads(12, 24, 0)).unwrap();
+        svc.submit_request(
+            t,
+            SubmitRequest::allreduce(uniform_payloads(12, 24, 1), Reduction::SUM_U8),
+        )
+        .unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.completed + report.stats.failed, 2);
+        assert_eq!(report.stats.corrupt, 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::time::{Duration, Instant};
 
+use nhood_core::{CollectiveOp, Reduction};
 use nhood_spmm::stripe::exact_bytes;
 use nhood_topology::matrix::generators::{synth_symmetric, StructureClass};
 use nhood_topology::rng::DetRng;
@@ -18,7 +19,7 @@ use nhood_topology::spmm_graph::spmm_topology_with;
 use nhood_topology::{BlockPartition, Rank, Topology};
 
 use crate::report::ServiceReport;
-use crate::service::{Service, TenantId};
+use crate::service::{Service, SubmitRequest, TenantId};
 
 /// A seeded open-loop workload description.
 #[derive(Clone, Debug)]
@@ -38,8 +39,12 @@ pub struct TrafficSpec {
     /// up to here).
     pub size_max: usize,
     /// Probability a request is ragged (per-rank sizes drawn
-    /// independently — an allgatherv).
+    /// independently — an allgatherv; for alltoallv, per-source block
+    /// sizes).
     pub ragged_frac: f64,
+    /// Relative weights of the collective families in the stream
+    /// (default: gather-only — the pre-PR-8 workload).
+    pub op_mix: OpMix,
     /// Inject a churn event (edge add + remove on a random tenant)
     /// every such period; `None` = topology stays fixed.
     pub churn_period: Option<Duration>,
@@ -57,8 +62,64 @@ impl Default for TrafficSpec {
             size_min: 16,
             size_max: 2048,
             ragged_frac: 0.3,
+            op_mix: OpMix::default(),
             churn_period: None,
             churn_edges: 1,
+        }
+    }
+}
+
+/// Relative weights of the four collective families in generated
+/// traffic. Reductions always run Sum over u8 lanes — wrapping byte
+/// sums are order-independent, so verification stays byte-exact.
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Neighborhood allgather(v); raggedness follows
+    /// [`TrafficSpec::ragged_frac`].
+    pub gather: f64,
+    /// Neighborhood alltoallv.
+    pub alltoallv: f64,
+    /// Sparse reduce_scatter (Sum/u8).
+    pub reduce_scatter: f64,
+    /// Sparse allreduce (Sum/u8).
+    pub allreduce: f64,
+}
+
+impl Default for OpMix {
+    /// Gather-only: the pre-message-combining workload.
+    fn default() -> Self {
+        Self { gather: 1.0, alltoallv: 0.0, reduce_scatter: 0.0, allreduce: 0.0 }
+    }
+}
+
+impl OpMix {
+    /// Every family equally likely.
+    pub fn uniform() -> Self {
+        Self { gather: 1.0, alltoallv: 1.0, reduce_scatter: 1.0, allreduce: 1.0 }
+    }
+
+    /// Draws one family. The gather family comes back as
+    /// [`CollectiveOp::Allgather`]; the caller upgrades to allgatherv
+    /// per `ragged_frac`. Zero (or negative) total weight degenerates
+    /// to gather.
+    pub fn sample(&self, rng: &mut DetRng) -> CollectiveOp {
+        let g = self.gather.max(0.0);
+        let a = self.alltoallv.max(0.0);
+        let r = self.reduce_scatter.max(0.0);
+        let s = self.allreduce.max(0.0);
+        let total = g + a + r + s;
+        if total <= 0.0 {
+            return CollectiveOp::Allgather;
+        }
+        let u = rng.gen_f64() * total;
+        if u < g {
+            CollectiveOp::Allgather
+        } else if u < g + a {
+            CollectiveOp::Alltoallv
+        } else if u < g + a + r {
+            CollectiveOp::ReduceScatter(Reduction::SUM_U8)
+        } else {
+            CollectiveOp::Allreduce(Reduction::SUM_U8)
         }
     }
 }
@@ -129,6 +190,48 @@ pub fn gen_payloads(n: usize, sizes: &ZipfSizes, ragged: bool, rng: &mut DetRng)
         .collect()
 }
 
+/// Shapes one request's send buffers for `op` on tenant topology `g`:
+/// flat per-rank blocks for the gather family and allreduce,
+/// out-degree-scaled concatenations for alltoallv and reduce_scatter.
+/// Raggedness applies to the gather family (per-rank sizes) and
+/// alltoallv (per-source block sizes); reduce_scatter stays uniform —
+/// ragged destination tables need an explicit size table, which the
+/// generator deliberately never pins.
+pub fn gen_op_payloads(
+    g: &Topology,
+    op: CollectiveOp,
+    sizes: &ZipfSizes,
+    ragged: bool,
+    rng: &mut DetRng,
+) -> Vec<Vec<u8>> {
+    let fill_block = |len: usize, rng: &mut DetRng| -> Vec<u8> {
+        let fill = rng.next_u64().to_le_bytes();
+        (0..len).map(|i| fill[i % 8] ^ (i as u8)).collect()
+    };
+    match op {
+        CollectiveOp::Allgather | CollectiveOp::Allgatherv => {
+            gen_payloads(g.n(), sizes, ragged, rng)
+        }
+        CollectiveOp::Alltoallv => {
+            let uniform = if ragged { 0 } else { sizes.sample(rng) };
+            (0..g.n())
+                .map(|p| {
+                    let m = if ragged { sizes.sample(rng) } else { uniform };
+                    fill_block(g.out_neighbors(p).len() * m, rng)
+                })
+                .collect()
+        }
+        CollectiveOp::ReduceScatter(_) => {
+            let m = sizes.sample(rng);
+            (0..g.n()).map(|p| fill_block(g.out_neighbors(p).len() * m, rng)).collect()
+        }
+        CollectiveOp::Allreduce(_) => {
+            let m = sizes.sample(rng);
+            (0..g.n()).map(|_| fill_block(m, rng)).collect()
+        }
+    }
+}
+
 /// Per-rank payloads at explicit sizes (e.g. the exact SpMM stripe
 /// bytes from [`spmm_tenant`]).
 pub fn payloads_with_sizes(sizes: &[usize], rng: &mut DetRng) -> Vec<Vec<u8>> {
@@ -147,13 +250,18 @@ pub fn payloads_with_sizes(sizes: &[usize], rng: &mut DetRng) -> Vec<Vec<u8>> {
 pub struct GenRequest {
     /// Target tenant.
     pub tenant: TenantId,
-    /// Per-rank payloads.
+    /// Which collective to run.
+    pub op: CollectiveOp,
+    /// Per-rank payloads, shaped per the op's contract.
     pub payloads: Vec<Vec<u8>>,
 }
 
-/// Pre-generates `count` requests over tenants with the given rank
-/// counts (`tenant_ns[t]` = tenant `t`'s rank count). Deterministic in
-/// `spec.seed`.
+/// Pre-generates `count` **gather-family** requests over tenants with
+/// the given rank counts (`tenant_ns[t]` = tenant `t`'s rank count).
+/// Deterministic in `spec.seed`. [`TrafficSpec::op_mix`] is ignored
+/// here — shaping alltoallv/reduce_scatter buffers needs each tenant's
+/// out-degrees, which this signature deliberately doesn't take; use
+/// [`generate_mixed_requests`] for the full mix.
 pub fn generate_requests(spec: &TrafficSpec, tenant_ns: &[usize], count: usize) -> Vec<GenRequest> {
     assert!(!tenant_ns.is_empty(), "need at least one tenant");
     let mut rng = DetRng::seed_from_u64(spec.seed);
@@ -162,8 +270,35 @@ pub fn generate_requests(spec: &TrafficSpec, tenant_ns: &[usize], count: usize) 
         .map(|_| {
             let tenant = rng.gen_below(tenant_ns.len());
             let ragged = rng.gen_bool(spec.ragged_frac);
+            let op = if ragged { CollectiveOp::Allgatherv } else { CollectiveOp::Allgather };
             let payloads = gen_payloads(tenant_ns[tenant], &sizes, ragged, &mut rng);
-            GenRequest { tenant, payloads }
+            GenRequest { tenant, op, payloads }
+        })
+        .collect()
+}
+
+/// Pre-generates `count` op-mixed requests over live tenant topologies
+/// (`graphs[t]` = tenant `t`'s current graph — combining-family send
+/// buffers are shaped by its out-degrees). Deterministic in
+/// `spec.seed`.
+pub fn generate_mixed_requests(
+    spec: &TrafficSpec,
+    graphs: &[&Topology],
+    count: usize,
+) -> Vec<GenRequest> {
+    assert!(!graphs.is_empty(), "need at least one tenant");
+    let mut rng = DetRng::seed_from_u64(spec.seed);
+    let sizes = ZipfSizes::new(spec.size_min, spec.size_max, spec.zipf_s);
+    (0..count)
+        .map(|_| {
+            let tenant = rng.gen_below(graphs.len());
+            let mut op = spec.op_mix.sample(&mut rng);
+            let ragged = rng.gen_bool(spec.ragged_frac);
+            if op == CollectiveOp::Allgather && ragged {
+                op = CollectiveOp::Allgatherv;
+            }
+            let payloads = gen_op_payloads(graphs[tenant], op, &sizes, ragged, &mut rng);
+            GenRequest { tenant, op, payloads }
         })
         .collect()
 }
@@ -177,7 +312,8 @@ pub fn drive_stream(service: &mut Service, requests: &[GenRequest]) -> usize {
     let mut finished = 0;
     for req in requests {
         loop {
-            match service.submit(req.tenant, req.payloads.clone()) {
+            let sub = SubmitRequest { op: req.op, payloads: req.payloads.clone(), sizes: None };
+            match service.submit_request(req.tenant, sub) {
                 Ok(_) => break,
                 Err(_) => {
                     let done = service.tick();
@@ -197,8 +333,9 @@ pub fn drive_stream(service: &mut Service, requests: &[GenRequest]) -> usize {
 
 /// Runs the open-loop workload against a live service: Poisson
 /// arrivals over Zipf-sized (optionally ragged) payloads to uniformly
-/// random tenants, with periodic churn events, until `spec.horizon`
-/// passes; then drains the queue and reports. Metrics are reset at the
+/// random tenants — op-mixed per [`TrafficSpec::op_mix`] — with
+/// periodic churn events, until `spec.horizon` passes; then drains the
+/// queue and reports. Metrics are reset at the
 /// start so the report covers exactly this run.
 pub fn run_open_loop(service: &mut Service, spec: &TrafficSpec) -> ServiceReport {
     service.reset_metrics();
@@ -212,12 +349,23 @@ pub fn run_open_loop(service: &mut Service, spec: &TrafficSpec) -> ServiceReport
     let horizon = spec.horizon.as_secs_f64();
     let mean = spec.mean_interarrival.as_secs_f64().max(1e-9);
     let churn_period = spec.churn_period.map(|p| p.as_secs_f64().max(1e-6));
+    // Alltoallv / reduce_scatter send buffers are shaped by each
+    // tenant's out-degrees at submission time, so they are bound to the
+    // topology epoch they were generated under — churn would turn
+    // queued ones into typed shape mismatches. Streams carrying those
+    // families quiesce the queue before mutating; gather/allreduce-only
+    // streams keep the repair-under-live-queue behavior.
+    let topology_shaped =
+        spec.op_mix.alltoallv.max(0.0) + spec.op_mix.reduce_scatter.max(0.0) > 0.0;
     let mut next_arrival = exp_gap(&mut rng, mean);
     let mut next_churn = churn_period;
     loop {
         let now = epoch.elapsed().as_secs_f64();
         if let (Some(tc), Some(period)) = (next_churn, churn_period) {
             if tc <= now && tc <= horizon {
+                if topology_shaped {
+                    service.drain();
+                }
                 apply_random_churn(service, &mut rng, spec.churn_edges);
                 next_churn = Some(tc + period);
             }
@@ -229,10 +377,19 @@ pub fn run_open_loop(service: &mut Service, spec: &TrafficSpec) -> ServiceReport
         // the report.
         while next_arrival <= now && next_arrival <= horizon {
             let tenant = rng.gen_below(ntenants);
+            let mut op = spec.op_mix.sample(&mut rng);
             let ragged = rng.gen_bool(spec.ragged_frac);
-            let payloads = gen_payloads(service.tenant_n(tenant), &sizes, ragged, &mut rng);
+            if op == CollectiveOp::Allgather && ragged {
+                op = CollectiveOp::Allgatherv;
+            }
+            let payloads =
+                gen_op_payloads(service.tenant_graph(tenant), op, &sizes, ragged, &mut rng);
             let arrived = epoch + Duration::from_secs_f64(next_arrival);
-            let _ = service.submit_at(tenant, payloads, arrived);
+            let _ = service.submit_request_at(
+                tenant,
+                SubmitRequest { op, payloads, sizes: None },
+                arrived,
+            );
             next_arrival += exp_gap(&mut rng, mean);
         }
         let finished = service.tick();
@@ -389,6 +546,51 @@ mod tests {
         let finished = drive_stream(&mut svc, &reqs);
         assert_eq!(finished, 40);
         assert_eq!(svc.report().stats.completed, 40);
+    }
+
+    #[test]
+    fn mixed_streams_cover_all_families_and_verify() {
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let mut svc = Service::new(cfg);
+        let g = erdos_renyi(12, 0.35, 6);
+        svc.add_tenant(g, ClusterLayout::new(2, 2, 3), Algorithm::DistanceHalving).unwrap();
+        let spec = TrafficSpec { size_max: 256, op_mix: OpMix::uniform(), ..Default::default() };
+        let reqs = generate_mixed_requests(&spec, &[svc.tenant_graph(0)], 60);
+        let mut families = [0usize; 4];
+        for r in &reqs {
+            families[match r.op {
+                CollectiveOp::Allgather | CollectiveOp::Allgatherv => 0,
+                CollectiveOp::Alltoallv => 1,
+                CollectiveOp::ReduceScatter(_) => 2,
+                CollectiveOp::Allreduce(_) => 3,
+            }] += 1;
+        }
+        assert!(families.iter().all(|&c| c > 0), "60 uniform draws must hit every family");
+        let finished = drive_stream(&mut svc, &reqs);
+        assert_eq!(finished, 60);
+        let report = svc.report();
+        assert_eq!(report.stats.completed, 60);
+        assert_eq!(report.stats.verified, 60);
+        assert_eq!(report.stats.corrupt, 0);
+    }
+
+    #[test]
+    fn mixed_open_loop_run_stays_correct_under_churn() {
+        let cfg = ServiceConfig { verify: Verify::All, ..Default::default() };
+        let mut svc = Service::new(cfg);
+        let g = erdos_renyi(12, 0.3, 3);
+        svc.add_tenant(g, ClusterLayout::new(2, 2, 3), Algorithm::DistanceHalving).unwrap();
+        let spec = TrafficSpec {
+            horizon: Duration::from_millis(30),
+            mean_interarrival: Duration::from_micros(500),
+            op_mix: OpMix::uniform(),
+            churn_period: Some(Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let report = run_open_loop(&mut svc, &spec);
+        assert!(report.stats.admitted > 0);
+        assert_eq!(report.stats.completed + report.stats.failed, report.stats.admitted);
+        assert_eq!(report.stats.corrupt, 0, "mixed-op traffic must verify under churn");
     }
 
     #[test]

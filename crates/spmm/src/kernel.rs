@@ -16,7 +16,7 @@
 
 use crate::stripe::{deserialize_stripe, payload_bytes, serialize_stripe, StripeError};
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, BlockSizes, CommError, DistGraphComm, LoadMetric};
+use nhood_core::{Algorithm, BlockSizes, CollectiveRequest, CommError, DistGraphComm, LoadMetric};
 use nhood_topology::spmm_graph::spmm_topology_with;
 use nhood_topology::{BlockPartition, CsrMatrix, Topology};
 
@@ -150,10 +150,11 @@ pub fn distributed_spmm_with(
     let comm = DistGraphComm::create_adjacent(topology.clone(), layout.clone())?
         .with_load_metric(metric)
         .with_block_sizes(BlockSizes::from_payloads(&payloads));
-    let rbufs = match packing {
-        Packing::Padded => comm.neighbor_allgather(algo, &payloads)?,
-        Packing::Exact => comm.neighbor_allgatherv(algo, &payloads)?,
+    let req = match packing {
+        Packing::Padded => CollectiveRequest::allgather(&payloads),
+        Packing::Exact => CollectiveRequest::allgatherv(&payloads),
     };
+    let rbufs = comm.collective(&req.algorithm(algo))?.rbufs;
 
     // Each process multiplies its X stripe against the Y rows it now has.
     let mut z_entries: Vec<(usize, usize, f64)> = Vec::new();

@@ -1,15 +1,17 @@
 //! A tour of every collective variant in the library on one topology:
 //! the four allgather algorithms (naïve, Common Neighbor, hierarchical
 //! leader, Distance Halving), the `allgatherv` ragged variant, and the
-//! future-work alltoall — each verified against the MPI-semantics
-//! reference, then ranked by simulated latency.
+//! message-combining alltoallv — each verified against the MPI-semantics
+//! reference, then ranked by simulated latency. Everything goes through
+//! the collective-agnostic request API: build a [`CollectiveRequest`],
+//! hand it to [`DistGraphComm::collective`].
 //!
 //! ```text
 //! cargo run --release -p nhood-integration --example algorithm_tour
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::{Algorithm, BlockSizes, CollectiveRequest, DistGraphComm, SimCost};
 use nhood_topology::random::erdos_renyi;
 
 fn main() {
@@ -33,13 +35,17 @@ fn main() {
         Algorithm::DistanceHalving,
     ];
     let payloads: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 64]).collect();
-    let reference = comm.neighbor_allgather(Algorithm::Naive, &payloads).expect("reference");
+    let reference = comm
+        .collective(&CollectiveRequest::allgather(&payloads).algorithm(Algorithm::Naive))
+        .expect("reference")
+        .rbufs;
 
     println!("allgather (64 B payloads):");
     println!("{:>28} {:>10} {:>12} {:>12}", "algorithm", "messages", "latency", "speedup");
     let tn = comm.latency(Algorithm::Naive, 64, &cost).expect("sim").makespan;
     for algo in algos {
-        let out = comm.neighbor_allgather(algo, &payloads).expect("allgather");
+        let req = CollectiveRequest::allgather(&payloads).algorithm(algo);
+        let out = comm.collective(&req).expect("allgather").rbufs;
         assert_eq!(out, reference, "{algo} must match the reference");
         let plan = comm.plan(algo).expect("plan");
         let t = comm.latency(algo, 64, &cost).expect("sim").makespan;
@@ -54,12 +60,18 @@ fn main() {
 
     // --- allgatherv: ragged payloads ------------------------------------
     let ragged: Vec<Vec<u8>> = (0..n).map(|r| vec![r as u8; 16 + (r % 5) * 24]).collect();
-    let v_naive = comm.neighbor_allgatherv(Algorithm::Naive, &ragged).expect("allgatherv");
-    let v_dh = comm.neighbor_allgatherv(Algorithm::DistanceHalving, &ragged).expect("allgatherv");
+    let v_naive = comm
+        .collective(&CollectiveRequest::allgatherv(&ragged).algorithm(Algorithm::Naive))
+        .expect("allgatherv")
+        .rbufs;
+    let v_dh = comm
+        .collective(&CollectiveRequest::allgatherv(&ragged).algorithm(Algorithm::DistanceHalving))
+        .expect("allgatherv")
+        .rbufs;
     assert_eq!(v_naive, v_dh);
     println!("\nallgatherv: ragged payloads (16..112 B) agree across algorithms");
 
-    // --- alltoall: distinct payload per neighbor -------------------------
+    // --- alltoallv: distinct payload per neighbor ------------------------
     let m = 32;
     let sbufs: Vec<Vec<u8>> = (0..n)
         .map(|p| {
@@ -70,13 +82,27 @@ fn main() {
             b
         })
         .collect();
-    let a_naive = comm.neighbor_alltoall(Algorithm::Naive, &sbufs, m).expect("alltoall");
-    let a_dh = comm.neighbor_alltoall(Algorithm::DistanceHalving, &sbufs, m).expect("alltoall");
+    let a_naive = comm
+        .collective(
+            &CollectiveRequest::alltoallv(&sbufs)
+                .algorithm(Algorithm::Naive)
+                .sizes(BlockSizes::uniform(m)),
+        )
+        .expect("alltoallv")
+        .rbufs;
+    let a_dh = comm
+        .collective(
+            &CollectiveRequest::alltoallv(&sbufs)
+                .algorithm(Algorithm::DistanceHalving)
+                .sizes(BlockSizes::uniform(m)),
+        )
+        .expect("alltoallv")
+        .rbufs;
     assert_eq!(a_naive, a_dh);
     let naive_plan = comm.alltoall_plan(Algorithm::Naive).expect("plan");
     let dh_plan = comm.alltoall_plan(Algorithm::DistanceHalving).expect("plan");
     println!(
-        "alltoall: {} direct messages vs {} with distance-halving routing ({} item-hops)",
+        "alltoallv: {} direct messages vs {} with distance-halving routing ({} item-hops)",
         naive_plan.message_count(),
         dh_plan.message_count(),
         dh_plan.total_items_sent()

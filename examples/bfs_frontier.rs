@@ -16,7 +16,7 @@
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm};
+use nhood_core::{Algorithm, BlockSizes, CollectiveRequest, DistGraphComm};
 use nhood_topology::spmm_graph::BlockPartition;
 use nhood_topology::{matrix::generators, CsrMatrix};
 
@@ -120,7 +120,9 @@ fn distributed_bfs(
                 buf
             })
             .collect();
-        let rbufs = comm.neighbor_alltoall(algo, &sbufs, m).expect("frontier exchange");
+        let req =
+            CollectiveRequest::alltoallv(&sbufs).algorithm(algo).sizes(BlockSizes::uniform(m));
+        let rbufs = comm.collective(&req).expect("frontier exchange").rbufs;
         // Integrate remote discoveries.
         let mut next: Vec<Vec<u32>> = local_next;
         for r in 0..RANKS {

@@ -14,7 +14,7 @@
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm};
 use nhood_topology::moore::moore_on_grid;
 
 const GRID: usize = 8; // 8x8 ranks
@@ -33,7 +33,8 @@ fn cell(u: &Universe, r: usize, c: usize) -> u8 {
 /// tiles (as delivered by the allgather).
 fn step(comm: &DistGraphComm, u: &Universe, algo: Algorithm) -> Universe {
     let payloads: Vec<Vec<u8>> = u.clone();
-    let rbufs = comm.neighbor_allgather(algo, &payloads).expect("tile exchange");
+    let req = CollectiveRequest::allgather(&payloads).algorithm(algo);
+    let rbufs = comm.collective(&req).expect("tile exchange").rbufs;
     let g = comm.graph();
     let tile_bytes = TILE * TILE;
     (0..GRID * GRID)

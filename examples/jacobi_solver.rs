@@ -15,7 +15,7 @@
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, SimCost};
 use nhood_topology::stencil::von_neumann_on_grid;
 
 const GRID: usize = 12; // 12x12 ranks
@@ -86,7 +86,8 @@ fn solve(comm: &DistGraphComm, algo: Algorithm) -> Vec<Vec<f64>> {
         .collect();
     for _ in 0..ITERS {
         let payloads: Vec<Vec<u8>> = tiles.iter().map(|t| pack_halo(t)).collect();
-        let rbufs = comm.neighbor_allgather(algo, &payloads).expect("halo exchange");
+        let req = CollectiveRequest::allgather(&payloads).algorithm(algo);
+        let rbufs = comm.collective(&req).expect("halo exchange").rbufs;
         let halo_len = 4 * TILE * 8;
         tiles = (0..n)
             .map(|me| {

@@ -12,7 +12,7 @@
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, SimCost};
 use nhood_topology::moore::{moore_on_grid, MooreSpec};
 
 const GRID: [usize; 2] = [16, 16];
@@ -47,8 +47,16 @@ fn main() {
 
     for it in 0..ITERATIONS {
         let payloads: Vec<Vec<u8>> = state.iter().map(|s| pack(s)).collect();
-        let dh = comm.neighbor_allgather(Algorithm::DistanceHalving, &payloads).expect("allgather");
-        let naive = comm.neighbor_allgather(Algorithm::Naive, &payloads).expect("allgather");
+        let dh = comm
+            .collective(
+                &CollectiveRequest::allgather(&payloads).algorithm(Algorithm::DistanceHalving),
+            )
+            .expect("allgather")
+            .rbufs;
+        let naive = comm
+            .collective(&CollectiveRequest::allgather(&payloads).algorithm(Algorithm::Naive))
+            .expect("allgather")
+            .rbufs;
         assert_eq!(dh, naive, "iteration {it}: algorithms disagree");
 
         // Relaxation: new state = mean of self + neighbors.

@@ -6,7 +6,7 @@
 //! ```
 
 use nhood_cluster::ClusterLayout;
-use nhood_core::{Algorithm, DistGraphComm, SimCost};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, SimCost};
 use nhood_topology::random::erdos_renyi;
 
 fn main() {
@@ -22,9 +22,13 @@ fn main() {
     //    for real (virtual executor) with each algorithm and check that
     //    all three deliver identical receive buffers.
     let payloads: Vec<Vec<u8>> = (0..n).map(|r| (r as u64).to_le_bytes().to_vec()).collect();
-    let reference = comm.neighbor_allgather(Algorithm::Naive, &payloads).expect("naive allgather");
+    let reference = comm
+        .collective(&CollectiveRequest::allgather(&payloads).algorithm(Algorithm::Naive))
+        .expect("naive allgather")
+        .rbufs;
     for algo in [Algorithm::CommonNeighbor { k: 8 }, Algorithm::DistanceHalving] {
-        let got = comm.neighbor_allgather(algo, &payloads).expect("allgather");
+        let req = CollectiveRequest::allgather(&payloads).algorithm(algo);
+        let got = comm.collective(&req).expect("allgather").rbufs;
         assert_eq!(got, reference, "{algo} must deliver the same data");
         println!("{algo}: receive buffers identical to naive");
     }

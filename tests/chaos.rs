@@ -14,7 +14,7 @@ use nhood_core::exec::{ExecOptions, Executor, Threaded, Virtual};
 use nhood_core::fault::FaultPlan;
 use nhood_core::lower::lower;
 use nhood_core::BlockArena;
-use nhood_core::{Algorithm, DistGraphComm, RobustPolicy};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, ExecBackend, RobustPolicy};
 use nhood_topology::{MooreSpec, Topology};
 use std::time::{Duration, Instant};
 
@@ -40,10 +40,15 @@ fn robust_sweep(
             })
             .with_fault_plan(fp.clone());
         let t0 = Instant::now();
-        match comm.neighbor_allgather_robust(algo, &payloads) {
-            Ok((bufs, report)) => {
+        let req = CollectiveRequest::allgather(&payloads)
+            .algorithm(algo)
+            .robust(true)
+            .backend(ExecBackend::Threaded);
+        match comm.collective(&req) {
+            Ok(out) => {
+                let report = out.report.expect("robust runs carry an execution report");
                 assert_eq!(
-                    bufs,
+                    out.rbufs,
                     want,
                     "seed {}: corrupted buffers ({report}) — the one forbidden outcome",
                     fp.seed()
@@ -253,8 +258,9 @@ fn acceptance_64_rank_5pct_drop_ragged() {
         .unwrap()
         .with_block_sizes(BlockSizes::per_rank(sizes.clone()));
 
-    // Backend 1 — virtual, through the public allgatherv entry point.
-    assert_eq!(comm.neighbor_allgatherv(Algorithm::DistanceHalving, &payloads).unwrap(), want);
+    // Backend 1 — virtual, through the public ragged request surface.
+    let req = CollectiveRequest::allgatherv(&payloads).algorithm(Algorithm::DistanceHalving);
+    assert_eq!(comm.collective(&req).unwrap().rbufs, want);
 
     // Backend 2 — threaded under seeded 5% drops, both engines, with the
     // same retry budget as the uniform acceptance test.
@@ -284,10 +290,13 @@ fn acceptance_64_rank_5pct_drop_ragged() {
             .with_block_sizes(BlockSizes::per_rank(sizes.clone()))
             .with_fault_plan(fp);
         // errors are typed by construction; a success must be exact
-        if let Ok((bufs, report)) =
-            robust.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads)
-        {
-            assert_eq!(bufs, want, "seed {s}: corrupted ragged buffers ({report})");
+        let req = CollectiveRequest::allgatherv(&payloads)
+            .algorithm(Algorithm::DistanceHalving)
+            .robust(true)
+            .backend(ExecBackend::Threaded);
+        if let Ok(out) = robust.collective(&req) {
+            let report = out.report.expect("robust runs carry an execution report");
+            assert_eq!(out.rbufs, want, "seed {s}: corrupted ragged buffers ({report})");
         }
     }
 

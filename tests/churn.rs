@@ -13,7 +13,9 @@ use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
 use nhood_core::exec::{ExecOptions, Executor, Sim, Threaded, Virtual};
 use nhood_core::fault::FaultPlan;
 use nhood_core::BlockArena;
-use nhood_core::{Algorithm, CollectivePlan, DistGraphComm, RobustPolicy};
+use nhood_core::{
+    Algorithm, CollectivePlan, CollectiveRequest, DistGraphComm, ExecBackend, RobustPolicy,
+};
 use nhood_topology::{Rank, Topology};
 use std::time::Duration;
 
@@ -179,9 +181,13 @@ fn acceptance_64_rank_link_down_recovers_by_repair() {
     let want = reference_allgather(&g, &payloads);
 
     let comm = comm.with_fault_plan(FaultPlan::seeded(7).with_link_down(src, dst, phase));
-    let (bufs, report) =
-        comm.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
-    assert_eq!(bufs, want, "repaired run corrupted buffers ({report})");
+    let req = CollectiveRequest::allgather(&payloads)
+        .algorithm(Algorithm::DistanceHalving)
+        .robust(true)
+        .backend(ExecBackend::Threaded);
+    let out = comm.collective(&req).unwrap();
+    let report = out.report.expect("robust runs carry an execution report");
+    assert_eq!(out.rbufs, want, "repaired run corrupted buffers ({report})");
     assert_eq!(report.used, Algorithm::DistanceHalving, "must not fall back to naive");
     assert!(report.fallback.is_none(), "healed runs report no fallback: {report}");
     assert!(report.repairs >= 1, "the link-down must surface as a repair: {report}");
@@ -206,9 +212,13 @@ fn link_down_without_repair_reports_fallback_truthfully() {
     let comm = comm
         .with_policy(RobustPolicy { repair_link_down: false, ..RobustPolicy::default() })
         .with_fault_plan(FaultPlan::seeded(7).with_link_down(src, dst, phase));
-    let (bufs, report) =
-        comm.neighbor_allgather_robust(Algorithm::DistanceHalving, &payloads).unwrap();
-    assert_eq!(bufs, want, "naive fallback corrupted buffers ({report})");
+    let req = CollectiveRequest::allgather(&payloads)
+        .algorithm(Algorithm::DistanceHalving)
+        .robust(true)
+        .backend(ExecBackend::Threaded);
+    let out = comm.collective(&req).unwrap();
+    let report = out.report.expect("robust runs carry an execution report");
+    assert_eq!(out.rbufs, want, "naive fallback corrupted buffers ({report})");
     assert_eq!(report.used, Algorithm::Naive, "repair disabled: must fall back");
     assert!(report.fallback.is_some(), "fallback must be reported: {report}");
     assert_eq!(report.repairs, 0, "no repair happened, none may be reported");

@@ -1,0 +1,282 @@
+//! Cross-backend property suite for the collective-agnostic request
+//! API: every op in [`CollectiveOp`]'s family — the gather pair plus
+//! the message-combining trio — must agree byte-for-byte with its
+//! naive MPI-semantics reference on **all three backends**, ragged
+//! shapes (zero-length blocks included) and every supported
+//! algorithm. Unsupported (op, algorithm, robustness, backend)
+//! combinations must fail *typed*, before any work happens, and f32
+//! folds must be bit-deterministic across backends and repeat runs.
+
+use nhood_cluster::ClusterLayout;
+use nhood_core::collective::{
+    derive_sizes, reference_allreduce, reference_alltoallv, reference_reduce_scatter,
+};
+use nhood_core::exec::virtual_exec::reference_allgather;
+use nhood_core::{
+    Algorithm, BlockSizes, CollectiveOp, CollectiveRequest, CommError, DType, DistGraphComm,
+    ExecBackend, LoadMetric, PlanFingerprint, ReduceOp, Reduction,
+};
+use nhood_topology::rng::DetRng;
+use nhood_topology::Topology;
+
+const BACKENDS: [ExecBackend; 3] = [ExecBackend::Virtual, ExecBackend::Threaded, ExecBackend::Sim];
+const ALGOS: [Algorithm; 2] = [Algorithm::Naive, Algorithm::DistanceHalving];
+
+fn layout_for(n: usize) -> ClusterLayout {
+    ClusterLayout::new(n.div_ceil(8), 2, 4)
+}
+
+/// Uniform per-rank payloads, `m` bytes each, seeded.
+fn uniform_payloads(n: usize, m: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..m).map(|_| rng.next_u64() as u8).collect()).collect()
+}
+
+/// Ragged per-rank payloads with deliberate zero-length blocks.
+fn ragged_payloads(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..n)
+        .map(|r| {
+            let len = if r % 5 == 0 { 0 } else { 1 + rng.gen_below(24) };
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        })
+        .collect()
+}
+
+/// Per-source alltoallv send buffers: rank `p` holds `outdeg(p)` blocks
+/// of `sizes[p]` bytes; ragged across sources, zeros included.
+fn alltoallv_payloads(g: &Topology, seed: u64) -> (Vec<Vec<u8>>, BlockSizes) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let per_source: Vec<usize> =
+        (0..g.n()).map(|r| if r % 7 == 0 { 0 } else { 1 + rng.gen_below(16) }).collect();
+    let sbufs = (0..g.n())
+        .map(|p| {
+            let len = g.outdegree(p) * per_source[p];
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        })
+        .collect();
+    (sbufs, BlockSizes::per_rank(per_source))
+}
+
+/// Reduce-scatter send buffers at a uniform per-destination block size:
+/// rank `p` contributes one `m`-byte block per out-neighbor.
+fn reduce_scatter_payloads(g: &Topology, m: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..g.n()).map(|p| (0..g.outdegree(p) * m).map(|_| rng.next_u64() as u8).collect()).collect()
+}
+
+fn run(comm: &DistGraphComm, req: CollectiveRequest, label: &std::fmt::Arguments) -> Vec<Vec<u8>> {
+    comm.collective(&req).unwrap_or_else(|e| panic!("{label}: {e}")).rbufs
+}
+
+/// The headline property: `collective(op) ≡ naive reference` for all
+/// four op families, across sizes, densities, algorithms and backends.
+/// Sim is included because it moves real bytes alongside the latency
+/// model.
+#[test]
+fn every_op_matches_its_reference_on_every_backend() {
+    for &(n, delta) in &[(24usize, 0.1f64), (32, 0.3), (48, 0.6)] {
+        let g = nhood_topology::random::erdos_renyi(n, delta, 0xC011EC7);
+        let comm = DistGraphComm::create_adjacent(g.clone(), layout_for(n)).unwrap();
+        let seed = (n as u64) << 8 | (delta * 10.0) as u64;
+
+        let uniform = uniform_payloads(n, 16, seed);
+        let ragged = ragged_payloads(n, seed ^ 1);
+        let (a2a, a2a_sizes) = alltoallv_payloads(&g, seed ^ 2);
+        let rs = reduce_scatter_payloads(&g, 8, seed ^ 3);
+        let red = Reduction::SUM_U8;
+
+        let want_ag = reference_allgather(&g, &uniform);
+        let want_agv = reference_allgather(&g, &ragged);
+        let want_a2a = reference_alltoallv(&g, &a2a, &a2a_sizes);
+        let want_rs = reference_reduce_scatter(&g, &rs, &BlockSizes::uniform(8), red);
+        let want_ar = reference_allreduce(&g, &uniform, red);
+
+        for algo in ALGOS {
+            for backend in BACKENDS {
+                let ctx = format_args!("n={n} δ={delta} {algo} {backend:?}");
+                let got = run(
+                    &comm,
+                    CollectiveRequest::allgather(&uniform).algorithm(algo).backend(backend),
+                    &ctx,
+                );
+                assert_eq!(got, want_ag, "allgather {ctx}");
+                let got = run(
+                    &comm,
+                    CollectiveRequest::allgatherv(&ragged).algorithm(algo).backend(backend),
+                    &ctx,
+                );
+                assert_eq!(got, want_agv, "allgatherv {ctx}");
+                let got = run(
+                    &comm,
+                    CollectiveRequest::alltoallv(&a2a)
+                        .algorithm(algo)
+                        .sizes(a2a_sizes.clone())
+                        .backend(backend),
+                    &ctx,
+                );
+                assert_eq!(got, want_a2a, "alltoallv {ctx}");
+                let got = run(
+                    &comm,
+                    CollectiveRequest::reduce_scatter(&rs, red).algorithm(algo).backend(backend),
+                    &ctx,
+                );
+                assert_eq!(got, want_rs, "reduce_scatter {ctx}");
+                let got = run(
+                    &comm,
+                    CollectiveRequest::allreduce(&uniform, red).algorithm(algo).backend(backend),
+                    &ctx,
+                );
+                assert_eq!(got, want_ar, "allreduce {ctx}");
+            }
+        }
+    }
+}
+
+/// Lane-typed reductions (Max/U32) agree with the reference too — the
+/// lane decode/encode path, not just byte-wise wrapping sums.
+#[test]
+fn typed_lanes_match_the_reference() {
+    let n = 32;
+    let g = nhood_topology::random::erdos_renyi(n, 0.3, 99);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout_for(n)).unwrap();
+    let red = Reduction::new(ReduceOp::Max, DType::U32);
+    let payloads = uniform_payloads(n, 16, 0xAB); // 16 % 4 == 0: whole u32 lanes
+    let want = reference_allreduce(&g, &payloads, red);
+    for algo in ALGOS {
+        for backend in BACKENDS {
+            let req = CollectiveRequest::allreduce(&payloads, red).algorithm(algo).backend(backend);
+            let got = comm.collective(&req).unwrap().rbufs;
+            assert_eq!(got, want, "max/u32 allreduce {algo} {backend:?}");
+        }
+    }
+}
+
+/// F32 summation is not associative, so the contract is *bit
+/// determinism*, not reference equality: the engine's fixed combine
+/// order must deliver bit-identical buffers on every backend and on
+/// repeat runs.
+#[test]
+fn f32_allreduce_is_bit_deterministic_across_backends() {
+    let n = 32;
+    let g = nhood_topology::random::erdos_renyi(n, 0.3, 7);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout_for(n)).unwrap();
+    let red = Reduction::new(ReduceOp::Sum, DType::F32);
+    let mut rng = DetRng::seed_from_u64(0xF32F32);
+    let payloads: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            (0..4).flat_map(|_| ((rng.gen_f64() as f32) * 1e3).to_le_bytes()).collect::<Vec<u8>>()
+        })
+        .collect();
+    let mut golden: Option<Vec<Vec<u8>>> = None;
+    for backend in BACKENDS {
+        for repeat in 0..2 {
+            let req = CollectiveRequest::allreduce(&payloads, red)
+                .algorithm(Algorithm::DistanceHalving)
+                .backend(backend);
+            let got = comm.collective(&req).unwrap().rbufs;
+            match &golden {
+                None => golden = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "f32 fold diverged: {backend:?} repeat {repeat}");
+                }
+            }
+        }
+    }
+}
+
+/// The support matrix rejects out-of-matrix combinations *typed* and
+/// before any execution: robust combining ops, robust off-threaded,
+/// combining under algorithms with no item-routing formulation, and
+/// undefined operator/lane pairs.
+#[test]
+fn unsupported_combinations_fail_typed() {
+    let n = 16;
+    let g = nhood_topology::random::erdos_renyi(n, 0.4, 3);
+    let comm = DistGraphComm::create_adjacent(g.clone(), layout_for(n)).unwrap();
+    let (a2a, sizes) = alltoallv_payloads(&g, 5);
+    let uniform = uniform_payloads(n, 8, 5);
+
+    // robust is gather-family only
+    let req = CollectiveRequest::alltoallv(&a2a)
+        .sizes(sizes.clone())
+        .robust(true)
+        .backend(ExecBackend::Threaded);
+    assert!(matches!(comm.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+
+    // robust runs on the threaded transport only
+    let req = CollectiveRequest::allgather(&uniform).robust(true).backend(ExecBackend::Virtual);
+    assert!(matches!(comm.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+
+    // combining ops have no CommonNeighbor/HierarchicalLeader formulation
+    for algo in
+        [Algorithm::CommonNeighbor { k: 4 }, Algorithm::HierarchicalLeader { leaders_per_node: 1 }]
+    {
+        let req = CollectiveRequest::alltoallv(&a2a).sizes(sizes.clone()).algorithm(algo);
+        assert!(
+            matches!(comm.collective(&req), Err(CommError::UnsupportedCollective { .. })),
+            "{algo} must be rejected for alltoallv"
+        );
+    }
+
+    // bitor has no defined semantics on f32 lanes
+    let bad = Reduction::new(ReduceOp::BitOr, DType::F32);
+    let req = CollectiveRequest::allreduce(&uniform, bad);
+    assert!(matches!(comm.collective(&req), Err(CommError::InvalidReduction { .. })));
+}
+
+/// Plan reuse across ops is keyed honestly: ops that build the same
+/// plan share a fingerprint slot (the gather pair; the combining trio),
+/// while the two plan families can never collide.
+#[test]
+fn fingerprints_separate_the_two_plan_families() {
+    let n = 24;
+    let g = nhood_topology::random::erdos_renyi(n, 0.3, 11);
+    let layout = layout_for(n);
+    let sizes = BlockSizes::uniform(8);
+    let red = Reduction::SUM_U8;
+    let fp = |op: &CollectiveOp| {
+        PlanFingerprint::of_collective(
+            &g,
+            &layout,
+            Algorithm::DistanceHalving,
+            &sizes,
+            LoadMetric::Neighbors,
+            op,
+        )
+    };
+    let gather = [CollectiveOp::Allgather, CollectiveOp::Allgatherv];
+    let combining =
+        [CollectiveOp::Alltoallv, CollectiveOp::ReduceScatter(red), CollectiveOp::Allreduce(red)];
+    assert_eq!(fp(&gather[0]), fp(&gather[1]), "the gather pair shares one plan");
+    for op in &combining {
+        assert_eq!(fp(op), fp(&combining[0]), "the combining trio shares one item-routed plan");
+        for gop in &gather {
+            assert_ne!(fp(gop), fp(op), "{gop} and {op} must never share a cache slot");
+        }
+    }
+}
+
+/// `derive_sizes` is the single shape oracle: inferred tables match
+/// what explicit tables validate, and shape violations are typed.
+#[test]
+fn derive_sizes_infers_and_validates_shapes() {
+    let n = 20;
+    let g = nhood_topology::random::erdos_renyi(n, 0.4, 13);
+    let (a2a, sizes) = alltoallv_payloads(&g, 21);
+
+    let inferred = derive_sizes(&g, CollectiveOp::Alltoallv, &a2a, None).unwrap();
+    for p in 0..n {
+        assert_eq!(inferred.size(p), sizes.size(p), "rank {p}: inferred per-source size");
+    }
+    derive_sizes(&g, CollectiveOp::Alltoallv, &a2a, Some(&sizes)).unwrap();
+
+    // a wrong explicit table is a typed shape error
+    let wrong = BlockSizes::uniform(1 << 20);
+    assert!(derive_sizes(&g, CollectiveOp::Alltoallv, &a2a, Some(&wrong)).is_err());
+
+    // allreduce payloads must be uniform
+    let mut ragged = uniform_payloads(n, 8, 1);
+    ragged[3].push(0);
+    assert!(derive_sizes(&g, CollectiveOp::Allreduce(Reduction::SUM_U8), &ragged, None).is_err());
+}

@@ -4,7 +4,7 @@
 
 use nhood_cluster::{ClusterLayout, Placement};
 use nhood_core::exec::virtual_exec::{reference_allgather, test_payloads};
-use nhood_core::{Algorithm, DistGraphComm, Executor, Threaded, Virtual};
+use nhood_core::{Algorithm, CollectiveRequest, DistGraphComm, Executor, Threaded, Virtual};
 use nhood_topology::moore::moore_on_grid;
 use nhood_topology::random::{erdos_renyi, erdos_renyi_symmetric};
 use nhood_topology::spmm_graph::spmm_topology;
@@ -141,6 +141,7 @@ fn dh_requires_block_placement_but_others_do_not() {
     let payloads = test_payloads(16, 8, 1);
     let want = reference_allgather(&g, &payloads);
     for algo in [Algorithm::Naive, Algorithm::CommonNeighbor { k: 4 }] {
-        assert_eq!(comm.neighbor_allgather(algo, &payloads).unwrap(), want);
+        let req = CollectiveRequest::allgather(&payloads).algorithm(algo);
+        assert_eq!(comm.collective(&req).unwrap().rbufs, want);
     }
 }
