@@ -22,6 +22,7 @@ pub mod bench5;
 pub mod bench6;
 pub mod bench7;
 pub mod bench8;
+pub mod bench9;
 pub mod common;
 pub mod extras;
 pub mod fig2;

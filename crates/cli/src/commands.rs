@@ -130,6 +130,50 @@ pub fn load_topology(path: &str) -> Result<Topology, ArgError> {
     read_edge_list(std::io::BufReader::new(f)).map_err(|e| fail(format!("{path}: {e}")))
 }
 
+/// Parses a `--topology` spec: `torus:D:K` generates the D-dimensional
+/// torus of side K (`n = K^D` ranks, degree `2D`) without an edge-list
+/// file — the fixed-degree workload the scale benchmarks use.
+pub fn parse_topology_spec(spec: &str) -> Result<Topology, ArgError> {
+    let mut it = spec.split(':');
+    if it.next() != Some("torus") {
+        return Err(fail(format!("unknown --topology '{spec}' (torus:D:K)")));
+    }
+    let mut num = |name: &str| -> Result<usize, ArgError> {
+        it.next()
+            .ok_or_else(|| fail(format!("--topology torus:D:K is missing {name}")))?
+            .parse::<usize>()
+            .map_err(|e| fail(format!("bad {name} in --topology '{spec}': {e}")))
+    };
+    let d = num("D")?;
+    let k = num("K")?;
+    if it.next().is_some() {
+        return Err(fail(format!("--topology '{spec}' has trailing fields")));
+    }
+    nhood_topology::torus::try_torus(nhood_topology::TorusSpec { d, k })
+        .map_err(|e| fail(e.to_string()))
+}
+
+/// Resolves the topology for commands that take `--topology` alongside
+/// the shared `--cost` model flag (`simulate`, `trace`): the flag
+/// generates the graph inline and makes the edge-list positional
+/// redundant; without it the edge-list file is read as usual.
+pub fn topology_arg(args: &Args, cmd: &str) -> Result<Topology, ArgError> {
+    match args.get("topology") {
+        Some(spec) => {
+            if args.pos(1).is_some() {
+                return Err(fail(format!("{cmd}: pass an edge-list file or --topology, not both")));
+            }
+            parse_topology_spec(spec)
+        }
+        None => {
+            let path = args.pos(1).ok_or_else(|| {
+                fail(format!("{cmd}: missing edge-list file (or --topology torus:D:K)"))
+            })?;
+            load_topology(path)
+        }
+    }
+}
+
 /// `nhood gen <er|moore|vonneumann> [flags] <out-file>`
 pub fn cmd_gen(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let kind =
@@ -250,8 +294,7 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
 
 /// `nhood simulate <edge-list> [--algo ..] [--sizes 64,4K,1M] [layout flags]`
 pub fn cmd_simulate(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
-    let path = args.pos(1).ok_or_else(|| fail("simulate: missing edge-list file"))?;
-    let graph = load_topology(path)?;
+    let graph = topology_arg(args, "simulate")?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
     let sizes: Vec<usize> = args
@@ -544,8 +587,7 @@ pub fn cmd_recommend(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
 /// * `model-check`: measured per-rank means against the paper's §V
 ///   predictions (E\[n_off\], E\[n_in\], E\[m_in\]) with relative errors.
 pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
-    let path = args.pos(1).ok_or_else(|| fail("trace: missing edge-list file"))?;
-    let graph = load_topology(path)?;
+    let graph = topology_arg(args, "trace")?;
     let layout = parse_layout(args, graph.n())?;
     let algo = parse_algo(args)?;
     let m = parse_bytes(args.get("size").unwrap_or("4K"))?;
@@ -563,7 +605,7 @@ pub fn cmd_trace(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let run_backend = |rec: &dyn Recorder| -> Result<(), ArgError> {
         match backend {
             "sim" => {
-                let sim = Sim { layout: layout.clone(), cost, m: Some(m) };
+                let sim = Sim { layout: layout.clone(), cost, m: Some(m), threads: 1 };
                 sim.run(
                     &plan,
                     &graph,
@@ -1095,6 +1137,7 @@ mod tests {
             "backend",
             "format",
             "cost",
+            "topology",
             "build-threads",
             "cache-dir",
             "load-metric",
@@ -1297,6 +1340,55 @@ mod tests {
         cmd_trace(&args(&["trace", &path, "--cost", "classic", "--out", &csv_path]), &mut out)
             .unwrap();
         assert!(std::fs::read_to_string(&csv_path).unwrap().starts_with("src,dst,tag"));
+    }
+
+    #[test]
+    fn topology_flag_generates_torus_inline() {
+        // simulate: --topology torus:2:4 = 16 ranks, no edge-list file
+        let mut out = Vec::new();
+        cmd_simulate(
+            &args(&["simulate", "--topology", "torus:2:4", "--algo", "naive", "--sizes", "64"]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).lines().count(), 2);
+
+        // trace honours it through the same shared parsing as --cost
+        let mut out = Vec::new();
+        cmd_trace(
+            &args(&[
+                "trace",
+                "--topology",
+                "torus:2:4",
+                "--format",
+                "summary",
+                "--cost",
+                "classic",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("rank"), "{text}");
+
+        // bad specs fail typed, not by panic
+        for bad in ["ring:4", "torus:2", "torus:a:4", "torus:2:4:9", "torus:0:5", "torus:2:2"] {
+            assert!(
+                cmd_simulate(&args(&["simulate", "--topology", bad]), &mut Vec::new()).is_err(),
+                "--topology {bad} must be rejected"
+            );
+        }
+        // both an edge-list and the flag: ambiguous, rejected
+        let path = tmp("nhood_cli_topo.el");
+        cmd_gen(&args(&["gen", "er", &path, "--n", "16", "--delta", "0.3"]), &mut Vec::new())
+            .unwrap();
+        assert!(cmd_simulate(
+            &args(&["simulate", &path, "--topology", "torus:2:4"]),
+            &mut Vec::new()
+        )
+        .is_err());
+        // neither: still the missing-file error
+        assert!(cmd_simulate(&args(&["simulate"]), &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@ const SPEC: Spec = Spec {
         "backend",
         "format",
         "cost",
+        "topology",
         "build-threads",
         "cache-dir",
         "load-metric",
@@ -75,15 +76,17 @@ commands:
   plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin]
        [--build-threads N] [--cache-dir DIR] [layout flags]
        [--load-metric neighbors|bytes] [--block-sizes 1K,64,0,...]
-  simulate <edge-list> [--algo ..] [--load plan.bin] [--sizes 64,4K,1M]
-           [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
+  simulate <edge-list | --topology torus:D:K> [--algo ..] [--load plan.bin]
+           [--sizes 64,4K,1M] [--cost niagara|classic|flat:ALPHA:BETA]
+           [layout flags]
   compare <edge-list> [--sizes ..] [--k K] [layout flags]
   validate <edge-list> [--algo ..] [--load-metric neighbors|bytes] [--ragged]
            [layout flags]
   run <edge-list> [--op allgather|allgatherv|alltoallv|reduce_scatter|allreduce]
       [--reduce sum|max|bitor] [--dtype u8|u32|f32] [--algo ..] [--size 1K]
       [--backend virtual|threaded|sim] [--seed 42] [layout flags]
-  trace <edge-list> [--algo ..] [--size 4K] [--backend virtual|threaded|sim]
+  trace <edge-list | --topology torus:D:K> [--algo ..] [--size 4K]
+        [--backend virtual|threaded|sim]
         [--format csv|chrome|summary|model-check] [--out FILE]
         [--cost niagara|classic|flat:ALPHA:BETA] [layout flags]
   recommend <edge-list> [--size 4K] [layout flags]

@@ -23,6 +23,10 @@
 
 pub mod hockney;
 pub mod layout;
+pub mod pool;
+pub mod rss;
 
 pub use hockney::{Hockney, HockneyParams, Seconds};
 pub use layout::{ClusterLayout, Locality, Location, Placement, Rank};
+pub use pool::WorkerPool;
+pub use rss::{peak_rss_bytes, reset_peak_rss};

@@ -1,0 +1,79 @@
+//! Peak-RSS probe: dependency-free high-water-mark memory readings.
+//!
+//! The 100k-rank scale benchmarks gate *peak* resident set size, not the
+//! instantaneous one — a streaming plan build is allowed to allocate and
+//! drop per-step tables, but its high-water mark must stay O(edges). On
+//! Linux the kernel already tracks exactly this: `VmHWM` in
+//! `/proc/self/status`, resettable between measurements by writing `5`
+//! to `/proc/self/clear_refs`. Both are plain file operations, so the
+//! probe needs no libc bindings.
+//!
+//! Portability caveats (see `docs/SCALE.md`):
+//!
+//! * Off Linux both calls report failure (`None` / `false`); benchmarks
+//!   must record that honestly and self-disable their RSS gates rather
+//!   than gate on garbage.
+//! * `VmHWM` is per-process: readings include the allocator's retained
+//!   free lists and every other live allocation in the process, so
+//!   ratios between two measurements in one process are meaningful,
+//!   absolute values are an upper bound.
+//! * Writing `clear_refs` requires a writable procfs; sandboxes that
+//!   mount it read-only make [`reset_peak_rss`] return `false`, in which
+//!   case the high-water mark is cumulative over the process lifetime.
+
+/// Reads the process's peak resident set size (`VmHWM`) in bytes.
+///
+/// Returns `None` where the probe is unsupported (non-Linux, procfs
+/// unavailable) — callers gating on RSS must treat that as "gate
+/// disabled", not as zero bytes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Resets the kernel's peak-RSS watermark so the next
+/// [`peak_rss_bytes`] reading reflects only allocations made after this
+/// call. Returns `true` when the reset was accepted.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", b"5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_plausible_when_supported() {
+        match peak_rss_bytes() {
+            // A Rust test binary resident set is comfortably above 1 MiB
+            // and below 1 TiB; anything else means the parse went wrong.
+            Some(b) => assert!((1 << 20..1 << 40).contains(&b), "VmHWM {b} bytes"),
+            None => {
+                // unsupported host: the reset must also report failure
+                // or at least not panic
+                let _ = reset_peak_rss();
+            }
+        }
+    }
+
+    #[test]
+    fn reset_lowers_or_keeps_watermark() {
+        if !reset_peak_rss() {
+            return; // probe unsupported here; nothing to assert
+        }
+        let after_reset = peak_rss_bytes().expect("probe supported if reset worked");
+        // Touch a fresh 32 MiB allocation; the watermark must now sit at
+        // least that far above zero and must have registered the growth.
+        let big = vec![1u8; 32 << 20];
+        std::hint::black_box(&big);
+        let grown = peak_rss_bytes().expect("probe still supported");
+        assert!(grown >= after_reset, "watermark cannot shrink without a reset");
+        assert!(grown >= 32 << 20, "watermark {grown} must cover the live 32 MiB");
+    }
+}

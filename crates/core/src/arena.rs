@@ -156,6 +156,36 @@ fn compress_runs(slots: impl IntoIterator<Item = u32>) -> Vec<SlotRun> {
     runs
 }
 
+/// Merges adjacent runs in place (`(s, a)` followed by `(s + a, b)`
+/// becomes `(s, a + b)`) and releases slack capacity. Returns how many
+/// runs were merged away.
+///
+/// [`compress_runs`] already emits maximal runs, so on layouts it builds
+/// this is a pure `shrink_to_fit`; the merge pass is the invariant
+/// enforcement for run lists that arrive from elsewhere (mutated plans,
+/// deserialized layouts, tests that fragment runs on purpose) — every
+/// downstream copy loop does one `copy_from_slice` per run, so maximal
+/// runs are what makes the copy-merge vectorize.
+fn coalesce_runs(runs: &mut Vec<SlotRun>) -> usize {
+    let before = runs.len();
+    let mut w = 0usize;
+    for i in 0..runs.len() {
+        let (s, l) = runs[i];
+        if w > 0 {
+            let (ps, pl) = runs[w - 1];
+            if ps + pl == s {
+                runs[w - 1] = (ps, pl + l);
+                continue;
+            }
+        }
+        runs[w] = (s, l);
+        w += 1;
+    }
+    runs.truncate(w);
+    runs.shrink_to_fit();
+    before - w
+}
+
 /// Builds one rank's complete layout row. A rank's slot assignment is a
 /// pure function of its own program (sends resolve against its own slot
 /// table, receives only grow it), so rows are independently computable —
@@ -228,7 +258,31 @@ fn rank_layout(plan: &CollectivePlan, graph: &Topology, r: Rank) -> Result<RankL
     }
     rl.out_blocks = out_slots.len() as u32;
     rl.out_runs = compress_runs(out_slots);
+    rl.coalesce();
+    rl.slots.shrink_to_fit();
     Ok(rl)
+}
+
+impl RankLayout {
+    /// Coalesces every run list in this row to maximal adjacent runs and
+    /// releases slack capacity (see `coalesce_runs`). Returns the
+    /// number of runs merged away.
+    pub fn coalesce(&mut self) -> usize {
+        let mut merged = 0;
+        for ph in &mut self.phases {
+            for s in &mut ph.sends {
+                merged += coalesce_runs(&mut s.runs);
+            }
+            for rv in &mut ph.recvs {
+                merged += coalesce_runs(&mut rv.runs);
+            }
+        }
+        for runs in self.recv_runs.values_mut() {
+            merged += coalesce_runs(runs);
+        }
+        merged += coalesce_runs(&mut self.out_runs);
+        merged
+    }
 }
 
 impl ArenaLayout {
@@ -268,6 +322,15 @@ impl ArenaLayout {
     /// Number of ranks.
     pub fn n(&self) -> usize {
         self.ranks.len()
+    }
+
+    /// Coalesces every run list in the layout to maximal adjacent runs
+    /// (the build path already produces maximal runs, so this is free on
+    /// layouts from [`ArenaLayout::for_plan`]; it restores the invariant
+    /// on layouts fragmented by external mutation). Returns the number
+    /// of runs merged away.
+    pub fn coalesce(&mut self) -> usize {
+        self.ranks.iter_mut().map(RankLayout::coalesce).sum()
     }
 
     /// Fraction of send operations that resolved to a **single**
@@ -686,6 +749,95 @@ mod tests {
         let mut arena = BlockArena::new();
         let l = arena.repair(&plan, &g, &[0, 1]).unwrap();
         assert_layout_eq(&l, &ArenaLayout::for_plan(&plan, &g).unwrap());
+    }
+
+    /// Splits every run list into unit runs — the worst-case fragmented
+    /// layout a buggy or external producer could hand us.
+    fn fragment_layout(layout: &mut ArenaLayout) {
+        fn shatter(runs: &mut Vec<SlotRun>) {
+            *runs = runs.iter().flat_map(|&(s, l)| (0..l).map(move |i| (s + i, 1))).collect();
+        }
+        for rl in &mut layout.ranks {
+            for ph in &mut rl.phases {
+                for s in &mut ph.sends {
+                    shatter(&mut s.runs);
+                }
+                for rv in &mut ph.recvs {
+                    shatter(&mut rv.runs);
+                }
+            }
+            for runs in rl.recv_runs.values_mut() {
+                shatter(runs);
+            }
+            shatter(&mut rl.out_runs);
+        }
+    }
+
+    /// A [`BlockArena`] pre-seeded with a specific layout for (plan,
+    /// graph), so executors use it instead of rebuilding.
+    fn arena_with_layout(
+        plan: &CollectivePlan,
+        graph: &Topology,
+        layout: ArenaLayout,
+    ) -> BlockArena {
+        BlockArena {
+            key: Some(PlanFingerprint::of_plan(plan, graph)),
+            layout: Some(Arc::new(layout)),
+            ..BlockArena::default()
+        }
+    }
+
+    #[test]
+    fn coalesce_restores_maximal_runs() {
+        let g = erdos_renyi(24, 0.4, 21);
+        let cl = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &cl).unwrap(), &g);
+        let base = ArenaLayout::for_plan(&plan, &g).unwrap();
+
+        // the build path already produces maximal runs: nothing to merge
+        let mut b = base.clone();
+        assert_eq!(b.coalesce(), 0, "for_plan runs must already be maximal");
+
+        let mut frag = base.clone();
+        fragment_layout(&mut frag);
+        let merged = frag.coalesce();
+        assert!(merged > 0, "fragmented layout must have mergeable runs");
+        assert_layout_eq(&frag, &base);
+    }
+
+    #[test]
+    fn fragmented_and_coalesced_layouts_move_identical_bytes() {
+        // Property: run-list shape is an optimization detail — the bytes
+        // every backend delivers are invariant under fragmentation.
+        use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+        use crate::exec::{ExecOptions, Executor, Sim, Threaded, Virtual};
+        let g = erdos_renyi(24, 0.4, 21);
+        let cl = ClusterLayout::new(3, 2, 4);
+        let plan = lower(&build_pattern(&g, &cl).unwrap(), &g);
+        let mut frag = ArenaLayout::for_plan(&plan, &g).unwrap();
+        fragment_layout(&mut frag);
+
+        // uniform payloads, plus ragged ones with zero-size blocks so the
+        // byte-adjacent chunk merging in `copy_runs` is exercised
+        let uniform = test_payloads(24, 8, 3);
+        let ragged: Vec<Vec<u8>> = (0..24).map(|r| vec![r as u8; r % 4]).collect();
+        for (payloads, opts) in
+            [(&uniform, ExecOptions::new()), (&ragged, ExecOptions::new().ragged(true))]
+        {
+            let want = reference_allgather(&g, payloads);
+            let mut va = arena_with_layout(&plan, &g, frag.clone());
+            let got = Virtual.run(&plan, &g, payloads, &mut va, &opts).unwrap().rbufs;
+            assert_eq!(got, want, "virtual backend over fragmented layout");
+            let mut ta = arena_with_layout(&plan, &g, frag.clone());
+            let got = Threaded.run(&plan, &g, payloads, &mut ta, &opts).unwrap().rbufs;
+            assert_eq!(got, want, "threaded backend over fragmented layout");
+        }
+        // the sim backend moves no bytes, so a fragmented layout cannot
+        // perturb it — it must still run clean and return no rbufs
+        let mut sa = arena_with_layout(&plan, &g, frag);
+        let out = Sim::new(cl).run(&plan, &g, &uniform, &mut sa, &ExecOptions::new()).unwrap();
+        assert!(out.rbufs.is_empty());
+        assert!(out.sim.is_some());
     }
 
     #[test]

@@ -220,9 +220,8 @@ pub fn build_pattern_recorded_v(
 ) -> Result<DhPattern, BuildError> {
     check_inputs(graph, layout)?;
     let l = layout.ranks_per_socket();
-    let out_sets = graph.out_bitsets();
     let mut stats = SelectionStats::default();
-    let mut steps: Vec<Vec<Decision>> = Vec::new();
+    let mut asm = PatternAssembler::new(graph, l);
 
     rec.span_begin(0, labels::PLAN_BUILD);
     for active in segments_per_step(graph.n(), l) {
@@ -255,17 +254,47 @@ pub fn build_pattern_recorded_v(
                 let chunks: Vec<Vec<ScoreRow>> = pool.map(jobs.len(), |j| {
                     let (ri, s, e) = jobs[j];
                     let acc = rounds[ri].1;
-                    let acceptors: Vec<Rank> = (acc.0..=acc.1).collect();
+                    // Streaming sparse scoring: `score(p, a)` counts the
+                    // targets `t ∈ out(p) ∩ out(a)` inside the acceptor
+                    // range, so gather per proposer via `in(t)` — every
+                    // `a ∈ in(t)` inside the range shares `t` with `p`.
+                    // Only O(candidate-edge) cells are ever touched (the
+                    // dense scratch resets through the touched list), so
+                    // peak build memory follows the graph's edge count
+                    // instead of the former n²-bit out-neighbor bitsets.
+                    let mut counts: Vec<u32> = vec![0; range_len(acc)];
+                    let mut touched: Vec<u32> = Vec::new();
                     (s..=e)
                         .map(|p| {
-                            RoundCandidates::score_row(p, &acceptors, |p, a| {
-                                let shared = out_sets[p].intersection_count_in_range(
-                                    &out_sets[a],
-                                    acc.0,
-                                    acc.1,
-                                );
-                                metric.score(shared, p, sizes, scale)
-                            })
+                            for &t in graph.out_neighbors(p) {
+                                if !in_range(t, acc) {
+                                    continue;
+                                }
+                                for &a in graph.in_neighbors(t) {
+                                    if in_range(a, acc) {
+                                        let ai = (a - acc.0) as u32;
+                                        if counts[ai as usize] == 0 {
+                                            touched.push(ai);
+                                        }
+                                        counts[ai as usize] += 1;
+                                    }
+                                }
+                            }
+                            // Emit in acceptor order, exactly as a dense
+                            // scan over the acceptor slice would.
+                            touched.sort_unstable();
+                            let row: ScoreRow = touched
+                                .iter()
+                                .map(|&ai| {
+                                    let shared = counts[ai as usize] as usize;
+                                    (metric.score(shared, p, sizes, scale), ai)
+                                })
+                                .collect();
+                            for &ai in &touched {
+                                counts[ai as usize] = 0;
+                            }
+                            touched.clear();
+                            row
                         })
                         .collect()
                 });
@@ -348,64 +377,73 @@ pub fn build_pattern_recorded_v(
                 decisions.push((p, agent_of[p - span], origin_of[p - span], upper, lower));
             }
         }
-        steps.push(decisions);
+        // Fold this step into the pattern immediately and drop its
+        // decision list — peak memory tracks the evolving pattern, not
+        // an all-steps decision table.
+        asm.step(&decisions);
     }
 
-    let pat = assemble_pattern(graph, l, &steps, stats);
+    let pat = asm.finish(&stats);
     rec.span_end(0, labels::PLAN_BUILD);
     Ok(pat)
 }
 
-/// Applies per-step (agent, origin) decisions: records every rank's
-/// steps, moves responsibilities to agents (the descriptor `D` of
-/// Algorithm 1 lines 31–49), grows buffers, and tallies notification and
-/// descriptor messages. Shared by the sequential and the threaded
+/// Streaming pattern assembly: folds one step's (agent, origin)
+/// decisions at a time into the evolving per-rank state — records every
+/// rank's steps, moves responsibilities to agents (the descriptor `D`
+/// of Algorithm 1 lines 31–49), grows buffers, and tallies notification
+/// and descriptor messages. Shared by the sequential and the threaded
 /// (distributed) builders.
 ///
-/// # Panics
-/// Panics if a decision references an origin that did not participate in
-/// the same step — both builders construct matchings per segment, which
-/// makes that unreachable.
-pub(crate) fn assemble_pattern(
-    graph: &Topology,
+/// Each step's decision list can be dropped as soon as [`Self::step`]
+/// returns, so a builder that feeds decisions as rounds complete keeps
+/// peak memory at the evolving pattern itself — it never materializes
+/// the O(n log n) all-steps decision table.
+pub(crate) struct PatternAssembler<'g> {
+    graph: &'g Topology,
     l: usize,
-    steps: &[Vec<Decision>],
-    mut stats: SelectionStats,
-) -> DhPattern {
-    let n = graph.n();
     // Responsibilities stay in mutable RespBuilder form while the steps
     // replay; they freeze into the pattern's CSR maps at the end.
-    let mut resp: Vec<RespBuilder> =
-        (0..n).map(|p| RespBuilder::seeded(p, graph.out_neighbors(p))).collect();
-    let mut step_rows: Vec<Vec<DhStep>> = vec![Vec::new(); n];
-    let mut held: Vec<Vec<Rank>> = (0..n).map(|p| vec![p]).collect();
+    resp: Vec<RespBuilder>,
+    step_rows: Vec<Vec<DhStep>>,
+    held: Vec<Vec<Rank>>,
+    stats: SelectionStats,
+}
 
-    for decisions in steps {
-        // Snapshot pre-step buffers (messages carry pre-step contents).
-        let held_before: Vec<Vec<Rank>> =
-            decisions.iter().map(|&(p, ..)| held[p].clone()).collect();
-        let mut decision_index: Vec<Option<usize>> = vec![None; n];
-        for (i, &(p, ..)) in decisions.iter().enumerate() {
-            decision_index[p] = Some(i);
+impl<'g> PatternAssembler<'g> {
+    pub(crate) fn new(graph: &'g Topology, l: usize) -> Self {
+        let n = graph.n();
+        Self {
+            graph,
+            l,
+            resp: (0..n).map(|p| RespBuilder::seeded(p, graph.out_neighbors(p))).collect(),
+            step_rows: vec![Vec::new(); n],
+            held: (0..n).map(|p| vec![p]).collect(),
+            stats: SelectionStats::default(),
         }
+    }
 
-        // Record the step for every participating rank.
-        for (i, &(p, agent, origin, h1, h2)) in decisions.iter().enumerate() {
-            let arriving = origin.map(|o| held[o].clone()).unwrap_or_default();
-            step_rows[p].push(DhStep {
-                h1,
-                h2,
-                agent,
-                origin,
-                held_before: held_before[i].clone(),
-                arriving,
-            });
+    /// Folds one halving step's decisions into the pattern state.
+    ///
+    /// # Panics
+    /// Panics if a decision references an origin that did not
+    /// participate in the same step — both builders construct matchings
+    /// per segment, which makes that unreachable.
+    pub(crate) fn step(&mut self, decisions: &[Decision]) {
+        let (resp, step_rows, held) = (&mut self.resp, &mut self.step_rows, &mut self.held);
+        // Record the step for every participating rank. Buffers only
+        // grow by appending (below, after every step is recorded), so
+        // pre-step contents are fully described by their current
+        // lengths — no per-step snapshot clones.
+        for &(p, agent, origin, h1, h2) in decisions.iter() {
+            let arr_len = origin.map(|o| held[o].len()).unwrap_or(0);
+            step_rows[p].push(DhStep { h1, h2, agent, origin, held_len: held[p].len(), arr_len });
             // Notifications: agent announcements to outgoing neighbors in
             // h2 (Algorithm 1 line 30), sent whether or not one was found.
-            stats.notifications +=
-                graph.out_neighbors(p).iter().filter(|&&o| in_range(o, h2)).count();
+            self.stats.notifications +=
+                self.graph.out_neighbors(p).iter().filter(|&&o| in_range(o, h2)).count();
             if agent.is_some() {
-                stats.descriptors += 1;
+                self.stats.descriptors += 1;
             }
         }
 
@@ -440,32 +478,57 @@ pub(crate) fn assemble_pattern(
             }
         }
 
-        // Apply buffer growth: origin's pre-step buffer appends to ours.
-        let appends: Vec<(Rank, Vec<Rank>)> = decisions
+        // Apply buffer growth: origin's pre-step buffer appends to
+        // ours. The pre-step length was captured as `arr_len` above,
+        // before any of this step's appends mutated `held`.
+        let appends: Vec<(Rank, Rank, usize)> = decisions
             .iter()
             .filter_map(|&(p, _, origin, _, _)| {
-                origin.map(|o| {
-                    let idx = decision_index[o].expect("origin participated in this step");
-                    (p, held_before[idx].clone())
-                })
+                origin.map(|o| (p, o, step_rows[p].last().expect("just pushed").arr_len))
             })
             .collect();
-        for (p, blocks) in appends {
+        for (p, o, len) in appends {
+            let blocks: Vec<Rank> = held[o][..len].to_vec();
             held[p].extend(blocks);
         }
     }
 
-    let ranks: Vec<RankPattern> = resp
-        .into_iter()
-        .zip(step_rows)
-        .zip(held)
-        .map(|((rb, steps), held_final)| RankPattern {
-            steps,
-            responsibilities: rb.freeze(),
-            held_final,
-        })
-        .collect();
-    DhPattern { ranks, stats, ranks_per_socket: l }
+    /// Freezes the evolved state into the final pattern, merging
+    /// `stats` accumulated by the matching rounds on top of the
+    /// assembler's own notification/descriptor tallies.
+    pub(crate) fn finish(self, round_stats: &SelectionStats) -> DhPattern {
+        let mut stats = self.stats;
+        stats.merge(round_stats);
+        let ranks: Vec<RankPattern> = self
+            .resp
+            .into_iter()
+            .zip(self.step_rows)
+            .zip(self.held)
+            .map(|((rb, mut steps), mut held_final)| {
+                steps.shrink_to_fit();
+                held_final.shrink_to_fit();
+                RankPattern { steps, responsibilities: rb.freeze(), held_final }
+            })
+            .collect();
+        DhPattern { ranks, stats, ranks_per_socket: self.l }
+    }
+}
+
+/// One-shot assembly over a fully materialized decision table — the
+/// streaming [`PatternAssembler`] fed step by step. Kept for builders
+/// that already hold every step (the distributed builder's per-thread
+/// negotiation records them as they complete).
+pub(crate) fn assemble_pattern(
+    graph: &Topology,
+    l: usize,
+    steps: &[Vec<Decision>],
+    stats: SelectionStats,
+) -> DhPattern {
+    let mut asm = PatternAssembler::new(graph, l);
+    for decisions in steps {
+        asm.step(decisions);
+    }
+    asm.finish(&stats)
 }
 
 #[cfg(test)]
@@ -488,8 +551,8 @@ mod tests {
         use std::collections::HashMap;
         let mut covered: HashMap<(Rank, Rank), usize> = HashMap::new();
         for t in 0..graph.n() {
-            for step in &pat.ranks[t].steps {
-                for &b in &step.arriving {
+            for s in 0..pat.ranks[t].steps.len() {
+                for &b in pat.arriving(t, s) {
                     if graph.has_edge(b, t) {
                         *covered.entry((b, t)).or_default() += 1;
                     }
@@ -632,7 +695,7 @@ mod tests {
                         Some(p),
                         "agent {a} of {p} does not list {p} as origin at step {t}"
                     );
-                    assert_eq!(pat.ranks[a].steps[t].arriving, step.held_before);
+                    assert_eq!(pat.arriving(a, t), pat.held_before(p, t));
                 }
                 if let Some(o) = step.origin {
                     assert!(in_range(o, step.h2), "origin outside h2");
@@ -650,8 +713,8 @@ mod tests {
         for rp in &pat.ranks {
             let mut expect = 1usize;
             for step in &rp.steps {
-                assert_eq!(step.held_before.len(), expect);
-                expect += step.arriving.len();
+                assert_eq!(step.held_len, expect);
+                expect += step.arr_len;
             }
             assert_eq!(rp.held_final.len(), expect);
             assert!(expect <= 1 << rp.steps.len());

@@ -10,7 +10,7 @@
 use crate::arena::BlockArena;
 use crate::exec::{check_payloads, ExecError, ExecOptions, ExecOutcome, Executor};
 use crate::plan::CollectivePlan;
-use nhood_cluster::ClusterLayout;
+use nhood_cluster::{ClusterLayout, WorkerPool};
 use nhood_simnet::{Engine, Msg, Phase, Schedule, SimConfig, SimError, SimReport};
 use nhood_topology::Topology;
 
@@ -51,13 +51,19 @@ pub struct Sim {
     /// Simulated per-rank payload size in bytes; `None` derives it from
     /// the payloads passed to [`Executor::run`].
     pub m: Option<usize>,
+    /// Worker threads for schedule validation, send/recv matching and
+    /// cost precomputation ([`Engine::run_sharded_recorded`]). `1` (the
+    /// default) runs the classic serial engine; the sharded path is
+    /// bit-identical for every width, so this is purely a wall-clock
+    /// knob for cluster-scale schedules.
+    pub threads: usize,
 }
 
 impl Sim {
     /// A simulator for `layout` with Niagara-like costs, message size
     /// taken from the payloads.
     pub fn new(layout: ClusterLayout) -> Self {
-        Self { layout, cost: SimCost::niagara(), m: None }
+        Self { layout, cost: SimCost::niagara(), m: None, threads: 1 }
     }
 
     /// Overrides the simulated message size (payload bytes are then
@@ -70,6 +76,14 @@ impl Sim {
     /// Overrides the cost model.
     pub fn cost(mut self, cost: SimCost) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Runs the engine's prepare passes on `threads` workers (`0` = one
+    /// per host core). The report stays bit-identical to the serial
+    /// engine's.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { WorkerPool::auto().threads() } else { threads };
         self
     }
 }
@@ -103,9 +117,14 @@ impl Executor for Sim {
             };
             to_schedule(plan, m, &self.cost)
         };
-        let report = Engine::new(&self.layout, self.cost.net)
-            .run_recorded(&schedule, opts.recorder)
-            .map_err(|e| ExecError::SimFailed { msg: e.to_string() })?;
+        let engine = Engine::new(&self.layout, self.cost.net);
+        let report = if self.threads > 1 {
+            let pool = WorkerPool::new(self.threads);
+            engine.run_sharded_recorded(&schedule, &pool, opts.recorder)
+        } else {
+            engine.run_recorded(&schedule, opts.recorder)
+        }
+        .map_err(|e| ExecError::SimFailed { msg: e.to_string() })?;
         Ok(ExecOutcome { sim: Some(report), ..ExecOutcome::default() })
     }
 }
@@ -388,6 +407,30 @@ mod tests {
         let rep = simulate_recorded(&plan, &layout, 64, &SimCost::niagara(), &rec).unwrap();
         assert!(rep.makespan > 0.0);
         assert_eq!(rec.totals().msgs_sent as usize, plan.message_count());
+    }
+
+    #[test]
+    fn threaded_sim_is_bit_identical_to_serial() {
+        let g = erdos_renyi(48, 0.3, 9);
+        let layout = ClusterLayout::new(4, 2, 6);
+        let plan = lower(&build_pattern(&g, &layout).unwrap(), &g);
+        let serial = Sim::new(layout.clone()).message_size(512);
+        let sharded = Sim::new(layout).message_size(512).threads(4);
+        let a = serial
+            .run(&plan, &g, &[], &mut BlockArena::new(), &ExecOptions::default())
+            .unwrap()
+            .sim
+            .unwrap();
+        let b = sharded
+            .run(&plan, &g, &[], &mut BlockArena::new(), &ExecOptions::default())
+            .unwrap()
+            .sim
+            .unwrap();
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        for (x, y) in a.per_rank_finish.iter().zip(&b.per_rank_finish) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

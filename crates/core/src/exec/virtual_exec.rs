@@ -132,6 +132,12 @@ pub(crate) fn copy_runs(
 ) {
     let mut si = 0usize;
     let mut soff = 0u32;
+    // Byte-coalesced pending chunk `(spos, dpos, len)`: slot runs that
+    // are disjoint in slot space can still be byte-adjacent on both
+    // sides (zero-size blocks under ragged extents, fragmented run
+    // lists), so chunks are merged before the copy is issued — one
+    // `copy_from_slice` per maximal byte-contiguous segment.
+    let mut pend: Option<(usize, usize, usize)> = None;
     for &(dslot, dlen) in dst_runs {
         let mut need = dlen;
         let mut done = 0u32;
@@ -141,7 +147,14 @@ pub(crate) fn copy_runs(
             let spos = sext.offset((sslot + soff) as usize);
             let nbytes = sext.offset((sslot + soff + take) as usize) - spos;
             let dpos = dext.offset((dslot + done) as usize);
-            dst[dpos..dpos + nbytes].copy_from_slice(&src[spos..spos + nbytes]);
+            match &mut pend {
+                Some((ps, pd, pl)) if *ps + *pl == spos && *pd + *pl == dpos => *pl += nbytes,
+                _ => {
+                    if let Some((ps, pd, pl)) = pend.replace((spos, dpos, nbytes)) {
+                        dst[pd..pd + pl].copy_from_slice(&src[ps..ps + pl]);
+                    }
+                }
+            }
             soff += take;
             need -= take;
             done += take;
@@ -150,6 +163,9 @@ pub(crate) fn copy_runs(
                 soff = 0;
             }
         }
+    }
+    if let Some((ps, pd, pl)) = pend {
+        dst[pd..pd + pl].copy_from_slice(&src[ps..ps + pl]);
     }
 }
 

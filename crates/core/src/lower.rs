@@ -73,21 +73,22 @@ pub fn lower_pooled(pattern: &DhPattern, graph: &Topology, pool: &WorkerPool) ->
             let mut phase = PlanPhase::default();
             if t == 0 {
                 phase.copy_blocks = 1;
-            } else if let Some(prev) = rp.steps.get(t - 1) {
-                phase.copy_blocks = prev.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
+            } else if rp.steps.get(t - 1).is_some() {
+                phase.copy_blocks =
+                    pattern.arriving(p, t - 1).iter().filter(|&&b| graph.has_edge(b, p)).count();
             }
             if let Some(step) = rp.steps.get(t) {
                 if let Some(agent) = step.agent {
                     phase.sends.push(PlannedMsg {
                         peer: agent,
-                        blocks: step.held_before.clone(),
+                        blocks: pattern.held_before(p, t).to_vec(),
                         tag: t as u64,
                     });
                 }
                 if let Some(origin) = step.origin {
                     phase.recvs.push(PlannedMsg {
                         peer: origin,
-                        blocks: step.arriving.clone(),
+                        blocks: pattern.arriving(p, t).to_vec(),
                         tag: t as u64,
                     });
                 }
@@ -102,8 +103,10 @@ pub fn lower_pooled(pattern: &DhPattern, graph: &Topology, pool: &WorkerPool) ->
         let mut phase = PlanPhase::default();
         if steps == 0 {
             // no halving at all: sbuf is sent directly, no main_buf copy
-        } else if let Some(last) = rp.steps.last() {
-            phase.copy_blocks += last.arriving.iter().filter(|&&b| graph.has_edge(b, p)).count();
+        } else if !rp.steps.is_empty() {
+            let last = rp.steps.len() - 1;
+            phase.copy_blocks +=
+                pattern.arriving(p, last).iter().filter(|&&b| graph.has_edge(b, p)).count();
         }
         let mut pairs: Vec<(Rank, Rank)> = Vec::with_capacity(rp.responsibilities.total_targets());
         for (block, targets) in rp.responsibilities.iter() {
@@ -217,7 +220,7 @@ mod tests {
                 let phase = &prog[t];
                 if step.agent.is_some() {
                     assert_eq!(phase.sends.len(), 1);
-                    assert_eq!(phase.sends[0].blocks, step.held_before);
+                    assert_eq!(phase.sends[0].blocks, pat.held_before(p, t));
                 } else {
                     assert!(phase.sends.is_empty());
                 }

@@ -17,7 +17,16 @@ use crate::csr::RespMap;
 use nhood_topology::Rank;
 
 /// One halving step of one rank.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Block lists are **not** stored per step: a rank's buffer only ever
+/// grows by appending arrivals, so the blocks held before any step are
+/// a prefix of [`RankPattern::held_final`], and the blocks arriving
+/// from the origin are a prefix of the *origin's* `held_final`. Each
+/// step therefore records only the two prefix lengths — 80 flat bytes
+/// instead of two heap vectors — which keeps the Θ(n log n) step table
+/// from dominating peak RSS at 100k ranks. Resolve the actual slices
+/// with [`DhPattern::held_before`] / [`DhPattern::arriving`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DhStep {
     /// The inclusive rank range of this rank's half (`h1`) *after* the
     /// split of this step.
@@ -28,13 +37,15 @@ pub struct DhStep {
     pub agent: Option<Rank>,
     /// Origin selected in this step, if any.
     pub origin: Option<Rank>,
-    /// Blocks this rank holds *before* this step (and therefore ships to
-    /// the agent, wholesale, per Algorithm 4 line 12), in buffer order.
-    pub held_before: Vec<Rank>,
-    /// Blocks that arrive from the origin during this step (the origin's
-    /// `held_before`), in the origin's buffer order. Empty when
-    /// `origin == None`.
-    pub arriving: Vec<Rank>,
+    /// Number of blocks this rank holds *before* this step (and
+    /// therefore ships to the agent, wholesale, per Algorithm 4
+    /// line 12): the first `held_len` entries of this rank's
+    /// `held_final`, in buffer order.
+    pub held_len: usize,
+    /// Number of blocks that arrive from the origin during this step
+    /// (the origin's pre-step buffer): the first `arr_len` entries of
+    /// the **origin's** `held_final`. Zero when `origin == None`.
+    pub arr_len: usize,
 }
 
 /// The full pattern of one rank.
@@ -143,6 +154,25 @@ impl DhPattern {
     /// Maximum number of halving steps over all ranks.
     pub fn max_steps(&self) -> usize {
         self.ranks.iter().map(|r| r.steps.len()).max().unwrap_or(0)
+    }
+
+    /// The blocks rank `r` holds before its step `t`, in buffer order —
+    /// the prefix of `r`'s `held_final` that [`DhStep::held_len`]
+    /// denotes.
+    pub fn held_before(&self, r: Rank, t: usize) -> &[Rank] {
+        let rp = &self.ranks[r];
+        &rp.held_final[..rp.steps[t].held_len]
+    }
+
+    /// The blocks arriving at rank `r` during its step `t` (the
+    /// origin's pre-step buffer, in the origin's buffer order), or the
+    /// empty slice when the step has no origin.
+    pub fn arriving(&self, r: Rank, t: usize) -> &[Rank] {
+        let step = &self.ranks[r].steps[t];
+        match step.origin {
+            Some(o) => &self.ranks[o].held_final[..step.arr_len],
+            None => &[],
+        }
     }
 
     /// Mean number of blocks held at the end of the halving phase — the

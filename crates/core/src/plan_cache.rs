@@ -213,6 +213,10 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// The subset of `hits` that came off the disk tier.
     pub disk_hits: u64,
+    /// The subset of `disk_hits` served through the memory-mapped fast
+    /// path: integrity checksum good and topology digest matched, so
+    /// the full `validate` pass was skipped.
+    pub disk_fast_hits: u64,
     /// Plans inserted.
     pub insertions: u64,
     /// In-memory entries displaced by LRU eviction (disk copies, when a
@@ -320,10 +324,33 @@ impl PlanCache {
         self.disk_dir.as_ref().map(|d| d.join(format!("{fp}.nhplan")))
     }
 
-    /// Looks `fp` up: memory first, then the disk tier. A disk hit is
-    /// re-validated against `graph` before being promoted to memory — a
-    /// file that fails to parse or validate is deleted and counted as a
-    /// miss (the caller rebuilds and the insert overwrites it).
+    /// Digest of the topology facts the disk tier's staleness check
+    /// cares about: rank count and every in-neighbor list. Saved into
+    /// the plan file's integrity footer by [`insert_validated`] and
+    /// compared on lookup — a match (under a good checksum) proves the
+    /// file holds exactly the plan that was validated against this
+    /// topology at insert time, so re-validation can be skipped.
+    fn graph_digest(graph: &Topology) -> (u64, u64) {
+        let pass = |seed: u64| {
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            graph.n().hash(&mut h);
+            for r in 0..graph.n() {
+                graph.in_neighbors(r).hash(&mut h);
+            }
+            h.finish()
+        };
+        (pass(0x6e68_6764_5f68_6921), pass(0x6e68_6764_5f6c_6f21))
+    }
+
+    /// Looks `fp` up: memory first, then the disk tier. The disk probe
+    /// goes through the memory-mapped checked reader: a file whose
+    /// integrity checksum and topology digest both hold is promoted
+    /// without the expensive `validate` pass (the warm-start fast path);
+    /// anything else is re-validated against `graph` before promotion. A
+    /// file that fails to parse, checksum or validate is deleted and
+    /// counted as a miss (the caller rebuilds and the insert overwrites
+    /// it).
     pub fn lookup(&self, fp: PlanFingerprint, graph: &Topology) -> Option<Arc<CollectivePlan>> {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         if let Some(plan) = inner.map.get(&fp).cloned() {
@@ -332,22 +359,66 @@ impl PlanCache {
             return Some(plan);
         }
         if let Some(path) = self.disk_path(fp) {
-            if let Ok(plan) = plan_io::load_plan(&path) {
-                if plan.validate(graph).is_ok() {
-                    let plan = Arc::new(plan);
+            if let Ok(checked) = plan_io::load_plan_checked(&path) {
+                let fast =
+                    checked.verified && checked.graph_digest == Some(Self::graph_digest(graph));
+                if fast || checked.plan.validate(graph).is_ok() {
+                    let plan = Arc::new(checked.plan);
                     Self::insert_locked(&mut inner, self.capacity, fp, Arc::clone(&plan));
                     // the disk promotion is a reuse, not a fresh build
                     inner.stats.insertions -= 1;
                     inner.stats.hits += 1;
                     inner.stats.disk_hits += 1;
+                    inner.stats.disk_fast_hits += u64::from(fast);
                     return Some(plan);
                 }
             }
-            // unreadable or stale for this topology: drop it
+            // unreadable, corrupt, or stale for this topology: drop it
             let _ = std::fs::remove_file(&path);
         }
         inner.stats.misses += 1;
         None
+    }
+
+    /// Memory-mapped warm start: serves the disk tier's copy of `fp` as
+    /// a [`plan_io::MappedPlan`], whose per-rank programs decode lazily
+    /// out of the mapping — "time to first rank ready" costs one
+    /// checksum pass over the file instead of a full decode-copy plus
+    /// validation. Only fast-path-eligible files are served: the v2
+    /// footer must verify **and** the recorded topology digest must
+    /// match `graph` (the same rule [`lookup`](Self::lookup) uses to
+    /// skip re-validation, counted in `disk_fast_hits`). Everything
+    /// else is a miss: legacy or digest-mismatched files are left on
+    /// disk for `lookup`'s validated path, corrupt files are deleted.
+    /// The memory tier is neither consulted nor populated — it holds
+    /// materialized plans, and callers wanting one should use `lookup`.
+    pub fn lookup_mapped(
+        &self,
+        fp: PlanFingerprint,
+        graph: &Topology,
+    ) -> Option<plan_io::MappedPlan> {
+        let path = self.disk_path(fp)?;
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        match plan_io::load_plan_mapped(&path) {
+            Ok(m) if m.graph_digest() == Some(Self::graph_digest(graph)) => {
+                inner.stats.hits += 1;
+                inner.stats.disk_hits += 1;
+                inner.stats.disk_fast_hits += 1;
+                Some(m)
+            }
+            // wrong topology, digest-less, absent, or pre-v2: not ours
+            // to serve (or delete) — the validated path decides
+            Ok(_) | Err(plan_io::PlanIoError::Io(_)) | Err(plan_io::PlanIoError::BadMagic) => {
+                inner.stats.misses += 1;
+                None
+            }
+            Err(plan_io::PlanIoError::Corrupt(_)) => {
+                inner.stats.misses += 1;
+                drop(inner);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
     }
 
     fn insert_locked(
@@ -368,11 +439,34 @@ impl PlanCache {
 
     /// Inserts (or replaces) the plan for `fp`, evicting the least
     /// recently used entry when the memory tier is full. With a disk
-    /// tier, the plan is also written to `<fingerprint>.nhplan`
-    /// (best-effort: an I/O failure leaves only the memory entry).
+    /// tier, the plan is also written to `<fingerprint>.nhplan` with an
+    /// integrity checksum (best-effort: an I/O failure leaves only the
+    /// memory entry). No topology digest is recorded — later disk hits
+    /// take the full re-validation path. Prefer
+    /// [`insert_validated`](Self::insert_validated) when the plan is
+    /// known-valid for its topology.
     pub fn insert(&self, fp: PlanFingerprint, plan: Arc<CollectivePlan>) {
         if let Some(path) = self.disk_path(fp) {
-            let _ = plan_io::save_plan(&plan, &path);
+            let _ = plan_io::save_plan_checked(&plan, &path, None);
+        }
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        Self::insert_locked(&mut inner, self.capacity, fp, plan);
+    }
+
+    /// [`insert`](Self::insert) for a plan the caller has validated (or
+    /// built) against `graph`: the disk copy additionally records the
+    /// topology digest, enabling the validation-free memory-mapped fast
+    /// path on later lookups. The caller vouches that
+    /// `plan.validate(graph)` holds — an unvalidated plan inserted here
+    /// would be served without its runtime checks.
+    pub fn insert_validated(
+        &self,
+        fp: PlanFingerprint,
+        plan: Arc<CollectivePlan>,
+        graph: &Topology,
+    ) {
+        if let Some(path) = self.disk_path(fp) {
+            let _ = plan_io::save_plan_checked(&plan, &path, Some(Self::graph_digest(graph)));
         }
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         Self::insert_locked(&mut inner, self.capacity, fp, plan);
@@ -412,7 +506,9 @@ impl PlanCache {
             return Ok((plan, true));
         }
         let plan = Arc::new(build()?);
-        self.insert(fp, Arc::clone(&plan));
+        // freshly built plans are valid for their topology by
+        // construction, so the disk copy gets the fast-path digest
+        self.insert_validated(fp, Arc::clone(&plan), graph);
         Ok((plan, false))
     }
 }
@@ -712,6 +808,153 @@ mod tests {
             })
             .unwrap();
         plan.validate(&graphs[0]).unwrap();
+    }
+
+    #[test]
+    fn warm_start_fast_path_skips_validation_and_serves_identical_plans() {
+        let dir = std::env::temp_dir().join(format!("nhood_fastpath_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(32, 0.3, 19);
+        let l = layout(32);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+
+        // cold process: build and insert through get_or_build (which
+        // records the topology digest in the disk copy)
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        let (built, hit) = cache
+            .get_or_build(fp, &g, || -> Result<_, std::convert::Infallible> { Ok(plan_naive(&g)) })
+            .unwrap();
+        assert!(!hit);
+        drop(cache);
+
+        // warm process: the lookup must come off disk via the verified
+        // fast path and serve a plan identical to the built one
+        let warm = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        let served = warm.lookup(fp, &g).expect("warm disk hit");
+        assert_eq!(served.per_rank, built.per_rank);
+        assert_eq!(served.algorithm, built.algorithm);
+        let s = warm.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.disk_fast_hits, 1, "verified file + matching digest must fast-path");
+
+        // same file, DIFFERENT topology: digest mismatch forces the slow
+        // validated path (which fails here — the plan under-delivers)
+        let grown = (0..32)
+            .flat_map(|u| (0..32).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let g2 = Topology::from_edges(32, g.edges().chain(std::iter::once(grown)));
+        let other = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        assert!(other.lookup(fp, &g2).is_none(), "digest mismatch must not fast-path");
+        assert_eq!(other.stats().disk_fast_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_mapped_serves_eligible_files_and_only_those() {
+        let dir = std::env::temp_dir().join(format!("nhood_mapped_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(32, 0.3, 19);
+        let l = layout(32);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+        let plan = Arc::new(plan_naive(&g));
+
+        // no disk tier: trivially a non-answer (and no counter churn)
+        let memonly = PlanCache::new(4);
+        assert!(memonly.lookup_mapped(fp, &g).is_none());
+
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        // absent file: miss
+        assert!(cache.lookup_mapped(fp, &g).is_none());
+        cache.insert_validated(fp, Arc::clone(&plan), &g);
+
+        // a fresh cache (fresh process, conceptually) maps it, counts a
+        // fast hit, and serves per-rank programs identical to the plan
+        let warm = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        let mapped = warm.lookup_mapped(fp, &g).expect("mapped warm hit");
+        assert_eq!(mapped.n(), plan.n());
+        for r in 0..plan.n() {
+            assert_eq!(mapped.rank(r).unwrap(), plan.per_rank[r], "rank {r}");
+        }
+        assert_eq!(mapped.to_plan().unwrap().per_rank, plan.per_rank);
+        let s = warm.stats();
+        assert_eq!((s.hits, s.disk_hits, s.disk_fast_hits), (1, 1, 1), "{s:?}");
+
+        // DIFFERENT topology: digest mismatch is a miss, and the file
+        // survives for the validated path to judge
+        let grown = (0..32)
+            .flat_map(|u| (0..32).map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .unwrap();
+        let g2 = Topology::from_edges(32, g.edges().chain(std::iter::once(grown)));
+        assert!(warm.lookup_mapped(fp, &g2).is_none());
+        let path = dir.join(format!("{fp}.nhplan"));
+        assert!(path.exists(), "digest mismatch must not delete the file");
+
+        // digest-less (plain insert) files are not fast-path eligible
+        cache.insert(fp, Arc::clone(&plan));
+        assert!(PlanCache::new(4).with_disk_dir(&dir).unwrap().lookup_mapped(fp, &g).is_none());
+        assert!(path.exists());
+
+        // corrupt file: miss, deleted — the cold build takes over
+        cache.insert_validated(fp, Arc::clone(&plan), &g);
+        let mut evil = std::fs::read(&path).unwrap();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0x10;
+        std::fs::write(&path, &evil).unwrap();
+        assert!(PlanCache::new(4).with_disk_dir(&dir).unwrap().lookup_mapped(fp, &g).is_none());
+        assert!(!path.exists(), "corrupt mapped file must be deleted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_files_are_deleted_and_rebuilt_cold() {
+        use nhood_topology::rng::DetRng;
+        let dir = std::env::temp_dir().join(format!("nhood_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = erdos_renyi(24, 0.4, 23);
+        let l = layout(24);
+        let fp = PlanFingerprint::of_build(&g, &l, Algorithm::Naive);
+        let cache = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+        cache.insert_validated(fp, Arc::new(plan_naive(&g)), &g);
+        let path = dir.join(format!("{fp}.nhplan"));
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut rng = DetRng::seed_from_u64(0x6d6d);
+        for i in 0..40 {
+            // corrupt the file: bit flips and truncations alternating
+            let mut evil = pristine.clone();
+            if i % 2 == 0 {
+                let byte = rng.gen_below(evil.len() - 8); // under the checksum
+                evil[byte] ^= 1 << rng.gen_below(8);
+            } else {
+                evil.truncate(rng.gen_below(evil.len()));
+            }
+            std::fs::write(&path, &evil).unwrap();
+
+            // fresh cache (no memory tier): the lookup must never panic,
+            // and must either serve a byte-correct plan (a flip the
+            // decoder tolerates never verifies, so it gets re-validated)
+            // or miss and delete the file
+            let fresh = PlanCache::new(4).with_disk_dir(&dir).unwrap();
+            match fresh.lookup(fp, &g) {
+                Some(p) => p.validate(&g).expect("served plan must validate"),
+                None => {
+                    assert!(!path.exists(), "iteration {i}: corrupt file must be deleted");
+                    // cold-build fallback repopulates the tier
+                    let (p, hit) = fresh
+                        .get_or_build(fp, &g, || -> Result<_, std::convert::Infallible> {
+                            Ok(plan_naive(&g))
+                        })
+                        .unwrap();
+                    assert!(!hit);
+                    p.validate(&g).unwrap();
+                    assert!(path.exists(), "iteration {i}: rebuild must repopulate disk");
+                }
+            }
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,199 +1,9 @@
-//! A fixed-size, dependency-free worker pool for plan construction.
+//! Re-export of the dependency-free worker pool.
 //!
-//! The registry is unreachable in this workspace, so there is no rayon;
-//! this module provides the two parallel shapes the builder needs on top
-//! of `std::thread::scope` alone:
-//!
-//! * [`WorkerPool::map`] — bounded data parallelism: `items` independent
-//!   jobs pulled off an atomic index by at most
-//!   [`threads`](WorkerPool::threads) scoped workers, results returned
-//!   **in index order** regardless of completion order. This is what the
-//!   per-half matchmaking scoring and the per-rank descriptor lowering
-//!   run on, and the index-ordered merge is what keeps parallel-built
-//!   plans byte-identical to serial ones.
-//! * [`WorkerPool::run_all`] — one scoped thread per job, regardless of
-//!   the pool size. Negotiation jobs ([`crate::distributed_builder`])
-//!   block on each other's messages, so running them on a bounded pool
-//!   would deadlock; this entry point deliberately oversubscribes while
-//!   keeping spawn/join/panic handling in one place.
-//!
-//! A pool of one thread ([`WorkerPool::serial`]) runs every job inline
-//! on the caller's thread — the degenerate case the byte-identity
-//! property tests compare against.
+//! The pool originally lived in this crate, but the sharded simnet
+//! engine (`nhood-simnet`, which `nhood-core` depends on) needs it too,
+//! so the implementation moved down the dependency graph to
+//! [`nhood_cluster::pool`]. This module keeps every existing
+//! `nhood_core::pool::WorkerPool` path compiling unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-
-/// A fixed-size worker pool (see module docs). Cheap to copy: the pool
-/// holds no threads between calls — workers are scoped to each `map` /
-/// `run_all` invocation, so borrowed job data needs no `'static` bound.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct WorkerPool {
-    threads: usize,
-}
-
-impl Default for WorkerPool {
-    fn default() -> Self {
-        Self::serial()
-    }
-}
-
-impl WorkerPool {
-    /// A pool of `threads` workers; 0 is clamped to 1.
-    pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
-    }
-
-    /// The single-threaded pool: every job runs inline on the caller.
-    pub fn serial() -> Self {
-        Self::new(1)
-    }
-
-    /// A pool sized to the host's available parallelism (1 if the host
-    /// does not report it).
-    pub fn auto() -> Self {
-        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
-    }
-
-    /// Worker count.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Runs `f(0..items)` with bounded parallelism and returns the
-    /// results in index order. With one thread (or at most one item) the
-    /// jobs run inline, in order, on the caller's thread.
-    ///
-    /// # Panics
-    /// Propagates a panic from any job.
-    pub fn map<T: Send>(&self, items: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-        if self.threads == 1 || items <= 1 {
-            return (0..items).map(f).collect();
-        }
-        let workers = self.threads.min(items);
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let tx = tx.clone();
-                    let next = &next;
-                    let f = &f;
-                    scope.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items || tx.send((i, f(i))).is_err() {
-                            break;
-                        }
-                    })
-                })
-                .collect();
-            drop(tx);
-            let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items).collect();
-            for (i, v) in rx {
-                out[i] = Some(v);
-            }
-            // Re-raise a worker's own panic payload (a bare scope exit
-            // would replace it with "a scoped thread panicked").
-            for h in handles {
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
-            }
-            out.into_iter().map(|v| v.expect("every index produced")).collect()
-        })
-    }
-
-    /// Runs every job on its own scoped thread and returns the results
-    /// in job order. Use for jobs that *block on each other* (the rank
-    /// negotiation threads): a bounded pool would deadlock them, so this
-    /// entry point intentionally ignores the pool size.
-    ///
-    /// # Panics
-    /// Panics with "pool job panicked" if any job panics.
-    pub fn run_all<T: Send, F: FnOnce() -> T + Send>(&self, jobs: Vec<F>) -> Vec<T> {
-        if jobs.len() <= 1 {
-            return jobs.into_iter().map(|j| j()).collect();
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs.into_iter().map(|j| scope.spawn(j)).collect();
-            handles.into_iter().map(|h| h.join().expect("pool job panicked")).collect()
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn map_returns_results_in_index_order() {
-        for threads in [1usize, 2, 4, 8] {
-            let pool = WorkerPool::new(threads);
-            let out = pool.map(100, |i| i * i);
-            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn map_handles_edge_sizes() {
-        let pool = WorkerPool::new(4);
-        assert!(pool.map(0, |i| i).is_empty());
-        assert_eq!(pool.map(1, |i| i + 7), vec![7]);
-        // fewer items than workers
-        assert_eq!(pool.map(2, |i| i), vec![0, 1]);
-    }
-
-    #[test]
-    fn zero_threads_clamps_to_one() {
-        let pool = WorkerPool::new(0);
-        assert_eq!(pool.threads(), 1);
-        assert_eq!(pool.map(3, |i| i), vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn map_jobs_can_borrow_caller_data() {
-        let data: Vec<usize> = (0..64).collect();
-        let pool = WorkerPool::new(4);
-        let out = pool.map(data.len(), |i| data[i] * 2);
-        assert_eq!(out[63], 126);
-    }
-
-    #[test]
-    fn run_all_executes_mutually_blocking_jobs() {
-        use std::sync::mpsc::channel;
-        // two jobs that must run concurrently: each blocks on the other's
-        // message — a bounded executor would deadlock
-        let (tx_a, rx_a) = channel::<u32>();
-        let (tx_b, rx_b) = channel::<u32>();
-        let pool = WorkerPool::new(1); // run_all ignores the bound
-        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
-            Box::new(move || {
-                tx_b.send(1).unwrap();
-                rx_a.recv().unwrap() + 10
-            }),
-            Box::new(move || {
-                tx_a.send(2).unwrap();
-                rx_b.recv().unwrap() + 20
-            }),
-        ];
-        assert_eq!(pool.run_all(jobs), vec![12, 21]);
-    }
-
-    #[test]
-    #[should_panic(expected = "boom")]
-    fn map_propagates_worker_panics() {
-        let pool = WorkerPool::new(2);
-        let _ = pool.map(8, |i| {
-            if i == 5 {
-                panic!("boom");
-            }
-            i
-        });
-    }
-
-    #[test]
-    fn auto_pool_has_at_least_one_thread() {
-        assert!(WorkerPool::auto().threads() >= 1);
-        assert_eq!(WorkerPool::default(), WorkerPool::serial());
-    }
-}
+pub use nhood_cluster::pool::WorkerPool;

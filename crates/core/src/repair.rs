@@ -163,7 +163,7 @@ pub fn recover_decisions(pattern: &DhPattern) -> Vec<Vec<Decision>> {
 pub fn resp_owner(pattern: &DhPattern, u: Rank, v: Rank) -> Option<Rank> {
     // Any halving-phase arrival of u at v covers the pair (lemma 1 of
     // the exactly-once proof makes a second arrival impossible).
-    if pattern.ranks[v].steps.iter().any(|s| s.arriving.contains(&u)) {
+    if (0..pattern.ranks[v].steps.len()).any(|t| pattern.arriving(v, t).contains(&u)) {
         return None;
     }
     let mut c = u;
@@ -207,18 +207,20 @@ fn recompute_copies(
     prog: &mut [crate::plan::PlanPhase],
 ) {
     let rp = &pattern.ranks[r];
-    let arrival_copies = |step: &crate::pattern::DhStep| {
-        step.arriving.iter().filter(|&&b| graph.has_edge(b, r)).count()
-    };
+    let arrival_copies =
+        |t: usize| pattern.arriving(r, t).iter().filter(|&&b| graph.has_edge(b, r)).count();
     for (t, phase) in prog.iter_mut().enumerate().take(steps) {
-        phase.copy_blocks =
-            if t == 0 { 1 } else { rp.steps.get(t - 1).map(arrival_copies).unwrap_or(0) };
+        phase.copy_blocks = if t == 0 {
+            1
+        } else if t - 1 < rp.steps.len() {
+            arrival_copies(t - 1)
+        } else {
+            0
+        };
     }
     let mut fin = 0usize;
-    if steps > 0 {
-        if let Some(last) = rp.steps.last() {
-            fin += arrival_copies(last);
-        }
+    if steps > 0 && !rp.steps.is_empty() {
+        fin += arrival_copies(rp.steps.len() - 1);
     }
     fin += prog[steps].sends.iter().map(|m| m.blocks.len()).sum::<usize>();
     prog[steps].copy_blocks = fin;
@@ -544,7 +546,8 @@ mod tests {
                         assert!(row.contains(&v), "({u}->{v}) not in owner {w}'s row");
                     }
                     None => {
-                        let arrived = pat.ranks[v].steps.iter().any(|s| s.arriving.contains(&u));
+                        let arrived =
+                            (0..pat.ranks[v].steps.len()).any(|t| pat.arriving(v, t).contains(&u));
                         assert!(arrived, "({u}->{v}) neither owned nor arriving");
                     }
                 }

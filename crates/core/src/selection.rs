@@ -191,6 +191,34 @@ impl RoundCandidates {
     fn acc_cands(&self, ai: usize) -> &[u32] {
         &self.acc_cand[self.acc_off[ai] as usize..self.acc_off[ai + 1] as usize]
     }
+
+    /// Cross-links between the two CSR views of the candidate graph:
+    /// `p2a[j]` is the acceptor-side edge index of proposer-side edge
+    /// `j`, and `a2p` the mirror. The drive keeps per-*edge* state, so
+    /// memory is O(candidate edges) instead of the former dense
+    /// `np × na` matrices — the difference between megabytes and
+    /// gigabytes in the first halving step at 100k ranks.
+    fn edge_links(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut by_pair: HashMap<(u32, u32), u32> = HashMap::with_capacity(self.acc_cand.len());
+        for ai in 0..self.acceptors.len() {
+            let base = self.acc_off[ai] as usize;
+            for (off, &pi) in self.acc_cands(ai).iter().enumerate() {
+                by_pair.insert((pi, ai as u32), (base + off) as u32);
+            }
+        }
+        let mut p2a = vec![0u32; self.prop_cand.len()];
+        let mut a2p = vec![0u32; self.acc_cand.len()];
+        for pi in 0..self.proposers.len() {
+            let base = self.prop_off[pi] as usize;
+            for (off, &ai) in self.prop_cands(pi).iter().enumerate() {
+                let j = (base + off) as u32;
+                let k = by_pair[&(pi as u32, ai)];
+                p2a[j as usize] = k;
+                a2p[k as usize] = j;
+            }
+        }
+        (p2a, a2p)
+    }
 }
 
 /// Runs one selection round.
@@ -231,50 +259,88 @@ pub fn run_matching_logged(rc: &RoundCandidates, log: &mut Vec<Event>) -> RoundR
     run_matching_impl(rc, Some(log))
 }
 
-/// Queue entries carry local indices; direction is implied by the
-/// signal kind (REQ/EXIT travel proposer→acceptor, ACCEPT/DROP
-/// acceptor→proposer).
+/// A queued signal: sender/receiver local indices plus the candidate
+/// edge it travels (both CSR views). Direction is implied by the signal
+/// kind (REQ/EXIT travel proposer→acceptor, ACCEPT/DROP
+/// acceptor→proposer); carrying both edge indices keeps every state
+/// touch O(1) on the sparse per-edge state.
+#[derive(Clone, Copy)]
+struct Signal {
+    from: u32,
+    to: u32,
+    p_edge: u32,
+    a_edge: u32,
+    sig: Sig,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn push_signal(
-    queue: &mut VecDeque<(u32, u32, Sig)>,
+    queue: &mut VecDeque<Signal>,
     log: &mut Option<&mut Vec<Event>>,
     from_rank: Rank,
     to_rank: Rank,
     from: u32,
     to: u32,
+    p_edge: u32,
+    a_edge: u32,
     sig: Sig,
 ) {
     if let Some(l) = log.as_deref_mut() {
         l.push(Event::Sent { from: from_rank, to: to_rank });
     }
-    queue.push_back((from, to, sig));
+    queue.push_back(Signal { from, to, p_edge, a_edge, sig });
 }
 
-/// Acceptor `ai` selects proposer `pi`: ACCEPT pi, proactively DROP
-/// every other live candidate (in candidate order).
+/// Acceptor `ai` selects proposer `pi` (reached via acceptor-side edge
+/// `k`): ACCEPT pi, proactively DROP every other live candidate (in
+/// candidate order).
 #[allow(clippy::too_many_arguments)]
 fn accept(
     rc: &RoundCandidates,
     ai: usize,
     pi: u32,
+    k: u32,
+    a2p: &[u32],
     astate: &mut [CandState],
     a_sel: &mut [Option<u32>],
-    queue: &mut VecDeque<(u32, u32, Sig)>,
+    queue: &mut VecDeque<Signal>,
     log: &mut Option<&mut Vec<Event>>,
     stats: &mut SelectionStats,
 ) {
-    let np = rc.proposers.len();
     let a_rank = rc.acceptors[ai];
     a_sel[ai] = Some(pi);
-    push_signal(queue, log, a_rank, rc.proposers[pi as usize], ai as u32, pi, Sig::Accept);
+    push_signal(
+        queue,
+        log,
+        a_rank,
+        rc.proposers[pi as usize],
+        ai as u32,
+        pi,
+        a2p[k as usize],
+        k,
+        Sig::Accept,
+    );
     stats.accept += 1;
-    for &c in rc.acc_cands(ai) {
-        if c != pi && astate[ai * np + c as usize] != CandState::Inactive {
-            push_signal(queue, log, a_rank, rc.proposers[c as usize], ai as u32, c, Sig::Drop);
+    let base = rc.acc_off[ai] as usize;
+    for (off, &c) in rc.acc_cands(ai).iter().enumerate() {
+        let ke = (base + off) as u32;
+        if c != pi && astate[ke as usize] != CandState::Inactive {
+            push_signal(
+                queue,
+                log,
+                a_rank,
+                rc.proposers[c as usize],
+                ai as u32,
+                c,
+                a2p[ke as usize],
+                ke,
+                Sig::Drop,
+            );
             stats.drop += 1;
-            astate[ai * np + c as usize] = CandState::Inactive;
+            astate[ke as usize] = CandState::Inactive;
         }
     }
-    astate[ai * np + pi as usize] = CandState::Inactive;
+    astate[k as usize] = CandState::Inactive;
 }
 
 fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> RoundResult {
@@ -282,43 +348,38 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
     let na = rc.acceptors.len();
     let mut stats = SelectionStats { agent_searches: np, ..Default::default() };
 
-    // Dense candidate-state matrices, row-major by local index. Cells of
-    // non-candidate pairs stay Inactive and are never written: signals
-    // only travel candidate edges, and the candidate relation is
-    // symmetric (score > 0 both ways), so the two matrices agree on
-    // which cells are live.
-    let mut pstate: Vec<CandState> = vec![CandState::Inactive; np * na];
-    let mut astate: Vec<CandState> = vec![CandState::Inactive; na * np];
-    for pi in 0..np {
-        for &ai in rc.prop_cands(pi) {
-            pstate[pi * na + ai as usize] = CandState::Active;
-        }
-    }
-    for ai in 0..na {
-        for &pi in rc.acc_cands(ai) {
-            astate[ai * np + pi as usize] = CandState::Active;
-        }
-    }
+    // Per-candidate-edge state, one cell per CSR entry on each side.
+    // Signals only travel candidate edges and the two CSR views are
+    // exact mirrors by construction (`from_rows` derives both from the
+    // same score rows), so the views stay in agreement just as the
+    // former dense matrices did — at O(candidate edges) memory.
+    let (p2a, a2p) = rc.edge_links();
+    let mut pstate: Vec<CandState> = vec![CandState::Active; rc.prop_cand.len()];
+    let mut astate: Vec<CandState> = vec![CandState::Active; rc.acc_cand.len()];
     // Per-proposer: index into its candidate list of the outstanding REQ.
     let mut cursor: Vec<usize> = vec![0; np];
     let mut p_sel: Vec<Option<u32>> = vec![None; np];
     let mut p_failed: Vec<bool> = vec![false; np];
     let mut a_sel: Vec<Option<u32>> = vec![None; na];
 
-    // Best-scoring non-INACTIVE candidate of acceptor `ai`, if any
-    // (candidates are sorted best-first, so the first live entry wins).
-    let best_live = |ai: usize, astate: &[CandState]| -> Option<u32> {
+    // Best-scoring non-INACTIVE candidate of acceptor `ai`, if any, as
+    // (proposer local index, acceptor-side edge). Candidates are sorted
+    // best-first, so the first live entry wins.
+    let best_live = |ai: usize, astate: &[CandState]| -> Option<(u32, u32)> {
+        let base = rc.acc_off[ai] as usize;
         rc.acc_cands(ai)
             .iter()
-            .copied()
-            .find(|&c| astate[ai * np + c as usize] != CandState::Inactive)
+            .enumerate()
+            .map(|(off, &c)| (c, (base + off) as u32))
+            .find(|&(_, ke)| astate[ke as usize] != CandState::Inactive)
     };
 
-    let mut queue: VecDeque<(u32, u32, Sig)> = VecDeque::new();
+    let mut queue: VecDeque<Signal> = VecDeque::new();
 
     // Bootstrap: every proposer with candidates REQs its best one.
     for (pi, failed) in p_failed.iter_mut().enumerate() {
         if let Some(&best) = rc.prop_cands(pi).first() {
+            let j = rc.prop_off[pi];
             push_signal(
                 &mut queue,
                 &mut log,
@@ -326,6 +387,8 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                 rc.acceptors[best as usize],
                 pi as u32,
                 best,
+                j,
+                p2a[j as usize],
                 Sig::Req,
             );
             stats.req += 1;
@@ -334,7 +397,7 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
         }
     }
 
-    while let Some((from, to, sig)) = queue.pop_front() {
+    while let Some(Signal { from, to, p_edge, a_edge, sig }) = queue.pop_front() {
         match sig {
             Sig::Req => {
                 let (pi, ai) = (from as usize, to as usize);
@@ -350,16 +413,29 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                         rc.proposers[pi],
                         to,
                         from,
+                        p_edge,
+                        a_edge,
                         Sig::Drop,
                     );
                     stats.drop += 1;
-                    astate[ai * np + pi] = CandState::Inactive;
+                    astate[a_edge as usize] = CandState::Inactive;
                     continue;
                 }
-                debug_assert_eq!(astate[ai * np + pi], CandState::Active, "duplicate REQ");
-                astate[ai * np + pi] = CandState::Waiting;
-                if best_live(ai, &astate) == Some(from) {
-                    accept(rc, ai, from, &mut astate, &mut a_sel, &mut queue, &mut log, &mut stats);
+                debug_assert_eq!(astate[a_edge as usize], CandState::Active, "duplicate REQ");
+                astate[a_edge as usize] = CandState::Waiting;
+                if best_live(ai, &astate).map(|(c, _)| c) == Some(from) {
+                    accept(
+                        rc,
+                        ai,
+                        from,
+                        a_edge,
+                        &a2p,
+                        &mut astate,
+                        &mut a_sel,
+                        &mut queue,
+                        &mut log,
+                        &mut stats,
+                    );
                 }
             }
             Sig::Accept => {
@@ -371,8 +447,10 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                 p_sel[pi] = Some(from);
                 stats.agents_found += 1;
                 // EXIT all other candidates still considered live by us.
-                for &c in rc.prop_cands(pi) {
-                    if c != from && pstate[pi * na + c as usize] != CandState::Inactive {
+                let base = rc.prop_off[pi] as usize;
+                for (off, &c) in rc.prop_cands(pi).iter().enumerate() {
+                    let je = (base + off) as u32;
+                    if c != from && pstate[je as usize] != CandState::Inactive {
                         push_signal(
                             &mut queue,
                             &mut log,
@@ -380,41 +458,45 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                             rc.acceptors[c as usize],
                             to,
                             c,
+                            je,
+                            p2a[je as usize],
                             Sig::Exit,
                         );
                         stats.exit += 1;
-                        pstate[pi * na + c as usize] = CandState::Inactive;
+                        pstate[je as usize] = CandState::Inactive;
                     }
                 }
-                pstate[pi * na + ai] = CandState::Inactive;
+                pstate[p_edge as usize] = CandState::Inactive;
             }
             Sig::Drop => {
                 let (ai, pi) = (from as usize, to as usize);
                 if let Some(l) = log.as_deref_mut() {
                     l.push(Event::Received { by: rc.proposers[pi], from: rc.acceptors[ai] });
                 }
-                if pstate[pi * na + ai] == CandState::Inactive && p_sel[pi].is_some() {
+                if pstate[p_edge as usize] == CandState::Inactive && p_sel[pi].is_some() {
                     continue; // late chatter after we matched
                 }
                 let cands = rc.prop_cands(pi);
                 let was_target = cands
                     .get(cursor[pi])
                     .is_some_and(|&c| c == from && p_sel[pi].is_none() && !p_failed[pi]);
-                let already_inactive = pstate[pi * na + ai] == CandState::Inactive;
-                pstate[pi * na + ai] = CandState::Inactive;
+                let already_inactive = pstate[p_edge as usize] == CandState::Inactive;
+                pstate[p_edge as usize] = CandState::Inactive;
                 if p_sel[pi].is_some() || p_failed[pi] || already_inactive {
                     continue;
                 }
                 if was_target {
                     // advance to the next live candidate
+                    let base = rc.prop_off[pi] as usize;
                     cursor[pi] += 1;
                     while cursor[pi] < cands.len()
-                        && pstate[pi * na + cands[cursor[pi]] as usize] == CandState::Inactive
+                        && pstate[base + cursor[pi]] == CandState::Inactive
                     {
                         cursor[pi] += 1;
                     }
                     if cursor[pi] < cands.len() {
                         let next = cands[cursor[pi]];
+                        let j = (base + cursor[pi]) as u32;
                         push_signal(
                             &mut queue,
                             &mut log,
@@ -422,6 +504,8 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                             rc.acceptors[next as usize],
                             to,
                             next,
+                            j,
+                            p2a[j as usize],
                             Sig::Req,
                         );
                         stats.req += 1;
@@ -438,6 +522,8 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                         rc.acceptors[ai],
                         to,
                         from,
+                        p_edge,
+                        a_edge,
                         Sig::Exit,
                     );
                     stats.exit += 1;
@@ -448,8 +534,8 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                 if let Some(l) = log.as_deref_mut() {
                     l.push(Event::Received { by: rc.acceptors[ai], from: rc.proposers[pi] });
                 }
-                let prev = astate[ai * np + pi];
-                astate[ai * np + pi] = CandState::Inactive;
+                let prev = astate[a_edge as usize];
+                astate[a_edge as usize] = CandState::Inactive;
                 if a_sel[ai].is_some() {
                     // Alg. 3 lines 41-48: a matched acceptor answers a
                     // still-ACTIVE candidate's EXIT with a final DROP.
@@ -461,18 +547,22 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
                             rc.proposers[pi],
                             to,
                             from,
+                            p_edge,
+                            a_edge,
                             Sig::Drop,
                         );
                         stats.drop += 1;
                     }
                     continue;
                 }
-                if let Some(best) = best_live(ai, &astate) {
-                    if astate[ai * np + best as usize] == CandState::Waiting {
+                if let Some((best, ke)) = best_live(ai, &astate) {
+                    if astate[ke as usize] == CandState::Waiting {
                         accept(
                             rc,
                             ai,
                             best,
+                            ke,
+                            &a2p,
                             &mut astate,
                             &mut a_sel,
                             &mut queue,
@@ -496,7 +586,8 @@ fn run_matching_impl(rc: &RoundCandidates, mut log: Option<&mut Vec<Event>>) -> 
     // waiter when the queue drained).
     debug_assert!((0..na).all(|ai| {
         a_sel[ai].is_some()
-            || rc.acc_cands(ai).iter().all(|&c| astate[ai * np + c as usize] != CandState::Waiting)
+            || (rc.acc_off[ai]..rc.acc_off[ai + 1])
+                .all(|k| astate[k as usize] != CandState::Waiting)
     }));
 
     RoundResult { matched, stats }

@@ -179,7 +179,7 @@ impl LevelStats {
         }
     }
 
-    fn record(&mut self, l: Locality, bytes: usize) {
+    pub(crate) fn record(&mut self, l: Locality, bytes: usize) {
         let i = Self::level_index(l);
         self.msgs[i] += 1;
         self.bytes[i] += bytes;
@@ -250,18 +250,18 @@ impl SimReport {
 /// The timing engine. Cheap to construct; [`run`](Self::run) is pure
 /// (no internal state survives a run).
 pub struct Engine<'a> {
-    layout: &'a ClusterLayout,
-    config: SimConfig,
+    pub(crate) layout: &'a ClusterLayout,
+    pub(crate) config: SimConfig,
 }
 
 /// Completed sends keyed by `(src, dst, tag)` — the trace side-channel
 /// of `run_impl`.
-type SentMap = HashMap<(Rank, Rank, u64), SendInfo>;
+pub(crate) type SentMap = HashMap<(Rank, Rank, u64), SendInfo>;
 
 #[derive(Clone, Copy)]
-struct SendInfo {
-    start: Seconds,
-    end: Seconds,
+pub(crate) struct SendInfo {
+    pub(crate) start: Seconds,
+    pub(crate) end: Seconds,
 }
 
 /// One message's simulated timeline.
@@ -298,7 +298,7 @@ pub fn write_trace_csv(traces: &[MsgTrace], mut w: impl std::io::Write) -> std::
 
 /// Non-NaN f64 ordering key for the ready heap.
 #[derive(PartialEq, PartialOrd)]
-struct Key(f64);
+pub(crate) struct Key(pub(crate) f64);
 impl Eq for Key {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Key {
@@ -386,7 +386,7 @@ impl<'a> Engine<'a> {
         Ok(report)
     }
 
-    fn run_impl(
+    pub(crate) fn run_impl(
         &self,
         schedule: &Schedule,
         perturbation: Option<&crate::Perturbation>,

@@ -28,6 +28,7 @@
 pub mod engine;
 pub mod perturb;
 pub mod schedule;
+pub mod sharded;
 
 pub use engine::{
     write_trace_csv, Engine, GlobalLinkConfig, LevelStats, MsgTrace, NicMode, SimConfig, SimError,

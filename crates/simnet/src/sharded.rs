@@ -1,0 +1,722 @@
+//! Sharded execution of the discrete-event engine.
+//!
+//! [`Engine::run`] spends most of its time on per-message bookkeeping:
+//! validating the schedule (two hash maps over every message), matching
+//! each recv to its send (another hash lookup per message), and
+//! evaluating the Hockney cost model at issue time. None of that work
+//! depends on simulated time — only the final event loop does. The
+//! sharded runner exploits this split:
+//!
+//! 1. **Parallel prepare** — ranks are partitioned into contiguous
+//!    chunks, one per [`WorkerPool`] thread. Each chunk validates its
+//!    own ranks' phases, enumerates their sends into a dense global
+//!    send-id space, and precomputes every pure per-message cost (wire
+//!    time, port occupancy, NIC hold, global-link hold, locality). A
+//!    second parallel pass resolves each recv to the send id it matches,
+//!    looking only at the (read-only) table of the sender's chunk.
+//! 2. **Serial replay** — a lean event loop over flat arrays replays
+//!    *exactly* the arithmetic of the serial engine: same ready-heap
+//!    keys, same arrival sort, same order of floating-point operations.
+//!    No hash map is touched on this path.
+//!
+//! ## Determinism contract
+//!
+//! `run_sharded` returns **bit-identical** results to [`Engine::run`]
+//! for every thread count, including one. This holds because the serial
+//! engine's only internally unordered structure — the waiter map swept
+//! at bootstrap — can only change the *push* order of ranks whose keys
+//! are already fixed, and a binary heap pops the minimum of its current
+//! contents regardless of insertion order (ranks are heap-unique, so
+//! ties cannot arise). Every floating-point operation the replay
+//! performs uses the same inputs in the same order as the serial loop;
+//! the precomputed costs are pure functions of the message and the
+//! layout, so computing them on worker threads changes nothing.
+//! `docs/SCALE.md` documents the contract; the tests below enforce it
+//! across schedules, NIC modes and pool widths.
+
+use crate::engine::{Engine, Key, LevelStats, NicMode, SimError, SimReport};
+use crate::schedule::Schedule;
+use nhood_cluster::{Locality, Rank, WorkerPool};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Sentinel for "no rank is waiting on this send".
+const NO_WAITER: u32 = u32::MAX;
+
+/// Pure per-send costs, precomputed in parallel. All fields are exactly
+/// the values the serial engine computes inside its issue loop.
+struct SendPre {
+    bytes: usize,
+    level: Locality,
+    /// `α + m/β` at the message's locality level (arrival delay).
+    wire: f64,
+    /// Port hold: `cpu_overhead + m/β` under LogGP, else `wire`.
+    occupancy: f64,
+    /// NIC hold: `nic_gap + m/β`, else `occupancy`.
+    nic_hold: f64,
+    /// Global-link hold, meaningful only for remote-group messages when
+    /// global links are configured; 0.0 otherwise.
+    gl_hold: f64,
+    dst_node: u32,
+    /// Source / destination group, meaningful with `gl_hold`.
+    sg: u32,
+    dg: u32,
+}
+
+/// A recv resolved to the send it matches, plus its drain-side port
+/// occupancy (the only cost the serial drain loop derives per arrival).
+struct RecvPre {
+    send_id: u32,
+    occupancy: f64,
+}
+
+/// Per-chunk output of the send-side prepare pass.
+struct TxShard {
+    pre: Vec<SendPre>,
+    /// `(src, dst, tag) -> (global send id, bytes)` for this chunk's ranks.
+    keys: HashMap<(Rank, Rank, u64), (u32, usize)>,
+}
+
+impl Engine<'_> {
+    /// Like [`run`](Self::run), but with schedule validation, send/recv
+    /// matching and cost-model evaluation sharded across `pool`.
+    ///
+    /// The report is bit-identical to `run`'s for any pool width — see
+    /// the module docs for why. Perturbations are not supported on this
+    /// path; use [`run_perturbed`](Self::run_perturbed).
+    pub fn run_sharded(
+        &self,
+        schedule: &Schedule,
+        pool: &WorkerPool,
+    ) -> Result<SimReport, SimError> {
+        self.run_sharded_impl(schedule, pool).map(|(r, _, _)| r)
+    }
+
+    /// Like [`run_recorded`](Self::run_recorded) on the sharded path:
+    /// replays every simulated message into `rec` after the run.
+    pub fn run_sharded_recorded(
+        &self,
+        schedule: &Schedule,
+        pool: &WorkerPool,
+        rec: &dyn nhood_telemetry::Recorder,
+    ) -> Result<SimReport, SimError> {
+        let (report, starts, ends) = self.run_sharded_impl(schedule, pool)?;
+        for (sid, m) in schedule.all_sends().enumerate() {
+            let level = self.layout.locality(m.src, m.dst);
+            let label = if level == Locality::SameSocket {
+                nhood_telemetry::labels::INTRA_SOCKET
+            } else {
+                nhood_telemetry::labels::HALVING_STEP
+            };
+            rec.msg_sent(m.src, m.dst, m.bytes);
+            rec.msg_recvd(m.dst, m.src, m.bytes);
+            rec.span_at(m.src, label, starts[sid], ends[sid]);
+        }
+        Ok(report)
+    }
+
+    /// Full sharded run returning per-send posting/arrival times in
+    /// global send-id order (= [`Schedule::all_sends`] order).
+    fn run_sharded_impl(
+        &self,
+        schedule: &Schedule,
+        pool: &WorkerPool,
+    ) -> Result<(SimReport, Vec<f64>, Vec<f64>), SimError> {
+        let n = schedule.n();
+
+        // Dense send/recv id spaces: per-rank prefix offsets.
+        let mut send_off = vec![0usize; n + 1];
+        let mut recv_off = vec![0usize; n + 1];
+        for r in 0..n {
+            let (mut s, mut c) = (0usize, 0usize);
+            for ph in schedule.phases(r) {
+                s += ph.sends.len();
+                c += ph.recvs.len();
+            }
+            send_off[r + 1] = send_off[r] + s;
+            recv_off[r + 1] = recv_off[r] + c;
+        }
+        let total_sends = send_off[n];
+        let total_recvs = recv_off[n];
+        if total_sends > u32::MAX as usize || total_recvs > u32::MAX as usize {
+            // Beyond the dense u32 id space: take the serial path.
+            return self.serial_fallback(schedule);
+        }
+
+        // Capacity must be checked before the prepare pass may resolve
+        // rank locations — but the serial engine reports an invalid
+        // schedule ahead of an oversized one, so match that precedence.
+        if n > self.layout.capacity() {
+            return match schedule.validate() {
+                Err(e) => Err(SimError::InvalidSchedule(e)),
+                Ok(()) => {
+                    Err(SimError::LayoutTooSmall { ranks: n, capacity: self.layout.capacity() })
+                }
+            };
+        }
+
+        // Contiguous rank chunks, one per pool thread.
+        let threads = pool.threads().max(1);
+        let chunk = n.div_ceil(threads).max(1);
+        let chunks = n.div_ceil(chunk);
+        let chunk_of = |r: Rank| r / chunk;
+
+        // Pass A: per-chunk send tables + send-side validation.
+        let hockney = &self.config.hockney;
+        let tx: Vec<Option<TxShard>> = pool.map(chunks, |c| {
+            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(n));
+            let mut shard = TxShard {
+                pre: Vec::with_capacity(send_off[hi] - send_off[lo]),
+                keys: HashMap::with_capacity(send_off[hi] - send_off[lo]),
+            };
+            for (r, &off) in send_off.iter().enumerate().take(hi).skip(lo) {
+                let mut sid = off as u32;
+                for ph in schedule.phases(r) {
+                    if ph.local_seconds < 0.0 || !ph.local_seconds.is_finite() {
+                        return None;
+                    }
+                    let my_node = self.layout.location(r).node;
+                    for m in &ph.sends {
+                        if m.src != r || m.dst >= n || m.dst == r {
+                            return None;
+                        }
+                        if shard.keys.insert((m.src, m.dst, m.tag), (sid, m.bytes)).is_some() {
+                            return None; // duplicate send key
+                        }
+                        let level = self.layout.locality(m.src, m.dst);
+                        let h = hockney.level(level);
+                        let wire = h.time(m.bytes);
+                        let serial = m.bytes as f64 / h.bytes_per_sec;
+                        let occupancy = self.config.cpu_overhead.map_or(wire, |o| o + serial);
+                        let nic_hold = self.config.nic_gap.map_or(occupancy, |g| g + serial);
+                        let dst_node = self.layout.location(m.dst).node;
+                        let (gl_hold, sg, dg) = match (level, self.config.global_links) {
+                            (Locality::RemoteGroup, Some(gl)) => (
+                                gl.gap + m.bytes as f64 / gl.bytes_per_sec,
+                                self.layout.group_of_node(my_node) as u32,
+                                self.layout.group_of_node(dst_node) as u32,
+                            ),
+                            _ => (0.0, 0, 0),
+                        };
+                        shard.pre.push(SendPre {
+                            bytes: m.bytes,
+                            level,
+                            wire,
+                            occupancy,
+                            nic_hold,
+                            gl_hold,
+                            dst_node: dst_node as u32,
+                            sg,
+                            dg,
+                        });
+                        sid += 1;
+                    }
+                }
+            }
+            Some(shard)
+        });
+        if tx.iter().any(Option::is_none) {
+            return self.invalid_or_fallback(schedule);
+        }
+        let tx: Vec<TxShard> = tx.into_iter().map(Option::unwrap).collect();
+
+        // Pass B: resolve each recv against the sender chunk's table.
+        let rx: Vec<Option<Vec<RecvPre>>> = pool.map(chunks, |c| {
+            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(n));
+            let mut pre = Vec::with_capacity(recv_off[hi] - recv_off[lo]);
+            let mut seen: HashSet<(Rank, Rank, u64)> =
+                HashSet::with_capacity(recv_off[hi] - recv_off[lo]);
+            for r in lo..hi {
+                for ph in schedule.phases(r) {
+                    for m in &ph.recvs {
+                        if m.dst != r || m.src >= n {
+                            return None;
+                        }
+                        if !seen.insert((m.src, m.dst, m.tag)) {
+                            return None; // duplicate recv key
+                        }
+                        let (sid, bytes) =
+                            match tx[chunk_of(m.src)].keys.get(&(m.src, m.dst, m.tag)) {
+                                Some(&v) => v,
+                                None => return None, // unmatched recv
+                            };
+                        if bytes != m.bytes {
+                            return None; // size mismatch
+                        }
+                        let level = self.layout.locality(m.src, m.dst);
+                        let h = hockney.level(level);
+                        let wire = h.time(m.bytes);
+                        let occupancy = self
+                            .config
+                            .cpu_overhead
+                            .map_or(wire, |o| o + m.bytes as f64 / h.bytes_per_sec);
+                        pre.push(RecvPre { send_id: sid, occupancy });
+                    }
+                }
+            }
+            Some(pre)
+        });
+        if rx.iter().any(Option::is_none) || total_sends != total_recvs {
+            // Unmatched sends are the one defect pass B cannot see
+            // locally: equal totals + every recv matched a distinct
+            // send key ⇒ the matching is a bijection.
+            return self.invalid_or_fallback(schedule);
+        }
+
+        // Flatten chunk outputs into dense id-indexed tables. Chunks are
+        // contiguous rank ranges, so concatenation is id order.
+        let mut pre_send: Vec<SendPre> = Vec::with_capacity(total_sends);
+        for shard in tx {
+            pre_send.extend(shard.pre);
+        }
+        let mut pre_recv: Vec<RecvPre> = Vec::with_capacity(total_recvs);
+        for shard in rx {
+            pre_recv.extend(shard.expect("checked above"));
+        }
+        let node_of: Vec<u32> = (0..n).map(|r| self.layout.location(r).node as u32).collect();
+
+        // ---- Serial replay: the serial engine's loop over flat arrays ----
+        let n_groups = self.layout.nodes().div_ceil(self.layout.nodes_per_group());
+        let mut rp = Replay {
+            pre_send: &pre_send,
+            pre_recv: &pre_recv,
+            node_of: &node_of,
+            nic_mode: self.config.nic_mode,
+            port_free: vec![0.0; n],
+            nic_tx: vec![0.0; self.layout.nodes()],
+            nic_rx: vec![0.0; self.layout.nodes()],
+            glob_tx: vec![0.0; n_groups],
+            glob_rx: vec![0.0; n_groups],
+            phase_idx: vec![0; n],
+            info_start: vec![0.0; total_sends],
+            info_end: vec![0.0; total_sends],
+            sent_flag: vec![false; total_sends],
+            waiter_of: vec![NO_WAITER; total_sends],
+            missing: vec![0; n],
+            stats: LevelStats::default(),
+            finish: vec![0.0; n],
+            busy: vec![0.0; n],
+            next_send: send_off[..n].to_vec(),
+            next_recv: recv_off[..n].to_vec(),
+            cur_recv: vec![(0, 0); n],
+        };
+
+        let mut heap: BinaryHeap<Reverse<(Key, Rank)>> = BinaryHeap::new();
+
+        // Bootstrap: every rank with at least one phase enters phase 0.
+        for r in 0..n {
+            if schedule.phases(r).is_empty() {
+                rp.finish[r] = 0.0;
+                continue;
+            }
+            if rp.issue(r, schedule) {
+                heap.push(Reverse((Key(rp.port_free[r]), r)));
+            }
+        }
+        // Sweep waiters registered before their send was issued. (The
+        // serial engine's `retain` visits these in hash order; push order
+        // within the batch cannot change heap pop order.)
+        for sid in 0..total_sends {
+            let w = rp.waiter_of[sid];
+            if w != NO_WAITER && rp.sent_flag[sid] {
+                rp.waiter_of[sid] = NO_WAITER;
+                let w = w as usize;
+                rp.missing[w] -= 1;
+                if rp.missing[w] == 0 {
+                    heap.push(Reverse((Key(rp.port_free[w]), w)));
+                }
+            }
+        }
+
+        let total_phases: usize = (0..n).map(|r| schedule.phases(r).len()).sum();
+        let mut completed_phases = 0usize;
+
+        while let Some(Reverse((_, r))) = heap.pop() {
+            rp.drain(r);
+            completed_phases += 1;
+            rp.phase_idx[r] += 1;
+
+            if rp.phase_idx[r] == schedule.phases(r).len() {
+                rp.finish[r] = rp.port_free[r];
+                continue;
+            }
+            let s_before = rp.next_send[r];
+            let ready_now = rp.issue(r, schedule);
+            let s_after = rp.next_send[r];
+            if ready_now {
+                heap.push(Reverse((Key(rp.port_free[r]), r)));
+            }
+            for sid in s_before..s_after {
+                let w = rp.waiter_of[sid];
+                if w != NO_WAITER {
+                    rp.waiter_of[sid] = NO_WAITER;
+                    let w = w as usize;
+                    rp.missing[w] -= 1;
+                    if rp.missing[w] == 0 {
+                        heap.push(Reverse((Key(rp.port_free[w]), w)));
+                    }
+                }
+            }
+        }
+
+        if completed_phases != total_phases {
+            let blocked: Vec<(Rank, usize)> = (0..n)
+                .filter(|&r| rp.phase_idx[r] < schedule.phases(r).len())
+                .map(|r| (r, rp.phase_idx[r]))
+                .collect();
+            return Err(SimError::Deadlock(blocked));
+        }
+
+        let makespan = rp.finish.iter().copied().fold(0.0, f64::max);
+        let report =
+            SimReport { makespan, per_rank_finish: rp.finish, stats: rp.stats, port_busy: rp.busy };
+        Ok((report, rp.info_start, rp.info_end))
+    }
+
+    /// The parallel validators rejected the schedule: surface the serial
+    /// validator's canonical error message. The check conditions mirror
+    /// [`Schedule::validate`] exactly, so the serial pass must fail too;
+    /// if it somehow does not, run serially rather than diverge.
+    fn invalid_or_fallback(
+        &self,
+        schedule: &Schedule,
+    ) -> Result<(SimReport, Vec<f64>, Vec<f64>), SimError> {
+        match schedule.validate() {
+            Err(e) => Err(SimError::InvalidSchedule(e)),
+            Ok(()) => {
+                debug_assert!(false, "sharded validation diverged from Schedule::validate");
+                self.serial_fallback(schedule)
+            }
+        }
+    }
+
+    /// Serial run with results reshaped to the sharded return type.
+    fn serial_fallback(
+        &self,
+        schedule: &Schedule,
+    ) -> Result<(SimReport, Vec<f64>, Vec<f64>), SimError> {
+        let (report, sent) = self.run_impl(schedule, None)?;
+        let (mut starts, mut ends) = (Vec::new(), Vec::new());
+        for m in schedule.all_sends() {
+            let info = sent[&(m.src, m.dst, m.tag)];
+            starts.push(info.start);
+            ends.push(info.end);
+        }
+        Ok((report, starts, ends))
+    }
+}
+
+/// Dense replay state. Methods mirror the serial engine's `issue`
+/// closure and drain loop line for line; every floating-point operation
+/// appears in the same order with the same inputs.
+struct Replay<'p> {
+    pre_send: &'p [SendPre],
+    pre_recv: &'p [RecvPre],
+    node_of: &'p [u32],
+    nic_mode: NicMode,
+    port_free: Vec<f64>,
+    nic_tx: Vec<f64>,
+    nic_rx: Vec<f64>,
+    glob_tx: Vec<f64>,
+    glob_rx: Vec<f64>,
+    phase_idx: Vec<usize>,
+    info_start: Vec<f64>,
+    info_end: Vec<f64>,
+    sent_flag: Vec<bool>,
+    waiter_of: Vec<u32>,
+    missing: Vec<usize>,
+    stats: LevelStats,
+    finish: Vec<f64>,
+    busy: Vec<f64>,
+    /// Next unissued send / undrained recv id per rank (ids are assigned
+    /// in phase order, and phases are entered in order).
+    next_send: Vec<usize>,
+    next_recv: Vec<usize>,
+    /// Recv-id range `(start, len)` of the phase each rank is currently
+    /// in — saved at issue time, consumed by the drain.
+    cur_recv: Vec<(usize, usize)>,
+}
+
+impl Replay<'_> {
+    /// Issues rank `r`'s current phase: charge local work and sends,
+    /// register waits for recvs whose send is not yet issued. Returns
+    /// true when the rank can complete the phase immediately.
+    fn issue(&mut self, r: Rank, schedule: &Schedule) -> bool {
+        let k = self.phase_idx[r];
+        let phase = &schedule.phases(r)[k];
+        let local = phase.local_seconds;
+        self.busy[r] += local;
+        let mut t = self.port_free[r] + local;
+        let my_node = self.node_of[r] as usize;
+
+        let s0 = self.next_send[r];
+        for sid in s0..s0 + phase.sends.len() {
+            let p = &self.pre_send[sid];
+            self.busy[r] += p.occupancy;
+            let posted = t;
+            t = posted + p.occupancy;
+            let internode = matches!(p.level, Locality::SameGroup | Locality::RemoteGroup);
+            let mut wire_start = posted;
+            if internode {
+                match self.nic_mode {
+                    NicMode::Off => {}
+                    NicMode::TxOnly => {
+                        wire_start = wire_start.max(self.nic_tx[my_node]);
+                        self.nic_tx[my_node] = wire_start + p.nic_hold;
+                    }
+                    NicMode::TxRx => {
+                        let tx_start = wire_start.max(self.nic_tx[my_node]);
+                        self.nic_tx[my_node] = tx_start + p.nic_hold;
+                        let mut at = tx_start;
+                        if p.level == Locality::RemoteGroup && p.gl_hold != 0.0 {
+                            let g_tx = at.max(self.glob_tx[p.sg as usize]);
+                            self.glob_tx[p.sg as usize] = g_tx + p.gl_hold;
+                            let g_rx = g_tx.max(self.glob_rx[p.dg as usize]);
+                            self.glob_rx[p.dg as usize] = g_rx + p.gl_hold;
+                            at = g_rx;
+                        }
+                        let rx_start = at.max(self.nic_rx[p.dst_node as usize]);
+                        self.nic_rx[p.dst_node as usize] = rx_start + p.nic_hold;
+                        wire_start = rx_start;
+                    }
+                }
+            }
+            self.stats.record(p.level, p.bytes);
+            self.info_start[sid] = posted;
+            self.info_end[sid] = wire_start + p.wire;
+            self.sent_flag[sid] = true;
+        }
+        self.next_send[r] = s0 + phase.sends.len();
+        self.port_free[r] = t;
+
+        let r0 = self.next_recv[r];
+        let rn = phase.recvs.len();
+        self.next_recv[r] = r0 + rn;
+        self.cur_recv[r] = (r0, rn);
+        let mut unmatched = 0usize;
+        for q in r0..r0 + rn {
+            let sid = self.pre_recv[q].send_id as usize;
+            if !self.sent_flag[sid] {
+                self.waiter_of[sid] = r as u32;
+                unmatched += 1;
+            }
+        }
+        self.missing[r] = unmatched;
+        unmatched == 0
+    }
+
+    /// Completes the recvs of rank `r`'s current phase in arrival order.
+    fn drain(&mut self, r: Rank) {
+        let (r0, rn) = self.cur_recv[r];
+        let mut arrivals: Vec<(f64, f64, f64)> = (r0..r0 + rn)
+            .map(|q| {
+                let p = &self.pre_recv[q];
+                let sid = p.send_id as usize;
+                (self.info_start[sid], self.info_end[sid], p.occupancy)
+            })
+            .collect();
+        arrivals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("sim times are never NaN"));
+        let mut t = self.port_free[r];
+        for (start, end, occupancy) in arrivals {
+            self.busy[r] += occupancy;
+            let busy_start = t.max(start);
+            t = (busy_start + occupancy).max(end);
+        }
+        self.port_free[r] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, GlobalLinkConfig, NicMode, SimConfig, SimError};
+    use crate::schedule::{Msg, Schedule};
+    use nhood_cluster::{ClusterLayout, HockneyParams, WorkerPool};
+    use nhood_topology::rng::DetRng;
+
+    /// Asserts the sharded report is bit-identical to the serial one
+    /// under every pool width.
+    fn assert_bit_identical(layout: &ClusterLayout, config: SimConfig, s: &Schedule) {
+        let engine = Engine::new(layout, config);
+        let serial = engine.run(s).expect("serial run");
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let sharded = engine.run_sharded(s, &pool).expect("sharded run");
+            assert_eq!(
+                serial.makespan.to_bits(),
+                sharded.makespan.to_bits(),
+                "makespan differs at {threads} threads"
+            );
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&serial.per_rank_finish), bits(&sharded.per_rank_finish));
+            assert_eq!(bits(&serial.port_busy), bits(&sharded.port_busy));
+            assert_eq!(serial.stats, sharded.stats);
+        }
+    }
+
+    /// Random rounds of permutation traffic: every phase pairs each rank
+    /// with a pseudo-random partner, so sends and recvs match within the
+    /// phase and the schedule is deadlock-free by construction.
+    fn perm_rounds(n: usize, rounds: usize, seed: u64) -> Schedule {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut phases: Vec<Vec<(Vec<Msg>, Vec<Msg>)>> = vec![Vec::new(); n];
+        for t in 0..rounds {
+            let mut perm: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut perm);
+            let mut round: Vec<(Vec<Msg>, Vec<Msg>)> = vec![(Vec::new(), Vec::new()); n];
+            for (src, &dst) in perm.iter().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let bytes = 1 + rng.gen_below(64 * 1024);
+                let m = Msg { src, dst, bytes, tag: t as u64 };
+                round[src].0.push(m);
+                round[dst].1.push(m);
+            }
+            for (r, (sends, recvs)) in round.into_iter().enumerate() {
+                phases[r].push((sends, recvs));
+            }
+        }
+        let mut s = Schedule::new(n);
+        for (r, ph) in phases.into_iter().enumerate() {
+            for (sends, recvs) in ph {
+                s.push(r, sends, recvs);
+            }
+        }
+        s
+    }
+
+    /// A cross-phase relay chain: rank 0 sends, every other rank relays
+    /// in a later phase — exercises waits on not-yet-issued sends and
+    /// uneven per-rank phase counts.
+    fn relay_chain(n: usize, bytes: usize) -> Schedule {
+        let mut s = Schedule::new(n);
+        for r in 0..n {
+            if r > 0 {
+                let m = Msg { src: r - 1, dst: r, bytes, tag: r as u64 };
+                s.push(r, vec![], vec![m]);
+            }
+            if r + 1 < n {
+                let m = Msg { src: r, dst: r + 1, bytes, tag: (r + 1) as u64 };
+                s.push(r, vec![m], vec![]);
+            }
+        }
+        s
+    }
+
+    fn configs() -> Vec<SimConfig> {
+        let mut cfgs = vec![
+            SimConfig::niagara(),
+            SimConfig::classic(HockneyParams::niagara(), NicMode::TxRx),
+            SimConfig::classic(HockneyParams::niagara(), NicMode::TxOnly),
+            SimConfig::classic(HockneyParams::niagara(), NicMode::Off),
+        ];
+        let mut gl = SimConfig::niagara();
+        gl.global_links = Some(GlobalLinkConfig::niagara());
+        cfgs.push(gl);
+        let mut no_gap = SimConfig::niagara();
+        no_gap.nic_gap = None;
+        cfgs.push(no_gap);
+        cfgs
+    }
+
+    #[test]
+    fn random_perm_traffic_is_bit_identical() {
+        // Hierarchical layout with groups so all four locality levels and
+        // the global-link queues are exercised.
+        let layout = ClusterLayout::with_groups(16, 2, 2, 4); // 64 ranks
+        for (i, config) in configs().into_iter().enumerate() {
+            let s = perm_rounds(64, 6, 0xC0FFEE + i as u64);
+            assert_bit_identical(&layout, config, &s);
+        }
+    }
+
+    #[test]
+    fn relay_chain_is_bit_identical() {
+        let layout = ClusterLayout::new(8, 1, 4); // 32 ranks
+        for config in configs() {
+            assert_bit_identical(&layout, config, &relay_chain(32, 4096));
+        }
+    }
+
+    #[test]
+    fn kilorank_schedule_is_bit_identical() {
+        let layout = ClusterLayout::with_groups(64, 2, 8, 8); // 1024 ranks
+        let s = perm_rounds(1024, 4, 42);
+        assert_bit_identical(&layout, SimConfig::niagara(), &s);
+    }
+
+    #[test]
+    fn empty_and_uneven_schedules_are_bit_identical() {
+        let layout = ClusterLayout::new(4, 1, 2);
+        // Some ranks have no phases at all; some phases are empty.
+        let mut s = Schedule::new(8);
+        let m = Msg { src: 0, dst: 5, bytes: 256, tag: 7 };
+        s.push(0, vec![m], vec![]);
+        s.push(5, vec![], vec![m]);
+        s.push(5, vec![], vec![]); // trailing empty phase
+        assert_bit_identical(&layout, SimConfig::niagara(), &s);
+
+        let empty = Schedule::new(4);
+        assert_bit_identical(&layout, SimConfig::niagara(), &empty);
+    }
+
+    #[test]
+    fn invalid_schedules_report_the_serial_error() {
+        let layout = ClusterLayout::new(2, 1, 1);
+        let pool = WorkerPool::new(4);
+        // Send with no matching recv.
+        let mut s = Schedule::new(2);
+        s.push(0, vec![Msg { src: 0, dst: 1, bytes: 8, tag: 0 }], vec![]);
+        let engine = Engine::new(&layout, SimConfig::niagara());
+        assert_eq!(engine.run(&s).unwrap_err(), engine.run_sharded(&s, &pool).unwrap_err());
+
+        // Size mismatch.
+        let mut s = Schedule::new(2);
+        s.push(0, vec![Msg { src: 0, dst: 1, bytes: 8, tag: 0 }], vec![]);
+        s.push(1, vec![], vec![Msg { src: 0, dst: 1, bytes: 16, tag: 0 }]);
+        assert_eq!(engine.run(&s).unwrap_err(), engine.run_sharded(&s, &pool).unwrap_err());
+    }
+
+    #[test]
+    fn deadlock_and_capacity_match_serial() {
+        let layout = ClusterLayout::new(2, 1, 1);
+        let pool = WorkerPool::new(4);
+        let engine = Engine::new(&layout, SimConfig::niagara());
+        // Mutual cross-phase waits: 0 waits for 1's phase-1 send and vice
+        // versa — valid per the matcher, but cyclic.
+        let mut s = Schedule::new(2);
+        let a = Msg { src: 0, dst: 1, bytes: 8, tag: 0 };
+        let b = Msg { src: 1, dst: 0, bytes: 8, tag: 1 };
+        s.push(0, vec![], vec![b]);
+        s.push(0, vec![a], vec![]);
+        s.push(1, vec![], vec![a]);
+        s.push(1, vec![b], vec![]);
+        let serial = engine.run(&s).unwrap_err();
+        let sharded = engine.run_sharded(&s, &pool).unwrap_err();
+        assert!(matches!(serial, SimError::Deadlock(_)));
+        assert_eq!(serial, sharded);
+
+        // More ranks than cores.
+        let big = perm_rounds(8, 1, 3);
+        let serial = engine.run(&big).unwrap_err();
+        assert!(matches!(serial, SimError::LayoutTooSmall { .. }));
+        assert_eq!(serial, engine.run_sharded(&big, &pool).unwrap_err());
+    }
+
+    #[test]
+    fn recorded_replay_matches_serial_recorder() {
+        use nhood_telemetry::CountingRecorder;
+        let layout = ClusterLayout::new(4, 1, 2);
+        let s = perm_rounds(8, 3, 11);
+        let engine = Engine::new(&layout, SimConfig::niagara());
+        let serial_rec = CountingRecorder::new(8);
+        engine.run_recorded(&s, &serial_rec).unwrap();
+        let sharded_rec = CountingRecorder::new(8);
+        let pool = WorkerPool::new(4);
+        engine.run_sharded_recorded(&s, &pool, &sharded_rec).unwrap();
+        for r in 0..8 {
+            assert_eq!(serial_rec.per_rank(r), sharded_rec.per_rank(r), "rank {r}");
+        }
+        assert_eq!(serial_rec.totals(), sharded_rec.totals());
+    }
+}

@@ -13,6 +13,8 @@
 //!   workload (Figs. 4, 5, 8 of the paper);
 //! * [`moore::moore`] — Moore neighborhoods on d-dimensional periodic
 //!   grids (Fig. 6);
+//! * [`torus::torus`] — fixed-degree (`2d`) d-dimensional tori, the
+//!   100k-rank scale stress workload;
 //! * [`matrix`] — CSR sparse matrices, Matrix Market I/O and seeded
 //!   synthetic replicas of the SuiteSparse matrices in Table II;
 //! * [`spmm_graph`] — derivation of the SpMM kernel's neighborhood
@@ -44,9 +46,11 @@ pub mod random;
 pub mod rng;
 pub mod spmm_graph;
 pub mod stencil;
+pub mod torus;
 
 pub use bitset::Bitset;
 pub use graph::{DegreeStats, Rank, Topology};
 pub use matrix::CsrMatrix;
 pub use moore::MooreSpec;
 pub use spmm_graph::BlockPartition;
+pub use torus::TorusSpec;

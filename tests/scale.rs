@@ -192,8 +192,8 @@ fn paper_fig1_narrative_holds() {
             }
             prev_h1 = Some(step.h1);
             assert!(p >= step.h1.0 && p <= step.h1.1, "rank outside its own h1");
-            assert_eq!(step.held_before.len(), buf_len);
-            buf_len += step.arriving.len();
+            assert_eq!(step.held_len, buf_len);
+            buf_len += step.arr_len;
         }
         // the final half fits on one socket
         if let Some(last) = rp.steps.last() {
