@@ -1,0 +1,80 @@
+//! `bench10` — regenerate `BENCH_10.json`: `Algorithm::Auto` against
+//! every fixed algorithm in the portfolio, on simulated makespan.
+//!
+//! ```text
+//! bench10 [--quick] [--out FILE]
+//! ```
+//!
+//! Default output is `BENCH_10.json` in the current directory. Two
+//! acceptance gates: geometric-mean speedup vs the best fixed arm must
+//! be ≥ 1.0 (Auto sweeps a superset — it may never lose), and vs the
+//! worst fixed arm ≥ 1.15 (the payoff for not hard-coding the wrong
+//! algorithm must be real). Exits nonzero when a gate fails.
+
+use nhood_bench::bench10;
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("BENCH_10.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().expect("missing --out value")),
+            other => {
+                eprintln!("usage: bench10 [--quick] [--out FILE] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        ">> BENCH_10: auto-tuner vs fixed algorithms ({} scale)...",
+        if quick { "quick" } else { "full" }
+    );
+    let rows = bench10::run_tuning(quick);
+    let report = bench10::gates(&rows);
+    let json = bench10::write_json(&rows, &report, quick);
+    std::fs::write(&out, &json).expect("writing BENCH_10.json");
+
+    eprintln!("   case                       winner            auto us  vs best  vs worst");
+    for r in &rows {
+        eprintln!(
+            "   {:<24} {:<18} {:>9.2} {:>7.2}x {:>8.2}x",
+            r.case,
+            r.winner.to_string(),
+            r.auto_s * 1e6,
+            r.best_fixed() / r.auto_s,
+            r.worst_fixed() / r.auto_s,
+        );
+    }
+    eprintln!(
+        ">> gmean vs best {:.3}x (gate {:.2}x), vs worst {:.3}x (gate {:.2}x)",
+        report.gmean_vs_best,
+        bench10::GATE_VS_BEST,
+        report.gmean_vs_worst,
+        bench10::GATE_VS_WORST
+    );
+    eprintln!(">> wrote {}", out.display());
+
+    let mut failed = false;
+    if !report.vs_best_ok {
+        eprintln!(
+            "!! vs-best gate failed: {:.3}x under {:.2}x — the tuner picked a loser",
+            report.gmean_vs_best,
+            bench10::GATE_VS_BEST
+        );
+        failed = true;
+    }
+    if !report.vs_worst_ok {
+        eprintln!(
+            "!! vs-worst gate failed: {:.3}x under {:.2}x",
+            report.gmean_vs_worst,
+            bench10::GATE_VS_WORST
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

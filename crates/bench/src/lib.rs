@@ -16,6 +16,7 @@
 //! all`; wall-clock micro-benchmarks of the library itself live under
 //! `benches/` (driven by the in-repo [`harness`]).
 
+pub mod bench10;
 pub mod bench3;
 pub mod bench4;
 pub mod bench5;

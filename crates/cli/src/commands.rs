@@ -28,20 +28,40 @@ impl From<std::io::Error> for ArgError {
     }
 }
 
-/// Parses the `--algo` flag.
+/// Parses the `--algo` flag. Parameterized algorithms take their knob
+/// either inline (`cn:4`, `pat:8`, `leader:2`) or through the matching
+/// flag (`--k`, `--radix`, `--leaders`); the inline form wins.
 pub fn parse_algo(args: &Args) -> Result<Algorithm, ArgError> {
-    match args.get("algo").unwrap_or("dh") {
-        "naive" => Ok(Algorithm::Naive),
-        "dh" | "distance-halving" => Ok(Algorithm::DistanceHalving),
-        "cn" | "common-neighbor" => {
-            let k = args.get_parsed("k", 8usize)?;
-            Ok(Algorithm::CommonNeighbor { k })
+    let spec = args.get("algo").unwrap_or("dh");
+    let (name, inline) = match spec.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (spec, None),
+    };
+    let param = |flag: &str, default: usize| -> Result<usize, ArgError> {
+        match inline {
+            Some(p) => p
+                .parse::<usize>()
+                .map_err(|_| fail(format!("--algo {name}:{p}: '{p}' is not a count"))),
+            None => args.get_parsed(flag, default),
         }
+    };
+    let bare = |algo: Algorithm| match inline {
+        Some(p) => Err(fail(format!("--algo {name} takes no ':{p}' parameter"))),
+        None => Ok(algo),
+    };
+    match name {
+        "naive" => bare(Algorithm::Naive),
+        "dh" | "distance-halving" => bare(Algorithm::DistanceHalving),
+        "auto" => bare(Algorithm::Auto),
+        "bruck" => bare(Algorithm::Bruck),
+        "cn" | "common-neighbor" => Ok(Algorithm::CommonNeighbor { k: param("k", 8)? }),
+        "pat" => Ok(Algorithm::Pat { radix: param("radix", 4)? }),
         "leader" | "hierarchical-leader" => {
-            let l = args.get_parsed("leaders", 2usize)?;
-            Ok(Algorithm::HierarchicalLeader { leaders_per_node: l })
+            Ok(Algorithm::HierarchicalLeader { leaders_per_node: param("leaders", 2)? })
         }
-        other => Err(fail(format!("unknown --algo '{other}' (naive | dh | cn | leader)"))),
+        other => Err(fail(format!(
+            "unknown --algo '{other}' (naive | dh | cn[:K] | leader[:L] | bruck | pat[:R] | auto)"
+        ))),
     }
 }
 
@@ -264,7 +284,13 @@ pub fn cmd_plan(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
         nhood_core::plan_io::save_plan(&plan, std::path::Path::new(save))?;
         writeln!(w, "plan saved to {save}")?;
     }
-    writeln!(w, "algorithm:        {algo}")?;
+    if plan.algorithm == algo {
+        writeln!(w, "algorithm:        {algo}")?;
+    } else {
+        // Auto resolved to its tuned winner, or a degenerate parameter
+        // was canonicalized (e.g. cn:K clamped to n) — show what ran.
+        writeln!(w, "algorithm:        {} (from --algo {algo})", plan.algorithm)?;
+    }
     if metric == LoadMetric::Bytes {
         writeln!(w, "load metric:      bytes (agent selection weighted by block size)")?;
     }
@@ -556,15 +582,13 @@ pub fn cmd_recommend(args: &Args, w: &mut impl Write) -> Result<(), ArgError> {
     let m = parse_bytes(args.get("size").unwrap_or("4K"))?;
     let rec = nhood_core::select_algo::recommend(&graph, &layout, m);
     writeln!(w, "recommended: {rec} (for {m}-byte payloads)")?;
+    let n = graph.n();
     let comm =
         DistGraphComm::create_adjacent(graph, layout.clone()).map_err(|e| fail(e.to_string()))?;
     let cost = SimCost::niagara();
-    for algo in [
-        Algorithm::Naive,
-        Algorithm::CommonNeighbor { k: 8 },
-        Algorithm::HierarchicalLeader { leaders_per_node: 8 },
-        Algorithm::DistanceHalving,
-    ] {
+    // The tuner's own portfolio, so the listing shows exactly what the
+    // recommendation swept (placement-gated candidates included).
+    for algo in nhood_core::autotune::candidates(n, &layout, 8) {
         let plan = comm.plan(algo).map_err(|e| fail(e.to_string()))?;
         let t = simulate(&plan, &layout, m, &cost).map_err(|e| fail(e.to_string()))?;
         let marker = if algo == rec { "  <-- recommended" } else { "" };
@@ -1122,6 +1146,7 @@ mod tests {
             "algo",
             "k",
             "leaders",
+            "radix",
             "nodes",
             "sockets",
             "cores",
@@ -1168,6 +1193,57 @@ mod tests {
 
     fn tmp(name: &str) -> String {
         std::env::temp_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn algo_flag_accepts_portfolio_spellings() {
+        let cases = [
+            ("naive", Algorithm::Naive),
+            ("dh", Algorithm::DistanceHalving),
+            ("auto", Algorithm::Auto),
+            ("bruck", Algorithm::Bruck),
+            ("pat", Algorithm::Pat { radix: 4 }),
+            ("pat:8", Algorithm::Pat { radix: 8 }),
+            ("cn:3", Algorithm::CommonNeighbor { k: 3 }),
+            ("leader:4", Algorithm::HierarchicalLeader { leaders_per_node: 4 }),
+        ];
+        for (spec, want) in cases {
+            let got = parse_algo(&args(&["plan", "x.el", "--algo", spec])).unwrap();
+            assert_eq!(got, want, "--algo {spec}");
+        }
+        // the flag forms still feed the parameterized algorithms
+        let got = parse_algo(&args(&["plan", "x.el", "--algo", "pat", "--radix", "2"])).unwrap();
+        assert_eq!(got, Algorithm::Pat { radix: 2 });
+        // the inline form wins over the flag
+        let got = parse_algo(&args(&["plan", "x.el", "--algo", "cn:5", "--k", "9"])).unwrap();
+        assert_eq!(got, Algorithm::CommonNeighbor { k: 5 });
+        for bad in ["dh:2", "auto:1", "pat:x", "frobnicate"] {
+            assert!(parse_algo(&args(&["plan", "x.el", "--algo", bad])).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn plan_and_run_accept_the_new_algorithms() {
+        let path = tmp("nhood_cli_pr10.el");
+        let mut out = Vec::new();
+        cmd_gen(&args(&["gen", "er", &path, "--n", "32", "--delta", "0.3"]), &mut out).unwrap();
+        for algo in ["bruck", "pat:2", "auto"] {
+            let mut out = Vec::new();
+            cmd_plan(&args(&["plan", &path, "--algo", algo]), &mut out).unwrap();
+            let text = String::from_utf8_lossy(&out).to_string();
+            assert!(text.contains("phases"), "--algo {algo}: {text}");
+            let mut out = Vec::new();
+            cmd_validate(&args(&["validate", &path, "--algo", algo]), &mut out).unwrap();
+            let text = String::from_utf8_lossy(&out).to_string();
+            assert!(text.contains("execution check: ok"), "--algo {algo}: {text}");
+        }
+        let mut out = Vec::new();
+        cmd_recommend(&args(&["recommend", &path, "--size", "4K"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out).to_string();
+        assert!(text.contains("recommended:"), "{text}");
+        assert!(text.contains("bruck"), "portfolio listing must include bruck: {text}");
+        assert!(text.contains("pat(r=4)"), "portfolio listing must include pat: {text}");
+        assert!(text.contains("<-- recommended"), "{text}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ const SPEC: Spec = Spec {
         "algo",
         "k",
         "leaders",
+        "radix",
         "nodes",
         "sockets",
         "cores",
@@ -73,7 +74,8 @@ nhood <command> [args]
 
 commands:
   gen <er|moore|vonneumann> <out-file> --n N [--delta D | --r R --d DIM] [--seed S]
-  plan <edge-list> [--algo naive|dh|cn|leader] [--k K] [--save plan.bin]
+  plan <edge-list> [--algo naive|dh|cn[:K]|leader[:L]|bruck|pat[:R]|auto]
+       [--k K] [--leaders L] [--radix R] [--save plan.bin]
        [--build-threads N] [--cache-dir DIR] [layout flags]
        [--load-metric neighbors|bytes] [--block-sizes 1K,64,0,...]
   simulate <edge-list | --topology torus:D:K> [--algo ..] [--load plan.bin]

@@ -1,0 +1,236 @@
+//! A locality-aware Bruck neighborhood allgather (after Bienz et al.,
+//! "A Locality-Aware Bruck Allgather"): instead of every rank walking
+//! log-stride offsets itself, each **node** elects a router rank, blocks
+//! funnel to the router, routers exchange combined messages over
+//! log-stride *node* offsets, and arrivals scatter locally.
+//!
+//! Phases under block placement:
+//!
+//! 1. **local** — every block with at least one off-node outgoing
+//!    neighbor is gathered to its node's router; intra-node edges are
+//!    satisfied by direct sends in the same phase;
+//! 2. **rounds** `r = 0..R-1` with `R = ceil(log2(nodes))` — a block
+//!    destined for node offset `q` (mod the node count) hops from the
+//!    router at offset `q mod 2^r` to the router at offset
+//!    `q mod 2^(r+1)` whenever bit `r` of `q` is set. All blocks moving
+//!    between the same router pair in a round travel as **one combined
+//!    message**, which is what caps the inter-node message count at
+//!    `O(nodes · log nodes)` regardless of δ;
+//! 3. **scatter** — each router delivers the remote blocks it received
+//!    to the local ranks whose in-edges demand them, one combined
+//!    message per local rank.
+//!
+//! Compared to [`crate::leader`] this replaces the `O(nodes²)` leader
+//! exchange with `O(nodes · log nodes)` hops at the price of forwarding
+//! blocks through intermediate routers; the auto-tuner decides which
+//! trade wins for a given (topology, δ, sizes) point.
+
+use crate::plan::{Algorithm, CollectivePlan, PlanPhase, PlannedMsg};
+use nhood_cluster::ClusterLayout;
+use nhood_topology::{Rank, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds the locality-aware Bruck plan.
+///
+/// # Panics
+/// Panics if the layout is not block-placed or the topology exceeds the
+/// layout capacity.
+pub fn plan_bruck(graph: &Topology, layout: &ClusterLayout) -> CollectivePlan {
+    assert_eq!(
+        layout.placement(),
+        nhood_cluster::Placement::Block,
+        "Bruck routing needs block placement (see remap for alternatives)"
+    );
+    let n = graph.n();
+    assert!(n <= layout.capacity(), "{n} ranks exceed layout capacity");
+    if n == 0 {
+        return CollectivePlan { algorithm: Algorithm::Bruck, per_rank: vec![], selection: None };
+    }
+    let per_node = layout.ranks_per_node();
+    let node_of = |r: Rank| r / per_node;
+    // Only occupied nodes take part in the ring of offsets.
+    let nn = n.div_ceil(per_node);
+    let router = |node: usize| node * per_node;
+    let ranks_on = |node: usize| {
+        let lo = node * per_node;
+        lo..(lo + per_node).min(n)
+    };
+    // R = smallest number of rounds covering every offset 1..nn-1.
+    let rounds = if nn <= 1 { 0 } else { usize::BITS as usize - (nn - 1).leading_zeros() as usize };
+
+    let mut local: Vec<PlanPhase> = vec![PlanPhase::default(); n];
+    let mut round_phases: Vec<Vec<PlanPhase>> = vec![vec![PlanPhase::default(); n]; rounds];
+    let mut scatter: Vec<PlanPhase> = vec![PlanPhase::default(); n];
+    let mut epilogue: Vec<PlanPhase> = vec![PlanPhase::default(); n];
+
+    // Destination nodes per block, and whether the block leaves its node.
+    // gathered: blocks that travel to their local router in the local phase.
+    let mut gathered: BTreeSet<Rank> = BTreeSet::new();
+    // Combined router-to-router traffic: (round, src router, dst router) -> blocks.
+    let mut hops: Vec<BTreeMap<(Rank, Rank), BTreeSet<Rank>>> = vec![BTreeMap::new(); rounds];
+    // Remote blocks arriving at each node's router (destinations only).
+    let mut arrivals: BTreeMap<usize, BTreeSet<Rank>> = BTreeMap::new();
+    for b in 0..n {
+        let a = node_of(b);
+        let mut dest_nodes: BTreeSet<usize> = BTreeSet::new();
+        for &t in graph.out_neighbors(b) {
+            let bn = node_of(t);
+            if bn != a {
+                dest_nodes.insert(bn);
+            }
+        }
+        if dest_nodes.is_empty() {
+            continue;
+        }
+        gathered.insert(b);
+        for &bn in &dest_nodes {
+            let q = (bn + nn - a) % nn;
+            debug_assert!(q > 0);
+            for (r, hop) in hops.iter_mut().enumerate().take(rounds) {
+                if q >> r & 1 == 1 {
+                    let src = router((a + (q & ((1 << r) - 1))) % nn);
+                    let dst = router((a + (q & ((1 << (r + 1)) - 1))) % nn);
+                    hop.entry((src, dst)).or_default().insert(b);
+                }
+            }
+            arrivals.entry(bn).or_default().insert(b);
+        }
+    }
+
+    // Local phase: gather to the router, plus intra-node direct sends.
+    for &b in &gathered {
+        let l = router(node_of(b));
+        if l == b {
+            continue; // the router already holds its own block
+        }
+        local[b].sends.push(PlannedMsg { peer: l, blocks: vec![b], tag: 0 });
+        local[l].recvs.push(PlannedMsg { peer: b, blocks: vec![b], tag: 0 });
+    }
+    for b in 0..n {
+        let a = node_of(b);
+        let l = router(a);
+        for &t in graph.out_neighbors(b) {
+            if node_of(t) != a {
+                continue;
+            }
+            if t == l && gathered.contains(&b) && l != b {
+                continue; // delivered by the gather
+            }
+            let tag = 1_000_000 + t as u64;
+            local[b].sends.push(PlannedMsg { peer: t, blocks: vec![b], tag });
+            local[t].recvs.push(PlannedMsg { peer: b, blocks: vec![b], tag });
+        }
+    }
+
+    // Log-stride rounds: one combined message per router pair per round.
+    // An arrival at offset `p` happens exactly once — in the round where
+    // the top bit of `p` was set — so no router ever receives a block
+    // twice, and a router forwarding in round `r` received the block at
+    // an offset below `2^r`, i.e. in an earlier round (or holds it from
+    // the local phase at offset 0).
+    for (r, round) in hops.iter().enumerate() {
+        let tag = 1 + r as u64;
+        for (&(src, dst), blocks) in round {
+            let blocks: Vec<Rank> = blocks.iter().copied().collect();
+            round_phases[r][src].copy_blocks += blocks.len(); // pack
+            round_phases[r][src].sends.push(PlannedMsg { peer: dst, blocks: blocks.clone(), tag });
+            round_phases[r][dst].recvs.push(PlannedMsg { peer: src, blocks, tag });
+        }
+    }
+
+    // Scatter: deliver each remote arrival to the local ranks that need
+    // it. The router's own in-edges were satisfied by the arrival itself.
+    let scatter_tag = 1 + rounds as u64;
+    for (&bn, blocks) in &arrivals {
+        let l = router(bn);
+        let mut per_target: BTreeMap<Rank, Vec<Rank>> = BTreeMap::new();
+        for &b in blocks {
+            for t in ranks_on(bn) {
+                if t != l && graph.has_edge(b, t) {
+                    per_target.entry(t).or_default().push(b);
+                }
+            }
+        }
+        for (t, blocks) in per_target {
+            scatter[l].copy_blocks += blocks.len();
+            epilogue[t].copy_blocks += blocks.len();
+            scatter[l].sends.push(PlannedMsg { peer: t, blocks: blocks.clone(), tag: scatter_tag });
+            scatter[t].recvs.push(PlannedMsg { peer: l, blocks, tag: scatter_tag });
+        }
+    }
+
+    let per_rank = (0..n)
+        .map(|r| {
+            let mut prog = Vec::with_capacity(rounds + 3);
+            prog.push(std::mem::take(&mut local[r]));
+            for round in &mut round_phases {
+                prog.push(std::mem::take(&mut round[r]));
+            }
+            prog.push(std::mem::take(&mut scatter[r]));
+            prog.push(std::mem::take(&mut epilogue[r]));
+            prog
+        })
+        .collect();
+    CollectivePlan { algorithm: Algorithm::Bruck, per_rank, selection: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::virtual_exec::{reference_allgather, test_payloads};
+    use crate::exec::{Executor, Virtual};
+    use nhood_topology::random::erdos_renyi;
+
+    #[test]
+    fn validates_and_matches_reference() {
+        for (n, delta) in [(32usize, 0.3), (24, 0.7), (36, 0.1), (17, 0.4), (64, 0.6), (5, 0.9)] {
+            let g = erdos_renyi(n, delta, 42);
+            let layout = ClusterLayout::new(n.div_ceil(8), 2, 4);
+            let plan = plan_bruck(&g, &layout);
+            plan.validate(&g).unwrap_or_else(|e| panic!("n={n} delta={delta}: {e}"));
+            let payloads = test_payloads(n, 8, 1);
+            let got = Virtual.run_simple(&plan, &g, &payloads).unwrap();
+            assert_eq!(got, reference_allgather(&g, &payloads), "n={n} delta={delta}");
+        }
+    }
+
+    #[test]
+    fn single_node_degenerates_to_direct_sends() {
+        let g = erdos_renyi(8, 0.5, 9);
+        let layout = ClusterLayout::new(1, 2, 4);
+        let plan = plan_bruck(&g, &layout);
+        plan.validate(&g).unwrap();
+        let sends: usize =
+            plan.per_rank.iter().flat_map(|p| p.iter()).map(|ph| ph.sends.len()).sum();
+        assert_eq!(sends, g.edge_count(), "one direct send per edge, no relaying");
+    }
+
+    #[test]
+    fn internode_messages_bounded_by_log_rounds() {
+        let g = erdos_renyi(64, 0.9, 3);
+        let layout = ClusterLayout::new(8, 2, 4); // 8 nodes
+        let plan = plan_bruck(&g, &layout);
+        plan.validate(&g).unwrap();
+        let mut internode = 0usize;
+        for (r, prog) in plan.per_rank.iter().enumerate() {
+            for phase in prog {
+                for m in &phase.sends {
+                    if !layout.same_node(r, m.peer) {
+                        internode += 1;
+                    }
+                }
+            }
+        }
+        // 8 nodes, 3 rounds: at most nodes * rounds router hops.
+        assert!(internode <= 8 * 3, "{internode} inter-node messages exceed the Bruck bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "block placement")]
+    fn non_block_placement_rejected() {
+        let g = erdos_renyi(8, 0.5, 1);
+        let layout =
+            ClusterLayout::new(2, 2, 2).with_placement(nhood_cluster::Placement::RoundRobinNodes);
+        let _ = plan_bruck(&g, &layout);
+    }
+}

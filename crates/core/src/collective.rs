@@ -457,11 +457,16 @@ pub(crate) fn check_support(
             return Err(CommError::InvalidReduction { reduction: red, reason });
         }
     }
-    if robust && !op.is_gather() {
+    if robust && !op.is_gather() && op != CollectiveOp::Alltoallv {
+        // The unsupported piece, by name: a retried reduce_scatter /
+        // allreduce would re-apply its operator at every forwarding hop
+        // it replays, corrupting the accumulation. Alltoallv items are
+        // idempotent to resend, so it joins the robust matrix.
         return Err(CommError::UnsupportedCollective {
             op,
             algorithm,
-            reason: "robust execution supports the allgather family only",
+            reason: "robust execution cannot replay hop-applied reductions \
+                     (reduce_scatter/allreduce); it covers the allgather family and alltoallv",
         });
     }
     if robust && backend != ExecBackend::Threaded {
@@ -474,14 +479,17 @@ pub(crate) fn check_support(
     if !op.is_gather()
         && matches!(
             algorithm,
-            Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. }
+            Algorithm::CommonNeighbor { .. }
+                | Algorithm::HierarchicalLeader { .. }
+                | Algorithm::Bruck
+                | Algorithm::Pat { .. }
         )
     {
         return Err(CommError::UnsupportedCollective {
             op,
             algorithm,
-            reason: "no item-routing formulation (alltoall-family ops need Naive or \
-                     DistanceHalving)",
+            reason: "no item-routing formulation (alltoall-family ops need Naive, \
+                     DistanceHalving or Auto)",
         });
     }
     Ok(())

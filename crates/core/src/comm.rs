@@ -82,6 +82,18 @@ pub enum CommError {
         /// What is wrong with it.
         reason: &'static str,
     },
+    /// An algorithm parameter is degenerate for this communicator —
+    /// e.g. `CommonNeighbor { k: 0 }`, `Pat { radix: 0 | 1 }` or
+    /// `HierarchicalLeader { leaders_per_node: 0 }`. Oversized but
+    /// well-formed parameters are clamped instead (see
+    /// [`DistGraphComm::normalize_algorithm`]); only parameters with no
+    /// sensible reading reject.
+    BadAlgorithmParam {
+        /// The offending algorithm as requested.
+        algorithm: Algorithm,
+        /// Which parameter rule rejected it.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -99,6 +111,9 @@ impl std::fmt::Display for CommError {
             }
             CommError::InvalidReduction { reduction, reason } => {
                 write!(f, "invalid reduction {reduction}: {reason}")
+            }
+            CommError::BadAlgorithmParam { algorithm, reason } => {
+                write!(f, "invalid parameter for {algorithm}: {reason}")
             }
         }
     }
@@ -301,10 +316,23 @@ pub struct DistGraphComm {
     /// graph, so `mutate` invalidates it for free; clones share the memo
     /// the way they share an attached [`PlanCache`].
     a2a_slot: A2aSlot,
+    /// The §V cost model [`Algorithm::Auto`] scores candidates under.
+    tuner_cost: SimCost,
+    /// Memo of the tuner's winning plan, keyed like the cache entry
+    /// ([`PlanFingerprint::of_tuner`]); shared by clones, cleared by
+    /// [`Self::mutate`].
+    tuner_slot: TunerSlot,
+    /// Candidate simulations the tuner has performed through this
+    /// communicator (and its clones) — the cache-effectiveness counter
+    /// [`Self::tuner_sims`] exposes.
+    tuner_sims: Arc<std::sync::atomic::AtomicU64>,
 }
 
 /// The shared memo cell for the combining family's item-routing plan.
 type A2aSlot = Arc<Mutex<Option<(PlanFingerprint, Arc<AlltoallPlan>)>>>;
+
+/// The shared memo cell for the auto-tuner's winning plan.
+type TunerSlot = Arc<Mutex<Option<(PlanFingerprint, Arc<CollectivePlan>)>>>;
 
 // Tenants of the collective service own one communicator each and may
 // be dispatched from worker threads while sharing a plan cache — the
@@ -338,7 +366,32 @@ impl DistGraphComm {
             sizes: None,
             churn: None,
             a2a_slot: Arc::new(Mutex::new(None)),
+            tuner_cost: SimCost::niagara(),
+            tuner_slot: Arc::new(Mutex::new(None)),
+            tuner_sims: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
+    }
+
+    /// Replaces the §V cost model [`Algorithm::Auto`] scores candidates
+    /// under (default: [`SimCost::niagara`]). The cost model is part of
+    /// the tuner cache key — two communicators tuning under different
+    /// link speeds never share winners.
+    pub fn with_tuner_cost(mut self, cost: SimCost) -> Self {
+        self.tuner_cost = cost;
+        self
+    }
+
+    /// The cost model the auto-tuner scores with.
+    pub fn tuner_cost(&self) -> &SimCost {
+        &self.tuner_cost
+    }
+
+    /// Total candidate simulations the auto-tuner has performed through
+    /// this communicator and its clones. A second resolution of an
+    /// identical tuner fingerprint must not move this counter — the
+    /// winner comes from the memo or the attached [`PlanCache`].
+    pub fn tuner_sims(&self) -> u64 {
+        self.tuner_sims.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Selects the load metric of agent selection:
@@ -497,6 +550,15 @@ impl DistGraphComm {
         let sizes = self.planning_sizes();
         let n = self.n();
 
+        // Retire the auto-tuner's winner for the pre-churn topology.
+        // The churned adjacency hashes to a fresh tuner key, so the old
+        // entry could never be *served* again — but it would squat in
+        // the LRU until evicted; drop it (and the memo) eagerly.
+        if let Some(cache) = &self.cache {
+            cache.retire(self.tuner_fingerprint_sized(&sizes));
+        }
+        *self.tuner_slot.lock().expect("tuner memo poisoned") = None;
+
         // Surgical attempt against the live slot, bounded by policy.
         let surgical = self.churn.as_ref().and_then(|slot| {
             if slot.repairs >= self.policy.repair.max_repair_rounds || slot.sizes != sizes {
@@ -594,7 +656,7 @@ impl DistGraphComm {
         sizes: &BlockSizes,
         rec: &dyn Recorder,
     ) -> Result<CollectivePlan, CommError> {
-        let plan = match algo {
+        let plan = match self.normalize_algorithm(algo)? {
             Algorithm::Naive => plan_naive(&self.graph),
             Algorithm::CommonNeighbor { k } => plan_common_neighbor(&self.graph, k),
             Algorithm::DistanceHalving => {
@@ -615,9 +677,184 @@ impl DistGraphComm {
             Algorithm::HierarchicalLeader { leaders_per_node } => {
                 crate::leader::plan_hierarchical_leader(&self.graph, &self.layout, leaders_per_node)
             }
+            Algorithm::Bruck => crate::bruck::plan_bruck(&self.graph, &self.layout),
+            Algorithm::Pat { radix } => crate::pat::plan_pat(&self.graph, radix),
+            Algorithm::Auto => {
+                // The tuner validates (and usually caches) the winner.
+                return self.resolve_auto(sizes, rec).map(|p| (*p).clone());
+            }
         };
         plan.validate(&self.graph).map_err(CommError::InvalidPlan)?;
         Ok(plan)
+    }
+
+    /// Validates and canonicalizes an algorithm choice for this
+    /// communicator. Parameters with no sensible reading —
+    /// `CommonNeighbor { k: 0 }`, `Pat { radix: 0 | 1 }`,
+    /// `HierarchicalLeader { leaders_per_node: 0 }` — return
+    /// [`CommError::BadAlgorithmParam`]. An oversized Common Neighbor
+    /// group (`k > n`) is **clamped to `n`** (one group spanning every
+    /// rank), documented behaviour that also canonicalizes the plan
+    /// cache key: `k = n` and `k = 10·n` request the same plan and
+    /// share a slot. `k = 1` (every rank its own group) and `k` not
+    /// dividing `n` (a ragged trailing group) are valid as-is.
+    pub fn normalize_algorithm(&self, algo: Algorithm) -> Result<Algorithm, CommError> {
+        match algo {
+            Algorithm::CommonNeighbor { k: 0 } => Err(CommError::BadAlgorithmParam {
+                algorithm: algo,
+                reason: "group size k must be at least 1",
+            }),
+            Algorithm::CommonNeighbor { k } if k > self.n() && self.n() > 0 => {
+                Ok(Algorithm::CommonNeighbor { k: self.n() })
+            }
+            Algorithm::Pat { radix } if radix < 2 => Err(CommError::BadAlgorithmParam {
+                algorithm: algo,
+                reason: "aggregation radix must be at least 2",
+            }),
+            Algorithm::HierarchicalLeader { leaders_per_node: 0 } => {
+                Err(CommError::BadAlgorithmParam {
+                    algorithm: algo,
+                    reason: "need at least one leader per node",
+                })
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// The concrete algorithm a request for `algo` executes:
+    /// [`Algorithm::Auto`] resolves to the tuner's winner for this
+    /// communicator's current fingerprint (tuning now if the winner is
+    /// not yet cached), anything else just normalizes. The service's
+    /// batching keys on the result, so Auto tenants coalesce with
+    /// tenants that picked the winner explicitly.
+    pub fn resolve_algorithm(&self, algo: Algorithm) -> Result<Algorithm, CommError> {
+        match self.normalize_algorithm(algo)? {
+            Algorithm::Auto => Ok(self.resolve_auto(&self.planning_sizes(), &NULL)?.algorithm),
+            concrete => Ok(concrete),
+        }
+    }
+
+    /// The cache key this communicator's [`Algorithm::Auto`] winner
+    /// lives under — [`PlanFingerprint::of_tuner`] over the current
+    /// topology, layout, planning sizes, load metric and tuner cost
+    /// model.
+    pub fn tuner_fingerprint(&self) -> PlanFingerprint {
+        self.tuner_fingerprint_sized(&self.planning_sizes())
+    }
+
+    fn tuner_fingerprint_sized(&self, sizes: &BlockSizes) -> PlanFingerprint {
+        PlanFingerprint::of_tuner(
+            &self.graph,
+            &self.layout,
+            sizes,
+            self.metric,
+            &format!("{:?}", self.tuner_cost),
+        )
+    }
+
+    /// Serves the auto-tuner's winning plan: memo, then the attached
+    /// [`PlanCache`] under the tuner key, then a full tuning pass whose
+    /// winner is cached under both the tuner key and the winner's own
+    /// canonical build key. Only the tuning pass performs candidate
+    /// simulations ([`Self::tuner_sims`]).
+    fn resolve_auto(
+        &self,
+        sizes: &BlockSizes,
+        rec: &dyn Recorder,
+    ) -> Result<Arc<CollectivePlan>, CommError> {
+        let key = self.tuner_fingerprint_sized(sizes);
+        {
+            let slot = self.tuner_slot.lock().expect("tuner memo poisoned");
+            if let Some((k, plan)) = slot.as_ref() {
+                if *k == key {
+                    rec.plan_cache(0, true);
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        if let Some(cache) = &self.cache {
+            if let Some(plan) = cache.lookup(key, &self.graph) {
+                rec.plan_cache(0, true);
+                *self.tuner_slot.lock().expect("tuner memo poisoned") =
+                    Some((key, Arc::clone(&plan)));
+                return Ok(plan);
+            }
+        }
+        rec.plan_cache(0, false);
+        let outcome = self.tune_sized(sizes, rec)?;
+        let plan = outcome.plan;
+        if let Some(cache) = &self.cache {
+            cache.insert_validated(key, Arc::clone(&plan), &self.graph);
+            // Also park the winner under its own build key: a later
+            // explicit request for the winning algorithm (same sizes
+            // and metric) hits instead of rebuilding.
+            let canonical = PlanFingerprint::of_build_v(
+                &self.graph,
+                &self.layout,
+                outcome.winner,
+                sizes,
+                self.metric,
+            );
+            cache.insert_validated(canonical, Arc::clone(&plan), &self.graph);
+        }
+        *self.tuner_slot.lock().expect("tuner memo poisoned") = Some((key, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    /// Runs one full tuning pass for this communicator's planning sizes
+    /// — every portfolio candidate ([`crate::autotune::candidates`]) is
+    /// built and scored through the tuner cost model; the strict-minimum
+    /// makespan wins, ties breaking toward the earlier candidate. This
+    /// always simulates; the cached entry points are
+    /// [`Algorithm::Auto`] requests and [`Self::resolve_algorithm`].
+    pub fn tune(&self) -> Result<crate::autotune::TuneOutcome, CommError> {
+        self.tune_sized(&self.planning_sizes(), &NULL)
+    }
+
+    fn tune_sized(
+        &self,
+        sizes: &BlockSizes,
+        rec: &dyn Recorder,
+    ) -> Result<crate::autotune::TuneOutcome, CommError> {
+        let cands = crate::autotune::candidates(self.n(), &self.layout, 8);
+        self.tune_candidates(&cands, sizes, rec)
+    }
+
+    /// [`Self::tune`] over an explicit candidate list. Candidates whose
+    /// build fails (e.g. Distance Halving on a non-block layout) are
+    /// skipped; at least one candidate must build.
+    pub fn tune_candidates(
+        &self,
+        cands: &[Algorithm],
+        sizes: &BlockSizes,
+        rec: &dyn Recorder,
+    ) -> Result<crate::autotune::TuneOutcome, CommError> {
+        let lens: Vec<usize> = (0..self.n()).map(|r| sizes.size(r)).collect();
+        let mut scores: Vec<(Algorithm, f64)> = Vec::with_capacity(cands.len());
+        let mut sims = 0u64;
+        let mut best: Option<(f64, Algorithm, CollectivePlan)> = None;
+        let mut last_err = None;
+        for &cand in cands {
+            debug_assert_ne!(cand, Algorithm::Auto, "the tuner only scores concrete candidates");
+            let plan = match self.build_plan_recorded(cand, sizes, rec) {
+                Ok(p) => p,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let t = simulate_v(&plan, &self.layout, &lens, &self.tuner_cost)?.makespan;
+            sims += 1;
+            scores.push((plan.algorithm, t));
+            if best.as_ref().is_none_or(|(bt, ..)| t < *bt) {
+                best = Some((t, plan.algorithm, plan));
+            }
+        }
+        self.tuner_sims.fetch_add(sims, std::sync::atomic::Ordering::Relaxed);
+        let Some((_, winner, plan)) = best else {
+            return Err(last_err.expect("an empty candidate list never reaches the tuner"));
+        };
+        Ok(crate::autotune::TuneOutcome { winner, scores, simulations: sims, plan: Arc::new(plan) })
     }
 
     /// [`Self::plan`] through the attached [`PlanCache`]: on a hit the
@@ -651,6 +888,12 @@ impl DistGraphComm {
         sizes: &BlockSizes,
         rec: &dyn Recorder,
     ) -> Result<Arc<CollectivePlan>, CommError> {
+        // Normalize first: the clamp must land before fingerprinting so
+        // equivalent requests (k = n vs k = 10·n) share a cache slot.
+        let algo = self.normalize_algorithm(algo)?;
+        if algo == Algorithm::Auto {
+            return self.resolve_auto(sizes, rec);
+        }
         // A live churn slot holds THE current Distance Halving plan for
         // this communicator's (possibly mutated) topology — serve it
         // without touching the cache or rebuilding.
@@ -770,6 +1013,10 @@ impl DistGraphComm {
     fn combining_collective(&self, req: &CollectiveRequest) -> Result<CollectiveOutput, CommError> {
         let sizes = derive_sizes(&self.graph, req.op, req.payloads, req.sizes.as_ref())?;
         let plan = self.a2a_plan_shared(req.algorithm, req.recorder)?;
+        if req.robust {
+            // check_support pinned op == Alltoallv, backend == Threaded.
+            return self.robust_alltoallv(&plan, req, &sizes);
+        }
         match req.backend {
             ExecBackend::Virtual => {
                 let run = run_combining_virtual(
@@ -814,6 +1061,78 @@ impl DistGraphComm {
         }
     }
 
+    /// Robust alltoallv on the threaded transport: items are idempotent
+    /// to re-route (no hop-applied reductions to replay), so a failed
+    /// run degrades to the **naive item routing** — direct sends over
+    /// graph edges only — when the policy allows, mirroring the
+    /// allgather family's fallback. The combining transport takes no
+    /// fault plan; robustness here covers real liveness failures
+    /// (timeouts) of the primary routing.
+    fn robust_alltoallv(
+        &self,
+        plan: &AlltoallPlan,
+        req: &CollectiveRequest,
+        sizes: &BlockSizes,
+    ) -> Result<CollectiveOutput, CommError> {
+        let used = self.combining_algorithm(req.algorithm)?;
+        let mut report = ExecReport {
+            requested: req.algorithm,
+            used,
+            fallback: None,
+            faults: FaultCounts::default(),
+            counters: None,
+            repairs: 0,
+            degraded_ranks: Vec::new(),
+            completeness: Completeness::Full,
+        };
+        let err = match run_combining_threaded(
+            plan,
+            &self.graph,
+            req.op,
+            req.payloads,
+            sizes,
+            self.policy.recv_timeout,
+            req.recorder,
+        ) {
+            Ok(rbufs) => {
+                report.counters = req.recorder.counts();
+                return Ok(CollectiveOutput { rbufs, report: Some(report), ..Default::default() });
+            }
+            Err(e) => e,
+        };
+        if !(self.policy.fallback_to_naive && used != Algorithm::Naive) {
+            return Err(err.into());
+        }
+        req.recorder.fallback(0);
+        report.fallback = Some(FallbackReason::ExecFailed(err.to_string()));
+        report.used = Algorithm::Naive;
+        let naive = self.alltoall_plan(Algorithm::Naive)?;
+        let rbufs = run_combining_threaded(
+            &naive,
+            &self.graph,
+            req.op,
+            req.payloads,
+            sizes,
+            self.policy.recv_timeout,
+            req.recorder,
+        )?;
+        report.counters = req.recorder.counts();
+        Ok(CollectiveOutput { rbufs, report: Some(report), ..Default::default() })
+    }
+
+    /// The concrete algorithm a combining-family request routes under:
+    /// [`Algorithm::Auto`] maps to Distance Halving — the combining
+    /// family has no per-request tuner (its two routings, naive and DH,
+    /// are distinguished by topology shape the §V model already settled
+    /// in the paper's favor) — and the result shares the memo slot with
+    /// explicit Distance Halving requests.
+    fn combining_algorithm(&self, algo: Algorithm) -> Result<Algorithm, CommError> {
+        match self.normalize_algorithm(algo)? {
+            Algorithm::Auto => Ok(Algorithm::DistanceHalving),
+            concrete => Ok(concrete),
+        }
+    }
+
     /// The combining family's plan path: one item-routing
     /// [`AlltoallPlan`] shared (via a fingerprint-keyed memo) by
     /// alltoallv, reduce_scatter and allreduce — they route identically,
@@ -824,6 +1143,7 @@ impl DistGraphComm {
         algo: Algorithm,
         rec: &dyn Recorder,
     ) -> Result<Arc<AlltoallPlan>, CommError> {
+        let algo = self.combining_algorithm(algo)?;
         let fp = PlanFingerprint::of_collective(
             &self.graph,
             &self.layout,
@@ -886,15 +1206,16 @@ impl DistGraphComm {
     ///
     /// # Errors
     /// Returns [`CommError::UnsupportedCollective`] for
-    /// [`Algorithm::CommonNeighbor`] and
-    /// [`Algorithm::HierarchicalLeader`], which have no item-routing
-    /// formulation.
+    /// [`Algorithm::CommonNeighbor`], [`Algorithm::HierarchicalLeader`],
+    /// [`Algorithm::Bruck`] and [`Algorithm::Pat`], which have no
+    /// item-routing formulation. [`Algorithm::Auto`] routes as Distance
+    /// Halving.
     pub fn alltoall_plan(
         &self,
         algo: Algorithm,
     ) -> Result<crate::alltoall::AlltoallPlan, CommError> {
         check_support(CollectiveOp::Alltoallv, algo, false, ExecBackend::Virtual)?;
-        let plan = match algo {
+        let plan = match self.combining_algorithm(algo)? {
             Algorithm::Naive => crate::alltoall::plan_naive_alltoall(&self.graph),
             Algorithm::DistanceHalving => {
                 let pattern = build_pattern_pooled(
@@ -905,9 +1226,13 @@ impl DistGraphComm {
                 )?;
                 crate::alltoall::plan_dh_alltoall(&pattern, &self.graph)
             }
-            Algorithm::CommonNeighbor { .. } | Algorithm::HierarchicalLeader { .. } => {
+            Algorithm::CommonNeighbor { .. }
+            | Algorithm::HierarchicalLeader { .. }
+            | Algorithm::Bruck
+            | Algorithm::Pat { .. } => {
                 unreachable!("rejected by check_support")
             }
+            Algorithm::Auto => unreachable!("resolved by combining_algorithm"),
         };
         plan.validate(&self.graph).map_err(CommError::InvalidAlltoallPlan)?;
         Ok(plan)
@@ -1066,6 +1391,9 @@ impl DistGraphComm {
         }
         let mut arena = BlockArena::new();
         if let Some((mut plan, mut pattern)) = planned {
+            // Auto resolves during planning: report the winner that ran,
+            // not the `auto` placeholder the caller requested.
+            report.used = plan.algorithm;
             // Execute, self-healing around dead links: a LinkDown error
             // marks the edge dead, the plan is repaired to route around
             // it, and execution restarts — up to the policy's repair
@@ -1230,11 +1558,161 @@ mod tests {
         let c = comm(32, 0.3);
         let payloads = test_payloads(32, 16, 5);
         let want = reference_allgather(c.graph(), &payloads);
-        for algo in
-            [Algorithm::Naive, Algorithm::CommonNeighbor { k: 4 }, Algorithm::DistanceHalving]
-        {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::CommonNeighbor { k: 4 },
+            Algorithm::DistanceHalving,
+            Algorithm::HierarchicalLeader { leaders_per_node: 2 },
+            Algorithm::Bruck,
+            Algorithm::Pat { radix: 2 },
+            Algorithm::Pat { radix: 4 },
+            Algorithm::Auto,
+        ] {
             let got = allgather(&c, algo, &payloads);
             assert_eq!(got, want, "{algo}");
+        }
+    }
+
+    #[test]
+    fn degenerate_algorithm_params_reject_or_clamp() {
+        let c = comm(32, 0.4);
+        let payloads = test_payloads(32, 8, 1);
+        // no sensible reading: typed rejection, not a panic
+        for bad in [
+            Algorithm::CommonNeighbor { k: 0 },
+            Algorithm::Pat { radix: 0 },
+            Algorithm::Pat { radix: 1 },
+            Algorithm::HierarchicalLeader { leaders_per_node: 0 },
+        ] {
+            match c.plan(bad) {
+                Err(CommError::BadAlgorithmParam { algorithm, .. }) => assert_eq!(algorithm, bad),
+                other => panic!("{bad}: expected BadAlgorithmParam, got {other:?}"),
+            }
+            let req = CollectiveRequest::allgather(&payloads).algorithm(bad);
+            assert!(
+                matches!(c.collective(&req), Err(CommError::BadAlgorithmParam { .. })),
+                "{bad}"
+            );
+        }
+        // k = 1 (singleton groups) and k ∤ n (ragged last group): valid
+        let want = reference_allgather(c.graph(), &payloads);
+        for k in [1usize, 5, 7] {
+            let plan = c.plan(Algorithm::CommonNeighbor { k }).unwrap();
+            assert_eq!(plan.algorithm, Algorithm::CommonNeighbor { k });
+            assert_eq!(allgather(&c, Algorithm::CommonNeighbor { k }, &payloads), want, "k={k}");
+        }
+        // k ≥ n clamps to n — documented, and canonicalizes the cache key
+        for k in [32usize, 33, 200] {
+            let plan = c.plan(Algorithm::CommonNeighbor { k }).unwrap();
+            assert_eq!(plan.algorithm, Algorithm::CommonNeighbor { k: 32 }, "k={k} must clamp");
+            assert_eq!(allgather(&c, Algorithm::CommonNeighbor { k }, &payloads), want, "k={k}");
+        }
+        let cache = Arc::new(PlanCache::new(8));
+        let c = comm(32, 0.4).with_plan_cache(Arc::clone(&cache));
+        let a = c.plan_shared(Algorithm::CommonNeighbor { k: 200 }).unwrap();
+        let b = c.plan_shared(Algorithm::CommonNeighbor { k: 32 }).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "clamped k must share the canonical cache slot");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn auto_tunes_once_then_serves_cached_winner() {
+        let cache = Arc::new(PlanCache::new(16));
+        let c = comm(32, 0.4).with_plan_cache(Arc::clone(&cache));
+        let p1 = c.plan_shared(Algorithm::Auto).unwrap();
+        let sims = c.tuner_sims();
+        assert!(sims > 0, "a cold Auto resolution must simulate candidates");
+        assert_ne!(p1.algorithm, Algorithm::Auto, "the cached plan is the concrete winner");
+        // same fingerprint again: served from the memo, zero new sims
+        let p2 = c.plan_shared(Algorithm::Auto).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(c.tuner_sims(), sims, "second resolution must not simulate");
+        // a FRESH communicator (cold memo) sharing the cache: still zero
+        let c2 = DistGraphComm::create_adjacent(c.graph().clone(), c.layout().clone())
+            .unwrap()
+            .with_plan_cache(Arc::clone(&cache));
+        let p3 = c2.plan_shared(Algorithm::Auto).unwrap();
+        assert_eq!(c2.tuner_sims(), 0, "shared cache serves the winner with zero simulations");
+        assert_eq!(p3.algorithm, p1.algorithm);
+        // the winner also landed under its own canonical build key
+        let explicit = c2.plan_shared(p1.algorithm).unwrap();
+        assert!(Arc::ptr_eq(&p3, &explicit), "explicit winner requests coalesce with Auto");
+    }
+
+    #[test]
+    fn auto_winner_is_deterministic_across_build_threads() {
+        // same fingerprint ⇒ same winner, regardless of worker count
+        let base = comm(48, 0.3);
+        let want = base.resolve_algorithm(Algorithm::Auto).unwrap();
+        for threads in [1usize, 2, 4] {
+            for _ in 0..2 {
+                let c = comm(48, 0.3).with_build_threads(threads);
+                assert_eq!(
+                    c.resolve_algorithm(Algorithm::Auto).unwrap(),
+                    want,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_retires_the_tuner_entry() {
+        let cache = Arc::new(PlanCache::new(16));
+        let mut c = comm(32, 0.4).with_plan_cache(Arc::clone(&cache));
+        c.plan_shared(Algorithm::Auto).unwrap();
+        let old_key = c.tuner_fingerprint();
+        let old_graph = c.graph().clone();
+        assert!(cache.lookup(old_key, &old_graph).is_some(), "tuner entry cached");
+        let (added, removed) = churn_sets(c.graph(), 2, 4);
+        c.mutate(&added, &removed).unwrap();
+        assert!(cache.lookup(old_key, &old_graph).is_none(), "mutate must retire the tuner entry");
+        assert_ne!(c.tuner_fingerprint(), old_key, "churn moves the tuner key");
+        // a fresh Auto resolution tunes against the churned topology
+        let sims = c.tuner_sims();
+        let payloads = test_payloads(32, 8, 2);
+        let got = allgather(&c, Algorithm::Auto, &payloads);
+        assert_eq!(got, reference_allgather(c.graph(), &payloads));
+        assert!(c.tuner_sims() > sims, "post-churn Auto must re-tune");
+    }
+
+    #[test]
+    fn robust_alltoallv_runs_on_threaded_with_a_report() {
+        let c = comm(16, 0.4);
+        let m = 4usize;
+        let sbufs: Vec<Vec<u8>> = (0..16)
+            .map(|p| (0..c.graph().outdegree(p) * m).map(|i| (p * 17 + i) as u8).collect())
+            .collect();
+        let req = CollectiveRequest::alltoallv(&sbufs)
+            .sizes(BlockSizes::uniform(m))
+            .robust(true)
+            .backend(ExecBackend::Threaded);
+        let out = c.collective(&req).unwrap();
+        assert_eq!(
+            out.rbufs,
+            crate::collective::reference_alltoallv(c.graph(), &sbufs, &BlockSizes::uniform(m))
+        );
+        let report = out.report.expect("robust alltoallv carries a report");
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.used, Algorithm::DistanceHalving);
+    }
+
+    #[test]
+    fn robust_reductions_reject_naming_the_unsupported_piece() {
+        let c = comm(16, 0.4);
+        let payloads = test_payloads(16, 4, 3);
+        for req in [
+            CollectiveRequest::reduce_scatter(&payloads, Reduction::SUM_U8),
+            CollectiveRequest::allreduce(&payloads, Reduction::SUM_U8),
+        ] {
+            let req = req.robust(true).backend(ExecBackend::Threaded);
+            match c.collective(&req) {
+                Err(CommError::UnsupportedCollective { reason, .. }) => assert!(
+                    reason.contains("reduction"),
+                    "reason must name the unsupported piece: {reason}"
+                ),
+                other => panic!("expected UnsupportedCollective, got {other:?}"),
+            }
         }
     }
 

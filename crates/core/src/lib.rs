@@ -53,6 +53,8 @@
 
 pub mod alltoall;
 pub mod arena;
+pub mod autotune;
+pub mod bruck;
 pub mod builder;
 pub mod collective;
 pub mod comm;
@@ -65,6 +67,7 @@ pub mod leader;
 pub mod lower;
 pub mod model;
 pub mod naive;
+pub mod pat;
 pub mod pattern;
 pub mod persistent;
 pub mod plan;
@@ -78,6 +81,7 @@ pub mod selection;
 pub mod sizes;
 
 pub use arena::{ArenaLayout, BlockArena};
+pub use autotune::TuneOutcome;
 pub use collective::{
     CollectiveOp, CollectiveOutput, CollectiveRequest, DType, ExecBackend, ReduceOp, Reduction,
 };
@@ -93,5 +97,5 @@ pub use plan::{Algorithm, CollectivePlan, PlanValidationError};
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanFingerprint};
 pub use pool::WorkerPool;
 pub use repair::{Completeness, RepairPolicy};
-pub use select_algo::recommend;
+pub use select_algo::{recommend, recommend_sized, recommend_with, SelectionPolicy};
 pub use sizes::{BlockSizes, LoadMetric};

@@ -227,6 +227,21 @@ pub enum Algorithm {
         /// Leaders per node (blocks assigned round-robin).
         leaders_per_node: usize,
     },
+    /// Locality-aware Bruck neighborhood allgather (Bienz et al.):
+    /// blocks funnel to a per-node router, hop between routers in
+    /// log-stride rounds over node offsets, then scatter locally.
+    Bruck,
+    /// PAT-style aggregated trees (Jeaugey): each destination's
+    /// in-neighborhood aggregates along a radix-`radix` binomial tree
+    /// before one combined delivery.
+    Pat {
+        /// Aggregation-tree radix (>= 2).
+        radix: usize,
+    },
+    /// Simulation-driven auto-selection: every portfolio candidate is
+    /// scored through the §V cost model for the request's (topology,
+    /// layout, block sizes) and the winner's plan is used and cached.
+    Auto,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -238,6 +253,9 @@ impl std::fmt::Display for Algorithm {
             Algorithm::HierarchicalLeader { leaders_per_node } => {
                 write!(f, "hierarchical-leader(l={leaders_per_node})")
             }
+            Algorithm::Bruck => write!(f, "bruck"),
+            Algorithm::Pat { radix } => write!(f, "pat(r={radix})"),
+            Algorithm::Auto => write!(f, "auto"),
         }
     }
 }

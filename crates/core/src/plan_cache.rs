@@ -133,6 +133,9 @@ impl PlanFingerprint {
                 Algorithm::CommonNeighbor { k } => (1, k as u64),
                 Algorithm::DistanceHalving => (2, 0),
                 Algorithm::HierarchicalLeader { leaders_per_node } => (3, leaders_per_node as u64),
+                Algorithm::Bruck => (4, 0),
+                Algorithm::Pat { radix } => (5, radix as u64),
+                Algorithm::Auto => (6, 0),
             };
             id.hash(h);
             param.hash(h);
@@ -141,6 +144,42 @@ impl PlanFingerprint {
                 sizes.hash_into(h);
             }
         })
+    }
+
+    /// Fingerprint of an *auto-tuning request* — the key under which
+    /// [`Algorithm::Auto`] caches its winning plan. Built on
+    /// [`of_collective`](Self::of_collective) with the `Auto` algorithm
+    /// id, so the keyspace is disjoint from every concrete algorithm's
+    /// build keys; additionally XORs in a digest of the **full size
+    /// table** (the tuner scores candidates byte-accurately even under
+    /// [`LoadMetric::Neighbors`], where plain build keys skip sizes) and
+    /// of `cost_tag`, a stable rendering of the §V cost model — two
+    /// tuners with different link speeds must not share winners.
+    ///
+    /// The entry is retired on `mutate` alongside the plan keys it
+    /// shadows: a churned adjacency hashes differently, so stale winners
+    /// can never be served, but the communicator still explicitly
+    /// retires the old key to free its LRU slot.
+    pub fn of_tuner(
+        graph: &Topology,
+        layout: &ClusterLayout,
+        sizes: &BlockSizes,
+        metric: LoadMetric,
+        cost_tag: &str,
+    ) -> Self {
+        let base = Self::of_collective(
+            graph,
+            layout,
+            Algorithm::Auto,
+            sizes,
+            metric,
+            &CollectiveOp::Allgather,
+        );
+        let extra = Self::digest(|h| {
+            sizes.hash_into(h);
+            cost_tag.hash(h);
+        });
+        Self { hi: base.hi ^ extra.hi, lo: base.lo ^ extra.lo }
     }
 
     /// Derives the fingerprint of a *mutated* build request from this

@@ -175,6 +175,9 @@ fn algorithm_id(a: Algorithm) -> (u64, u64) {
         Algorithm::CommonNeighbor { k } => (1, k as u64),
         Algorithm::DistanceHalving => (2, 0),
         Algorithm::HierarchicalLeader { leaders_per_node } => (3, leaders_per_node as u64),
+        Algorithm::Bruck => (4, 0),
+        Algorithm::Pat { radix } => (5, radix as u64),
+        Algorithm::Auto => (6, 0),
     }
 }
 
@@ -184,6 +187,9 @@ fn algorithm_from(id: u64, param: u64) -> Result<Algorithm, PlanIoError> {
         1 => Algorithm::CommonNeighbor { k: param as usize },
         2 => Algorithm::DistanceHalving,
         3 => Algorithm::HierarchicalLeader { leaders_per_node: param as usize },
+        4 => Algorithm::Bruck,
+        5 => Algorithm::Pat { radix: param as usize },
+        6 => Algorithm::Auto,
         other => return Err(PlanIoError::Corrupt(format!("unknown algorithm id {other}"))),
     })
 }

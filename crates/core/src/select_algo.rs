@@ -1,26 +1,38 @@
-//! Automatic algorithm selection — the production feature the
-//! experiments point at: Distance Halving wins the latency-bound regime
-//! (small messages, non-trivial density), the hierarchical leader design
-//! wins the bandwidth-bound regime, and very sparse neighborhoods are
-//! best left to direct sends (see `EXPERIMENTS.md`, "ext-leader" and
-//! Fig. 5). [`recommend`] encodes those crossovers; callers who know
-//! better can always pick explicitly.
+//! Automatic algorithm selection — thin shims over the
+//! simulation-driven tuner in [`crate::autotune`].
+//!
+//! The original `recommend*` encoded static crossover thresholds
+//! (density and message-size cutoffs fitted to `EXPERIMENTS.md`), and
+//! `recommend_with` had a real bug: it classified **ragged** workloads
+//! by whatever uniform `m` the caller happened to pass, ignoring the
+//! actual byte totals. Both problems are gone the same way: selection
+//! now scores every portfolio candidate through the §V cost model for
+//! the exact (topology, layout, [`BlockSizes`]) request —
+//! [`recommend_sized`] is the real surface, and the legacy entry points
+//! delegate to it, so the thresholds can never drift from the model
+//! again. Callers who know better can always pick explicitly.
 
+use crate::comm::DistGraphComm;
 use crate::plan::Algorithm;
+use crate::sizes::BlockSizes;
 use nhood_cluster::ClusterLayout;
+use nhood_telemetry::NULL;
 use nhood_topology::Topology;
 
-/// Tunable crossover thresholds (defaults fitted to the full-scale
-/// sweeps in `EXPERIMENTS.md`).
+/// Tuning knobs of the recommendation shims. The density / message-size
+/// crossover thresholds of the pre-tuner implementation are retained
+/// for API compatibility but **no longer consulted** — the simulated
+/// sweep subsumes them.
 #[derive(Clone, Copy, Debug)]
 pub struct SelectionPolicy {
-    /// Below this mean out-degree fraction of `n`, direct sends win
-    /// (nothing to combine).
+    /// Legacy threshold (unused): below this mean out-degree fraction
+    /// of `n`, the static rules picked direct sends.
     pub min_density: f64,
-    /// At or above this payload size (bytes), prefer the leader
-    /// hierarchy over Distance Halving.
+    /// Legacy threshold (unused): at or above this payload size, the
+    /// static rules picked the leader hierarchy.
     pub large_message_bytes: usize,
-    /// Leaders per node when the leader hierarchy is chosen.
+    /// Leaders per node of the hierarchical-leader candidate the tuner
+    /// sweeps.
     pub leaders_per_node: usize,
 }
 
@@ -36,50 +48,73 @@ pub fn recommend(graph: &Topology, layout: &ClusterLayout, m: usize) -> Algorith
     recommend_with(graph, layout, m, &SelectionPolicy::default())
 }
 
-/// [`recommend`] with explicit thresholds.
+/// [`recommend`] with an explicit policy. A uniform `m` is just the
+/// degenerate size table — this shims to [`recommend_sized`].
 pub fn recommend_with(
     graph: &Topology,
     layout: &ClusterLayout,
     m: usize,
     policy: &SelectionPolicy,
 ) -> Algorithm {
+    recommend_sized(graph, layout, &BlockSizes::uniform(m), policy)
+}
+
+/// The size-aware selection surface: scores the full candidate
+/// portfolio through the §V cost model against the **actual per-rank
+/// byte totals** and returns the simulated winner. Degenerate inputs
+/// (fewer than two ranks, a single node, a layout the topology does not
+/// fit) short-circuit to [`Algorithm::Naive`] — with nothing to
+/// combine, direct sends are optimal and a simulation sweep is waste.
+pub fn recommend_sized(
+    graph: &Topology,
+    layout: &ClusterLayout,
+    sizes: &BlockSizes,
+    policy: &SelectionPolicy,
+) -> Algorithm {
     let n = graph.n();
-    if n < 2 {
+    if n < 2 || layout.nodes() == 1 || n <= layout.ranks_per_node() {
         return Algorithm::Naive;
     }
-    // single node: no inter-node traffic to save — relaying only adds
-    // copies, so stay direct
-    if layout.nodes() == 1 || n <= layout.ranks_per_node() {
+    let Ok(comm) = DistGraphComm::create_adjacent(graph.clone(), layout.clone()) else {
         return Algorithm::Naive;
+    };
+    let cands = crate::autotune::candidates(n, layout, policy.leaders_per_node);
+    match comm.tune_candidates(&cands, sizes, &NULL) {
+        Ok(outcome) => outcome.winner,
+        Err(_) => Algorithm::Naive,
     }
-    let density = graph.density();
-    if density < policy.min_density {
-        return Algorithm::Naive;
-    }
-    if m >= policy.large_message_bytes {
-        return Algorithm::HierarchicalLeader { leaders_per_node: policy.leaders_per_node };
-    }
-    Algorithm::DistanceHalving
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::sim_exec::{simulate, SimCost};
-    use crate::DistGraphComm;
+    use crate::exec::sim_exec::{simulate, simulate_v, SimCost};
     use nhood_topology::random::erdos_renyi;
 
     #[test]
-    fn crossovers_match_the_documented_regimes() {
+    fn recommendation_is_the_simulated_argmin() {
+        // the recommendation must match the best candidate under the
+        // tuner's own cost model — selection IS the sweep now
         let layout = ClusterLayout::niagara(6, 36);
-        let dense = erdos_renyi(216, 0.3, 1);
-        assert_eq!(recommend(&dense, &layout, 64), Algorithm::DistanceHalving);
-        assert!(matches!(
-            recommend(&dense, &layout, 1 << 20),
-            Algorithm::HierarchicalLeader { .. }
-        ));
-        let sparse = erdos_renyi(216, 0.005, 1);
-        assert_eq!(recommend(&sparse, &layout, 64), Algorithm::Naive);
+        let cost = SimCost::niagara();
+        for (delta, m) in [(0.3f64, 64usize), (0.3, 262_144), (0.5, 64), (0.1, 65_536)] {
+            let g = erdos_renyi(216, delta, 7);
+            let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
+            let rec = recommend(&g, &layout, m);
+            let t_rec = simulate(&comm.plan(rec).unwrap(), &layout, m, &cost).unwrap().makespan;
+            let cands = crate::autotune::candidates(
+                216,
+                &layout,
+                SelectionPolicy::default().leaders_per_node,
+            );
+            for cand in cands {
+                let t = simulate(&comm.plan(cand).unwrap(), &layout, m, &cost).unwrap().makespan;
+                assert!(
+                    t_rec <= t + 1e-15,
+                    "delta={delta} m={m}: recommended {rec} ({t_rec:.2e}s) beaten by {cand} ({t:.2e}s)"
+                );
+            }
+        }
     }
 
     #[test]
@@ -97,44 +132,38 @@ mod tests {
     }
 
     #[test]
-    fn recommendation_is_never_far_from_the_best_choice() {
-        // the recommended algorithm must be within 2x of the best of the
-        // candidate set across a small grid of scenarios
-        let layout = ClusterLayout::niagara(6, 36);
+    fn ragged_sizes_flow_into_selection() {
+        // Regression: recommend_with used to classify ragged workloads
+        // by the uniform m alone. recommend_sized must consume the real
+        // table: its winner is the argmin under THOSE byte totals.
+        let layout = ClusterLayout::niagara(4, 32);
+        let g = erdos_renyi(128, 0.3, 3);
+        // every 7th rank huge, the rest tiny — a mean-m classifier and
+        // a table-aware one see very different workloads
+        let table: Vec<usize> = (0..128).map(|r| if r % 7 == 0 { 1 << 18 } else { 16 }).collect();
+        let sizes = BlockSizes::per_rank(table.clone());
+        let policy = SelectionPolicy::default();
+        let rec = recommend_sized(&g, &layout, &sizes, &policy);
+        let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
         let cost = SimCost::niagara();
-        for (delta, m) in [(0.3f64, 64usize), (0.3, 262_144), (0.5, 64), (0.1, 65_536)] {
-            let g = erdos_renyi(216, delta, 7);
-            let comm = DistGraphComm::create_adjacent(g.clone(), layout.clone()).unwrap();
-            let rec = recommend(&g, &layout, m);
-            let t_rec = simulate(&comm.plan(rec).unwrap(), &layout, m, &cost).unwrap().makespan;
-            let best = [
-                Algorithm::Naive,
-                Algorithm::DistanceHalving,
-                Algorithm::HierarchicalLeader { leaders_per_node: 8 },
-            ]
-            .into_iter()
-            .map(|a| simulate(&comm.plan(a).unwrap(), &layout, m, &cost).unwrap().makespan)
-            .fold(f64::MAX, f64::min);
-            assert!(
-                t_rec <= 2.0 * best,
-                "delta={delta} m={m}: recommended {rec} is {t_rec:.2e}s vs best {best:.2e}s"
-            );
+        let t_rec = simulate_v(&comm.plan(rec).unwrap(), &layout, &table, &cost).unwrap().makespan;
+        for cand in crate::autotune::candidates(128, &layout, policy.leaders_per_node) {
+            let t = simulate_v(&comm.plan(cand).unwrap(), &layout, &table, &cost).unwrap().makespan;
+            assert!(t_rec <= t + 1e-15, "ragged winner {rec} beaten by {cand}");
         }
     }
 
     #[test]
-    fn policy_thresholds_respected() {
+    fn uniform_shim_agrees_with_the_sized_surface() {
         let layout = ClusterLayout::niagara(4, 32);
         let g = erdos_renyi(128, 0.2, 3);
-        let policy =
-            SelectionPolicy { min_density: 0.5, large_message_bytes: 8, leaders_per_node: 2 };
-        // density 0.2 < 0.5 → naive regardless of size
-        assert_eq!(recommend_with(&g, &layout, 4, &policy), Algorithm::Naive);
-        let policy2 = SelectionPolicy { min_density: 0.01, ..policy };
-        assert_eq!(
-            recommend_with(&g, &layout, 64, &policy2),
-            Algorithm::HierarchicalLeader { leaders_per_node: 2 }
-        );
-        assert_eq!(recommend_with(&g, &layout, 4, &policy2), Algorithm::DistanceHalving);
+        let policy = SelectionPolicy::default();
+        for m in [4usize, 64, 4096, 65_536] {
+            assert_eq!(
+                recommend_with(&g, &layout, m, &policy),
+                recommend_sized(&g, &layout, &BlockSizes::uniform(m), &policy),
+                "m={m}"
+            );
+        }
     }
 }

@@ -369,6 +369,12 @@ impl Service {
     }
 
     fn fingerprint(comm: &DistGraphComm, algo: Algorithm) -> PlanFingerprint {
+        // Key batches on the CONCRETE algorithm: `Auto` resolves to its
+        // tuned winner (a memo / cache hit — registration and churn
+        // both plan before fingerprinting) and degenerate parameters
+        // canonicalize, so an `Auto` tenant coalesces with tenants that
+        // request the winning algorithm explicitly.
+        let algo = comm.resolve_algorithm(algo).unwrap_or(algo);
         let sizes = comm.block_sizes().cloned().unwrap_or_else(|| BlockSizes::uniform(0));
         PlanFingerprint::of_build_v(comm.graph(), comm.layout(), algo, &sizes, comm.load_metric())
     }
@@ -1053,6 +1059,26 @@ mod tests {
         svc.drain();
         let report = svc.report();
         assert_eq!(report.stats.batches, 1, "identical fingerprints must share a batch");
+        assert_eq!(report.stats.completed, 2);
+    }
+
+    #[test]
+    fn auto_tenants_coalesce_with_the_explicit_winner() {
+        // `BatchKey::Clean` must key on the tuned winner, not on the
+        // `Auto` marker: a tenant registered with `Auto` and one that
+        // names the winning algorithm explicitly share one batch.
+        let mut svc = Service::new(ServiceConfig::default());
+        let g = erdos_renyi(16, 0.4, 5);
+        let probe = DistGraphComm::create_adjacent(g.clone(), layout_for(16)).unwrap();
+        let winner = probe.resolve_algorithm(Algorithm::Auto).unwrap();
+        assert_ne!(winner, Algorithm::Auto);
+        let a = svc.add_tenant(g.clone(), layout_for(16), Algorithm::Auto).unwrap();
+        let b = svc.add_tenant(g, layout_for(16), winner).unwrap();
+        svc.submit(a, uniform_payloads(16, 32, 1)).unwrap();
+        svc.submit(b, uniform_payloads(16, 32, 2)).unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.stats.batches, 1, "Auto must batch under its concrete winner");
         assert_eq!(report.stats.completed, 2);
     }
 

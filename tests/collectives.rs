@@ -186,9 +186,11 @@ fn f32_allreduce_is_bit_deterministic_across_backends() {
 }
 
 /// The support matrix rejects out-of-matrix combinations *typed* and
-/// before any execution: robust combining ops, robust off-threaded,
-/// combining under algorithms with no item-routing formulation, and
-/// undefined operator/lane pairs.
+/// before any execution: robust reductions (idempotent retry cannot
+/// replay hop-applied reductions), robust off-threaded, combining under
+/// algorithms with no item-routing formulation, and undefined
+/// operator/lane pairs. Robust alltoallv — items, no reductions — is
+/// IN the matrix and must run.
 #[test]
 fn unsupported_combinations_fail_typed() {
     let n = 16;
@@ -197,12 +199,20 @@ fn unsupported_combinations_fail_typed() {
     let (a2a, sizes) = alltoallv_payloads(&g, 5);
     let uniform = uniform_payloads(n, 8, 5);
 
-    // robust is gather-family only
+    // robust covers the gather family and alltoallv, not reductions
+    let req = CollectiveRequest::reduce_scatter(&uniform, Reduction::SUM_U8)
+        .robust(true)
+        .backend(ExecBackend::Threaded);
+    assert!(matches!(comm.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+
+    // robust alltoallv runs and reports clean
     let req = CollectiveRequest::alltoallv(&a2a)
         .sizes(sizes.clone())
         .robust(true)
         .backend(ExecBackend::Threaded);
-    assert!(matches!(comm.collective(&req), Err(CommError::UnsupportedCollective { .. })));
+    let out = comm.collective(&req).expect("robust alltoallv is supported");
+    assert_eq!(out.rbufs, reference_alltoallv(&g, &a2a, &sizes));
+    assert!(out.report.expect("robust run carries a report").clean());
 
     // robust runs on the threaded transport only
     let req = CollectiveRequest::allgather(&uniform).robust(true).backend(ExecBackend::Virtual);
